@@ -1,0 +1,109 @@
+//! Criterion macro-benchmarks: the experiment pipeline stages and the
+//! integrated index, on a reduced corpus.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_corpus::{generate_batches, BatchUpdate, CorpusParams};
+use invidx_disk::{exercise, sparse_array};
+use invidx_sim::{BucketPipeline, Experiment, SimParams};
+use std::hint::black_box;
+
+fn apply(ix: &mut DualIndex, batches: &[BatchUpdate]) {
+    use std::collections::HashMap;
+    let mut counters: HashMap<WordId, u32> = HashMap::new();
+    for batch in batches {
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            let c = counters.entry(word).or_insert(0);
+            let list = invidx_core::postings::PostingList::from_sorted(
+                (*c..*c + count).map(DocId).collect(),
+            );
+            *c += count;
+            ix.insert_list(word, &list).expect("insert");
+        }
+        ix.flush_batch().expect("flush");
+    }
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let params = SimParams::tiny();
+    let (batches, stats) = generate_batches(params.corpus.clone());
+    let exp = Experiment::prepare(params.clone()).expect("prepare");
+    let base_run = exp.run_policy(Policy::balanced()).expect("run");
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stats.total_postings));
+
+    g.bench_function("invert_index", |b| {
+        b.iter(|| black_box(generate_batches(params.corpus.clone())))
+    });
+    g.bench_function("compute_buckets", |b| {
+        b.iter(|| {
+            let p = BucketPipeline::new(params.buckets, params.bucket_size).expect("pipeline");
+            black_box(p.run(&batches).expect("run"))
+        })
+    });
+    for policy in [Policy::update_optimized(), Policy::balanced(), Policy::query_optimized()] {
+        g.bench_function(format!("compute_disks/{policy}"), |b| {
+            b.iter(|| {
+                black_box(
+                    invidx_sim::compute_disks(&params, policy, &exp.buckets.long_updates)
+                        .expect("disks"),
+                )
+            })
+        });
+    }
+    g.bench_function("exercise_disks", |b| {
+        b.iter(|| black_box(exercise(&base_run.disks.trace, &params.exercise_config())))
+    });
+    g.finish();
+}
+
+fn bench_dual_index(c: &mut Criterion) {
+    let corpus = CorpusParams { days: 4, docs_per_weekday: 60, ..CorpusParams::tiny() };
+    let (batches, stats) = generate_batches(corpus);
+    let config = |policy| IndexConfig {
+        num_buckets: 128,
+        bucket_capacity_units: 200,
+        block_postings: 20,
+        policy,
+        materialize_buckets: false,
+    };
+    let mut g = c.benchmark_group("dual_index");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stats.total_postings));
+    for policy in [Policy::update_optimized(), Policy::balanced(), Policy::query_optimized()] {
+        g.bench_function(format!("build/{policy}"), |b| {
+            b.iter_batched(
+                || sparse_array(4, 500_000, 512),
+                |array| {
+                    let mut ix = DualIndex::create(array, config(policy)).expect("create");
+                    apply(&mut ix, &batches);
+                    black_box(ix.batches())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // Query path: build once, then measure reads.
+    let array = sparse_array(4, 500_000, 512);
+    let mut ix = DualIndex::create(array, config(Policy::balanced())).expect("create");
+    apply(&mut ix, &batches);
+    let words: Vec<WordId> = batches[0].pairs.iter().take(64).map(|&(w, _)| WordId(w)).collect();
+    g.bench_function("query_64_words", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &w in &words {
+                total += ix.postings(w).expect("read").len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_dual_index);
+criterion_main!(benches);

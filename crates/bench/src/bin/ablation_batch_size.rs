@@ -1,0 +1,89 @@
+//! Ablation: batch size. The paper's §2 premise: "Updating the index for
+//! each individual arriving document is inefficient [...] Instead, the
+//! goal is to batch together small numbers of documents for each in-place
+//! index update. Collecting many documents into an in-memory inverted
+//! index before writing the index to disk amortizes the cost of storing a
+//! posting."
+//!
+//! Same documents, different flush granularity: every 1 / 10 / 100 / 1000
+//! documents. Expected: cost per posting falls steeply with batch size
+//! (fixed bucket+directory flush costs amortize; long-list updates
+//! coalesce), quantifying why the per-document strategy is hopeless.
+
+use invidx_bench::emit_table;
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_corpus::{CorpusGenerator, CorpusParams};
+use invidx_disk::{exercise, sparse_array, DiskProfile, ExerciseConfig};
+use invidx_sim::TextTable;
+
+fn corpus() -> CorpusParams {
+    CorpusParams {
+        days: 4,
+        docs_per_weekday: 500,
+        vocab_ranks: 100_000,
+        interrupted_day: None,
+        ..CorpusParams::tiny()
+    }
+}
+
+fn main() {
+    let docs: Vec<(u32, Vec<u64>)> = CorpusGenerator::new(corpus())
+        .flat_map(|day| day.docs.into_iter())
+        .map(|d| (d.id + 1, d.word_ranks))
+        .collect();
+    let total_postings: u64 = docs.iter().map(|(_, w)| w.len() as u64).sum();
+    eprintln!("{} documents, {} postings", docs.len(), total_postings);
+
+    let block_size = 512;
+    let profile = DiskProfile::seagate_1994(block_size);
+    let mut rows = Vec::new();
+    for batch_docs in [1usize, 10, 100, 1000] {
+        let array = sparse_array(4, 2_000_000, block_size);
+        let config = IndexConfig {
+            num_buckets: 256,
+            bucket_capacity_units: 400,
+            block_postings: 25,
+            policy: Policy::balanced(),
+            materialize_buckets: false,
+        };
+        let mut index = DualIndex::create(array, config).expect("create");
+        index.array_mut().start_trace();
+        for (i, (id, words)) in docs.iter().enumerate() {
+            index
+                .insert_document(DocId(*id), words.iter().map(|&r| WordId(r)))
+                .expect("insert");
+            if (i + 1) % batch_docs == 0 {
+                index.flush_batch().expect("flush");
+            }
+        }
+        if !index.mem().is_empty() {
+            index.flush_batch().expect("final flush");
+        }
+        let trace = index.array_mut().take_trace();
+        let timing = exercise(
+            &trace,
+            &ExerciseConfig { profile: profile.clone(), disks: 4, buffer_blocks: 64 },
+        );
+        rows.push(vec![
+            batch_docs.to_string(),
+            index.batches().to_string(),
+            trace.ops.len().to_string(),
+            format!("{:.0}", timing.total_seconds()),
+            format!("{:.0}", 1e6 * timing.total_seconds() / total_postings as f64),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_batch_size".into(),
+        title: "Flush granularity: documents per batch (policy 'new z prop 2')".into(),
+        headers: vec![
+            "Docs/batch".into(),
+            "Flushes".into(),
+            "I/O ops".into(),
+            "Modeled s".into(),
+            "us/posting".into(),
+        ],
+        rows,
+    });
+}

@@ -1,0 +1,57 @@
+//! Ablation: bucket tuning. The paper defers "the issue of tuning the size
+//! of the buckets and the number of buckets" to its technical note [10],
+//! noting the tuning "uniformly affects the results". This sweep makes the
+//! trade-off concrete: more/larger buckets absorb more postings (fewer
+//! long lists, fewer long-list I/Os) but cost more to flush each batch.
+
+use invidx_bench::{emit_table, params};
+use invidx_core::policy::Policy;
+use invidx_sim::{Experiment, SimParams, TextTable};
+
+fn run(base: &SimParams, buckets: usize, bucket_size: u64) -> Vec<String> {
+    let params = SimParams { buckets, bucket_size, ..base.clone() };
+    let exp = Experiment::prepare(params).expect("prepare");
+    let run = exp.run_policy(Policy::balanced()).expect("policy");
+    let last = exp.buckets.categories.last().expect("batches");
+    vec![
+        buckets.to_string(),
+        bucket_size.to_string(),
+        format!("{:.2} M", buckets as f64 * bucket_size as f64 / 1e6),
+        exp.buckets.total_updates().to_string(),
+        format!("{:.2}", last.frac_long()),
+        run.disks.trace.ops.len().to_string(),
+        format!("{:.1}", run.exercise.total_seconds()),
+    ]
+}
+
+fn main() {
+    let base = params();
+    let sweep: Vec<(usize, u64)> = if invidx_bench::quick() {
+        vec![(64, 100), (128, 200), (256, 400)]
+    } else {
+        vec![
+            (1024, 500),
+            (2048, 500),
+            (4096, 250),
+            (4096, 500),
+            (4096, 1000),
+            (8192, 500),
+            (8192, 1000),
+        ]
+    };
+    let rows = sweep.into_iter().map(|(b, s)| run(&base, b, s)).collect();
+    emit_table(&TextTable {
+        id: "ablation_buckets".into(),
+        title: "Bucket tuning sweep (policy: new z prop 2.0)".into(),
+        headers: vec![
+            "Buckets".into(),
+            "BucketSize".into(),
+            "Total units".into(),
+            "Long updates".into(),
+            "Final long frac".into(),
+            "I/O ops".into(),
+            "Modeled s".into(),
+        ],
+        rows,
+    });
+}

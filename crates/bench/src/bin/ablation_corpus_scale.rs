@@ -1,0 +1,57 @@
+//! Ablation: database scaling (the paper's tech note [10] extrapolates to
+//! "larger synthetic text document databases" and reports the algorithms
+//! "scale well to larger databases, given the correct parameters").
+//!
+//! Corpus volume is swept at 0.5x / 1x / 2x / 4x daily document volume,
+//! with the bucket space scaled in proportion ("the correct parameters");
+//! expected: build time and I/O grow near-linearly with postings.
+
+use invidx_bench::{emit_table, params, quick};
+use invidx_core::policy::Policy;
+use invidx_corpus::CorpusParams;
+use invidx_sim::{Experiment, SimParams, TextTable};
+
+fn main() {
+    let base = params();
+    let scales: &[f64] = if quick() { &[0.5, 1.0] } else { &[0.5, 1.0, 2.0, 4.0] };
+    let mut rows = Vec::new();
+    for &scale in scales {
+        let corpus = CorpusParams {
+            docs_per_weekday: (base.corpus.docs_per_weekday as f64 * scale) as usize,
+            ..base.corpus.clone()
+        };
+        // "Given the correct parameters": bucket space scales with volume.
+        let p = SimParams {
+            corpus,
+            bucket_size: (base.bucket_size as f64 * scale).round().max(10.0) as u64,
+            blocks_per_disk: (base.blocks_per_disk as f64 * scale.max(1.0)) as u64,
+            ..base.clone()
+        };
+        let exp = Experiment::prepare(p).expect("prepare");
+        let run = exp.run_policy(Policy::balanced()).expect("run");
+        rows.push(vec![
+            format!("{scale}x"),
+            exp.corpus_stats.total_postings.to_string(),
+            exp.buckets.total_updates().to_string(),
+            run.disks.trace.ops.len().to_string(),
+            format!("{:.0}", run.exercise.total_seconds()),
+            format!(
+                "{:.2}",
+                run.exercise.total_seconds() / exp.corpus_stats.total_postings as f64 * 1e6
+            ),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_corpus_scale".into(),
+        title: "Corpus-volume scaling (policy 'new z prop 2', bucket space scaled along)".into(),
+        headers: vec![
+            "Scale".into(),
+            "Postings".into(),
+            "Long updates".into(),
+            "I/O ops".into(),
+            "Modeled s".into(),
+            "us/posting".into(),
+        ],
+        rows,
+    });
+}

@@ -1,0 +1,81 @@
+//! Ablation: deletion. The paper (§3) argues for a deleted-document filter
+//! plus a background sweep rather than immediate physical deletion. This
+//! measures the sweep's cost as a function of the deleted fraction, on a
+//! real index over a reduced corpus.
+
+use invidx_bench::emit_table;
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_corpus::{CorpusGenerator, CorpusParams};
+use invidx_disk::sparse_array;
+use invidx_sim::TextTable;
+
+fn build_index() -> (DualIndex, u32) {
+    let params = CorpusParams {
+        days: 8,
+        docs_per_weekday: 200,
+        vocab_ranks: 50_000,
+        ..CorpusParams::tiny()
+    };
+    let array = sparse_array(4, 500_000, 512);
+    let config = IndexConfig {
+        num_buckets: 256,
+        bucket_capacity_units: 100,
+        block_postings: 20,
+        policy: Policy::balanced(),
+        materialize_buckets: true,
+    };
+    let mut index = DualIndex::create(array, config).expect("create");
+    let mut max_doc = 0u32;
+    for day in CorpusGenerator::new(params) {
+        for doc in &day.docs {
+            let words = doc.word_ranks.iter().map(|&r| WordId(r));
+            index.insert_document(DocId(doc.id + 1), words).expect("insert");
+            max_doc = doc.id + 1;
+        }
+        index.flush_batch().expect("flush");
+    }
+    (index, max_doc)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for pct in [1u32, 5, 10, 25, 50] {
+        let (mut index, max_doc) = build_index();
+        for d in 1..=max_doc {
+            if d % 100 < pct {
+                index.delete_document(DocId(d));
+            }
+        }
+        let deleted = index.pending_deletions();
+        index.array_mut().start_trace();
+        let wall = std::time::Instant::now();
+        let report = index.sweep().expect("sweep");
+        let cpu = wall.elapsed();
+        let trace = index.array_mut().take_trace();
+        rows.push(vec![
+            format!("{pct}%"),
+            deleted.to_string(),
+            report.postings_removed.to_string(),
+            report.long_rewritten.to_string(),
+            report.words_dropped.to_string(),
+            trace.ops.len().to_string(),
+            format!("{:.2}", cpu.as_secs_f64()),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_delete".into(),
+        title: "Deletion sweep cost vs deleted fraction".into(),
+        headers: vec![
+            "Deleted".into(),
+            "Docs".into(),
+            "Postings removed".into(),
+            "Long rewritten".into(),
+            "Words dropped".into(),
+            "Sweep I/O ops".into(),
+            "CPU s".into(),
+        ],
+        rows,
+    });
+}

@@ -1,0 +1,115 @@
+//! Ablation: free-space allocation strategy. The paper uses first-fit and
+//! names best-fit and the buddy system (Cutting & Pedersen) as
+//! alternatives "not considered to keep the space of possible solutions
+//! manageable" — here we consider them: same workload, same policy, three
+//! allocators, comparing build time, external fragmentation, and blocks
+//! consumed.
+
+use invidx_bench::{emit_table, prepare};
+use invidx_core::policy::Policy;
+use invidx_corpus::BatchUpdate;
+use invidx_sim::{SimParams, TextTable};
+use invidx_disk::{
+    exercise, BuddyAllocator, Disk, DiskArray, ExtentAllocator, FitStrategy, FreeList,
+    SparseDevice,
+};
+use invidx_core::longlist::{LongConfig, LongStore};
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, WordId};
+use std::collections::HashMap;
+
+/// Which allocator to build per disk.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    FirstFit,
+    BestFit,
+    Buddy,
+}
+
+fn build_array(params: &SimParams, kind: Kind) -> DiskArray {
+    let disks = (0..params.disks)
+        .map(|_| {
+            let alloc: Box<dyn ExtentAllocator> = match kind {
+                Kind::FirstFit => {
+                    Box::new(FreeList::new(params.blocks_per_disk, FitStrategy::FirstFit))
+                }
+                Kind::BestFit => {
+                    Box::new(FreeList::new(params.blocks_per_disk, FitStrategy::BestFit))
+                }
+                Kind::Buddy => Box::new(BuddyAllocator::covering(params.blocks_per_disk)),
+            };
+            Disk {
+                device: Box::new(SparseDevice::new(
+                    // Buddy may round capacity up; give the device the same
+                    // reach so writes beyond blocks_per_disk still land.
+                    params.blocks_per_disk.next_power_of_two(),
+                    params.block_size,
+                )),
+                alloc,
+            }
+        })
+        .collect();
+    DiskArray::new(disks)
+}
+
+/// Run the long-list stage only (no bucket/directory shadow writes, which
+/// would need `reserve` support the buddy allocator lacks) under one
+/// allocator kind.
+fn run(params: &SimParams, kind: Kind, updates: &[BatchUpdate], policy: Policy) -> Vec<String> {
+    let mut array = build_array(params, kind);
+    array.start_trace();
+    let mut store = LongStore::new(LongConfig {
+        block_postings: params.block_postings,
+        policy,
+    });
+    let mut counters: HashMap<WordId, u32> = HashMap::new();
+    let wall = std::time::Instant::now();
+    for batch in updates {
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            let c = counters.entry(word).or_insert(0);
+            let list = PostingList::from_sorted((*c..*c + count).map(DocId).collect());
+            *c += count;
+            store.append(&mut array, word, &list).expect("append");
+        }
+        store.free_released(&mut array).expect("release");
+        array.end_batch();
+    }
+    let cpu = wall.elapsed();
+    let trace = array.take_trace();
+    let modeled = exercise(&trace, &params.exercise_config());
+    let frag: f64 = (0..params.disks)
+        .map(|d| array.allocator(d).external_fragmentation())
+        .sum::<f64>()
+        / params.disks as f64;
+    let used = array.total_blocks() - array.free_blocks();
+    vec![
+        format!("{kind:?}"),
+        format!("{:.1}", modeled.total_seconds()),
+        used.to_string(),
+        format!("{:.3}", frag),
+        format!("{:.2}", cpu.as_secs_f64()),
+    ]
+}
+
+fn main() {
+    let exp = prepare();
+    for policy in [Policy::balanced(), Policy::query_optimized()] {
+        let rows = [Kind::FirstFit, Kind::BestFit, Kind::Buddy]
+            .into_iter()
+            .map(|k| run(&exp.params, k, &exp.buckets.long_updates, policy))
+            .collect();
+        emit_table(&TextTable {
+            id: format!("ablation_freelist_{}", policy.label().replace(' ', "_").replace('.', "")),
+            title: format!("Allocator ablation under policy '{policy}' (long lists only)"),
+            headers: vec![
+                "Allocator".into(),
+                "Modeled s".into(),
+                "Blocks used".into(),
+                "Ext frag".into(),
+                "CPU s".into(),
+            ],
+            rows,
+        });
+    }
+}

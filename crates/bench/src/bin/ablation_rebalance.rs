@@ -1,0 +1,109 @@
+//! Ablation: bucket-space rebalancing (paper §7 future work).
+//!
+//! "As the size of the index grows from the addition of more documents,
+//! the performance of the index degrades. This implies that we need a
+//! strategy to rebalance the division between short and long lists."
+//!
+//! Two runs over a doubled-length corpus: one with fixed bucket space, one
+//! that doubles the bucket space mid-way. Expected: without rebalancing,
+//! the long-word fraction (and with it the long-list update load per
+//! batch) keeps climbing; rebalancing pulls the trend back down.
+
+use invidx_bench::{emit_figure, emit_table, params, quick};
+use invidx_core::index::DualIndex;
+use invidx_core::policy::Policy;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, WordId};
+use invidx_corpus::{generate_batches, BatchUpdate, CorpusParams};
+use invidx_disk::sparse_array;
+use invidx_sim::{Figure, Series, SimParams, TextTable};
+use std::collections::HashMap;
+
+fn run(
+    params: &SimParams,
+    batches: &[BatchUpdate],
+    rebalance_at: Option<(usize, usize, u64)>,
+) -> (Vec<f64>, u64) {
+    let array = sparse_array(params.disks, params.blocks_per_disk, params.block_size);
+    let mut index =
+        DualIndex::create(array, params.index_config(Policy::balanced())).expect("create");
+    let mut counters: HashMap<WordId, u32> = HashMap::new();
+    let mut long_frac = Vec::with_capacity(batches.len());
+    let mut total_long_appends = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        if let Some((at, nb, cap)) = rebalance_at {
+            if i == at {
+                let report = index.rebalance_buckets(nb, cap).expect("rebalance");
+                eprintln!(
+                    "rebalanced at update {i}: {} -> {} buckets, {} words moved, {} evicted",
+                    report.old_buckets, report.new_buckets, report.moved_words, report.evictions
+                );
+            }
+        }
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            let c = counters.entry(word).or_insert(0);
+            let list = PostingList::from_sorted((*c..*c + count).map(DocId).collect());
+            *c += count;
+            index.insert_list(word, &list).expect("insert");
+        }
+        let report = index.flush_batch().expect("flush");
+        long_frac.push(report.long_words as f64 / report.words.max(1) as f64);
+        total_long_appends += report.long_appends;
+    }
+    (long_frac, total_long_appends)
+}
+
+fn main() {
+    let base = params();
+    // A longer corpus to expose the degradation.
+    let corpus = CorpusParams {
+        days: if quick() { 24 } else { 120 },
+        ..base.corpus.clone()
+    };
+    let params = SimParams { corpus: corpus.clone(), ..base };
+    eprintln!("generating {}-day corpus ...", corpus.days);
+    let (batches, _) = generate_batches(corpus.clone());
+    let half = batches.len() / 2;
+
+    let (fixed, fixed_appends) = run(&params, &batches, None);
+    let (rebal, rebal_appends) = run(
+        &params,
+        &batches,
+        Some((half, params.buckets * 2, params.bucket_size * 2)),
+    );
+
+    emit_figure(&Figure {
+        id: "ablation_rebalance".into(),
+        title: format!(
+            "Long-word fraction per update, fixed vs 4x bucket space at update {half}"
+        ),
+        x_label: "update".into(),
+        y_label: "fraction of words with long lists".into(),
+        series: vec![
+            Series::from_updates("fixed buckets", fixed.iter().copied()),
+            Series::from_updates("rebalanced", rebal.iter().copied()),
+        ],
+    });
+    emit_table(&TextTable {
+        id: "ablation_rebalance_summary".into(),
+        title: "Rebalancing summary".into(),
+        headers: vec![
+            "Variant".into(),
+            "Final long frac".into(),
+            "Total long appends".into(),
+        ],
+        rows: vec![
+            vec![
+                "fixed".into(),
+                format!("{:.3}", fixed.last().copied().unwrap_or(0.0)),
+                fixed_appends.to_string(),
+            ],
+            vec![
+                "rebalanced".into(),
+                format!("{:.3}", rebal.last().copied().unwrap_or(0.0)),
+                rebal_appends.to_string(),
+            ],
+        ],
+    });
+}

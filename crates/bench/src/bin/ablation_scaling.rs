@@ -1,0 +1,74 @@
+//! Ablation: scaling. The paper's §7 and tech note [10] study "the
+//! performance improvements due to speeding up disk or adding more disks"
+//! and "the performance of updates on an optical disk". Three sweeps:
+//! number of disks, disk speed multiplier, and disk technology profiles
+//! (1994 SCSI-2, modern HDD, SSD, magneto-optical).
+
+use invidx_bench::{emit_table, prepare};
+use invidx_core::policy::Policy;
+use invidx_disk::{exercise, DiskProfile, ExerciseConfig};
+use invidx_sim::{SimParams, TextTable};
+
+fn main() {
+    let exp = prepare();
+    let policy = Policy::balanced();
+
+    // Sweep 1: number of disks. The compute-disks stage must rerun (disk
+    // assignment changes the trace), the bucket stage does not.
+    let mut rows = Vec::new();
+    for disks in [1u16, 2, 4, 8, 16] {
+        let params = SimParams { disks, ..exp.params.clone() };
+        let out =
+            invidx_sim::compute_disks(&params, policy, &exp.buckets.long_updates).expect("disks");
+        let timing = exercise(&out.trace, &params.exercise_config());
+        rows.push(vec![
+            disks.to_string(),
+            out.trace.ops.len().to_string(),
+            format!("{:.1}", timing.total_seconds()),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_disks".into(),
+        title: format!("Adding disks (policy '{policy}')"),
+        headers: vec!["Disks".into(), "I/O ops".into(), "Modeled s".into()],
+        rows,
+    });
+
+    // Sweep 2: uniformly faster disks over the 8-disk base trace.
+    let base = exp.run_policy(policy).expect("base run");
+    let mut rows = Vec::new();
+    for factor in [1.0f64, 2.0, 4.0, 8.0] {
+        let cfg = ExerciseConfig {
+            profile: exp.params.profile.speedup(factor),
+            ..exp.params.exercise_config()
+        };
+        let timing = exercise(&base.disks.trace, &cfg);
+        rows.push(vec![format!("{factor}x"), format!("{:.1}", timing.total_seconds())]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_diskspeed".into(),
+        title: "Speeding up the disks (same trace)".into(),
+        headers: vec!["Speedup".into(), "Modeled s".into()],
+        rows,
+    });
+
+    // Sweep 3: disk technology profiles.
+    let bs = exp.params.block_size;
+    let mut rows = Vec::new();
+    for profile in [
+        DiskProfile::seagate_1994(bs),
+        DiskProfile::optical_1994(bs),
+        DiskProfile::modern_hdd(bs),
+        DiskProfile::ssd(bs),
+    ] {
+        let cfg = ExerciseConfig { profile: profile.clone(), ..exp.params.exercise_config() };
+        let timing = exercise(&base.disks.trace, &cfg);
+        rows.push(vec![profile.name.clone(), format!("{:.1}", timing.total_seconds())]);
+    }
+    emit_table(&TextTable {
+        id: "ablation_profiles".into(),
+        title: "Disk technology profiles (same trace)".into(),
+        headers: vec!["Profile".into(), "Modeled s".into()],
+        rows,
+    });
+}

@@ -1,0 +1,116 @@
+//! Baseline: the Cutting–Pedersen scheme (paper §6, reference [1]) vs the
+//! dual-structure index, on identical batch updates.
+//!
+//! CP organizes the vocabulary in a B-tree with short lists inline in the
+//! leaves ("a very small bucket for approximately each word") and long
+//! lists in buddy-allocated power-of-two chunks. The paper's claims to
+//! test: "using fewer, larger, buckets offer better performance [than
+//! per-word leaf storage]", and the buddy system's "expected space
+//! utilization is lower than the methods presented here; however it may
+//! offer better update performance."
+
+use invidx_bench::{emit_table, prepare, quick};
+use invidx_btree::{CpConfig, CpIndex};
+use invidx_core::policy::Policy;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, WordId};
+use invidx_disk::{exercise, BuddyAllocator, Disk, DiskArray, SparseDevice};
+use invidx_sim::TextTable;
+use std::collections::HashMap;
+
+fn buddy_array(n: u16, blocks: u64, bs: usize) -> DiskArray {
+    let disks = (0..n)
+        .map(|_| Disk {
+            device: Box::new(SparseDevice::new(blocks.next_power_of_two(), bs))
+                as Box<dyn invidx_disk::BlockDevice>,
+            alloc: Box::new(BuddyAllocator::covering(blocks)),
+        })
+        .collect();
+    DiskArray::new(disks)
+}
+
+fn cp_run(exp: &invidx_sim::Experiment, cache_pages: usize) -> Vec<String> {
+    let p = &exp.params;
+    let mut array = buddy_array(p.disks, p.blocks_per_disk, p.block_size);
+    array.start_trace();
+    let config = CpConfig {
+        block_postings: p.block_postings,
+        inline_threshold: if quick() { 8 } else { 128 },
+        cache_pages,
+    };
+    let mut cp = CpIndex::create(&mut array, config).expect("create");
+    let mut counters: HashMap<WordId, u32> = HashMap::new();
+    let wall = std::time::Instant::now();
+    for batch in &exp.batches {
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            let c = counters.entry(word).or_insert(0);
+            let list = PostingList::from_sorted((*c..*c + count).map(DocId).collect());
+            *c += count;
+            cp.append(&mut array, word, &list).expect("append");
+        }
+        cp.flush(&mut array).expect("flush");
+        array.end_batch();
+    }
+    let cp_cpu = wall.elapsed();
+    let (chunk_blocks, chunk_postings) = cp.space_stats(&mut array).expect("space");
+    let cp_trace = array.take_trace();
+    let cp_time = exercise(&cp_trace, &p.exercise_config());
+    let total_used = array.total_blocks() - array.free_blocks();
+    let cp_stats = cp.stats();
+    let (hits, misses) = cp.tree().cache_stats();
+    eprintln!(
+        "CP(cache {cache_pages}): {} words, height {}, cache hit rate {:.3}, cpu {:.1}s, \
+         {} inline updates / {} spills / {} in-place / {} regrows",
+        cp.words(),
+        cp.tree().height(),
+        hits as f64 / (hits + misses).max(1) as f64,
+        cp_cpu.as_secs_f64(),
+        cp_stats.inline_updates,
+        cp_stats.spills,
+        cp_stats.in_place_updates,
+        cp_stats.chunk_regrows,
+    );
+    vec![
+        format!(
+            "Cutting-Pedersen (cache {} MB)",
+            cache_pages * p.block_size / (1 << 20)
+        ),
+        cp_trace.ops.len().to_string(),
+        format!("{:.0}", cp_time.total_seconds()),
+        total_used.to_string(),
+        format!("{:.2}", chunk_postings as f64 / (chunk_blocks * p.block_postings).max(1) as f64),
+    ]
+}
+
+fn main() {
+    let exp = prepare();
+
+    // Two buffer-pool sizes: one comparable to the dual index's
+    // memory-resident bucket store, one large enough to hold the whole
+    // tree (the best case for CP).
+    let caches = if quick() { vec![64, 1024] } else { vec![1024, 16_384] };
+    let mut rows: Vec<Vec<String>> = caches.into_iter().map(|c| cp_run(&exp, c)).collect();
+    for policy in [Policy::balanced(), Policy::query_optimized(), Policy::update_optimized()] {
+        let run = exp.run_policy(policy).expect("policy");
+        rows.push(vec![
+            format!("dual-structure ({})", policy.label()),
+            run.disks.trace.ops.len().to_string(),
+            format!("{:.0}", run.exercise.total_seconds()),
+            run.disks.blocks_in_use.to_string(),
+            format!("{:.2}", run.disks.final_utilization),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "baseline_cutting_pedersen".into(),
+        title: "Cutting-Pedersen vs dual-structure on identical batches".into(),
+        headers: vec![
+            "Index".into(),
+            "I/O ops".into(),
+            "Build s".into(),
+            "Blocks used".into(),
+            "Long util".into(),
+        ],
+        rows,
+    });
+}

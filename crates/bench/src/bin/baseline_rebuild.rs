@@ -1,0 +1,122 @@
+//! Baseline: the traditional full-reconstruction approach the paper's
+//! introduction argues against. "Given a body of documents, these systems
+//! build the inverted list index from scratch, laying out each list
+//! sequentially and contiguously to others on disk (with no gaps). [...]
+//! Periodically, e.g., every weekend, new documents would be added to the
+//! database and a brand new index would be built."
+//!
+//! The rebuild baseline re-writes the ENTIRE index (all postings to date,
+//! perfectly sequential and gap-free) at each batch; the incremental
+//! policies update in place. Expected: rebuild wins on utilization (1.0)
+//! and query cost (1 read/list) by construction, but its cumulative build
+//! time grows quadratically with corpus size while incremental updates
+//! grow linearly — the crossover is early and dramatic.
+
+use invidx_bench::{emit_figure, emit_table, prepare};
+use invidx_core::policy::Policy;
+use invidx_sim::{Figure, Series, TextTable};
+use invidx_disk::{exercise, IoOp, IoTrace, OpKind, Payload};
+
+fn main() {
+    let exp = prepare();
+    let p = &exp.params;
+
+    // Rebuild trace: per batch, re-read the cumulative raw text (a rebuild
+    // starts from the documents) and write the cumulative index
+    // sequentially, striped over all disks — the best possible layout.
+    // Parsing/inverting CPU is ignored, which flatters the baseline.
+    let bytes_per_posting =
+        exp.corpus_stats.raw_text_bytes as f64 / exp.corpus_stats.total_postings.max(1) as f64;
+    let mut cumulative_postings = 0u64;
+    let mut trace = IoTrace::new();
+    for batch in &exp.batches {
+        cumulative_postings += batch.postings();
+        let raw_blocks = ((cumulative_postings as f64 * bytes_per_posting)
+            / p.block_size as f64)
+            .ceil() as u64;
+        let index_blocks = cumulative_postings.div_ceil(p.block_postings);
+        for (kind, total_blocks) in [(OpKind::Read, raw_blocks), (OpKind::Write, index_blocks)] {
+            let per_disk = total_blocks.div_ceil(p.disks as u64);
+            for d in 0..p.disks {
+                let blocks = per_disk.min(total_blocks.saturating_sub(d as u64 * per_disk));
+                if blocks == 0 {
+                    continue;
+                }
+                trace.push(IoOp {
+                    kind,
+                    disk: d,
+                    start: 0,
+                    blocks,
+                    payload: Payload::LongList { word: 0, postings: blocks * p.block_postings },
+                });
+            }
+        }
+        trace.end_batch();
+    }
+    let rebuild = exercise(&trace, &p.exercise_config());
+
+    let mut series = vec![Series {
+        name: "full rebuild".into(),
+        points: rebuild
+            .cumulative_seconds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ((i + 1) as f64, s))
+            .collect(),
+    }];
+    // Latency growth: last update vs the half-way update. A full rebuild
+    // grows linearly with database size forever; incremental updates track
+    // the (bounded) batch size.
+    let growth = |b: &[f64]| b.last().copied().unwrap_or(0.0) / b[b.len() / 2].max(1e-9);
+    let mut rows = vec![vec![
+        "full rebuild".to_string(),
+        format!("{:.0}", rebuild.total_seconds()),
+        format!("{:.1}", rebuild.batch_seconds.last().copied().unwrap_or(0.0)),
+        format!("{:.2}x", growth(&rebuild.batch_seconds)),
+        "1.00".into(),
+        "1.00".into(),
+    ]];
+
+    for policy in [Policy::update_optimized(), Policy::balanced(), Policy::query_optimized()] {
+        let run = exp.run_policy(policy).expect("policy");
+        series.push(Series {
+            name: policy.label(),
+            points: run
+                .exercise
+                .cumulative_seconds
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ((i + 1) as f64, s))
+                .collect(),
+        });
+        rows.push(vec![
+            policy.label(),
+            format!("{:.0}", run.exercise.total_seconds()),
+            format!("{:.1}", run.exercise.batch_seconds.last().copied().unwrap_or(0.0)),
+            format!("{:.2}x", growth(&run.exercise.batch_seconds)),
+            format!("{:.2}", run.disks.final_avg_reads),
+            format!("{:.2}", run.disks.final_utilization),
+        ]);
+    }
+
+    emit_figure(&Figure {
+        id: "baseline_rebuild".into(),
+        title: "Incremental updates vs full index reconstruction".into(),
+        x_label: "index after update".into(),
+        y_label: "cumulative time (seconds)".into(),
+        series,
+    });
+    emit_table(&TextTable {
+        id: "baseline_rebuild_summary".into(),
+        title: "Rebuild vs incremental (final index)".into(),
+        headers: vec![
+            "Strategy".into(),
+            "Total s".into(),
+            "Last update s".into(),
+            "Latency growth".into(),
+            "Reads/list".into(),
+            "Util".into(),
+        ],
+        rows,
+    });
+}

@@ -1,0 +1,33 @@
+//! Figure 8: cumulative I/O operations needed to build the final index,
+//! per policy. Expected shape (paper §5.2.1): increasing slope everywhere;
+//! `new 0` and `fill 0` lowest; in-place updates (`z`) roughly double the
+//! operations; `whole` is the upper bound and within ~10% of the in-place
+//! styles.
+
+use invidx_bench::{emit_figure, figure_policies, prepare};
+use invidx_sim::disks::is_out_of_space;
+use invidx_sim::{Figure, Series};
+
+fn main() {
+    let exp = prepare();
+    let mut series = Vec::new();
+    for policy in figure_policies() {
+        match exp.run_policy(policy) {
+            Ok(run) => series.push(Series::from_updates(
+                policy.label(),
+                run.disks.per_batch.iter().map(|b| b.cumulative_ops as f64),
+            )),
+            Err(e) if is_out_of_space(&e) => {
+                println!("{}: disks not large enough (as in the paper for fill 0)", policy.label());
+            }
+            Err(e) => panic!("policy {policy}: {e}"),
+        }
+    }
+    emit_figure(&Figure {
+        id: "figure08".into(),
+        title: "Cumulative I/O operations to build the final index".into(),
+        x_label: "index after update".into(),
+        y_label: "cumulative I/O operations".into(),
+        series,
+    });
+}

@@ -1,0 +1,32 @@
+//! Figure 9: long-list internal disk utilization per policy, after each
+//! update. Expected shape: `whole` stays near 1.0 regardless of in-place
+//! updates; `new 0`/`fill 0` fall dramatically; adding in-place updates
+//! (`z`) recovers much of the loss.
+
+use invidx_bench::{emit_figure, figure_policies, prepare};
+use invidx_sim::disks::is_out_of_space;
+use invidx_sim::{Figure, Series};
+
+fn main() {
+    let exp = prepare();
+    let mut series = Vec::new();
+    for policy in figure_policies() {
+        match exp.run_policy(policy) {
+            Ok(run) => series.push(Series::from_updates(
+                policy.label(),
+                run.disks.per_batch.iter().map(|b| b.utilization),
+            )),
+            Err(e) if is_out_of_space(&e) => {
+                println!("{}: disks not large enough (as in the paper for fill 0)", policy.label());
+            }
+            Err(e) => panic!("policy {policy}: {e}"),
+        }
+    }
+    emit_figure(&Figure {
+        id: "figure09".into(),
+        title: "Long-list internal disk utilization".into(),
+        x_label: "index after update".into(),
+        y_label: "internal utilization".into(),
+        series,
+    });
+}

@@ -1,0 +1,44 @@
+//! Figure 10: average read operations needed to read a word with a long
+//! list, per policy, after each update. Expected shape: `whole` pinned at
+//! 1.0; `fill 0`/`new 0` climb steeply; in-place updates keep `new z` and
+//! `fill z` within a small factor of whole.
+
+use invidx_bench::{emit_figure, figure_policies, prepare};
+use invidx_sim::disks::is_out_of_space;
+use invidx_sim::{Figure, Series};
+
+fn main() {
+    let exp = prepare();
+    let mut series = Vec::new();
+    let mut finals: Vec<(String, f64)> = Vec::new();
+    for policy in figure_policies() {
+        match exp.run_policy(policy) {
+            Ok(run) => {
+                finals.push((policy.label(), run.disks.final_avg_reads));
+                series.push(Series::from_updates(
+                    policy.label(),
+                    run.disks.per_batch.iter().map(|b| b.avg_reads_per_long_list),
+                ));
+            }
+            Err(e) if is_out_of_space(&e) => {
+                println!("{}: disks not large enough (as in the paper for fill 0)", policy.label());
+            }
+            Err(e) => panic!("policy {policy}: {e}"),
+        }
+    }
+    emit_figure(&Figure {
+        id: "figure10".into(),
+        title: "Average read operations per long list".into(),
+        x_label: "index after update".into(),
+        y_label: "average read operations per long list".into(),
+        series,
+    });
+    // The paper's §5.2.1 ratios: whole beats fill z by ~1.5x and new z by
+    // ~2x in the final index.
+    for (a, b) in [("whole z", "fill z"), ("whole z", "new z")] {
+        let get = |n: &str| finals.iter().find(|(l, _)| l == n).map(|&(_, v)| v);
+        if let (Some(x), Some(y)) = (get(a), get(b)) {
+            println!("final avg reads: {b} / {a} = {:.2}", y / x);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 11: the impact of the proportional allocation constant k on
+//! long-list utilization in the final index, for the new and whole styles
+//! (fill with 4-block extents shown flat for comparison). Expected shape:
+//! utilization falls as k rises; the new style shows a cusp at k = 2
+//! because successive updates to a word have similar sizes, so k = 2
+//! reserves space for exactly one further in-place update.
+
+use invidx_bench::{emit_figure, prepare, quick};
+use invidx_core::policy::{Alloc, Limit, Policy, Style};
+use invidx_sim::{Figure, Series};
+
+fn ks(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![1.0, 2.0, 3.0, 4.0]
+    } else {
+        vec![1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5, 4.0]
+    }
+}
+
+fn main() {
+    let exp = prepare();
+    let mut new_pts = Vec::new();
+    let mut whole_pts = Vec::new();
+    for k in ks(quick()) {
+        let new = exp
+            .run_policy(Policy::new(Style::New, Limit::Fits, Alloc::Proportional { k }))
+            .expect("new run");
+        let whole = exp
+            .run_policy(Policy::new(Style::Whole, Limit::Fits, Alloc::Proportional { k }))
+            .expect("whole run");
+        new_pts.push((k, new.disks.final_utilization));
+        whole_pts.push((k, whole.disks.final_utilization));
+    }
+    let fill = exp.run_policy(Policy::extent_based()).expect("fill run");
+    let fill_pts: Vec<(f64, f64)> =
+        ks(quick()).iter().map(|&k| (k, fill.disks.final_utilization)).collect();
+    emit_figure(&Figure {
+        id: "figure11".into(),
+        title: "Utilization vs proportional allocation constant k".into(),
+        x_label: "proportional allocation constant".into(),
+        y_label: "internal utilization".into(),
+        series: vec![
+            Series { name: "new".into(), points: new_pts },
+            Series { name: "fill".into(), points: fill_pts },
+            Series { name: "whole".into(), points: whole_pts },
+        ],
+    });
+}

@@ -1,0 +1,49 @@
+//! Figure 12: the impact of the proportional allocation constant k on the
+//! cumulative number of in-place updates performed while building the
+//! final index (new and whole styles; fill e=4 for comparison). Expected
+//! shape: rising in k with most of the gain at or below k = 2 — "the
+//! majority of gains are from constant values less or equal to 2.0".
+
+use invidx_bench::{emit_figure, prepare, quick};
+use invidx_core::policy::{Alloc, Limit, Policy, Style};
+use invidx_sim::{Figure, Series};
+
+fn ks(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![1.0, 2.0, 3.0, 4.0]
+    } else {
+        vec![1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5, 4.0]
+    }
+}
+
+fn main() {
+    let exp = prepare();
+    let mut new_pts = Vec::new();
+    let mut whole_pts = Vec::new();
+    for k in ks(quick()) {
+        let new = exp
+            .run_policy(Policy::new(Style::New, Limit::Fits, Alloc::Proportional { k }))
+            .expect("new run");
+        let whole = exp
+            .run_policy(Policy::new(Style::Whole, Limit::Fits, Alloc::Proportional { k }))
+            .expect("whole run");
+        new_pts.push((k, new.disks.final_stats.in_place_updates as f64));
+        whole_pts.push((k, whole.disks.final_stats.in_place_updates as f64));
+    }
+    let fill = exp.run_policy(Policy::extent_based()).expect("fill run");
+    let fill_pts: Vec<(f64, f64)> = ks(quick())
+        .iter()
+        .map(|&k| (k, fill.disks.final_stats.in_place_updates as f64))
+        .collect();
+    emit_figure(&Figure {
+        id: "figure12".into(),
+        title: "Cumulative in-place updates vs proportional constant k".into(),
+        x_label: "proportional allocation constant".into(),
+        y_label: "cumulative in-place updates".into(),
+        series: vec![
+            Series { name: "new".into(), points: new_pts },
+            Series { name: "fill".into(), points: fill_pts },
+            Series { name: "whole".into(), points: whole_pts },
+        ],
+    });
+}

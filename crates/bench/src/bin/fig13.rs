@@ -1,0 +1,55 @@
+//! Figure 13: cumulative wall time to build the final index, per policy,
+//! from the exercise-disks stage (disk timing model). Expected shape:
+//! `whole 0` slowest; `new 0` fastest and near-linear thanks to write
+//! coalescing; the time spread (~3x) is wider than the I/O-operation
+//! spread because coalescing compresses sequential write streams.
+
+use invidx_bench::{emit_figure, figure_policies, fmt_secs, prepare};
+use invidx_sim::disks::is_out_of_space;
+use invidx_sim::{Figure, Series};
+
+fn main() {
+    let exp = prepare();
+    let mut series = Vec::new();
+    let mut finals = Vec::new();
+    for policy in figure_policies() {
+        match exp.run_policy(policy) {
+            Ok(run) => {
+                finals.push((policy.label(), run.exercise.total_seconds()));
+                series.push(Series {
+                    name: policy.label(),
+                    points: run
+                        .exercise
+                        .cumulative_seconds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &s)| ((i + 1) as f64, s))
+                        .collect(),
+                });
+            }
+            Err(e) if is_out_of_space(&e) => {
+                println!(
+                    "{}: disks not large enough to store the long lists (the paper omits \
+                     fill 0 from Figure 13 for exactly this reason)",
+                    policy.label()
+                );
+            }
+            Err(e) => panic!("policy {policy}: {e}"),
+        }
+    }
+    emit_figure(&Figure {
+        id: "figure13".into(),
+        title: "Cumulative time to build the final index (modeled disks)".into(),
+        x_label: "index after update".into(),
+        y_label: "cumulative time (seconds)".into(),
+        series,
+    });
+    finals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    println!("\nfinal build times (fastest to slowest):");
+    for (label, secs) in &finals {
+        println!("  {label:12} {} s", fmt_secs(*secs));
+    }
+    if let (Some(first), Some(last)) = (finals.first(), finals.last()) {
+        println!("spread: {:.1}x (the paper reports ~3x)", last.1 / first.1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 14: time per update, per policy (the non-cumulative Figure 13).
+//! Expected shape: update times grow with the number of long lists; `new
+//! 0` stays nearly flat (coalesced sequential writes); `whole z` is the
+//! policy most sensitive to update-size variation.
+
+use invidx_bench::{emit_figure, figure_policies, prepare};
+use invidx_sim::disks::is_out_of_space;
+use invidx_sim::{Figure, Series};
+
+fn main() {
+    let exp = prepare();
+    let mut series = Vec::new();
+    for policy in figure_policies() {
+        match exp.run_policy(policy) {
+            Ok(run) => series.push(Series::from_updates(
+                policy.label(),
+                run.exercise.batch_seconds.iter().copied(),
+            )),
+            Err(e) if is_out_of_space(&e) => {
+                println!("{}: disks not large enough (omitted, as in the paper)", policy.label());
+            }
+            Err(e) => panic!("policy {policy}: {e}"),
+        }
+    }
+    emit_figure(&Figure {
+        id: "figure14".into(),
+        title: "Time per update (modeled disks)".into(),
+        x_label: "update".into(),
+        y_label: "time per update (seconds)".into(),
+        series,
+    });
+}

@@ -1,0 +1,180 @@
+//! The experiment pipeline as file-based command-line stages — the paper's
+//! Figure 3 processes, decoupled by on-disk trace formats exactly as the
+//! authors ran them ("the decoupling of each process from the subsequent
+//! process permits varying parameters of a process", §4.5).
+//!
+//! ```sh
+//! pipeline invert  batches.txt              # News -> batch updates
+//! pipeline buckets batches.txt long.txt     # batch updates -> long-list updates
+//! pipeline disks   long.txt "new z prop 2" io.txt   # -> I/O trace (Figure 6 format)
+//! pipeline exercise io.txt                  # I/O trace -> timings
+//! ```
+//!
+//! `INVIDX_QUICK=1` switches every stage to the tiny parameter set.
+
+use invidx_bench::params;
+use invidx_core::policy::Policy;
+use invidx_corpus::batch::{batches_from_trace_text, batches_to_trace_text};
+use invidx_disk::{exercise, IoTrace};
+use invidx_sim::{BucketPipeline, SimParams};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pipeline invert <out.batches>\n  pipeline buckets <in.batches> <out.long>\n  \
+         pipeline disks <in.long> <policy> <out.iotrace>\n  pipeline exercise <in.iotrace>\n\n\
+         policies: \"new 0\", \"new z prop 2\", \"whole z prop 1.2\", \"fill z e=4\", ..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let p = params();
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["invert", out] => invert(&p, out),
+        ["buckets", input, out] => buckets(&p, input, out),
+        ["disks", input, policy, out] => disks(&p, input, policy, out),
+        ["exercise", input] => run_exercise(&p, input),
+        _ => usage(),
+    }
+}
+
+fn invert(p: &SimParams, out: &str) -> ExitCode {
+    let (batches, stats) = invidx_corpus::generate_batches(p.corpus.clone());
+    if let Err(e) = std::fs::write(out, batches_to_trace_text(&batches)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{}: {} batches, {} words, {} postings",
+        out,
+        batches.len(),
+        stats.total_words,
+        stats.total_postings
+    );
+    ExitCode::SUCCESS
+}
+
+fn buckets(p: &SimParams, input: &str, out: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batches = match batches_from_trace_text(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pipeline = match BucketPipeline::new(p.buckets, p.bucket_size) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("bucket setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match pipeline.run(&batches) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bucket stage failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, batches_to_trace_text(&result.long_updates)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("{out}: {} long-list updates over {} batches", result.total_updates(), batches.len());
+    for (i, c) in result.categories.iter().enumerate() {
+        eprintln!(
+            "  update {:>3}: {:>6} words (new {:.2} bucket {:.2} long {:.2})",
+            i + 1,
+            c.words,
+            c.frac_new(),
+            c.frac_bucket(),
+            c.frac_long()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn disks(p: &SimParams, input: &str, policy: &str, out: &str) -> ExitCode {
+    let policy: Policy = match policy.parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad policy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let updates = match batches_from_trace_text(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match invidx_sim::compute_disks(p, policy, &updates) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compute-disks failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, result.trace.to_text()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{out}: {} operations under '{policy}' (util {:.2}, reads/list {:.2}, \
+         {} in-place updates)",
+        result.trace.ops.len(),
+        result.final_utilization,
+        result.final_avg_reads,
+        result.final_stats.in_place_updates
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_exercise(p: &SimParams, input: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match IoTrace::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = exercise(&trace, &p.exercise_config());
+    println!("update\tseconds\tcumulative\tphys_requests");
+    for (i, (&s, &c)) in
+        result.batch_seconds.iter().zip(&result.cumulative_seconds).enumerate()
+    {
+        println!("{}\t{:.3}\t{:.3}\t{}", i + 1, s, c, result.phys_requests[i]);
+    }
+    eprintln!(
+        "total {:.1}s over {} batches on '{}' x{}",
+        result.total_seconds(),
+        trace.batches(),
+        p.profile.name,
+        p.disks
+    );
+    ExitCode::SUCCESS
+}

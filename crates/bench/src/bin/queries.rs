@@ -1,0 +1,55 @@
+//! Query performance, executed (extension of Figure 10). The paper
+//! estimates query cost from chunk counts; here both retrieval-model
+//! workloads of §5.2.1 are actually run against live indexes built under
+//! each policy, with every read traced and timed on the disk model.
+//!
+//! Expected: the Figure 10 ordering carries over to executed vector-space
+//! queries (whole < fill z < new z << new 0); boolean queries, dominated
+//! by bucket-resident infrequent words, discriminate policies far less.
+
+use invidx_bench::{emit_table, prepare, quick};
+use invidx_sim::{build_dual_index, execute_queries, QueryWorkload, TextTable};
+
+fn main() {
+    let exp = prepare();
+    let n_queries = if quick() { 30 } else { 200 };
+    let vector = QueryWorkload::vector_space(&exp.params.corpus, n_queries, 0xBEEF);
+    let boolean = QueryWorkload::boolean(&exp.params.corpus, n_queries, 0xBEEF);
+
+    let mut rows = Vec::new();
+    for policy in invidx_bench::figure_policies() {
+        let (mut index, _) = match build_dual_index(&exp.params, policy, &exp.batches) {
+            Ok(x) => x,
+            Err(e) if invidx_sim::disks::is_out_of_space(&e) => {
+                println!("{}: disks not large enough (skipped)", policy.label());
+                continue;
+            }
+            Err(e) => panic!("{policy}: {e}"),
+        };
+        index.array_mut().take_trace(); // discard the build trace
+        for workload in [&vector, &boolean] {
+            let cost = execute_queries(&mut index, &exp.params, workload).expect("queries");
+            rows.push(vec![
+                policy.label(),
+                format!("{:?}", cost.model),
+                format!("{:.1}", cost.ops_per_query()),
+                format!("{:.1}", cost.ms_per_query()),
+                format!("{:.2}", cost.long_words as f64 / cost.hit_words.max(1) as f64),
+                cost.postings.to_string(),
+            ]);
+        }
+    }
+    emit_table(&TextTable {
+        id: "queries".into(),
+        title: format!("Executed query workloads ({n_queries} queries per model)"),
+        headers: vec![
+            "Policy".into(),
+            "Model".into(),
+            "Ops/query".into(),
+            "ms/query".into(),
+            "Long frac".into(),
+            "Postings".into(),
+        ],
+        rows,
+    });
+}

@@ -1,0 +1,62 @@
+//! Run the entire reproduction: every table and figure, in order, sharing
+//! one prepared experiment where possible. Artifacts land in `results/`.
+//!
+//! This is the binary behind EXPERIMENTS.md; `INVIDX_QUICK=1` runs the
+//! same code on the tiny corpus in seconds.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "tables234",
+        "fig01",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "table5",
+        "table6",
+        "queries",
+        "policy_grid",
+        "baseline_rebuild",
+        "baseline_cutting_pedersen",
+        "ablation_freelist",
+        "ablation_buckets",
+        "ablation_scaling",
+        "ablation_delete",
+        "ablation_rebalance",
+        "ablation_compression",
+        "ablation_corpus_scale",
+        "ablation_batch_size",
+        "ablation_striping",
+    ];
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n=== {bin} ===");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e}");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall reproduction targets completed");
+    } else {
+        println!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 1: statistics of the (synthetic) News abstracts text database.
+
+use invidx_bench::{emit_table, params};
+use invidx_corpus::generate_batches;
+use invidx_sim::TextTable;
+
+fn main() {
+    let p = params();
+    let (_, stats) = generate_batches(p.corpus.clone());
+    let rows: Vec<Vec<String>> = vec![
+        vec!["Total Raw Text".into(), format!("{:.1} MB", stats.raw_text_bytes as f64 / 1e6)],
+        vec!["Total Words".into(), stats.total_words.to_string()],
+        vec!["Total Postings".into(), stats.total_postings.to_string()],
+        vec!["Documents".into(), stats.documents.to_string()],
+        vec![
+            "Average Postings per Word".into(),
+            format!("{:.1}", stats.avg_postings_per_word()),
+        ],
+        vec!["Frequent Words (top 0.2%)".into(), stats.frequent_words.to_string()],
+        vec!["Infrequent Words".into(), stats.infrequent_words.to_string()],
+        vec![
+            "Postings for Frequent Words".into(),
+            format!("{:.1}%", stats.frequent_posting_pct()),
+        ],
+        vec![
+            "Postings for Infrequent Words".into(),
+            format!("{:.1}%", 100.0 - stats.frequent_posting_pct()),
+        ],
+    ];
+    emit_table(&TextTable {
+        id: "table1".into(),
+        title: "Statistics for the synthetic News abstracts text database".into(),
+        headers: vec!["Text Document Database".into(), "News (synthetic)".into()],
+        rows,
+    });
+}

@@ -1,0 +1,53 @@
+//! Table 6: allocation strategies for the **whole** style. Reads are
+//! always 1.0 for this style, so the trade-off is utilization vs the
+//! number of in-place updates (which avoid whole-list copies). Expected
+//! outcome: proportional is "the only strategy to offer at least ~60-70%
+//! for both utilization and the fraction of in-place updates".
+
+use invidx_bench::{emit_table, prepare};
+use invidx_core::policy::{Alloc, Limit, Policy, Style};
+use invidx_sim::TextTable;
+
+fn main() {
+    let exp = prepare();
+    let allocs: Vec<(&str, String, Alloc)> = vec![
+        ("constant", "0".into(), Alloc::Constant { k: 0 }),
+        ("constant", "700".into(), Alloc::Constant { k: 700 }),
+        ("constant", "1000".into(), Alloc::Constant { k: 1000 }),
+        ("block", "2".into(), Alloc::Block { k: 2 }),
+        ("block", "4".into(), Alloc::Block { k: 4 }),
+        ("block", "8".into(), Alloc::Block { k: 8 }),
+        ("proportional", "1.2".into(), Alloc::Proportional { k: 1.2 }),
+        ("proportional", "1.75".into(), Alloc::Proportional { k: 1.75 }),
+        ("proportional", "2.0".into(), Alloc::Proportional { k: 2.0 }),
+    ];
+    let mut rows = Vec::new();
+    for (name, k, alloc) in allocs {
+        let policy = Policy::new(Style::Whole, Limit::Fits, alloc);
+        let run = exp.run_policy(policy).expect("policy run");
+        let s = run.disks.final_stats;
+        assert!(
+            (run.disks.final_avg_reads - 1.0).abs() < 1e-9,
+            "whole style must keep one chunk per list"
+        );
+        rows.push(vec![
+            name.to_string(),
+            k,
+            format!("{:.2}", run.disks.final_utilization),
+            s.in_place_updates.to_string(),
+            format!("{:.2}", s.in_place_fraction()),
+        ]);
+    }
+    emit_table(&TextTable {
+        id: "table6".into(),
+        title: "Allocation strategies, whole style (final index; Read = 1.0 throughout)".into(),
+        headers: vec![
+            "Allocation".into(),
+            "k".into(),
+            "Util".into(),
+            "In-place".into(),
+            "Frac".into(),
+        ],
+        rows,
+    });
+}

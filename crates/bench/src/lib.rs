@@ -1,0 +1,101 @@
+//! # invidx-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (`src/bin/`),
+//! plus ablations and criterion micro-benchmarks (`benches/`). Each binary
+//! prints a terminal summary and writes TSV artifacts under `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `INVIDX_QUICK=1` — run on the tiny corpus (CI-speed smoke run);
+//! * `INVIDX_RESULTS=<dir>` — artifact directory (default `results/`).
+
+use invidx_core::policy::Policy;
+use invidx_sim::{Experiment, Figure, SimParams, TextTable};
+use std::path::PathBuf;
+
+/// Artifact output directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var("INVIDX_RESULTS").map(PathBuf::from).unwrap_or_else(|_| {
+        // Walk up from the executable's cwd to a directory with Cargo.toml.
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        while !dir.join("Cargo.toml").exists() {
+            if !dir.pop() {
+                dir = PathBuf::from(".");
+                break;
+            }
+        }
+        dir.join("results")
+    })
+}
+
+/// The parameter set: full scale unless `INVIDX_QUICK` is set.
+pub fn params() -> SimParams {
+    if quick() {
+        SimParams::tiny()
+    } else {
+        SimParams::default()
+    }
+}
+
+/// True when running in quick (CI) mode.
+pub fn quick() -> bool {
+    std::env::var("INVIDX_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prepare the experiment (corpus + bucket stage), reporting progress.
+pub fn prepare() -> Experiment {
+    let p = params();
+    eprintln!(
+        "preparing experiment: {} batches, {} buckets x {} units{}",
+        p.corpus.days,
+        p.buckets,
+        p.bucket_size,
+        if quick() { " [quick mode]" } else { "" }
+    );
+    let t = std::time::Instant::now();
+    let exp = Experiment::prepare(p).expect("experiment preparation");
+    eprintln!(
+        "prepared in {:.1?}: {} postings, {} long-list updates",
+        t.elapsed(),
+        exp.corpus_stats.total_postings,
+        exp.buckets.total_updates()
+    );
+    exp
+}
+
+/// Emit a figure: print the terminal summary and write `results/<id>.tsv`.
+pub fn emit_figure(fig: &Figure) {
+    print!("{}", fig.summary());
+    let dir = results_dir();
+    match invidx_sim::write_artifact(&dir, &format!("{}.tsv", fig.id), &fig.to_tsv()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}
+
+/// Emit a table: print it and write `results/<id>.tsv`.
+pub fn emit_table(table: &TextTable) {
+    print!("{}", table.render());
+    let dir = results_dir();
+    match invidx_sim::write_artifact(&dir, &format!("{}.tsv", table.id), &table.to_tsv()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}
+
+/// The six policy curves shown in Figures 8–10 and 13–14, labeled as in
+/// the paper. `fill 0` is included; whether it fits depends on disk size —
+/// when it does not, the harness reports out-of-space, matching the
+/// paper's remark that its disks "were not large enough" for fill 0.
+pub fn figure_policies() -> Vec<Policy> {
+    Policy::style_comparison_set()
+}
+
+/// Format seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else {
+        format!("{s:.2}")
+    }
+}

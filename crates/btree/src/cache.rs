@@ -1,0 +1,261 @@
+//! Write-back page cache.
+//!
+//! Traditional systems keep the hot interior of the vocabulary B-tree in
+//! memory and write modified leaves back in batches. [`PageCache`] models
+//! that: reads hit the cache when possible, writes dirty pages in memory,
+//! and `flush` (or eviction under pressure) pushes dirty pages to the
+//! device — through the traced [`invidx_disk::DiskArray`], so every real
+//! I/O lands in the experiment trace.
+
+use invidx_core::types::Result;
+use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
+use std::collections::{BTreeMap, HashMap};
+
+/// Key of a cached page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Owning disk.
+    pub disk: u16,
+    /// Block index on that disk.
+    pub block: u64,
+}
+
+struct Slot {
+    bytes: Vec<u8>,
+    dirty: bool,
+    gen: u64,
+}
+
+/// A fixed-capacity LRU write-back cache of device pages.
+pub struct PageCache {
+    slots: HashMap<PageId, Slot>,
+    /// generation -> page, for O(log n) LRU eviction.
+    lru: BTreeMap<u64, PageId>,
+    capacity: usize,
+    next_gen: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` pages (0 disables caching:
+    /// every access goes to the device).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: HashMap::new(),
+            lru: BTreeMap::new(),
+            capacity,
+            next_gen: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn touch(&mut self, id: PageId) {
+        if let Some(slot) = self.slots.get_mut(&id) {
+            self.lru.remove(&slot.gen);
+            slot.gen = self.next_gen;
+            self.lru.insert(self.next_gen, id);
+            self.next_gen += 1;
+        }
+    }
+
+    fn evict_one(&mut self, array: &mut DiskArray) -> Result<()> {
+        let (&gen, &victim) = self.lru.iter().next().expect("cache not empty");
+        self.lru.remove(&gen);
+        let slot = self.slots.remove(&victim).expect("slot exists");
+        if slot.dirty {
+            write_page(array, victim, &slot.bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Read a page through the cache.
+    pub fn read(&mut self, array: &mut DiskArray, id: PageId) -> Result<Vec<u8>> {
+        if self.slots.contains_key(&id) {
+            self.hits += 1;
+            self.touch(id);
+            return Ok(self.slots[&id].bytes.clone());
+        }
+        self.misses += 1;
+        let bs = array.block_size();
+        let mut buf = vec![0u8; bs];
+        let op = IoOp {
+            kind: OpKind::Read,
+            disk: id.disk,
+            start: id.block,
+            blocks: 1,
+            payload: Payload::Directory,
+        };
+        array.read_op(op, &mut buf)?;
+        self.install(array, id, buf.clone(), false)?;
+        Ok(buf)
+    }
+
+    /// Write a page through the cache (write-back: the device sees it at
+    /// flush or eviction).
+    pub fn write(&mut self, array: &mut DiskArray, id: PageId, bytes: Vec<u8>) -> Result<()> {
+        debug_assert_eq!(bytes.len(), array.block_size());
+        self.install(array, id, bytes, true)
+    }
+
+    fn install(&mut self, array: &mut DiskArray, id: PageId, bytes: Vec<u8>, dirty: bool) -> Result<()> {
+        if self.capacity == 0 {
+            if dirty {
+                write_page(array, id, &bytes)?;
+            }
+            return Ok(());
+        }
+        if let Some(slot) = self.slots.get_mut(&id) {
+            slot.bytes = bytes;
+            slot.dirty |= dirty;
+            self.touch(id);
+            return Ok(());
+        }
+        while self.slots.len() >= self.capacity {
+            self.evict_one(array)?;
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.slots.insert(id, Slot { bytes, dirty, gen });
+        self.lru.insert(gen, id);
+        Ok(())
+    }
+
+    /// Forget a page without writing it (the caller freed it).
+    pub fn discard(&mut self, id: PageId) {
+        if let Some(slot) = self.slots.remove(&id) {
+            self.lru.remove(&slot.gen);
+        }
+    }
+
+    /// Write all dirty pages to the device, in `(disk, block)` order so
+    /// neighbouring leaves coalesce into sequential writes.
+    pub fn flush(&mut self, array: &mut DiskArray) -> Result<()> {
+        let mut dirty: Vec<PageId> =
+            self.slots.iter().filter(|(_, s)| s.dirty).map(|(&id, _)| id).collect();
+        dirty.sort();
+        for id in dirty {
+            let slot = self.slots.get_mut(&id).expect("listed");
+            write_page_buf(array, id, &slot.bytes)?;
+            slot.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Number of dirty pages currently held.
+    pub fn dirty_pages(&self) -> usize {
+        self.slots.values().filter(|s| s.dirty).count()
+    }
+}
+
+fn write_page(array: &mut DiskArray, id: PageId, bytes: &[u8]) -> Result<()> {
+    write_page_buf(array, id, bytes)
+}
+
+fn write_page_buf(array: &mut DiskArray, id: PageId, bytes: &[u8]) -> Result<()> {
+    let op = IoOp {
+        kind: OpKind::Write,
+        disk: id.disk,
+        start: id.block,
+        blocks: 1,
+        payload: Payload::Directory,
+    };
+    array.write_op(op, bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_disk::sparse_array;
+
+    fn page(b: u8, bs: usize) -> Vec<u8> {
+        vec![b; bs]
+    }
+
+    #[test]
+    fn read_after_write_hits_cache() {
+        let mut array = sparse_array(1, 100, 64);
+        let mut cache = PageCache::new(4);
+        array.start_trace();
+        let id = PageId { disk: 0, block: 5 };
+        cache.write(&mut array, id, page(7, 64)).unwrap();
+        let got = cache.read(&mut array, id).unwrap();
+        assert_eq!(got[0], 7);
+        assert_eq!(cache.hits(), 1);
+        // Nothing touched the device yet (write-back).
+        assert!(array.take_trace().ops.is_empty());
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages_in_order() {
+        let mut array = sparse_array(1, 100, 64);
+        let mut cache = PageCache::new(8);
+        array.start_trace();
+        for b in [9u64, 3, 6] {
+            cache.write(&mut array, PageId { disk: 0, block: b }, page(b as u8, 64)).unwrap();
+        }
+        cache.flush(&mut array).unwrap();
+        let trace = array.take_trace();
+        let starts: Vec<u64> = trace.ops.iter().map(|op| op.start).collect();
+        assert_eq!(starts, vec![3, 6, 9]);
+        assert_eq!(cache.dirty_pages(), 0);
+        // Flushing again is a no-op.
+        array.start_trace();
+        cache.flush(&mut array).unwrap();
+        assert!(array.take_trace().ops.is_empty());
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_lru_page() {
+        let mut array = sparse_array(1, 100, 64);
+        let mut cache = PageCache::new(2);
+        array.start_trace();
+        cache.write(&mut array, PageId { disk: 0, block: 1 }, page(1, 64)).unwrap();
+        cache.write(&mut array, PageId { disk: 0, block: 2 }, page(2, 64)).unwrap();
+        // Touch page 1 so page 2 is LRU.
+        cache.read(&mut array, PageId { disk: 0, block: 1 }).unwrap();
+        cache.write(&mut array, PageId { disk: 0, block: 3 }, page(3, 64)).unwrap();
+        let trace = array.take_trace();
+        assert_eq!(trace.ops.len(), 1);
+        assert_eq!(trace.ops[0].start, 2);
+        // Evicted page is readable from the device.
+        let got = cache.read(&mut array, PageId { disk: 0, block: 2 }).unwrap();
+        assert_eq!(got[0], 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_write_through() {
+        let mut array = sparse_array(1, 100, 64);
+        let mut cache = PageCache::new(0);
+        array.start_trace();
+        cache.write(&mut array, PageId { disk: 0, block: 1 }, page(5, 64)).unwrap();
+        assert_eq!(array.trace().unwrap().ops.len(), 1);
+        let got = cache.read(&mut array, PageId { disk: 0, block: 1 }).unwrap();
+        assert_eq!(got[0], 5);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn discard_prevents_writeback() {
+        let mut array = sparse_array(1, 100, 64);
+        let mut cache = PageCache::new(4);
+        array.start_trace();
+        let id = PageId { disk: 0, block: 9 };
+        cache.write(&mut array, id, page(9, 64)).unwrap();
+        cache.discard(id);
+        cache.flush(&mut array).unwrap();
+        assert!(array.take_trace().ops.is_empty());
+    }
+}

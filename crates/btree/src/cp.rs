@@ -1,0 +1,481 @@
+//! The Cutting–Pedersen-style baseline index (paper §6, reference [1]).
+//!
+//! "Cutting and Pedersen consider incremental updates of inverted lists
+//! where a B-tree is used to organize the vocabulary. Updates are
+//! optimized by storing short inverted lists directly in the B-tree. In
+//! our framework this optimization can be represented by a very small
+//! bucket for approximately each word. [...] Cutting and Pedersen also
+//! described a buddy system for the allocation of long lists."
+//!
+//! [`CpIndex`] implements exactly that: every word maps through the
+//! on-disk B+-tree; short lists live *inline in the leaf cell*; lists
+//! beyond the inline threshold spill to a power-of-two chunk (the buddy
+//! discipline: grow by doubling, copying the list). The comparison bench
+//! runs it against the dual-structure index on identical batch updates.
+
+use crate::tree::BTree;
+use invidx_core::postings::{fixed, varint, PostingList};
+use invidx_core::types::{DocId, IndexError, Result, WordId};
+use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
+
+const TAG_INLINE: u8 = 1;
+const TAG_CHUNK: u8 = 2;
+
+/// Configuration of the baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct CpConfig {
+    /// Postings per block (the same compression model as the
+    /// dual-structure index).
+    pub block_postings: u64,
+    /// Lists up to this many postings stay inline in the B-tree leaf.
+    pub inline_threshold: u64,
+    /// Page-cache capacity (the buffer pool holding the tree's interior).
+    pub cache_pages: usize,
+}
+
+impl CpConfig {
+    /// Validate against a block size: an inline list at the threshold must
+    /// fit a leaf cell.
+    pub fn validate(&self, block_size: usize) -> Result<()> {
+        if self.block_postings == 0 || self.block_postings as usize * 4 > block_size {
+            return Err(IndexError::InvalidConfig("bad block_postings".into()));
+        }
+        // Varint worst case ~5 bytes/posting + tag + count.
+        let worst = 2 + 5 * (self.inline_threshold as usize + 1);
+        if worst > BTree::max_value(block_size) {
+            return Err(IndexError::InvalidConfig(format!(
+                "inline threshold {} cannot fit a {}-byte leaf cell",
+                self.inline_threshold,
+                BTree::max_value(block_size)
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// On-disk location of a spilled list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Chunk {
+    disk: u16,
+    start: u64,
+    /// Allocated blocks (a power of two — the buddy discipline).
+    blocks: u64,
+    postings: u64,
+}
+
+impl Chunk {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(27);
+        out.push(TAG_CHUNK);
+        out.extend_from_slice(&self.disk.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.blocks.to_le_bytes());
+        out.extend_from_slice(&self.postings.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 27 {
+            return Err(IndexError::Corruption("chunk ref truncated".into()));
+        }
+        Ok(Self {
+            disk: u16::from_le_bytes(bytes[1..3].try_into().expect("2")),
+            start: u64::from_le_bytes(bytes[3..11].try_into().expect("8")),
+            blocks: u64::from_le_bytes(bytes[11..19].try_into().expect("8")),
+            postings: u64::from_le_bytes(bytes[19..27].try_into().expect("8")),
+        })
+    }
+}
+
+/// Lifetime counters for the baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpStats {
+    /// Updates applied entirely inside a leaf cell.
+    pub inline_updates: u64,
+    /// Lists spilled from inline to a chunk.
+    pub spills: u64,
+    /// In-place chunk appends (fit the buddy slack).
+    pub in_place_updates: u64,
+    /// Whole-chunk copies to a doubled allocation.
+    pub chunk_regrows: u64,
+}
+
+/// The Cutting–Pedersen baseline index.
+pub struct CpIndex {
+    tree: BTree,
+    config: CpConfig,
+    stats: CpStats,
+    block_size: usize,
+}
+
+impl CpIndex {
+    /// Create over a disk array (whose allocators should be buddy
+    /// allocators for the faithful comparison — any [`ExtentAllocator`]
+    /// works functionally).
+    ///
+    /// [`ExtentAllocator`]: invidx_disk::ExtentAllocator
+    pub fn create(array: &mut DiskArray, config: CpConfig) -> Result<Self> {
+        config.validate(array.block_size())?;
+        let block_size = array.block_size();
+        Ok(Self {
+            tree: BTree::create(array, config.cache_pages)?,
+            config,
+            stats: CpStats::default(),
+            block_size,
+        })
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CpStats {
+        self.stats
+    }
+
+    /// The vocabulary tree (inspection).
+    pub fn tree(&self) -> &BTree {
+        &self.tree
+    }
+
+    /// Number of indexed words.
+    pub fn words(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Flush the tree's dirty pages (end of a batch).
+    pub fn flush(&mut self, array: &mut DiskArray) -> Result<()> {
+        self.tree.flush(array)
+    }
+
+    /// Append an in-memory list to a word.
+    pub fn append(&mut self, array: &mut DiskArray, word: WordId, postings: &PostingList) -> Result<()> {
+        if postings.is_empty() {
+            return Ok(());
+        }
+        match self.tree.get(array, word.0)? {
+            None => self.store_fresh(array, word, postings.docs().to_vec()),
+            Some(value) => match value.first() {
+                Some(&TAG_INLINE) => {
+                    let mut docs = varint::decode(&value[1..])?;
+                    check_order(word, docs.last(), postings)?;
+                    docs.extend_from_slice(postings.docs());
+                    if docs.len() as u64 <= self.config.inline_threshold {
+                        self.stats.inline_updates += 1;
+                        self.put_inline(array, word, &docs)
+                    } else {
+                        self.stats.spills += 1;
+                        self.put_chunk(array, word, &docs, None)
+                    }
+                }
+                Some(&TAG_CHUNK) => {
+                    let chunk = Chunk::decode(&value)?;
+                    self.append_chunk(array, word, chunk, postings)
+                }
+                other => Err(IndexError::Corruption(format!("bad CP tag {other:?}"))),
+            },
+        }
+    }
+
+    fn store_fresh(&mut self, array: &mut DiskArray, word: WordId, docs: Vec<DocId>) -> Result<()> {
+        if docs.len() as u64 <= self.config.inline_threshold {
+            self.stats.inline_updates += 1;
+            self.put_inline(array, word, &docs)
+        } else {
+            self.put_chunk(array, word, &docs, None)
+        }
+    }
+
+    fn put_inline(&mut self, array: &mut DiskArray, word: WordId, docs: &[DocId]) -> Result<()> {
+        let mut value = vec![TAG_INLINE];
+        value.extend_from_slice(&varint::encode(docs));
+        self.tree.insert(array, word.0, &value)?;
+        Ok(())
+    }
+
+    /// Write `docs` to a fresh power-of-two chunk, freeing `old` if given.
+    fn put_chunk(
+        &mut self,
+        array: &mut DiskArray,
+        word: WordId,
+        docs: &[DocId],
+        old: Option<Chunk>,
+    ) -> Result<()> {
+        let bp = self.config.block_postings;
+        let blocks = (docs.len() as u64).div_ceil(bp).next_power_of_two();
+        let disk = array.next_disk();
+        let start = array.alloc_on(disk, blocks)?;
+        self.write_chunk_range(array, word, disk, start, docs, 0)?;
+        if let Some(c) = old {
+            array.free_on(c.disk, c.start, c.blocks)?;
+        }
+        let chunk = Chunk { disk, start, blocks, postings: docs.len() as u64 };
+        self.tree.insert(array, word.0, &chunk.encode())?;
+        Ok(())
+    }
+
+    /// Append to an existing chunk: in place while the buddy slack lasts,
+    /// otherwise read-copy-double.
+    fn append_chunk(
+        &mut self,
+        array: &mut DiskArray,
+        word: WordId,
+        chunk: Chunk,
+        postings: &PostingList,
+    ) -> Result<()> {
+        let bp = self.config.block_postings;
+        let total = chunk.postings + postings.len() as u64;
+        if total <= chunk.blocks * bp {
+            // Fits the slack: read the partial tail block, append.
+            let partial = chunk.postings % bp;
+            if partial > 0 {
+                let block = chunk.postings / bp;
+                let mut buf = vec![0u8; self.block_size];
+                array.read_op(
+                    IoOp {
+                        kind: OpKind::Read,
+                        disk: chunk.disk,
+                        start: chunk.start + block,
+                        blocks: 1,
+                        payload: Payload::LongList { word: word.0, postings: 0 },
+                    },
+                    &mut buf,
+                )?;
+                let existing = fixed::decode(&buf, partial as usize)?;
+                check_order(word, existing.last(), postings)?;
+            }
+            self.write_chunk_range(array, word, chunk.disk, chunk.start, postings.docs(), chunk.postings)?;
+            self.stats.in_place_updates += 1;
+            let updated = Chunk { postings: total, ..chunk };
+            self.tree.insert(array, word.0, &updated.encode())?;
+            Ok(())
+        } else {
+            // Read the whole list, reallocate at the next power of two.
+            let docs = self.read_chunk(array, word, chunk)?;
+            check_order(word, docs.last(), postings)?;
+            let mut all = docs;
+            all.extend_from_slice(postings.docs());
+            self.stats.chunk_regrows += 1;
+            self.put_chunk(array, word, &all, Some(chunk))
+        }
+    }
+
+    /// Write `docs` into a chunk starting at posting offset `offset`,
+    /// packed `block_postings` per block, as one operation.
+    fn write_chunk_range(
+        &mut self,
+        array: &mut DiskArray,
+        word: WordId,
+        disk: u16,
+        chunk_start: u64,
+        docs: &[DocId],
+        offset: u64,
+    ) -> Result<()> {
+        let bp = self.config.block_postings;
+        let bs = self.block_size;
+        let first_block = offset / bp;
+        let last_block = (offset + docs.len() as u64 - 1) / bp;
+        let nblocks = last_block - first_block + 1;
+        let mut buf = vec![0u8; nblocks as usize * bs];
+        // Preserve the partial first block's existing postings.
+        let partial = offset % bp;
+        if partial > 0 {
+            array.read_untraced(disk, chunk_start + first_block, &mut buf[..bs])?;
+            // (The traced read was already charged by the caller.)
+        }
+        for (j, d) in docs.iter().enumerate() {
+            let global = offset + j as u64;
+            let block = global / bp - first_block;
+            let off = block as usize * bs + ((global % bp) as usize) * 4;
+            buf[off..off + 4].copy_from_slice(&d.0.to_le_bytes());
+        }
+        array.write_op(
+            IoOp {
+                kind: OpKind::Write,
+                disk,
+                start: chunk_start + first_block,
+                blocks: nblocks,
+                payload: Payload::LongList { word: word.0, postings: docs.len() as u64 },
+            },
+            &buf,
+        )?;
+        Ok(())
+    }
+
+    fn read_chunk(&mut self, array: &mut DiskArray, word: WordId, chunk: Chunk) -> Result<Vec<DocId>> {
+        let bp = self.config.block_postings;
+        let bs = self.block_size;
+        let data_blocks = chunk.postings.div_ceil(bp);
+        let mut buf = vec![0u8; data_blocks as usize * bs];
+        array.read_op(
+            IoOp {
+                kind: OpKind::Read,
+                disk: chunk.disk,
+                start: chunk.start,
+                blocks: data_blocks,
+                payload: Payload::LongList { word: word.0, postings: chunk.postings },
+            },
+            &mut buf,
+        )?;
+        let mut docs = Vec::with_capacity(chunk.postings as usize);
+        let mut remaining = chunk.postings as usize;
+        for block in buf.chunks(bs) {
+            let take = remaining.min(bp as usize);
+            docs.extend(fixed::decode(block, take)?);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        Ok(docs)
+    }
+
+    /// The complete posting list for a word.
+    pub fn read_list(&mut self, array: &mut DiskArray, word: WordId) -> Result<PostingList> {
+        match self.tree.get(array, word.0)? {
+            None => Ok(PostingList::new()),
+            Some(value) => match value.first() {
+                Some(&TAG_INLINE) => Ok(PostingList::from_sorted(varint::decode(&value[1..])?)),
+                Some(&TAG_CHUNK) => {
+                    let chunk = Chunk::decode(&value)?;
+                    let docs = self.read_chunk(array, word, chunk)?;
+                    if !docs.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(IndexError::Corruption(format!("unsorted CP list {word}")));
+                    }
+                    Ok(PostingList::from_sorted(docs))
+                }
+                other => Err(IndexError::Corruption(format!("bad CP tag {other:?}"))),
+            },
+        }
+    }
+
+    /// Blocks currently allocated to spilled chunks plus tree pages — the
+    /// space-accounting counterpart of the dual index's directory stats.
+    /// Derived by scanning the vocabulary (O(words)).
+    pub fn space_stats(&mut self, array: &mut DiskArray) -> Result<(u64, u64)> {
+        let mut chunk_blocks = 0u64;
+        let mut chunk_postings = 0u64;
+        for (_, value) in self.tree.scan_all(array)? {
+            if value.first() == Some(&TAG_CHUNK) {
+                let c = Chunk::decode(&value)?;
+                chunk_blocks += c.blocks;
+                chunk_postings += c.postings;
+            }
+        }
+        Ok((chunk_blocks, chunk_postings))
+    }
+}
+
+fn check_order(word: WordId, last: Option<&DocId>, postings: &PostingList) -> Result<()> {
+    if let (Some(&last), Some(&first)) = (last, postings.docs().first()) {
+        if first <= last {
+            return Err(IndexError::OutOfOrderAppend { word, have: last, new: first });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_disk::{BuddyAllocator, Disk, DiskArray, SparseDevice};
+
+    fn buddy_array(n: u16, blocks: u64, bs: usize) -> DiskArray {
+        let disks = (0..n)
+            .map(|_| Disk {
+                device: Box::new(SparseDevice::new(blocks.next_power_of_two(), bs)),
+                alloc: Box::new(BuddyAllocator::covering(blocks)),
+            })
+            .collect();
+        DiskArray::new(disks)
+    }
+
+    fn setup() -> (CpIndex, DiskArray) {
+        let mut array = buddy_array(2, 100_000, 512);
+        let config = CpConfig { block_postings: 20, inline_threshold: 16, cache_pages: 64 };
+        let index = CpIndex::create(&mut array, config).unwrap();
+        (index, array)
+    }
+
+    fn pl(range: std::ops::Range<u32>) -> PostingList {
+        PostingList::from_sorted(range.map(DocId).collect())
+    }
+
+    #[test]
+    fn inline_lists_round_trip() {
+        let (mut ix, mut a) = setup();
+        ix.append(&mut a, WordId(5), &pl(0..4)).unwrap();
+        ix.append(&mut a, WordId(5), &pl(4..9)).unwrap();
+        assert_eq!(ix.read_list(&mut a, WordId(5)).unwrap(), pl(0..9));
+        assert_eq!(ix.stats().spills, 0);
+        assert!(ix.stats().inline_updates >= 2);
+    }
+
+    #[test]
+    fn spill_to_chunk_and_keep_growing() {
+        let (mut ix, mut a) = setup();
+        let w = WordId(7);
+        for i in 0..10u32 {
+            ix.append(&mut a, w, &pl(i * 10..(i + 1) * 10)).unwrap();
+        }
+        assert_eq!(ix.read_list(&mut a, w).unwrap(), pl(0..100));
+        let s = ix.stats();
+        assert_eq!(s.spills, 1);
+        assert!(s.chunk_regrows >= 1, "power-of-two growth must copy");
+        assert!(s.in_place_updates >= 1, "buddy slack must absorb some updates");
+    }
+
+    #[test]
+    fn chunks_are_power_of_two() {
+        let (mut ix, mut a) = setup();
+        let w = WordId(1);
+        ix.append(&mut a, w, &pl(0..130)).unwrap(); // 130 postings, 7 blocks -> 8
+        let (blocks, postings) = ix.space_stats(&mut a).unwrap();
+        assert_eq!(postings, 130);
+        assert!(blocks.is_power_of_two());
+        assert_eq!(blocks, 8);
+    }
+
+    #[test]
+    fn many_words_round_trip_cold() {
+        let (mut ix, mut a) = setup();
+        for w in 1..=300u64 {
+            let n = (w % 60) as u32 + 1;
+            ix.append(&mut a, WordId(w), &pl(0..n)).unwrap();
+        }
+        ix.flush(&mut a).unwrap();
+        for w in 1..=300u64 {
+            let n = (w % 60) as u32 + 1;
+            assert_eq!(ix.read_list(&mut a, WordId(w)).unwrap(), pl(0..n), "word {w}");
+        }
+        assert_eq!(ix.words(), 300);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let (mut ix, mut a) = setup();
+        ix.append(&mut a, WordId(1), &pl(0..5)).unwrap();
+        assert!(ix.append(&mut a, WordId(1), &pl(3..6)).is_err());
+        // Chunked path too.
+        ix.append(&mut a, WordId(2), &pl(0..50)).unwrap();
+        assert!(ix.append(&mut a, WordId(2), &pl(10..60)).is_err());
+    }
+
+    #[test]
+    fn absent_word_reads_empty() {
+        let (mut ix, mut a) = setup();
+        assert!(ix.read_list(&mut a, WordId(404)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut a = buddy_array(1, 1000, 512);
+        assert!(CpIndex::create(
+            &mut a,
+            CpConfig { block_postings: 20, inline_threshold: 1000, cache_pages: 4 }
+        )
+        .is_err());
+        assert!(CpIndex::create(
+            &mut a,
+            CpConfig { block_postings: 0, inline_threshold: 4, cache_pages: 4 }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # invidx-btree — on-disk B+-tree substrate + the Cutting–Pedersen baseline
+//!
+//! The paper's related work (§6) compares against Cutting & Pedersen's
+//! incremental scheme: "a B-tree is used to organize the vocabulary.
+//! Updates are optimized by storing short inverted lists directly in the
+//! B-tree. [...] Cutting and Pedersen also described a buddy system for
+//! the allocation of long lists." The paper argues its fewer/larger
+//! buckets beat the per-word B-tree granularity, and that the buddy
+//! system's "expected space utilization is lower than the methods
+//! presented here; however it may offer better update performance."
+//!
+//! This crate makes that comparison executable:
+//!
+//! * [`cache`] — a write-back page cache (the buffer pool);
+//! * [`tree`] — a page-based B+-tree over a traced disk array;
+//! * [`cp`] — [`cp::CpIndex`]: the Cutting–Pedersen-style index — short
+//!   lists inline in B-tree leaves, long lists in buddy-allocated chunks —
+//!   driving the same batch updates as the dual-structure index.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod cp;
+pub mod tree;
+
+pub use cache::{PageCache, PageId};
+pub use cp::{CpConfig, CpIndex, CpStats};
+pub use tree::BTree;

@@ -1,0 +1,542 @@
+//! A page-based on-disk B+-tree.
+//!
+//! Traditional retrieval systems "built a B-tree that maps each word to
+//! the locations of its list on disk" (paper §1), and Cutting & Pedersen's
+//! incremental scheme stores short inverted lists directly in the B-tree's
+//! leaves (§6). This module provides that substrate: fixed-size pages on a
+//! (traced) disk array, `u64` keys, variable-length byte values, leaf
+//! chaining for range scans, and a write-back page cache standing in for
+//! the buffer pool that keeps the tree's interior memory-resident.
+//!
+//! Deletion removes keys without rebalancing (underfull pages are
+//! tolerated and reclaimed only when empty) — sufficient for index
+//! workloads, documented as a non-goal beyond that.
+
+use crate::cache::{PageCache, PageId};
+use invidx_core::types::{IndexError, Result};
+use invidx_disk::DiskArray;
+
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+/// Header: type(1) + count(2) + next/child0 PageId(10).
+const HEADER: usize = 13;
+/// PageId on disk: disk u16 + block u64.
+const PAGE_REF: usize = 10;
+/// Leaf cell header: key u64 + vlen u16.
+const CELL_HDR: usize = 10;
+/// Internal cell: key u64 + child PageId.
+const INTERNAL_CELL: usize = 8 + PAGE_REF;
+/// "No page" sentinel disk id.
+const NO_PAGE: u16 = u16::MAX;
+
+fn encode_ref(out: &mut Vec<u8>, id: Option<PageId>) {
+    match id {
+        Some(p) => {
+            out.extend_from_slice(&p.disk.to_le_bytes());
+            out.extend_from_slice(&p.block.to_le_bytes());
+        }
+        None => {
+            out.extend_from_slice(&NO_PAGE.to_le_bytes());
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+}
+
+fn decode_ref(bytes: &[u8]) -> Option<PageId> {
+    let disk = u16::from_le_bytes(bytes[0..2].try_into().expect("2"));
+    let block = u64::from_le_bytes(bytes[2..10].try_into().expect("8"));
+    (disk != NO_PAGE).then_some(PageId { disk, block })
+}
+
+/// Decoded leaf node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Leaf {
+    next: Option<PageId>,
+    cells: Vec<(u64, Vec<u8>)>,
+}
+
+impl Leaf {
+    fn used_bytes(&self) -> usize {
+        HEADER + self.cells.iter().map(|(_, v)| CELL_HDR + v.len()).sum::<usize>()
+    }
+
+    fn encode(&self, bs: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bs);
+        out.push(LEAF);
+        out.extend_from_slice(&(self.cells.len() as u16).to_le_bytes());
+        encode_ref(&mut out, self.next);
+        for (k, v) in &self.cells {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        debug_assert!(out.len() <= bs, "leaf overflow: {} > {bs}", out.len());
+        out.resize(bs, 0);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let count = u16::from_le_bytes(bytes[1..3].try_into().expect("2")) as usize;
+        let next = decode_ref(&bytes[3..13]);
+        let mut cells = Vec::with_capacity(count);
+        let mut pos = HEADER;
+        for _ in 0..count {
+            if pos + CELL_HDR > bytes.len() {
+                return Err(IndexError::Corruption("leaf cell truncated".into()));
+            }
+            let key = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
+            let vlen =
+                u16::from_le_bytes(bytes[pos + 8..pos + 10].try_into().expect("2")) as usize;
+            pos += CELL_HDR;
+            if pos + vlen > bytes.len() {
+                return Err(IndexError::Corruption("leaf value truncated".into()));
+            }
+            cells.push((key, bytes[pos..pos + vlen].to_vec()));
+            pos += vlen;
+        }
+        Ok(Self { next, cells })
+    }
+}
+
+/// Decoded internal node: `children[i]` covers keys < `keys[i]`;
+/// `children[last]` covers the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Internal {
+    keys: Vec<u64>,
+    children: Vec<PageId>,
+}
+
+impl Internal {
+    fn encode(&self, bs: usize) -> Vec<u8> {
+        debug_assert_eq!(self.children.len(), self.keys.len() + 1);
+        let mut out = Vec::with_capacity(bs);
+        out.push(INTERNAL);
+        out.extend_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        encode_ref(&mut out, Some(self.children[0]));
+        for (k, c) in self.keys.iter().zip(&self.children[1..]) {
+            out.extend_from_slice(&k.to_le_bytes());
+            encode_ref(&mut out, Some(*c));
+        }
+        debug_assert!(out.len() <= bs, "internal overflow");
+        out.resize(bs, 0);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let count = u16::from_le_bytes(bytes[1..3].try_into().expect("2")) as usize;
+        let first = decode_ref(&bytes[3..13])
+            .ok_or_else(|| IndexError::Corruption("internal without child0".into()))?;
+        let mut keys = Vec::with_capacity(count);
+        let mut children = vec![first];
+        let mut pos = HEADER;
+        for _ in 0..count {
+            if pos + INTERNAL_CELL > bytes.len() {
+                return Err(IndexError::Corruption("internal cell truncated".into()));
+            }
+            keys.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8")));
+            children.push(
+                decode_ref(&bytes[pos + 8..pos + 18])
+                    .ok_or_else(|| IndexError::Corruption("internal null child".into()))?,
+            );
+            pos += INTERNAL_CELL;
+        }
+        Ok(Self { keys, children })
+    }
+
+    /// Index of the child covering `key`.
+    fn child_for(&self, key: u64) -> usize {
+        self.keys.partition_point(|&k| k <= key)
+    }
+}
+
+enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+fn decode_node(bytes: &[u8]) -> Result<Node> {
+    match bytes.first() {
+        Some(&LEAF) => Ok(Node::Leaf(Leaf::decode(bytes)?)),
+        Some(&INTERNAL) => Ok(Node::Internal(Internal::decode(bytes)?)),
+        other => Err(IndexError::Corruption(format!("bad node tag {other:?}"))),
+    }
+}
+
+/// Result of an insert one level down: the old value (if the key existed)
+/// and a split (separator key + new right page), if any.
+struct InsertOutcome {
+    old: Option<Vec<u8>>,
+    split: Option<(u64, PageId)>,
+}
+
+/// A B+-tree over a disk array.
+///
+/// ```
+/// use invidx_btree::BTree;
+/// use invidx_disk::sparse_array;
+///
+/// let mut array = sparse_array(2, 10_000, 256);
+/// let mut tree = BTree::create(&mut array, 16).unwrap();
+/// tree.insert(&mut array, 42, b"answer").unwrap();
+/// assert_eq!(tree.get(&mut array, 42).unwrap().as_deref(), Some(b"answer".as_slice()));
+/// assert_eq!(tree.get(&mut array, 7).unwrap(), None);
+/// tree.flush(&mut array).unwrap(); // dirty pages reach the device
+/// ```
+pub struct BTree {
+    root: PageId,
+    height: u32,
+    len: u64,
+    cache: PageCache,
+    block_size: usize,
+}
+
+impl BTree {
+    /// Largest value accepted for a given block size. Bounded so any leaf
+    /// split is guaranteed to produce two fitting halves (each cell stays
+    /// under a third of the payload capacity).
+    pub fn max_value(block_size: usize) -> usize {
+        (block_size - HEADER) / 3 - CELL_HDR
+    }
+
+    /// Create an empty tree; allocates the root leaf.
+    pub fn create(array: &mut DiskArray, cache_pages: usize) -> Result<Self> {
+        let block_size = array.block_size();
+        if Self::max_value(block_size) < 8 {
+            return Err(IndexError::InvalidConfig(format!(
+                "block size {block_size} too small for a B-tree page"
+            )));
+        }
+        let mut tree = Self {
+            root: PageId { disk: 0, block: 0 },
+            height: 0,
+            len: 0,
+            cache: PageCache::new(cache_pages),
+            block_size,
+        };
+        let root = tree.alloc_page(array)?;
+        let leaf = Leaf { next: None, cells: Vec::new() };
+        tree.cache.write(array, root, leaf.encode(block_size))?;
+        tree.root = root;
+        Ok(tree)
+    }
+
+    fn alloc_page(&mut self, array: &mut DiskArray) -> Result<PageId> {
+        let disk = array.next_disk();
+        let block = array.alloc_on(disk, 1)?;
+        Ok(PageId { disk, block })
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Write all dirty pages to the device.
+    pub fn flush(&mut self, array: &mut DiskArray) -> Result<()> {
+        self.cache.flush(array)
+    }
+
+    fn load(&mut self, array: &mut DiskArray, id: PageId) -> Result<Node> {
+        let bytes = self.cache.read(array, id)?;
+        decode_node(&bytes)
+    }
+
+    /// Look up a key.
+    pub fn get(&mut self, array: &mut DiskArray, key: u64) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.load(array, page)? {
+                Node::Internal(node) => page = node.children[node.child_for(key)],
+                Node::Leaf(leaf) => {
+                    return Ok(leaf
+                        .cells
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, array: &mut DiskArray, key: u64, value: &[u8]) -> Result<Option<Vec<u8>>> {
+        if value.len() > Self::max_value(self.block_size) {
+            return Err(IndexError::InvalidConfig(format!(
+                "value of {} bytes exceeds the {}-byte B-tree limit",
+                value.len(),
+                Self::max_value(self.block_size)
+            )));
+        }
+        let root = self.root;
+        let outcome = self.insert_rec(array, root, key, value)?;
+        if let Some((sep, right)) = outcome.split {
+            // Grow the tree: a new root over the two halves.
+            let new_root = self.alloc_page(array)?;
+            let node = Internal { keys: vec![sep], children: vec![self.root, right] };
+            self.cache.write(array, new_root, node.encode(self.block_size))?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        if outcome.old.is_none() {
+            self.len += 1;
+        }
+        Ok(outcome.old)
+    }
+
+    fn insert_rec(
+        &mut self,
+        array: &mut DiskArray,
+        page: PageId,
+        key: u64,
+        value: &[u8],
+    ) -> Result<InsertOutcome> {
+        match self.load(array, page)? {
+            Node::Leaf(mut leaf) => {
+                let old = match leaf.cells.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(i) => Some(std::mem::replace(&mut leaf.cells[i].1, value.to_vec())),
+                    Err(i) => {
+                        leaf.cells.insert(i, (key, value.to_vec()));
+                        None
+                    }
+                };
+                if leaf.used_bytes() <= self.block_size {
+                    self.cache.write(array, page, leaf.encode(self.block_size))?;
+                    return Ok(InsertOutcome { old, split: None });
+                }
+                // Split by bytes so both halves fit.
+                let total: usize = leaf.cells.iter().map(|(_, v)| CELL_HDR + v.len()).sum();
+                let mut acc = 0usize;
+                let mut cut = leaf.cells.len() - 1;
+                for (i, (_, v)) in leaf.cells.iter().enumerate() {
+                    acc += CELL_HDR + v.len();
+                    if acc >= total / 2 {
+                        cut = (i + 1).min(leaf.cells.len() - 1);
+                        break;
+                    }
+                }
+                let right_cells = leaf.cells.split_off(cut);
+                let sep = right_cells[0].0;
+                let right_id = self.alloc_page(array)?;
+                let right = Leaf { next: leaf.next, cells: right_cells };
+                leaf.next = Some(right_id);
+                debug_assert!(leaf.used_bytes() <= self.block_size);
+                debug_assert!(right.used_bytes() <= self.block_size);
+                self.cache.write(array, right_id, right.encode(self.block_size))?;
+                self.cache.write(array, page, leaf.encode(self.block_size))?;
+                Ok(InsertOutcome { old, split: Some((sep, right_id)) })
+            }
+            Node::Internal(mut node) => {
+                let idx = node.child_for(key);
+                let child = node.children[idx];
+                let outcome = self.insert_rec(array, child, key, value)?;
+                let Some((sep, right)) = outcome.split else {
+                    return Ok(outcome);
+                };
+                node.keys.insert(idx, sep);
+                node.children.insert(idx + 1, right);
+                let capacity = (self.block_size - HEADER) / INTERNAL_CELL;
+                if node.keys.len() <= capacity {
+                    self.cache.write(array, page, node.encode(self.block_size))?;
+                    return Ok(InsertOutcome { old: outcome.old, split: None });
+                }
+                // Split the internal node; the middle key moves up.
+                let mid = node.keys.len() / 2;
+                let up_key = node.keys[mid];
+                let right_keys = node.keys.split_off(mid + 1);
+                node.keys.pop(); // up_key
+                let right_children = node.children.split_off(mid + 1);
+                let right_id = self.alloc_page(array)?;
+                let right_node = Internal { keys: right_keys, children: right_children };
+                self.cache.write(array, right_id, right_node.encode(self.block_size))?;
+                self.cache.write(array, page, node.encode(self.block_size))?;
+                Ok(InsertOutcome { old: outcome.old, split: Some((up_key, right_id)) })
+            }
+        }
+    }
+
+    /// Remove a key; returns its value if present. Pages are not
+    /// rebalanced (underfull leaves are tolerated).
+    pub fn remove(&mut self, array: &mut DiskArray, key: u64) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.load(array, page)? {
+                Node::Internal(node) => page = node.children[node.child_for(key)],
+                Node::Leaf(mut leaf) => {
+                    match leaf.cells.binary_search_by_key(&key, |(k, _)| *k) {
+                        Ok(i) => {
+                            let (_, v) = leaf.cells.remove(i);
+                            self.cache.write(array, page, leaf.encode(self.block_size))?;
+                            self.len -= 1;
+                            return Ok(Some(v));
+                        }
+                        Err(_) => return Ok(None),
+                    }
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo <= key < hi`, via the leaf chain.
+    pub fn range(&mut self, array: &mut DiskArray, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        // Descend to the leaf covering `lo`.
+        let mut page = self.root;
+        while let Node::Internal(node) = self.load(array, page)? {
+            page = node.children[node.child_for(lo)];
+        }
+        let mut current = Some(page);
+        while let Some(id) = current {
+            let Node::Leaf(leaf) = self.load(array, id)? else {
+                return Err(IndexError::Corruption("leaf chain hit an internal node".into()));
+            };
+            for (k, v) in &leaf.cells {
+                if *k >= hi {
+                    return Ok(out);
+                }
+                if *k >= lo {
+                    out.push((*k, v.clone()));
+                }
+            }
+            current = leaf.next;
+        }
+        Ok(out)
+    }
+
+    /// Every key/value pair in key order.
+    pub fn scan_all(&mut self, array: &mut DiskArray) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.range(array, 0, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_disk::sparse_array;
+
+    fn setup(bs: usize) -> (BTree, DiskArray) {
+        let mut array = sparse_array(2, 100_000, bs);
+        let tree = BTree::create(&mut array, 64).unwrap();
+        (tree, array)
+    }
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let (mut t, mut a) = setup(256);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(&mut a, 5, b"five").unwrap(), None);
+        assert_eq!(t.insert(&mut a, 2, b"two").unwrap(), None);
+        assert_eq!(t.get(&mut a, 5).unwrap().as_deref(), Some(b"five".as_slice()));
+        assert_eq!(t.get(&mut a, 3).unwrap(), None);
+        // Replace returns the old value.
+        assert_eq!(t.insert(&mut a, 5, b"FIVE").unwrap().as_deref(), Some(b"five".as_slice()));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(&mut a, 5).unwrap().as_deref(), Some(b"FIVE".as_slice()));
+        assert_eq!(t.remove(&mut a, 5).unwrap(), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn thousands_of_keys_split_and_stay_sorted() {
+        let (mut t, mut a) = setup(256);
+        let n = 3000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            t.insert(&mut a, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.height() >= 2, "expected real splits, height {}", t.height());
+        for k in [0u64, 1, 1499, n - 1] {
+            assert_eq!(t.get(&mut a, k).unwrap().unwrap(), format!("v{k}").into_bytes());
+        }
+        let all = t.scan_all(&mut a).unwrap();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (mut t, mut a) = setup(256);
+        for k in (0..100u64).map(|i| i * 2) {
+            t.insert(&mut a, k, &k.to_le_bytes()).unwrap();
+        }
+        let r = t.range(&mut a, 10, 21).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18, 20]);
+        assert!(t.range(&mut a, 300, 400).unwrap().is_empty());
+    }
+
+    #[test]
+    fn variable_length_values_with_splits() {
+        let (mut t, mut a) = setup(512);
+        let maxv = BTree::max_value(512);
+        for k in 0..200u64 {
+            let v = vec![k as u8; 1 + (k as usize * 13) % maxv];
+            t.insert(&mut a, k, &v).unwrap();
+        }
+        for k in 0..200u64 {
+            let v = t.get(&mut a, k).unwrap().unwrap();
+            assert_eq!(v.len(), 1 + (k as usize * 13) % maxv);
+            assert!(v.iter().all(|&b| b == k as u8));
+        }
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let (mut t, mut a) = setup(256);
+        let big = vec![0u8; BTree::max_value(256) + 1];
+        assert!(t.insert(&mut a, 1, &big).is_err());
+    }
+
+    #[test]
+    fn survives_flush_and_cold_cache() {
+        let mut array = sparse_array(2, 100_000, 256);
+        let mut t = BTree::create(&mut array, 64).unwrap();
+        for k in 0..500u64 {
+            t.insert(&mut array, k, &k.to_le_bytes()).unwrap();
+        }
+        t.flush(&mut array).unwrap();
+        // A fresh zero-capacity cache forces all reads from the device.
+        let mut cold = BTree {
+            root: t.root,
+            height: t.height,
+            len: t.len,
+            cache: PageCache::new(0),
+            block_size: 256,
+        };
+        for k in [0u64, 250, 499] {
+            assert_eq!(cold.get(&mut array, k).unwrap().unwrap(), k.to_le_bytes());
+        }
+        assert_eq!(cold.scan_all(&mut array).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn io_trace_contains_page_writes_on_flush() {
+        let mut array = sparse_array(2, 100_000, 256);
+        array.start_trace();
+        let mut t = BTree::create(&mut array, 1024).unwrap();
+        for k in 0..300u64 {
+            t.insert(&mut array, k, b"x").unwrap();
+        }
+        assert!(array.trace().unwrap().ops.is_empty(), "write-back cache defers I/O");
+        t.flush(&mut array).unwrap();
+        let trace = array.take_trace();
+        assert!(!trace.ops.is_empty());
+        assert!(trace.ops.iter().all(|op| op.blocks == 1));
+    }
+}

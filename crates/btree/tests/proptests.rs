@@ -1,0 +1,119 @@
+//! Property-based tests: the B+-tree against a `BTreeMap` model, and the
+//! Cutting–Pedersen index against a posting-list model.
+
+use invidx_btree::{BTree, CpConfig, CpIndex};
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, WordId};
+use invidx_disk::{sparse_array, BuddyAllocator, Disk, DiskArray, SparseDevice};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u64, Vec<u8>),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+    Flush,
+}
+
+fn tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    let key = 0u64..200;
+    prop::collection::vec(
+        prop_oneof![
+            (key.clone(), prop::collection::vec(any::<u8>(), 0..40))
+                .prop_map(|(k, v)| TreeOp::Insert(k, v)),
+            key.clone().prop_map(TreeOp::Remove),
+            key.clone().prop_map(TreeOp::Get),
+            (key.clone(), key).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+            Just(TreeOp::Flush),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in tree_ops(), cache in 0usize..16) {
+        let mut array = sparse_array(2, 100_000, 256);
+        let mut tree = BTree::create(&mut array, cache).expect("create");
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let old = tree.insert(&mut array, k, &v).expect("insert");
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&mut array, k).expect("remove"), model.remove(&k));
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut array, k).expect("get"), model.get(&k).cloned());
+                }
+                TreeOp::Range(lo, hi) => {
+                    let got = tree.range(&mut array, lo, hi).expect("range");
+                    let want: Vec<(u64, Vec<u8>)> =
+                        model.range(lo..hi).map(|(&k, v)| (k, v.clone())).collect();
+                    prop_assert_eq!(got, want);
+                }
+                TreeOp::Flush => tree.flush(&mut array).expect("flush"),
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        let got = tree.scan_all(&mut array).expect("scan");
+        let want: Vec<(u64, Vec<u8>)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+fn buddy_array(n: u16, blocks: u64, bs: usize) -> DiskArray {
+    let disks = (0..n)
+        .map(|_| Disk {
+            device: Box::new(SparseDevice::new(blocks.next_power_of_two(), bs)),
+            alloc: Box::new(BuddyAllocator::covering(blocks)),
+        })
+        .collect();
+    DiskArray::new(disks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cp_index_matches_posting_model(
+        updates in prop::collection::vec((0u64..8, 1u32..50), 1..80),
+        threshold in 4u64..24,
+    ) {
+        let mut array = buddy_array(2, 100_000, 512);
+        let config = CpConfig { block_postings: 20, inline_threshold: threshold, cache_pages: 32 };
+        let mut index = CpIndex::create(&mut array, config).expect("create");
+        let mut model: BTreeMap<u64, Vec<DocId>> = BTreeMap::new();
+        let mut next: BTreeMap<u64, u32> = BTreeMap::new();
+        for (word, count) in updates {
+            let c = next.entry(word).or_insert(0);
+            let docs: Vec<DocId> = (*c..*c + count).map(DocId).collect();
+            *c += count;
+            model.entry(word).or_default().extend(&docs);
+            index
+                .append(&mut array, WordId(word + 1), &PostingList::from_sorted(docs))
+                .expect("append");
+        }
+        index.flush(&mut array).expect("flush");
+        for (&word, docs) in &model {
+            let got = index.read_list(&mut array, WordId(word + 1)).expect("read");
+            prop_assert_eq!(got.docs(), docs.as_slice());
+        }
+        // Space accounting is consistent: chunk postings equal the model's
+        // spilled lists.
+        let (blocks, chunk_postings) = index.space_stats(&mut array).expect("space");
+        let spilled: u64 = model
+            .values()
+            .filter(|d| d.len() as u64 > threshold)
+            .map(|d| d.len() as u64)
+            .sum();
+        prop_assert_eq!(chunk_postings, spilled);
+        prop_assert!(blocks * 20 >= chunk_postings);
+    }
+}

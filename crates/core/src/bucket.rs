@@ -1,0 +1,467 @@
+//! Buckets: the short-list half of the dual-structure index (§2).
+//!
+//! "We place short inverted lists (of infrequently appearing words) in a
+//! fixed size region of disk where the region contains postings for
+//! multiple words. [...] every inverted list starts off as a short list;
+//! when a bucket fills up with inverted lists, the longest inverted list
+//! becomes a long list."
+//!
+//! Capacity accounting follows the paper exactly: "each posting is charged
+//! 1 unit and each word is charged one unit too" — the cost of an inverted
+//! list in a bucket is `1 + postings`.
+
+use crate::postings::{fixed, PostingList};
+use crate::types::{DocId, IndexError, Result, WordId};
+use std::collections::BTreeMap;
+
+/// One fixed-capacity bucket of short lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bucket {
+    lists: BTreeMap<WordId, PostingList>,
+    postings: u64,
+}
+
+impl Bucket {
+    /// An empty bucket.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct words stored.
+    pub fn words(&self) -> u64 {
+        self.lists.len() as u64
+    }
+
+    /// Number of postings stored.
+    pub fn postings(&self) -> u64 {
+        self.postings
+    }
+
+    /// Occupancy in units (1 per word + 1 per posting).
+    pub fn units(&self) -> u64 {
+        self.words() + self.postings
+    }
+
+    /// The short list for a word, if present.
+    pub fn get(&self, word: WordId) -> Option<&PostingList> {
+        self.lists.get(&word)
+    }
+
+    /// Iterate `(word, list)` pairs in word order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &PostingList)> {
+        self.lists.iter().map(|(&w, l)| (w, l))
+    }
+
+    /// Insert or append an in-memory list for `word`. ("If a list for w
+    /// already existed in the bucket, L is added to it; else a new short
+    /// list is created in the bucket.")
+    pub fn insert(&mut self, word: WordId, list: &PostingList) -> Result<()> {
+        if list.is_empty() {
+            return Ok(());
+        }
+        let entry = self.lists.entry(word).or_default();
+        entry.append(word, list)?;
+        self.postings += list.len() as u64;
+        Ok(())
+    }
+
+    /// Remove and return the longest short list. "If there are multiple
+    /// longest short lists, we choose one arbitrarily" — we take the
+    /// lowest-numbered word among the longest, which is deterministic.
+    pub fn remove_longest(&mut self) -> Option<(WordId, PostingList)> {
+        let word = self
+            .lists
+            .iter()
+            .max_by(|(wa, la), (wb, lb)| la.len().cmp(&lb.len()).then(wb.cmp(wa)))
+            .map(|(&w, _)| w)?;
+        let list = self.lists.remove(&word).expect("just found");
+        self.postings -= list.len() as u64;
+        Some((word, list))
+    }
+
+    /// Remove a specific word's list (deletion sweep support).
+    pub fn remove(&mut self, word: WordId) -> Option<PostingList> {
+        let list = self.lists.remove(&word)?;
+        self.postings -= list.len() as u64;
+        Some(list)
+    }
+
+    /// Replace a word's list wholesale (deletion sweep support); returns
+    /// the old list if any.
+    pub fn replace(&mut self, word: WordId, list: PostingList) -> Option<PostingList> {
+        self.postings += list.len() as u64;
+        let old = if list.is_empty() {
+            self.lists.remove(&word)
+        } else {
+            self.lists.insert(word, list)
+        };
+        if let Some(o) = &old {
+            self.postings -= o.len() as u64;
+        }
+        old
+    }
+
+    /// Serialize to bytes: `u32 word-count`, then per word
+    /// `u64 word | u32 len | len * u32 doc ids`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let bytes = 4 + self
+            .lists
+            .values()
+            .map(|l| 12 + fixed::encoded_len(l.len()))
+            .sum::<usize>();
+        let mut out = Vec::with_capacity(bytes);
+        out.extend_from_slice(&(self.lists.len() as u32).to_le_bytes());
+        for (w, l) in &self.lists {
+            out.extend_from_slice(&w.0.to_le_bytes());
+            out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+            let off = out.len();
+            out.resize(off + fixed::encoded_len(l.len()), 0);
+            fixed::encode_into(l.docs(), &mut out[off..]);
+        }
+        out
+    }
+
+    /// Deserialize from bytes produced by [`Bucket::serialize`] (possibly
+    /// followed by padding).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let need = |ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(IndexError::Corruption("bucket bytes truncated".into()))
+            }
+        };
+        need(bytes.len() >= 4)?;
+        let count = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let mut pos = 4usize;
+        let mut bucket = Bucket::new();
+        for _ in 0..count {
+            need(bytes.len() >= pos + 12)?;
+            let word = WordId(u64::from_le_bytes(
+                bytes[pos..pos + 8].try_into().expect("8 bytes"),
+            ));
+            let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes"))
+                as usize;
+            pos += 12;
+            need(bytes.len() >= pos + fixed::encoded_len(len))?;
+            let docs = fixed::decode(&bytes[pos..], len)?;
+            pos += fixed::encoded_len(len);
+            let list = PostingList::from_sorted(validate_sorted(word, docs)?);
+            bucket.postings += list.len() as u64;
+            bucket.lists.insert(word, list);
+        }
+        Ok(bucket)
+    }
+}
+
+fn validate_sorted(word: WordId, docs: Vec<DocId>) -> Result<Vec<DocId>> {
+    if docs.windows(2).all(|w| w[0] < w[1]) {
+        Ok(docs)
+    } else {
+        Err(IndexError::Corruption(format!("unsorted postings for {word} in bucket")))
+    }
+}
+
+/// What happened during a [`BucketStore::insert`], for the Figure 1/7
+/// statistics hooks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Which bucket received the list.
+    pub bucket: usize,
+    /// True if the word was not in the bucket before (a "new word" from the
+    /// bucket's point of view).
+    pub was_new: bool,
+    /// Lists evicted (in order) to resolve overflow; each becomes a long
+    /// list.
+    pub evicted: Vec<(WordId, PostingList)>,
+}
+
+/// The full set of buckets with the paper's modular-arithmetic hash.
+///
+/// ```
+/// use invidx_core::bucket::BucketStore;
+/// use invidx_core::postings::PostingList;
+/// use invidx_core::types::{DocId, WordId};
+///
+/// let mut store = BucketStore::new(4, 8).unwrap();
+/// let small = PostingList::from_sorted(vec![DocId(1), DocId(2)]);
+/// assert!(store.insert(WordId(1), &small).unwrap().evicted.is_empty());
+/// // A big list overflows its bucket; the longest list is evicted and
+/// // must be promoted to a long list by the caller.
+/// let big = PostingList::from_sorted((1..=9).map(DocId).collect());
+/// let outcome = store.insert(WordId(5), &big).unwrap();
+/// assert_eq!(outcome.evicted[0].0, WordId(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketStore {
+    buckets: Vec<Bucket>,
+    capacity_units: u64,
+}
+
+impl BucketStore {
+    /// Create `n` empty buckets of `capacity_units` each.
+    pub fn new(n: usize, capacity_units: u64) -> Result<Self> {
+        if n == 0 {
+            return Err(IndexError::InvalidConfig("bucket count must be positive".into()));
+        }
+        if capacity_units < 2 {
+            return Err(IndexError::InvalidConfig(
+                "bucket capacity must hold at least one word and one posting".into(),
+            ));
+        }
+        Ok(Self { buckets: vec![Bucket::new(); n], capacity_units })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Per-bucket capacity in units.
+    pub fn capacity_units(&self) -> u64 {
+        self.capacity_units
+    }
+
+    /// The paper's `h(w)`: "we use a modular arithmetic hash function".
+    pub fn bucket_of(&self, word: WordId) -> usize {
+        (word.0 % self.buckets.len() as u64) as usize
+    }
+
+    /// Access a bucket by index (statistics hooks).
+    pub fn bucket(&self, idx: usize) -> &Bucket {
+        &self.buckets[idx]
+    }
+
+    /// The short list for a word, if present.
+    pub fn get(&self, word: WordId) -> Option<&PostingList> {
+        self.buckets[self.bucket_of(word)].get(word)
+    }
+
+    /// Insert an in-memory list, resolving overflow by evicting longest
+    /// lists. The returned outcome carries the evictions, which the caller
+    /// must promote to long lists.
+    pub fn insert(&mut self, word: WordId, list: &PostingList) -> Result<InsertOutcome> {
+        let idx = self.bucket_of(word);
+        let bucket = &mut self.buckets[idx];
+        let was_new = bucket.get(word).is_none();
+        bucket.insert(word, list)?;
+        let mut evicted = Vec::new();
+        while bucket.units() > self.capacity_units {
+            match bucket.remove_longest() {
+                Some(entry) => evicted.push(entry),
+                None => break,
+            }
+        }
+        Ok(InsertOutcome { bucket: idx, was_new, evicted })
+    }
+
+    /// Remove a word's short list (sweep support).
+    pub fn remove(&mut self, word: WordId) -> Option<PostingList> {
+        let idx = self.bucket_of(word);
+        self.buckets[idx].remove(word)
+    }
+
+    /// Total units across all buckets.
+    pub fn total_units(&self) -> u64 {
+        self.buckets.iter().map(Bucket::units).sum()
+    }
+
+    /// Total postings across all buckets.
+    pub fn total_postings(&self) -> u64 {
+        self.buckets.iter().map(Bucket::postings).sum()
+    }
+
+    /// Total distinct words across all buckets.
+    pub fn total_words(&self) -> u64 {
+        self.buckets.iter().map(Bucket::words).sum()
+    }
+
+    /// Iterate all `(word, list)` pairs across buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &PostingList)> {
+        self.buckets.iter().flat_map(Bucket::iter)
+    }
+
+    /// Serialize bucket `idx` into a buffer of exactly `bytes` bytes
+    /// (padded with zeros). Fails if the bucket does not fit.
+    pub fn serialize_bucket(&self, idx: usize, bytes: usize) -> Result<Vec<u8>> {
+        let mut data = self.buckets[idx].serialize();
+        if data.len() > bytes {
+            return Err(IndexError::InvalidConfig(format!(
+                "bucket {idx} serializes to {} bytes, exceeding its {bytes}-byte region",
+                data.len()
+            )));
+        }
+        data.resize(bytes, 0);
+        Ok(data)
+    }
+
+    /// Replace bucket `idx` from serialized bytes (recovery path).
+    pub fn load_bucket(&mut self, idx: usize, bytes: &[u8]) -> Result<()> {
+        self.buckets[idx] = Bucket::deserialize(bytes)?;
+        Ok(())
+    }
+
+    /// Worst-case serialized size of a bucket at full capacity: every unit
+    /// a word costs 12 bytes of header; every unit a posting costs 4.
+    pub fn worst_case_bucket_bytes(&self) -> usize {
+        4 + self.capacity_units as usize * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(ids: &[u32]) -> PostingList {
+        PostingList::from_sorted(ids.iter().map(|&i| DocId(i)).collect())
+    }
+
+    #[test]
+    fn unit_accounting() {
+        let mut b = Bucket::new();
+        b.insert(WordId(1), &pl(&[1, 2, 3])).unwrap();
+        b.insert(WordId(2), &pl(&[1])).unwrap();
+        // 2 words + 4 postings.
+        assert_eq!(b.units(), 6);
+        b.insert(WordId(1), &pl(&[9])).unwrap();
+        assert_eq!(b.units(), 7);
+        assert_eq!(b.words(), 2);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut b = Bucket::new();
+        b.insert(WordId(1), &PostingList::new()).unwrap();
+        assert_eq!(b.units(), 0);
+        assert!(b.get(WordId(1)).is_none());
+    }
+
+    #[test]
+    fn remove_longest_is_deterministic() {
+        let mut b = Bucket::new();
+        b.insert(WordId(5), &pl(&[1, 2])).unwrap();
+        b.insert(WordId(3), &pl(&[1, 2])).unwrap();
+        b.insert(WordId(9), &pl(&[1])).unwrap();
+        let (w, l) = b.remove_longest().unwrap();
+        // Tie between words 3 and 5: lowest word wins.
+        assert_eq!(w, WordId(3));
+        assert_eq!(l.len(), 2);
+        // 2 words + 3 postings remain.
+        assert_eq!(b.units(), 5);
+    }
+
+    #[test]
+    fn store_insert_overflow_evicts_longest() {
+        let mut s = BucketStore::new(1, 10).unwrap();
+        s.insert(WordId(1), &pl(&[1, 2, 3])).unwrap(); // units 4
+        s.insert(WordId(2), &pl(&[1, 2])).unwrap(); // units 7
+        let out = s.insert(WordId(3), &pl(&[1, 2, 3, 4])).unwrap(); // 12 > 10
+        assert_eq!(out.evicted.len(), 1);
+        // Word 3's list (4 postings) is the longest and is evicted — the
+        // paper's Figure 1 "downward spike" where a freshly inserted long
+        // in-memory list immediately overflows out.
+        assert_eq!(out.evicted[0].0, WordId(3));
+        assert!(s.get(WordId(3)).is_none());
+        assert!(s.bucket(0).units() <= 10);
+    }
+
+    #[test]
+    fn store_insert_appends_to_existing() {
+        let mut s = BucketStore::new(4, 100).unwrap();
+        s.insert(WordId(6), &pl(&[1])).unwrap();
+        let out = s.insert(WordId(6), &pl(&[5, 7])).unwrap();
+        assert!(!out.was_new);
+        assert_eq!(s.get(WordId(6)).unwrap().docs().len(), 3);
+    }
+
+    #[test]
+    fn one_eviction_always_suffices() {
+        // Invariant: the evicted longest list is at least as large as the
+        // list just inserted, so a single eviction always restores the
+        // capacity bound (matching the paper's single-eviction narrative).
+        let mut s = BucketStore::new(1, 8).unwrap();
+        s.insert(WordId(1), &pl(&[1, 2])).unwrap();
+        s.insert(WordId(2), &pl(&[1, 2])).unwrap();
+        let out = s.insert(WordId(3), &pl(&[1, 2, 3, 4, 5])).unwrap();
+        assert_eq!(out.evicted.len(), 1);
+        assert!(s.bucket(0).units() <= 8);
+        // Appending to an existing word and overflowing also needs one.
+        let mut s = BucketStore::new(1, 8).unwrap();
+        s.insert(WordId(1), &pl(&[1, 2, 3])).unwrap();
+        s.insert(WordId(2), &pl(&[1, 2])).unwrap();
+        let out = s.insert(WordId(1), &pl(&[4, 5, 6, 7, 8])).unwrap();
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].0, WordId(1));
+        assert_eq!(out.evicted[0].1.len(), 8);
+        assert!(s.bucket(0).units() <= 8);
+    }
+
+    #[test]
+    fn modular_hash_spreads_words() {
+        let s = BucketStore::new(7, 100).unwrap();
+        assert_eq!(s.bucket_of(WordId(3)), 3);
+        assert_eq!(s.bucket_of(WordId(10)), 3);
+        assert_eq!(s.bucket_of(WordId(13)), 6);
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let mut b = Bucket::new();
+        b.insert(WordId(42), &pl(&[1, 5, 1000])).unwrap();
+        b.insert(WordId(7), &pl(&[3])).unwrap();
+        let bytes = b.serialize();
+        let restored = Bucket::deserialize(&bytes).unwrap();
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn serialize_with_padding_round_trip() {
+        let mut s = BucketStore::new(2, 50).unwrap();
+        s.insert(WordId(0), &pl(&[1, 2])).unwrap();
+        s.insert(WordId(1), &pl(&[4])).unwrap();
+        let bytes = s.serialize_bucket(0, 512).unwrap();
+        assert_eq!(bytes.len(), 512);
+        let mut s2 = BucketStore::new(2, 50).unwrap();
+        s2.load_bucket(0, &bytes).unwrap();
+        assert_eq!(s2.bucket(0), s.bucket(0));
+    }
+
+    #[test]
+    fn serialize_rejects_overflowing_region() {
+        let mut s = BucketStore::new(1, 1000).unwrap();
+        s.insert(WordId(0), &pl(&(1..100u32).collect::<Vec<_>>())).unwrap();
+        assert!(s.serialize_bucket(0, 16).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        assert!(Bucket::deserialize(&[1, 0, 0, 0]).is_err()); // claims 1 word, no data
+        let mut b = Bucket::new();
+        b.insert(WordId(1), &pl(&[1, 2])).unwrap();
+        let mut bytes = b.serialize();
+        // Corrupt the posting order: swap the two doc ids.
+        let n = bytes.len();
+        bytes.swap(n - 8, n - 4);
+        bytes.swap(n - 7, n - 3);
+        bytes.swap(n - 6, n - 2);
+        bytes.swap(n - 5, n - 1);
+        assert!(Bucket::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(BucketStore::new(0, 10).is_err());
+        assert!(BucketStore::new(4, 1).is_err());
+    }
+
+    #[test]
+    fn store_totals() {
+        let mut s = BucketStore::new(3, 100).unwrap();
+        s.insert(WordId(1), &pl(&[1, 2])).unwrap();
+        s.insert(WordId(2), &pl(&[1])).unwrap();
+        assert_eq!(s.total_words(), 2);
+        assert_eq!(s.total_postings(), 3);
+        assert_eq!(s.total_units(), 5);
+        assert_eq!(s.iter().count(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! The long-list directory (§2, §3).
+//!
+//! "Given a word w, we examine a directory which determines if the word has
+//! a long inverted list. [...] Multiple chunks for an inverted list may be
+//! allocated. The pointers to all chunks are recorded in the directory. The
+//! directory entries for a word may point to chunks on multiple disks. The
+//! directory resides in memory at all times. Periodically, the directory is
+//! written to disk."
+//!
+//! The directory also owns the **RELEASE list**: "The RELEASE list is used
+//! to delay the deallocation of long lists while they are copied" — chunks
+//! replaced by the whole style stay readable until the end-of-batch flush
+//! commits the new locations.
+
+use crate::types::{IndexError, Result, WordId};
+use std::collections::BTreeMap;
+
+/// One contiguous on-disk chunk of a long list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Owning disk.
+    pub disk: u16,
+    /// First block.
+    pub start: u64,
+    /// Allocated size in blocks (including reserved space).
+    pub blocks: u64,
+    /// Postings currently stored in the chunk.
+    pub postings: u64,
+}
+
+impl ChunkRef {
+    /// Posting capacity given the `BlockPosting` parameter.
+    pub fn capacity(&self, block_postings: u64) -> u64 {
+        self.blocks * block_postings
+    }
+
+    /// The paper's `z` for this chunk: "the size (in postings) of the space
+    /// remaining in the chunk which can accommodate new postings".
+    pub fn free_postings(&self, block_postings: u64) -> u64 {
+        self.capacity(block_postings).saturating_sub(self.postings)
+    }
+}
+
+/// A word's long list: an ordered sequence of chunks. Postings are stored
+/// in chunk order; only the last chunk may have free space used for
+/// in-place growth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LongEntry {
+    /// The chunks, in list order.
+    pub chunks: Vec<ChunkRef>,
+}
+
+impl LongEntry {
+    /// Total postings across chunks (the paper's `x`).
+    pub fn total_postings(&self) -> u64 {
+        self.chunks.iter().map(|c| c.postings).sum()
+    }
+
+    /// Total allocated blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.chunks.iter().map(|c| c.blocks).sum()
+    }
+
+    /// Number of chunks = read operations needed to fetch the list — the
+    /// paper's query-performance metric.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The paper's `z`: free space at the end of the *last* chunk.
+    pub fn z(&self, block_postings: u64) -> u64 {
+        self.chunks.last().map_or(0, |c| c.free_postings(block_postings))
+    }
+}
+
+/// The in-memory directory over all long lists.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: BTreeMap<WordId, LongEntry>,
+    /// Chunks awaiting deallocation at the next flush: `(disk, start,
+    /// blocks)`.
+    release: Vec<(u16, u64, u64)>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Does this word have a long list?
+    pub fn contains(&self, word: WordId) -> bool {
+        self.entries.contains_key(&word)
+    }
+
+    /// The entry for a word.
+    pub fn get(&self, word: WordId) -> Option<&LongEntry> {
+        self.entries.get(&word)
+    }
+
+    /// Mutable entry access.
+    pub fn get_mut(&mut self, word: WordId) -> Option<&mut LongEntry> {
+        self.entries.get_mut(&word)
+    }
+
+    /// Insert or replace a word's entry.
+    pub fn insert(&mut self, word: WordId, entry: LongEntry) {
+        self.entries.insert(word, entry);
+    }
+
+    /// Create-or-get a word's entry.
+    pub fn entry_mut(&mut self, word: WordId) -> &mut LongEntry {
+        self.entries.entry(word).or_default()
+    }
+
+    /// Remove a word entirely (deletion sweep support).
+    pub fn remove(&mut self, word: WordId) -> Option<LongEntry> {
+        self.entries.remove(&word)
+    }
+
+    /// Number of words with long lists.
+    pub fn num_words(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate `(word, entry)` in word order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &LongEntry)> {
+        self.entries.iter().map(|(&w, e)| (w, e))
+    }
+
+    /// Words in word order (snapshot).
+    pub fn words(&self) -> Vec<WordId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Queue a chunk for deferred deallocation.
+    pub fn push_release(&mut self, disk: u16, start: u64, blocks: u64) {
+        self.release.push((disk, start, blocks));
+    }
+
+    /// Take the release list for freeing (at flush time).
+    pub fn drain_release(&mut self) -> Vec<(u16, u64, u64)> {
+        std::mem::take(&mut self.release)
+    }
+
+    /// Pending release entries (for inspection).
+    pub fn release_len(&self) -> usize {
+        self.release.len()
+    }
+
+    // ----- aggregate statistics (the paper's §5.2 metrics) -----
+
+    /// Total chunks across all long lists.
+    pub fn total_chunks(&self) -> u64 {
+        self.entries.values().map(|e| e.num_chunks() as u64).sum()
+    }
+
+    /// Total blocks allocated to long lists.
+    pub fn total_blocks(&self) -> u64 {
+        self.entries.values().map(LongEntry::total_blocks).sum()
+    }
+
+    /// Total postings stored in long lists.
+    pub fn total_postings(&self) -> u64 {
+        self.entries.values().map(LongEntry::total_postings).sum()
+    }
+
+    /// "The long list utilization rate, namely the fraction of space
+    /// allocated in long lists disk blocks that have postings." 1.0 when
+    /// there are no long lists (the paper's Figure 9 spike at the start).
+    pub fn utilization(&self, block_postings: u64) -> f64 {
+        let blocks = self.total_blocks();
+        if blocks == 0 {
+            1.0
+        } else {
+            self.total_postings() as f64 / (blocks * block_postings) as f64
+        }
+    }
+
+    /// "The average number of read operations needed to read a long word
+    /// [...] the total number of chunks in the index divided by the number
+    /// of words with long lists" (Figure 10). 0.0 with no long lists.
+    pub fn avg_reads_per_long_list(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.total_chunks() as f64 / self.entries.len() as f64
+        }
+    }
+
+    // ----- persistence -----
+
+    /// Serialize: `u64 entry-count`, then per entry `u64 word | u32 chunk
+    /// count`, then per chunk `u16 disk | u64 start | u64 blocks | u64
+    /// postings`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 40);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (w, e) in &self.entries {
+            out.extend_from_slice(&w.0.to_le_bytes());
+            out.extend_from_slice(&(e.chunks.len() as u32).to_le_bytes());
+            for c in &e.chunks {
+                out.extend_from_slice(&c.disk.to_le_bytes());
+                out.extend_from_slice(&c.start.to_le_bytes());
+                out.extend_from_slice(&c.blocks.to_le_bytes());
+                out.extend_from_slice(&c.postings.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize bytes from [`Directory::serialize`] (possibly padded).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let need = |ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(IndexError::Corruption("directory bytes truncated".into()))
+            }
+        };
+        need(bytes.len() >= 8)?;
+        let count = u64::from_le_bytes(bytes[0..8].try_into().expect("8"));
+        let mut pos = 8usize;
+        let mut dir = Directory::new();
+        for _ in 0..count {
+            need(bytes.len() >= pos + 12)?;
+            let word = WordId(u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8")));
+            let nchunks =
+                u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4")) as usize;
+            pos += 12;
+            let mut entry = LongEntry::default();
+            for _ in 0..nchunks {
+                need(bytes.len() >= pos + 26)?;
+                let disk = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("2"));
+                let start = u64::from_le_bytes(bytes[pos + 2..pos + 10].try_into().expect("8"));
+                let blocks = u64::from_le_bytes(bytes[pos + 10..pos + 18].try_into().expect("8"));
+                let postings =
+                    u64::from_le_bytes(bytes[pos + 18..pos + 26].try_into().expect("8"));
+                pos += 26;
+                if blocks == 0 {
+                    return Err(IndexError::Corruption(format!(
+                        "zero-block chunk for {word} in directory"
+                    )));
+                }
+                entry.chunks.push(ChunkRef { disk, start, blocks, postings });
+            }
+            if entry.chunks.is_empty() {
+                return Err(IndexError::Corruption(format!("chunkless entry for {word}")));
+            }
+            dir.entries.insert(word, entry);
+        }
+        Ok(dir)
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        16.max(8 + self
+            .entries
+            .values()
+            .map(|e| 12 + e.chunks.len() * 26)
+            .sum::<usize>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(disk: u16, start: u64, blocks: u64, postings: u64) -> ChunkRef {
+        ChunkRef { disk, start, blocks, postings }
+    }
+
+    #[test]
+    fn chunk_capacity_and_z() {
+        let c = chunk(0, 10, 3, 250);
+        assert_eq!(c.capacity(100), 300);
+        assert_eq!(c.free_postings(100), 50);
+        let full = chunk(0, 10, 2, 200);
+        assert_eq!(full.free_postings(100), 0);
+    }
+
+    #[test]
+    fn entry_z_uses_last_chunk_only() {
+        let e = LongEntry { chunks: vec![chunk(0, 0, 2, 100), chunk(1, 5, 2, 150)] };
+        assert_eq!(e.z(100), 50);
+        assert_eq!(e.total_postings(), 250);
+        assert_eq!(e.total_blocks(), 4);
+        assert_eq!(e.num_chunks(), 2);
+        assert_eq!(LongEntry::default().z(100), 0);
+    }
+
+    #[test]
+    fn utilization_and_avg_reads() {
+        let mut d = Directory::new();
+        assert_eq!(d.utilization(100), 1.0);
+        assert_eq!(d.avg_reads_per_long_list(), 0.0);
+        d.insert(WordId(1), LongEntry { chunks: vec![chunk(0, 0, 2, 100)] });
+        d.insert(
+            WordId(2),
+            LongEntry { chunks: vec![chunk(0, 2, 1, 100), chunk(1, 0, 1, 50)] },
+        );
+        // postings 250 over 4 blocks * 100 = 400.
+        assert!((d.utilization(100) - 0.625).abs() < 1e-12);
+        assert!((d.avg_reads_per_long_list() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_list_drains() {
+        let mut d = Directory::new();
+        d.push_release(0, 5, 2);
+        d.push_release(1, 9, 4);
+        assert_eq!(d.release_len(), 2);
+        let r = d.drain_release();
+        assert_eq!(r, vec![(0, 5, 2), (1, 9, 4)]);
+        assert_eq!(d.release_len(), 0);
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let mut d = Directory::new();
+        d.insert(WordId(7), LongEntry { chunks: vec![chunk(2, 40, 8, 777)] });
+        d.insert(
+            WordId(900),
+            LongEntry { chunks: vec![chunk(0, 0, 1, 100), chunk(1, 3, 2, 120)] },
+        );
+        let bytes = d.serialize();
+        let restored = Directory::deserialize(&bytes).unwrap();
+        assert_eq!(restored.num_words(), 2);
+        assert_eq!(restored.get(WordId(7)).unwrap(), d.get(WordId(7)).unwrap());
+        assert_eq!(restored.get(WordId(900)).unwrap(), d.get(WordId(900)).unwrap());
+        // Padding tolerated.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0u8; 64]);
+        assert_eq!(Directory::deserialize(&padded).unwrap().num_words(), 2);
+    }
+
+    #[test]
+    fn deserialize_rejects_truncation_and_corruption() {
+        let mut d = Directory::new();
+        d.insert(WordId(7), LongEntry { chunks: vec![chunk(2, 40, 8, 777)] });
+        let bytes = d.serialize();
+        assert!(Directory::deserialize(&bytes[..bytes.len() - 4]).is_err());
+        // Zero-block chunk is corruption.
+        let mut bad = Directory::new();
+        bad.insert(WordId(1), LongEntry { chunks: vec![chunk(0, 0, 0, 0)] });
+        let bytes = bad.serialize();
+        assert!(Directory::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn serialized_len_matches() {
+        let mut d = Directory::new();
+        assert!(d.serialized_len() >= d.serialize().len());
+        d.insert(WordId(1), LongEntry { chunks: vec![chunk(0, 0, 1, 1)] });
+        d.insert(WordId(2), LongEntry { chunks: vec![chunk(0, 1, 1, 1), chunk(0, 2, 1, 1)] });
+        assert_eq!(d.serialized_len(), d.serialize().len());
+    }
+}

@@ -1,0 +1,179 @@
+//! The in-memory inverted index that accumulates one batch.
+//!
+//! "We assume that when a new document arrives it is parsed and its words
+//! are inserted into an in-memory inverted index. At some point the
+//! in-memory inverted index must be written to disk. Collecting many
+//! documents into an in-memory inverted index before writing the index to
+//! disk amortizes the cost of storing a posting." (§2)
+
+use crate::postings::PostingList;
+use crate::types::{DocId, IndexError, Result, WordId};
+use std::collections::BTreeMap;
+
+/// The per-batch in-memory inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct MemIndex {
+    lists: BTreeMap<WordId, PostingList>,
+    postings: u64,
+    documents: u64,
+    last_doc: Option<DocId>,
+}
+
+impl MemIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index one document: each distinct word gains one posting. Documents
+    /// must arrive in increasing id order (§3's numbering assumption);
+    /// duplicate words within the document are tolerated and deduplicated.
+    pub fn add_document<I>(&mut self, doc: DocId, words: I) -> Result<()>
+    where
+        I: IntoIterator<Item = WordId>,
+    {
+        if let Some(last) = self.last_doc {
+            if doc <= last {
+                return Err(IndexError::OutOfOrderAppend {
+                    word: WordId(0),
+                    have: last,
+                    new: doc,
+                });
+            }
+        }
+        let mut distinct: Vec<WordId> = words.into_iter().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for w in distinct {
+            if w == WordId(0) {
+                return Err(IndexError::InvalidConfig("word id 0 is reserved".into()));
+            }
+            self.lists.entry(w).or_default().push(w, doc)?;
+            self.postings += 1;
+        }
+        self.documents += 1;
+        self.last_doc = Some(doc);
+        Ok(())
+    }
+
+    /// Insert a pre-built in-memory list for a word (used by the pipeline
+    /// replaying word-occurrence traces). The list must continue the
+    /// word's existing in-memory list in document order.
+    pub fn add_list(&mut self, word: WordId, list: &PostingList) -> Result<()> {
+        if list.is_empty() {
+            return Ok(());
+        }
+        self.lists.entry(word).or_default().append(word, list)?;
+        self.postings += list.len() as u64;
+        Ok(())
+    }
+
+    /// The in-memory list for a word, if any.
+    pub fn get(&self, word: WordId) -> Option<&PostingList> {
+        self.lists.get(&word)
+    }
+
+    /// Distinct words currently held.
+    pub fn words(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total postings currently held.
+    pub fn postings(&self) -> u64 {
+        self.postings
+    }
+
+    /// Documents added since the last drain.
+    pub fn documents(&self) -> u64 {
+        self.documents
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The highest document id ever accepted (survives drains) — the
+    /// ordering floor for future documents.
+    pub fn last_doc(&self) -> Option<DocId> {
+        self.last_doc
+    }
+
+    /// Set the ordering floor (crash-recovery support): future documents
+    /// must have ids greater than `doc`.
+    pub fn set_floor(&mut self, doc: DocId) {
+        self.last_doc = Some(self.last_doc.map_or(doc, |d| d.max(doc)));
+    }
+
+    /// Take all lists (in word order), leaving the index empty but
+    /// remembering the last document id so ordering is still enforced
+    /// across batches.
+    pub fn drain(&mut self) -> Vec<(WordId, PostingList)> {
+        self.postings = 0;
+        self.documents = 0;
+        std::mem::take(&mut self.lists).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_build_sorted_lists() {
+        let mut m = MemIndex::new();
+        m.add_document(DocId(1), [WordId(5), WordId(2)]).unwrap();
+        m.add_document(DocId(2), [WordId(2)]).unwrap();
+        assert_eq!(m.get(WordId(2)).unwrap().docs(), &[DocId(1), DocId(2)]);
+        assert_eq!(m.get(WordId(5)).unwrap().docs(), &[DocId(1)]);
+        assert_eq!(m.postings(), 3);
+        assert_eq!(m.documents(), 2);
+    }
+
+    #[test]
+    fn duplicate_words_in_document_deduplicated() {
+        let mut m = MemIndex::new();
+        m.add_document(DocId(1), [WordId(7), WordId(7), WordId(7)]).unwrap();
+        assert_eq!(m.postings(), 1);
+    }
+
+    #[test]
+    fn document_order_enforced_across_drain() {
+        let mut m = MemIndex::new();
+        m.add_document(DocId(5), [WordId(1)]).unwrap();
+        assert!(m.add_document(DocId(5), [WordId(2)]).is_err());
+        assert!(m.add_document(DocId(4), [WordId(2)]).is_err());
+        let drained = m.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(m.is_empty());
+        // Still enforced after drain.
+        assert!(m.add_document(DocId(5), [WordId(1)]).is_err());
+        m.add_document(DocId(6), [WordId(1)]).unwrap();
+    }
+
+    #[test]
+    fn word_zero_reserved() {
+        let mut m = MemIndex::new();
+        assert!(m.add_document(DocId(1), [WordId(0)]).is_err());
+    }
+
+    #[test]
+    fn drain_yields_word_order() {
+        let mut m = MemIndex::new();
+        m.add_document(DocId(1), [WordId(9), WordId(3), WordId(6)]).unwrap();
+        let words: Vec<WordId> = m.drain().into_iter().map(|(w, _)| w).collect();
+        assert_eq!(words, vec![WordId(3), WordId(6), WordId(9)]);
+    }
+
+    #[test]
+    fn add_list_appends() {
+        let mut m = MemIndex::new();
+        let a = PostingList::from_sorted(vec![DocId(1), DocId(2)]);
+        let b = PostingList::from_sorted(vec![DocId(3)]);
+        m.add_list(WordId(1), &a).unwrap();
+        m.add_list(WordId(1), &b).unwrap();
+        assert_eq!(m.get(WordId(1)).unwrap().len(), 3);
+        let bad = PostingList::from_sorted(vec![DocId(2)]);
+        assert!(m.add_list(WordId(1), &bad).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Allocation policies for long lists (paper §3, Table 2).
+//!
+//! A policy is determined by three variables:
+//!
+//! | Variable | Values | Meaning |
+//! |----------|--------|---------|
+//! | `Limit`  | 0      | Never update in-place |
+//! |          | z      | Update in-place if enough space |
+//! | `Style`  | fill (e = 4) | Fill in fixed size extents |
+//! |          | new    | Write a new chunk when appropriate |
+//! |          | whole  | Long lists are single whole chunks |
+//! | `Alloc`  | constant (k = 10) | Constant extra postings reserved |
+//! |          | block (k = 2)     | Multiple of a fixed sized block reserved |
+//! |          | proportional (k = 1.2) | Proportional extra postings reserved |
+//!
+//! Two normalization rules from §3.1: "If Limit = 0, then any reserved
+//! space for a chunk is never used, so we automatically set Alloc =
+//! constant with k = 0. If Style = fill then the allocation strategy is
+//! irrelevant since it is never considered."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `Style` variable: how an in-memory list is combined with a long
+/// list when it cannot (or may not) be applied in place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Style {
+    /// Break lists into fixed-size extents of `extent_blocks` blocks; a new
+    /// extent is started (on the next disk) when the current one is full.
+    Fill {
+        /// The global extent size `e`, in blocks.
+        extent_blocks: u64,
+    },
+    /// Write each update as a new chunk appended to the word's chunk list.
+    New,
+    /// Keep each long list one contiguous chunk: read it all, append, write
+    /// to a fresh location.
+    Whole,
+}
+
+/// The `Limit` variable: when to update in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limit {
+    /// `Limit = 0`: never update in place.
+    Never,
+    /// `Limit = z`: update in place when the in-memory list fits the free
+    /// space at the end of the word's last chunk.
+    Fits,
+}
+
+/// The `Alloc` variable: how much space `f(x)` to allocate when writing
+/// `x` postings to a fresh chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Alloc {
+    /// `f(x) = x + k` postings.
+    Constant {
+        /// Extra postings `k`.
+        k: u64,
+    },
+    /// The chunk is a multiple of `k` *blocks*: the block count is rounded
+    /// up to a multiple of `k`.
+    Block {
+        /// Block-granule `k`.
+        k: u64,
+    },
+    /// `f(x) = k·x` postings, `k >= 1`.
+    Proportional {
+        /// Growth factor `k`.
+        k: f64,
+    },
+}
+
+/// A complete long-list allocation policy.
+///
+/// ```
+/// use invidx_core::policy::Policy;
+///
+/// // The paper's named recommendations:
+/// assert_eq!(Policy::update_optimized().label(), "new 0");
+/// assert_eq!(Policy::query_optimized().label(), "whole z prop 1.2");
+/// // Labels round-trip through the parser:
+/// let p: Policy = "fill z e=8".parse().unwrap();
+/// assert_eq!(p.label(), "fill z e=8");
+/// // Reserved space: proportional k=2 doubles a 100-posting chunk.
+/// assert_eq!(Policy::balanced().reserve_postings(100, 100), 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Combination style.
+    pub style: Style,
+    /// In-place update rule.
+    pub limit: Limit,
+    /// Reserved-space rule for fresh chunks.
+    pub alloc: Alloc,
+}
+
+impl Policy {
+    /// Construct with the paper's normalization rules applied.
+    pub fn new(style: Style, limit: Limit, alloc: Alloc) -> Self {
+        let alloc = match (limit, style) {
+            // "If Limit = 0 ... we automatically set Alloc = constant, k=0."
+            (Limit::Never, _) => Alloc::Constant { k: 0 },
+            // "If Style = fill then the allocation strategy is irrelevant."
+            (_, Style::Fill { .. }) => Alloc::Constant { k: 0 },
+            _ => alloc,
+        };
+        Self { style, limit, alloc }
+    }
+
+    /// The **update-optimized** extreme (§3.1): `new` with `Limit = 0` —
+    /// "minimizes update time by simply writing out the update list blocks
+    /// as fast as possible".
+    pub fn update_optimized() -> Self {
+        Self::new(Style::New, Limit::Never, Alloc::Constant { k: 0 })
+    }
+
+    /// The **query-optimized** policy the paper recommends (§5.4): `whole`
+    /// with in-place updates and proportional allocation, k = 1.2 — one
+    /// read per long list at ~70% utilization.
+    pub fn query_optimized() -> Self {
+        Self::new(Style::Whole, Limit::Fits, Alloc::Proportional { k: 1.2 })
+    }
+
+    /// The **balanced** recommendation for update-leaning workloads (§5.4):
+    /// `new` with in-place updates and proportional allocation, k = 2.0
+    /// (the cusp of Figure 11: space for roughly one further update of the
+    /// same size).
+    pub fn balanced() -> Self {
+        Self::new(Style::New, Limit::Fits, Alloc::Proportional { k: 2.0 })
+    }
+
+    /// The extent-based trade-off policy (§3.1): `fill` with in-place
+    /// updates and 4-block extents — bounds the largest contiguous region,
+    /// good for disk arrays.
+    pub fn extent_based() -> Self {
+        Self::new(Style::Fill { extent_blocks: 4 }, Limit::Fits, Alloc::Constant { k: 0 })
+    }
+
+    /// The five policies compared throughout §5.2.1 (Figures 8–10, 13, 14):
+    /// `new 0`, `new z`, `fill 0`, `fill z`, `whole 0`, `whole z` — with
+    /// `Alloc = constant k = 0` so that "the effect of the allocation
+    /// policies" is removed, leaving only in-place fills of block tails.
+    pub fn style_comparison_set() -> Vec<Self> {
+        let e = 4;
+        vec![
+            Self::new(Style::New, Limit::Never, Alloc::Constant { k: 0 }),
+            Self::new(Style::New, Limit::Fits, Alloc::Constant { k: 0 }),
+            Self::new(Style::Fill { extent_blocks: e }, Limit::Never, Alloc::Constant { k: 0 }),
+            Self::new(Style::Fill { extent_blocks: e }, Limit::Fits, Alloc::Constant { k: 0 }),
+            Self::new(Style::Whole, Limit::Never, Alloc::Constant { k: 0 }),
+            Self::new(Style::Whole, Limit::Fits, Alloc::Constant { k: 0 }),
+        ]
+    }
+
+    /// The reserved-space target `f(x)` in postings for a fresh chunk
+    /// holding `x` postings, before rounding up to whole blocks.
+    /// `block_postings` is needed by the block strategy, whose granule is
+    /// expressed in blocks.
+    pub fn reserve_postings(&self, x: u64, block_postings: u64) -> u64 {
+        match self.alloc {
+            Alloc::Constant { k } => x + k,
+            Alloc::Block { k } => {
+                // Round the block count up to a multiple of k blocks.
+                let blocks = x.div_ceil(block_postings).max(1);
+                let granule = k.max(1);
+                blocks.div_ceil(granule) * granule * block_postings
+            }
+            Alloc::Proportional { k } => (x as f64 * k.max(1.0)).ceil() as u64,
+        }
+    }
+
+    /// Blocks to allocate for a fresh chunk of `x` postings.
+    pub fn chunk_blocks(&self, x: u64, block_postings: u64) -> u64 {
+        self.reserve_postings(x, block_postings).div_ceil(block_postings).max(1)
+    }
+
+    /// Short label in the paper's figure-legend style, e.g. `"new z"`,
+    /// `"whole 0"`, `"new z prop 2.0"`.
+    pub fn label(&self) -> String {
+        let style = match self.style {
+            Style::Fill { .. } => "fill",
+            Style::New => "new",
+            Style::Whole => "whole",
+        };
+        let limit = match self.limit {
+            Limit::Never => "0",
+            Limit::Fits => "z",
+        };
+        let alloc = match self.alloc {
+            Alloc::Constant { k: 0 } => String::new(),
+            Alloc::Constant { k } => format!(" const {k}"),
+            Alloc::Block { k } => format!(" block {k}"),
+            Alloc::Proportional { k } => format!(" prop {k}"),
+        };
+        let extent = match self.style {
+            Style::Fill { extent_blocks } if extent_blocks != 4 => format!(" e={extent_blocks}"),
+            _ => String::new(),
+        };
+        format!("{style} {limit}{alloc}{extent}")
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for Policy {
+    type Err = String;
+
+    /// Parse the label grammar: `<style> <limit> [<alloc> <k>] [e=<n>]`,
+    /// e.g. `"new 0"`, `"whole z prop 1.2"`, `"fill z e=8"`,
+    /// `"new z block 2"`. Round-trips with [`Policy::label`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        let toks: Vec<&str> = s.split_ascii_whitespace().collect();
+        let mut it = toks.iter().copied();
+        let style_name = it.next().ok_or("empty policy")?;
+        let limit = match it.next().ok_or("missing limit (0 or z)")? {
+            "0" => Limit::Never,
+            "z" => Limit::Fits,
+            other => return Err(format!("bad limit {other:?}, expected 0 or z")),
+        };
+        let mut alloc = Alloc::Constant { k: 0 };
+        let mut extent_blocks = 4u64;
+        let rest: Vec<&str> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i] {
+                "prop" | "proportional" => {
+                    let k: f64 = rest
+                        .get(i + 1)
+                        .ok_or("prop needs a constant")?
+                        .parse()
+                        .map_err(|e| format!("bad prop constant: {e}"))?;
+                    alloc = Alloc::Proportional { k };
+                    i += 2;
+                }
+                "const" | "constant" => {
+                    let k: u64 = rest
+                        .get(i + 1)
+                        .ok_or("const needs a constant")?
+                        .parse()
+                        .map_err(|e| format!("bad const constant: {e}"))?;
+                    alloc = Alloc::Constant { k };
+                    i += 2;
+                }
+                "block" => {
+                    let k: u64 = rest
+                        .get(i + 1)
+                        .ok_or("block needs a constant")?
+                        .parse()
+                        .map_err(|e| format!("bad block constant: {e}"))?;
+                    alloc = Alloc::Block { k };
+                    i += 2;
+                }
+                tok if tok.starts_with("e=") => {
+                    extent_blocks =
+                        tok[2..].parse().map_err(|e| format!("bad extent size: {e}"))?;
+                    i += 1;
+                }
+                other => return Err(format!("unexpected token {other:?}")),
+            }
+        }
+        let style = match style_name {
+            "new" => Style::New,
+            "whole" => Style::Whole,
+            "fill" => Style::Fill { extent_blocks },
+            other => return Err(format!("bad style {other:?}")),
+        };
+        Ok(Policy::new(style, limit, alloc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_limit_never() {
+        let p = Policy::new(Style::New, Limit::Never, Alloc::Proportional { k: 2.0 });
+        assert_eq!(p.alloc, Alloc::Constant { k: 0 });
+    }
+
+    #[test]
+    fn normalization_fill_style() {
+        let p = Policy::new(
+            Style::Fill { extent_blocks: 4 },
+            Limit::Fits,
+            Alloc::Proportional { k: 2.0 },
+        );
+        assert_eq!(p.alloc, Alloc::Constant { k: 0 });
+    }
+
+    #[test]
+    fn reserve_constant() {
+        let p = Policy::new(Style::New, Limit::Fits, Alloc::Constant { k: 700 });
+        assert_eq!(p.reserve_postings(100, 100), 800);
+        assert_eq!(p.chunk_blocks(100, 100), 8);
+    }
+
+    #[test]
+    fn reserve_block_rounds_to_granule() {
+        let p = Policy::new(Style::New, Limit::Fits, Alloc::Block { k: 4 });
+        // 150 postings at 100/block = 2 blocks, rounded to 4.
+        assert_eq!(p.chunk_blocks(150, 100), 4);
+        // 450 postings = 5 blocks -> 8.
+        assert_eq!(p.chunk_blocks(450, 100), 8);
+        // Exactly 4 blocks stays 4.
+        assert_eq!(p.chunk_blocks(400, 100), 4);
+    }
+
+    #[test]
+    fn reserve_proportional() {
+        let p = Policy::new(Style::New, Limit::Fits, Alloc::Proportional { k: 1.5 });
+        assert_eq!(p.reserve_postings(100, 100), 150);
+        assert_eq!(p.chunk_blocks(100, 100), 2);
+        // k below 1 is clamped to 1 (can never reserve less than the data).
+        let p = Policy::new(Style::New, Limit::Fits, Alloc::Proportional { k: 0.5 });
+        assert_eq!(p.reserve_postings(100, 100), 100);
+    }
+
+    #[test]
+    fn chunk_blocks_minimum_one() {
+        let p = Policy::update_optimized();
+        assert_eq!(p.chunk_blocks(1, 100), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::update_optimized().label(), "new 0");
+        assert_eq!(Policy::query_optimized().label(), "whole z prop 1.2");
+        assert_eq!(Policy::balanced().label(), "new z prop 2");
+        assert_eq!(Policy::extent_based().label(), "fill z");
+        let p = Policy::new(Style::Fill { extent_blocks: 8 }, Limit::Fits, Alloc::Constant { k: 0 });
+        assert_eq!(p.label(), "fill z e=8");
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        let mut policies = Policy::style_comparison_set();
+        policies.extend([
+            Policy::balanced(),
+            Policy::query_optimized(),
+            Policy::new(Style::New, Limit::Fits, Alloc::Block { k: 2 }),
+            Policy::new(Style::New, Limit::Fits, Alloc::Constant { k: 700 }),
+            Policy::new(Style::Fill { extent_blocks: 8 }, Limit::Fits, Alloc::Constant { k: 0 }),
+        ]);
+        for p in policies {
+            let parsed: Policy = p.label().parse().expect("parse own label");
+            assert_eq!(parsed, p, "label {:?}", p.label());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Policy>().is_err());
+        assert!("new".parse::<Policy>().is_err());
+        assert!("new q".parse::<Policy>().is_err());
+        assert!("sideways z".parse::<Policy>().is_err());
+        assert!("new z prop".parse::<Policy>().is_err());
+        assert!("new z prop abc".parse::<Policy>().is_err());
+        assert!("new z bogus 3".parse::<Policy>().is_err());
+        assert!("fill z e=x".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn comparison_set_has_six_policies() {
+        let set = Policy::style_comparison_set();
+        assert_eq!(set.len(), 6);
+        let labels: Vec<String> = set.iter().map(Policy::label).collect();
+        assert!(labels.contains(&"new 0".to_string()));
+        assert!(labels.contains(&"whole z".to_string()));
+    }
+}

@@ -1,0 +1,400 @@
+//! Posting lists: sorted sequences of document identifiers.
+//!
+//! "The inverted list for a particular word w contains a sequence of
+//! postings, each reporting the occurrence of w in a document. [...] the
+//! document identifiers appear in sorted order in inverted lists" (§1, §3).
+//! The sorted-order invariant is what makes the merge-based query operators
+//! (intersection, union, difference) linear, and what makes incremental
+//! updates pure *appends*: new documents carry larger identifiers.
+//!
+//! Two byte encodings are provided:
+//!
+//! * **fixed** — 4-byte little-endian doc ids. This is the layout used on
+//!   disk by the long-list store, where the paper's `BlockPosting`
+//!   parameter fixes how many postings fit one block.
+//! * **delta-varint** — gap encoding with LEB128 varints, the classic
+//!   compressed form (Zobel–Moffat–Sacks-Davis, the paper's related work
+//!   [12], "the compression methods presented there complement this paper
+//!   well"). Used by the compression ablation.
+
+use crate::types::{DocId, IndexError, Result, WordId};
+
+/// A sorted, duplicate-free list of document identifiers.
+///
+/// ```
+/// use invidx_core::postings::PostingList;
+/// use invidx_core::types::DocId;
+///
+/// let cat = PostingList::from_sorted(vec![DocId(1), DocId(2), DocId(5)]);
+/// let dog = PostingList::from_sorted(vec![DocId(2), DocId(3), DocId(5)]);
+/// assert_eq!(cat.intersect(&dog).docs(), &[DocId(2), DocId(5)]);
+/// assert_eq!(cat.union(&dog).len(), 4);
+/// assert_eq!(cat.difference(&dog).docs(), &[DocId(1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PostingList {
+    docs: Vec<DocId>,
+}
+
+impl PostingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector that is already sorted and duplicate-free.
+    ///
+    /// # Panics
+    /// Debug-asserts the invariant.
+    pub fn from_sorted(docs: Vec<DocId>) -> Self {
+        debug_assert!(docs.windows(2).all(|w| w[0] < w[1]), "postings must be sorted unique");
+        Self { docs }
+    }
+
+    /// Build from arbitrary doc ids: sorts and deduplicates.
+    pub fn from_unsorted(mut docs: Vec<DocId>) -> Self {
+        docs.sort_unstable();
+        docs.dedup();
+        Self { docs }
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The postings as a slice.
+    pub fn docs(&self) -> &[DocId] {
+        &self.docs
+    }
+
+    /// Largest document id, if any.
+    pub fn last(&self) -> Option<DocId> {
+        self.docs.last().copied()
+    }
+
+    /// Append one posting; must exceed the current maximum.
+    pub fn push(&mut self, word: WordId, doc: DocId) -> Result<()> {
+        if let Some(last) = self.last() {
+            if doc <= last {
+                return Err(IndexError::OutOfOrderAppend { word, have: last, new: doc });
+            }
+        }
+        self.docs.push(doc);
+        Ok(())
+    }
+
+    /// Append a whole list; its first id must exceed our maximum. This is
+    /// the fundamental incremental-update operation: "all long lists are
+    /// updated by appending new postings to them" (§3).
+    pub fn append(&mut self, word: WordId, other: &PostingList) -> Result<()> {
+        if let (Some(last), Some(first)) = (self.last(), other.docs.first().copied()) {
+            if first <= last {
+                return Err(IndexError::OutOfOrderAppend { word, have: last, new: first });
+            }
+        }
+        self.docs.extend_from_slice(&other.docs);
+        Ok(())
+    }
+
+    /// Merge two arbitrary sorted lists into their union (used by queries
+    /// that combine in-memory, bucket, and long-list segments).
+    pub fn union(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.docs.len() && j < other.docs.len() {
+            match self.docs[i].cmp(&other.docs[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.docs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.docs[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.docs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.docs[i..]);
+        out.extend_from_slice(&other.docs[j..]);
+        PostingList { docs: out }
+    }
+
+    /// Sorted-merge intersection.
+    pub fn intersect(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.docs.len() && j < other.docs.len() {
+            match self.docs[i].cmp(&other.docs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.docs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PostingList { docs: out }
+    }
+
+    /// Sorted-merge difference (`self AND NOT other`).
+    pub fn difference(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::with_capacity(self.len());
+        let mut j = 0;
+        for &d in &self.docs {
+            while j < other.docs.len() && other.docs[j] < d {
+                j += 1;
+            }
+            if j >= other.docs.len() || other.docs[j] != d {
+                out.push(d);
+            }
+        }
+        PostingList { docs: out }
+    }
+
+    /// Retain only postings satisfying the predicate (used by the deletion
+    /// sweep).
+    pub fn retain<F: FnMut(DocId) -> bool>(&mut self, mut f: F) {
+        self.docs.retain(|&d| f(d));
+    }
+
+    /// Split off the first `n` postings (used by the fill style to carve a
+    /// list into extents).
+    pub fn split_prefix(&mut self, n: usize) -> PostingList {
+        let n = n.min(self.docs.len());
+        let rest = self.docs.split_off(n);
+        PostingList { docs: std::mem::replace(&mut self.docs, rest) }
+    }
+}
+
+impl FromIterator<DocId> for PostingList {
+    fn from_iter<I: IntoIterator<Item = DocId>>(iter: I) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Fixed-width codec: 4-byte little-endian doc ids, no header.
+pub mod fixed {
+    use super::*;
+
+    /// Bytes needed for `n` postings.
+    pub const fn encoded_len(n: usize) -> usize {
+        n * 4
+    }
+
+    /// Encode `docs` into `out` (which must be large enough).
+    pub fn encode_into(docs: &[DocId], out: &mut [u8]) {
+        for (i, d) in docs.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&d.0.to_le_bytes());
+        }
+    }
+
+    /// Decode `n` postings from `bytes`.
+    pub fn decode(bytes: &[u8], n: usize) -> Result<Vec<DocId>> {
+        if bytes.len() < n * 4 {
+            return Err(IndexError::Corruption(format!(
+                "fixed decode of {n} postings from {} bytes",
+                bytes.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[i * 4..(i + 1) * 4]);
+            out.push(DocId(u32::from_le_bytes(b)));
+        }
+        Ok(out)
+    }
+}
+
+/// Delta-varint codec: LEB128 gaps between consecutive doc ids (first id
+/// encoded as-is, +1 shifts so gaps are always >= 1 and 0 never appears).
+pub mod varint {
+    use super::*;
+
+    fn push_varint(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let &b = bytes
+                .get(*pos)
+                .ok_or_else(|| IndexError::Corruption("varint truncated".into()))?;
+            *pos += 1;
+            if shift >= 64 {
+                return Err(IndexError::Corruption("varint overflow".into()));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Encode a sorted posting list as gap varints.
+    pub fn encode(docs: &[DocId]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(docs.len() + 4);
+        push_varint(docs.len() as u64, &mut out);
+        let mut prev = 0u64;
+        for (i, d) in docs.iter().enumerate() {
+            let v = d.0 as u64;
+            let gap = if i == 0 { v + 1 } else { v - prev };
+            push_varint(gap, &mut out);
+            prev = v;
+        }
+        out
+    }
+
+    /// Decode a gap-varint posting list.
+    pub fn decode(bytes: &[u8]) -> Result<Vec<DocId>> {
+        let mut pos = 0usize;
+        let n = read_varint(bytes, &mut pos)? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        let mut prev = 0u64;
+        for i in 0..n {
+            let gap = read_varint(bytes, &mut pos)?;
+            if gap == 0 {
+                return Err(IndexError::Corruption("zero gap in posting list".into()));
+            }
+            let v = if i == 0 { gap - 1 } else { prev + gap };
+            if v > u32::MAX as u64 {
+                return Err(IndexError::Corruption("doc id overflow".into()));
+            }
+            out.push(DocId(v as u32));
+            prev = v;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(ids: &[u32]) -> PostingList {
+        PostingList::from_sorted(ids.iter().map(|&i| DocId(i)).collect())
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut p = pl(&[1, 5]);
+        assert!(p.push(WordId(1), DocId(5)).is_err());
+        assert!(p.push(WordId(1), DocId(4)).is_err());
+        p.push(WordId(1), DocId(9)).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn append_enforces_order() {
+        let mut p = pl(&[1, 5]);
+        assert!(p.append(WordId(1), &pl(&[5, 9])).is_err());
+        p.append(WordId(1), &pl(&[6, 9])).unwrap();
+        assert_eq!(p.docs(), &[DocId(1), DocId(5), DocId(6), DocId(9)]);
+        // Appending an empty list is a no-op.
+        p.append(WordId(1), &PostingList::new()).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = pl(&[1, 3, 5, 7]);
+        let b = pl(&[3, 4, 5, 8]);
+        assert_eq!(a.union(&b), pl(&[1, 3, 4, 5, 7, 8]));
+        assert_eq!(a.intersect(&b), pl(&[3, 5]));
+        assert_eq!(a.difference(&b), pl(&[1, 7]));
+        assert_eq!(b.difference(&a), pl(&[4, 8]));
+    }
+
+    #[test]
+    fn set_operations_with_empty() {
+        let a = pl(&[1, 2]);
+        let e = PostingList::new();
+        assert_eq!(a.union(&e), a);
+        assert_eq!(a.intersect(&e), e);
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+    }
+
+    #[test]
+    fn from_unsorted_dedups() {
+        let p = PostingList::from_unsorted(vec![DocId(5), DocId(1), DocId(5), DocId(3)]);
+        assert_eq!(p, pl(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn split_prefix() {
+        let mut p = pl(&[1, 2, 3, 4, 5]);
+        let head = p.split_prefix(2);
+        assert_eq!(head, pl(&[1, 2]));
+        assert_eq!(p, pl(&[3, 4, 5]));
+        let all = p.split_prefix(99);
+        assert_eq!(all, pl(&[3, 4, 5]));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fixed_codec_round_trip() {
+        let docs: Vec<DocId> = [0u32, 1, 77, u32::MAX].iter().map(|&i| DocId(i)).collect();
+        let mut buf = vec![0u8; fixed::encoded_len(docs.len())];
+        fixed::encode_into(&docs, &mut buf);
+        assert_eq!(fixed::decode(&buf, docs.len()).unwrap(), docs);
+    }
+
+    #[test]
+    fn fixed_codec_short_buffer() {
+        assert!(fixed::decode(&[0u8; 7], 2).is_err());
+    }
+
+    #[test]
+    fn varint_codec_round_trip() {
+        for docs in [
+            vec![],
+            vec![0u32],
+            vec![0, 1, 2, 3],
+            vec![5, 1000, 1001, 4_000_000_000],
+            (0..1000u32).map(|i| i * 7).collect(),
+        ] {
+            let ids: Vec<DocId> = docs.iter().map(|&i| DocId(i)).collect();
+            let bytes = varint::encode(&ids);
+            assert_eq!(varint::decode(&bytes).unwrap(), ids);
+        }
+    }
+
+    #[test]
+    fn varint_compresses_dense_lists() {
+        let ids: Vec<DocId> = (1000..2000u32).map(DocId).collect();
+        let bytes = varint::encode(&ids);
+        assert!(bytes.len() < fixed::encoded_len(ids.len()) / 2);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_zero_gap() {
+        let ids: Vec<DocId> = (0..10u32).map(DocId).collect();
+        let bytes = varint::encode(&ids);
+        assert!(varint::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Hand-built: count 2, first gap 1 (doc 0), then an illegal 0 gap.
+        assert!(varint::decode(&[2, 1, 0]).is_err());
+    }
+}

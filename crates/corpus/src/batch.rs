@@ -1,0 +1,227 @@
+//! Batch updates: the paper's "invert index" process output (§4.2).
+//!
+//! "A batch update contains a list of words that appear in the documents of
+//! the batch and the number of times each word occurs in the batch. A word
+//! and its frequency of occurrence is termed a *word-occurrence pair*."
+//!
+//! The count for a word is the number of *documents* the word occurs in
+//! (duplicate tokens per document are dropped first — Table 3's caption),
+//! i.e. exactly the number of postings that the in-memory inverted index
+//! would accumulate for that word in the batch.
+
+use crate::doc::DayDocs;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A word identifier: in this substrate, the vocabulary rank itself.
+/// ("At this point all words in batch updates are converted to unique
+/// integers to simplify the remaining computations" — we use the Zipf rank,
+/// which is unique per word.)
+pub type WordRank = u64;
+
+/// One day's batch update: sorted `(word, postings)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchUpdate {
+    /// Batch (day) index.
+    pub day: usize,
+    /// Sorted by word; `count >= 1`.
+    pub pairs: Vec<(WordRank, u32)>,
+}
+
+impl BatchUpdate {
+    /// Build a batch update from one day's documents.
+    pub fn from_day(day: &DayDocs) -> Self {
+        let mut counts: BTreeMap<WordRank, u32> = BTreeMap::new();
+        for doc in &day.docs {
+            for &rank in &doc.word_ranks {
+                *counts.entry(rank).or_insert(0) += 1;
+            }
+        }
+        Self { day: day.day, pairs: counts.into_iter().collect() }
+    }
+
+    /// Total postings in this batch (sum of counts).
+    pub fn postings(&self) -> u64 {
+        self.pairs.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// Number of distinct words in this batch.
+    pub fn words(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Serialize in the paper's Figure 5 trace format: one `word count`
+    /// line per pair, terminated by the `0 0` end-of-batch marker.
+    pub fn to_trace_text(&self) -> String {
+        let mut s = String::with_capacity(self.pairs.len() * 12 + 8);
+        for &(w, c) in &self.pairs {
+            let _ = writeln!(s, "{w} {c}");
+        }
+        s.push_str("0 0\n");
+        s
+    }
+
+    /// Parse one batch back from Figure 5 trace text. Returns the batch and
+    /// the number of bytes consumed (so multiple batches can be streamed
+    /// from one file). The `day` field is taken from the argument since the
+    /// format does not carry it.
+    pub fn parse_trace_text(text: &str, day: usize) -> Result<(Self, usize), BatchParseError> {
+        let mut pairs = Vec::new();
+        let mut consumed = 0usize;
+        for line in text.lines() {
+            // +1 for the newline; the final line may lack one, handled below.
+            let line_len = line.len() + 1;
+            let mut it = line.split_ascii_whitespace();
+            let w: u64 = it
+                .next()
+                .ok_or(BatchParseError::Malformed)?
+                .parse()
+                .map_err(|_| BatchParseError::Malformed)?;
+            let c: u32 = it
+                .next()
+                .ok_or(BatchParseError::Malformed)?
+                .parse()
+                .map_err(|_| BatchParseError::Malformed)?;
+            if it.next().is_some() {
+                return Err(BatchParseError::Malformed);
+            }
+            consumed += line_len.min(text.len() - (consumed));
+            if w == 0 && c == 0 {
+                return Ok((Self { day, pairs }, consumed));
+            }
+            if w == 0 || c == 0 {
+                return Err(BatchParseError::Malformed);
+            }
+            pairs.push((w, c));
+        }
+        Err(BatchParseError::MissingTerminator)
+    }
+}
+
+/// Errors from [`BatchUpdate::parse_trace_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchParseError {
+    /// A line did not contain exactly two non-negative integers.
+    Malformed,
+    /// The `0 0` end-of-batch marker never appeared.
+    MissingTerminator,
+}
+
+impl std::fmt::Display for BatchParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed => write!(f, "malformed word-occurrence line"),
+            Self::MissingTerminator => write!(f, "missing 0 0 end-of-batch marker"),
+        }
+    }
+}
+
+impl std::error::Error for BatchParseError {}
+
+/// Serialize a whole sequence of batches to one trace file body.
+pub fn batches_to_trace_text(batches: &[BatchUpdate]) -> String {
+    batches.iter().map(BatchUpdate::to_trace_text).collect()
+}
+
+/// Parse a whole trace file body into batches.
+pub fn batches_from_trace_text(text: &str) -> Result<Vec<BatchUpdate>, BatchParseError> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    let mut day = 0usize;
+    while !rest.trim().is_empty() {
+        let (batch, consumed) = BatchUpdate::parse_trace_text(rest, day)?;
+        out.push(batch);
+        rest = &rest[consumed.min(rest.len())..];
+        day += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{CorpusGenerator, CorpusParams};
+
+    fn one_day() -> DayDocs {
+        let params = CorpusParams {
+            days: 1,
+            docs_per_weekday: 20,
+            vocab_ranks: 2_000,
+            tokens_per_doc_median: 30.0,
+            min_doc_chars: 100,
+            interrupted_day: None,
+            ..CorpusParams::default()
+        };
+        CorpusGenerator::new(params).next_day().unwrap()
+    }
+
+    #[test]
+    fn counts_are_document_frequencies() {
+        let day = one_day();
+        let batch = BatchUpdate::from_day(&day);
+        // Postings must equal the sum of per-document distinct word counts.
+        let expected: u64 = day.docs.iter().map(|d| d.word_ranks.len() as u64).sum();
+        assert_eq!(batch.postings(), expected);
+        // Every count is bounded by the number of documents.
+        for &(_, c) in &batch.pairs {
+            assert!(c as usize <= day.docs.len());
+        }
+    }
+
+    #[test]
+    fn pairs_sorted_by_word() {
+        let batch = BatchUpdate::from_day(&one_day());
+        assert!(batch.pairs.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn trace_text_round_trip() {
+        let batch = BatchUpdate::from_day(&one_day());
+        let text = batch.to_trace_text();
+        let (parsed, consumed) = BatchUpdate::parse_trace_text(&text, batch.day).unwrap();
+        assert_eq!(parsed, batch);
+        assert_eq!(consumed, text.len());
+    }
+
+    #[test]
+    fn multi_batch_round_trip() {
+        let params = CorpusParams {
+            days: 3,
+            docs_per_weekday: 10,
+            vocab_ranks: 1_000,
+            tokens_per_doc_median: 20.0,
+            min_doc_chars: 50,
+            interrupted_day: None,
+            ..CorpusParams::default()
+        };
+        let batches: Vec<BatchUpdate> =
+            CorpusGenerator::new(params).map(|d| BatchUpdate::from_day(&d)).collect();
+        let text = batches_to_trace_text(&batches);
+        let parsed = batches_from_trace_text(&text).unwrap();
+        assert_eq!(parsed, batches);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            BatchUpdate::parse_trace_text("1 2\nnot numbers\n0 0\n", 0),
+            Err(BatchParseError::Malformed)
+        );
+        assert_eq!(
+            BatchUpdate::parse_trace_text("1 2\n", 0),
+            Err(BatchParseError::MissingTerminator)
+        );
+        assert_eq!(
+            BatchUpdate::parse_trace_text("1 0\n0 0\n", 0),
+            Err(BatchParseError::Malformed)
+        );
+    }
+
+    #[test]
+    fn figure5_shape() {
+        // The format matches Figure 5: "word occurrence" pairs, one per
+        // line, with the `0 0` end-of-batch marker.
+        let batch = BatchUpdate { day: 0, pairs: vec![(172_921, 1013), (355_315, 1115)] };
+        assert_eq!(batch.to_trace_text(), "172921 1013\n355315 1115\n0 0\n");
+    }
+}

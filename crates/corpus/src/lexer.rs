@@ -1,0 +1,220 @@
+//! The paper's document lexer (§4.2).
+//!
+//! "Each document in the batch is lexically analyzed to produce a token
+//! stream. Sequences of letters and sequences of numbers are tokens — all
+//! other characters are ignored. Certain lines of a document (such as
+//! `Date:` lines) are also ignored. Finally, duplicate tokens for a document
+//! are dropped. [...] Tokens are converted to words by converting upper case
+//! letters to lower case."
+
+use std::collections::BTreeSet;
+
+/// Header-line prefixes that are ignored entirely (compared
+/// case-insensitively). Modeled on NetNews/RFC-1036 headers; the paper
+/// names `Date:` lines explicitly.
+pub const IGNORED_LINE_PREFIXES: [&str; 8] = [
+    "date:",
+    "message-id:",
+    "path:",
+    "references:",
+    "xref:",
+    "lines:",
+    "nntp-posting-host:",
+    "organization:",
+];
+
+/// Returns true when the line should be skipped by the lexer.
+pub fn is_ignored_line(line: &str) -> bool {
+    // Byte-wise comparison: prefix lengths may fall inside a multi-byte
+    // character of arbitrary input, so string slicing would panic.
+    let bytes = line.trim_start().as_bytes();
+    IGNORED_LINE_PREFIXES
+        .iter()
+        .any(|p| bytes.len() >= p.len() && bytes[..p.len()].eq_ignore_ascii_case(p.as_bytes()))
+}
+
+/// Tokenize one line into lowercase letter-run and digit-run tokens.
+///
+/// A letter run ends where a non-letter begins and vice versa, so
+/// `"rs6000"` yields `["rs", "6000"]` — sequences of letters and sequences
+/// of numbers are *separate* tokens, exactly as in the paper.
+pub fn tokenize_line(line: &str) -> impl Iterator<Item = String> + '_ {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_alphabetic() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                return Some(line[start..i].to_ascii_lowercase());
+            } else if b.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                return Some(line[start..i].to_string());
+            } else {
+                i += 1;
+            }
+        }
+        None
+    })
+}
+
+/// Tokenize a whole document: header-aware, line by line.
+pub fn tokenize_document(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if is_ignored_line(line) {
+            continue;
+        }
+        out.extend(tokenize_line(line));
+    }
+    out
+}
+
+/// Tokenize a document keeping token *positions* (0-based ordinals in the
+/// token stream) — the paper's §1 postings "may include the word offset
+/// (within the document) where w occurs"; proximity queries ("cat and dog
+/// within so many words of each other") consume these.
+pub fn tokenize_with_positions(text: &str) -> Vec<(String, u32)> {
+    tokenize_document(text)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, i as u32))
+        .collect()
+}
+
+/// The positions at which each distinct word occurs, sorted by word.
+pub fn document_word_positions(text: &str) -> Vec<(String, Vec<u32>)> {
+    let mut map: std::collections::BTreeMap<String, Vec<u32>> = Default::default();
+    for (tok, pos) in tokenize_with_positions(text) {
+        map.entry(tok).or_default().push(pos);
+    }
+    map.into_iter().collect()
+}
+
+/// The word *set* of a document: tokenized, lowercased, deduplicated, and
+/// sorted — the form shown in the paper's Figure 4(b).
+///
+/// ```
+/// use invidx_corpus::lexer::document_words;
+///
+/// let words = document_words("Date: skipped\nThe RS6000, the IBM box");
+/// assert_eq!(words, ["6000", "box", "ibm", "rs", "the"]);
+/// ```
+pub fn document_words(text: &str) -> Vec<String> {
+    let set: BTreeSet<String> = tokenize_document(text).into_iter().collect();
+    set.into_iter().collect()
+}
+
+/// Document admission filters from §4.1.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionFilter {
+    /// "News documents less than 1000 characters in length were eliminated".
+    pub min_chars: usize,
+    /// Reject documents whose non-ASCII-printable fraction exceeds this —
+    /// the paper's filter for "non-English language documents (e.g., encoded
+    /// binaries and pictures)".
+    pub max_binary_fraction: f64,
+}
+
+impl Default for AdmissionFilter {
+    fn default() -> Self {
+        Self { min_chars: 1000, max_binary_fraction: 0.10 }
+    }
+}
+
+impl AdmissionFilter {
+    /// Should this document be admitted to the batch?
+    pub fn admits(&self, text: &str) -> bool {
+        if text.len() < self.min_chars {
+            return false;
+        }
+        let binary = text
+            .bytes()
+            .filter(|&b| !(b.is_ascii_graphic() || b == b' ' || b == b'\n' || b == b'\t' || b == b'\r'))
+            .count();
+        (binary as f64) <= self.max_binary_fraction * text.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_4_example() {
+        // Figure 4(a)/(b) of the paper: the fragment and its token set.
+        let fragment = "for years. And it was a total flop, in all the years it was available\n\
+                        very few people ever took advantage of it so it was dropped.";
+        let words = document_words(fragment);
+        let expected: Vec<&str> = vec![
+            "a", "advantage", "all", "and", "available", "dropped", "ever", "few", "flop",
+            "for", "in", "it", "of", "people", "so", "the", "took", "total", "very", "was",
+            "years",
+        ];
+        assert_eq!(words, expected);
+    }
+
+    #[test]
+    fn letters_and_digits_are_separate_tokens() {
+        let toks: Vec<String> = tokenize_line("IBM RS6000 Model-530, 1994!").collect();
+        assert_eq!(toks, vec!["ibm", "rs", "6000", "model", "530", "1994"]);
+    }
+
+    #[test]
+    fn date_lines_are_ignored() {
+        let doc = "Date: Mon, 15 Nov 1993\nSubject: cats and dogs\ncat dog";
+        let words = document_words(doc);
+        assert!(!words.contains(&"nov".to_string()));
+        assert!(words.contains(&"cat".to_string()));
+        assert!(words.contains(&"subject".to_string()));
+    }
+
+    #[test]
+    fn header_prefix_match_is_case_insensitive() {
+        assert!(is_ignored_line("DATE: whenever"));
+        assert!(is_ignored_line("  Message-ID: <x@y>"));
+        assert!(!is_ignored_line("dates are fruit"));
+        assert!(!is_ignored_line("update: news"));
+    }
+
+    #[test]
+    fn duplicates_dropped_and_sorted() {
+        let words = document_words("b b a a c a");
+        assert_eq!(words, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(document_words("").is_empty());
+        assert!(tokenize_document("!!! ---").is_empty());
+    }
+
+    #[test]
+    fn admission_filter_min_length() {
+        let f = AdmissionFilter::default();
+        assert!(!f.admits("short doc"));
+        let long = "word ".repeat(300);
+        assert!(f.admits(&long));
+    }
+
+    #[test]
+    fn admission_filter_binary() {
+        let f = AdmissionFilter::default();
+        let mut binary = String::from_utf8(vec![b'x'; 500]).unwrap();
+        binary.push_str(&"\u{00}".repeat(600));
+        assert!(!f.admits(&binary));
+    }
+
+    #[test]
+    fn tokenize_unicode_passthrough_is_ignored() {
+        // Non-ASCII characters are "other characters" and are ignored.
+        let toks: Vec<String> = tokenize_line("caf\u{e9} na\u{ef}ve 42").collect();
+        assert_eq!(toks, vec!["caf", "na", "ve", "42"]);
+    }
+}

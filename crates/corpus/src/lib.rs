@@ -1,0 +1,63 @@
+//! # invidx-corpus — synthetic text-document substrate
+//!
+//! The paper's evaluation is driven by 73 days of NetNews articles gathered
+//! in 1993/94 (§4.1) — data we do not have. This crate builds the closest
+//! synthetic equivalent: a deterministic, parameterized NetNews-like corpus
+//! whose statistical properties (Zipf-skewed inverted-list lengths,
+//! continuous new-word arrival, weekly volume seasonality, ≥1000-character
+//! documents) match the drivers of every figure in the paper. See DESIGN.md
+//! for the substitution argument.
+//!
+//! The crate provides:
+//!
+//! * [`zipf`] — exact and rejection-based Zipf rank samplers;
+//! * [`vocab`] — a deterministic, injective rank → word-string mapping;
+//! * [`lexer`] — the paper's tokenizer (letter runs, digit runs, header-line
+//!   skipping, lowercasing, per-document dedup) and admission filters;
+//! * [`doc`] — the streaming corpus generator and text renderer;
+//! * [`batch`] — batch updates (word-occurrence pairs) and the Figure 5
+//!   trace text format;
+//! * [`stats`] — Table 1 statistics.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batch;
+pub mod doc;
+pub mod lexer;
+pub mod stats;
+pub mod vocab;
+pub mod zipf;
+
+pub use batch::{BatchUpdate, WordRank};
+pub use doc::{CorpusGenerator, CorpusParams, DayDocs, GeneratedDoc};
+pub use stats::{CorpusStats, StatsCollector};
+
+/// Generate all batch updates for a parameter set, plus Table 1 statistics.
+///
+/// This is the "News → Invert Index" front of the paper's Figure 3 pipeline
+/// in one call. Memory stays bounded: documents are dropped as soon as their
+/// batch update is folded in.
+pub fn generate_batches(params: CorpusParams) -> (Vec<BatchUpdate>, CorpusStats) {
+    let mut stats = StatsCollector::new();
+    let mut batches = Vec::with_capacity(params.days);
+    for day in CorpusGenerator::new(params) {
+        stats.add_day(&day);
+        batches.push(BatchUpdate::from_day(&day));
+    }
+    (batches, stats.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_batches_end_to_end() {
+        let (batches, stats) = generate_batches(CorpusParams::tiny());
+        assert_eq!(batches.len(), 12);
+        let total: u64 = batches.iter().map(|b| b.postings()).sum();
+        assert_eq!(total, stats.total_postings);
+        assert!(stats.documents > 100);
+    }
+}

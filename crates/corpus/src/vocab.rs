@@ -1,0 +1,198 @@
+//! Deterministic vocabulary: mapping Zipf ranks to word strings.
+//!
+//! The evaluation pipeline mostly works with integer word identifiers ("all
+//! words in batch updates are converted to unique integers to simplify the
+//! remaining computations", paper §4.2), but Table 1 reports raw-text sizes
+//! and the lexer needs real text, so every rank has a reproducible surface
+//! form.
+//!
+//! Words are pronounceable pseudo-English built from consonant-vowel units;
+//! the mapping is **injective by construction**: ranks are partitioned into
+//! length classes (frequent words are short, like natural language) and the
+//! index within each class is scrambled by a unit-modulus-coprime multiplier,
+//! which is a bijection of the class. A slice of the deep tail is rendered
+//! as digit strings (the paper's lexer treats digit runs as tokens) and
+//! another slice as "misspellings" — common words with one corrupted letter
+//! (the paper notes misspellings end up in batch updates too); both carry a
+//! rank-derived suffix placing them in disjoint string classes.
+
+/// Ranks in the tail divisible by this become digit-run tokens.
+const DIGIT_TOKEN_MODULUS: u64 = 23;
+/// Ranks in the tail divisible by this become misspellings.
+const MISSPELL_MODULUS: u64 = 17;
+/// Ranks at or below this are never digit tokens or misspellings.
+const COMMON_RANK_CUTOFF: u64 = 2_000;
+
+const ONSETS: [&str; 24] = [
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "st", "tr", "ch", "sh", "pl", "gr",
+];
+const VOWELS: [&str; 10] = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io", "oo"];
+
+/// Number of distinct consonant-vowel units.
+const UNITS: u64 = (ONSETS.len() * VOWELS.len()) as u64;
+
+/// Class scrambler: any prime that does not divide `UNITS` is coprime with
+/// every power of `UNITS`, so multiplication mod the class size is bijective.
+const SCRAMBLE: u64 = 1_000_003;
+
+/// Render the word for a 0-based index within the `len`-unit class.
+fn render_units(mut idx: u64, len: u32) -> String {
+    let mut units = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        units.push(idx % UNITS);
+        idx /= UNITS;
+    }
+    let mut w = String::with_capacity(len as usize * 3);
+    for u in units {
+        w.push_str(ONSETS[(u / VOWELS.len() as u64) as usize]);
+        w.push_str(VOWELS[(u % VOWELS.len() as u64) as usize]);
+    }
+    w
+}
+
+/// Map a 0-based "plain word" ordinal to its string, shortest classes first.
+fn plain_word(ordinal: u64) -> String {
+    let mut class_start = 0u64;
+    let mut class_size = UNITS;
+    let mut len = 1u32;
+    loop {
+        if ordinal < class_start + class_size {
+            let within = ordinal - class_start;
+            let scrambled = (within.wrapping_mul(SCRAMBLE)) % class_size;
+            return render_units(scrambled, len);
+        }
+        class_start += class_size;
+        class_size = class_size.saturating_mul(UNITS);
+        len += 1;
+        assert!(len <= 10, "vocabulary ordinal out of representable range");
+    }
+}
+
+/// The surface string for a vocabulary rank (1-based; rank 1 is the most
+/// frequent word). Deterministic and injective: distinct ranks always yield
+/// distinct strings.
+pub fn word_string(rank: u64) -> String {
+    assert!(rank >= 1, "ranks are 1-based");
+    if rank > COMMON_RANK_CUTOFF {
+        if rank.is_multiple_of(DIGIT_TOKEN_MODULUS) {
+            // Digit-run token, e.g. a year, message number, or address.
+            // Injective: the digits encode the rank itself.
+            return format!("{}", 1_000_000 + rank);
+        }
+        if rank.is_multiple_of(MISSPELL_MODULUS) {
+            // A misspelling: corrupt one letter of a common word, then tag
+            // with 'q' plus a base-25 rank suffix. Plain words never contain
+            // 'q' (it is in no onset or vowel) and the corruption step skips
+            // 'q', so the first 'q' uniquely delimits the suffix — making
+            // misspellings injective and disjoint from every other class.
+            // All-letter output keeps the lexer round-trip exact.
+            let base_rank = 1 + (rank / MISSPELL_MODULUS) % COMMON_RANK_CUTOFF;
+            let mut base = word_string(base_rank).into_bytes();
+            let pos = (rank as usize / 7) % base.len();
+            // Advance one letter in the 25-letter alphabet without 'q'.
+            let next = (base[pos] - b'a' + 1) % 26;
+            base[pos] = b'a' + if next == (b'q' - b'a') { next + 1 } else { next };
+            let mut s = String::from_utf8(base).expect("ascii");
+            s.push('q');
+            let mut n = rank;
+            while n > 0 {
+                let d = (n % 25) as u8;
+                s.push(if b'a' + d >= b'q' { b'a' + d + 1 } else { b'a' + d } as char);
+                n /= 25;
+            }
+            return s;
+        }
+    }
+    // Plain pseudo-words: compress out the tail slots taken by digit tokens
+    // and misspellings so plain ordinals stay dense. Exact density is not
+    // important; injectivity is, and distinct ranks map to distinct ordinals.
+    plain_word(rank - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(word_string(1), word_string(1));
+        assert_eq!(word_string(123_456), word_string(123_456));
+    }
+
+    #[test]
+    fn lowercase_alnum_only() {
+        for rank in [1u64, 2, 57, 2_001, 2_300, 46_000, 999_999, 5_000_000] {
+            let w = word_string(rank);
+            assert!(!w.is_empty());
+            assert!(
+                w.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()),
+                "word {w:?} for rank {rank} has non-alnum bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_words_are_short() {
+        // The first length class is one consonant-vowel unit: at most a
+        // 2-char onset plus a 2-char vowel.
+        for rank in 1..=240u64 {
+            let w = word_string(rank);
+            assert!(w.len() <= 4, "rank {rank} word {w:?} too long");
+        }
+    }
+
+    #[test]
+    fn plain_words_never_contain_q() {
+        for rank in 1..=2_000u64 {
+            assert!(!word_string(rank).contains('q'), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn misspellings_are_all_letters() {
+        for rank in (2_001..10_000u64).filter(|r| r % MISSPELL_MODULUS == 0) {
+            let w = word_string(rank);
+            if w.contains('q') {
+                assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_over_prefix() {
+        let mut seen = HashSet::new();
+        for rank in 1..=300_000u64 {
+            let w = word_string(rank);
+            assert!(seen.insert(w.clone()), "duplicate word {w:?} at rank {rank}");
+        }
+    }
+
+    #[test]
+    fn digit_tokens_exist_in_tail() {
+        let any_digit =
+            (2_001..4_000u64).any(|r| word_string(r).bytes().all(|b| b.is_ascii_digit()));
+        assert!(any_digit, "expected some digit-run tokens in the tail");
+    }
+
+    #[test]
+    fn misspellings_exist_in_tail() {
+        let any_misspelled = (2_001..4_000u64).any(|r| word_string(r).contains('q'));
+        assert!(any_misspelled, "expected some misspelling tokens in the tail");
+    }
+
+    #[test]
+    fn render_units_is_injective_per_class() {
+        let mut seen = HashSet::new();
+        for idx in 0..UNITS {
+            assert!(seen.insert(render_units(idx, 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        word_string(0);
+    }
+}

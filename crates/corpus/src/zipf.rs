@@ -1,0 +1,257 @@
+//! Zipf-distributed rank sampling.
+//!
+//! The paper observes (§2) that inverted-list lengths for a text database
+//! follow "a roughly exponential distribution (the Zipf curve)". Everything
+//! in the evaluation — which words overflow buckets, how long lists grow,
+//! how much reserved space pays off — is driven by this skew, so the
+//! synthetic corpus must reproduce it.
+//!
+//! Two samplers are provided:
+//!
+//! * [`ZipfTable`] — exact inverse-CDF sampling via a precomputed cumulative
+//!   table and binary search. O(n) memory, O(log n) per sample, numerically
+//!   exact. The default for corpus generation.
+//! * [`ZipfRejection`] — the rejection-inversion sampler of Hörmann &
+//!   Derflinger, O(1) memory and amortized O(1) per sample. Used when the
+//!   rank space is too large to tabulate.
+//!
+//! Both sample ranks in `1..=n` with `P(rank = k) ∝ k^{-s}`.
+
+use rand::Rng;
+
+/// Exact Zipf sampler backed by a cumulative-probability table.
+///
+/// Sampling draws a uniform variate and binary-searches the table, so two
+/// samplers with the same `(n, s)` and the same RNG stream produce identical
+/// rank sequences — which keeps corpus generation deterministic.
+/// ```
+/// use invidx_corpus::zipf::ZipfTable;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfTable::new(1000, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&rank));
+/// // Rank 1 is the most probable.
+/// assert!(zipf.pmf(1) > zipf.pmf(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// `cdf[k-1]` = P(rank <= k), with `cdf[n-1] == 1.0` exactly.
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfTable {
+    /// Build a sampler over ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfTable requires n > 0");
+        assert!(s.is_finite() && s > 0.0, "ZipfTable requires finite s > 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of drawing exactly `rank` (1-based).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!((1..=self.n()).contains(&rank), "rank out of range");
+        let lo = if rank == 1 { 0.0 } else { self.cdf[rank - 2] };
+        self.cdf[rank - 1] - lo
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the 0-based
+        // index of the first cdf entry >= u; +1 converts to a 1-based rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+/// Rejection-inversion Zipf sampler (Hörmann & Derflinger 1996).
+///
+/// Supports arbitrarily large `n` without tabulating probabilities. The
+/// acceptance rate is bounded below by a constant for all `n` and `s`, so
+/// sampling is amortized O(1).
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfRejection {
+    n: u64,
+    s: f64,
+    /// `H(1.5) - 1`, the lower endpoint of the uniform envelope.
+    h_x1: f64,
+    /// `H(n + 0.5)`, the upper endpoint.
+    h_n: f64,
+    /// Acceptance threshold shortcut `s_cut = 2 - H_inv(H(2.5) - 2^{-s})`.
+    cut: f64,
+}
+
+impl ZipfRejection {
+    /// Build a sampler over ranks `1..=n` with exponent `s > 0`, `s != 1`
+    /// handled together with `s == 1` via the generalized harmonic integral.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "ZipfRejection requires n > 0");
+        assert!(s.is_finite() && s > 0.0, "ZipfRejection requires finite s > 0");
+        let h_x1 = Self::h(1.5, s) - 1.0;
+        let h_n = Self::h(n as f64 + 0.5, s);
+        let cut = 2.0 - Self::h_inv(Self::h(2.5, s) - (2.0f64).powf(-s), s);
+        Self { n, s, h_x1, h_n, cut }
+    }
+
+    /// `H(x) = ∫ t^{-s} dt`, the antiderivative used for envelope inversion.
+    fn h(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    /// Inverse of [`Self::h`].
+    fn h_inv(y: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + (1.0 - s) * y).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.random::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv(u, self.s);
+            let k = x.clamp(1.0, self.n as f64).round();
+            if k - x <= self.cut || u >= Self::h(k + 0.5, self.s) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_pmf_sums_to_one() {
+        let z = ZipfTable::new(100, 1.1);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "pmf sum = {total}");
+    }
+
+    #[test]
+    fn table_pmf_is_monotone_decreasing() {
+        let z = ZipfTable::new(50, 0.8);
+        for k in 1..50 {
+            assert!(z.pmf(k) >= z.pmf(k + 1), "pmf not monotone at {k}");
+        }
+    }
+
+    #[test]
+    fn table_sample_in_range() {
+        let z = ZipfTable::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=10).contains(&r));
+        }
+    }
+
+    #[test]
+    fn table_rank1_frequency_matches_pmf() {
+        let z = ZipfTable::new(1000, 1.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let ones = (0..trials).filter(|_| z.sample(&mut rng) == 1).count();
+        let observed = ones as f64 / trials as f64;
+        let expected = z.pmf(1);
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn rejection_sample_in_range() {
+        let z = ZipfRejection::new(1_000_000, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=1_000_000).contains(&r));
+        }
+    }
+
+    #[test]
+    fn rejection_matches_table_distribution() {
+        // Compare empirical top-rank frequencies of the two samplers.
+        let n = 10_000;
+        let s = 1.1;
+        let table = ZipfTable::new(n, s);
+        let rej = ZipfRejection::new(n as u64, s);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 300_000;
+        let mut counts_rej = [0u64; 5];
+        for _ in 0..trials {
+            let r = rej.sample(&mut rng) as usize;
+            if r <= 5 {
+                counts_rej[r - 1] += 1;
+            }
+        }
+        for k in 1..=5 {
+            let observed = counts_rej[k - 1] as f64 / trials as f64;
+            let expected = table.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_handles_s_equal_one() {
+        let z = ZipfRejection::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 100_000;
+        let ones = (0..trials).filter(|_| z.sample(&mut rng) == 1).count();
+        let observed = ones as f64 / trials as f64;
+        // Harmonic number H_1000 ~= 7.485; P(1) = 1/H_1000 ~= 0.1336.
+        assert!((observed - 0.1336).abs() < 0.01, "observed {observed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn table_rejects_zero_n() {
+        ZipfTable::new(0, 1.0);
+    }
+}

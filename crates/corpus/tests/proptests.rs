@@ -1,0 +1,103 @@
+//! Property-based tests for the corpus substrate: lexer algebraic
+//! properties, vocabulary injectivity, batch-format round trips, and Zipf
+//! sampler range/monotonicity checks.
+
+use invidx_corpus::batch::{batches_from_trace_text, batches_to_trace_text, BatchUpdate};
+use invidx_corpus::lexer;
+use invidx_corpus::vocab::word_string;
+use invidx_corpus::zipf::{ZipfRejection, ZipfTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokens_are_lowercase_single_class_runs(text in ".{0,300}") {
+        for tok in lexer::tokenize_document(&text) {
+            prop_assert!(!tok.is_empty());
+            let all_alpha = tok.bytes().all(|b| b.is_ascii_lowercase());
+            let all_digit = tok.bytes().all(|b| b.is_ascii_digit());
+            prop_assert!(all_alpha || all_digit, "mixed token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn document_words_is_sorted_dedup_of_tokens(text in "[a-zA-Z0-9 .,\n]{0,300}") {
+        let words = lexer::document_words(&text);
+        let set: BTreeSet<String> = lexer::tokenize_document(&text).into_iter().collect();
+        prop_assert_eq!(words, set.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lexing_is_idempotent(text in ".{0,300}") {
+        // Lexing the space-joined token stream yields the same tokens.
+        let once = lexer::tokenize_document(&text);
+        let joined = once.join(" ");
+        let twice = lexer::tokenize_document(&joined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn vocabulary_is_injective_on_sampled_ranks(ranks in prop::collection::btree_set(1u64..10_000_000, 2..60)) {
+        let words: Vec<String> = ranks.iter().map(|&r| word_string(r)).collect();
+        let unique: BTreeSet<&String> = words.iter().collect();
+        prop_assert_eq!(unique.len(), words.len());
+        // Every word survives the lexer as exactly one token.
+        for w in &words {
+            let toks: Vec<String> = lexer::tokenize_line(w).collect();
+            prop_assert_eq!(toks, vec![w.clone()], "word {} split by lexer", w);
+        }
+    }
+
+    #[test]
+    fn batch_trace_round_trips(pairs in prop::collection::btree_map(1u64..1_000_000, 1u32..10_000, 0..80)) {
+        let batch = BatchUpdate { day: 0, pairs: pairs.into_iter().collect() };
+        let text = batch.to_trace_text();
+        let (parsed, consumed) = BatchUpdate::parse_trace_text(&text, 0).expect("parse");
+        prop_assert_eq!(parsed, batch);
+        prop_assert_eq!(consumed, text.len());
+    }
+
+    #[test]
+    fn multi_batch_trace_round_trips(batches in prop::collection::vec(
+        prop::collection::btree_map(1u64..100_000, 1u32..500, 0..20), 0..6)
+    ) {
+        let batches: Vec<BatchUpdate> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(day, pairs)| BatchUpdate { day, pairs: pairs.into_iter().collect() })
+            .collect();
+        let text = batches_to_trace_text(&batches);
+        let parsed = batches_from_trace_text(&text).expect("parse");
+        prop_assert_eq!(parsed, batches);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zipf_samplers_agree_on_head_mass(s in 0.8f64..1.6, seed in any::<u64>()) {
+        let n = 5_000usize;
+        let table = ZipfTable::new(n, s);
+        let rej = ZipfRejection::new(n as u64, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 30_000;
+        let mut head_t = 0u32;
+        let mut head_r = 0u32;
+        for _ in 0..trials {
+            if table.sample(&mut rng) <= 10 {
+                head_t += 1;
+            }
+            if rej.sample(&mut rng) <= 10 {
+                head_r += 1;
+            }
+        }
+        let ft = head_t as f64 / trials as f64;
+        let fr = head_r as f64 / trials as f64;
+        prop_assert!((ft - fr).abs() < 0.03, "table {ft} vs rejection {fr} at s={s}");
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-disk arrays with round-robin placement and trace recording.
+//!
+//! The paper's second allocation issue (§3): "When the list for a new word
+//! w is added to the directory or a new chunk of a list for a word w is
+//! allocated, a disk is chosen. [...] The strategy considered here is to
+//! choose disk i+1 mod n" where `i` was the previous choice. [`DiskArray`]
+//! implements that cursor over a set of per-disk (device, allocator) pairs
+//! and optionally records every operation into an [`IoTrace`] — the same
+//! trace the paper's "compute disks" process emits.
+
+use crate::block::BlockDevice;
+use crate::error::{DiskError, Result};
+use crate::freelist::ExtentAllocator;
+use crate::trace::{IoOp, IoTrace};
+
+/// One disk: a block device plus its free-space allocator.
+pub struct Disk {
+    /// Raw block storage.
+    pub device: Box<dyn BlockDevice>,
+    /// Extent allocator for this disk's free space.
+    pub alloc: Box<dyn ExtentAllocator>,
+}
+
+/// A set of disks with a shared round-robin placement cursor.
+pub struct DiskArray {
+    disks: Vec<Disk>,
+    cursor: usize,
+    trace: Option<IoTrace>,
+    block_size: usize,
+}
+
+impl DiskArray {
+    /// Assemble an array. All devices must share one block size.
+    ///
+    /// # Panics
+    /// Panics if `disks` is empty or block sizes disagree.
+    pub fn new(disks: Vec<Disk>) -> Self {
+        assert!(!disks.is_empty(), "DiskArray requires at least one disk");
+        let block_size = disks[0].device.block_size();
+        assert!(
+            disks.iter().all(|d| d.device.block_size() == block_size),
+            "all devices must share one block size"
+        );
+        Self { disks, cursor: 0, trace: None, block_size }
+    }
+
+    /// Number of disks.
+    pub fn num_disks(&self) -> u16 {
+        self.disks.len() as u16
+    }
+
+    /// Shared block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Advance the round-robin cursor and return the chosen disk
+    /// ("disk i+1 mod n").
+    pub fn next_disk(&mut self) -> u16 {
+        self.cursor = (self.cursor + 1) % self.disks.len();
+        self.cursor as u16
+    }
+
+    /// Current cursor position (the disk chosen by the last `next_disk`).
+    pub fn cursor(&self) -> u16 {
+        self.cursor as u16
+    }
+
+    /// Begin recording operations into a fresh trace.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(IoTrace::new());
+    }
+
+    /// Mark the end of a batch in the recorded trace (no-op when not
+    /// tracing).
+    pub fn end_batch(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.end_batch();
+        }
+    }
+
+    /// Stop recording and return the trace (empty if tracing never
+    /// started).
+    pub fn take_trace(&mut self) -> IoTrace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Borrow the trace recorded so far.
+    pub fn trace(&self) -> Option<&IoTrace> {
+        self.trace.as_ref()
+    }
+
+    fn disk_mut(&mut self, disk: u16) -> Result<&mut Disk> {
+        let n = self.disks.len() as u64;
+        self.disks.get_mut(disk as usize).ok_or(DiskError::OutOfRange {
+            start: disk as u64,
+            nblocks: 0,
+            device: n,
+        })
+    }
+
+    /// Allocate `blocks` contiguous blocks on a specific disk.
+    pub fn alloc_on(&mut self, disk: u16, blocks: u64) -> Result<u64> {
+        self.disk_mut(disk)?.alloc.alloc(blocks)
+    }
+
+    /// Free an extent on a disk.
+    pub fn free_on(&mut self, disk: u16, start: u64, blocks: u64) -> Result<()> {
+        self.disk_mut(disk)?.alloc.free(start, blocks)
+    }
+
+    /// Reserve a specific extent on a disk (crash-recovery support; see
+    /// [`ExtentAllocator::reserve`]).
+    pub fn reserve_on(&mut self, disk: u16, start: u64, blocks: u64) -> Result<()> {
+        self.disk_mut(disk)?.alloc.reserve(start, blocks)
+    }
+
+    /// Append an operation to the trace without performing device I/O —
+    /// for callers that deliberately skip materializing bytes but must
+    /// keep the trace faithful. No-op when not tracing.
+    pub fn trace_push(&mut self, op: IoOp) {
+        if let Some(t) = &mut self.trace {
+            t.push(op);
+        }
+    }
+
+    /// Perform (and record) a write described by `op`. `data` must be
+    /// exactly `op.blocks * block_size` bytes.
+    pub fn write_op(&mut self, op: IoOp, data: &[u8]) -> Result<()> {
+        debug_assert_eq!(data.len() as u64, op.blocks * self.block_size as u64);
+        self.disk_mut(op.disk)?.device.write(op.start, data)?;
+        if let Some(t) = &mut self.trace {
+            t.push(op);
+        }
+        Ok(())
+    }
+
+    /// Perform (and record) a read described by `op`. `buf` must be exactly
+    /// `op.blocks * block_size` bytes.
+    pub fn read_op(&mut self, op: IoOp, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len() as u64, op.blocks * self.block_size as u64);
+        self.disk_mut(op.disk)?.device.read(op.start, buf)?;
+        if let Some(t) = &mut self.trace {
+            t.push(op);
+        }
+        Ok(())
+    }
+
+    /// Read without recording a trace operation (used for recovery-time
+    /// loads that are not part of the measured update sequence).
+    pub fn read_untraced(&mut self, disk: u16, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.disk_mut(disk)?.device.read(start, buf)
+    }
+
+    /// Write without recording a trace operation.
+    pub fn write_untraced(&mut self, disk: u16, start: u64, data: &[u8]) -> Result<()> {
+        self.disk_mut(disk)?.device.write(start, data)
+    }
+
+    /// Flush all devices.
+    pub fn flush(&mut self) -> Result<()> {
+        for d in &mut self.disks {
+            d.device.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Total free blocks across all disks.
+    pub fn free_blocks(&self) -> u64 {
+        self.disks.iter().map(|d| d.alloc.free_blocks()).sum()
+    }
+
+    /// Total blocks across all disks.
+    pub fn total_blocks(&self) -> u64 {
+        self.disks.iter().map(|d| d.alloc.total_blocks()).sum()
+    }
+
+    /// Per-disk `(free, total)` block counts.
+    pub fn per_disk_usage(&self) -> Vec<(u64, u64)> {
+        self.disks
+            .iter()
+            .map(|d| (d.alloc.free_blocks(), d.alloc.total_blocks()))
+            .collect()
+    }
+
+    /// Access a disk's allocator (for inspection in tests/benches).
+    pub fn allocator(&self, disk: u16) -> &dyn ExtentAllocator {
+        &*self.disks[disk as usize].alloc
+    }
+}
+
+/// Build a homogeneous array of `n` sparse in-memory disks with first-fit
+/// free lists — the standard configuration for experiments.
+pub fn sparse_array(n: u16, blocks_per_disk: u64, block_size: usize) -> DiskArray {
+    use crate::block::SparseDevice;
+    use crate::freelist::{FitStrategy, FreeList};
+    let disks = (0..n)
+        .map(|_| Disk {
+            device: Box::new(SparseDevice::new(blocks_per_disk, block_size)) as Box<dyn BlockDevice>,
+            alloc: Box::new(FreeList::new(blocks_per_disk, FitStrategy::FirstFit))
+                as Box<dyn ExtentAllocator>,
+        })
+        .collect();
+    DiskArray::new(disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{OpKind, Payload};
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut a = sparse_array(3, 100, 64);
+        assert_eq!(a.next_disk(), 1);
+        assert_eq!(a.next_disk(), 2);
+        assert_eq!(a.next_disk(), 0);
+        assert_eq!(a.next_disk(), 1);
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut a = sparse_array(2, 100, 64);
+        let start = a.alloc_on(1, 2).unwrap();
+        let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let op = IoOp {
+            kind: OpKind::Write,
+            disk: 1,
+            start,
+            blocks: 2,
+            payload: Payload::LongList { word: 7, postings: 32 },
+        };
+        a.write_op(op, &data).unwrap();
+        let mut buf = vec![0u8; 128];
+        let rop = IoOp { kind: OpKind::Read, ..op };
+        a.read_op(rop, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn trace_records_in_order_with_batches() {
+        let mut a = sparse_array(1, 100, 64);
+        a.start_trace();
+        let data = vec![0u8; 64];
+        for i in 0..3 {
+            let op = IoOp {
+                kind: OpKind::Write,
+                disk: 0,
+                start: i,
+                blocks: 1,
+                payload: Payload::Bucket,
+            };
+            a.write_op(op, &data).unwrap();
+        }
+        a.end_batch();
+        let t = a.take_trace();
+        assert_eq!(t.batches(), 1);
+        assert_eq!(t.batch_ops(0).len(), 3);
+    }
+
+    #[test]
+    fn untraced_io_not_recorded() {
+        let mut a = sparse_array(1, 100, 64);
+        a.start_trace();
+        a.write_untraced(0, 0, &[1u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        a.read_untraced(0, 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        assert!(a.take_trace().ops.is_empty());
+    }
+
+    #[test]
+    fn free_blocks_aggregates() {
+        let mut a = sparse_array(2, 100, 64);
+        assert_eq!(a.free_blocks(), 200);
+        a.alloc_on(0, 10).unwrap();
+        assert_eq!(a.free_blocks(), 190);
+        assert_eq!(a.per_disk_usage(), vec![(90, 100), (100, 100)]);
+    }
+
+    #[test]
+    fn cursor_reports_last_choice_and_flush_succeeds() {
+        let mut a = sparse_array(4, 100, 64);
+        assert_eq!(a.cursor(), 0);
+        a.next_disk();
+        a.next_disk();
+        assert_eq!(a.cursor(), 2);
+        a.flush().unwrap();
+        assert_eq!(a.total_blocks(), 400);
+    }
+
+    #[test]
+    fn bad_disk_rejected() {
+        let mut a = sparse_array(1, 100, 64);
+        assert!(a.alloc_on(3, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn empty_array_rejected() {
+        DiskArray::new(vec![]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the disk substrate.
+
+use std::fmt;
+
+/// Result alias for disk operations.
+pub type Result<T> = std::result::Result<T, DiskError>;
+
+/// Errors raised by block devices, allocators, and trace machinery.
+#[derive(Debug)]
+pub enum DiskError {
+    /// An access whose byte length is not a whole number of blocks.
+    UnalignedAccess {
+        /// Byte length of the attempted access (or file).
+        len: usize,
+        /// Device block size.
+        block_size: usize,
+    },
+    /// A zero-length access.
+    EmptyAccess,
+    /// An access extending past the end of the device.
+    OutOfRange {
+        /// First block of the access.
+        start: u64,
+        /// Blocks in the access.
+        nblocks: u64,
+        /// Total blocks on the device.
+        device: u64,
+    },
+    /// The device has no free extent large enough for a request.
+    OutOfSpace {
+        /// Blocks requested.
+        requested: u64,
+        /// Largest satisfiable request.
+        largest_free: u64,
+    },
+    /// Freeing (part of) a region that was not allocated, or allocator
+    /// state corruption.
+    AllocatorCorruption(String),
+    /// A malformed I/O trace line.
+    TraceParse(String),
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnalignedAccess { len, block_size } => {
+                write!(f, "access of {len} bytes is not a multiple of block size {block_size}")
+            }
+            Self::EmptyAccess => write!(f, "zero-length device access"),
+            Self::OutOfRange { start, nblocks, device } => {
+                write!(f, "access [{start}, {start}+{nblocks}) beyond device of {device} blocks")
+            }
+            Self::OutOfSpace { requested, largest_free } => {
+                write!(f, "no free extent of {requested} blocks (largest is {largest_free})")
+            }
+            Self::AllocatorCorruption(msg) => write!(f, "allocator corruption: {msg}"),
+            Self::TraceParse(msg) => write!(f, "trace parse error: {msg}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

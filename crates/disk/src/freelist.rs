@@ -1,0 +1,418 @@
+//! Extent free-space management.
+//!
+//! The paper (§3, fourth issue) allocates chunks with a **first-fit**
+//! strategy, "scanning the free list for the disk from the beginning of the
+//! disk", and names best-fit and buddy systems as alternatives it does not
+//! evaluate ("to keep the space of possible solutions manageable"). We
+//! implement first-fit as the default and the alternatives behind the same
+//! trait so the ablation benches can compare them.
+
+use crate::error::{DiskError, Result};
+use std::collections::BTreeMap;
+
+/// An allocator handing out contiguous block extents on one disk.
+pub trait ExtentAllocator: Send + Sync {
+    /// Allocate a contiguous extent of exactly `blocks` blocks; returns the
+    /// starting block.
+    fn alloc(&mut self, blocks: u64) -> Result<u64>;
+
+    /// Return an extent to free space.
+    fn free(&mut self, start: u64, blocks: u64) -> Result<()>;
+
+    /// Device size in blocks.
+    fn total_blocks(&self) -> u64;
+
+    /// Free blocks remaining.
+    fn free_blocks(&self) -> u64;
+
+    /// Size of the largest allocatable extent.
+    fn largest_free(&self) -> u64;
+
+    /// Mark a *specific* extent as allocated — used when reconstructing
+    /// allocator state during crash recovery, where the directory dictates
+    /// which extents are live. Errors if any block in the range is not
+    /// currently free. Allocators that cannot honour exact placement may
+    /// return [`DiskError::AllocatorCorruption`].
+    fn reserve(&mut self, start: u64, blocks: u64) -> Result<()> {
+        let _ = (start, blocks);
+        Err(DiskError::AllocatorCorruption(
+            "reserve(start, blocks) not supported by this allocator".into(),
+        ))
+    }
+
+    /// External fragmentation in [0, 1]: `1 - largest_free / free_blocks`
+    /// (0 when no blocks are free).
+    fn external_fragmentation(&self) -> f64 {
+        let free = self.free_blocks();
+        if free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free() as f64 / free as f64
+        }
+    }
+}
+
+/// Placement rule for [`FreeList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitStrategy {
+    /// The paper's strategy: lowest-addressed extent that fits.
+    FirstFit,
+    /// Smallest extent that fits (ties broken by address).
+    BestFit,
+}
+
+/// A free list of maximal disjoint extents, kept coalesced.
+///
+/// ```
+/// use invidx_disk::{ExtentAllocator, FitStrategy, FreeList};
+///
+/// let mut fl = FreeList::new(100, FitStrategy::FirstFit);
+/// let a = fl.alloc(10).unwrap();   // first fit: block 0
+/// let b = fl.alloc(5).unwrap();    // block 10
+/// fl.free(a, 10).unwrap();
+/// assert_eq!(fl.alloc(3).unwrap(), 0); // reuses the hole
+/// assert_eq!(fl.free_blocks(), 100 - 5 - 3);
+/// # let _ = b;
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    /// start -> len; invariant: extents are disjoint and non-adjacent.
+    extents: BTreeMap<u64, u64>,
+    total: u64,
+    free: u64,
+    strategy: FitStrategy,
+}
+
+impl FreeList {
+    /// A fully-free disk of `total` blocks.
+    pub fn new(total: u64, strategy: FitStrategy) -> Self {
+        let mut extents = BTreeMap::new();
+        if total > 0 {
+            extents.insert(0, total);
+        }
+        Self { extents, total, free: total, strategy }
+    }
+
+    /// A free list where the first `reserved` blocks are pre-allocated
+    /// (e.g. a superblock region).
+    pub fn with_reserved(total: u64, reserved: u64, strategy: FitStrategy) -> Self {
+        assert!(reserved <= total);
+        let mut extents = BTreeMap::new();
+        if total > reserved {
+            extents.insert(reserved, total - reserved);
+        }
+        Self { extents, total, free: total - reserved, strategy }
+    }
+
+    /// Iterate free extents as `(start, len)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.extents.iter().map(|(&s, &l)| (s, l))
+    }
+
+    /// Verify internal invariants (used by tests and property checks).
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut sum = 0u64;
+        let mut prev_end: Option<u64> = None;
+        for (&start, &len) in &self.extents {
+            if len == 0 {
+                return Err(DiskError::AllocatorCorruption(format!(
+                    "zero-length extent at {start}"
+                )));
+            }
+            if start + len > self.total {
+                return Err(DiskError::AllocatorCorruption(format!(
+                    "extent [{start}, {}) beyond total {}",
+                    start + len,
+                    self.total
+                )));
+            }
+            if let Some(pe) = prev_end {
+                if start <= pe {
+                    return Err(DiskError::AllocatorCorruption(format!(
+                        "extent at {start} overlaps or abuts previous end {pe}"
+                    )));
+                }
+            }
+            prev_end = Some(start + len);
+            sum += len;
+        }
+        if sum != self.free {
+            return Err(DiskError::AllocatorCorruption(format!(
+                "free count {} != extent sum {sum}",
+                self.free
+            )));
+        }
+        Ok(())
+    }
+
+    fn pick(&self, blocks: u64) -> Option<u64> {
+        match self.strategy {
+            FitStrategy::FirstFit => self
+                .extents
+                .iter()
+                .find(|&(_, &len)| len >= blocks)
+                .map(|(&start, _)| start),
+            FitStrategy::BestFit => self
+                .extents
+                .iter()
+                .filter(|&(_, &len)| len >= blocks)
+                .min_by_key(|&(&start, &len)| (len, start))
+                .map(|(&start, _)| start),
+        }
+    }
+}
+
+impl ExtentAllocator for FreeList {
+    fn alloc(&mut self, blocks: u64) -> Result<u64> {
+        if blocks == 0 {
+            return Err(DiskError::EmptyAccess);
+        }
+        let start = self.pick(blocks).ok_or(DiskError::OutOfSpace {
+            requested: blocks,
+            largest_free: self.largest_free(),
+        })?;
+        let len = self.extents.remove(&start).expect("picked extent exists");
+        if len > blocks {
+            // "the chunk is placed at the beginning of the free blocks and
+            // the remaining free blocks are returned to free space"
+            self.extents.insert(start + blocks, len - blocks);
+        }
+        self.free -= blocks;
+        Ok(start)
+    }
+
+    fn free(&mut self, start: u64, blocks: u64) -> Result<()> {
+        if blocks == 0 {
+            return Err(DiskError::EmptyAccess);
+        }
+        if start + blocks > self.total {
+            return Err(DiskError::OutOfRange { start, nblocks: blocks, device: self.total });
+        }
+        // Find neighbours to detect double frees and coalesce.
+        let prev = self.extents.range(..start).next_back().map(|(&s, &l)| (s, l));
+        let next = self.extents.range(start..).next().map(|(&s, &l)| (s, l));
+        if let Some((ps, pl)) = prev {
+            if ps + pl > start {
+                return Err(DiskError::AllocatorCorruption(format!(
+                    "free of [{start}, {}) overlaps free extent [{ps}, {})",
+                    start + blocks,
+                    ps + pl
+                )));
+            }
+        }
+        if let Some((ns, _)) = next {
+            if start + blocks > ns {
+                return Err(DiskError::AllocatorCorruption(format!(
+                    "free of [{start}, {}) overlaps free extent at {ns}",
+                    start + blocks
+                )));
+            }
+        }
+        let mut new_start = start;
+        let mut new_len = blocks;
+        if let Some((ps, pl)) = prev {
+            if ps + pl == start {
+                self.extents.remove(&ps);
+                new_start = ps;
+                new_len += pl;
+            }
+        }
+        if let Some((ns, nl)) = next {
+            if start + blocks == ns {
+                self.extents.remove(&ns);
+                new_len += nl;
+            }
+        }
+        self.extents.insert(new_start, new_len);
+        self.free += blocks;
+        Ok(())
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total
+    }
+
+    fn free_blocks(&self) -> u64 {
+        self.free
+    }
+
+    fn largest_free(&self) -> u64 {
+        self.extents.values().copied().max().unwrap_or(0)
+    }
+
+    fn reserve(&mut self, start: u64, blocks: u64) -> Result<()> {
+        if blocks == 0 {
+            return Err(DiskError::EmptyAccess);
+        }
+        // The containing free extent, if any.
+        let (&es, &el) = self
+            .extents
+            .range(..=start)
+            .next_back()
+            .ok_or_else(|| not_free(start, blocks))?;
+        if es + el < start + blocks {
+            return Err(not_free(start, blocks));
+        }
+        self.extents.remove(&es);
+        if es < start {
+            self.extents.insert(es, start - es);
+        }
+        if start + blocks < es + el {
+            self.extents.insert(start + blocks, es + el - (start + blocks));
+        }
+        self.free -= blocks;
+        Ok(())
+    }
+}
+
+fn not_free(start: u64, blocks: u64) -> DiskError {
+    DiskError::AllocatorCorruption(format!(
+        "reserve of [{start}, {}) overlaps allocated space",
+        start + blocks
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_takes_lowest_address() {
+        let mut fl = FreeList::new(100, FitStrategy::FirstFit);
+        // Create holes: [0,10) free, [10,20) used, [20,100) free.
+        let a = fl.alloc(20).unwrap();
+        assert_eq!(a, 0);
+        fl.free(0, 10).unwrap();
+        // A 5-block request fits the first hole.
+        assert_eq!(fl.alloc(5).unwrap(), 0);
+        fl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn best_fit_takes_smallest_hole() {
+        let mut fl = FreeList::new(100, FitStrategy::BestFit);
+        // Layout: hole of 10 at 0, used [10,20), hole of 80 at 20.
+        fl.alloc(20).unwrap();
+        fl.free(0, 10).unwrap();
+        // Request of 8: best-fit picks the 10-hole, first-fit would too here;
+        // request of 15 must skip to the big hole.
+        assert_eq!(fl.alloc(15).unwrap(), 20);
+        assert_eq!(fl.alloc(8).unwrap(), 0);
+        fl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let mut fl = FreeList::new(30, FitStrategy::FirstFit);
+        let a = fl.alloc(10).unwrap();
+        let b = fl.alloc(10).unwrap();
+        let c = fl.alloc(10).unwrap();
+        assert_eq!((a, b, c), (0, 10, 20));
+        fl.free(a, 10).unwrap();
+        fl.free(c, 10).unwrap();
+        fl.free(b, 10).unwrap();
+        assert_eq!(fl.iter().collect::<Vec<_>>(), vec![(0, 30)]);
+        assert_eq!(fl.free_blocks(), 30);
+        fl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_space_reports_largest() {
+        let mut fl = FreeList::new(10, FitStrategy::FirstFit);
+        fl.alloc(6).unwrap();
+        match fl.alloc(5) {
+            Err(DiskError::OutOfSpace { requested: 5, largest_free: 4 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut fl = FreeList::new(10, FitStrategy::FirstFit);
+        let a = fl.alloc(4).unwrap();
+        fl.free(a, 4).unwrap();
+        assert!(fl.free(a, 4).is_err());
+        // Partial overlap with free space is also detected.
+        let b = fl.alloc(4).unwrap();
+        fl.free(b, 2).unwrap();
+        assert!(fl.free(b, 4).is_err());
+    }
+
+    #[test]
+    fn reserved_region_not_allocated() {
+        let mut fl = FreeList::with_reserved(100, 16, FitStrategy::FirstFit);
+        assert_eq!(fl.free_blocks(), 84);
+        assert_eq!(fl.alloc(10).unwrap(), 16);
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut fl = FreeList::new(100, FitStrategy::FirstFit);
+        assert_eq!(fl.external_fragmentation(), 0.0);
+        fl.alloc(10).unwrap();
+        let keep = fl.alloc(10).unwrap();
+        fl.free(0, 10).unwrap();
+        let _ = keep;
+        // Free space: 10 at 0, 80 at 20 -> largest 80 of 90.
+        assert!((fl.external_fragmentation() - (1.0 - 80.0 / 90.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sized_requests_rejected() {
+        let mut fl = FreeList::new(10, FitStrategy::FirstFit);
+        assert!(fl.alloc(0).is_err());
+        assert!(fl.free(0, 0).is_err());
+    }
+
+    #[test]
+    fn reserve_carves_exact_extent() {
+        let mut fl = FreeList::new(100, FitStrategy::FirstFit);
+        fl.reserve(10, 5).unwrap();
+        fl.check_invariants().unwrap();
+        assert_eq!(fl.free_blocks(), 95);
+        // First-fit now lands before the reserved region.
+        assert_eq!(fl.alloc(10).unwrap(), 0);
+        // Overlapping reserve fails.
+        assert!(fl.reserve(12, 2).is_err());
+        assert!(fl.reserve(8, 4).is_err());
+        // Adjacent reserve succeeds.
+        fl.reserve(15, 5).unwrap();
+        fl.check_invariants().unwrap();
+        // Freeing a reserved extent works like any other.
+        fl.free(10, 10).unwrap();
+        fl.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reserve_whole_extent_and_edges() {
+        let mut fl = FreeList::new(20, FitStrategy::FirstFit);
+        fl.reserve(0, 20).unwrap();
+        assert_eq!(fl.free_blocks(), 0);
+        assert!(fl.reserve(0, 1).is_err());
+        fl.free(0, 20).unwrap();
+        assert_eq!(fl.largest_free(), 20);
+    }
+
+    #[test]
+    fn exhaustive_alloc_free_cycle_preserves_invariants() {
+        let mut fl = FreeList::new(64, FitStrategy::FirstFit);
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        // Deterministic pseudo-random workload.
+        let mut state = 0x12345u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let choice = state >> 60;
+            if choice.is_multiple_of(2) || held.is_empty() {
+                let want = 1 + (state >> 32) % 8;
+                if let Ok(start) = fl.alloc(want) {
+                    held.push((start, want));
+                }
+            } else {
+                let idx = ((state >> 16) as usize) % held.len();
+                let (s, l) = held.swap_remove(idx);
+                fl.free(s, l).unwrap();
+            }
+            fl.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Disk timing models.
+//!
+//! The paper times its I/O traces on an IBM RS/6000 Model 530 with eight
+//! Seagate 2 GB SCSI-2 drives (§4.5). We replace the physical machine with
+//! a first-order service-time model per request:
+//!
+//! ```text
+//! t = overhead + seek(distance) + rotational_latency + blocks * transfer
+//! ```
+//!
+//! with `seek = 0` and `rotational_latency = 0` when the request starts
+//! exactly where the previous one on the same disk ended (sequential
+//! access). The seek curve interpolates between track-to-track and
+//! full-stroke times with the conventional square-root-of-distance shape.
+//! This preserves exactly the effects the paper measures: coalesced
+//! sequential writes approach the device data rate, scattered in-place
+//! updates pay a seek each, and "the time required to write the bucket data
+//! structure is dominated by the subsystem data rate whereas the time to
+//! incrementally update the long lists is dominated by the disk seek time"
+//! (§7).
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters for one disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskProfile {
+    /// Human-readable profile name.
+    pub name: String,
+    /// Usable capacity in blocks (of `block_size` bytes).
+    pub blocks: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Shortest (track-to-track) seek, milliseconds.
+    pub min_seek_ms: f64,
+    /// Full-stroke seek, milliseconds.
+    pub max_seek_ms: f64,
+    /// Spindle speed; 0 means no rotational latency (solid-state).
+    pub rpm: f64,
+    /// Sustained transfer rate, megabytes per second.
+    pub transfer_mb_s: f64,
+    /// Fixed per-request overhead (controller + system call), milliseconds.
+    pub overhead_ms: f64,
+}
+
+impl DiskProfile {
+    /// A 1994-era 2 GB SCSI-2 drive of the Seagate class used in the paper:
+    /// 5400 rpm, ~10.5 ms average seek, ~3.5 MB/s sustained transfer.
+    pub fn seagate_1994(block_size: usize) -> Self {
+        Self {
+            name: "seagate-2gb-1994".into(),
+            blocks: 2_000_000_000 / block_size as u64,
+            block_size,
+            min_seek_ms: 1.7,
+            max_seek_ms: 22.5,
+            rpm: 5400.0,
+            transfer_mb_s: 3.5,
+            overhead_ms: 0.7,
+        }
+    }
+
+    /// A modern 7200 rpm hard drive, for the scaling study.
+    pub fn modern_hdd(block_size: usize) -> Self {
+        Self {
+            name: "modern-hdd".into(),
+            blocks: 4_000_000_000_000 / block_size as u64,
+            block_size,
+            min_seek_ms: 0.4,
+            max_seek_ms: 10.0,
+            rpm: 7200.0,
+            transfer_mb_s: 180.0,
+            overhead_ms: 0.1,
+        }
+    }
+
+    /// A solid-state device: no mechanical latency, high transfer rate.
+    pub fn ssd(block_size: usize) -> Self {
+        Self {
+            name: "ssd".into(),
+            blocks: 1_000_000_000_000 / block_size as u64,
+            block_size,
+            min_seek_ms: 0.0,
+            max_seek_ms: 0.0,
+            rpm: 0.0,
+            transfer_mb_s: 500.0,
+            overhead_ms: 0.05,
+        }
+    }
+
+    /// A magneto-optical drive of the era — the paper's §7 mentions
+    /// determining "the performance of updates on an optical disk": very
+    /// slow seeks and a low write rate.
+    pub fn optical_1994(block_size: usize) -> Self {
+        Self {
+            name: "optical-1994".into(),
+            blocks: 1_300_000_000 / block_size as u64,
+            block_size,
+            min_seek_ms: 20.0,
+            max_seek_ms: 120.0,
+            rpm: 2400.0,
+            transfer_mb_s: 0.6,
+            overhead_ms: 2.0,
+        }
+    }
+
+    /// A uniformly `factor`-times-faster variant (seeks, rotation, transfer
+    /// and overhead all scaled) — the paper's "speeding up disk" study.
+    pub fn speedup(&self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        Self {
+            name: format!("{}-x{factor:.1}", self.name),
+            blocks: self.blocks,
+            block_size: self.block_size,
+            min_seek_ms: self.min_seek_ms / factor,
+            max_seek_ms: self.max_seek_ms / factor,
+            rpm: self.rpm * factor,
+            transfer_mb_s: self.transfer_mb_s * factor,
+            overhead_ms: self.overhead_ms / factor,
+        }
+    }
+
+    /// Seek time for a head movement of `distance` blocks.
+    pub fn seek_ms(&self, distance: u64) -> f64 {
+        if distance == 0 || self.max_seek_ms == 0.0 {
+            return 0.0;
+        }
+        let frac = (distance as f64 / self.blocks.max(1) as f64).min(1.0);
+        self.min_seek_ms + (self.max_seek_ms - self.min_seek_ms) * frac.sqrt()
+    }
+
+    /// Average rotational latency (half a revolution), milliseconds.
+    pub fn rotational_latency_ms(&self) -> f64 {
+        if self.rpm == 0.0 {
+            0.0
+        } else {
+            0.5 * 60_000.0 / self.rpm
+        }
+    }
+
+    /// Transfer time for `blocks` blocks, milliseconds.
+    pub fn transfer_ms(&self, blocks: u64) -> f64 {
+        let bytes = blocks as f64 * self.block_size as f64;
+        bytes / (self.transfer_mb_s * 1e6) * 1e3
+    }
+
+    /// Service time for one request, given the head position (the block
+    /// after the previous request's last block on this disk, or `None` for
+    /// the first request).
+    pub fn service_ms(&self, head: Option<u64>, start: u64, blocks: u64) -> f64 {
+        let positioning = match head {
+            Some(h) if h == start => 0.0,
+            Some(h) => {
+                let dist = h.abs_diff(start);
+                self.seek_ms(dist) + self.rotational_latency_ms()
+            }
+            None => self.seek_ms(self.blocks / 3) + self.rotational_latency_ms(),
+        };
+        self.overhead_ms + positioning + self.transfer_ms(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seek_curve_monotone_and_bounded() {
+        let p = DiskProfile::seagate_1994(4096);
+        assert_eq!(p.seek_ms(0), 0.0);
+        let mut prev = 0.0;
+        for d in [1u64, 10, 100, 10_000, 1_000_000, p.blocks] {
+            let s = p.seek_ms(d);
+            assert!(s >= prev, "seek not monotone at distance {d}");
+            assert!(s >= p.min_seek_ms && s <= p.max_seek_ms);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sequential_access_skips_positioning() {
+        let p = DiskProfile::seagate_1994(4096);
+        let seq = p.service_ms(Some(100), 100, 8);
+        let rand = p.service_ms(Some(100_000), 100, 8);
+        assert!(seq < rand);
+        let transfer_only = p.overhead_ms + p.transfer_ms(8);
+        assert!((seq - transfer_only).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssd_has_no_mechanical_latency() {
+        let p = DiskProfile::ssd(4096);
+        assert_eq!(p.rotational_latency_ms(), 0.0);
+        assert_eq!(p.seek_ms(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let p = DiskProfile::seagate_1994(4096);
+        assert!((p.transfer_ms(20) - 2.0 * p.transfer_ms(10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_halves_times() {
+        let p = DiskProfile::seagate_1994(4096);
+        let f = p.speedup(2.0);
+        assert!((f.seek_ms(10_000) - 0.5 * p.seek_ms(10_000)).abs() < 1e-9);
+        assert!((f.rotational_latency_ms() - 0.5 * p.rotational_latency_ms()).abs() < 1e-9);
+        assert!((f.transfer_ms(100) - 0.5 * p.transfer_ms(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_write_is_data_rate_dominated_longlist_seek_dominated() {
+        // The paper's §7 observation, as a model property: one large
+        // sequential write is transfer-dominated; many small scattered
+        // writes are positioning-dominated.
+        let p = DiskProfile::seagate_1994(4096);
+        let big_write = p.service_ms(Some(0), 0, 1000);
+        assert!(p.transfer_ms(1000) / big_write > 0.9);
+        let scattered = p.service_ms(Some(500_000), 1_000, 1);
+        assert!(p.transfer_ms(1) / scattered < 0.1);
+    }
+}

@@ -1,0 +1,310 @@
+//! I/O traces: the interface between the "compute disks" and "exercise
+//! disks" processes of the paper's Figure 3 pipeline.
+//!
+//! A trace records every read/write system call an index-building policy
+//! would issue — which disk, which starting block, how many blocks, and
+//! what the blocks hold (buckets, the directory, or long-list postings for
+//! a given word). The text format mirrors the paper's Figure 6:
+//!
+//! ```text
+//! update bucket disk 0 id 0 size 1377
+//! update chunk disk 0 id 0 size 0
+//! write word 172921 posting 1013 disk 0 id 1377 size 7
+//! ```
+
+use crate::error::{DiskError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of an I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read system call.
+    Read,
+    /// A write system call.
+    Write,
+}
+
+/// What the accessed blocks hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// The bucket data structure (flushed each batch).
+    Bucket,
+    /// The long-list directory (flushed each batch).
+    Directory,
+    /// Long-list postings for `word`; `postings` is the posting count moved
+    /// by this operation (0 for reads of whole chunks where it is implied).
+    LongList {
+        /// The word whose list is accessed.
+        word: u64,
+        /// Postings carried by the operation.
+        postings: u64,
+    },
+}
+
+/// One I/O system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target disk (0-based).
+    pub disk: u16,
+    /// Starting block on that disk.
+    pub start: u64,
+    /// Number of contiguous blocks.
+    pub blocks: u64,
+    /// Content tag.
+    pub payload: Payload,
+}
+
+impl IoOp {
+    /// First block past the end of this operation.
+    pub fn end(&self) -> u64 {
+        self.start + self.blocks
+    }
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Figure 6 grammar, extended with an explicit `read` verb (the
+        // paper's sample only happens to show writes).
+        let verb = match self.kind {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        };
+        match self.payload {
+            Payload::Bucket => write!(
+                f,
+                "update bucket disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+            Payload::Directory => write!(
+                f,
+                "update chunk disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+            Payload::LongList { word, postings } => write!(
+                f,
+                "{verb} word {word} posting {postings} disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+        }
+    }
+}
+
+/// A whole trace: operations plus end-of-batch markers.
+///
+/// ```
+/// use invidx_disk::{IoOp, IoTrace, OpKind, Payload};
+///
+/// let mut trace = IoTrace::new();
+/// trace.push(IoOp {
+///     kind: OpKind::Write, disk: 0, start: 1377, blocks: 7,
+///     payload: Payload::LongList { word: 172921, postings: 1013 },
+/// });
+/// trace.end_batch();
+/// // The paper's Figure 6 text format round-trips:
+/// let text = trace.to_text();
+/// assert!(text.starts_with("write word 172921 posting 1013 disk 0 id 1377 size 7"));
+/// assert_eq!(IoTrace::from_text(&text).unwrap(), trace);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoTrace {
+    /// All operations in issue order.
+    pub ops: Vec<IoOp>,
+    /// `batch_ends[i]` = index one past the last op of batch `i`.
+    pub batch_ends: Vec<usize>,
+}
+
+impl IoTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one operation to the current batch.
+    pub fn push(&mut self, op: IoOp) {
+        self.ops.push(op);
+    }
+
+    /// Close the current batch.
+    pub fn end_batch(&mut self) {
+        self.batch_ends.push(self.ops.len());
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_ends.len()
+    }
+
+    /// The operations of batch `i`.
+    pub fn batch_ops(&self, i: usize) -> &[IoOp] {
+        let start = if i == 0 { 0 } else { self.batch_ends[i - 1] };
+        &self.ops[start..self.batch_ends[i]]
+    }
+
+    /// Cumulative operation count at the end of each batch — the y-axis of
+    /// the paper's Figure 8.
+    pub fn cumulative_ops_per_batch(&self) -> Vec<u64> {
+        self.batch_ends.iter().map(|&e| e as u64).collect()
+    }
+
+    /// Count operations matching a predicate.
+    pub fn count<F: Fn(&IoOp) -> bool>(&self, pred: F) -> u64 {
+        self.ops.iter().filter(|op| pred(op)).count() as u64
+    }
+
+    /// Serialize in the Figure 6 text format, with `end batch` markers.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (i, _) in self.batch_ends.iter().enumerate() {
+            for op in self.batch_ops(i) {
+                s.push_str(&op.to_string());
+                s.push('\n');
+            }
+            s.push_str("end batch\n");
+        }
+        s
+    }
+
+    /// Parse the Figure 6 text format.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut trace = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end batch" {
+                trace.end_batch();
+                continue;
+            }
+            trace.push(parse_op(line).map_err(|msg| {
+                DiskError::TraceParse(format!("line {}: {msg}: {line:?}", lineno + 1))
+            })?);
+        }
+        // An unterminated final batch is closed implicitly.
+        if trace.batch_ends.last().copied().unwrap_or(0) != trace.ops.len() {
+            trace.end_batch();
+        }
+        Ok(trace)
+    }
+}
+
+fn parse_op(line: &str) -> std::result::Result<IoOp, String> {
+    let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+    let num = |s: &str| s.parse::<u64>().map_err(|_| format!("bad number {s:?}"));
+    match toks.as_slice() {
+        ["update", "bucket", "disk", d, "id", s, "size", b] => Ok(IoOp {
+            kind: OpKind::Write,
+            disk: num(d)? as u16,
+            start: num(s)?,
+            blocks: num(b)?,
+            payload: Payload::Bucket,
+        }),
+        ["update", "chunk", "disk", d, "id", s, "size", b] => Ok(IoOp {
+            kind: OpKind::Write,
+            disk: num(d)? as u16,
+            start: num(s)?,
+            blocks: num(b)?,
+            payload: Payload::Directory,
+        }),
+        [verb @ ("read" | "write"), "word", w, "posting", p, "disk", d, "id", s, "size", b] => {
+            Ok(IoOp {
+                kind: if *verb == "read" { OpKind::Read } else { OpKind::Write },
+                disk: num(d)? as u16,
+                start: num(s)?,
+                blocks: num(b)?,
+                payload: Payload::LongList { word: num(w)?, postings: num(p)? },
+            })
+        }
+        _ => Err("unrecognized trace line".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> IoTrace {
+        let mut t = IoTrace::new();
+        t.push(IoOp {
+            kind: OpKind::Write,
+            disk: 0,
+            start: 0,
+            blocks: 1377,
+            payload: Payload::Bucket,
+        });
+        t.push(IoOp {
+            kind: OpKind::Write,
+            disk: 0,
+            start: 0,
+            blocks: 0,
+            payload: Payload::Directory,
+        });
+        t.push(IoOp {
+            kind: OpKind::Write,
+            disk: 0,
+            start: 1377,
+            blocks: 7,
+            payload: Payload::LongList { word: 172_921, postings: 1013 },
+        });
+        t.end_batch();
+        t.push(IoOp {
+            kind: OpKind::Read,
+            disk: 1,
+            start: 40,
+            blocks: 2,
+            payload: Payload::LongList { word: 9, postings: 0 },
+        });
+        t.end_batch();
+        t
+    }
+
+    #[test]
+    fn figure6_line_format() {
+        let t = sample_trace();
+        assert_eq!(t.ops[0].to_string(), "update bucket disk 0 id 0 size 1377");
+        assert_eq!(t.ops[1].to_string(), "update chunk disk 0 id 0 size 0");
+        assert_eq!(
+            t.ops[2].to_string(),
+            "write word 172921 posting 1013 disk 0 id 1377 size 7"
+        );
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample_trace();
+        let text = t.to_text();
+        let parsed = IoTrace::from_text(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn batch_slicing() {
+        let t = sample_trace();
+        assert_eq!(t.batches(), 2);
+        assert_eq!(t.batch_ops(0).len(), 3);
+        assert_eq!(t.batch_ops(1).len(), 1);
+        assert_eq!(t.cumulative_ops_per_batch(), vec![3, 4]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(IoTrace::from_text("write sideways disk 0\n").is_err());
+        assert!(IoTrace::from_text("update bucket disk x id 0 size 1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_batch_closed() {
+        let t = IoTrace::from_text("update bucket disk 0 id 0 size 1\n").unwrap();
+        assert_eq!(t.batches(), 1);
+    }
+
+    #[test]
+    fn count_predicate() {
+        let t = sample_trace();
+        assert_eq!(t.count(|op| op.kind == OpKind::Read), 1);
+        assert_eq!(t.count(|op| matches!(op.payload, Payload::LongList { .. })), 2);
+    }
+}

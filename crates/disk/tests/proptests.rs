@@ -1,0 +1,271 @@
+//! Property-based tests for the disk substrate: model-checked allocators,
+//! device equivalence, coalescer conservation, and trace-format round
+//! trips.
+
+use invidx_disk::{
+    coalesce_batch, BlockDevice, BuddyAllocator, ExtentAllocator, FitStrategy, FreeList, IoOp,
+    IoTrace, MemDevice, OpKind, Payload, SparseDevice,
+};
+use proptest::prelude::*;
+
+// ----- allocator model checking -----
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    FreeIdx(usize),
+    Reserve(u64, u64),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..20).prop_map(AllocOp::Alloc),
+            (0usize..64).prop_map(AllocOp::FreeIdx),
+            ((0u64..240), (1u64..12)).prop_map(|(s, l)| AllocOp::Reserve(s, l)),
+        ],
+        1..120,
+    )
+}
+
+/// Run an op sequence against an allocator and a bitmap model; verify the
+/// allocator's placements never overlap live extents and its free count
+/// matches the model exactly.
+fn check_against_model(
+    alloc: &mut dyn ExtentAllocator,
+    ops: &[AllocOp],
+    check_free_count: bool,
+    supports_reserve: bool,
+) {
+    let total = alloc.total_blocks() as usize;
+    let mut model = vec![false; total]; // true = allocated
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    for op in ops {
+        match op {
+            AllocOp::Alloc(len) => {
+                if let Ok(start) = alloc.alloc(*len) {
+                    for b in start..start + len {
+                        assert!(!model[b as usize], "allocator handed out a live block {b}");
+                        model[b as usize] = true;
+                    }
+                    live.push((start, *len));
+                }
+            }
+            AllocOp::FreeIdx(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (start, len) = live.swap_remove(i % live.len());
+                alloc.free(start, len).expect("free of live extent");
+                for b in start..start + len {
+                    model[b as usize] = false;
+                }
+            }
+            AllocOp::Reserve(start, len) => {
+                if !supports_reserve || start + len > total as u64 {
+                    continue;
+                }
+                let free_in_model =
+                    (*start..start + len).all(|b| !model[b as usize]);
+                match alloc.reserve(*start, *len) {
+                    Ok(()) => {
+                        assert!(free_in_model, "reserve succeeded over live blocks");
+                        for b in *start..start + len {
+                            model[b as usize] = true;
+                        }
+                        live.push((*start, *len));
+                    }
+                    Err(_) => {
+                        assert!(!free_in_model, "reserve failed over free blocks");
+                    }
+                }
+            }
+        }
+        if check_free_count {
+            let model_free = model.iter().filter(|&&b| !b).count() as u64;
+            assert_eq!(alloc.free_blocks(), model_free);
+        }
+    }
+    // Everything can be freed and the allocator returns to pristine state.
+    for (start, len) in live {
+        alloc.free(start, len).expect("final free");
+    }
+    assert_eq!(alloc.free_blocks(), alloc.total_blocks());
+    assert_eq!(alloc.largest_free(), alloc.total_blocks());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn first_fit_matches_model(ops in alloc_ops()) {
+        let mut a = FreeList::new(256, FitStrategy::FirstFit);
+        check_against_model(&mut a, &ops, true, true);
+        a.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn best_fit_matches_model(ops in alloc_ops()) {
+        let mut a = FreeList::new(256, FitStrategy::BestFit);
+        check_against_model(&mut a, &ops, true, true);
+        a.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn buddy_never_overlaps(ops in alloc_ops()) {
+        let mut a = BuddyAllocator::new(8); // 256 blocks
+        // Buddy rounds sizes up internally, so the bitmap free count
+        // differs from ours; overlap-freedom and full-drain still hold.
+        check_against_model(&mut a, &ops, false, false);
+        a.check_invariants().expect("invariants");
+    }
+}
+
+// Buddy free-count needs rounded sizes; model that exactly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buddy_free_count_matches_rounded_sizes(lens in prop::collection::vec(1u64..32, 1..30)) {
+        let mut a = BuddyAllocator::new(10);
+        let mut expected_free = a.total_blocks();
+        let mut live = Vec::new();
+        for len in lens {
+            if let Ok(start) = a.alloc(len) {
+                expected_free -= len.next_power_of_two();
+                live.push((start, len));
+            }
+            prop_assert_eq!(a.free_blocks(), expected_free);
+        }
+        for (s, l) in live {
+            a.free(s, l).expect("free");
+        }
+        prop_assert_eq!(a.free_blocks(), a.total_blocks());
+    }
+}
+
+// ----- device equivalence -----
+
+#[derive(Debug, Clone)]
+enum DevOp {
+    Write { start: u64, data: Vec<u8> },
+    Read { start: u64, blocks: u64 },
+}
+
+fn dev_ops(dev_blocks: u64, bs: usize) -> impl Strategy<Value = Vec<DevOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..dev_blocks), (1u64..4), any::<u8>()).prop_map(move |(start, n, fill)| {
+                let n = n.min(dev_blocks - start).max(1);
+                // Content varies per block to catch offset bugs.
+                let data: Vec<u8> = (0..n as usize * bs)
+                    .map(|i| fill.wrapping_add((i / 7) as u8))
+                    .collect();
+                DevOp::Write { start, data }
+            }),
+            ((0..dev_blocks), (1u64..4)).prop_map(move |(start, n)| DevOp::Read {
+                start,
+                blocks: n.min(dev_blocks - start).max(1),
+            }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_and_dense_devices_agree(ops in dev_ops(32, 64)) {
+        let mut dense = MemDevice::new(32, 64);
+        let mut sparse = SparseDevice::new(32, 64);
+        for op in ops {
+            match op {
+                DevOp::Write { start, data } => {
+                    dense.write(start, &data).expect("dense write");
+                    sparse.write(start, &data).expect("sparse write");
+                }
+                DevOp::Read { start, blocks } => {
+                    let mut a = vec![0u8; (blocks * 64) as usize];
+                    let mut b = vec![1u8; (blocks * 64) as usize];
+                    dense.read(start, &mut a).expect("dense read");
+                    sparse.read(start, &mut b).expect("sparse read");
+                    prop_assert_eq!(&a, &b);
+                }
+            }
+        }
+    }
+}
+
+// ----- coalescer conservation -----
+
+fn arb_ops() -> impl Strategy<Value = Vec<IoOp>> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just(OpKind::Read), Just(OpKind::Write)],
+            0u16..3,
+            0u64..100,
+            1u64..6,
+        )
+            .prop_map(|(kind, disk, start, blocks)| IoOp {
+                kind,
+                disk,
+                start,
+                blocks,
+                payload: Payload::LongList { word: 1, postings: blocks },
+            }),
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coalescing_conserves_block_ranges(ops in arb_ops(), buffer in 1u64..32) {
+        let queues = coalesce_batch(&ops, 3, buffer);
+        for (disk, queue) in queues.iter().enumerate() {
+            // Rebuild the original per-disk (kind, block) sequence and the
+            // coalesced one; they must be identical.
+            let original: Vec<(OpKind, u64)> = ops
+                .iter()
+                .filter(|op| op.disk as usize == disk && op.blocks > 0)
+                .flat_map(|op| (op.start..op.end()).map(move |b| (op.kind, b)))
+                .collect();
+            let merged: Vec<(OpKind, u64)> = queue
+                .iter()
+                .flat_map(|r| (r.start..r.start + r.blocks).map(move |b| (r.kind, b)))
+                .collect();
+            prop_assert_eq!(original, merged);
+            // The buffer bound holds unless a single op already exceeds it.
+            for r in queue {
+                prop_assert!(r.blocks <= buffer.max(ops.iter().map(|o| o.blocks).max().unwrap_or(0)));
+                if r.merged > 1 {
+                    prop_assert!(r.blocks <= buffer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_text_round_trip(ops in arb_ops(), splits in prop::collection::vec(0usize..80, 0..5)) {
+        let mut trace = IoTrace::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (ops.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut last = 0;
+        for (i, op) in ops.iter().enumerate() {
+            while cuts.first() == Some(&i) {
+                cuts.remove(0);
+                trace.end_batch();
+                last = i;
+            }
+            trace.push(*op);
+        }
+        let _ = last;
+        trace.end_batch();
+        let text = trace.to_text();
+        let parsed = IoTrace::from_text(&text).expect("parse");
+        prop_assert_eq!(parsed.ops, trace.ops);
+    }
+}

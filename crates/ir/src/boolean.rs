@@ -1,0 +1,209 @@
+//! Boolean query model (paper §1).
+//!
+//! "In a boolean system, queries are boolean expressions such as
+//! `(cat and dog) or mouse`. In this example, the system would retrieve
+//! the inverted list for 'cat' and 'dog', intersect them, and then would
+//! union the result with the list for 'mouse'."
+//!
+//! Evaluation works on sorted posting lists via linear merges; NOT is only
+//! valid in an AND context (`a AND NOT b`), the standard restriction that
+//! avoids materializing the complement of the corpus.
+
+use invidx_core::postings::PostingList;
+use invidx_core::types::{Result, WordId};
+
+/// A boolean query over word identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Postings of one word.
+    Word(WordId),
+    /// Intersection of all sub-queries.
+    And(Vec<Query>),
+    /// Union of all sub-queries.
+    Or(Vec<Query>),
+    /// `AndNot(a, b)` = documents matching `a` but not `b`.
+    AndNot(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Convenience: `a AND b`.
+    pub fn and(a: Query, b: Query) -> Query {
+        Query::And(vec![a, b])
+    }
+
+    /// Convenience: `a OR b`.
+    pub fn or(a: Query, b: Query) -> Query {
+        Query::Or(vec![a, b])
+    }
+
+    /// Convenience: `a AND NOT b`.
+    pub fn and_not(a: Query, b: Query) -> Query {
+        Query::AndNot(Box::new(a), Box::new(b))
+    }
+
+    /// All words mentioned by the query, in evaluation order.
+    pub fn words(&self) -> Vec<WordId> {
+        let mut out = Vec::new();
+        self.collect_words(&mut out);
+        out
+    }
+
+    fn collect_words(&self, out: &mut Vec<WordId>) {
+        match self {
+            Query::Word(w) => out.push(*w),
+            Query::And(qs) | Query::Or(qs) => {
+                for q in qs {
+                    q.collect_words(out);
+                }
+            }
+            Query::AndNot(a, b) => {
+                a.collect_words(out);
+                b.collect_words(out);
+            }
+        }
+    }
+
+    /// Evaluate against any posting source.
+    pub fn eval<S: PostingSource + ?Sized>(&self, source: &mut S) -> Result<PostingList> {
+        match self {
+            Query::Word(w) => source.postings(*w),
+            Query::And(qs) => {
+                let mut lists = Vec::with_capacity(qs.len());
+                for q in qs {
+                    lists.push(q.eval(source)?);
+                }
+                // Intersect smallest-first: each step can only shrink, so
+                // starting from the shortest list minimizes merge work.
+                lists.sort_by_key(PostingList::len);
+                let mut it = lists.into_iter();
+                let mut acc = it.next().unwrap_or_default();
+                for l in it {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(&l);
+                }
+                Ok(acc)
+            }
+            Query::Or(qs) => {
+                let mut acc = PostingList::new();
+                for q in qs {
+                    acc = acc.union(&q.eval(source)?);
+                }
+                Ok(acc)
+            }
+            Query::AndNot(a, b) => {
+                let pa = a.eval(source)?;
+                if pa.is_empty() {
+                    return Ok(pa);
+                }
+                let pb = b.eval(source)?;
+                Ok(pa.difference(&pb))
+            }
+        }
+    }
+}
+
+/// Anything that can produce the posting list of a word. Implemented by
+/// the dual-structure index (through the engine) and by in-memory maps in
+/// tests.
+pub trait PostingSource {
+    /// The current posting list for `word` (empty if absent).
+    fn postings(&mut self, word: WordId) -> Result<PostingList>;
+}
+
+impl PostingSource for invidx_core::DualIndex {
+    fn postings(&mut self, word: WordId) -> Result<PostingList> {
+        invidx_core::DualIndex::postings(self, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_core::types::DocId;
+    use std::collections::HashMap;
+
+    struct MapSource(HashMap<u64, Vec<u32>>);
+
+    impl PostingSource for MapSource {
+        fn postings(&mut self, word: WordId) -> Result<PostingList> {
+            Ok(self
+                .0
+                .get(&word.0)
+                .map(|v| PostingList::from_sorted(v.iter().map(|&d| DocId(d)).collect()))
+                .unwrap_or_default())
+        }
+    }
+
+    fn source() -> MapSource {
+        let mut m = HashMap::new();
+        m.insert(1, vec![1, 2, 3, 5, 8]); // cat
+        m.insert(2, vec![2, 3, 4, 8]); // dog
+        m.insert(3, vec![4, 5, 6]); // mouse
+        MapSource(m)
+    }
+
+    fn docs(list: &PostingList) -> Vec<u32> {
+        list.docs().iter().map(|d| d.0).collect()
+    }
+
+    #[test]
+    fn paper_example_cat_and_dog_or_mouse() {
+        let q = Query::or(
+            Query::and(Query::Word(WordId(1)), Query::Word(WordId(2))),
+            Query::Word(WordId(3)),
+        );
+        let r = q.eval(&mut source()).unwrap();
+        assert_eq!(docs(&r), vec![2, 3, 4, 5, 6, 8]);
+    }
+
+    #[test]
+    fn and_not() {
+        let q = Query::and_not(Query::Word(WordId(1)), Query::Word(WordId(2)));
+        let r = q.eval(&mut source()).unwrap();
+        assert_eq!(docs(&r), vec![1, 5]);
+    }
+
+    #[test]
+    fn nested_queries() {
+        // (cat OR mouse) AND NOT (dog AND mouse)
+        let q = Query::and_not(
+            Query::or(Query::Word(WordId(1)), Query::Word(WordId(3))),
+            Query::and(Query::Word(WordId(2)), Query::Word(WordId(3))),
+        );
+        let r = q.eval(&mut source()).unwrap();
+        assert_eq!(docs(&r), vec![1, 2, 3, 5, 6, 8]);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let q = Query::And(vec![]);
+        assert!(q.eval(&mut source()).unwrap().is_empty());
+        let q = Query::Or(vec![]);
+        assert!(q.eval(&mut source()).unwrap().is_empty());
+        let q = Query::and(Query::Word(WordId(99)), Query::Word(WordId(1)));
+        assert!(q.eval(&mut source()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn words_collection() {
+        let q = Query::and_not(
+            Query::or(Query::Word(WordId(1)), Query::Word(WordId(3))),
+            Query::Word(WordId(2)),
+        );
+        assert_eq!(q.words(), vec![WordId(1), WordId(3), WordId(2)]);
+    }
+
+    #[test]
+    fn and_intersects_smallest_first() {
+        // Correctness is order-independent; this pins the associativity.
+        let q = Query::And(vec![
+            Query::Word(WordId(1)),
+            Query::Word(WordId(2)),
+            Query::Word(WordId(3)),
+        ]);
+        let r = q.eval(&mut source()).unwrap();
+        assert!(docs(&r).is_empty());
+    }
+}

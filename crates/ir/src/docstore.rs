@@ -1,0 +1,225 @@
+//! Document storage.
+//!
+//! Retrieval systems keep the documents themselves alongside the index —
+//! answers are document identifiers, and some conditions (the paper's §1
+//! proximity and region predicates) are verified against document content
+//! after inverted lists have pruned the candidates. [`DocStore`] is that
+//! substrate: an extent-allocated blob store over a (traced) disk array,
+//! with per-document chunk references.
+
+use invidx_core::types::{DocId, IndexError, Result};
+use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
+use std::collections::BTreeMap;
+
+/// On-disk location of one stored document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DocRef {
+    disk: u16,
+    start: u64,
+    blocks: u64,
+    len: u32,
+}
+
+/// An extent-allocated document blob store.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    directory: BTreeMap<DocId, DocRef>,
+    bytes_stored: u64,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Total document bytes stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Blocks currently allocated to documents.
+    pub fn blocks_allocated(&self) -> u64 {
+        self.directory.values().map(|r| r.blocks).sum()
+    }
+
+    /// Store a document's text; one sequential write on the next
+    /// round-robin disk. Replacing an existing document frees its old
+    /// extent.
+    pub fn store(&mut self, array: &mut DiskArray, doc: DocId, text: &str) -> Result<()> {
+        let bs = array.block_size();
+        let len = u32::try_from(text.len())
+            .map_err(|_| IndexError::InvalidConfig("document too large".into()))?;
+        let blocks = (text.len().max(1)).div_ceil(bs) as u64;
+        let disk = array.next_disk();
+        let start = array.alloc_on(disk, blocks)?;
+        let mut buf = text.as_bytes().to_vec();
+        buf.resize(blocks as usize * bs, 0);
+        array.write_op(
+            IoOp {
+                kind: OpKind::Write,
+                disk,
+                start,
+                blocks,
+                payload: Payload::LongList { word: 0, postings: 0 },
+            },
+            &buf,
+        )?;
+        let old = self.directory.insert(doc, DocRef { disk, start, blocks, len });
+        self.bytes_stored += text.len() as u64;
+        if let Some(o) = old {
+            self.bytes_stored -= o.len as u64;
+            array.free_on(o.disk, o.start, o.blocks)?;
+        }
+        Ok(())
+    }
+
+    /// Load a document's text; one sequential read.
+    pub fn load(&self, array: &mut DiskArray, doc: DocId) -> Result<Option<String>> {
+        let Some(&r) = self.directory.get(&doc) else {
+            return Ok(None);
+        };
+        let bs = array.block_size();
+        let mut buf = vec![0u8; r.blocks as usize * bs];
+        array.read_op(
+            IoOp {
+                kind: OpKind::Read,
+                disk: r.disk,
+                start: r.start,
+                blocks: r.blocks,
+                payload: Payload::LongList { word: 0, postings: 0 },
+            },
+            &mut buf,
+        )?;
+        buf.truncate(r.len as usize);
+        String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| IndexError::Corruption(format!("non-utf8 document {doc}")))
+    }
+
+    /// Remove a document, freeing its extent.
+    pub fn remove(&mut self, array: &mut DiskArray, doc: DocId) -> Result<bool> {
+        match self.directory.remove(&doc) {
+            Some(r) => {
+                self.bytes_stored -= r.len as u64;
+                array.free_on(r.disk, r.start, r.blocks)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Iterate `(doc, disk, start, blocks)` of every stored document — for
+    /// allocator reconstruction during recovery.
+    pub fn extents(&self) -> impl Iterator<Item = (DocId, u16, u64, u64)> + '_ {
+        self.directory.iter().map(|(&d, r)| (d, r.disk, r.start, r.blocks))
+    }
+
+    /// Serialize the directory (`u64 count`, then per doc
+    /// `u32 doc | u16 disk | u64 start | u64 blocks | u32 len`).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.directory.len() * 26);
+        out.extend_from_slice(&(self.directory.len() as u64).to_le_bytes());
+        for (d, r) in &self.directory {
+            out.extend_from_slice(&d.0.to_le_bytes());
+            out.extend_from_slice(&r.disk.to_le_bytes());
+            out.extend_from_slice(&r.start.to_le_bytes());
+            out.extend_from_slice(&r.blocks.to_le_bytes());
+            out.extend_from_slice(&r.len.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore from [`DocStore::serialize`] bytes.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let need = |ok: bool| {
+            ok.then_some(()).ok_or_else(|| IndexError::Corruption("docstore truncated".into()))
+        };
+        need(bytes.len() >= 8)?;
+        let count = u64::from_le_bytes(bytes[0..8].try_into().expect("8"));
+        let mut pos = 8usize;
+        let mut store = Self::new();
+        for _ in 0..count {
+            need(bytes.len() >= pos + 26)?;
+            let doc = DocId(u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")));
+            let disk = u16::from_le_bytes(bytes[pos + 4..pos + 6].try_into().expect("2"));
+            let start = u64::from_le_bytes(bytes[pos + 6..pos + 14].try_into().expect("8"));
+            let blocks = u64::from_le_bytes(bytes[pos + 14..pos + 22].try_into().expect("8"));
+            let len = u32::from_le_bytes(bytes[pos + 22..pos + 26].try_into().expect("4"));
+            pos += 26;
+            store.bytes_stored += len as u64;
+            store.directory.insert(doc, DocRef { disk, start, blocks, len });
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_disk::sparse_array;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut array = sparse_array(2, 10_000, 256);
+        let mut store = DocStore::new();
+        store.store(&mut array, DocId(1), "hello world").unwrap();
+        store.store(&mut array, DocId(2), &"long text ".repeat(100)).unwrap();
+        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "hello world");
+        assert_eq!(store.load(&mut array, DocId(2)).unwrap().unwrap().len(), 1000);
+        assert_eq!(store.load(&mut array, DocId(404)).unwrap(), None);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.bytes_stored(), 11 + 1000);
+    }
+
+    #[test]
+    fn replace_frees_old_extent() {
+        let mut array = sparse_array(1, 1_000, 64);
+        let mut store = DocStore::new();
+        let free0 = array.free_blocks();
+        store.store(&mut array, DocId(1), &"x".repeat(640)).unwrap();
+        store.store(&mut array, DocId(1), "short").unwrap();
+        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "short");
+        assert_eq!(array.free_blocks(), free0 - 1);
+        assert_eq!(store.bytes_stored(), 5);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut array = sparse_array(1, 1_000, 64);
+        let mut store = DocStore::new();
+        let free0 = array.free_blocks();
+        store.store(&mut array, DocId(7), "some document body").unwrap();
+        assert!(store.remove(&mut array, DocId(7)).unwrap());
+        assert!(!store.remove(&mut array, DocId(7)).unwrap());
+        assert_eq!(array.free_blocks(), free0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn empty_document_stored() {
+        let mut array = sparse_array(1, 1_000, 64);
+        let mut store = DocStore::new();
+        store.store(&mut array, DocId(1), "").unwrap();
+        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "");
+    }
+
+    #[test]
+    fn unicode_round_trip() {
+        let mut array = sparse_array(1, 1_000, 64);
+        let mut store = DocStore::new();
+        let text = "caf\u{e9} na\u{ef}ve \u{1F600}";
+        store.store(&mut array, DocId(1), text).unwrap();
+        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), text);
+    }
+}

@@ -1,0 +1,626 @@
+//! The end-to-end search engine: text documents in, ranked results out.
+//!
+//! [`SearchEngine`] glues the corpus lexer (paper §4.2), a string → word-id
+//! interner ("all words in batch updates are converted to unique
+//! integers"), the dual-structure index, and the two query models of §1.
+//! It also ships a small boolean query-string parser so examples and tests
+//! can write `(cat and dog) or mouse` — the paper's own example query.
+
+use crate::boolean::{PostingSource, Query};
+use crate::docstore::DocStore;
+use crate::proximity;
+use crate::vector::{search, Hit, VectorQuery};
+use invidx_core::index::{BatchReport, DualIndex, IndexConfig, SweepReport};
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, IndexError, Result, WordId};
+use invidx_corpus::lexer;
+use invidx_disk::DiskArray;
+use std::collections::HashMap;
+
+/// A text search engine over the dual-structure index.
+///
+/// Documents are stored alongside the index (in a [`DocStore`] sharing the
+/// same disks), enabling the paper's §1 positional conditions: inverted
+/// lists prune the candidates, the stored text verifies proximity and
+/// phrase predicates.
+/// ```
+/// use invidx_core::index::IndexConfig;
+/// use invidx_disk::sparse_array;
+/// use invidx_ir::SearchEngine;
+///
+/// let array = sparse_array(2, 50_000, 256);
+/// let mut engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
+/// engine.add_document("the cat sat on the mat").unwrap();
+/// engine.add_document("the dog chased the cat").unwrap();
+/// engine.flush().unwrap();
+/// assert_eq!(engine.boolean_str("cat and dog").unwrap().len(), 1);
+/// assert_eq!(engine.within("dog", "cat", 3).unwrap().len(), 1);
+/// ```
+pub struct SearchEngine {
+    index: DualIndex,
+    docs: DocStore,
+    vocab: HashMap<String, WordId>,
+    next_word: u64,
+    next_doc: u32,
+    total_docs: u64,
+}
+
+impl SearchEngine {
+    /// Create a fresh engine on the given disks.
+    pub fn create(array: DiskArray, config: IndexConfig) -> Result<Self> {
+        Ok(Self {
+            index: DualIndex::create(array, config)?,
+            docs: DocStore::new(),
+            vocab: HashMap::new(),
+            next_word: 1, // word 0 is reserved
+            next_doc: 1,
+            total_docs: 0,
+        })
+    }
+
+    /// Serialize the engine's metadata (vocabulary, document directory,
+    /// counters) — everything beyond what `DualIndex` persists itself.
+    /// Write this beside the device files after each flush; pass it to
+    /// [`SearchEngine::open`] to restore.
+    pub fn save_meta(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"IVXMETA1");
+        out.extend_from_slice(&self.next_word.to_le_bytes());
+        out.extend_from_slice(&self.next_doc.to_le_bytes());
+        out.extend_from_slice(&self.total_docs.to_le_bytes());
+        out.extend_from_slice(&(self.vocab.len() as u64).to_le_bytes());
+        let mut words: Vec<(&String, &WordId)> = self.vocab.iter().collect();
+        words.sort_by_key(|&(_, id)| id.0);
+        for (w, id) in words {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(w.len() as u16).to_le_bytes());
+            out.extend_from_slice(w.as_bytes());
+        }
+        let docs = self.docs.serialize();
+        out.extend_from_slice(&(docs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&docs);
+        out
+    }
+
+    /// Re-open an engine: recover the index from `array` (see
+    /// [`DualIndex::open`]) and the engine metadata from `meta` bytes.
+    /// Document-store extents are re-reserved in the allocators.
+    pub fn open(array: DiskArray, config: IndexConfig, meta: &[u8]) -> Result<Self> {
+        let corrupt = |m: &str| IndexError::Corruption(format!("engine meta: {m}"));
+        let need = |ok: bool, m: &str| ok.then_some(()).ok_or_else(|| corrupt(m));
+        need(meta.len() >= 8 && &meta[..8] == b"IVXMETA1", "bad magic")?;
+        let mut pos = 8usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            if pos + n > meta.len() {
+                return Err(corrupt("truncated"));
+            }
+            let s = &meta[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        let next_word = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+        let next_doc = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+        let total_docs = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+        let vocab_len = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let mut vocab = HashMap::with_capacity(vocab_len);
+        for _ in 0..vocab_len {
+            let id = WordId(u64::from_le_bytes(take(8)?.try_into().expect("8")));
+            let wlen = u16::from_le_bytes(take(2)?.try_into().expect("2")) as usize;
+            let word = String::from_utf8(take(wlen)?.to_vec())
+                .map_err(|_| corrupt("non-utf8 word"))?;
+            vocab.insert(word, id);
+        }
+        let dlen = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let docs = DocStore::deserialize(take(dlen)?)?;
+
+        let mut index = DualIndex::open(array, config)?;
+        for (_, disk, start, blocks) in docs.extents() {
+            index
+                .array_mut()
+                .reserve_on(disk, start, blocks)
+                .map_err(IndexError::from)?;
+        }
+        Ok(Self { index, docs, vocab, next_word, next_doc, total_docs })
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &DualIndex {
+        &self.index
+    }
+
+    /// Mutable access to the underlying index.
+    pub fn index_mut(&mut self) -> &mut DualIndex {
+        &mut self.index
+    }
+
+    /// Documents added so far.
+    pub fn total_docs(&self) -> u64 {
+        self.total_docs
+    }
+
+    /// Distinct words interned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Intern a word (lowercased by the caller/lexer).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.vocab.get(word) {
+            return id;
+        }
+        let id = WordId(self.next_word);
+        self.next_word += 1;
+        self.vocab.insert(word.to_string(), id);
+        id
+    }
+
+    /// Look up a word without interning.
+    pub fn word_id(&self, word: &str) -> Option<WordId> {
+        self.vocab.get(&word.to_ascii_lowercase()).copied()
+    }
+
+    /// Add a document; returns its assigned id. The text goes through the
+    /// paper's lexer: letter/digit tokens, lowercasing, header-line
+    /// skipping, per-document dedup.
+    pub fn add_document(&mut self, text: &str) -> Result<DocId> {
+        let words: Vec<WordId> =
+            lexer::document_words(text).iter().map(|w| self.intern(w)).collect();
+        let doc = DocId(self.next_doc);
+        self.next_doc += 1;
+        self.index.insert_document(doc, words)?;
+        self.docs.store(self.index.array_mut(), doc, text)?;
+        self.total_docs += 1;
+        Ok(doc)
+    }
+
+    /// The stored text of a document.
+    pub fn document(&mut self, doc: DocId) -> Result<Option<String>> {
+        self.docs.load(self.index.array_mut(), doc)
+    }
+
+    /// Flush the current batch to disk.
+    pub fn flush(&mut self) -> Result<BatchReport> {
+        self.index.flush_batch()
+    }
+
+    /// Logically delete a document.
+    pub fn delete(&mut self, doc: DocId) {
+        self.index.delete_document(doc);
+    }
+
+    /// Run the deletion sweep.
+    pub fn sweep(&mut self) -> Result<SweepReport> {
+        self.index.sweep()
+    }
+
+    /// Evaluate a boolean [`Query`].
+    pub fn boolean(&mut self, query: &Query) -> Result<PostingList> {
+        query.eval(&mut self.index)
+    }
+
+    /// Parse and evaluate a boolean query string, e.g.
+    /// `"(cat and dog) or mouse"`.
+    pub fn boolean_str(&mut self, query: &str) -> Result<PostingList> {
+        let q = self.parse_query(query)?;
+        self.boolean(&q)
+    }
+
+    /// Parse a boolean query string into a [`Query`]. Unknown words become
+    /// empty-list terms (word id 0 is never interned, so they match
+    /// nothing).
+    pub fn parse_query(&self, text: &str) -> Result<Query> {
+        let tokens = lex_query(text)?;
+        let mut p = Parser { tokens, pos: 0, engine: self };
+        let q = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(IndexError::InvalidConfig(format!(
+                "trailing tokens in query {text:?}"
+            )));
+        }
+        Ok(q)
+    }
+
+    /// Vector-space search with an explicit query.
+    pub fn vector(&mut self, query: &VectorQuery, k: usize) -> Result<Vec<Hit>> {
+        search(&mut self.index, query, self.total_docs, k)
+    }
+
+    /// Proximity query (paper §1: "requiring that 'cat' and 'dog' occur
+    /// within so many words of each other"): inverted lists prune to the
+    /// documents containing both words; the stored text verifies the
+    /// positional window.
+    pub fn within(&mut self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        let (Some(a), Some(b)) = (self.word_id(w1), self.word_id(w2)) else {
+            return Ok(PostingList::new());
+        };
+        let candidates = Query::and(Query::Word(a), Query::Word(b)).eval(&mut self.index)?;
+        let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
+        let mut hits = Vec::new();
+        for &doc in candidates.docs() {
+            let Some(text) = self.docs.load(self.index.array_mut(), doc)? else {
+                continue;
+            };
+            let positions = lexer::document_word_positions(&text);
+            let find = |w: &str| {
+                positions
+                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                    .ok()
+                    .map(|i| positions[i].1.as_slice())
+                    .unwrap_or(&[])
+            };
+            if proximity::within(find(&l1), find(&l2), window) {
+                hits.push(doc);
+            }
+        }
+        Ok(PostingList::from_sorted(hits))
+    }
+
+    /// Phrase query: the words of `phrase` occur contiguously, in order.
+    pub fn phrase(&mut self, phrase: &str) -> Result<PostingList> {
+        let words: Vec<String> = lexer::tokenize_document(phrase);
+        if words.is_empty() {
+            return Ok(PostingList::new());
+        }
+        // Prune: AND over all words (unknown word => empty result).
+        let mut ids = Vec::with_capacity(words.len());
+        for w in &words {
+            match self.vocab.get(w) {
+                Some(&id) => ids.push(Query::Word(id)),
+                None => return Ok(PostingList::new()),
+            }
+        }
+        let candidates = Query::And(ids).eval(&mut self.index)?;
+        let mut hits = Vec::new();
+        for &doc in candidates.docs() {
+            let Some(text) = self.docs.load(self.index.array_mut(), doc)? else {
+                continue;
+            };
+            let positions = lexer::document_word_positions(&text);
+            let find = |w: &str| {
+                positions
+                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                    .ok()
+                    .map(|i| positions[i].1.as_slice())
+                    .unwrap_or(&[])
+            };
+            let term_positions: Vec<&[u32]> = words.iter().map(|w| find(w)).collect();
+            if proximity::contains_phrase(&term_positions) {
+                hits.push(doc);
+            }
+        }
+        Ok(PostingList::from_sorted(hits))
+    }
+
+    /// Vector-space search using a document text as the query (the paper's
+    /// "a query may be derived from a document" — §5.2.1).
+    pub fn more_like_this(&mut self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        self.vector(&VectorQuery::from_words(words), k)
+    }
+}
+
+impl PostingSource for SearchEngine {
+    fn postings(&mut self, word: WordId) -> Result<PostingList> {
+        self.index.postings(word)
+    }
+}
+
+// ----- boolean query-string parsing -----
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    And,
+    Or,
+    Not,
+    Open,
+    Close,
+}
+
+fn lex_query(text: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    for raw in text
+        .replace('(', " ( ")
+        .replace(')', " ) ")
+        .split_ascii_whitespace()
+    {
+        let lower = raw.to_ascii_lowercase();
+        out.push(match lower.as_str() {
+            "(" => Tok::Open,
+            ")" => Tok::Close,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            w if w.chars().all(|c| c.is_ascii_alphanumeric()) => Tok::Word(w.to_string()),
+            other => {
+                return Err(IndexError::InvalidConfig(format!(
+                    "bad token {other:?} in query"
+                )))
+            }
+        });
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    engine: &'a SearchEngine,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// expr := term (OR term)*
+    fn expr(&mut self) -> Result<Query> {
+        let mut parts = vec![self.term()?];
+        while self.eat(&Tok::Or) {
+            parts.push(self.term()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Query::Or(parts) })
+    }
+
+    /// term := factor ((AND NOT? | NOT) factor)*
+    fn term(&mut self) -> Result<Query> {
+        let mut acc = self.factor()?;
+        loop {
+            if self.eat(&Tok::And) {
+                if self.eat(&Tok::Not) {
+                    let rhs = self.factor()?;
+                    acc = Query::and_not(acc, rhs);
+                } else {
+                    let rhs = self.factor()?;
+                    acc = Query::and(acc, rhs);
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// factor := word | '(' expr ')'
+    fn factor(&mut self) -> Result<Query> {
+        match self.peek().cloned() {
+            Some(Tok::Open) => {
+                self.pos += 1;
+                let q = self.expr()?;
+                if !self.eat(&Tok::Close) {
+                    return Err(IndexError::InvalidConfig("unbalanced parentheses".into()));
+                }
+                Ok(q)
+            }
+            Some(Tok::Word(w)) => {
+                self.pos += 1;
+                // Unknown words map to the reserved id 0 => empty list.
+                Ok(Query::Word(self.engine.vocab.get(&w).copied().unwrap_or(WordId(0))))
+            }
+            Some(Tok::Not) => Err(IndexError::InvalidConfig(
+                "NOT is only valid after AND (a AND NOT b)".into(),
+            )),
+            other => Err(IndexError::InvalidConfig(format!(
+                "expected word or '(', found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_disk::sparse_array;
+
+    fn engine() -> SearchEngine {
+        let array = sparse_array(2, 50_000, 256);
+        SearchEngine::create(array, IndexConfig::small()).unwrap()
+    }
+
+    fn doc_ids(list: &PostingList) -> Vec<u32> {
+        list.docs().iter().map(|d| d.0).collect()
+    }
+
+    #[test]
+    fn end_to_end_boolean() {
+        let mut e = engine();
+        let d1 = e.add_document("the cat sat on the mat").unwrap();
+        let d2 = e.add_document("the dog sat on the cat").unwrap();
+        let d3 = e.add_document("a mouse ran away").unwrap();
+        e.flush().unwrap();
+        assert_eq!((d1.0, d2.0, d3.0), (1, 2, 3));
+        let r = e.boolean_str("(cat and dog) or mouse").unwrap();
+        assert_eq!(doc_ids(&r), vec![2, 3]);
+        let r = e.boolean_str("cat and not dog").unwrap();
+        assert_eq!(doc_ids(&r), vec![1]);
+        let r = e.boolean_str("sat").unwrap();
+        assert_eq!(doc_ids(&r), vec![1, 2]);
+    }
+
+    #[test]
+    fn queries_see_unflushed_documents() {
+        let mut e = engine();
+        e.add_document("alpha beta gamma plus padding words").unwrap();
+        let r = e.boolean_str("beta").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn unknown_words_match_nothing() {
+        let mut e = engine();
+        e.add_document("something else entirely").unwrap();
+        e.flush().unwrap();
+        assert!(e.boolean_str("nonexistent").unwrap().is_empty());
+        assert!(e.boolean_str("something and nonexistent").unwrap().is_empty());
+        assert_eq!(e.boolean_str("something or nonexistent").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        let e = engine();
+        assert!(e.parse_query("(cat and dog").is_err());
+        assert!(e.parse_query("cat dog").is_err());
+        assert!(e.parse_query("not cat").is_err());
+        assert!(e.parse_query("cat and").is_err());
+        assert!(e.parse_query("c@t").is_err());
+    }
+
+    #[test]
+    fn vector_search_ranks_overlap() {
+        let mut e = engine();
+        e.add_document("rust database systems research paper").unwrap();
+        e.add_document("rust compiler internals").unwrap();
+        e.add_document("cooking with garlic").unwrap();
+        e.flush().unwrap();
+        let hits = e.more_like_this("rust database papers", 3).unwrap();
+        assert_eq!(hits[0].doc, DocId(1));
+        assert!(hits.len() >= 2);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn lexer_semantics_flow_through() {
+        let mut e = engine();
+        e.add_document("Date: ignored words here\nReal CONTENT body").unwrap();
+        e.flush().unwrap();
+        assert!(e.boolean_str("content").unwrap().len() == 1);
+        assert!(e.boolean_str("ignored").unwrap().is_empty());
+        // Uppercase query words are lowercased by the query lexer too.
+        assert!(e.boolean_str("CONTENT").unwrap().len() == 1);
+    }
+
+    #[test]
+    fn delete_then_sweep_via_engine() {
+        let mut e = engine();
+        let d1 = e.add_document("shared words one").unwrap();
+        e.add_document("shared words two").unwrap();
+        e.flush().unwrap();
+        e.delete(d1);
+        let r = e.boolean_str("shared").unwrap();
+        assert_eq!(r.len(), 1);
+        let report = e.sweep().unwrap();
+        assert!(report.postings_removed >= 2);
+    }
+
+    #[test]
+    fn documents_are_stored_and_retrievable() {
+        let mut e = engine();
+        let d = e.add_document("the exact original text survives").unwrap();
+        assert_eq!(
+            e.document(d).unwrap().unwrap(),
+            "the exact original text survives"
+        );
+        assert_eq!(e.document(DocId(999)).unwrap(), None);
+    }
+
+    #[test]
+    fn proximity_queries() {
+        let mut e = engine();
+        let d1 = e.add_document("the cat sat right beside the dog today").unwrap();
+        let d2 = e.add_document("a cat lived here while the dog lived far away beyond the river dog").unwrap();
+        e.add_document("cat alone in this one").unwrap();
+        e.flush().unwrap();
+        // d1: cat@1 dog@6 -> distance 5. d2: cat@1, dog@6? positions:
+        // a(0) cat(1) lived(2) here(3) while(4) the(5) dog(6)... also 5.
+        let r = e.within("cat", "dog", 5).unwrap();
+        assert_eq!(r.docs(), &[d1, d2]);
+        let r = e.within("cat", "dog", 2).unwrap();
+        assert!(r.is_empty());
+        // Unknown words match nothing.
+        assert!(e.within("cat", "unicorn", 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn phrase_queries() {
+        let mut e = engine();
+        let d1 = e.add_document("incremental updates of inverted lists for retrieval").unwrap();
+        e.add_document("inverted updates of incremental lists reversed order here").unwrap();
+        e.flush().unwrap();
+        let r = e.phrase("incremental updates of inverted lists").unwrap();
+        assert_eq!(r.docs(), &[d1]);
+        // Both docs contain all the words; only one has the phrase.
+        let r = e.phrase("updates of").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(e.phrase("lists inverted").unwrap().is_empty());
+        assert!(e.phrase("").unwrap().is_empty());
+        assert!(e.phrase("unknownword updates").unwrap().is_empty());
+        // Case-insensitive, as everywhere.
+        assert_eq!(e.phrase("Incremental UPDATES").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn proximity_sees_unflushed_documents() {
+        let mut e = engine();
+        let d = e.add_document("alpha beta gamma delta words here").unwrap();
+        let r = e.within("alpha", "gamma", 2).unwrap();
+        assert_eq!(r.docs(), &[d]);
+    }
+
+    #[test]
+    fn engine_persistence_round_trip() {
+        use invidx_disk::{Disk, DiskArray, FileDevice, FitStrategy, FreeList};
+        let dir = std::env::temp_dir().join(format!("invidx-eng-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file_array = |create: bool| {
+            let disks = (0..2u16)
+                .map(|d| {
+                    let path = dir.join(format!("disk{d}.bin"));
+                    let device: Box<dyn invidx_disk::BlockDevice> = if create {
+                        Box::new(FileDevice::create(&path, 20_000, 256).unwrap())
+                    } else {
+                        Box::new(FileDevice::open(&path, 256).unwrap())
+                    };
+                    Disk { device, alloc: Box::new(FreeList::new(20_000, FitStrategy::FirstFit)) }
+                })
+                .collect();
+            DiskArray::new(disks)
+        };
+        let config = IndexConfig::small();
+        let meta = {
+            let mut e = SearchEngine::create(file_array(true), config).unwrap();
+            e.add_document("the cat sat beside the dog").unwrap();
+            e.add_document("a mouse ran past the cat").unwrap();
+            e.flush().unwrap();
+            e.save_meta()
+        };
+        let mut e = SearchEngine::open(file_array(false), config, &meta).unwrap();
+        assert_eq!(e.total_docs(), 2);
+        assert_eq!(e.boolean_str("cat and dog").unwrap().len(), 1);
+        assert_eq!(e.document(DocId(1)).unwrap().unwrap(), "the cat sat beside the dog");
+        assert_eq!(e.within("cat", "mouse", 5).unwrap().len(), 1);
+        // The engine keeps working: new documents get fresh ids and the
+        // vocabulary keeps interning consistently.
+        let d3 = e.add_document("another cat arrives").unwrap();
+        assert_eq!(d3, DocId(3));
+        e.flush().unwrap();
+        assert_eq!(e.boolean_str("cat").unwrap().len(), 3);
+        // Corrupt meta is rejected.
+        assert!(SearchEngine::open(file_array(false), config, b"garbage").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vocabulary_interning_is_stable() {
+        let mut e = engine();
+        let a = e.intern("cat");
+        let b = e.intern("cat");
+        let c = e.intern("dog");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(e.vocabulary_size(), 2);
+        assert_eq!(e.word_id("CAT"), Some(a));
+        assert_eq!(e.word_id("missing"), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! # invidx-ir — information retrieval over the dual-structure index
+//!
+//! The paper's §1 describes the two retrieval models its index serves:
+//! boolean systems ("(cat and dog) or mouse") evaluated by merging sorted
+//! inverted lists, and vector-model systems that "locate documents that
+//! maximize the weighted sum of occurring words", using inverted lists to
+//! prune candidates. This crate provides both, plus [`engine::SearchEngine`]
+//! — a complete text-in/results-out engine combining the corpus lexer, a
+//! word interner, and [`invidx_core::DualIndex`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod boolean;
+pub mod docstore;
+pub mod engine;
+pub mod proximity;
+pub mod vector;
+
+pub use boolean::{PostingSource, Query};
+pub use docstore::DocStore;
+pub use engine::SearchEngine;
+pub use vector::{search, Hit, VectorQuery};

@@ -1,0 +1,103 @@
+//! Proximity and phrase predicates (paper §1).
+//!
+//! "The query may also give additional conditions, such as requiring that
+//! 'cat' and 'dog' occur within so many words of each other." Inverted
+//! lists prune the candidate documents (the boolean AND); these predicates
+//! verify the positional condition against each candidate's token
+//! positions.
+
+/// Minimum absolute distance between any position of `a` and any position
+/// of `b`, or `None` when either list is empty. Linear two-pointer merge
+/// over sorted position lists.
+pub fn min_distance(a: &[u32], b: &[u32]) -> Option<u32> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = u32::MAX;
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        best = best.min(x.abs_diff(y));
+        if best == 0 {
+            return Some(0);
+        }
+        if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    Some(best)
+}
+
+/// True when the words occur within `window` tokens of each other.
+pub fn within(a: &[u32], b: &[u32], window: u32) -> bool {
+    min_distance(a, b).is_some_and(|d| d <= window)
+}
+
+/// True when the terms occur as a contiguous phrase: some position `p`
+/// has `terms[i]` at `p + i` for all `i`. `terms[i]` holds the sorted
+/// positions of the i-th phrase word.
+pub fn contains_phrase(terms: &[&[u32]]) -> bool {
+    let Some(first) = terms.first() else {
+        return false;
+    };
+    'starts: for &p in *first {
+        for (i, positions) in terms.iter().enumerate().skip(1) {
+            let want = p + i as u32;
+            if positions.binary_search(&want).is_err() {
+                continue 'starts;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_distance_basic() {
+        assert_eq!(min_distance(&[1, 10], &[4]), Some(3));
+        assert_eq!(min_distance(&[5], &[5]), Some(0));
+        assert_eq!(min_distance(&[1, 2, 3], &[100]), Some(97));
+        assert_eq!(min_distance(&[], &[1]), None);
+        assert_eq!(min_distance(&[1], &[]), None);
+    }
+
+    #[test]
+    fn min_distance_interleaved() {
+        // Closest pair spans the merge frontier.
+        assert_eq!(min_distance(&[10, 20, 30], &[14, 19, 33]), Some(1));
+        assert_eq!(min_distance(&[0, 100], &[49, 51]), Some(49));
+    }
+
+    #[test]
+    fn within_window() {
+        assert!(within(&[1], &[4], 3));
+        assert!(!within(&[1], &[5], 3));
+        assert!(!within(&[], &[5], 100));
+    }
+
+    #[test]
+    fn phrase_detection() {
+        // "the quick brown fox": positions of each word.
+        let the = [0u32, 8];
+        let quick = [1u32];
+        let brown = [2u32, 9];
+        let fox = [3u32];
+        assert!(contains_phrase(&[&the, &quick, &brown, &fox]));
+        // "brown the" does not occur contiguously.
+        assert!(!contains_phrase(&[&brown, &the]));
+        // Single word phrase: any occurrence.
+        assert!(contains_phrase(&[&fox]));
+        assert!(!contains_phrase(&[&[]]));
+        assert!(!contains_phrase(&[]));
+        // "the brown" occurs at 8,9.
+        assert!(contains_phrase(&[&the, &brown]));
+    }
+}

@@ -1,0 +1,324 @@
+//! The "compute buckets" process (paper §4.3).
+//!
+//! "Takes the sequence of batch updates as inputs, runs the bucket
+//! algorithm described in Section 2 on the sequence (we use a modular
+//! arithmetic hash function for h(w)), and generates a single trace file of
+//! updates to long lists. Each update in the file indicates the word
+//! involved and the number of postings to be added to the corresponding
+//! long list on disk. (Note that the postings for an update can come from
+//! the new postings in a batch or from previous postings in a bucket.)"
+//!
+//! Also produced here: the per-update word-category fractions of Figure 7
+//! (new / bucket / long) and the Figure 1 single-bucket animation.
+
+use invidx_core::bucket::BucketStore;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, Result, WordId};
+use invidx_corpus::BatchUpdate;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-batch word-category statistics (Figure 7's raw data).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchCategories {
+    /// Word-occurrence pairs in the update.
+    pub words: u64,
+    /// Postings in the update.
+    pub postings: u64,
+    /// Previously unseen words.
+    pub new_words: u64,
+    /// Words already in a bucket.
+    pub bucket_words: u64,
+    /// Words with long lists.
+    pub long_words: u64,
+    /// Evictions (bucket overflows promoting a word to long).
+    pub evictions: u64,
+}
+
+impl BatchCategories {
+    /// Fraction of pairs that are new words.
+    pub fn frac_new(&self) -> f64 {
+        self.new_words as f64 / self.words.max(1) as f64
+    }
+
+    /// Fraction of pairs that are bucket words.
+    pub fn frac_bucket(&self) -> f64 {
+        self.bucket_words as f64 / self.words.max(1) as f64
+    }
+
+    /// Fraction of pairs that are long words.
+    pub fn frac_long(&self) -> f64 {
+        self.long_words as f64 / self.words.max(1) as f64
+    }
+}
+
+/// Output of the compute-buckets stage.
+#[derive(Debug, Clone)]
+pub struct BucketStageOutput {
+    /// One entry per batch: the long-list updates it generates, as
+    /// `(word, postings)` pairs in emission order. Reuses [`BatchUpdate`]
+    /// so the Figure 5 trace text format round-trips.
+    pub long_updates: Vec<BatchUpdate>,
+    /// Figure 7 statistics, one per batch.
+    pub categories: Vec<BatchCategories>,
+}
+
+impl BucketStageOutput {
+    /// Total long-list updates across all batches.
+    pub fn total_updates(&self) -> usize {
+        self.long_updates.iter().map(|b| b.pairs.len()).sum()
+    }
+}
+
+/// Runs the bucket algorithm over batch updates, emitting long-list
+/// updates in exactly the order [`invidx_core::DualIndex`] would perform
+/// them (pairs in word order; evictions inline).
+pub struct BucketPipeline {
+    store: BucketStore,
+    /// Words already promoted to long lists.
+    long: std::collections::BTreeSet<WordId>,
+    /// Per-word posting counters for synthesizing document ids.
+    counters: HashMap<WordId, u32>,
+}
+
+impl BucketPipeline {
+    /// Create a pipeline with `buckets` buckets of `bucket_size` units.
+    pub fn new(buckets: usize, bucket_size: u64) -> Result<Self> {
+        Ok(Self {
+            store: BucketStore::new(buckets, bucket_size)?,
+            long: Default::default(),
+            counters: HashMap::new(),
+        })
+    }
+
+    /// Access the bucket store (animation hooks, tests).
+    pub fn store(&self) -> &BucketStore {
+        &self.store
+    }
+
+    /// Synthesize the next `count` postings for `word` (monotone doc ids).
+    fn synth_postings(&mut self, word: WordId, count: u32) -> PostingList {
+        let c = self.counters.entry(word).or_insert(0);
+        let start = *c;
+        *c += count;
+        PostingList::from_sorted((start..start + count).map(DocId).collect())
+    }
+
+    /// Process one batch update; returns the long updates it generates and
+    /// its category statistics.
+    pub fn process_batch(
+        &mut self,
+        batch: &BatchUpdate,
+    ) -> Result<(BatchUpdate, BatchCategories)> {
+        let mut stats = BatchCategories {
+            words: batch.pairs.len() as u64,
+            postings: 0,
+            new_words: 0,
+            bucket_words: 0,
+            long_words: 0,
+            evictions: 0,
+        };
+        let mut out = Vec::new();
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            stats.postings += count as u64;
+            if self.long.contains(&word) {
+                stats.long_words += 1;
+                out.push((w, count));
+                // Keep the counter advancing for long words too.
+                let c = self.counters.entry(word).or_insert(0);
+                *c += count;
+                continue;
+            }
+            if self.store.get(word).is_some() {
+                stats.bucket_words += 1;
+            } else {
+                stats.new_words += 1;
+            }
+            let postings = self.synth_postings(word, count);
+            let outcome = self.store.insert(word, &postings)?;
+            for (evicted_word, list) in outcome.evicted {
+                stats.evictions += 1;
+                self.long.insert(evicted_word);
+                out.push((evicted_word.0, list.len() as u32));
+            }
+        }
+        Ok((BatchUpdate { day: batch.day, pairs: out }, stats))
+    }
+
+    /// Run the whole stage.
+    pub fn run(mut self, batches: &[BatchUpdate]) -> Result<BucketStageOutput> {
+        let mut long_updates = Vec::with_capacity(batches.len());
+        let mut categories = Vec::with_capacity(batches.len());
+        for b in batches {
+            let (updates, stats) = self.process_batch(b)?;
+            long_updates.push(updates);
+            categories.push(stats);
+        }
+        Ok(BucketStageOutput { long_updates, categories })
+    }
+}
+
+/// One sample of the Figure 1 animation: the watched bucket's occupancy
+/// after one change (insertion of a new word, append to an existing word,
+/// or removal of a word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSample {
+    /// Change sequence number (the figure's x-axis).
+    pub time: u64,
+    /// Words in the bucket.
+    pub words: u64,
+    /// Postings in the bucket.
+    pub postings: u64,
+}
+
+impl BucketSample {
+    /// The figure's top line.
+    pub fn units(&self) -> u64 {
+        self.words + self.postings
+    }
+}
+
+/// Reproduce Figure 1: run the bucket algorithm and record the watched
+/// bucket's `(words, postings)` after every change to it, including the
+/// downward eviction spikes, for at most `max_samples` changes.
+pub fn animate_bucket(
+    batches: &[BatchUpdate],
+    buckets: usize,
+    bucket_size: u64,
+    watched: usize,
+    max_samples: usize,
+) -> Result<Vec<BucketSample>> {
+    let mut pipeline = BucketPipeline::new(buckets, bucket_size)?;
+    let mut samples = Vec::new();
+    let mut time = 0u64;
+    'outer: for batch in batches {
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            if pipeline.long.contains(&word) {
+                let c = pipeline.counters.entry(word).or_insert(0);
+                *c += count;
+                continue;
+            }
+            let in_watched = pipeline.store.bucket_of(word) == watched;
+            let postings = pipeline.synth_postings(word, count);
+            let outcome = pipeline.store.insert(word, &postings)?;
+            for (evicted_word, _) in &outcome.evicted {
+                pipeline.long.insert(*evicted_word);
+            }
+            if in_watched {
+                // One sample for the insertion/append...
+                time += 1;
+                let b = pipeline.store.bucket(watched);
+                // ...reconstructing the pre-eviction peak when an eviction
+                // happened in the same call.
+                if !outcome.evicted.is_empty() {
+                    let removed_words = outcome.evicted.len() as u64;
+                    let removed_postings: u64 =
+                        outcome.evicted.iter().map(|(_, l)| l.len() as u64).sum();
+                    samples.push(BucketSample {
+                        time,
+                        words: b.words() + removed_words,
+                        postings: b.postings() + removed_postings,
+                    });
+                    time += 1;
+                }
+                samples.push(BucketSample { time, words: b.words(), postings: b.postings() });
+                if samples.len() >= max_samples {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_corpus::{generate_batches, CorpusParams};
+
+    fn batches() -> Vec<BatchUpdate> {
+        generate_batches(CorpusParams::tiny()).0
+    }
+
+    #[test]
+    fn categories_partition_the_update() {
+        let out = BucketPipeline::new(64, 100).unwrap().run(&batches()).unwrap();
+        for c in &out.categories {
+            assert_eq!(c.new_words + c.bucket_words + c.long_words, c.words);
+            assert!((c.frac_new() + c.frac_bucket() + c.frac_long() - 1.0).abs() < 1e-9);
+        }
+        // First batch: everything is new.
+        assert_eq!(out.categories[0].new_words, out.categories[0].words);
+        // New-word fraction decays after the first batch.
+        let first = out.categories[0].frac_new();
+        let last = out.categories.last().unwrap().frac_new();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn long_updates_only_after_overflow() {
+        // Huge buckets: nothing ever overflows, no long updates.
+        let out = BucketPipeline::new(64, 1_000_000).unwrap().run(&batches()).unwrap();
+        assert_eq!(out.total_updates(), 0);
+        // Small buckets: overflows guaranteed.
+        let out = BucketPipeline::new(16, 50).unwrap().run(&batches()).unwrap();
+        assert!(out.total_updates() > 0);
+        let total_long: u64 = out.categories.iter().map(|c| c.long_words + c.evictions).sum();
+        assert_eq!(out.long_updates.iter().map(|b| b.pairs.len() as u64).sum::<u64>(), total_long);
+    }
+
+    #[test]
+    fn postings_conserved_into_long_updates() {
+        // Every posting ends up either still in a bucket or emitted in a
+        // long update (counting each posting once).
+        let bx = batches();
+        let pipeline = BucketPipeline::new(16, 50).unwrap();
+        let store_probe = BucketPipeline::new(16, 50).unwrap();
+        drop(store_probe);
+        let mut pipeline = pipeline;
+        let mut emitted = 0u64;
+        let mut total = 0u64;
+        for b in &bx {
+            let (updates, stats) = pipeline.process_batch(b).unwrap();
+            emitted += updates.postings();
+            total += stats.postings;
+        }
+        let in_buckets = pipeline.store.total_postings();
+        assert_eq!(emitted + in_buckets, total);
+    }
+
+    #[test]
+    fn animation_shows_fill_and_spikes() {
+        let bx = batches();
+        let samples = animate_bucket(&bx, 8, 60, 0, 10_000).unwrap();
+        assert!(!samples.is_empty());
+        // Monotone time, units bounded by capacity except at reconstructed
+        // pre-eviction peaks.
+        for w in samples.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        // At least one downward spike (eviction) in a tiny bucket.
+        let any_drop = samples.windows(2).any(|w| w[1].units() < w[0].units());
+        assert!(any_drop, "expected at least one eviction spike");
+        // The bucket fills over time before the first spike.
+        assert!(samples.iter().map(BucketSample::units).max().unwrap() >= 60);
+    }
+
+    #[test]
+    fn trace_text_round_trip() {
+        let out = BucketPipeline::new(16, 50).unwrap().run(&batches()).unwrap();
+        let nonempty: Vec<BatchUpdate> =
+            out.long_updates.iter().filter(|b| !b.pairs.is_empty()).cloned().collect();
+        if nonempty.is_empty() {
+            return;
+        }
+        let text = invidx_corpus::batch::batches_to_trace_text(&nonempty);
+        let parsed = invidx_corpus::batch::batches_from_trace_text(&text).unwrap();
+        assert_eq!(parsed.len(), nonempty.len());
+        for (a, b) in parsed.iter().zip(&nonempty) {
+            assert_eq!(a.pairs, b.pairs);
+        }
+    }
+}

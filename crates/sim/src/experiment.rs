@@ -1,0 +1,162 @@
+//! Experiment orchestration: the paper's Figure 3 pipeline, end to end.
+//!
+//! ```text
+//! News -> Invert Index -> Compute Buckets -> Compute Disks -> Exercise Disks
+//!            batches        long updates       I/O traces       timings
+//! ```
+//!
+//! "One of the most important [advantages] is the decoupling of each
+//! process from the subsequent process, which permits varying parameters of
+//! a process to study the effects on the corresponding data
+//! transformation" — [`Experiment`] runs the corpus and bucket stages
+//! *once* and then evaluates any number of policies against the cached
+//! long-update trace, exactly as the paper's experimental design intends.
+//!
+//! [`run_dual_index`] runs the same workload through the real
+//! [`invidx_core::DualIndex`] instead of the staged pipeline; integration
+//! tests assert the two produce identical I/O traces.
+
+use crate::buckets::{BucketPipeline, BucketStageOutput};
+use crate::disks::{compute_disks, DiskStageOutput};
+use crate::params::SimParams;
+use invidx_core::index::{BatchReport, DualIndex};
+use invidx_core::policy::Policy;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, Result, WordId};
+use invidx_corpus::{generate_batches, BatchUpdate, CorpusStats};
+use invidx_disk::{exercise, sparse_array, ExerciseResult, IoTrace};
+use std::collections::HashMap;
+
+/// One policy's complete measurements.
+#[derive(Debug)]
+pub struct PolicyRun {
+    /// The policy evaluated.
+    pub policy: Policy,
+    /// Compute-disks output (trace + per-batch metrics).
+    pub disks: DiskStageOutput,
+    /// Exercise-disks output (timings).
+    pub exercise: ExerciseResult,
+}
+
+/// A prepared experiment: corpus inverted, buckets computed.
+pub struct Experiment {
+    /// Parameters in force.
+    pub params: SimParams,
+    /// The inverted batches (the "invert index" stage output).
+    pub batches: Vec<BatchUpdate>,
+    /// Table 1 statistics of the generated corpus.
+    pub corpus_stats: CorpusStats,
+    /// The compute-buckets stage output (shared across policies).
+    pub buckets: BucketStageOutput,
+}
+
+impl Experiment {
+    /// Generate the corpus and run the bucket stage.
+    pub fn prepare(params: SimParams) -> Result<Self> {
+        let (batches, corpus_stats) = generate_batches(params.corpus.clone());
+        let buckets =
+            BucketPipeline::new(params.buckets, params.bucket_size)?.run(&batches)?;
+        Ok(Self { params, batches, corpus_stats, buckets })
+    }
+
+    /// Run compute-disks + exercise-disks for one policy.
+    pub fn run_policy(&self, policy: Policy) -> Result<PolicyRun> {
+        let disks = compute_disks(&self.params, policy, &self.buckets.long_updates)?;
+        let exercise = exercise(&disks.trace, &self.params.exercise_config());
+        Ok(PolicyRun { policy, disks, exercise })
+    }
+
+    /// Run several policies, skipping (and reporting) any that exhaust the
+    /// configured disks — the paper's "fill 0 is not shown since our disks
+    /// were not large enough" case.
+    pub fn run_policies(&self, policies: &[Policy]) -> Vec<(Policy, Result<PolicyRun>)> {
+        policies.iter().map(|&p| (p, self.run_policy(p))).collect()
+    }
+}
+
+/// Build a real [`DualIndex`] from batch updates (synthesizing monotone
+/// document ids per word), returning the live index and its per-batch
+/// reports. The array has tracing enabled; take or inspect the trace via
+/// [`DualIndex::array_mut`].
+pub fn build_dual_index(
+    params: &SimParams,
+    policy: Policy,
+    batches: &[BatchUpdate],
+) -> Result<(DualIndex, Vec<BatchReport>)> {
+    let mut array = sparse_array(params.disks, params.blocks_per_disk, params.block_size);
+    array.start_trace();
+    let mut index = DualIndex::create(array, params.index_config(policy))?;
+    let mut counters: HashMap<WordId, u32> = HashMap::new();
+    let mut reports = Vec::with_capacity(batches.len());
+    for batch in batches {
+        for &(w, count) in &batch.pairs {
+            let word = WordId(w);
+            let c = counters.entry(word).or_insert(0);
+            let list = PostingList::from_sorted((*c..*c + count).map(DocId).collect());
+            *c += count;
+            index.insert_list(word, &list)?;
+        }
+        reports.push(index.flush_batch()?);
+    }
+    Ok((index, reports))
+}
+
+/// Run the same workload through the real [`DualIndex`] (single-process,
+/// no staging) and return its per-batch reports and I/O trace.
+pub fn run_dual_index(
+    params: &SimParams,
+    policy: Policy,
+    batches: &[BatchUpdate],
+) -> Result<(Vec<BatchReport>, IoTrace)> {
+    let (mut index, reports) = build_dual_index(params, policy, batches)?;
+    Ok((reports, index.array_mut().take_trace()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_and_dual_index_traces_are_identical() {
+        // The staged pipeline (buckets -> disks) must produce exactly the
+        // I/O trace the integrated index produces: same policies, same
+        // allocation sequence, same operation order.
+        let params = SimParams::tiny();
+        let exp = Experiment::prepare(params.clone()).unwrap();
+        for policy in [Policy::update_optimized(), Policy::query_optimized(), Policy::balanced()]
+        {
+            let staged = exp.run_policy(policy).unwrap();
+            let (_, integrated) = run_dual_index(&params, policy, &exp.batches).unwrap();
+            assert_eq!(
+                staged.disks.trace, integrated,
+                "trace divergence under policy {policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_index_reports_match_bucket_stage_categories() {
+        let params = SimParams::tiny();
+        let exp = Experiment::prepare(params.clone()).unwrap();
+        let (reports, _) = run_dual_index(&params, Policy::balanced(), &exp.batches).unwrap();
+        assert_eq!(reports.len(), exp.buckets.categories.len());
+        for (r, c) in reports.iter().zip(&exp.buckets.categories) {
+            assert_eq!(r.new_words, c.new_words);
+            assert_eq!(r.bucket_words, c.bucket_words);
+            assert_eq!(r.long_words, c.long_words);
+            assert_eq!(r.evictions, c.evictions);
+        }
+    }
+
+    #[test]
+    fn exercise_times_are_positive_and_cumulative() {
+        let params = SimParams::tiny();
+        let exp = Experiment::prepare(params.clone()).unwrap();
+        let run = exp.run_policy(Policy::balanced()).unwrap();
+        assert_eq!(run.exercise.batch_seconds.len(), exp.batches.len());
+        assert!(run.exercise.total_seconds() > 0.0);
+        for w in run.exercise.cumulative_seconds.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

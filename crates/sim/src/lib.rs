@@ -1,0 +1,32 @@
+//! # invidx-sim — the paper's experiment pipeline
+//!
+//! Figure 3 of the paper: `News → Invert Index → Compute Buckets →
+//! Compute Disks → Exercise Disks → Statistics`. Each stage is decoupled
+//! from the next by an explicit data format (batch updates, long-update
+//! traces, I/O traces), "which permits varying parameters of a process to
+//! study the effects on the corresponding data transformation" (§4.5).
+//!
+//! * [`params`] — Table 4 experimental parameters;
+//! * [`buckets`] — the compute-buckets process + Figure 1/7 statistics;
+//! * [`disks`] — the compute-disks process + Figure 8/9/10 metrics;
+//! * [`experiment`] — orchestration (bucket stage runs once; policies are
+//!   evaluated against the shared long-update trace) and the integrated
+//!   [`invidx_core::DualIndex`] runner used for cross-validation;
+//! * [`report`] — figure/table rendering (TSV + aligned text).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod buckets;
+pub mod disks;
+pub mod experiment;
+pub mod params;
+pub mod queries;
+pub mod report;
+
+pub use buckets::{animate_bucket, BatchCategories, BucketPipeline, BucketSample, BucketStageOutput};
+pub use disks::{compute_disks, BatchDiskStats, DiskStage, DiskStageOutput};
+pub use experiment::{build_dual_index, run_dual_index, Experiment, PolicyRun};
+pub use queries::{execute as execute_queries, QueryCost, QueryWorkload, RetrievalModel};
+pub use params::SimParams;
+pub use report::{write_artifact, Figure, Series, TextTable};

@@ -1,0 +1,242 @@
+//! Result reporting: series and tables for the figure/table binaries.
+//!
+//! Figures are emitted as TSV series (x, then one column per curve) so the
+//! shapes can be eyeballed or gnuplotted; tables render as aligned text in
+//! the layout the paper uses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (the paper uses policy labels like `"new z"`).
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from y-values with x = 1..=n (the "index after update" axis).
+    pub fn from_updates(name: impl Into<String>, ys: impl IntoIterator<Item = f64>) -> Self {
+        Self {
+            name: name.into(),
+            points: ys.into_iter().enumerate().map(|(i, y)| ((i + 1) as f64, y)).collect(),
+        }
+    }
+}
+
+/// A figure: several curves over a shared x-axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier, e.g. `"figure08"`.
+    pub id: String,
+    /// Axis/metric description.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as TSV: a header row, then one row per distinct x, one
+    /// column per series (empty cell where a series lacks the x).
+    pub fn to_tsv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = String::new();
+        let _ = write!(out, "# {}: {}\n# x = {}, y = {}\n", self.id, self.title, self.x_label, self.y_label);
+        out.push_str(&self.x_label.replace(['\t', '\n'], " "));
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(&s.name.replace(['\t', '\n'], " "));
+        }
+        out.push('\n');
+        for &x in &xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "\t{y:.6}");
+                    }
+                    None => out.push('\t'),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A compact sparkline-ish summary for terminals: per series, the
+    /// first, min, max, and last y values.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        for s in &self.series {
+            let ys: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+            if ys.is_empty() {
+                let _ = writeln!(out, "  {:24} (empty)", s.name);
+                continue;
+            }
+            let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let _ = writeln!(
+                out,
+                "  {:24} first {:>12.3}  min {:>12.3}  max {:>12.3}  last {:>12.3}",
+                s.name,
+                ys[0],
+                min,
+                max,
+                ys[ys.len() - 1]
+            );
+        }
+        out
+    }
+}
+
+/// A text table in the paper's style.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextTable {
+    /// Identifier, e.g. `"table5"`.
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", c, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as TSV.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Write a result artifact into `results/` under the repository root (or
+/// the given directory), returning the path written.
+pub fn write_artifact(dir: &std::path::Path, name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_from_updates_is_one_based() {
+        let s = Series::from_updates("a", [1.0, 2.0]);
+        assert_eq!(s.points, vec![(1.0, 1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn figure_tsv_aligns_series() {
+        let f = Figure {
+            id: "fig".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series { name: "a".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] },
+                Series { name: "b".into(), points: vec![(2.0, 5.0)] },
+            ],
+        };
+        let tsv = f.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[2], "x\ta\tb");
+        assert_eq!(lines[3], "1\t10.000000\t");
+        assert_eq!(lines[4], "2\t20.000000\t5.000000");
+        assert!(f.summary().contains("fig"));
+    }
+
+    #[test]
+    fn write_artifact_creates_file() {
+        let dir = std::env::temp_dir().join(format!("invidx-report-{}", std::process::id()));
+        let path = write_artifact(&dir, "probe.tsv", "a\tb\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\tb\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_handles_empty_series() {
+        let f = Figure {
+            id: "x".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { name: "void".into(), points: vec![] }],
+        };
+        assert!(f.summary().contains("(empty)"));
+        // TSV with no points has only headers.
+        assert_eq!(f.to_tsv().lines().count(), 3);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = TextTable {
+            id: "t1".into(),
+            title: "demo".into(),
+            headers: vec!["Allocation".into(), "k".into(), "Read".into()],
+            rows: vec![
+                vec!["constant".into(), "700".into(), "1.86".into()],
+                vec!["proportional".into(), "1.2".into(), "1.21".into()],
+            ],
+        };
+        let text = t.render();
+        assert!(text.contains("Allocation    k    Read"));
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! A dynamic news-feed index: the paper's motivating scenario. Daily
+//! batches of articles arrive; the index is updated **in place** — no
+//! weekend rebuilds — while staying queryable throughout, including for
+//! documents that have not been flushed yet.
+//!
+//! ```sh
+//! cargo run --release --example news_feed
+//! ```
+
+use invidx::core::index::{DualIndex, IndexConfig, WordLocation};
+use invidx::core::policy::Policy;
+use invidx::core::types::{DocId, WordId};
+use invidx::corpus::{CorpusGenerator, CorpusParams};
+use invidx::disk::sparse_array;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two weeks of synthetic NetNews with the weekly Saturday dip.
+    let corpus = CorpusParams {
+        days: 14,
+        docs_per_weekday: 120,
+        vocab_ranks: 60_000,
+        ..CorpusParams::tiny()
+    };
+
+    let array = sparse_array(4, 500_000, 512);
+    let config = IndexConfig {
+        num_buckets: 256,
+        bucket_capacity_units: 150,
+        block_postings: 20,
+        policy: Policy::balanced(),
+        materialize_buckets: true,
+    };
+    let mut index = DualIndex::create(array, config)?;
+
+    // Watch one frequent and one rare word migrate (or not).
+    let frequent = WordId(1); // rank 1: in almost every article
+    let rare = WordId(40_001);
+
+    for day in CorpusGenerator::new(corpus) {
+        for doc in &day.docs {
+            index.insert_document(DocId(doc.id + 1), doc.word_ranks.iter().map(|&r| WordId(r)))?;
+        }
+        // Mid-day query: unflushed postings are visible.
+        let visible = index.postings(frequent)?.len();
+        let report = index.flush_batch()?;
+        println!(
+            "day {:>2}: {:>4} docs, {:>5} words ({:>4} new, {:>4} long) | \
+             'the'-like word: {:>4} docs visible, now {:?}",
+            day.day,
+            day.docs.len(),
+            report.words,
+            report.new_words,
+            report.long_words,
+            visible,
+            index.location(frequent),
+        );
+    }
+
+    println!(
+        "\nfinal: frequent word is {:?} with read cost {}; rare word is {:?}",
+        index.location(frequent),
+        index.read_cost(frequent),
+        index.location(rare),
+    );
+    assert_eq!(index.location(frequent), WordLocation::Long);
+
+    // Retire the first day's articles, as a rolling-window feed would.
+    let first_day_docs = index.postings(frequent)?.docs().first().copied();
+    if let Some(first) = first_day_docs {
+        for d in first.0..first.0 + 50 {
+            index.delete_document(DocId(d));
+        }
+        let sweep = index.sweep()?;
+        println!(
+            "retired 50 articles: {} postings reclaimed, {} long lists rewritten",
+            sweep.postings_removed, sweep.long_rewritten
+        );
+    }
+    Ok(())
+}

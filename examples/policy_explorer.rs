@@ -1,0 +1,72 @@
+//! Policy explorer: run the paper's five headline policies over one shared
+//! workload (reduced scale) and print the §5.4 "Bottom Line" comparison —
+//! update time, query cost, and space utilization, plus which policy wins
+//! under which criterion.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer
+//! ```
+
+use invidx::core::policy::{Alloc, Limit, Policy, Style};
+use invidx::sim::{Experiment, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SimParams::tiny();
+    println!(
+        "preparing workload: {} batches over {} buckets ...",
+        params.corpus.days, params.buckets
+    );
+    let exp = Experiment::prepare(params)?;
+    println!(
+        "{} postings -> {} long-list updates\n",
+        exp.corpus_stats.total_postings,
+        exp.buckets.total_updates()
+    );
+
+    let policies = vec![
+        Policy::update_optimized(),                                      // new 0
+        Policy::balanced(),                                              // new z prop 2
+        Policy::extent_based(),                                          // fill z e=4
+        Policy::new(Style::Whole, Limit::Never, Alloc::Constant { k: 0 }), // whole 0
+        Policy::query_optimized(),                                       // whole z prop 1.2
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>10}",
+        "policy", "build s", "I/O ops", "reads", "util"
+    );
+    let mut rows = Vec::new();
+    for policy in policies {
+        let run = exp.run_policy(policy)?;
+        println!(
+            "{:<18} {:>10.1} {:>10} {:>8.2} {:>10.2}",
+            policy.label(),
+            run.exercise.total_seconds(),
+            run.disks.trace.ops.len(),
+            run.disks.final_avg_reads,
+            run.disks.final_utilization,
+        );
+        rows.push((policy, run));
+    }
+
+    let fastest = rows
+        .iter()
+        .min_by(|a, b| a.1.exercise.total_seconds().total_cmp(&b.1.exercise.total_seconds()))
+        .expect("rows");
+    let best_query = rows
+        .iter()
+        .min_by(|a, b| a.1.disks.final_avg_reads.total_cmp(&b.1.disks.final_avg_reads))
+        .expect("rows");
+    println!("\nBottom line (paper §5.4):");
+    println!(
+        "  fastest build:     {} ({:.1}s) — use when query performance is not critical",
+        fastest.0.label(),
+        fastest.1.exercise.total_seconds()
+    );
+    println!(
+        "  best query cost:   {} ({:.2} reads/list) — use when query performance is critical",
+        best_query.0.label(),
+        best_query.1.disks.final_avg_reads
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a dual-structure index over a handful of documents,
+//! flush a batch, and query it — the smallest end-to-end tour of the
+//! public API.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use invidx::core::index::{DualIndex, IndexConfig};
+use invidx::core::policy::Policy;
+use invidx::core::types::{DocId, WordId};
+use invidx::disk::sparse_array;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two simulated disks of 10k 256-byte blocks, first-fit allocation.
+    let array = sparse_array(2, 10_000, 256);
+
+    // A small configuration: 16 buckets of 40 units, 10 postings/block,
+    // and the paper's recommended balanced policy (new style, in-place
+    // updates, proportional reservation k = 2).
+    let config = IndexConfig::small().with_policy(Policy::balanced());
+    let mut index = DualIndex::create(array, config)?;
+
+    // Batch 1: documents arrive with increasing ids; each insert lists the
+    // distinct words of the document.
+    index.insert_document(DocId(1), [WordId(10), WordId(20), WordId(30)])?;
+    index.insert_document(DocId(2), [WordId(10), WordId(20)])?;
+    index.insert_document(DocId(3), [WordId(10)])?;
+    let report = index.flush_batch()?;
+    println!(
+        "batch {}: {} words, {} postings ({} new)",
+        report.batch, report.words, report.postings, report.new_words
+    );
+
+    // Batch 2: the index is incremental — no rebuild, just another flush.
+    index.insert_document(DocId(4), [WordId(10), WordId(40)])?;
+    index.insert_document(DocId(5), [WordId(20)])?;
+    index.flush_batch()?;
+
+    // Queries merge stored postings with anything still in memory.
+    let list = index.postings(WordId(10))?;
+    println!(
+        "word 10 appears in documents {:?}",
+        list.docs().iter().map(|d| d.0).collect::<Vec<_>>()
+    );
+    assert_eq!(list.len(), 4);
+
+    // Every word lives in exactly one structure: a bucket (short) or the
+    // long-list directory — never both.
+    for w in [10u64, 20, 30, 40] {
+        println!(
+            "word {w}: location {:?}, read cost {} ops",
+            index.location(WordId(w)),
+            index.read_cost(WordId(w))
+        );
+    }
+
+    // Logical deletion filters immediately; sweep reclaims space.
+    index.delete_document(DocId(1));
+    assert_eq!(index.postings(WordId(30))?.len(), 0);
+    let sweep = index.sweep()?;
+    println!("sweep removed {} postings", sweep.postings_removed);
+    Ok(())
+}

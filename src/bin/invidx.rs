@@ -1,0 +1,356 @@
+//! `invidx` — a persistent command-line search engine over the
+//! dual-structure incremental inverted index.
+//!
+//! ```sh
+//! invidx init  ./myindex --policy "whole z prop 1.2" --disks 4
+//! invidx add   ./myindex docs/*.txt            # each invocation = one batch
+//! invidx search ./myindex "(cat and dog) or mouse"
+//! invidx phrase ./myindex "inverted lists"
+//! invidx near  ./myindex cat dog 5
+//! invidx like  ./myindex "incremental index updates" 5
+//! invidx show  ./myindex 3
+//! invidx stats ./myindex
+//! ```
+//!
+//! The index directory holds one file per simulated disk (`disk<N>.bin`),
+//! a plain-text config (`invidx.conf`), and the engine metadata
+//! (`engine.meta`, rewritten after every mutating command). Updates are
+//! incremental: every `add` is one batch flush, never a rebuild.
+
+use invidx::core::index::IndexConfig;
+use invidx::core::policy::Policy;
+use invidx::core::types::DocId;
+use invidx::disk::{BlockDevice, Disk, DiskArray, FileDevice, FitStrategy, FreeList};
+use invidx::ir::SearchEngine;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Conf {
+    policy: Policy,
+    disks: u16,
+    blocks: u64,
+    block_size: usize,
+    num_buckets: usize,
+    bucket_units: u64,
+    block_postings: u64,
+}
+
+impl Conf {
+    fn defaults() -> Self {
+        Self {
+            policy: Policy::balanced(),
+            disks: 2,
+            blocks: 250_000,
+            block_size: 1024,
+            num_buckets: 512,
+            bucket_units: 400,
+            block_postings: 50,
+        }
+    }
+
+    fn index_config(&self) -> IndexConfig {
+        IndexConfig {
+            num_buckets: self.num_buckets,
+            bucket_capacity_units: self.bucket_units,
+            block_postings: self.block_postings,
+            policy: self.policy,
+            materialize_buckets: true,
+        }
+    }
+
+    fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let text = format!(
+            "policy={}\ndisks={}\nblocks={}\nblock_size={}\nnum_buckets={}\n\
+             bucket_units={}\nblock_postings={}\n",
+            self.policy.label(),
+            self.disks,
+            self.blocks,
+            self.block_size,
+            self.num_buckets,
+            self.bucket_units,
+            self.block_postings
+        );
+        std::fs::write(dir.join("invidx.conf"), text)
+    }
+
+    fn load(dir: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(dir.join("invidx.conf"))
+            .map_err(|e| format!("not an index directory ({e})"))?;
+        let mut conf = Self::defaults();
+        for line in text.lines() {
+            let Some((k, v)) = line.split_once('=') else { continue };
+            match k {
+                "policy" => conf.policy = v.parse()?,
+                "disks" => conf.disks = v.parse().map_err(|e| format!("disks: {e}"))?,
+                "blocks" => conf.blocks = v.parse().map_err(|e| format!("blocks: {e}"))?,
+                "block_size" => {
+                    conf.block_size = v.parse().map_err(|e| format!("block_size: {e}"))?
+                }
+                "num_buckets" => {
+                    conf.num_buckets = v.parse().map_err(|e| format!("num_buckets: {e}"))?
+                }
+                "bucket_units" => {
+                    conf.bucket_units = v.parse().map_err(|e| format!("bucket_units: {e}"))?
+                }
+                "block_postings" => {
+                    conf.block_postings = v.parse().map_err(|e| format!("block_postings: {e}"))?
+                }
+                _ => return Err(format!("unknown config key {k:?}")),
+            }
+        }
+        Ok(conf)
+    }
+}
+
+fn device_array(dir: &Path, conf: &Conf, create: bool) -> Result<DiskArray, String> {
+    let disks = (0..conf.disks)
+        .map(|d| {
+            let path = dir.join(format!("disk{d}.bin"));
+            let device: Box<dyn BlockDevice> = if create {
+                Box::new(
+                    FileDevice::create(&path, conf.blocks, conf.block_size)
+                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+                )
+            } else {
+                Box::new(
+                    FileDevice::open(&path, conf.block_size)
+                        .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
+                )
+            };
+            Ok(Disk {
+                device,
+                alloc: Box::new(FreeList::new(conf.blocks, FitStrategy::FirstFit)),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(DiskArray::new(disks))
+}
+
+fn open_engine(dir: &Path) -> Result<(SearchEngine, Conf), String> {
+    let conf = Conf::load(dir)?;
+    let meta = std::fs::read(dir.join("engine.meta"))
+        .map_err(|e| format!("cannot read engine.meta: {e}"))?;
+    let array = device_array(dir, &conf, false)?;
+    let engine = SearchEngine::open(array, conf.index_config(), &meta)
+        .map_err(|e| format!("cannot open index: {e}"))?;
+    Ok((engine, conf))
+}
+
+fn persist(dir: &Path, engine: &SearchEngine) -> Result<(), String> {
+    std::fs::write(dir.join("engine.meta"), engine.save_meta())
+        .map_err(|e| format!("cannot write engine.meta: {e}"))
+}
+
+fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
+    let mut conf = Conf::defaults();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                conf.policy = args.get(i + 1).ok_or("--policy needs a value")?.parse()?;
+                i += 2;
+            }
+            "--disks" => {
+                conf.disks =
+                    args.get(i + 1).ok_or("--disks needs a value")?.parse().map_err(|e| {
+                        format!("disks: {e}")
+                    })?;
+                i += 2;
+            }
+            "--blocks" => {
+                conf.blocks = args
+                    .get(i + 1)
+                    .ok_or("--blocks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("blocks: {e}"))?;
+                i += 2;
+            }
+            "--block-size" => {
+                conf.block_size = args
+                    .get(i + 1)
+                    .ok_or("--block-size needs a value")?
+                    .parse()
+                    .map_err(|e| format!("block-size: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown init option {other:?}")),
+        }
+    }
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    if dir.join("invidx.conf").exists() {
+        return Err(format!("{} is already an index", dir.display()));
+    }
+    let array = device_array(dir, &conf, true)?;
+    let mut engine = SearchEngine::create(array, conf.index_config())
+        .map_err(|e| format!("cannot create index: {e}"))?;
+    // An empty first flush establishes the superblock/recovery point.
+    engine.flush().map_err(|e| format!("initial flush: {e}"))?;
+    conf.save(dir).map_err(|e| e.to_string())?;
+    persist(dir, &engine)?;
+    println!(
+        "initialized {} ({} disks x {} blocks x {} B, policy '{}')",
+        dir.display(),
+        conf.disks,
+        conf.blocks,
+        conf.block_size,
+        conf.policy
+    );
+    Ok(())
+}
+
+fn cmd_add(dir: &Path, files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("add needs at least one file".into());
+    }
+    let (mut engine, _) = open_engine(dir)?;
+    for f in files {
+        let text =
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        let doc = engine.add_document(&text).map_err(|e| format!("{f}: {e}"))?;
+        println!("{f} -> doc {}", doc.0);
+    }
+    let report = engine.flush().map_err(|e| format!("flush: {e}"))?;
+    persist(dir, &engine)?;
+    println!(
+        "batch {}: {} words ({} new), {} postings, {} evictions to long lists",
+        report.batch, report.words, report.new_words, report.postings, report.evictions
+    );
+    Ok(())
+}
+
+fn cmd_search(dir: &Path, query: &str) -> Result<(), String> {
+    let (mut engine, _) = open_engine(dir)?;
+    let hits = engine.boolean_str(query).map_err(|e| format!("query: {e}"))?;
+    print_docs(hits.docs());
+    Ok(())
+}
+
+fn cmd_phrase(dir: &Path, phrase: &str) -> Result<(), String> {
+    let (mut engine, _) = open_engine(dir)?;
+    let hits = engine.phrase(phrase).map_err(|e| format!("query: {e}"))?;
+    print_docs(hits.docs());
+    Ok(())
+}
+
+fn cmd_near(dir: &Path, w1: &str, w2: &str, window: &str) -> Result<(), String> {
+    let window: u32 = window.parse().map_err(|e| format!("window: {e}"))?;
+    let (mut engine, _) = open_engine(dir)?;
+    let hits = engine.within(w1, w2, window).map_err(|e| format!("query: {e}"))?;
+    print_docs(hits.docs());
+    Ok(())
+}
+
+fn cmd_like(dir: &Path, text: &str, k: Option<&String>) -> Result<(), String> {
+    let k: usize = k.map(|s| s.parse()).transpose().map_err(|e| format!("k: {e}"))?.unwrap_or(10);
+    let (mut engine, _) = open_engine(dir)?;
+    let hits = engine.more_like_this(text, k).map_err(|e| format!("query: {e}"))?;
+    if hits.is_empty() {
+        println!("no matches");
+    }
+    for h in hits {
+        println!("doc {}\tscore {:.3}", h.doc.0, h.score);
+    }
+    Ok(())
+}
+
+fn cmd_show(dir: &Path, id: &str) -> Result<(), String> {
+    let id: u32 = id.parse().map_err(|e| format!("doc id: {e}"))?;
+    let (mut engine, _) = open_engine(dir)?;
+    match engine.document(DocId(id)).map_err(|e| format!("load: {e}"))? {
+        Some(text) => println!("{text}"),
+        None => println!("doc {id} not found"),
+    }
+    Ok(())
+}
+
+fn cmd_compact(dir: &Path) -> Result<(), String> {
+    let (mut engine, _) = open_engine(dir)?;
+    let report = engine
+        .index_mut()
+        .compact()
+        .map_err(|e| format!("compact: {e}"))?;
+    persist(dir, &engine)?;
+    println!(
+        "compacted {} long lists: {} -> {} chunks, {} blocks freed",
+        report.lists_rewritten, report.chunks_before, report.chunks_after, report.blocks_freed
+    );
+    Ok(())
+}
+
+fn cmd_stats(dir: &Path) -> Result<(), String> {
+    let (engine, conf) = open_engine(dir)?;
+    let ix = engine.index();
+    let d = ix.directory();
+    println!("policy              {}", conf.policy);
+    println!("documents           {}", engine.total_docs());
+    println!("vocabulary          {}", engine.vocabulary_size());
+    println!("batches flushed     {}", ix.batches());
+    println!("short words         {}", ix.buckets().total_words());
+    println!("short postings      {}", ix.buckets().total_postings());
+    println!("long words          {}", d.num_words());
+    println!("long postings       {}", d.total_postings());
+    println!("long chunks         {}", d.total_chunks());
+    println!("avg reads/long list {:.2}", d.avg_reads_per_long_list());
+    println!("long utilization    {:.2}", d.utilization(conf.block_postings));
+    let (free, total) = ix
+        .array()
+        .per_disk_usage()
+        .iter()
+        .fold((0u64, 0u64), |(f, t), &(df, dt)| (f + df, t + dt));
+    println!("disk usage          {} / {} blocks", total - free, total);
+    Ok(())
+}
+
+fn print_docs(docs: &[DocId]) {
+    if docs.is_empty() {
+        println!("no matches");
+        return;
+    }
+    println!(
+        "{} match(es): {}",
+        docs.len(),
+        docs.iter().map(|d| d.0.to_string()).collect::<Vec<_>>().join(", ")
+    );
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N]\n  \
+         invidx add <dir> <file...>\n  invidx search <dir> <boolean query>\n  \
+         invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
+         invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
+         invidx compact <dir>\n  invidx stats <dir>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some((dir, rest)) = rest.split_first() else {
+        return usage();
+    };
+    let dir = PathBuf::from(dir);
+    let result = match (cmd.as_str(), rest) {
+        ("init", opts) => cmd_init(&dir, opts),
+        ("add", files) => cmd_add(&dir, files),
+        ("search", [q]) => cmd_search(&dir, q),
+        ("phrase", [p]) => cmd_phrase(&dir, p),
+        ("near", [a, b, w]) => cmd_near(&dir, a, b, w),
+        ("like", [t]) => cmd_like(&dir, t, None),
+        ("like", [t, k]) => cmd_like(&dir, t, Some(k)),
+        ("show", [id]) => cmd_show(&dir, id),
+        ("compact", []) => cmd_compact(&dir),
+        ("stats", []) => cmd_stats(&dir),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # invidx — umbrella crate
+//!
+//! Re-exports the whole workspace implementing **"Incremental Updates of
+//! Inverted Lists for Text Document Retrieval"** (Tomasic, Garcia-Molina &
+//! Shoens, SIGMOD 1994): the dual-structure inverted index, its disk and
+//! corpus substrates, the IR engine built on top, and the paper's
+//! experiment pipeline.
+//!
+//! Start with [`core::index::DualIndex`] (the paper's contribution), the
+//! `examples/` directory, or README.md.
+
+pub use invidx_btree as btree;
+pub use invidx_core as core;
+pub use invidx_corpus as corpus;
+pub use invidx_disk as disk;
+pub use invidx_ir as ir;
+pub use invidx_sim as sim;

@@ -1,0 +1,143 @@
+//! End-to-end integration: every allocation policy must produce an index
+//! with *identical query results* — policies trade update time, query
+//! cost, and space, never correctness. Verified against an in-memory
+//! reference model over a generated corpus.
+
+use invidx::core::index::{DualIndex, IndexConfig};
+use invidx::core::policy::{Alloc, Limit, Policy, Style};
+use invidx::core::types::{DocId, WordId};
+use invidx::corpus::{CorpusGenerator, CorpusParams};
+use invidx::disk::sparse_array;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn corpus() -> CorpusParams {
+    CorpusParams {
+        days: 6,
+        docs_per_weekday: 60,
+        vocab_ranks: 10_000,
+        tokens_per_doc_median: 50.0,
+        min_doc_chars: 150,
+        interrupted_day: None,
+        ..CorpusParams::default()
+    }
+}
+
+fn all_policies() -> Vec<Policy> {
+    let mut v = Policy::style_comparison_set();
+    v.extend([
+        Policy::balanced(),
+        Policy::query_optimized(),
+        Policy::new(Style::New, Limit::Fits, Alloc::Block { k: 3 }),
+        Policy::new(Style::New, Limit::Fits, Alloc::Constant { k: 37 }),
+        Policy::new(Style::Whole, Limit::Fits, Alloc::Block { k: 2 }),
+        Policy::new(Style::Fill { extent_blocks: 2 }, Limit::Fits, Alloc::Constant { k: 0 }),
+    ]);
+    v
+}
+
+/// Build the reference model: word -> sorted doc ids.
+fn reference() -> BTreeMap<u64, Vec<u32>> {
+    let mut model: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for day in CorpusGenerator::new(corpus()) {
+        for doc in &day.docs {
+            for &r in &doc.word_ranks {
+                model.entry(r).or_default().push(doc.id + 1);
+            }
+        }
+    }
+    model
+}
+
+fn build(policy: Policy) -> DualIndex {
+    let array = sparse_array(3, 500_000, 512);
+    let config = IndexConfig {
+        num_buckets: 64,
+        bucket_capacity_units: 120,
+        block_postings: 25,
+        policy,
+        materialize_buckets: false,
+    };
+    let mut index = DualIndex::create(array, config).expect("create");
+    for day in CorpusGenerator::new(corpus()) {
+        for doc in &day.docs {
+            index
+                .insert_document(DocId(doc.id + 1), doc.word_ranks.iter().map(|&r| WordId(r)))
+                .expect("insert");
+        }
+        index.flush_batch().expect("flush");
+    }
+    index
+}
+
+#[test]
+fn every_policy_answers_every_query_identically() {
+    let model = reference();
+    assert!(model.len() > 1_000, "corpus should have a real vocabulary");
+    // Sample words across the frequency spectrum: the most frequent, some
+    // mid-range, some singletons.
+    let mut by_freq: Vec<(&u64, usize)> = model.iter().map(|(w, d)| (w, d.len())).collect();
+    by_freq.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let samples: Vec<u64> = by_freq
+        .iter()
+        .step_by((by_freq.len() / 60).max(1))
+        .map(|&(w, _)| *w)
+        .collect();
+
+    for policy in all_policies() {
+        let mut index = build(policy);
+        for &w in &samples {
+            let got: Vec<u32> =
+                index.postings(WordId(w)).expect("query").docs().iter().map(|d| d.0).collect();
+            assert_eq!(&got, model.get(&w).expect("sampled from model"), "word {w} under {policy}");
+        }
+        // A word that never occurred.
+        assert!(index.postings(WordId(9_999_999)).expect("query").is_empty());
+    }
+}
+
+#[test]
+fn no_word_is_ever_in_both_structures() {
+    for policy in [Policy::update_optimized(), Policy::query_optimized()] {
+        let index = build(policy);
+        let short: BTreeSet<u64> = index.buckets().iter().map(|(w, _)| w.0).collect();
+        let long: BTreeSet<u64> = index.directory().iter().map(|(w, _)| w.0).collect();
+        assert!(short.is_disjoint(&long), "overlap under {policy}");
+        assert!(!long.is_empty(), "expected some long lists under {policy}");
+    }
+}
+
+#[test]
+fn postings_are_conserved_across_structures() {
+    let model = reference();
+    let total: u64 = model.values().map(|v| v.len() as u64).sum();
+    for policy in [Policy::balanced(), Policy::update_optimized()] {
+        let index = build(policy);
+        let stored = index.buckets().total_postings() + index.directory().total_postings();
+        assert_eq!(stored, total, "posting conservation under {policy}");
+    }
+}
+
+#[test]
+fn deletion_is_policy_independent() {
+    let model = reference();
+    let victim_docs: Vec<u32> = (1..200).step_by(7).collect();
+    let mut expected: BTreeMap<u64, Vec<u32>> = model.clone();
+    for docs in expected.values_mut() {
+        docs.retain(|d| !victim_docs.contains(d));
+    }
+    for policy in [Policy::update_optimized(), Policy::query_optimized()] {
+        let mut index = build(policy);
+        for &d in &victim_docs {
+            index.delete_document(DocId(d));
+        }
+        index.sweep().expect("sweep");
+        let mut checked = 0;
+        for (&w, docs) in expected.iter().take(300) {
+            let got: Vec<u32> =
+                index.postings(WordId(w)).expect("query").docs().iter().map(|d| d.0).collect();
+            assert_eq!(&got, docs, "word {w} after sweep under {policy}");
+            checked += 1;
+        }
+        assert!(checked > 100);
+    }
+}
