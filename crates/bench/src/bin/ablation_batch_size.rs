@@ -34,7 +34,10 @@ fn main() {
         .map(|d| (d.id + 1, d.word_ranks))
         .collect();
     let total_postings: u64 = docs.iter().map(|(_, w)| w.len() as u64).sum();
-    eprintln!("{} documents, {} postings", docs.len(), total_postings);
+    invidx_obs::log_progress(
+        "ablation",
+        &format!("{} documents, {} postings", docs.len(), total_postings),
+    );
 
     let block_size = 512;
     let profile = DiskProfile::seagate_1994(block_size);

@@ -56,6 +56,14 @@ fn main() {
     let base = params();
     let mut rows = Vec::new();
     for bp in [50u64, 100, 200, 400, 800] {
+        // Quick mode shrinks the block; skip sweep points that cannot fit.
+        if bp * 4 > base.block_size as u64 {
+            invidx_obs::log_progress(
+                "ablation",
+                &format!("skipping bp={bp}: exceeds the {}-byte block", base.block_size),
+            );
+            continue;
+        }
         let p = SimParams { block_postings: bp, ..base.clone() };
         let out = invidx_sim::compute_disks(&p, Policy::balanced(), &exp.buckets.long_updates)
             .expect("disks");

@@ -34,9 +34,15 @@ fn run(
         if let Some((at, nb, cap)) = rebalance_at {
             if i == at {
                 let report = index.rebalance_buckets(nb, cap).expect("rebalance");
-                eprintln!(
-                    "rebalanced at update {i}: {} -> {} buckets, {} words moved, {} evicted",
-                    report.old_buckets, report.new_buckets, report.moved_words, report.evictions
+                invidx_obs::log_progress(
+                    "ablation",
+                    &format!(
+                        "rebalanced at update {i}: {} -> {} buckets, {} words moved, {} evicted",
+                        report.old_buckets,
+                        report.new_buckets,
+                        report.moved_words,
+                        report.evictions
+                    ),
                 );
             }
         }
@@ -62,7 +68,7 @@ fn main() {
         ..base.corpus.clone()
     };
     let params = SimParams { corpus: corpus.clone(), ..base };
-    eprintln!("generating {}-day corpus ...", corpus.days);
+    invidx_obs::log_progress("ablation", &format!("generating {}-day corpus ...", corpus.days));
     let (batches, _) = generate_batches(corpus.clone());
     let half = batches.len() / 2;
 

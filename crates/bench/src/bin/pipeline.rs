@@ -10,6 +10,14 @@
 //! pipeline exercise io.txt                  # I/O trace -> timings
 //! ```
 //!
+//! With no arguments the whole pipeline runs in-process through the real
+//! [`invidx_core::DualIndex`] and the exerciser — the quickest way to see
+//! the observability layer light up:
+//!
+//! ```sh
+//! INVIDX_QUICK=1 INVIDX_METRICS=results/metrics pipeline
+//! ```
+//!
 //! `INVIDX_QUICK=1` switches every stage to the tiny parameter set.
 
 use invidx_bench::params;
@@ -21,7 +29,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pipeline invert <out.batches>\n  pipeline buckets <in.batches> <out.long>\n  \
+        "usage:\n  pipeline                 # full in-process run, all stages\n  \
+         pipeline invert <out.batches>\n  pipeline buckets <in.batches> <out.long>\n  \
          pipeline disks <in.long> <policy> <out.iotrace>\n  pipeline exercise <in.iotrace>\n\n\
          policies: \"new 0\", \"new z prop 2\", \"whole z prop 1.2\", \"fill z e=4\", ..."
     );
@@ -32,12 +41,53 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let p = params();
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        [] => run_all(&p),
         ["invert", out] => invert(&p, out),
         ["buckets", input, out] => buckets(&p, input, out),
         ["disks", input, policy, out] => disks(&p, input, policy, out),
         ["exercise", input] => run_exercise(&p, input),
         _ => usage(),
     }
+}
+
+/// Full end-to-end run: invert + buckets via [`invidx_bench::prepare`],
+/// then the integrated index and the exerciser for one balanced policy —
+/// every subsystem the observability layer instruments gets traffic.
+fn run_all(p: &SimParams) -> ExitCode {
+    let exp = invidx_bench::prepare();
+    let policy = Policy::balanced();
+    let (reports, trace) = match invidx_sim::run_dual_index(p, policy, &exp.batches) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("dual-index run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = exercise(&trace, &p.exercise_config());
+    println!("update\tseconds\tcumulative\tphys_requests\tchunk_allocs\trelocations");
+    for (i, r) in reports.iter().enumerate() {
+        println!(
+            "{}\t{:.3}\t{:.3}\t{}\t{}\t{}",
+            i + 1,
+            result.batch_seconds[i],
+            result.cumulative_seconds[i],
+            result.phys_requests[i],
+            r.obs.chunk_allocs,
+            r.obs.chunk_relocations
+        );
+    }
+    invidx_obs::log_progress(
+        "pipeline",
+        &format!(
+            "total {:.1}s over {} batches under '{policy}' on '{}' x{}",
+            result.total_seconds(),
+            trace.batches(),
+            p.profile.name,
+            p.disks
+        ),
+    );
+    invidx_bench::write_metrics_snapshot();
+    ExitCode::SUCCESS
 }
 
 fn invert(p: &SimParams, out: &str) -> ExitCode {

@@ -7,9 +7,13 @@
 //! Environment knobs:
 //!
 //! * `INVIDX_QUICK=1` — run on the tiny corpus (CI-speed smoke run);
-//! * `INVIDX_RESULTS=<dir>` — artifact directory (default `results/`).
+//! * `INVIDX_RESULTS=<dir>` — artifact directory (default `results/`);
+//! * `INVIDX_METRICS=<path>` — drop observability artifacts: an NDJSON
+//!   event stream at `<path>.ndjson`, plus a metrics snapshot next to each
+//!   TSV artifact as `<path>.json` / `<path>.prom`.
 
 use invidx_core::policy::Policy;
+use invidx_obs::log_progress;
 use invidx_sim::{Experiment, Figure, SimParams, TextTable};
 use std::path::PathBuf;
 
@@ -42,23 +46,68 @@ pub fn quick() -> bool {
     std::env::var("INVIDX_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// The `INVIDX_METRICS` base path, if metrics artifacts were requested.
+pub fn metrics_base() -> Option<PathBuf> {
+    std::env::var_os("INVIDX_METRICS").map(PathBuf::from)
+}
+
+/// Initialize the NDJSON event sink when `INVIDX_METRICS` is set. Called
+/// from [`prepare`]; binaries that skip `prepare` can call it directly.
+pub fn init_metrics() {
+    if let Some(base) = metrics_base() {
+        let path = base.with_extension("ndjson");
+        match invidx_obs::init_event_sink(&path) {
+            Ok(()) => log_progress("bench", &format!("streaming events to {}", path.display())),
+            Err(e) => log_progress("bench", &format!("cannot open event sink {}: {e}", path.display())),
+        }
+    }
+}
+
+/// Write JSON + Prometheus snapshots of the current metric registry to
+/// `<INVIDX_METRICS>.json` / `<INVIDX_METRICS>.prom`. No-op when the knob
+/// is unset. Binaries call this once after their last emit.
+pub fn write_metrics_snapshot() {
+    let Some(base) = metrics_base() else { return };
+    let snap = invidx_obs::snapshot();
+    if let Some(parent) = base.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    for (ext, body) in [("json", snap.to_json()), ("prom", snap.to_prometheus())] {
+        let path = base.with_extension(ext);
+        match std::fs::write(&path, body) {
+            Ok(()) => log_progress("bench", &format!("wrote {}", path.display())),
+            Err(e) => log_progress("bench", &format!("could not write {}: {e}", path.display())),
+        }
+    }
+    invidx_obs::flush_events();
+}
+
 /// Prepare the experiment (corpus + bucket stage), reporting progress.
 pub fn prepare() -> Experiment {
+    init_metrics();
     let p = params();
-    eprintln!(
-        "preparing experiment: {} batches, {} buckets x {} units{}",
-        p.corpus.days,
-        p.buckets,
-        p.bucket_size,
-        if quick() { " [quick mode]" } else { "" }
+    log_progress(
+        "bench",
+        &format!(
+            "preparing experiment: {} batches, {} buckets x {} units{}",
+            p.corpus.days,
+            p.buckets,
+            p.bucket_size,
+            if quick() { " [quick mode]" } else { "" }
+        ),
     );
     let t = std::time::Instant::now();
     let exp = Experiment::prepare(p).expect("experiment preparation");
-    eprintln!(
-        "prepared in {:.1?}: {} postings, {} long-list updates",
-        t.elapsed(),
-        exp.corpus_stats.total_postings,
-        exp.buckets.total_updates()
+    log_progress(
+        "bench",
+        &format!(
+            "prepared in {:.1?}: {} postings, {} long-list updates",
+            t.elapsed(),
+            exp.corpus_stats.total_postings,
+            exp.buckets.total_updates()
+        ),
     );
     exp
 }
@@ -68,9 +117,10 @@ pub fn emit_figure(fig: &Figure) {
     print!("{}", fig.summary());
     let dir = results_dir();
     match invidx_sim::write_artifact(&dir, &format!("{}.tsv", fig.id), &fig.to_tsv()) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write artifact: {e}"),
+        Ok(path) => log_progress("bench", &format!("wrote {}", path.display())),
+        Err(e) => log_progress("bench", &format!("could not write artifact: {e}")),
     }
+    write_metrics_snapshot();
 }
 
 /// Emit a table: print it and write `results/<id>.tsv`.
@@ -78,9 +128,10 @@ pub fn emit_table(table: &TextTable) {
     print!("{}", table.render());
     let dir = results_dir();
     match invidx_sim::write_artifact(&dir, &format!("{}.tsv", table.id), &table.to_tsv()) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write artifact: {e}"),
+        Ok(path) => log_progress("bench", &format!("wrote {}", path.display())),
+        Err(e) => log_progress("bench", &format!("could not write artifact: {e}")),
     }
+    write_metrics_snapshot();
 }
 
 /// The six policy curves shown in Figures 8–10 and 13–14, labeled as in

@@ -149,6 +149,9 @@ pub struct BatchReport {
     pub avg_reads_per_long_list: f64,
     /// Units occupied across all buckets after this batch.
     pub bucket_units: u64,
+    /// Deltas of the global observability counters over this flush
+    /// (allocator scans, chunk relocations, coalesces, …).
+    pub obs: invidx_obs::ObsDelta,
 }
 
 /// Report of a compaction pass.
@@ -285,11 +288,19 @@ impl DualIndex {
 
     /// Add a pre-built in-memory list (pipeline replay path).
     pub fn insert_list(&mut self, word: WordId, list: &PostingList) -> Result<()> {
+        use invidx_obs::names;
+        invidx_obs::counter!(names::CORE_MEM_LISTS).inc();
+        invidx_obs::counter!(names::CORE_MEM_POSTINGS).add(list.len() as u64);
         self.mem.add_list(word, list)
     }
 
     /// Push the in-memory index to disk: the incremental batch update.
     pub fn flush_batch(&mut self) -> Result<BatchReport> {
+        use invidx_obs::names;
+        let _span = invidx_obs::span("flush_batch");
+        let obs_before = invidx_obs::ObsDelta::capture();
+        let overflow_counter = invidx_obs::counter!(names::CORE_BUCKET_OVERFLOWS);
+        let migration_counter = invidx_obs::counter!(names::CORE_MIGRATIONS);
         let drained = self.mem.drain();
         let mut report = BatchReport {
             batch: self.batch_no,
@@ -308,6 +319,7 @@ impl DualIndex {
             utilization: 0.0,
             avg_reads_per_long_list: 0.0,
             bucket_units: 0,
+            obs: invidx_obs::ObsDelta::default(),
         };
         for (word, list) in drained {
             report.postings += list.len() as u64;
@@ -323,7 +335,11 @@ impl DualIndex {
                     report.new_words += 1;
                 }
                 let outcome = self.buckets.insert(word, &list)?;
+                if !outcome.evicted.is_empty() {
+                    overflow_counter.inc();
+                }
                 for (w, evicted) in outcome.evicted {
+                    migration_counter.inc();
                     self.longs.append(&mut self.array, w, &evicted)?;
                     report.evictions += 1;
                     report.long_appends += 1;
@@ -345,6 +361,18 @@ impl DualIndex {
         report.utilization = dir.utilization(self.config.block_postings);
         report.avg_reads_per_long_list = dir.avg_reads_per_long_list();
         report.bucket_units = self.buckets.total_units();
+        report.obs = invidx_obs::ObsDelta::capture().since(&obs_before);
+        invidx_obs::counter!(names::CORE_FLUSH_BATCHES).inc();
+        invidx_obs::event!("flush_batch", {
+            "batch": report.batch,
+            "words": report.words,
+            "postings": report.postings,
+            "evictions": report.evictions,
+            "long_appends": report.long_appends,
+            "chunk_allocs": report.obs.chunk_allocs,
+            "chunk_relocations": report.obs.chunk_relocations,
+            "utilization": report.utilization,
+        });
         Ok(report)
     }
 
@@ -513,6 +541,8 @@ impl DualIndex {
         if self.deleted.is_empty() {
             return Ok(report);
         }
+        let _span = invidx_obs::span("sweep");
+        invidx_obs::counter!(invidx_obs::names::CORE_SWEEPS).inc();
         let deleted = std::mem::take(&mut self.deleted);
 
         // Long lists: read, filter, rewrite compacted.
@@ -557,6 +587,12 @@ impl DualIndex {
                 report.short_rewritten += 1;
             }
         }
+        invidx_obs::event!("sweep", {
+            "postings_removed": report.postings_removed,
+            "long_rewritten": report.long_rewritten,
+            "short_rewritten": report.short_rewritten,
+            "words_dropped": report.words_dropped,
+        });
         Ok(report)
     }
 
@@ -573,6 +609,8 @@ impl DualIndex {
                 "compaction requires a batch boundary (flush first)".into(),
             ));
         }
+        let _span = invidx_obs::span("compact");
+        invidx_obs::counter!(invidx_obs::names::CORE_COMPACTIONS).inc();
         let blocks_before =
             self.array.total_blocks() - self.array.free_blocks();
         let mut report = CompactReport {
@@ -591,6 +629,12 @@ impl DualIndex {
         self.flush_metadata()?;
         let blocks_after = self.array.total_blocks() - self.array.free_blocks();
         report.blocks_freed = blocks_before.saturating_sub(blocks_after);
+        invidx_obs::event!("compact", {
+            "lists_rewritten": report.lists_rewritten,
+            "chunks_before": report.chunks_before,
+            "chunks_after": report.chunks_after,
+            "blocks_freed": report.blocks_freed,
+        });
         Ok(report)
     }
 
@@ -618,6 +662,8 @@ impl DualIndex {
                 "rebalance requires a batch boundary (flush first)".into(),
             ));
         }
+        let _span = invidx_obs::span("rebalance_buckets");
+        invidx_obs::counter!(invidx_obs::names::CORE_REBALANCES).inc();
         let candidate = IndexConfig {
             num_buckets,
             bucket_capacity_units: capacity_units,
@@ -635,16 +681,28 @@ impl DualIndex {
             evictions: 0,
         };
         self.config = candidate;
+        let overflow_counter = invidx_obs::counter!(invidx_obs::names::CORE_BUCKET_OVERFLOWS);
+        let migration_counter = invidx_obs::counter!(invidx_obs::names::CORE_MIGRATIONS);
         for (word, list) in old.iter() {
             report.moved_words += 1;
             let outcome = self.buckets.insert(word, list)?;
+            if !outcome.evicted.is_empty() {
+                overflow_counter.inc();
+            }
             for (w, evicted) in outcome.evicted {
+                migration_counter.inc();
                 self.longs.append(&mut self.array, w, &evicted)?;
                 report.evictions += 1;
             }
         }
         // Commit the new generation (buckets + directory + superblock).
         self.flush_metadata()?;
+        invidx_obs::event!("rebalance_buckets", {
+            "old_buckets": report.old_buckets,
+            "new_buckets": report.new_buckets,
+            "moved_words": report.moved_words,
+            "evictions": report.evictions,
+        });
         Ok(report)
     }
 

@@ -230,6 +230,7 @@ impl LongStore {
         array.write_op(op, &buf)?;
         self.stats.write_ops += 1;
         self.stats.in_place_updates += 1;
+        invidx_obs::counter!(invidx_obs::names::LONG_IN_PLACE_UPDATES).inc();
         self.directory
             .get_mut(word)
             .expect("checked above")
@@ -276,6 +277,7 @@ impl LongStore {
         };
         array.write_op(op, &buf)?;
         self.stats.write_ops += 1;
+        invidx_obs::counter!(invidx_obs::names::LONG_CHUNK_ALLOCS).inc();
         Ok(ChunkRef { disk, start, blocks: alloc_blocks, postings: docs.len() as u64 })
     }
 
@@ -304,6 +306,7 @@ impl LongStore {
                 self.directory.push_release(disk, start, blocks);
             }
             self.stats.whole_rewrites += 1;
+            invidx_obs::counter!(invidx_obs::names::LONG_CHUNK_RELOCATIONS).inc();
             old
         } else {
             PostingList::new()
@@ -381,6 +384,7 @@ impl LongStore {
             };
             array.read_op(op, &mut buf)?;
             self.stats.read_ops += 1;
+            invidx_obs::counter!(invidx_obs::names::LONG_READ_OPS).inc();
             let mut remaining = c.postings as usize;
             for block in buf.chunks(bs) {
                 let take = remaining.min(bp as usize);
@@ -433,6 +437,7 @@ impl LongStore {
         for (d, s, b) in old {
             self.directory.push_release(d, s, b);
         }
+        invidx_obs::counter!(invidx_obs::names::LONG_CHUNK_RELOCATIONS).inc();
         let chunk = self.write_fresh_chunk(array, word, docs.docs(), target_blocks)?;
         self.directory.insert(word, LongEntry { chunks: vec![chunk] });
         Ok(before)

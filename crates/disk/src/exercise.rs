@@ -100,6 +100,37 @@ pub fn coalesce_batch(ops: &[IoOp], disks: u16, buffer_blocks: u64) -> Vec<Vec<P
     queues
 }
 
+/// Per-disk metric handles, resolved once per exercise run so the
+/// per-request hot loop only touches atomics.
+struct DiskMetrics {
+    ops: Vec<std::sync::Arc<invidx_obs::Counter>>,
+    blocks: Vec<std::sync::Arc<invidx_obs::Counter>>,
+    service: Vec<std::sync::Arc<invidx_obs::Histogram>>,
+}
+
+impl DiskMetrics {
+    fn new(disks: u16) -> Self {
+        use invidx_obs::names;
+        let registry = invidx_obs::registry();
+        Self {
+            ops: (0..disks)
+                .map(|d| registry.counter(&names::per_disk(names::DISK_OPS, d)))
+                .collect(),
+            blocks: (0..disks)
+                .map(|d| registry.counter(&names::per_disk(names::DISK_BLOCKS, d)))
+                .collect(),
+            service: (0..disks)
+                .map(|d| {
+                    registry.histogram(
+                        &names::per_disk(names::DISK_SERVICE_MS, d),
+                        invidx_obs::Buckets::time_ms(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Execute a trace against the timing model.
 pub fn exercise(trace: &IoTrace, cfg: &ExerciseConfig) -> ExerciseResult {
     let mut heads: Vec<Option<u64>> = vec![None; cfg.disks as usize];
@@ -109,23 +140,54 @@ pub fn exercise(trace: &IoTrace, cfg: &ExerciseConfig) -> ExerciseResult {
     let mut phys_requests = Vec::with_capacity(trace.batches());
     let mut logical_ops = Vec::with_capacity(trace.batches());
     let mut cumulative = 0.0f64;
+    let metrics = DiskMetrics::new(cfg.disks);
+    let seek_hist = invidx_obs::histogram!(
+        invidx_obs::names::DISK_SEEK_DISTANCE,
+        invidx_obs::Buckets::exponential(1.0, 4.0, 16)
+    );
+    let imbalance_hist = invidx_obs::histogram!(
+        invidx_obs::names::DISK_QUEUE_IMBALANCE,
+        invidx_obs::Buckets::exponential(1.0, 1.25, 16)
+    );
 
     for b in 0..trace.batches() {
         let ops = trace.batch_ops(b);
         let queues = coalesce_batch(ops, cfg.disks, cfg.buffer_blocks);
         let mut batch_max = 0.0f64;
+        let mut batch_busy_ms = 0.0f64;
         let mut requests = 0u64;
         for (d, queue) in queues.iter().enumerate() {
             let mut disk_time_ms = 0.0f64;
             for req in queue {
-                let ms = cfg.profile.service_ms(heads[d], req.start, req.blocks);
-                disk_time_ms += ms;
+                let svc = cfg.profile.service_breakdown(heads[d], req.start, req.blocks);
+                disk_time_ms += svc.total_ms;
                 heads[d] = Some(req.start + req.blocks);
                 requests += 1;
+                metrics.service[d].record(svc.total_ms);
+                if svc.seek_distance > 0 {
+                    seek_hist.record_u64(svc.seek_distance);
+                }
+                metrics.blocks[d].add(req.blocks);
             }
+            metrics.ops[d].add(queue.len() as u64);
             disk_busy[d] += disk_time_ms / 1e3;
+            batch_busy_ms += disk_time_ms;
             batch_max = batch_max.max(disk_time_ms / 1e3);
         }
+        // Queue imbalance: busiest disk over the mean across disks.
+        // 1.0 means a perfectly balanced batch; `disks` means one disk
+        // did all the work.
+        let mean_ms = batch_busy_ms / cfg.disks.max(1) as f64;
+        if mean_ms > 0.0 {
+            imbalance_hist.record(batch_max * 1e3 / mean_ms);
+        }
+        invidx_obs::event!("exercise_batch", {
+            "batch": b,
+            "seconds": batch_max,
+            "requests": requests,
+            "logical_ops": ops.len(),
+            "imbalance": if mean_ms > 0.0 { batch_max * 1e3 / mean_ms } else { 0.0 },
+        });
         cumulative += batch_max;
         batch_seconds.push(batch_max);
         cumulative_seconds.push(cumulative);

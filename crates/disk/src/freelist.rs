@@ -145,19 +145,42 @@ impl FreeList {
         Ok(())
     }
 
-    fn pick(&self, blocks: u64) -> Option<u64> {
+    /// Choose an extent; returns `(start, extents examined)`. The scan
+    /// length is the paper's free-list cost driver ("scanning the free
+    /// list for the disk from the beginning of the disk"), so callers
+    /// feed it to the observability layer.
+    fn pick(&self, blocks: u64) -> (Option<u64>, u64) {
         match self.strategy {
-            FitStrategy::FirstFit => self
-                .extents
-                .iter()
-                .find(|&(_, &len)| len >= blocks)
-                .map(|(&start, _)| start),
-            FitStrategy::BestFit => self
-                .extents
-                .iter()
-                .filter(|&(_, &len)| len >= blocks)
-                .min_by_key(|&(&start, &len)| (len, start))
-                .map(|(&start, _)| start),
+            FitStrategy::FirstFit => {
+                let mut scanned = 0;
+                for (&start, &len) in &self.extents {
+                    scanned += 1;
+                    if len >= blocks {
+                        return (Some(start), scanned);
+                    }
+                }
+                (None, scanned)
+            }
+            FitStrategy::BestFit => {
+                // Best fit always examines the whole list.
+                let start = self
+                    .extents
+                    .iter()
+                    .filter(|&(_, &len)| len >= blocks)
+                    .min_by_key(|&(&start, &len)| (len, start))
+                    .map(|(&start, _)| start);
+                (start, self.extents.len() as u64)
+            }
+        }
+    }
+
+    /// Debug-build checkpoint: every mutation must leave the free list
+    /// consistent. Compiled out of release builds.
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            panic!("free-list invariant violated: {e}");
         }
     }
 }
@@ -167,7 +190,13 @@ impl ExtentAllocator for FreeList {
         if blocks == 0 {
             return Err(DiskError::EmptyAccess);
         }
-        let start = self.pick(blocks).ok_or(DiskError::OutOfSpace {
+        let (picked, scanned) = self.pick(blocks);
+        invidx_obs::counter!(invidx_obs::names::FREELIST_ALLOCS).inc();
+        invidx_obs::histogram!(invidx_obs::names::FREELIST_SCAN_LEN, invidx_obs::Buckets::pow2())
+            .record_u64(scanned);
+        invidx_obs::histogram!(invidx_obs::names::FREELIST_FRAGMENTS, invidx_obs::Buckets::pow2())
+            .record_u64(self.extents.len() as u64);
+        let start = picked.ok_or(DiskError::OutOfSpace {
             requested: blocks,
             largest_free: self.largest_free(),
         })?;
@@ -178,6 +207,7 @@ impl ExtentAllocator for FreeList {
             self.extents.insert(start + blocks, len - blocks);
         }
         self.free -= blocks;
+        self.debug_check();
         Ok(start)
     }
 
@@ -210,21 +240,29 @@ impl ExtentAllocator for FreeList {
         }
         let mut new_start = start;
         let mut new_len = blocks;
+        let mut merges = 0u64;
         if let Some((ps, pl)) = prev {
             if ps + pl == start {
                 self.extents.remove(&ps);
                 new_start = ps;
                 new_len += pl;
+                merges += 1;
             }
         }
         if let Some((ns, nl)) = next {
             if start + blocks == ns {
                 self.extents.remove(&ns);
                 new_len += nl;
+                merges += 1;
             }
         }
         self.extents.insert(new_start, new_len);
         self.free += blocks;
+        invidx_obs::counter!(invidx_obs::names::FREELIST_FREES).inc();
+        if merges > 0 {
+            invidx_obs::counter!(invidx_obs::names::FREELIST_COALESCES).add(merges);
+        }
+        self.debug_check();
         Ok(())
     }
 
@@ -261,6 +299,7 @@ impl ExtentAllocator for FreeList {
             self.extents.insert(start + blocks, es + el - (start + blocks));
         }
         self.free -= blocks;
+        self.debug_check();
         Ok(())
     }
 }

@@ -146,16 +146,47 @@ impl DiskProfile {
     /// after the previous request's last block on this disk, or `None` for
     /// the first request).
     pub fn service_ms(&self, head: Option<u64>, start: u64, blocks: u64) -> f64 {
-        let positioning = match head {
-            Some(h) if h == start => 0.0,
+        self.service_breakdown(head, start, blocks).total_ms
+    }
+
+    /// Service time split into its components — the observability layer
+    /// records seek distances and positioning-vs-transfer shares from
+    /// this without re-deriving model internals.
+    pub fn service_breakdown(&self, head: Option<u64>, start: u64, blocks: u64) -> ServiceBreakdown {
+        let (seek_distance, positioning_ms) = match head {
+            Some(h) if h == start => (0, 0.0),
             Some(h) => {
                 let dist = h.abs_diff(start);
-                self.seek_ms(dist) + self.rotational_latency_ms()
+                (dist, self.seek_ms(dist) + self.rotational_latency_ms())
             }
-            None => self.seek_ms(self.blocks / 3) + self.rotational_latency_ms(),
+            // First request: model an average stroke of a third of the disk.
+            None => {
+                let dist = self.blocks / 3;
+                (dist, self.seek_ms(dist) + self.rotational_latency_ms())
+            }
         };
-        self.overhead_ms + positioning + self.transfer_ms(blocks)
+        let transfer_ms = self.transfer_ms(blocks);
+        ServiceBreakdown {
+            seek_distance,
+            positioning_ms,
+            transfer_ms,
+            total_ms: self.overhead_ms + positioning_ms + transfer_ms,
+        }
     }
+}
+
+/// Components of one request's service time (see
+/// [`DiskProfile::service_breakdown`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceBreakdown {
+    /// Head movement in blocks (0 for sequential access).
+    pub seek_distance: u64,
+    /// Seek plus rotational latency, milliseconds.
+    pub positioning_ms: f64,
+    /// Data transfer time, milliseconds.
+    pub transfer_ms: f64,
+    /// Full service time including fixed overhead, milliseconds.
+    pub total_ms: f64,
 }
 
 #[cfg(test)]
@@ -196,6 +227,24 @@ mod tests {
     fn transfer_scales_linearly() {
         let p = DiskProfile::seagate_1994(4096);
         assert!((p.transfer_ms(20) - 2.0 * p.transfer_ms(10)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_service_time() {
+        let p = DiskProfile::seagate_1994(4096);
+        for head in [None, Some(0u64), Some(100), Some(9_999)] {
+            let b = p.service_breakdown(head, 100, 8);
+            assert!(
+                (b.total_ms - (p.overhead_ms + b.positioning_ms + b.transfer_ms)).abs() < 1e-12
+            );
+            assert!((b.total_ms - p.service_ms(head, 100, 8)).abs() < 1e-12);
+        }
+        let seq = p.service_breakdown(Some(100), 100, 8);
+        assert_eq!(seq.seek_distance, 0);
+        assert_eq!(seq.positioning_ms, 0.0);
+        let scattered = p.service_breakdown(Some(500), 100, 8);
+        assert_eq!(scattered.seek_distance, 400);
+        assert!(scattered.positioning_ms > 0.0);
     }
 
     #[test]

@@ -249,23 +249,79 @@ proptest! {
 
     #[test]
     fn trace_text_round_trip(ops in arb_ops(), splits in prop::collection::vec(0usize..80, 0..5)) {
-        let mut trace = IoTrace::new();
-        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (ops.len() + 1)).collect();
-        cuts.sort_unstable();
-        cuts.dedup();
-        let mut last = 0;
-        for (i, op) in ops.iter().enumerate() {
-            while cuts.first() == Some(&i) {
-                cuts.remove(0);
-                trace.end_batch();
-                last = i;
-            }
-            trace.push(*op);
-        }
-        let _ = last;
-        trace.end_batch();
-        let text = trace.to_text();
-        let parsed = IoTrace::from_text(&text).expect("parse");
-        prop_assert_eq!(parsed.ops, trace.ops);
+        round_trip(ops, splits)?;
     }
+
+    #[test]
+    fn figure6_full_grammar_round_trip(
+        ops in arb_figure6_ops(),
+        splits in prop::collection::vec(0usize..80, 0..5),
+    ) {
+        round_trip(ops, splits)?;
+    }
+}
+
+/// Every Figure 6 production: bucket and directory updates (always writes
+/// in the grammar) and long-list reads/writes — including reads of whole
+/// chunks that carry `posting 0` ("0 for reads of whole chunks where it is
+/// implied").
+fn arb_figure6_ops() -> impl Strategy<Value = Vec<IoOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0u16..3), (0u64..100), (0u64..6)).prop_map(|(disk, start, blocks)| IoOp {
+                kind: OpKind::Write,
+                disk,
+                start,
+                blocks,
+                payload: Payload::Bucket,
+            }),
+            ((0u16..3), (0u64..100), (0u64..6)).prop_map(|(disk, start, blocks)| IoOp {
+                kind: OpKind::Write,
+                disk,
+                start,
+                blocks,
+                payload: Payload::Directory,
+            }),
+            ((0u16..3), (0u64..100), (1u64..6), (0u64..2000), (0u64..1500)).prop_map(
+                |(disk, start, blocks, word, postings)| IoOp {
+                    kind: OpKind::Write,
+                    disk,
+                    start,
+                    blocks,
+                    payload: Payload::LongList { word, postings },
+                },
+            ),
+            // Reads of whole chunks: posting count 0 by convention.
+            ((0u16..3), (0u64..100), (1u64..6), (0u64..2000)).prop_map(
+                |(disk, start, blocks, word)| IoOp {
+                    kind: OpKind::Read,
+                    disk,
+                    start,
+                    blocks,
+                    payload: Payload::LongList { word, postings: 0 },
+                },
+            ),
+        ],
+        0..80,
+    )
+}
+
+fn round_trip(ops: Vec<IoOp>, splits: Vec<usize>) -> Result<(), String> {
+    let mut trace = IoTrace::new();
+    let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (ops.len() + 1)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    for (i, op) in ops.iter().enumerate() {
+        while cuts.first() == Some(&i) {
+            cuts.remove(0);
+            trace.end_batch();
+        }
+        trace.push(*op);
+    }
+    trace.end_batch();
+    let text = trace.to_text();
+    let parsed = IoTrace::from_text(&text).expect("parse");
+    prop_assert_eq!(&parsed.ops, &trace.ops);
+    prop_assert_eq!(parsed, trace);
+    Ok(())
 }

@@ -1,0 +1,281 @@
+//! NDJSON event stream and timestamped progress logging.
+//!
+//! An event is one JSON object per line:
+//! `{"ts_ms":1723049212345,"elapsed_ms":12.5,"kind":"batch_done","batch":3}`
+//! where `ts_ms` is wall-clock Unix time and `elapsed_ms` counts from
+//! sink installation. With no sink installed, [`events_enabled`] is a
+//! single relaxed atomic load and [`crate::event!`] does no work at all.
+
+use crate::render::escape_json;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A field value in a structured event.
+#[derive(Debug, Clone)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! field_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Field {
+            fn from(v: $t) -> Self { Field::U64(v as u64) }
+        }
+    )*};
+}
+field_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! field_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Field {
+            fn from(v: $t) -> Self { Field::I64(v as i64) }
+        }
+    )*};
+}
+field_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<f32> for Field {
+    fn from(v: f32) -> Self {
+        Field::F64(v as f64)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    fn render(&self) -> String {
+        match self {
+            Field::U64(v) => v.to_string(),
+            Field::I64(v) => v.to_string(),
+            Field::F64(v) if v.is_finite() => format!("{v}"),
+            Field::F64(v) => format!("\"{v}\""),
+            Field::Str(s) => format!("\"{}\"", escape_json(s)),
+            Field::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+enum SinkWriter {
+    File(BufWriter<File>),
+    Memory(Vec<u8>),
+}
+
+struct Sink {
+    writer: SinkWriter,
+    epoch: Instant,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether an event sink is installed. Cheap enough for hot paths.
+#[inline]
+pub fn events_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install an NDJSON event sink writing to `path` (truncates). Replaces
+/// any previous sink.
+pub fn init_event_sink(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file = File::create(path)?;
+    *sink_slot().lock().unwrap() =
+        Some(Sink { writer: SinkWriter::File(BufWriter::new(file)), epoch: Instant::now() });
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Install an in-memory event sink (for tests).
+pub fn init_memory_event_sink() {
+    *sink_slot().lock().unwrap() =
+        Some(Sink { writer: SinkWriter::Memory(Vec::new()), epoch: Instant::now() });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Uninstall the sink and return captured bytes if it was in-memory.
+pub fn take_memory_events() -> Option<String> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let sink = sink_slot().lock().unwrap().take()?;
+    match sink.writer {
+        SinkWriter::Memory(buf) => Some(String::from_utf8_lossy(&buf).into_owned()),
+        SinkWriter::File(mut w) => {
+            let _ = w.flush();
+            None
+        }
+    }
+}
+
+/// Flush buffered events to disk (file sinks).
+pub fn flush_events() {
+    if let Some(sink) = sink_slot().lock().unwrap().as_mut() {
+        if let SinkWriter::File(w) = &mut sink.writer {
+            let _ = w.flush();
+        }
+    }
+}
+
+fn unix_ms() -> u128 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0)
+}
+
+/// Write one event line. Prefer the [`crate::event!`] macro, which skips
+/// field construction when no sink is listening.
+pub fn emit_event(kind: &str, fields: &[(&str, Field)]) {
+    if !events_enabled() {
+        return;
+    }
+    let mut guard = sink_slot().lock().unwrap();
+    let Some(sink) = guard.as_mut() else { return };
+    let elapsed_ms = sink.epoch.elapsed().as_secs_f64() * 1e3;
+    let mut line = format!(
+        "{{\"ts_ms\":{},\"elapsed_ms\":{:.3},\"kind\":\"{}\"",
+        unix_ms(),
+        elapsed_ms,
+        escape_json(kind)
+    );
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{}\":{}", escape_json(key), value.render()));
+    }
+    line.push_str("}\n");
+    let result = match &mut sink.writer {
+        SinkWriter::File(w) => w.write_all(line.as_bytes()),
+        SinkWriter::Memory(buf) => {
+            buf.extend_from_slice(line.as_bytes());
+            Ok(())
+        }
+    };
+    if result.is_err() {
+        // A dead sink (disk full, closed fd) must not take the pipeline
+        // down; disable quietly.
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Timestamped progress line on stderr, mirrored to the event stream.
+/// This replaces ad-hoc `eprintln!` progress reporting: consistent
+/// format for humans, machine-parseable copy for tools.
+pub fn log_progress(target: &str, message: &str) {
+    eprintln!("[{:>10.3}s {target}] {message}", process_elapsed().as_secs_f64());
+    if events_enabled() {
+        emit_event(
+            "log",
+            &[("target", Field::from(target)), ("message", Field::from(message))],
+        );
+    }
+}
+
+fn process_elapsed() -> std::time::Duration {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    // The sink is process-global; serialize tests that own it.
+    static SINK_TEST_LOCK: TestMutex<()> = TestMutex::new(());
+
+    #[test]
+    fn disabled_sink_is_a_noop() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap();
+        let _ = take_memory_events();
+        assert!(!events_enabled());
+        emit_event("ignored", &[("x", Field::from(1u64))]);
+        crate::event!("also_ignored", { "x": 2u64 });
+        assert!(take_memory_events().is_none());
+    }
+
+    #[test]
+    fn memory_sink_captures_ndjson() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap();
+        init_memory_event_sink();
+        crate::event!("batch_done", {
+            "batch": 3u64,
+            "ms": 1.5,
+            "policy": "fill/never/const",
+            "ok": true,
+            "delta": -2i64,
+        });
+        emit_event("plain", &[]);
+        let text = take_memory_events().expect("memory sink");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"batch_done\""));
+        assert!(lines[0].contains("\"batch\":3"));
+        assert!(lines[0].contains("\"ms\":1.5"));
+        assert!(lines[0].contains("\"policy\":\"fill/never/const\""));
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[0].contains("\"delta\":-2"));
+        assert!(lines[0].starts_with("{\"ts_ms\":"));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"kind\":\"plain\""));
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("invidx-obs-test");
+        let path = dir.join("events.ndjson");
+        init_event_sink(&path).unwrap();
+        crate::event!("hello", { "n": 1u64 });
+        flush_events();
+        let _ = take_memory_events(); // closes/flushes the file sink
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\":\"hello\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn field_rendering() {
+        assert_eq!(Field::from(3u32).render(), "3");
+        assert_eq!(Field::from(-3i32).render(), "-3");
+        assert_eq!(Field::from(1.25f64).render(), "1.25");
+        assert_eq!(Field::from("a\"b").render(), "\"a\\\"b\"");
+        assert_eq!(Field::from(true).render(), "true");
+    }
+}

@@ -1,0 +1,514 @@
+//! Observability layer for the index pipeline: metrics, timing spans,
+//! and structured event streams.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero overhead when nothing is listening.** Counters and
+//!    gauges are single relaxed atomic ops; histograms add a short
+//!    linear scan over fixed bucket bounds; the event stream is a
+//!    single relaxed `AtomicBool` load when no sink is installed.
+//! 2. **No dependencies.** Counters, histograms, JSON, and the
+//!    Prometheus text exposition are all hand-rolled on `std`.
+//! 3. **One global registry.** Metrics are identified by name;
+//!    instrumented code resolves a handle once (via [`counter!`] /
+//!    [`histogram!`] static caching, or by holding the `Arc` across a
+//!    loop) and then updates it lock-free.
+//!
+//! Label conventions: labels are embedded in the metric name in
+//! Prometheus form, e.g. `disk_ops_total{disk="3"}`. The renderers
+//! understand this and emit well-formed exposition text.
+//!
+//! Three sinks read the registry:
+//! * [`snapshot`] → [`Snapshot::to_json`]: one JSON document;
+//! * [`Snapshot::to_prometheus`]: Prometheus text exposition format;
+//! * [`init_event_sink`] + [`event!`]: an NDJSON stream of structured
+//!   events (one JSON object per line) written as they happen.
+
+mod events;
+pub mod names;
+mod render;
+
+pub use events::{
+    emit_event, events_enabled, flush_events, init_event_sink, init_memory_event_sink,
+    log_progress, take_memory_events, Field,
+};
+pub use render::{escape_json, Snapshot};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket layout for a [`Histogram`]: a sorted list of inclusive upper
+/// bounds; an implicit `+Inf` bucket catches the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets(pub Vec<f64>);
+
+impl Buckets {
+    /// `count` buckets starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets(bounds)
+    }
+
+    /// Latency buckets in milliseconds: 10 µs .. ~84 s, factor 4.
+    pub fn time_ms() -> Self {
+        Self::exponential(0.01, 4.0, 12)
+    }
+
+    /// Size/count buckets: powers of two, 1 .. 2^19.
+    pub fn pow2() -> Self {
+        Self::exponential(1.0, 2.0, 20)
+    }
+}
+
+/// Fixed-bucket histogram with lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // one per bound, plus +Inf at the end
+    count: AtomicU64,
+    /// Sum scaled by 1e6 so it can live in an integer atomic; gives
+    /// micro-unit precision, ample for ms latencies and list lengths.
+    sum_x1e6: AtomicU64,
+}
+
+impl Histogram {
+    fn new(buckets: Buckets) -> Self {
+        let bounds = buckets.0;
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be sorted");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds, buckets, count: AtomicU64::new(0), sum_x1e6: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let scaled = if value <= 0.0 { 0 } else { (value * 1e6) as u64 };
+        self.sum_x1e6.fetch_add(scaled, Ordering::Relaxed);
+    }
+
+    /// Record an integer observation (lengths, counts).
+    #[inline]
+    pub fn record_u64(&self, value: u64) {
+        self.record(value as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_x1e6.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// `(upper_bound, count)` per bucket; the final bound is
+    /// `f64::INFINITY`. Counts are per-bucket, not cumulative.
+    pub fn bucket_counts(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_x1e6.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The global metric registry.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Get or create the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Get or create the named histogram. The bucket layout is fixed by
+    /// whoever registers first; later callers share it.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(buckets));
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    fn for_each_counter(&self, mut f: impl FnMut(&str, &Counter)) {
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            f(name, c);
+        }
+    }
+
+    fn for_each_gauge(&self, mut f: impl FnMut(&str, &Gauge)) {
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            f(name, g);
+        }
+    }
+
+    fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            f(name, h);
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Current value of a counter, or 0 if it was never registered. Handy
+/// for capturing before/after deltas without holding handles.
+pub fn counter_value(name: &str) -> u64 {
+    registry().counters.lock().unwrap().get(name).map(|c| c.get()).unwrap_or(0)
+}
+
+/// Zero every metric (registrations survive). Mainly for tests and for
+/// isolating successive experiment runs in one process.
+pub fn reset_metrics() {
+    let r = registry();
+    r.for_each_counter(|_, c| c.0.store(0, Ordering::Relaxed));
+    r.for_each_gauge(|_, g| g.0.store(0, Ordering::Relaxed));
+    r.for_each_histogram(|_, h| h.reset());
+}
+
+/// Collect a point-in-time [`Snapshot`] of every metric.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut snap = Snapshot::default();
+    r.for_each_counter(|name, c| snap.counters.push((name.to_string(), c.get())));
+    r.for_each_gauge(|name, g| snap.gauges.push((name.to_string(), g.get())));
+    r.for_each_histogram(|name, h| {
+        snap.histograms.push(render::HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            buckets: h.bucket_counts(),
+        });
+    });
+    snap
+}
+
+/// A compact snapshot of the pipeline's headline counters, cheap to
+/// capture and subtract. Embedded in per-batch reports so every batch
+/// carries the index- and allocator-level activity it caused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsDelta {
+    /// Bucket inserts that overflowed.
+    pub bucket_overflows: u64,
+    /// Short lists migrated to long lists.
+    pub migrations: u64,
+    /// Fresh long-list chunks allocated.
+    pub chunk_allocs: u64,
+    /// Long lists relocated (whole rewrites + compaction).
+    pub chunk_relocations: u64,
+    /// In-place long-list updates.
+    pub in_place_updates: u64,
+    /// Free-list allocations served.
+    pub freelist_allocs: u64,
+    /// Free-list coalesce merges.
+    pub freelist_coalesces: u64,
+}
+
+impl ObsDelta {
+    /// Capture the current value of each headline counter.
+    pub fn capture() -> Self {
+        Self {
+            bucket_overflows: counter_value(names::CORE_BUCKET_OVERFLOWS),
+            migrations: counter_value(names::CORE_MIGRATIONS),
+            chunk_allocs: counter_value(names::LONG_CHUNK_ALLOCS),
+            chunk_relocations: counter_value(names::LONG_CHUNK_RELOCATIONS),
+            in_place_updates: counter_value(names::LONG_IN_PLACE_UPDATES),
+            freelist_allocs: counter_value(names::FREELIST_ALLOCS),
+            freelist_coalesces: counter_value(names::FREELIST_COALESCES),
+        }
+    }
+
+    /// Field-wise `self - earlier` (saturating, so a metrics reset
+    /// between captures yields zeros rather than wrapping).
+    pub fn since(&self, earlier: &ObsDelta) -> ObsDelta {
+        ObsDelta {
+            bucket_overflows: self.bucket_overflows.saturating_sub(earlier.bucket_overflows),
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            chunk_allocs: self.chunk_allocs.saturating_sub(earlier.chunk_allocs),
+            chunk_relocations: self.chunk_relocations.saturating_sub(earlier.chunk_relocations),
+            in_place_updates: self.in_place_updates.saturating_sub(earlier.in_place_updates),
+            freelist_allocs: self.freelist_allocs.saturating_sub(earlier.freelist_allocs),
+            freelist_coalesces: self.freelist_coalesces.saturating_sub(earlier.freelist_coalesces),
+        }
+    }
+}
+
+/// RAII timer: on drop, records elapsed wall time (ms) into the
+/// histogram `span_<name>_ms` and, when an event sink is active, emits a
+/// `span` event.
+pub struct SpanGuard {
+    name: &'static str,
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ms = self.elapsed_ms();
+        self.hist.record(ms);
+        if events_enabled() {
+            emit_event("span", &[("name", Field::from(self.name)), ("ms", Field::from(ms))]);
+        }
+    }
+}
+
+/// Start a timing span. `name` should be a static identifier like
+/// `"flush_batch"`; the backing histogram is `span_flush_batch_ms`.
+pub fn span(name: &'static str) -> SpanGuard {
+    let hist = registry().histogram(&format!("span_{name}_ms"), Buckets::time_ms());
+    SpanGuard { name, hist, start: Instant::now() }
+}
+
+/// Resolve (once) and cache a counter handle at the call site.
+///
+/// ```
+/// invidx_obs::counter!("demo_counter_total").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().counter($name)).as_ref()
+    }};
+}
+
+/// Resolve (once) and cache a gauge handle at the call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().gauge($name)).as_ref()
+    }};
+}
+
+/// Resolve (once) and cache a histogram handle at the call site.
+///
+/// ```
+/// invidx_obs::histogram!("demo_len", invidx_obs::Buckets::pow2());
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $buckets:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().histogram($name, $buckets)).as_ref()
+    }};
+}
+
+/// Emit a structured event to the NDJSON sink, if one is active.
+/// Field values are only constructed when a sink is listening.
+///
+/// ```
+/// invidx_obs::event!("batch_done", { "batch": 3u64, "ms": 12.5 });
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($kind:expr, { $($key:literal : $value:expr),* $(,)? }) => {
+        if $crate::events_enabled() {
+            $crate::emit_event($kind, &[$(($key, $crate::Field::from($value))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = registry().counter("test_lib_counter_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter_value("test_lib_counter_total"), 5);
+        assert_eq!(counter_value("test_lib_never_registered"), 0);
+
+        let g = registry().gauge("test_lib_gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = registry().histogram("test_lib_hist", Buckets(vec![1.0, 10.0, 100.0]));
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        h.record(5000.0);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5055.5).abs() < 1e-3);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3].1, 1);
+        assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let a = registry().counter("test_lib_shared_total");
+        let b = registry().counter("test_lib_shared_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn macro_cached_handles() {
+        for _ in 0..3 {
+            counter!("test_lib_macro_total").inc();
+        }
+        assert_eq!(counter_value("test_lib_macro_total"), 3);
+        histogram!("test_lib_macro_hist", Buckets::pow2()).record_u64(7);
+        assert_eq!(
+            registry().histogram("test_lib_macro_hist", Buckets::pow2()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        {
+            let _s = span("test_lib_span");
+        }
+        let h = registry().histogram("span_test_lib_span_ms", Buckets::time_ms());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let c = registry().counter("test_lib_reset_total");
+        c.add(9);
+        reset_metrics();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(counter_value("test_lib_reset_total"), 1);
+    }
+
+    #[test]
+    fn exponential_bucket_shapes() {
+        assert_eq!(Buckets::exponential(1.0, 2.0, 4).0, vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(Buckets::pow2().0.len(), 20);
+        assert_eq!(Buckets::time_ms().0.len(), 12);
+    }
+}

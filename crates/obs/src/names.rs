@@ -1,0 +1,70 @@
+//! The well-known metric names of the index pipeline, in one place so
+//! instrumentation sites, sinks, and report consumers agree on them.
+//!
+//! Naming follows Prometheus conventions: `_total` for counters, a unit
+//! suffix (`_ms`, `_blocks`) for histograms, labels embedded in the full
+//! name (`disk_ops_total{disk="3"}`).
+
+/// Batches flushed by `DualIndex::flush_batch`.
+pub const CORE_FLUSH_BATCHES: &str = "core_flush_batches_total";
+/// Posting lists fed into the in-memory index.
+pub const CORE_MEM_LISTS: &str = "core_mem_lists_total";
+/// Postings fed into the in-memory index.
+pub const CORE_MEM_POSTINGS: &str = "core_mem_postings_total";
+/// Bucket inserts that overflowed (evicted at least one list).
+pub const CORE_BUCKET_OVERFLOWS: &str = "core_bucket_overflows_total";
+/// Short lists migrated to long lists (eviction victims).
+pub const CORE_MIGRATIONS: &str = "core_short_to_long_migrations_total";
+/// Deletion sweeps performed.
+pub const CORE_SWEEPS: &str = "core_sweeps_total";
+/// Compaction passes performed.
+pub const CORE_COMPACTIONS: &str = "core_compactions_total";
+/// Bucket-space rebalances performed.
+pub const CORE_REBALANCES: &str = "core_rebalances_total";
+
+/// Fresh long-list chunks allocated and written.
+pub const LONG_CHUNK_ALLOCS: &str = "long_chunk_allocs_total";
+/// Long lists rewritten to a new location (whole-style rewrites and
+/// compaction), releasing their old chunks.
+pub const LONG_CHUNK_RELOCATIONS: &str = "long_chunk_relocations_total";
+/// In-place updates of a long list's last chunk.
+pub const LONG_IN_PLACE_UPDATES: &str = "long_in_place_updates_total";
+/// Chunk read operations issued by long-list reads.
+pub const LONG_READ_OPS: &str = "long_read_ops_total";
+
+/// Extent allocations served by a free list.
+pub const FREELIST_ALLOCS: &str = "freelist_allocs_total";
+/// Extents returned to a free list.
+pub const FREELIST_FREES: &str = "freelist_frees_total";
+/// Neighbour merges performed while freeing (0–2 per free).
+pub const FREELIST_COALESCES: &str = "freelist_coalesces_total";
+/// Extents examined per allocation scan (histogram).
+pub const FREELIST_SCAN_LEN: &str = "freelist_scan_len";
+/// Free-extent count observed at each allocation (histogram).
+pub const FREELIST_FRAGMENTS: &str = "freelist_fragments";
+
+/// Physical requests served, labelled per disk.
+pub const DISK_OPS: &str = "disk_ops_total";
+/// Blocks transferred, labelled per disk.
+pub const DISK_BLOCKS: &str = "disk_blocks_total";
+/// Seek distance in blocks per positioning request (histogram).
+pub const DISK_SEEK_DISTANCE: &str = "disk_seek_distance_blocks";
+/// Per-request service time in milliseconds, labelled per disk
+/// (histogram).
+pub const DISK_SERVICE_MS: &str = "disk_service_time_ms";
+/// Per-batch queue imbalance: busiest-disk time over mean disk time
+/// (histogram; 1.0 = perfectly balanced).
+pub const DISK_QUEUE_IMBALANCE: &str = "disk_queue_imbalance_ratio";
+
+/// Attach a `disk` label to a base metric name.
+pub fn per_disk(base: &str, disk: u16) -> String {
+    format!("{base}{{disk=\"{disk}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn per_disk_labels() {
+        assert_eq!(super::per_disk(super::DISK_OPS, 3), "disk_ops_total{disk=\"3\"}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Snapshot rendering: hand-rolled JSON and Prometheus text exposition.
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Full metric name (may embed labels: `x_ms{disk="0"}`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// `(upper_bound, count)` per bucket, non-cumulative; the last bound
+    /// is `+Inf`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_infinite() {
+        // JSON has no Infinity; histograms use a string marker.
+        "\"+Inf\"".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Split `name{label="x"}` into `(base, Some(label_body))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+impl Snapshot {
+    /// Render the whole snapshot as one pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                escape_json(&h.name),
+                h.count,
+                json_f64(h.sum)
+            ));
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le\": {}, \"count\": {n}}}", json_f64(*le)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Render in the Prometheus text exposition format. Histogram
+    /// buckets become cumulative `_bucket{le=...}` series as the format
+    /// requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed = String::new();
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if last_typed != base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_typed = base.to_string();
+            }
+        };
+        for (name, v) in &self.counters {
+            let (base, _) = split_labels(name);
+            type_line(&mut out, base, "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let (base, _) = split_labels(name);
+            type_line(&mut out, base, "gauge");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for h in &self.histograms {
+            let (base, labels) = split_labels(&h.name);
+            type_line(&mut out, base, "histogram");
+            let mut cumulative = 0u64;
+            for (le, n) in &h.buckets {
+                cumulative += n;
+                let le_text = if le.is_infinite() { "+Inf".to_string() } else { format!("{le}") };
+                match labels {
+                    Some(l) => out.push_str(&format!(
+                        "{base}_bucket{{{l},le=\"{le_text}\"}} {cumulative}\n"
+                    )),
+                    None => {
+                        out.push_str(&format!("{base}_bucket{{le=\"{le_text}\"}} {cumulative}\n"))
+                    }
+                }
+            }
+            let label_suffix = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+            out.push_str(&format!("{base}_sum{label_suffix} {}\n", h.sum));
+            out.push_str(&format!("{base}_count{label_suffix} {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                ("flushes_total".into(), 3),
+                ("ops_total{disk=\"0\"}".into(), 10),
+                ("ops_total{disk=\"1\"}".into(), 20),
+            ],
+            gauges: vec![("fragments".into(), -2)],
+            histograms: vec![HistogramSnapshot {
+                name: "svc_ms{disk=\"0\"}".into(),
+                count: 3,
+                sum: 7.5,
+                buckets: vec![(1.0, 1), (10.0, 2), (f64::INFINITY, 0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let j = sample().to_json();
+        assert!(j.contains("\"flushes_total\": 3"));
+        assert!(j.contains("\"ops_total{disk=\\\"0\\\"}\": 10"));
+        assert!(j.contains("\"fragments\": -2"));
+        assert!(j.contains("\"count\": 3, \"sum\": 7.5"));
+        assert!(j.contains("{\"le\": \"+Inf\", \"count\": 0}"));
+        // Balanced braces (crude but effective structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE flushes_total counter\nflushes_total 3\n"));
+        // One TYPE line for both labeled series.
+        assert_eq!(p.matches("# TYPE ops_total counter").count(), 1);
+        assert!(p.contains("ops_total{disk=\"0\"} 10"));
+        assert!(p.contains("# TYPE svc_ms histogram"));
+        // Buckets are cumulative and carry merged labels.
+        assert!(p.contains("svc_ms_bucket{disk=\"0\",le=\"1\"} 1"));
+        assert!(p.contains("svc_ms_bucket{disk=\"0\",le=\"10\"} 3"));
+        assert!(p.contains("svc_ms_bucket{disk=\"0\",le=\"+Inf\"} 3"));
+        assert!(p.contains("svc_ms_sum{disk=\"0\"} 7.5"));
+        assert!(p.contains("svc_ms_count{disk=\"0\"} 3"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

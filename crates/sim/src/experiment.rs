@@ -53,16 +53,40 @@ pub struct Experiment {
 impl Experiment {
     /// Generate the corpus and run the bucket stage.
     pub fn prepare(params: SimParams) -> Result<Self> {
-        let (batches, corpus_stats) = generate_batches(params.corpus.clone());
-        let buckets =
-            BucketPipeline::new(params.buckets, params.bucket_size)?.run(&batches)?;
+        let (batches, corpus_stats) = {
+            let _span = invidx_obs::span("invert_index");
+            generate_batches(params.corpus.clone())
+        };
+        invidx_obs::event!("stage_invert", {
+            "batches": batches.len(),
+            "documents": corpus_stats.documents,
+            "postings": corpus_stats.total_postings,
+        });
+        let buckets = {
+            let _span = invidx_obs::span("compute_buckets");
+            BucketPipeline::new(params.buckets, params.bucket_size)?.run(&batches)?
+        };
+        invidx_obs::event!("stage_buckets", {
+            "long_updates": buckets.total_updates(),
+        });
         Ok(Self { params, batches, corpus_stats, buckets })
     }
 
     /// Run compute-disks + exercise-disks for one policy.
     pub fn run_policy(&self, policy: Policy) -> Result<PolicyRun> {
-        let disks = compute_disks(&self.params, policy, &self.buckets.long_updates)?;
-        let exercise = exercise(&disks.trace, &self.params.exercise_config());
+        let disks = {
+            let _span = invidx_obs::span("compute_disks");
+            compute_disks(&self.params, policy, &self.buckets.long_updates)?
+        };
+        let exercise = {
+            let _span = invidx_obs::span("exercise_disks");
+            exercise(&disks.trace, &self.params.exercise_config())
+        };
+        invidx_obs::event!("policy_run", {
+            "policy": policy.to_string(),
+            "trace_ops": disks.trace.count(|_| true),
+            "total_seconds": exercise.total_seconds(),
+        });
         Ok(PolicyRun { policy, disks, exercise })
     }
 

@@ -277,7 +277,7 @@ fn cmd_compact(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(dir: &Path) -> Result<(), String> {
+fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
     let (engine, conf) = open_engine(dir)?;
     let ix = engine.index();
     let d = ix.directory();
@@ -298,6 +298,79 @@ fn cmd_stats(dir: &Path) -> Result<(), String> {
         .iter()
         .fold((0u64, 0u64), |(f, t), &(df, dt)| (f + df, t + dt));
     println!("disk usage          {} / {} blocks", total - free, total);
+    if metrics {
+        publish_index_gauges(&engine, &conf);
+        println!();
+        print!("{}", invidx::obs::snapshot().to_prometheus());
+    }
+    Ok(())
+}
+
+/// Publish the opened index's state into the metric registry as gauges, so
+/// the rendered registry describes the on-disk index and not just whatever
+/// counters this process happened to touch.
+fn publish_index_gauges(engine: &SearchEngine, conf: &Conf) {
+    use invidx::obs::gauge;
+    let ix = engine.index();
+    let d = ix.directory();
+    gauge!("index_documents").set(engine.total_docs() as i64);
+    gauge!("index_vocabulary").set(engine.vocabulary_size() as i64);
+    gauge!("index_batches_flushed").set(ix.batches() as i64);
+    gauge!("index_short_words").set(ix.buckets().total_words() as i64);
+    gauge!("index_short_postings").set(ix.buckets().total_postings() as i64);
+    gauge!("index_bucket_units").set(ix.buckets().total_units() as i64);
+    gauge!("index_long_words").set(d.num_words() as i64);
+    gauge!("index_long_postings").set(d.total_postings() as i64);
+    gauge!("index_long_chunks").set(d.total_chunks() as i64);
+    gauge!("index_long_blocks").set(d.total_blocks() as i64);
+    invidx::obs::histogram!(
+        "index_long_utilization",
+        invidx::obs::Buckets(vec![0.25, 0.5, 0.75, 0.9, 1.0])
+    )
+    .record(d.utilization(conf.block_postings));
+    for (disk, &(free, total)) in ix.array().per_disk_usage().iter().enumerate() {
+        let used = invidx::obs::registry()
+            .gauge(&invidx::obs::names::per_disk("disk_used_blocks", disk as u16));
+        used.set((total - free) as i64);
+        let cap = invidx::obs::registry()
+            .gauge(&invidx::obs::names::per_disk("disk_total_blocks", disk as u16));
+        cap.set(total as i64);
+    }
+}
+
+/// Render the metric registry for an on-disk index. The gauges reflect the
+/// index state; counters cover the work this process performed (directory
+/// load, long-list reads when `--read <word>` is given).
+fn cmd_metrics(dir: &Path, args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut read_words: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--read" => {
+                read_words.push(args.get(i + 1).ok_or("--read needs a word")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown metrics option {other:?}")),
+        }
+    }
+    let (mut engine, conf) = open_engine(dir)?;
+    // Optional read traffic so counter/histogram metrics show live values.
+    for w in &read_words {
+        let hits = engine.boolean_str(w).map_err(|e| format!("read {w:?}: {e}"))?;
+        invidx::obs::log_progress("invidx", &format!("{w:?}: {} match(es)", hits.docs().len()));
+    }
+    publish_index_gauges(&engine, &conf);
+    let snap = invidx::obs::snapshot();
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{}", snap.to_prometheus());
+    }
     Ok(())
 }
 
@@ -319,7 +392,8 @@ fn usage() -> ExitCode {
          invidx add <dir> <file...>\n  invidx search <dir> <boolean query>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
          invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
-         invidx compact <dir>\n  invidx stats <dir>"
+         invidx compact <dir>\n  invidx stats <dir> [--metrics]\n  \
+         invidx metrics <dir> [--json] [--read <word>]..."
     );
     ExitCode::from(2)
 }
@@ -343,7 +417,9 @@ fn main() -> ExitCode {
         ("like", [t, k]) => cmd_like(&dir, t, Some(k)),
         ("show", [id]) => cmd_show(&dir, id),
         ("compact", []) => cmd_compact(&dir),
-        ("stats", []) => cmd_stats(&dir),
+        ("stats", []) => cmd_stats(&dir, false),
+        ("stats", [flag]) if flag == "--metrics" => cmd_stats(&dir, true),
+        ("metrics", opts) => cmd_metrics(&dir, opts),
         _ => return usage(),
     };
     match result {

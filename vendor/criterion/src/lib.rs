@@ -1,0 +1,316 @@
+//! Vendored stub of `criterion`: a minimal wall-clock benchmark harness
+//! with the criterion API surface this workspace uses.
+//!
+//! Each benchmark is warmed up briefly, then timed over `sample_size`
+//! samples; the median per-iteration time (and derived throughput, when
+//! declared) is printed to stdout. There are no HTML reports, no
+//! statistical regression analysis, and no `target/criterion` history —
+//! just honest median/min/max timings good enough for relative
+//! comparisons in this repo.
+//!
+//! CLI: any positional argument acts as a substring filter on benchmark
+//! ids (`cargo bench -p invidx-bench -- zipf`). Criterion-specific flags
+//! (`--bench`, `--noplot`, ...) are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How expensive `iter_batched` setup output is to hold in memory.
+/// Accepted for API compatibility; both variants behave identically here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, filled by `iter*`.
+    result: Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(60);
+
+impl Bencher {
+    /// Benchmark `routine` by running it in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        self.result = Some(stats_of(&mut samples));
+    }
+
+    /// Benchmark `routine` with a fresh un-timed `setup` product per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup cost is excluded by timing each routine call individually;
+        // one call per sample keeps expensive setups affordable.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        self.result = Some(stats_of(&mut samples));
+    }
+}
+
+fn stats_of(samples: &mut [Duration]) -> Stats {
+    samples.sort();
+    Stats {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: samples[samples.len() - 1],
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { config: Config { sample_size: 20, filter: None } }
+    }
+}
+
+impl Criterion {
+    /// Read the id filter from the command line (positional args filter by
+    /// substring; flags are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if let Some(flag) = arg.strip_prefix("--") {
+                // Flags with values consume the next argument.
+                if matches!(flag, "sample-size" | "warm-up-time" | "measurement-time") {
+                    args.next();
+                }
+                continue;
+            }
+            self.config.filter = Some(arg);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside of any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        run_one(&self.config, &id, None, f);
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut config = self.criterion.config.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        run_one(&config, &full, self.throughput, f);
+    }
+
+    /// Close the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, tp: Option<Throughput>, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { samples: config.sample_size, result: None };
+    f(&mut bencher);
+    let Some(stats) = bencher.result else {
+        println!("{id:<40} (no measurement)");
+        return;
+    };
+    let mut line = format!(
+        "{id:<40} median {:>12}  [{} .. {}]",
+        format_duration(stats.median),
+        format_duration(stats.min),
+        format_duration(stats.max),
+    );
+    if let Some(tp) = tp {
+        let secs = stats.median.as_secs_f64();
+        if secs > 0.0 {
+            let rate = match tp {
+                Throughput::Elements(n) => format_rate(n as f64 / secs, "elem"),
+                Throughput::Bytes(n) => format_rate(n as f64 / secs, "B"),
+            };
+            line.push_str(&format!("  {rate}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.config.sample_size = 3;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            hits += 1;
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+            hits += 1;
+        });
+        g.finish();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion::default();
+        c.config.filter = Some("nomatch".into());
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| 1);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,788 @@
+//! Vendored stub of `proptest`: a miniature property-testing framework.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for integer ranges, tuples, [`Just`], `any::<T>()`,
+//!   collections ([`collection::vec`], `btree_set`, `btree_map`,
+//!   `hash_map`) and a regex-subset string generator for `&str` patterns
+//!   like `"[a-z]{1,6}"` or `".{0,300}"`;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate: failing inputs are **not shrunk**
+//! (the failing case and seed are printed instead), and
+//! `proptest-regressions` files are ignored. Case counts and seeds are
+//! deterministic per test name; set `PROPTEST_SEED=<n>` to perturb them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.random()
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.random_range(lo..=hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random()
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase behind an `Arc` (cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Recursive strategies: `recurse` builds a branch strategy from a
+    /// strategy for subtrees; values nest at most `depth` levels. The
+    /// `desired_size`/`expected_branch_size` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(cur.clone()).boxed();
+            cur = Union { arms: vec![leaf.clone(), branch] }.boxed();
+        }
+        cur
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between several strategies (the engine of
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    /// The arms; one is chosen uniformly per generated value.
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from type-erased arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.arms.len() - 1);
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ----- primitive strategies -----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Anything `T` can be.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ----- tuples -----
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ----- regex-subset string strategies -----
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable ASCII character except newline.
+    Any,
+    /// `[...]` — an explicit set of characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct PatternPart {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the supported regex subset: atoms (`.`, `[class]`, literals) each
+/// optionally followed by `{n}` or `{min,max}`.
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        match chars.get(i) {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('r') => '\r',
+                            Some(&c) => c,
+                            None => panic!("dangling escape in pattern {pattern:?}"),
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // A `-` between two chars denotes a range.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        for r in c..=hi {
+                            set.push(r);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = match chars.get(i) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                };
+                i += 1;
+                Atom::Lit(c)
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("quantifier min"),
+                    b.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart { atom, min, max });
+    }
+    parts
+}
+
+const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7e;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            let n = rng.usize_inclusive(part.min, part.max);
+            for _ in 0..n {
+                match &part.atom {
+                    Atom::Any => {
+                        let lo = *PRINTABLE.start() as usize;
+                        let hi = *PRINTABLE.end() as usize;
+                        out.push(rng.usize_inclusive(lo, hi) as u8 as char);
+                    }
+                    Atom::Class(set) => {
+                        out.push(set[rng.usize_inclusive(0, set.len() - 1)]);
+                    }
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ----- collections -----
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet, HashMap};
+    use std::hash::Hash;
+
+    /// A size specification: a count or a half-open range of counts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_inclusive(self.min, self.max)
+        }
+    }
+
+    /// Strategy for `Vec<T>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A set of up to `size` elements (duplicates drawn from `element`
+    /// collapse, as in real proptest).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: a narrow element domain may not have
+            // `target` distinct values.
+            for _ in 0..target * 4 + 8 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A map of up to `size` entries.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target * 4 + 8 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `HashMap<K, V>`.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A map of up to `size` entries.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        HashMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = HashMap::new();
+            for _ in 0..target * 4 + 8 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+// ----- runner configuration -----
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-test seed (perturbed by `PROPTEST_SEED` if set).
+pub fn test_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.parse::<u64>() {
+            h = h.wrapping_add(n);
+        }
+    }
+    h
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ----- macros -----
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert within a property (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::test_seed(stringify!($name));
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::seed(seed.wrapping_add(case));
+                let ($($arg,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                // The closure returns Result so bodies may `return Ok(())`
+                // early, as with real proptest.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        $(let $arg = $arg.clone();)+
+                        $body
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(msg)) => {
+                        eprintln!(
+                            "proptest failure in `{}` (case {case}, seed {seed}); inputs:",
+                            stringify!($name)
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        panic!("{msg}");
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest failure in `{}` (case {case}, seed {seed}); inputs:",
+                            stringify!($name)
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::seed(1);
+        let s = (1u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=18).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_uses_all_arms() {
+        let mut rng = TestRng::seed(2);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::seed(3);
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let t = ".{0,300}".generate(&mut rng);
+            assert!(t.len() <= 300);
+            assert!(!t.contains('\n'));
+            let u = "[a-zA-Z0-9 .,\n]{0,30}".generate(&mut rng);
+            assert!(u.chars().all(|c| c.is_ascii_alphanumeric() || " .,\n".contains(c)));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::seed(4);
+        for _ in 0..50 {
+            let v = collection::vec(0u32..100, 3..7).generate(&mut rng);
+            assert!((3..=6).contains(&v.len()));
+            let s = collection::btree_set(0u32..4, 2..4).generate(&mut rng);
+            assert!(s.len() <= 3);
+            let m = collection::btree_map(0u32..100, any::<u8>(), 0..5).generate(&mut rng);
+            assert!(m.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            collection::vec(inner, 1..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::seed(5);
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..50, b in 0u32..50) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Vendored stub of `serde`.
+//!
+//! Nothing in this workspace serializes through serde (artifacts are TSV,
+//! NDJSON and hand-rolled binary formats), but many types carry
+//! `#[derive(Serialize, Deserialize)]` so that downstream users could.
+//! This stub keeps those derives compiling: the traits are empty markers
+//! and the derive macros emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

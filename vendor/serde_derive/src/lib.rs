@@ -1,0 +1,42 @@
+//! Vendored stub of `serde_derive`.
+//!
+//! The workspace's `serde` stub defines `Serialize`/`Deserialize` as
+//! marker traits with no required methods, so the derives only need to
+//! emit `impl serde::Serialize for T {}` — no field inspection. Types in
+//! this workspace that derive serde traits are all non-generic, which the
+//! parser below relies on (it takes the first identifier after
+//! `struct`/`enum`/`union`).
+
+use proc_macro::TokenStream;
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let proc_macro::TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn empty_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("serde derive: no type name found");
+    format!("impl {trait_path} for {name} {{}}").parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Deserialize", input)
+}
