@@ -1,0 +1,246 @@
+//! Ablation: what durability costs. The paper targets "7 days a week, 24
+//! hours a day continuous operation" (§1); the `invidx-durable` crate buys
+//! crash safety with a write-ahead log and periodic checkpoints. This
+//! ablation ingests the same document stream through (a) the plain
+//! [`DualIndex`] over file-backed devices (volatile: a crash loses
+//! everything) and (b) [`DurableIndex`] under different durability knobs,
+//! then reopens each durable store to price recovery itself.
+//!
+//! Knobs swept: WAL fsync-on-commit on/off, checkpoint cadence (never /
+//! every 8 records / every record). Expected: the WAL append is cheap, the
+//! fsync dominates the per-batch overhead, and eager checkpointing trades
+//! ingest time for near-zero replay at recovery.
+
+use invidx_bench::{emit_table, quick};
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_corpus::{CorpusGenerator, CorpusParams};
+use invidx_disk::{BlockDevice, Disk, DiskArray, FileDevice, FitStrategy, FreeList};
+use invidx_durable::{DurableIndex, DurableOptions, StoreGeometry};
+use invidx_obs::{counter_value, names};
+use invidx_sim::TextTable;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const DISKS: u16 = 4;
+const BLOCK_SIZE: usize = 1024;
+const DOCS_PER_BATCH: usize = 50;
+
+fn corpus() -> CorpusParams {
+    CorpusParams {
+        days: if quick() { 2 } else { 4 },
+        docs_per_weekday: if quick() { 100 } else { 500 },
+        vocab_ranks: 100_000,
+        interrupted_day: None,
+        ..CorpusParams::tiny()
+    }
+}
+
+fn config() -> IndexConfig {
+    IndexConfig {
+        num_buckets: 256,
+        bucket_capacity_units: 400,
+        block_postings: 25,
+        policy: Policy::balanced(),
+        materialize_buckets: true,
+    }
+}
+
+fn geometry() -> StoreGeometry {
+    StoreGeometry {
+        disks: DISKS,
+        blocks_per_disk: if quick() { 50_000 } else { 200_000 },
+        block_size: BLOCK_SIZE as u32,
+    }
+}
+
+fn tmpdir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("invidx-abl-durability-{}-{label}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Ingest the document stream into `index`, flushing every
+/// [`DOCS_PER_BATCH`] docs. Returns the number of flushes.
+fn ingest<T>(
+    docs: &[(u32, Vec<u64>)],
+    index: &mut T,
+    insert: impl Fn(&mut T, DocId, &[u64]),
+    flush: impl Fn(&mut T),
+) -> u64 {
+    let mut flushes = 0;
+    for (i, (id, words)) in docs.iter().enumerate() {
+        insert(index, DocId(*id), words);
+        if (i + 1) % DOCS_PER_BATCH == 0 {
+            flush(index);
+            flushes += 1;
+        }
+    }
+    if !docs.len().is_multiple_of(DOCS_PER_BATCH) {
+        flush(index);
+        flushes += 1;
+    }
+    flushes
+}
+
+struct Variant {
+    label: &'static str,
+    fsync_wal: bool,
+    checkpoint_every: u64,
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant { label: "wal fsync, ckpt never", fsync_wal: true, checkpoint_every: 0 },
+    Variant { label: "wal fsync, ckpt 8", fsync_wal: true, checkpoint_every: 8 },
+    Variant { label: "wal fsync, ckpt 1", fsync_wal: true, checkpoint_every: 1 },
+    Variant { label: "wal nosync, ckpt 8", fsync_wal: false, checkpoint_every: 8 },
+];
+
+fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+fn main() {
+    let docs: Vec<(u32, Vec<u64>)> = CorpusGenerator::new(corpus())
+        .flat_map(|day| day.docs.into_iter())
+        .map(|d| (d.id + 1, d.word_ranks))
+        .collect();
+    let total_postings: u64 = docs.iter().map(|(_, w)| w.len() as u64).sum();
+    invidx_obs::log_progress(
+        "ablation",
+        &format!("{} documents, {} postings", docs.len(), total_postings),
+    );
+
+    let mut rows = Vec::new();
+
+    // Baseline: the plain index over the same file-backed devices — fast,
+    // and gone after a crash.
+    {
+        let dir = tmpdir("plain");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let disks = (0..DISKS)
+            .map(|d| {
+                let device: Box<dyn BlockDevice> = Box::new(
+                    FileDevice::create(
+                        dir.join(format!("disk-{d}.dat")),
+                        geometry().blocks_per_disk,
+                        BLOCK_SIZE,
+                    )
+                    .expect("create device"),
+                );
+                Disk {
+                    device,
+                    alloc: Box::new(FreeList::new(
+                        geometry().blocks_per_disk,
+                        FitStrategy::FirstFit,
+                    )),
+                }
+            })
+            .collect();
+        let mut index = DualIndex::create(DiskArray::new(disks), config()).expect("create");
+        let t = Instant::now();
+        let flushes = ingest(
+            &docs,
+            &mut index,
+            |ix, doc, words| {
+                ix.insert_document(doc, words.iter().map(|&r| WordId(r))).expect("insert")
+            },
+            |ix| {
+                ix.flush_batch().expect("flush");
+            },
+        );
+        rows.push(vec![
+            "plain (volatile)".to_string(),
+            flushes.to_string(),
+            format!("{:.2}", t.elapsed().as_secs_f64()),
+            "0.00".into(),
+            "0".into(),
+            "0".into(),
+            "0.00".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        drop(index);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    for v in VARIANTS {
+        let dir = tmpdir(v.label.replace([' ', ','], "-").as_str());
+        let opts = DurableOptions {
+            checkpoint_every: v.checkpoint_every,
+            fsync_wal: v.fsync_wal,
+            ..Default::default()
+        };
+        let before = [
+            counter_value(names::WAL_BYTES),
+            counter_value(names::WAL_FSYNCS),
+            counter_value(names::CHECKPOINT_WRITES),
+            counter_value(names::CHECKPOINT_BYTES),
+        ];
+        let mut index =
+            DurableIndex::create(&dir, config(), geometry(), opts).expect("create durable");
+        let t = Instant::now();
+        let flushes = ingest(
+            &docs,
+            &mut index,
+            |ix, doc, words| {
+                ix.insert_document(doc, words.iter().map(|&r| WordId(r))).expect("insert")
+            },
+            |ix| {
+                ix.flush().expect("flush");
+            },
+        );
+        let ingest_secs = t.elapsed().as_secs_f64();
+        drop(index);
+        let after = [
+            counter_value(names::WAL_BYTES),
+            counter_value(names::WAL_FSYNCS),
+            counter_value(names::CHECKPOINT_WRITES),
+            counter_value(names::CHECKPOINT_BYTES),
+        ];
+
+        let t = Instant::now();
+        let reopened =
+            DurableIndex::open(&dir, config(), opts).expect("recover");
+        let recover_secs = t.elapsed().as_secs_f64();
+        let replayed = reopened.recovery().map_or(0, |r| r.replayed_records);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+
+        rows.push(vec![
+            v.label.to_string(),
+            flushes.to_string(),
+            format!("{ingest_secs:.2}"),
+            mb(after[0] - before[0]),
+            (after[1] - before[1]).to_string(),
+            (after[2] - before[2]).to_string(),
+            mb(after[3] - before[3]),
+            format!("{recover_secs:.2}"),
+            replayed.to_string(),
+        ]);
+    }
+
+    emit_table(&TextTable {
+        id: "ablation_durability".into(),
+        title: format!(
+            "Durability overhead: {} docs, {} postings, {} docs/batch",
+            docs.len(),
+            total_postings,
+            DOCS_PER_BATCH
+        ),
+        headers: vec![
+            "Variant".into(),
+            "Flushes".into(),
+            "Ingest s".into(),
+            "WAL MB".into(),
+            "fsyncs".into(),
+            "Ckpts".into(),
+            "Ckpt MB".into(),
+            "Recover s".into(),
+            "Replayed".into(),
+        ],
+        rows,
+    });
+}

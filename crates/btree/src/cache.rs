@@ -241,7 +241,7 @@ mod tests {
         let mut cache = PageCache::new(0);
         array.start_trace();
         cache.write(&mut array, PageId { disk: 0, block: 1 }, page(5, 64)).unwrap();
-        assert_eq!(array.trace().unwrap().ops.len(), 1);
+        assert_eq!(array.with_trace(|t| t.unwrap().ops.len()), 1);
         let got = cache.read(&mut array, PageId { disk: 0, block: 1 }).unwrap();
         assert_eq!(got[0], 5);
         assert_eq!(cache.hits(), 0);

@@ -533,7 +533,10 @@ mod tests {
         for k in 0..300u64 {
             t.insert(&mut array, k, b"x").unwrap();
         }
-        assert!(array.trace().unwrap().ops.is_empty(), "write-back cache defers I/O");
+        assert!(
+            array.with_trace(|t| t.unwrap().ops.is_empty()),
+            "write-back cache defers I/O"
+        );
         t.flush(&mut array).unwrap();
         let trace = array.take_trace();
         assert!(!trace.ops.is_empty());

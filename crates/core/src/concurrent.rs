@@ -8,11 +8,13 @@
 //! be searched simultaneously with the larger index"; queries here see the
 //! in-memory batch merged in (via [`crate::index::DualIndex::postings`]).
 //!
-//! Note: `DualIndex::postings` needs `&mut self` because reading a long
-//! list performs device reads through the shared array (and records trace
-//! operations). The lock therefore serializes *physical* reads, which
-//! models the paper's single I/O path per disk; higher read concurrency
-//! would require per-disk locking, which is out of scope.
+//! Queries genuinely run under the **read** lock: `DualIndex::postings`
+//! takes `&self` — device reads go through the array's shared-access
+//! interface, and the only mutation on the path (appending to the I/O
+//! trace) sits behind interior mutability (a `parking_lot::Mutex` on the
+//! trace sink). Concurrent readers therefore proceed in parallel,
+//! contending only on the short trace push, and serialize against writers
+//! solely at the reader-writer lock.
 
 use crate::index::{BatchReport, DualIndex, SweepReport};
 use crate::postings::PostingList;
@@ -46,9 +48,10 @@ impl SharedIndex {
     }
 
     /// Query a word's postings (in-memory batch included, deletions
-    /// filtered).
+    /// filtered). Runs under the read lock: concurrent queries do not
+    /// serialize on each other.
     pub fn postings(&self, word: WordId) -> Result<PostingList> {
-        self.inner.write().postings(word)
+        self.inner.read().postings(word)
     }
 
     /// Document frequency from metadata only — no device I/O, so this
@@ -138,5 +141,37 @@ mod tests {
         index.insert_document(DocId(1), [WordId(5)]).unwrap();
         assert_eq!(index.doc_frequency(WordId(5)), 1);
         index.with_read(|ix| assert_eq!(ix.batches(), 0));
+    }
+
+    #[test]
+    fn postings_run_under_the_read_lock() {
+        let index = shared();
+        for d in 1..=60u32 {
+            index.insert_document(DocId(d), (1..=10).map(WordId)).unwrap();
+        }
+        index.flush_batch().unwrap();
+        // Holding a read guard, a full postings query (device reads
+        // included) still completes — with the old write-lock read path
+        // this would deadlock.
+        index.with_read(|ix| {
+            assert_eq!(ix.postings(WordId(1)).unwrap().len(), 60);
+        });
+        // And two overlapping readers both holding read access at once.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let index = index.clone();
+                let barrier = barrier.clone();
+                thread::spawn(move || {
+                    index.with_read(|ix| {
+                        barrier.wait(); // both threads inside the read lock
+                        ix.postings(WordId(2)).unwrap().len()
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 60);
+        }
     }
 }

@@ -294,11 +294,42 @@ impl DualIndex {
         self.mem.add_list(word, list)
     }
 
-    /// Push the in-memory index to disk: the incremental batch update.
+    /// Push the in-memory index to disk: the incremental batch update. The
+    /// batch commits through the shadow-paged metadata flush (buckets +
+    /// directory + superblock).
     pub fn flush_batch(&mut self) -> Result<BatchReport> {
-        use invidx_obs::names;
         let _span = invidx_obs::span("flush_batch");
         let obs_before = invidx_obs::ObsDelta::capture();
+        let mut report = self.apply_updates()?;
+        // The superblock records *completed* batches, so count this one
+        // before the commit point.
+        self.batch_no += 1;
+        self.flush_metadata()?;
+        self.array.end_batch();
+        self.finish_report(&mut report, &obs_before);
+        Ok(report)
+    }
+
+    /// Apply the buffered batch to the stores WITHOUT the shadow-paged
+    /// metadata flush — the durable (WAL) mode, where the write-ahead log is
+    /// the commit point and bucket/directory state persists only at
+    /// checkpoints. Released long-list chunks are freed immediately; callers
+    /// must run the array with freed-extent quarantine
+    /// ([`DiskArray::defer_frees`]) so that WAL replay can still read chunks
+    /// referenced by the last checkpoint.
+    pub fn apply_batch(&mut self) -> Result<BatchReport> {
+        let _span = invidx_obs::span("apply_batch");
+        let obs_before = invidx_obs::ObsDelta::capture();
+        let mut report = self.apply_updates()?;
+        self.batch_no += 1;
+        self.longs.free_released(&mut self.array)?;
+        self.array.end_batch();
+        self.finish_report(&mut report, &obs_before);
+        Ok(report)
+    }
+
+    fn apply_updates(&mut self) -> Result<BatchReport> {
+        use invidx_obs::names;
         let overflow_counter = invidx_obs::counter!(names::CORE_BUCKET_OVERFLOWS);
         let migration_counter = invidx_obs::counter!(names::CORE_MIGRATIONS);
         let drained = self.mem.drain();
@@ -346,12 +377,11 @@ impl DualIndex {
                 }
             }
         }
-        // The superblock records *completed* batches, so count this one
-        // before the commit point.
-        self.batch_no += 1;
-        self.flush_metadata()?;
-        self.array.end_batch();
+        Ok(report)
+    }
 
+    fn finish_report(&self, report: &mut BatchReport, obs_before: &invidx_obs::ObsDelta) {
+        use invidx_obs::names;
         let dir = self.longs.directory();
         report.long_stats = self.longs.stats();
         report.long_words_total = dir.num_words() as u64;
@@ -361,7 +391,7 @@ impl DualIndex {
         report.utilization = dir.utilization(self.config.block_postings);
         report.avg_reads_per_long_list = dir.avg_reads_per_long_list();
         report.bucket_units = self.buckets.total_units();
-        report.obs = invidx_obs::ObsDelta::capture().since(&obs_before);
+        report.obs = invidx_obs::ObsDelta::capture().since(obs_before);
         invidx_obs::counter!(names::CORE_FLUSH_BATCHES).inc();
         invidx_obs::event!("flush_batch", {
             "batch": report.batch,
@@ -373,7 +403,23 @@ impl DualIndex {
             "chunk_relocations": report.obs.chunk_relocations,
             "utilization": report.utilization,
         });
-        Ok(report)
+    }
+
+    /// Drain the long-store RELEASE list into free space. In durable (WAL)
+    /// mode there is no shadow-paged flush to do it, so wrappers call this
+    /// after sweep/rebalance operations.
+    pub fn free_released(&mut self) -> Result<()> {
+        self.longs.free_released(&mut self.array)
+    }
+
+    /// Advance the batch counter without a flush. The durable (WAL) layer
+    /// calls this after maintenance operations (sweep, compaction,
+    /// rebalance) so that every WAL record carries a unique, monotonically
+    /// increasing batch number — the property replay uses to skip records a
+    /// checkpoint already covers.
+    pub fn bump_batch(&mut self) {
+        self.batch_no += 1;
+        self.array.end_batch();
     }
 
     /// Shadow-write buckets and directory, commit via the superblock, then
@@ -492,9 +538,13 @@ impl DualIndex {
     /// The full posting list for a word: stored postings (long list or
     /// bucket — "a word w never has both"), merged with the unflushed
     /// in-memory postings, filtered through the deleted-document list.
-    pub fn postings(&mut self, word: WordId) -> Result<PostingList> {
+    ///
+    /// `&self`: long-list reads and trace recording both go through shared
+    /// interfaces, so concurrent queries (e.g. via
+    /// [`crate::SharedIndex`]'s read lock) never serialize on the index.
+    pub fn postings(&self, word: WordId) -> Result<PostingList> {
         let mut list = if self.longs.contains(word) {
-            self.longs.read_list(&mut self.array, word)?
+            self.longs.read_list(&self.array, word)?
         } else {
             self.buckets.get(word).cloned().unwrap_or_default()
         };
@@ -533,6 +583,11 @@ impl DualIndex {
         self.deleted.len()
     }
 
+    /// The deletion filter's contents (checkpoint serialization support).
+    pub fn deleted_docs(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.deleted.iter().copied()
+    }
+
     /// The background sweep: "sweeps the lists in the index one list at a
     /// time, removing any deleted documents. After a sweep of the index,
     /// the list of deleted document identifiers can be thrown away."
@@ -547,7 +602,7 @@ impl DualIndex {
 
         // Long lists: read, filter, rewrite compacted.
         for word in self.longs.directory().words() {
-            let list = self.longs.read_list(&mut self.array, word)?;
+            let list = self.longs.read_list(&self.array, word)?;
             let mut kept = list.clone();
             kept.retain(|d| !deleted.contains(&d));
             if kept.len() == list.len() {
@@ -604,6 +659,36 @@ impl DualIndex {
     /// update-leaning policies. Requires a batch boundary; committed
     /// through the shadow-paged metadata flush like any batch.
     pub fn compact(&mut self) -> Result<CompactReport> {
+        let blocks_before = self.array.total_blocks() - self.array.free_blocks();
+        let mut report = self.compact_core()?;
+        self.flush_metadata()?;
+        let blocks_after = self.array.total_blocks() - self.array.free_blocks();
+        report.blocks_freed = blocks_before.saturating_sub(blocks_after);
+        invidx_obs::event!("compact", {
+            "lists_rewritten": report.lists_rewritten,
+            "chunks_before": report.chunks_before,
+            "chunks_after": report.chunks_after,
+            "blocks_freed": report.blocks_freed,
+        });
+        Ok(report)
+    }
+
+    /// Compaction for durable (WAL) mode: same long-list rewrites, but no
+    /// shadow-paged metadata flush — the caller logs the operation in the
+    /// WAL and persists state at the next checkpoint. Released chunks are
+    /// freed immediately (into the quarantine under
+    /// [`DiskArray::defer_frees`]), so `blocks_freed` reflects only what the
+    /// allocator saw back.
+    pub fn compact_lists(&mut self) -> Result<CompactReport> {
+        let blocks_before = self.array.total_blocks() - self.array.free_blocks();
+        let mut report = self.compact_core()?;
+        self.longs.free_released(&mut self.array)?;
+        let blocks_after = self.array.total_blocks() - self.array.free_blocks();
+        report.blocks_freed = blocks_before.saturating_sub(blocks_after);
+        Ok(report)
+    }
+
+    fn compact_core(&mut self) -> Result<CompactReport> {
         if !self.mem.is_empty() {
             return Err(IndexError::InvalidConfig(
                 "compaction requires a batch boundary (flush first)".into(),
@@ -611,8 +696,6 @@ impl DualIndex {
         }
         let _span = invidx_obs::span("compact");
         invidx_obs::counter!(invidx_obs::names::CORE_COMPACTIONS).inc();
-        let blocks_before =
-            self.array.total_blocks() - self.array.free_blocks();
         let mut report = CompactReport {
             lists_rewritten: 0,
             chunks_before: self.longs.directory().total_chunks(),
@@ -626,15 +709,6 @@ impl DualIndex {
             }
         }
         report.chunks_after = self.longs.directory().total_chunks();
-        self.flush_metadata()?;
-        let blocks_after = self.array.total_blocks() - self.array.free_blocks();
-        report.blocks_freed = blocks_before.saturating_sub(blocks_after);
-        invidx_obs::event!("compact", {
-            "lists_rewritten": report.lists_rewritten,
-            "chunks_before": report.chunks_before,
-            "chunks_after": report.chunks_after,
-            "blocks_freed": report.blocks_freed,
-        });
         Ok(report)
     }
 
@@ -653,6 +727,27 @@ impl DualIndex {
     /// at a batch boundary (no buffered documents); the new layout is
     /// committed through the same shadow-paged metadata flush as a batch.
     pub fn rebalance_buckets(
+        &mut self,
+        num_buckets: usize,
+        capacity_units: u64,
+    ) -> Result<RebalanceReport> {
+        let report = self.rebalance_core(num_buckets, capacity_units)?;
+        // Commit the new generation (buckets + directory + superblock).
+        self.flush_metadata()?;
+        invidx_obs::event!("rebalance_buckets", {
+            "old_buckets": report.old_buckets,
+            "new_buckets": report.new_buckets,
+            "moved_words": report.moved_words,
+            "evictions": report.evictions,
+        });
+        Ok(report)
+    }
+
+    /// Rebalance for durable (WAL) mode: rehash without the shadow-paged
+    /// flush. The caller logs the operation and persists state at the next
+    /// checkpoint; released chunks stay on the RELEASE list until the
+    /// caller's [`Self::free_released`].
+    pub fn rebalance_core(
         &mut self,
         num_buckets: usize,
         capacity_units: u64,
@@ -695,14 +790,6 @@ impl DualIndex {
                 report.evictions += 1;
             }
         }
-        // Commit the new generation (buckets + directory + superblock).
-        self.flush_metadata()?;
-        invidx_obs::event!("rebalance_buckets", {
-            "old_buckets": report.old_buckets,
-            "new_buckets": report.new_buckets,
-            "moved_words": report.moved_words,
-            "evictions": report.evictions,
-        });
         Ok(report)
     }
 
@@ -874,6 +961,206 @@ impl DualIndex {
             bucket_extents,
             dir_extent,
         })
+    }
+
+    // ----- checkpoint serialization (durable mode) -----
+
+    /// Capture the full logical state of the index (minus unflushed
+    /// in-memory postings, which the WAL owns) for a checkpoint file.
+    pub fn snapshot(&self) -> Result<IndexSnapshot> {
+        let worst = 4 + self.config.bucket_capacity_units as usize * 12;
+        let mut buckets = Vec::with_capacity(self.config.num_buckets);
+        for i in 0..self.config.num_buckets {
+            buckets.push(self.buckets.serialize_bucket(i, worst)?);
+        }
+        Ok(IndexSnapshot {
+            batch_no: self.batch_no,
+            doc_ceiling: self.mem.last_doc().map_or(0u64, |d| d.0 as u64 + 1),
+            num_buckets: self.config.num_buckets as u64,
+            bucket_capacity_units: self.config.bucket_capacity_units,
+            block_postings: self.config.block_postings,
+            deleted: self.deleted.iter().map(|d| d.0).collect(),
+            directory: self.longs.directory().serialize(),
+            buckets,
+        })
+    }
+
+    /// Rebuild an index from a checkpoint snapshot. Like [`Self::open`],
+    /// the array must expose the same devices with fresh, fully-free
+    /// allocators; every long-list chunk named by the snapshot's directory
+    /// (plus the block-0 home) is re-reserved, which makes subsequent WAL
+    /// replay allocate exactly as the original run did.
+    pub fn restore(mut array: DiskArray, config: IndexConfig, snap: &IndexSnapshot) -> Result<Self> {
+        let bs = array.block_size();
+        if snap.block_postings != config.block_postings {
+            return Err(IndexError::InvalidConfig(format!(
+                "checkpoint uses {} postings/block, caller expected {}",
+                snap.block_postings, config.block_postings
+            )));
+        }
+        let config = IndexConfig {
+            num_buckets: snap.num_buckets as usize,
+            bucket_capacity_units: snap.bucket_capacity_units,
+            ..config
+        };
+        config.validate(bs)?;
+        reserve_on(&mut array, 0, 0, 1)?;
+        let directory = Directory::deserialize(&snap.directory)?;
+        for (_, entry) in directory.iter() {
+            for c in &entry.chunks {
+                reserve_on(&mut array, c.disk, c.start, c.blocks)?;
+            }
+        }
+        let longs = LongStore::from_directory(
+            directory,
+            LongConfig { block_postings: config.block_postings, policy: config.policy },
+        );
+        let mut buckets = BucketStore::new(config.num_buckets, config.bucket_capacity_units)?;
+        if snap.buckets.len() != config.num_buckets {
+            return Err(IndexError::Corruption(format!(
+                "checkpoint has {} buckets, geometry says {}",
+                snap.buckets.len(),
+                config.num_buckets
+            )));
+        }
+        for (i, bytes) in snap.buckets.iter().enumerate() {
+            buckets.load_bucket(i, bytes)?;
+        }
+        let mut mem = MemIndex::new();
+        if snap.doc_ceiling > 0 {
+            mem.set_floor(DocId((snap.doc_ceiling - 1) as u32));
+        }
+        Ok(Self {
+            config,
+            array,
+            mem,
+            buckets,
+            longs,
+            deleted: snap.deleted.iter().map(|&d| DocId(d)).collect(),
+            batch_no: snap.batch_no,
+            // Durable mode has no shadow-paged metadata generation on the
+            // devices; these stay empty until a legacy flush_batch runs.
+            bucket_extents: Vec::new(),
+            dir_extent: None,
+        })
+    }
+}
+
+/// The full logical state of a [`DualIndex`] at a batch boundary, as
+/// captured into (and restored from) a checkpoint file by the durable
+/// layer. Byte encoding is delegated to [`IndexSnapshot::serialize`] /
+/// [`IndexSnapshot::deserialize`] so the checkpoint format lives in one
+/// place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSnapshot {
+    /// Completed batches at snapshot time.
+    pub batch_no: u64,
+    /// Document-ordering ceiling (0 = no documents yet).
+    pub doc_ceiling: u64,
+    /// Bucket count (geometry is owned by the stored index).
+    pub num_buckets: u64,
+    /// Bucket capacity in units.
+    pub bucket_capacity_units: u64,
+    /// Postings per block.
+    pub block_postings: u64,
+    /// Pending logical deletions.
+    pub deleted: Vec<u32>,
+    /// Serialized long-list directory.
+    pub directory: Vec<u8>,
+    /// Serialized buckets, in index order.
+    pub buckets: Vec<Vec<u8>>,
+}
+
+impl IndexSnapshot {
+    /// Encode to bytes (length-prefixed sections, little-endian).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + self.deleted.len() * 4
+                + self.directory.len()
+                + self.buckets.iter().map(|b| 4 + b.len()).sum::<usize>(),
+        );
+        out.extend_from_slice(&self.batch_no.to_le_bytes());
+        out.extend_from_slice(&self.doc_ceiling.to_le_bytes());
+        out.extend_from_slice(&self.num_buckets.to_le_bytes());
+        out.extend_from_slice(&self.bucket_capacity_units.to_le_bytes());
+        out.extend_from_slice(&self.block_postings.to_le_bytes());
+        out.extend_from_slice(&(self.deleted.len() as u32).to_le_bytes());
+        for d in &self.deleted {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.directory.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.directory);
+        out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        for b in &self.buckets {
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Decode from bytes produced by [`Self::serialize`].
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let mut cur = SnapCursor { bytes, pos: 0 };
+        let batch_no = cur.u64le()?;
+        let doc_ceiling = cur.u64le()?;
+        let num_buckets = cur.u64le()?;
+        let bucket_capacity_units = cur.u64le()?;
+        let block_postings = cur.u64le()?;
+        let ndel = cur.u32le()? as usize;
+        let mut deleted = Vec::with_capacity(ndel.min(1 << 20));
+        for _ in 0..ndel {
+            deleted.push(cur.u32le()?);
+        }
+        let dirlen = cur.u64le()? as usize;
+        let directory = cur.take(dirlen)?.to_vec();
+        let nbuckets = cur.u32le()? as usize;
+        if nbuckets as u64 != num_buckets {
+            return Err(IndexError::Corruption(format!(
+                "snapshot bucket payload count {nbuckets} != geometry {num_buckets}"
+            )));
+        }
+        let mut buckets = Vec::with_capacity(nbuckets.min(1 << 20));
+        for _ in 0..nbuckets {
+            let len = cur.u32le()? as usize;
+            buckets.push(cur.take(len)?.to_vec());
+        }
+        if cur.pos != bytes.len() {
+            return Err(IndexError::Corruption("trailing bytes after index snapshot".into()));
+        }
+        Ok(Self {
+            batch_no,
+            doc_ceiling,
+            num_buckets,
+            bucket_capacity_units,
+            block_postings,
+            deleted,
+            directory,
+            buckets,
+        })
+    }
+}
+
+struct SnapCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(IndexError::Corruption("truncated index snapshot".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32le(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64le(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 }
 
@@ -1158,7 +1445,7 @@ mod tests {
         }
         // The new geometry survives recovery (superblock is authoritative).
         let array = file_array(&dir, 2, 20_000, 256, false);
-        let mut ix = DualIndex::open(array, config).unwrap();
+        let ix = DualIndex::open(array, config).unwrap();
         assert_eq!(ix.config().num_buckets, 64);
         assert_eq!(ix.config().bucket_capacity_units, 80);
         assert_eq!(ix.postings(WordId(1)).unwrap().len(), 199);

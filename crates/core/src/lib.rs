@@ -55,7 +55,10 @@ pub mod types;
 
 pub use bucket::{Bucket, BucketStore, InsertOutcome};
 pub use directory::{ChunkRef, Directory, LongEntry};
-pub use index::{BatchReport, CompactReport, DualIndex, IndexConfig, RebalanceReport, SweepReport, WordLocation};
+pub use index::{
+    BatchReport, CompactReport, DualIndex, IndexConfig, IndexSnapshot, RebalanceReport,
+    SweepReport, WordLocation,
+};
 pub use longlist::{LongConfig, LongStats, LongStore};
 pub use memindex::MemIndex;
 pub use policy::{Alloc, Limit, Policy, Style};

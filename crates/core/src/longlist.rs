@@ -88,22 +88,37 @@ impl LongStats {
 }
 
 /// The long-list half of the dual-structure index.
+///
+/// The read-op counter is atomic so that [`LongStore::read_list`] — the
+/// query path — needs only `&self` and concurrent readers never serialize
+/// on the store.
 #[derive(Debug)]
 pub struct LongStore {
     directory: Directory,
     config: LongConfig,
     stats: LongStats,
+    read_ops: std::sync::atomic::AtomicU64,
 }
 
 impl LongStore {
     /// Create an empty store.
     pub fn new(config: LongConfig) -> Self {
-        Self { directory: Directory::new(), config, stats: LongStats::default() }
+        Self {
+            directory: Directory::new(),
+            config,
+            stats: LongStats::default(),
+            read_ops: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Rebuild from a recovered directory.
     pub fn from_directory(directory: Directory, config: LongConfig) -> Self {
-        Self { directory, config, stats: LongStats::default() }
+        Self {
+            directory,
+            config,
+            stats: LongStats::default(),
+            read_ops: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The configuration.
@@ -123,7 +138,9 @@ impl LongStore {
 
     /// Lifetime counters.
     pub fn stats(&self) -> LongStats {
-        self.stats
+        let mut s = self.stats;
+        s.read_ops = self.read_ops.load(std::sync::atomic::Ordering::Relaxed);
+        s
     }
 
     /// Does `word` have a long list?
@@ -204,7 +221,7 @@ impl LongStore {
                 payload: Payload::LongList { word: word.0, postings: 0 },
             };
             array.read_op(op, &mut buf[..bs])?;
-            self.stats.read_ops += 1;
+            self.read_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             // Opportunistic ordering check against the last stored posting.
             let existing = fixed::decode(&buf, partial as usize)?;
             if let (Some(&last), Some(&first)) = (existing.last(), postings.docs().first()) {
@@ -361,11 +378,15 @@ impl LongStore {
 
     /// Read a word's complete long list: one read operation per chunk
     /// (covering its data blocks), concatenated in chunk order.
-    pub fn read_list(&mut self, array: &mut DiskArray, word: WordId) -> Result<PostingList> {
+    ///
+    /// `&self`: this is the query path; reads go through
+    /// [`DiskArray::read_op`]'s shared-access interface and the op counter
+    /// is atomic, so concurrent readers proceed without exclusive locks.
+    pub fn read_list(&self, array: &DiskArray, word: WordId) -> Result<PostingList> {
         let bp = self.config.block_postings;
         let bs = array.block_size();
-        let chunks: Vec<ChunkRef> = match self.directory.get(word) {
-            Some(e) => e.chunks.clone(),
+        let chunks: &[ChunkRef] = match self.directory.get(word) {
+            Some(e) => &e.chunks,
             None => return Ok(PostingList::new()),
         };
         let mut docs: Vec<DocId> = Vec::new();
@@ -383,7 +404,7 @@ impl LongStore {
                 payload: Payload::LongList { word: word.0, postings: c.postings },
             };
             array.read_op(op, &mut buf)?;
-            self.stats.read_ops += 1;
+            self.read_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             invidx_obs::counter!(invidx_obs::names::LONG_READ_OPS).inc();
             let mut remaining = c.postings as usize;
             for block in buf.chunks(bs) {
@@ -482,7 +503,7 @@ mod tests {
             s.append(&mut a, w, &pl(7..45)).unwrap();
             s.append(&mut a, w, &pl(45..48)).unwrap();
             s.append(&mut a, w, &pl(48..120)).unwrap();
-            let got = s.read_list(&mut a, w).unwrap();
+            let got = s.read_list(&a, w).unwrap();
             assert_eq!(got, pl(0..120), "policy {policy}");
         }
     }
@@ -498,7 +519,7 @@ mod tests {
                 s.append(&mut a, WordId(w), &pl(100..(130 + w as u32))).unwrap();
             }
             for w in 0..20u64 {
-                let got = s.read_list(&mut a, WordId(w)).unwrap();
+                let got = s.read_list(&a, WordId(w)).unwrap();
                 assert_eq!(got.len(), (5 + w as usize) + (30 + w as usize), "policy {policy}");
             }
         }
@@ -555,7 +576,7 @@ mod tests {
         let entry = s.directory().get(w).unwrap();
         assert_eq!(entry.num_chunks(), 1);
         assert_eq!(s.stats().in_place_updates, 1);
-        assert_eq!(s.read_list(&mut a, w).unwrap(), pl(0..10));
+        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..10));
     }
 
     #[test]
@@ -571,7 +592,7 @@ mod tests {
         assert_eq!(entry.chunks[0].postings, 7);
         assert_eq!(entry.chunks[1].postings, 4);
         assert_eq!(s.stats().in_place_updates, 0);
-        assert_eq!(s.read_list(&mut a, w).unwrap(), pl(0..11));
+        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..11));
     }
 
     #[test]
@@ -586,7 +607,7 @@ mod tests {
         assert_eq!(s.directory().get(w).unwrap().num_chunks(), 1);
         assert_eq!(s.stats().in_place_updates, 1);
         assert_eq!(s.stats().in_place_fraction(), 1.0);
-        assert_eq!(s.read_list(&mut a, w).unwrap(), pl(0..20));
+        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..20));
     }
 
     #[test]
@@ -658,8 +679,8 @@ mod tests {
 
     #[test]
     fn read_absent_word_is_empty() {
-        let (mut s, mut a) = store(Policy::balanced());
-        assert!(s.read_list(&mut a, WordId(404)).unwrap().is_empty());
+        let (s, a) = store(Policy::balanced());
+        assert!(s.read_list(&a, WordId(404)).unwrap().is_empty());
     }
 
     #[test]

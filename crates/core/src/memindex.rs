@@ -113,6 +113,12 @@ impl MemIndex {
         self.documents = 0;
         std::mem::take(&mut self.lists).into_iter().collect()
     }
+
+    /// Iterate the buffered lists (word order) without draining — the
+    /// write-ahead log records a batch's pairs before they are applied.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &PostingList)> {
+        self.lists.iter().map(|(&w, l)| (w, l))
+    }
 }
 
 #[cfg(test)]

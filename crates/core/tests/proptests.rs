@@ -115,6 +115,56 @@ proptest! {
         }
         prop_assert_eq!(store.total_postings() + evicted_postings, inserted);
     }
+
+    /// Checkpoint-path serialization: a bucket round-trips through
+    /// `serialize_bucket`/`load_bucket` at EXACTLY its serialized size (the
+    /// tightest block region that can hold it), survives padding up to the
+    /// worst-case region, and is rejected one byte short of fitting.
+    #[test]
+    fn bucket_serialization_at_exact_region_boundary(
+        inserts in prop::collection::vec((1u64..40, 1u32..30), 0..40),
+        capacity in 8u64..80,
+    ) {
+        let mut store = BucketStore::new(1, capacity).expect("store");
+        let mut next: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut long: BTreeSet<u64> = BTreeSet::new();
+        for (word, count) in inserts {
+            if long.contains(&word) {
+                continue;
+            }
+            let c = next.entry(word).or_insert(0);
+            let docs: Vec<DocId> = (*c..*c + count).map(DocId).collect();
+            *c += count;
+            let out = store.insert(WordId(word), &PostingList::from_sorted(docs)).expect("insert");
+            for (w, _) in out.evicted {
+                long.insert(w.0);
+            }
+        }
+        // Exact size: 4-byte count + 12 bytes per word + 4 per posting.
+        let exact = 4
+            + store.bucket(0).iter().map(|(_, l)| 12 + 4 * l.len()).sum::<usize>();
+        let tight = store.serialize_bucket(0, exact).expect("fits exactly");
+        prop_assert_eq!(tight.len(), exact);
+        let mut restored = BucketStore::new(1, capacity).expect("store");
+        restored.load_bucket(0, &tight).expect("load");
+        let got: Vec<_> = restored.bucket(0).iter().map(|(w, l)| (w, l.clone())).collect();
+        let want: Vec<_> = store.bucket(0).iter().map(|(w, l)| (w, l.clone())).collect();
+        prop_assert_eq!(got, want);
+        // One byte short must be refused, never truncated.
+        if exact > 4 {
+            prop_assert!(store.serialize_bucket(0, exact - 1).is_err());
+        }
+        // Padding to the worst-case region (what checkpoints actually use)
+        // round-trips identically.
+        let worst = store.worst_case_bucket_bytes().max(exact);
+        let padded = store.serialize_bucket(0, worst).expect("fits padded");
+        prop_assert_eq!(padded.len(), worst);
+        let mut restored2 = BucketStore::new(1, capacity).expect("store");
+        restored2.load_bucket(0, &padded).expect("load padded");
+        let got2: Vec<_> = restored2.bucket(0).iter().map(|(w, l)| (w, l.clone())).collect();
+        let want2: Vec<_> = store.bucket(0).iter().map(|(w, l)| (w, l.clone())).collect();
+        prop_assert_eq!(got2, want2);
+    }
 }
 
 // ----- long store: Figure 2 under arbitrary policies -----
@@ -143,7 +193,7 @@ proptest! {
             store.free_released(&mut array).expect("release");
         }
         for (&word, docs) in &model {
-            let got = store.read_list(&mut array, WordId(word)).expect("read");
+            let got = store.read_list(&array, WordId(word)).expect("read");
             prop_assert_eq!(got.docs(), docs.as_slice());
             // Whole style: exactly one chunk per word, always.
             if matches!(policy.style, Style::Whole) {

@@ -12,6 +12,7 @@ use crate::block::BlockDevice;
 use crate::error::{DiskError, Result};
 use crate::freelist::ExtentAllocator;
 use crate::trace::{IoOp, IoTrace};
+use parking_lot::Mutex;
 
 /// One disk: a block device plus its free-space allocator.
 pub struct Disk {
@@ -22,11 +23,20 @@ pub struct Disk {
 }
 
 /// A set of disks with a shared round-robin placement cursor.
+///
+/// The trace sink lives behind a mutex so that *read* operations only need
+/// `&self`: queries through [`crate::BlockDevice::read`] are naturally
+/// shareable, and the trace append is the only mutation on that path.
+/// Concurrent readers (e.g. `invidx_core`'s `SharedIndex`) therefore run
+/// under a shared lock, contending only on the short trace push.
 pub struct DiskArray {
     disks: Vec<Disk>,
     cursor: usize,
-    trace: Option<IoTrace>,
+    trace: Mutex<Option<IoTrace>>,
     block_size: usize,
+    /// When set, freed extents are quarantined here instead of returning to
+    /// the allocators — crash-recovery epochs (see [`Self::defer_frees`]).
+    deferred: Option<Vec<(u16, u64, u64)>>,
 }
 
 impl DiskArray {
@@ -41,7 +51,7 @@ impl DiskArray {
             disks.iter().all(|d| d.device.block_size() == block_size),
             "all devices must share one block size"
         );
-        Self { disks, cursor: 0, trace: None, block_size }
+        Self { disks, cursor: 0, trace: Mutex::new(None), block_size, deferred: None }
     }
 
     /// Number of disks.
@@ -67,27 +77,28 @@ impl DiskArray {
     }
 
     /// Begin recording operations into a fresh trace.
-    pub fn start_trace(&mut self) {
-        self.trace = Some(IoTrace::new());
+    pub fn start_trace(&self) {
+        *self.trace.lock() = Some(IoTrace::new());
     }
 
     /// Mark the end of a batch in the recorded trace (no-op when not
     /// tracing).
-    pub fn end_batch(&mut self) {
-        if let Some(t) = &mut self.trace {
+    pub fn end_batch(&self) {
+        if let Some(t) = self.trace.lock().as_mut() {
             t.end_batch();
         }
     }
 
     /// Stop recording and return the trace (empty if tracing never
     /// started).
-    pub fn take_trace(&mut self) -> IoTrace {
-        self.trace.take().unwrap_or_default()
+    pub fn take_trace(&self) -> IoTrace {
+        self.trace.lock().take().unwrap_or_default()
     }
 
-    /// Borrow the trace recorded so far.
-    pub fn trace(&self) -> Option<&IoTrace> {
-        self.trace.as_ref()
+    /// Inspect the trace recorded so far under the sink lock. The closure
+    /// receives `None` when tracing is not active.
+    pub fn with_trace<R>(&self, f: impl FnOnce(Option<&IoTrace>) -> R) -> R {
+        f(self.trace.lock().as_ref())
     }
 
     fn disk_mut(&mut self, disk: u16) -> Result<&mut Disk> {
@@ -99,14 +110,69 @@ impl DiskArray {
         })
     }
 
+    fn disk_ref(&self, disk: u16) -> Result<&Disk> {
+        let n = self.disks.len() as u64;
+        self.disks.get(disk as usize).ok_or(DiskError::OutOfRange {
+            start: disk as u64,
+            nblocks: 0,
+            device: n,
+        })
+    }
+
     /// Allocate `blocks` contiguous blocks on a specific disk.
     pub fn alloc_on(&mut self, disk: u16, blocks: u64) -> Result<u64> {
         self.disk_mut(disk)?.alloc.alloc(blocks)
     }
 
-    /// Free an extent on a disk.
+    /// Free an extent on a disk. With [`Self::defer_frees`] active the
+    /// extent is quarantined instead and only returns to the allocator at
+    /// [`Self::release_deferred`] — blocks referenced by a prior checkpoint
+    /// stay readable until the next checkpoint commits.
     pub fn free_on(&mut self, disk: u16, start: u64, blocks: u64) -> Result<()> {
+        self.disk_ref(disk)?; // validate the disk index even when deferring
+        if let Some(pending) = &mut self.deferred {
+            pending.push((disk, start, blocks));
+            return Ok(());
+        }
         self.disk_mut(disk)?.alloc.free(start, blocks)
+    }
+
+    /// Switch freed-extent quarantine on or off. Turning it off does NOT
+    /// release already-quarantined extents; call [`Self::release_deferred`]
+    /// first.
+    pub fn defer_frees(&mut self, on: bool) {
+        match (on, &self.deferred) {
+            (true, None) => self.deferred = Some(Vec::new()),
+            (false, Some(p)) => {
+                assert!(p.is_empty(), "release_deferred before disabling quarantine");
+                self.deferred = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total quarantined blocks per disk (indexed by disk id).
+    pub fn deferred_blocks_per_disk(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.disks.len()];
+        if let Some(pending) = &self.deferred {
+            for &(d, _, blocks) in pending {
+                v[d as usize] += blocks;
+            }
+        }
+        v
+    }
+
+    /// Return all quarantined extents to their allocators (after a
+    /// checkpoint commits, nothing can replay reads against them).
+    pub fn release_deferred(&mut self) -> Result<()> {
+        let pending = match &mut self.deferred {
+            Some(p) => std::mem::take(p),
+            None => return Ok(()),
+        };
+        for (disk, start, blocks) in pending {
+            self.disk_mut(disk)?.alloc.free(start, blocks)?;
+        }
+        Ok(())
     }
 
     /// Reserve a specific extent on a disk (crash-recovery support; see
@@ -118,8 +184,8 @@ impl DiskArray {
     /// Append an operation to the trace without performing device I/O —
     /// for callers that deliberately skip materializing bytes but must
     /// keep the trace faithful. No-op when not tracing.
-    pub fn trace_push(&mut self, op: IoOp) {
-        if let Some(t) = &mut self.trace {
+    pub fn trace_push(&self, op: IoOp) {
+        if let Some(t) = self.trace.lock().as_mut() {
             t.push(op);
         }
     }
@@ -129,27 +195,27 @@ impl DiskArray {
     pub fn write_op(&mut self, op: IoOp, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len() as u64, op.blocks * self.block_size as u64);
         self.disk_mut(op.disk)?.device.write(op.start, data)?;
-        if let Some(t) = &mut self.trace {
-            t.push(op);
-        }
+        self.trace_push(op);
         Ok(())
     }
 
     /// Perform (and record) a read described by `op`. `buf` must be exactly
     /// `op.blocks * block_size` bytes.
-    pub fn read_op(&mut self, op: IoOp, buf: &mut [u8]) -> Result<()> {
+    ///
+    /// Takes `&self`: device reads are shareable and the trace append goes
+    /// through the sink mutex, so concurrent queries need no exclusive
+    /// access to the array.
+    pub fn read_op(&self, op: IoOp, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len() as u64, op.blocks * self.block_size as u64);
-        self.disk_mut(op.disk)?.device.read(op.start, buf)?;
-        if let Some(t) = &mut self.trace {
-            t.push(op);
-        }
+        self.disk_ref(op.disk)?.device.read(op.start, buf)?;
+        self.trace_push(op);
         Ok(())
     }
 
     /// Read without recording a trace operation (used for recovery-time
     /// loads that are not part of the measured update sequence).
-    pub fn read_untraced(&mut self, disk: u16, start: u64, buf: &mut [u8]) -> Result<()> {
-        self.disk_mut(disk)?.device.read(start, buf)
+    pub fn read_untraced(&self, disk: u16, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.disk_ref(disk)?.device.read(start, buf)
     }
 
     /// Write without recording a trace operation.

@@ -40,6 +40,10 @@ pub enum Payload {
         /// Postings carried by the operation.
         postings: u64,
     },
+    /// Write-ahead-log bytes (durable store commit path).
+    Wal,
+    /// Checkpoint snapshot bytes (durable store checkpoint path).
+    Checkpoint,
 }
 
 /// One I/O system call.
@@ -86,6 +90,16 @@ impl fmt::Display for IoOp {
             Payload::LongList { word, postings } => write!(
                 f,
                 "{verb} word {word} posting {postings} disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+            Payload::Wal => write!(
+                f,
+                "{verb} wal disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+            Payload::Checkpoint => write!(
+                f,
+                "{verb} checkpoint disk {} id {} size {}",
                 self.disk, self.start, self.blocks
             ),
         }
@@ -216,6 +230,15 @@ fn parse_op(line: &str) -> std::result::Result<IoOp, String> {
                 start: num(s)?,
                 blocks: num(b)?,
                 payload: Payload::LongList { word: num(w)?, postings: num(p)? },
+            })
+        }
+        [verb @ ("read" | "write"), kind @ ("wal" | "checkpoint"), "disk", d, "id", s, "size", b] => {
+            Ok(IoOp {
+                kind: if *verb == "read" { OpKind::Read } else { OpKind::Write },
+                disk: num(d)? as u16,
+                start: num(s)?,
+                blocks: num(b)?,
+                payload: if *kind == "wal" { Payload::Wal } else { Payload::Checkpoint },
             })
         }
         _ => Err("unrecognized trace line".into()),

@@ -301,6 +301,16 @@ fn arb_figure6_ops() -> impl Strategy<Value = Vec<IoOp>> {
                     payload: Payload::LongList { word, postings: 0 },
                 },
             ),
+            // Durability extensions to the grammar: WAL and checkpoint bytes.
+            ((0u16..3), (0u64..100), (0u64..6), (0u8..2), (0u8..2)).prop_map(
+                |(disk, start, blocks, write, ckpt)| IoOp {
+                    kind: if write == 1 { OpKind::Write } else { OpKind::Read },
+                    disk,
+                    start,
+                    blocks,
+                    payload: if ckpt == 1 { Payload::Checkpoint } else { Payload::Wal },
+                },
+            ),
         ],
         0..80,
     )

@@ -1,0 +1,246 @@
+//! Checkpoint files: the full index state in one atomically-renamed file.
+//!
+//! A checkpoint captures everything the WAL would otherwise have to replay
+//! from the beginning of time: the long-list directory and extent map, the
+//! serialized bucket pages, the free-list state (as a per-disk free-block
+//! verification count), and an opaque metadata blob for higher layers. The
+//! on-disk layout is
+//!
+//! ```text
+//! "IVXCKPT1" | u32 version | geometry | snapshot | free-verify | meta | crc
+//! ```
+//!
+//! with the trailing CRC32 covering every preceding byte. Writing uses the
+//! classic atomic pattern: serialize to `<path>.tmp`, fsync, rename over
+//! `<path>`, fsync the parent directory. A crash at any point leaves either
+//! the old checkpoint or the new one — never a mix — and a torn temp file
+//! is simply ignored at recovery because the rename never happened.
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::fault::{DurableFile, FaultInjector, FaultPoint};
+use invidx_core::IndexSnapshot;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"IVXCKPT1";
+const VERSION: u32 = 1;
+
+/// Physical shape of the block store, recorded in the checkpoint so
+/// recovery can re-open the same devices without external configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreGeometry {
+    /// Number of disks in the array.
+    pub disks: u16,
+    /// Blocks per disk (the array is homogeneous).
+    pub blocks_per_disk: u64,
+    /// Block size in bytes.
+    pub block_size: u32,
+}
+
+/// A decoded checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Device shape at checkpoint time.
+    pub geometry: StoreGeometry,
+    /// Full logical index state (directory, buckets, extent map, deletions).
+    pub snapshot: IndexSnapshot,
+    /// Per-disk free-block counts at checkpoint time, with quarantined
+    /// (deferred-free) blocks counted as free — the state the allocators
+    /// will be in after restore re-reserves the live extents. Used as a
+    /// verification that restore rebuilt the free lists exactly.
+    pub free_per_disk: Vec<u64>,
+    /// Opaque higher-layer metadata (the IR engine stores its vocabulary
+    /// and document-store directory here). May be empty.
+    pub meta: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Batch number this checkpoint covers.
+    pub fn batch_no(&self) -> u64 {
+        self.snapshot.batch_no
+    }
+
+    /// Encode to the on-disk byte layout (including magic and CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let snap = self.snapshot.serialize();
+        let mut out = Vec::with_capacity(64 + snap.len() + self.meta.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.geometry.disks.to_le_bytes());
+        out.extend_from_slice(&self.geometry.blocks_per_disk.to_le_bytes());
+        out.extend_from_slice(&self.geometry.block_size.to_le_bytes());
+        out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        out.extend_from_slice(&snap);
+        out.extend_from_slice(&(self.free_per_disk.len() as u16).to_le_bytes());
+        for f in &self.free_per_disk {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.meta);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode and verify a checkpoint file's bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MAGIC.len() + 4 + 4 {
+            return Err(DurableError::Corrupt("checkpoint file too short".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(DurableError::Corrupt("checkpoint CRC mismatch".into()));
+        }
+        let mut cur = Cur { bytes: body, pos: 0 };
+        if cur.take(8)? != MAGIC {
+            return Err(DurableError::Corrupt("bad checkpoint magic".into()));
+        }
+        let version = cur.u32le()?;
+        if version != VERSION {
+            return Err(DurableError::Corrupt(format!("unsupported checkpoint version {version}")));
+        }
+        let geometry = StoreGeometry {
+            disks: cur.u16le()?,
+            blocks_per_disk: cur.u64le()?,
+            block_size: cur.u32le()?,
+        };
+        let snap_len = cur.u64le()? as usize;
+        let snapshot = IndexSnapshot::deserialize(cur.take(snap_len)?)?;
+        let nfree = cur.u16le()? as usize;
+        let mut free_per_disk = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free_per_disk.push(cur.u64le()?);
+        }
+        let meta_len = cur.u32le()? as usize;
+        let meta = cur.take(meta_len)?.to_vec();
+        if cur.pos != body.len() {
+            return Err(DurableError::Corrupt("trailing bytes in checkpoint".into()));
+        }
+        Ok(Self { geometry, snapshot, free_per_disk, meta })
+    }
+
+    /// Atomically write this checkpoint to `path`: temp file → fsync →
+    /// rename → parent-dir fsync. Injected faults strike at
+    /// [`FaultPoint::CheckpointWrite`], [`FaultPoint::CheckpointFsync`]
+    /// and [`FaultPoint::CheckpointRename`]. Returns the encoded size.
+    pub fn write(&self, path: &Path, injector: &FaultInjector) -> Result<u64> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("ckpt.tmp");
+        // Start the temp file from scratch each time.
+        std::fs::remove_file(&tmp).ok();
+        let mut f = DurableFile::open_append(
+            &tmp,
+            injector.clone(),
+            FaultPoint::CheckpointWrite,
+            FaultPoint::CheckpointFsync,
+        )?;
+        f.append(&bytes)?;
+        f.sync()?;
+        drop(f);
+        injector.check_event(FaultPoint::CheckpointRename)?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Load the checkpoint at `path`. `Ok(None)` when the file does not
+    /// exist; `Err(Corrupt)` when it exists but fails verification.
+    pub fn load(path: &Path) -> Result<Option<Self>> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Self::decode(&bytes).map(Some)
+    }
+}
+
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DurableError::Corrupt("truncated checkpoint".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16le(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32le(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64le(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            geometry: StoreGeometry { disks: 3, blocks_per_disk: 1000, block_size: 256 },
+            snapshot: IndexSnapshot {
+                batch_no: 5,
+                doc_ceiling: 42,
+                num_buckets: 2,
+                bucket_capacity_units: 40,
+                block_postings: 64,
+                deleted: vec![7, 9],
+                directory: b"dir-bytes".to_vec(),
+                buckets: vec![b"b0".to_vec(), b"b1".to_vec()],
+            },
+            free_per_disk: vec![990, 1000, 999],
+            meta: b"vocab".to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ck = sample();
+        assert_eq!(Checkpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn decode_rejects_bit_flip_anywhere() {
+        let bytes = sample().encode();
+        for pos in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at {pos} must be caught");
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_load() {
+        let dir = std::env::temp_dir().join(format!("invidx-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.ckpt");
+        std::fs::remove_file(&path).ok();
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+        let inj = FaultInjector::new();
+        let ck = sample();
+        ck.write(&path, &inj).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().unwrap(), ck);
+        // A crash during the next write must leave the old file intact.
+        let mut newer = sample();
+        newer.snapshot.batch_no = 6;
+        inj.arm(crate::fault::Fault::at(FaultPoint::CheckpointFsync));
+        assert!(newer.write(&path, &inj).unwrap_err().is_injected());
+        assert_eq!(Checkpoint::load(&path).unwrap().unwrap().batch_no(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,446 @@
+//! Fault injection: kill the durability pipeline at every write site.
+//!
+//! A [`FaultInjector`] is a small shared control block that test harnesses
+//! arm with one [`Fault`]. The injectable writers consult it:
+//!
+//! * [`DurableFile`] — the append-only file wrapper used for the WAL and
+//!   checkpoint temp files. It can die after N bytes of a write, drop the
+//!   unsynced tail (modelling lost page cache on power failure), or corrupt
+//!   a byte of the record being written.
+//! * [`FaultDevice`] — a [`BlockDevice`] wrapper that dies after N block
+//!   writes or at flush, killing the *apply* phase between WAL commit and
+//!   checkpoint.
+//!
+//! When a fault fires it also applies the crash's effect on the file state
+//! (truncation to the durable watermark for lost-fsync modes), so the test
+//! can simply drop the store and re-open it: the files look exactly as they
+//! would after a real power cut at that point.
+
+use crate::error::{DurableError, Result};
+use invidx_disk::{BlockDevice, DiskError};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Every write site in the durable pipeline where a crash can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// During the WAL record append (before the commit fsync).
+    WalAppend,
+    /// At the WAL commit fsync.
+    WalFsync,
+    /// During a device block write in the apply phase (after WAL commit).
+    ApplyWrite,
+    /// At the device flush that precedes a checkpoint.
+    DeviceFlush,
+    /// During the checkpoint temp-file write.
+    CheckpointWrite,
+    /// At the checkpoint temp-file fsync.
+    CheckpointFsync,
+    /// At the atomic rename that commits the checkpoint.
+    CheckpointRename,
+    /// At the WAL truncation that follows a committed checkpoint.
+    WalTruncate,
+}
+
+impl FaultPoint {
+    /// All points, for building test matrices.
+    pub const ALL: [FaultPoint; 8] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::ApplyWrite,
+        FaultPoint::DeviceFlush,
+        FaultPoint::CheckpointWrite,
+        FaultPoint::CheckpointFsync,
+        FaultPoint::CheckpointRename,
+        FaultPoint::WalTruncate,
+    ];
+
+    /// Does a fault at this point strike BEFORE the WAL commit fsync
+    /// completes? If so, the in-flight batch is uncommitted and recovery
+    /// must restore the previous batch; otherwise the batch is committed
+    /// and recovery must replay it.
+    pub fn before_commit(self) -> bool {
+        matches!(self, FaultPoint::WalAppend | FaultPoint::WalFsync)
+    }
+}
+
+/// How the injected crash mangles the bytes in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The write partially reaches the platter: a torn tail remains.
+    Torn,
+    /// Everything since the last fsync is lost (page cache never flushed).
+    LoseUnsynced,
+    /// The record lands full-length but with a flipped byte.
+    CorruptByte,
+}
+
+/// An armed fault: where, when, and how.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// The write site to strike.
+    pub point: FaultPoint,
+    /// For byte-stream points: bytes of the current write allowed through
+    /// before dying. For [`FaultPoint::ApplyWrite`]: device block writes
+    /// allowed before dying. Ignored for pure event points (fsync, rename,
+    /// truncate, flush).
+    pub after: u64,
+    /// Crash effect on the in-flight bytes.
+    pub mode: FaultMode,
+}
+
+impl Fault {
+    /// A fault at `point` with default byte budget 0 and torn-write mode.
+    pub fn at(point: FaultPoint) -> Self {
+        Self { point, after: 0, mode: FaultMode::Torn }
+    }
+
+    /// Set the byte/write budget.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
+        self
+    }
+
+    /// Set the crash mode.
+    pub fn mode(mut self, mode: FaultMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    armed: Option<Fault>,
+    fired: Option<FaultPoint>,
+}
+
+/// Shared, cloneable fault control block.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector(Arc<Mutex<InjectorState>>);
+
+impl FaultInjector {
+    /// A disarmed injector (the production configuration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm one fault. Replaces any previously armed fault and clears the
+    /// fired flag.
+    pub fn arm(&self, fault: Fault) {
+        let mut st = self.0.lock();
+        st.armed = Some(fault);
+        st.fired = None;
+    }
+
+    /// Reset the injector: clear any armed fault and the fired flag.
+    pub fn disarm(&self) {
+        let mut st = self.0.lock();
+        st.armed = None;
+        st.fired = None;
+    }
+
+    /// The point whose fault fired, if any.
+    pub fn fired(&self) -> Option<FaultPoint> {
+        self.0.lock().fired
+    }
+
+    /// Consume an armed byte-stream fault at `point`, returning the crash
+    /// parameters. Disarms and records the firing.
+    fn take_write_fault(&self, point: FaultPoint) -> Option<Fault> {
+        let mut st = self.0.lock();
+        match st.armed {
+            Some(f) if f.point == point => {
+                st.armed = None;
+                st.fired = Some(point);
+                Some(f)
+            }
+            _ => None,
+        }
+    }
+
+    /// Fire an armed event fault (fsync/rename/truncate/flush) at `point`.
+    fn take_event_fault(&self, point: FaultPoint) -> bool {
+        let mut st = self.0.lock();
+        match st.armed {
+            Some(f) if f.point == point => {
+                st.armed = None;
+                st.fired = Some(point);
+                true
+            }
+            _ => None::<()>.is_some(),
+        }
+    }
+
+    /// Count one device block write against an armed
+    /// [`FaultPoint::ApplyWrite`] budget; true means "die now".
+    fn count_device_write(&self) -> bool {
+        let mut st = self.0.lock();
+        match &mut st.armed {
+            Some(f) if f.point == FaultPoint::ApplyWrite => {
+                if f.after == 0 {
+                    st.armed = None;
+                    st.fired = Some(FaultPoint::ApplyWrite);
+                    true
+                } else {
+                    f.after -= 1;
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Public hook for custom write sites in tests.
+    pub fn check_event(&self, point: FaultPoint) -> Result<()> {
+        if self.take_event_fault(point) {
+            return Err(DurableError::Injected(point));
+        }
+        Ok(())
+    }
+}
+
+/// An append-only file with a durable watermark and injectable crashes —
+/// the writer used for the WAL and for checkpoint temp files.
+///
+/// `len` tracks the logical end of file; `synced_len` tracks how much is
+/// known durable (advanced only by [`DurableFile::sync`]). When an
+/// injected crash fires in a mode that loses the page cache, the file is
+/// physically truncated back to `synced_len`, so a subsequent re-open sees
+/// exactly what a power cut would have left.
+#[derive(Debug)]
+pub struct DurableFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    synced_len: u64,
+    injector: FaultInjector,
+    write_point: FaultPoint,
+    fsync_point: FaultPoint,
+}
+
+impl DurableFile {
+    /// Open (creating if absent) for appends. Existing contents are assumed
+    /// durable.
+    pub fn open_append(
+        path: &Path,
+        injector: FaultInjector,
+        write_point: FaultPoint,
+        fsync_point: FaultPoint,
+    ) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            len,
+            synced_len: len,
+            injector,
+            write_point,
+            fsync_point,
+        })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Logical length (bytes appended so far).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes known durable.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Append `data` at the end of the file.
+    pub fn append(&mut self, data: &[u8]) -> Result<()> {
+        if let Some(fault) = self.injector.take_write_fault(self.write_point) {
+            let allow = (fault.after as usize).min(data.len());
+            match fault.mode {
+                FaultMode::Torn => {
+                    // Part of the write hits the platter, then power dies.
+                    self.file.write_all_at(&data[..allow], self.len)?;
+                    self.file.sync_data()?;
+                }
+                FaultMode::LoseUnsynced => {
+                    self.file.write_all_at(&data[..allow], self.len)?;
+                    self.file.set_len(self.synced_len)?;
+                    self.file.sync_data()?;
+                }
+                FaultMode::CorruptByte => {
+                    let mut bad = data.to_vec();
+                    if !bad.is_empty() {
+                        let i = allow.min(bad.len() - 1);
+                        bad[i] ^= 0xFF;
+                    }
+                    self.file.write_all_at(&bad, self.len)?;
+                    self.file.sync_data()?;
+                }
+            }
+            return Err(DurableError::Injected(self.write_point));
+        }
+        self.file.write_all_at(data, self.len)?;
+        self.len += data.len() as u64;
+        Ok(())
+    }
+
+    /// fsync: advance the durable watermark. An injected crash here loses
+    /// the unsynced tail (the classic "fsync failure is fatal" semantics).
+    pub fn sync(&mut self) -> Result<()> {
+        if self.injector.take_event_fault(self.fsync_point) {
+            self.file.set_len(self.synced_len)?;
+            self.file.sync_data()?;
+            self.len = self.synced_len;
+            return Err(DurableError::Injected(self.fsync_point));
+        }
+        self.file.sync_data()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// Truncate to `to` bytes and fsync (WAL reset after a checkpoint).
+    pub fn truncate(&mut self, to: u64) -> Result<()> {
+        self.file.set_len(to)?;
+        self.file.sync_data()?;
+        self.len = to;
+        self.synced_len = self.synced_len.min(to);
+        Ok(())
+    }
+
+    /// Read the whole file (recovery scan).
+    pub fn read_all(&self) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.len as usize];
+        self.file.read_exact_at(&mut buf, 0)?;
+        Ok(buf)
+    }
+}
+
+/// A [`BlockDevice`] wrapper that can die after N block writes or at
+/// flush — crashes in the apply phase, between WAL commit and checkpoint.
+pub struct FaultDevice<D> {
+    inner: D,
+    injector: FaultInjector,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    /// Wrap a device.
+    pub fn new(inner: D, injector: FaultInjector) -> Self {
+        Self { inner, injector }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read(&self, start: u64, buf: &mut [u8]) -> invidx_disk::Result<()> {
+        self.inner.read(start, buf)
+    }
+
+    fn write(&mut self, start: u64, data: &[u8]) -> invidx_disk::Result<()> {
+        if self.injector.count_device_write() {
+            return Err(DiskError::Io(std::io::Error::other("injected crash (apply write)")));
+        }
+        self.inner.write(start, data)
+    }
+
+    fn flush(&mut self) -> invidx_disk::Result<()> {
+        if self.injector.take_event_fault(FaultPoint::DeviceFlush) {
+            return Err(DiskError::Io(std::io::Error::other("injected crash (device flush)")));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("invidx-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn torn_write_leaves_partial_tail() {
+        let path = tmp("torn.log");
+        std::fs::remove_file(&path).ok();
+        let inj = FaultInjector::new();
+        let mut f =
+            DurableFile::open_append(&path, inj.clone(), FaultPoint::WalAppend, FaultPoint::WalFsync)
+                .unwrap();
+        f.append(b"committed").unwrap();
+        f.sync().unwrap();
+        inj.arm(Fault::at(FaultPoint::WalAppend).after(3));
+        let err = f.append(b"torn-record").unwrap_err();
+        assert!(err.is_injected());
+        assert_eq!(inj.fired(), Some(FaultPoint::WalAppend));
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, b"committedtor");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lost_fsync_rolls_back_to_watermark() {
+        let path = tmp("lost.log");
+        std::fs::remove_file(&path).ok();
+        let inj = FaultInjector::new();
+        let mut f =
+            DurableFile::open_append(&path, inj.clone(), FaultPoint::WalAppend, FaultPoint::WalFsync)
+                .unwrap();
+        f.append(b"durable").unwrap();
+        f.sync().unwrap();
+        f.append(b"in-cache").unwrap();
+        inj.arm(Fault::at(FaultPoint::WalFsync));
+        assert!(f.sync().unwrap_err().is_injected());
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_keeps_length() {
+        let path = tmp("corrupt.log");
+        std::fs::remove_file(&path).ok();
+        let inj = FaultInjector::new();
+        let mut f =
+            DurableFile::open_append(&path, inj.clone(), FaultPoint::WalAppend, FaultPoint::WalFsync)
+                .unwrap();
+        inj.arm(Fault::at(FaultPoint::WalAppend).after(2).mode(FaultMode::CorruptByte));
+        assert!(f.append(b"abcdef").unwrap_err().is_injected());
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), 6);
+        assert_ne!(on_disk, b"abcdef");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn device_write_budget_counts_down() {
+        let inj = FaultInjector::new();
+        let mut dev = FaultDevice::new(invidx_disk::MemDevice::new(16, 64), inj.clone());
+        inj.arm(Fault::at(FaultPoint::ApplyWrite).after(2));
+        let block = vec![0u8; 64];
+        dev.write(0, &block).unwrap();
+        dev.write(1, &block).unwrap();
+        assert!(dev.write(2, &block).is_err());
+        assert_eq!(inj.fired(), Some(FaultPoint::ApplyWrite));
+        // After firing the device works again (the "next life").
+        dev.write(3, &block).unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! Durability layer for the dual-structure inverted index.
+//!
+//! The paper motivates incremental updates with "7 days a week, 24 hours a
+//! day continuous operation" (§1) and notes that "the algorithms and data
+//! structures are constructed so that the incremental update of the index
+//! can be restarted if it is aborted". The core crate's shadow-paged flush
+//! already gives per-batch atomicity, but it pays a full bucket + directory
+//! rewrite *every batch*. This crate trades that for the classic WAL
+//! discipline:
+//!
+//! ```text
+//! flush  =  log (append + CRC + fsync)  →  apply  →  (periodic) checkpoint
+//! ```
+//!
+//! * [`wal`] — length-prefixed, CRC32-checksummed records with
+//!   fsync-on-commit; torn or corrupt tails are detected and truncated.
+//! * [`checkpoint`] — the directory, bucket pages, extent map and free-list
+//!   state serialized into an atomically-renamed snapshot file.
+//! * [`DurableIndex`] — the wrapper over [`invidx_core::DualIndex`] that
+//!   performs log → apply → checkpoint and recovers by loading the latest
+//!   valid checkpoint and replaying WAL records past it.
+//! * [`fault`] — a fault-injection harness ([`FaultPoint`],
+//!   [`DurableFile`], [`FaultDevice`]) that can kill the pipeline at every
+//!   write site, drop fsyncs, or corrupt records, so tests can prove the
+//!   crash-consistency property: recovery restores exactly the last
+//!   committed batch.
+//!
+//! Replay safety rests on two invariants (see DESIGN.md "Durability"):
+//! freed extents are quarantined until the next checkpoint commits
+//! ([`invidx_disk::DiskArray::defer_frees`]), and restore re-reserves
+//! exactly the live extents so replay allocates just as the original run
+//! did.
+
+pub mod checkpoint;
+mod crc;
+pub mod error;
+pub mod fault;
+mod index;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, StoreGeometry};
+pub use crc::crc32;
+pub use error::{DurableError, Result};
+pub use fault::{DurableFile, Fault, FaultDevice, FaultInjector, FaultMode, FaultPoint};
+pub use index::{DurableIndex, DurableOptions, RecoveryHooks, RecoveryInfo};
+pub use wal::{WalReader, WalRecord, WalWriter};

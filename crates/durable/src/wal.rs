@@ -1,0 +1,417 @@
+//! Write-ahead log: length-prefixed, CRC32-checksummed records with
+//! fsync-on-commit.
+//!
+//! Framing on disk is
+//!
+//! ```text
+//! u32 len | u32 crc32(payload) | payload          (all little-endian)
+//! ```
+//!
+//! where the payload starts with a one-byte record kind. The WAL fsync is
+//! the **commit point** of a batch: once [`WalWriter::sync`] returns, the
+//! batch survives any crash; before it, the batch never happened. Recovery
+//! ([`WalReader::scan`]) walks records front to back and stops at the first
+//! frame that is short (torn write) or fails its CRC (corrupt write) — that
+//! prefix property is what lets the scanner treat "first bad frame" as
+//! "end of committed history" and truncate the tail rather than replay it.
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::fault::{DurableFile, FaultInjector, FaultPoint};
+use invidx_core::{DocId, WordId};
+use std::path::Path;
+
+const KIND_BATCH: u8 = 1;
+const KIND_SWEEP: u8 = 2;
+const KIND_COMPACT: u8 = 3;
+const KIND_REBALANCE: u8 = 4;
+
+/// One logical WAL record. Every variant carries the batch number it
+/// produces, so replay can skip records already covered by a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A flushed update batch: the full in-memory index content at flush
+    /// time (per-word sorted doc ids), the documents marked deleted in this
+    /// batch, and an opaque blob for higher layers (the IR engine logs its
+    /// vocabulary growth and document store appends here).
+    Batch {
+        /// Batch number this flush produces.
+        batch: u64,
+        /// Per-word postings accumulated since the previous flush.
+        lists: Vec<(WordId, Vec<DocId>)>,
+        /// Documents marked deleted in this batch.
+        deletes: Vec<DocId>,
+        /// Opaque higher-layer metadata (may be empty).
+        meta: Vec<u8>,
+    },
+    /// A deletion sweep that physically removed these documents' postings.
+    Sweep {
+        /// Batch number the sweep produces.
+        batch: u64,
+        /// The deleted-doc set the sweep folded in.
+        deletes: Vec<DocId>,
+    },
+    /// A long-list compaction pass.
+    Compact {
+        /// Batch number the compaction produces.
+        batch: u64,
+    },
+    /// A bucket rebalance to a new geometry.
+    Rebalance {
+        /// Batch number the rebalance produces.
+        batch: u64,
+        /// New bucket count.
+        num_buckets: u32,
+        /// New per-bucket capacity in allocation units.
+        capacity_units: u32,
+    },
+}
+
+impl WalRecord {
+    /// The batch number this record produces when applied.
+    pub fn batch(&self) -> u64 {
+        match self {
+            Self::Batch { batch, .. }
+            | Self::Sweep { batch, .. }
+            | Self::Compact { batch }
+            | Self::Rebalance { batch, .. } => *batch,
+        }
+    }
+
+    /// Encode the payload (kind byte + body, no framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Batch { batch, lists, deletes, meta } => {
+                out.push(KIND_BATCH);
+                out.extend_from_slice(&batch.to_le_bytes());
+                out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+                for (word, docs) in lists {
+                    out.extend_from_slice(&word.0.to_le_bytes());
+                    out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+                    for d in docs {
+                        out.extend_from_slice(&d.0.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&(deletes.len() as u32).to_le_bytes());
+                for d in deletes {
+                    out.extend_from_slice(&d.0.to_le_bytes());
+                }
+                out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+                out.extend_from_slice(meta);
+            }
+            Self::Sweep { batch, deletes } => {
+                out.push(KIND_SWEEP);
+                out.extend_from_slice(&batch.to_le_bytes());
+                out.extend_from_slice(&(deletes.len() as u32).to_le_bytes());
+                for d in deletes {
+                    out.extend_from_slice(&d.0.to_le_bytes());
+                }
+            }
+            Self::Compact { batch } => {
+                out.push(KIND_COMPACT);
+                out.extend_from_slice(&batch.to_le_bytes());
+            }
+            Self::Rebalance { batch, num_buckets, capacity_units } => {
+                out.push(KIND_REBALANCE);
+                out.extend_from_slice(&batch.to_le_bytes());
+                out.extend_from_slice(&num_buckets.to_le_bytes());
+                out.extend_from_slice(&capacity_units.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`WalRecord::encode_payload`].
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let kind = cur.u8()?;
+        let rec = match kind {
+            KIND_BATCH => {
+                let batch = cur.u64le()?;
+                let nwords = cur.u32le()? as usize;
+                let mut lists = Vec::with_capacity(nwords.min(1 << 20));
+                for _ in 0..nwords {
+                    let word = WordId(cur.u64le()?);
+                    let ndocs = cur.u32le()? as usize;
+                    let mut docs = Vec::with_capacity(ndocs.min(1 << 20));
+                    for _ in 0..ndocs {
+                        docs.push(DocId(cur.u32le()?));
+                    }
+                    lists.push((word, docs));
+                }
+                let ndel = cur.u32le()? as usize;
+                let mut deletes = Vec::with_capacity(ndel.min(1 << 20));
+                for _ in 0..ndel {
+                    deletes.push(DocId(cur.u32le()?));
+                }
+                let mlen = cur.u32le()? as usize;
+                let meta = cur.take(mlen)?.to_vec();
+                Self::Batch { batch, lists, deletes, meta }
+            }
+            KIND_SWEEP => {
+                let batch = cur.u64le()?;
+                let ndel = cur.u32le()? as usize;
+                let mut deletes = Vec::with_capacity(ndel.min(1 << 20));
+                for _ in 0..ndel {
+                    deletes.push(DocId(cur.u32le()?));
+                }
+                Self::Sweep { batch, deletes }
+            }
+            KIND_COMPACT => Self::Compact { batch: cur.u64le()? },
+            KIND_REBALANCE => Self::Rebalance {
+                batch: cur.u64le()?,
+                num_buckets: cur.u32le()?,
+                capacity_units: cur.u32le()?,
+            },
+            k => return Err(DurableError::Corrupt(format!("unknown WAL record kind {k}"))),
+        };
+        if cur.pos != bytes.len() {
+            return Err(DurableError::Corrupt(format!(
+                "WAL record has {} trailing bytes",
+                bytes.len() - cur.pos
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// Encode the full on-disk frame: `len | crc | payload`.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DurableError::Corrupt("WAL record truncated mid-field".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32le(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64le(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Appends framed records to the log file; [`WalWriter::sync`] is the
+/// commit point.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: DurableFile,
+}
+
+impl WalWriter {
+    /// Open (creating if absent) the log at `path`. Injected faults strike
+    /// at [`FaultPoint::WalAppend`] / [`FaultPoint::WalFsync`].
+    pub fn open(path: &Path, injector: FaultInjector) -> Result<Self> {
+        let file =
+            DurableFile::open_append(path, injector, FaultPoint::WalAppend, FaultPoint::WalFsync)?;
+        Ok(Self { file })
+    }
+
+    /// Append one record (not yet durable). Returns the frame size in
+    /// bytes.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let frame = record.encode_frame();
+        self.file.append(&frame)?;
+        Ok(frame.len() as u64)
+    }
+
+    /// fsync — the commit point.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync()
+    }
+
+    /// Current log size in bytes.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.file.is_empty()
+    }
+
+    /// Reset the log after a committed checkpoint. An armed
+    /// [`FaultPoint::WalTruncate`] fault fires *before* the truncation, so
+    /// the crash leaves the full log alongside the new checkpoint.
+    pub fn truncate(&mut self, injector: &FaultInjector) -> Result<()> {
+        injector.check_event(FaultPoint::WalTruncate)?;
+        self.file.truncate(0)
+    }
+
+    /// Cut the log at `to` bytes — recovery's torn-tail removal. Not a
+    /// fault point: it runs during open, before any new commits.
+    pub fn truncate_to(&mut self, to: u64) -> Result<()> {
+        self.file.truncate(to)
+    }
+
+    /// Read the raw log bytes (for recovery scans).
+    pub fn read_all(&self) -> Result<Vec<u8>> {
+        self.file.read_all()
+    }
+}
+
+/// Result of scanning a log: the committed records plus how much tail was
+/// discarded as torn or corrupt.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records that passed framing and CRC checks, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the end of the last valid record — the length the
+    /// log should be truncated to.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` that were discarded.
+    pub truncated: u64,
+}
+
+/// Scanner for the recovery path.
+pub struct WalReader;
+
+impl WalReader {
+    /// Walk `bytes` front to back, returning every whole, checksum-valid
+    /// record and stopping at the first torn or corrupt frame.
+    pub fn scan(bytes: &[u8]) -> WalScan {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &bytes[pos..];
+            if rest.len() < 8 {
+                break; // torn frame header (or clean EOF at 0)
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if rest.len() < 8 + len {
+                break; // torn payload
+            }
+            let payload = &rest[8..8 + len];
+            if crc32(payload) != crc {
+                break; // corrupt payload: stop, do not replay
+            }
+            match WalRecord::decode_payload(payload) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break, // CRC passed but structure is nonsense
+            }
+            pos += 8 + len;
+        }
+        WalScan {
+            records,
+            valid_len: pos as u64,
+            truncated: (bytes.len() - pos) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch(batch: u64) -> WalRecord {
+        WalRecord::Batch {
+            batch,
+            lists: vec![
+                (WordId(1), vec![DocId(1), DocId(2), DocId(9)]),
+                (WordId(u64::MAX), vec![DocId(u32::MAX)]),
+            ],
+            deletes: vec![DocId(4)],
+            meta: b"engine-meta".to_vec(),
+        }
+    }
+
+    #[test]
+    fn payload_round_trip_all_kinds() {
+        let records = [
+            sample_batch(7),
+            WalRecord::Batch { batch: 0, lists: vec![], deletes: vec![], meta: vec![] },
+            WalRecord::Sweep { batch: 3, deletes: vec![DocId(1), DocId(2)] },
+            WalRecord::Compact { batch: 9 },
+            WalRecord::Rebalance { batch: 11, num_buckets: 64, capacity_units: 12 },
+        ];
+        for rec in records {
+            let payload = rec.encode_payload();
+            assert_eq!(WalRecord::decode_payload(&payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes_and_bad_kind() {
+        let mut payload = WalRecord::Compact { batch: 1 }.encode_payload();
+        payload.push(0);
+        assert!(WalRecord::decode_payload(&payload).is_err());
+        assert!(WalRecord::decode_payload(&[99]).is_err());
+        assert!(WalRecord::decode_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&sample_batch(1).encode_frame());
+        log.extend_from_slice(&sample_batch(2).encode_frame());
+        let full = log.len();
+        let torn = &sample_batch(3).encode_frame();
+        log.extend_from_slice(&torn[..torn.len() / 2]);
+        let scan = WalReader::scan(&log);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len as usize, full);
+        assert_eq!(scan.truncated as usize, torn.len() / 2);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_record() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&sample_batch(1).encode_frame());
+        let keep = log.len();
+        let mut bad = sample_batch(2).encode_frame();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        log.extend_from_slice(&bad);
+        // A corrupt record hides any records after it: that is the prefix
+        // property — nothing past the first bad frame is trusted.
+        log.extend_from_slice(&sample_batch(3).encode_frame());
+        let scan = WalReader::scan(&log);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len as usize, keep);
+    }
+
+    #[test]
+    fn writer_appends_and_scans_back() {
+        let dir = std::env::temp_dir().join(format!("invidx-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        std::fs::remove_file(&path).ok();
+        let inj = FaultInjector::new();
+        let mut w = WalWriter::open(&path, inj.clone()).unwrap();
+        assert!(w.is_empty());
+        w.append(&sample_batch(1)).unwrap();
+        w.append(&WalRecord::Compact { batch: 2 }).unwrap();
+        w.sync().unwrap();
+        let scan = WalReader::scan(&w.read_all().unwrap());
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1], WalRecord::Compact { batch: 2 });
+        assert_eq!(scan.truncated, 0);
+        w.truncate(&inj).unwrap();
+        assert_eq!(w.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,433 @@
+//! [`DurableEngine`]: the crash-safe search engine.
+//!
+//! [`crate::SearchEngine`] persists its extra-index state (vocabulary,
+//! document directory, counters) by asking the caller to write a metadata
+//! blob after every flush — lose that write and the engine is gone.
+//! `DurableEngine` instead rides the WAL + checkpoint discipline of
+//! [`invidx_durable::DurableIndex`]:
+//!
+//! * every flushed batch logs its **document texts** in the WAL record's
+//!   metadata field, so replay can redo the document-store appends and
+//!   re-intern the vocabulary (interning order is the lexer order, which
+//!   is deterministic from the texts);
+//! * every checkpoint embeds the full engine metadata blob, so recovery
+//!   starts from a consistent (index, docstore, vocabulary) triple and
+//!   replays only the batches after it.
+//!
+//! The ordering contract matters: the original run allocates each batch's
+//! document extents *before* that batch's index apply, so recovery does the
+//! same — [`RecoveryHooks::on_checkpoint_meta`] re-reserves the checkpoint's
+//! document extents before any replay, and [`RecoveryHooks::before_apply`]
+//! redoes a batch's document appends before its index postings land.
+
+use crate::boolean::{PostingSource, Query};
+use crate::engine::EngineCore;
+use crate::vector::{search, Hit, VectorQuery};
+use invidx_core::index::{BatchReport, CompactReport, DualIndex, IndexConfig, RebalanceReport, SweepReport};
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, WordId};
+use invidx_durable::{
+    DurableError, DurableIndex, DurableOptions, FaultInjector, RecoveryHooks, RecoveryInfo,
+    StoreGeometry, WalRecord,
+};
+use std::path::Path;
+
+/// Per-batch WAL metadata: the documents added since the last flush, as
+/// `u32 count`, then per document `u32 id | u32 len | utf8 text`.
+fn encode_batch_meta(docs: &[(DocId, String)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + docs.iter().map(|(_, t)| 8 + t.len()).sum::<usize>());
+    out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+    for (d, text) in docs {
+        out.extend_from_slice(&d.0.to_le_bytes());
+        out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+    }
+    out
+}
+
+fn decode_batch_meta(meta: &[u8]) -> invidx_durable::Result<Vec<(DocId, String)>> {
+    if meta.is_empty() {
+        return Ok(Vec::new());
+    }
+    let corrupt = |m: &str| DurableError::Corrupt(format!("batch meta: {m}"));
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> invidx_durable::Result<&[u8]> {
+        if pos + n > meta.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &meta[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let doc = DocId(u32::from_le_bytes(take(4)?.try_into().expect("4")));
+        let len = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+        let text = String::from_utf8(take(len)?.to_vec())
+            .map_err(|_| corrupt("non-utf8 document"))?;
+        out.push((doc, text));
+    }
+    if pos != meta.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Recovery participant: rebuilds the engine state alongside index replay.
+struct EngineHooks {
+    core: EngineCore,
+}
+
+impl RecoveryHooks for EngineHooks {
+    fn on_checkpoint_meta(
+        &mut self,
+        meta: &[u8],
+        index: &mut DualIndex,
+    ) -> invidx_durable::Result<()> {
+        // The batch-0 checkpoint of a fresh store carries no engine blob.
+        if meta.is_empty() {
+            return Ok(());
+        }
+        self.core = EngineCore::decode_meta(meta)?;
+        for (_, disk, start, blocks) in self.core.docs.extents() {
+            index.array_mut().reserve_on(disk, start, blocks)?;
+        }
+        Ok(())
+    }
+
+    fn before_apply(
+        &mut self,
+        record: &WalRecord,
+        index: &mut DualIndex,
+    ) -> invidx_durable::Result<()> {
+        let WalRecord::Batch { meta, .. } = record else {
+            return Ok(());
+        };
+        for (doc, text) in decode_batch_meta(meta)? {
+            // Re-intern in lexer order: reproduces the original word-id
+            // assignment, which the record's posting lists were built with.
+            self.core.lex_and_intern(&text);
+            self.core.docs.store(index.array_mut(), doc, &text)?;
+            self.core.next_doc = self.core.next_doc.max(doc.0 + 1);
+            self.core.total_docs += 1;
+        }
+        Ok(())
+    }
+}
+
+/// A crash-safe text search engine: [`crate::SearchEngine`] semantics over
+/// a [`DurableIndex`] store directory.
+///
+/// ```
+/// use invidx_core::index::IndexConfig;
+/// use invidx_durable::{DurableOptions, StoreGeometry};
+/// use invidx_ir::DurableEngine;
+///
+/// let dir = std::env::temp_dir().join(format!("invidx-deng-doc-{}", std::process::id()));
+/// std::fs::remove_dir_all(&dir).ok();
+/// let geometry = StoreGeometry { disks: 2, blocks_per_disk: 20_000, block_size: 256 };
+/// let mut e = DurableEngine::create(&dir, IndexConfig::small(), geometry,
+///                                   DurableOptions::default()).unwrap();
+/// e.add_document("the cat sat on the mat").unwrap();
+/// e.flush().unwrap();
+/// drop(e);
+/// // Reopen = recover: checkpoint + WAL replay restore everything.
+/// let mut e = DurableEngine::open(&dir, IndexConfig::small(),
+///                                 DurableOptions::default()).unwrap();
+/// assert_eq!(e.boolean_str("cat").unwrap().len(), 1);
+/// std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct DurableEngine {
+    index: DurableIndex,
+    core: EngineCore,
+    /// Documents added since the last flush; their texts become the next
+    /// WAL record's metadata.
+    pending_docs: Vec<(DocId, String)>,
+}
+
+impl DurableEngine {
+    /// Create a fresh durable engine in `dir`.
+    pub fn create(
+        dir: &Path,
+        config: IndexConfig,
+        geometry: StoreGeometry,
+        opts: DurableOptions,
+    ) -> invidx_durable::Result<Self> {
+        Self::create_with(dir, config, geometry, opts, FaultInjector::new())
+    }
+
+    /// [`Self::create`] with a caller-supplied fault injector (tests).
+    pub fn create_with(
+        dir: &Path,
+        config: IndexConfig,
+        geometry: StoreGeometry,
+        opts: DurableOptions,
+        injector: FaultInjector,
+    ) -> invidx_durable::Result<Self> {
+        let index = DurableIndex::create_with(dir, config, geometry, opts, injector)?;
+        Ok(Self { index, core: EngineCore::new(), pending_docs: Vec::new() })
+    }
+
+    /// Open (recover) a durable engine from `dir`: restore the checkpoint's
+    /// engine metadata, then replay WAL batches — including their document
+    /// appends and vocabulary growth.
+    pub fn open(
+        dir: &Path,
+        config: IndexConfig,
+        opts: DurableOptions,
+    ) -> invidx_durable::Result<Self> {
+        Self::open_with(dir, config, opts, FaultInjector::new())
+    }
+
+    /// [`Self::open`] with a caller-supplied fault injector (tests).
+    pub fn open_with(
+        dir: &Path,
+        config: IndexConfig,
+        opts: DurableOptions,
+        injector: FaultInjector,
+    ) -> invidx_durable::Result<Self> {
+        let mut hooks = EngineHooks { core: EngineCore::new() };
+        let index = DurableIndex::open_with(dir, config, opts, injector, &mut hooks)?;
+        Ok(Self { index, core: hooks.core, pending_docs: Vec::new() })
+    }
+
+    // ----- updates -----
+
+    /// Add a document; returns its assigned id. Not yet durable — the
+    /// document text is logged (and committed) by the next [`Self::flush`].
+    pub fn add_document(&mut self, text: &str) -> invidx_durable::Result<DocId> {
+        let words = self.core.lex_and_intern(text);
+        let doc = DocId(self.core.next_doc);
+        self.index.insert_document(doc, words)?;
+        self.core.next_doc += 1;
+        self.core.docs.store(self.index.inner_mut().array_mut(), doc, text)?;
+        self.core.total_docs += 1;
+        self.pending_docs.push((doc, text.to_string()));
+        Ok(doc)
+    }
+
+    /// Logically delete a document; rides in the next WAL record.
+    pub fn delete(&mut self, doc: DocId) {
+        self.index.delete_document(doc);
+    }
+
+    /// Flush the buffered batch: WAL-commit the postings, the deletions,
+    /// and the batch's document texts, then apply.
+    pub fn flush(&mut self) -> invidx_durable::Result<BatchReport> {
+        self.index.set_checkpoint_meta(self.core.encode_meta());
+        let meta = encode_batch_meta(&self.pending_docs);
+        let report = self.index.flush_with_meta(meta)?;
+        self.pending_docs.clear();
+        Ok(report)
+    }
+
+    /// Run the deletion sweep as a logged, replayable operation.
+    pub fn sweep(&mut self) -> invidx_durable::Result<SweepReport> {
+        self.index.set_checkpoint_meta(self.core.encode_meta());
+        self.index.sweep()
+    }
+
+    /// Rewrite fragmented long lists contiguously (logged; needs a batch
+    /// boundary — flush first).
+    pub fn compact(&mut self) -> invidx_durable::Result<CompactReport> {
+        self.index.set_checkpoint_meta(self.core.encode_meta());
+        self.index.compact()
+    }
+
+    /// Rehash the bucket space to a new geometry (logged; needs a batch
+    /// boundary — flush first).
+    pub fn rebalance(
+        &mut self,
+        num_buckets: usize,
+        capacity_units: u64,
+    ) -> invidx_durable::Result<RebalanceReport> {
+        self.index.set_checkpoint_meta(self.core.encode_meta());
+        self.index.rebalance(num_buckets, capacity_units)
+    }
+
+    /// Write a checkpoint now (embedding current engine metadata) and reset
+    /// the WAL. Returns the checkpoint size in bytes.
+    pub fn checkpoint(&mut self) -> invidx_durable::Result<u64> {
+        self.index.set_checkpoint_meta(self.core.encode_meta());
+        self.index.checkpoint()
+    }
+
+    // ----- queries (same surface as `SearchEngine`) -----
+
+    /// Evaluate a boolean [`Query`].
+    pub fn boolean(&mut self, query: &Query) -> invidx_core::Result<PostingList> {
+        query.eval(self.index.inner_mut())
+    }
+
+    /// Parse and evaluate a boolean query string.
+    pub fn boolean_str(&mut self, query: &str) -> invidx_core::Result<PostingList> {
+        let q = self.core.parse_query(query)?;
+        self.boolean(&q)
+    }
+
+    /// Parse a boolean query string into a [`Query`].
+    pub fn parse_query(&self, text: &str) -> invidx_core::Result<Query> {
+        self.core.parse_query(text)
+    }
+
+    /// Vector-space search with an explicit query.
+    pub fn vector(&mut self, query: &VectorQuery, k: usize) -> invidx_core::Result<Vec<Hit>> {
+        let total = self.core.total_docs;
+        search(self.index.inner_mut(), query, total, k)
+    }
+
+    /// Proximity query: both words within `window` positions of each other.
+    pub fn within(&mut self, w1: &str, w2: &str, window: u32) -> invidx_core::Result<PostingList> {
+        self.core.within(self.index.inner_mut(), w1, w2, window)
+    }
+
+    /// Phrase query: the words occur contiguously, in order.
+    pub fn phrase(&mut self, phrase: &str) -> invidx_core::Result<PostingList> {
+        self.core.phrase(self.index.inner_mut(), phrase)
+    }
+
+    /// Vector-space search using a document text as the query.
+    pub fn more_like_this(&mut self, text: &str, k: usize) -> invidx_core::Result<Vec<Hit>> {
+        self.core.more_like_this(self.index.inner_mut(), text, k)
+    }
+
+    /// The stored text of a document.
+    pub fn document(&mut self, doc: DocId) -> invidx_core::Result<Option<String>> {
+        self.core.docs.load(self.index.inner_mut().array_mut(), doc)
+    }
+
+    // ----- introspection -----
+
+    /// The underlying durable index (WAL size, checkpoint state, recovery
+    /// report, fault injector).
+    pub fn index(&self) -> &DurableIndex {
+        &self.index
+    }
+
+    /// Documents added so far.
+    pub fn total_docs(&self) -> u64 {
+        self.core.total_docs
+    }
+
+    /// Distinct words interned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.core.vocab.len()
+    }
+
+    /// Look up a word without interning.
+    pub fn word_id(&self, word: &str) -> Option<WordId> {
+        self.core.word_id(word)
+    }
+
+    /// What recovery did when this handle was opened (None for freshly
+    /// created stores).
+    pub fn recovery(&self) -> Option<&RecoveryInfo> {
+        self.index.recovery()
+    }
+}
+
+impl PostingSource for DurableEngine {
+    fn postings(&mut self, word: WordId) -> invidx_core::Result<PostingList> {
+        self.index.inner().postings(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn geom() -> StoreGeometry {
+        StoreGeometry { disks: 2, blocks_per_disk: 20_000, block_size: 256 }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("invidx-deng-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn batch_meta_round_trips() {
+        let docs = vec![
+            (DocId(1), "the cat sat".to_string()),
+            (DocId(2), String::new()),
+            (DocId(7), "caf\u{e9} \u{1F600}".to_string()),
+        ];
+        let meta = encode_batch_meta(&docs);
+        assert_eq!(decode_batch_meta(&meta).unwrap(), docs);
+        assert_eq!(decode_batch_meta(&[]).unwrap(), Vec::new());
+        assert!(decode_batch_meta(&meta[..meta.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn durable_engine_survives_reopen_mid_wal() {
+        let dir = tmpdir("reopen");
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let mut e = DurableEngine::create(&dir, IndexConfig::small(), geom(), opts).unwrap();
+        e.add_document("the cat sat on the mat").unwrap();
+        e.add_document("the dog chased the cat").unwrap();
+        e.flush().unwrap();
+        e.add_document("a mouse ran past the sleeping dog").unwrap();
+        e.flush().unwrap();
+        let vocab = e.vocabulary_size();
+        drop(e);
+
+        // No checkpoint ran since creation: both batches replay from the WAL,
+        // re-storing documents and re-interning the vocabulary.
+        let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+        assert_eq!(e.recovery().unwrap().replayed_records, 2);
+        assert_eq!(e.total_docs(), 3);
+        assert_eq!(e.vocabulary_size(), vocab);
+        assert_eq!(e.boolean_str("cat and dog").unwrap().len(), 1);
+        assert_eq!(e.document(DocId(1)).unwrap().unwrap(), "the cat sat on the mat");
+        assert_eq!(e.within("mouse", "dog", 10).unwrap().len(), 1);
+        // The engine keeps working after recovery with stable ids.
+        let d4 = e.add_document("another cat arrives").unwrap();
+        assert_eq!(d4, DocId(4));
+        e.flush().unwrap();
+        assert_eq!(e.boolean_str("cat").unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_meta_restores_engine_without_replay() {
+        let dir = tmpdir("ckptmeta");
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let mut e = DurableEngine::create(&dir, IndexConfig::small(), geom(), opts).unwrap();
+        e.add_document("alpha beta gamma").unwrap();
+        e.add_document("beta gamma delta words").unwrap();
+        e.flush().unwrap();
+        e.checkpoint().unwrap();
+        assert_eq!(e.index().wal_size(), 0);
+        drop(e);
+
+        let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+        assert_eq!(e.recovery().unwrap().replayed_records, 0);
+        assert_eq!(e.total_docs(), 2);
+        assert_eq!(e.boolean_str("beta and gamma").unwrap().len(), 2);
+        assert_eq!(e.document(DocId(2)).unwrap().unwrap(), "beta gamma delta words");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deletes_and_sweep_survive_recovery() {
+        let dir = tmpdir("sweep");
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let mut e = DurableEngine::create(&dir, IndexConfig::small(), geom(), opts).unwrap();
+        let d1 = e.add_document("shared words one").unwrap();
+        e.add_document("shared words two").unwrap();
+        e.flush().unwrap();
+        e.delete(d1);
+        e.sweep().unwrap();
+        assert_eq!(e.boolean_str("shared").unwrap().len(), 1);
+        drop(e);
+
+        let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+        assert_eq!(e.boolean_str("shared").unwrap().len(), 1);
+        assert_eq!(e.index().inner().pending_deletions(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,6 +5,12 @@
 //! integers"), the dual-structure index, and the two query models of §1.
 //! It also ships a small boolean query-string parser so examples and tests
 //! can write `(cat and dog) or mouse` — the paper's own example query.
+//!
+//! The engine state that is *not* the index proper — the document store,
+//! the vocabulary, and the id counters — lives in [`EngineCore`], shared
+//! with the crash-safe [`crate::DurableEngine`]. `SearchEngine` persists
+//! that state with an explicit metadata blob ([`SearchEngine::save_meta`]);
+//! the durable engine carries the same blob in WAL records and checkpoints.
 
 use crate::boolean::{PostingSource, Query};
 use crate::docstore::DocStore;
@@ -17,52 +23,56 @@ use invidx_corpus::lexer;
 use invidx_disk::DiskArray;
 use std::collections::HashMap;
 
-/// A text search engine over the dual-structure index.
-///
-/// Documents are stored alongside the index (in a [`DocStore`] sharing the
-/// same disks), enabling the paper's §1 positional conditions: inverted
-/// lists prune the candidates, the stored text verifies proximity and
-/// phrase predicates.
-/// ```
-/// use invidx_core::index::IndexConfig;
-/// use invidx_disk::sparse_array;
-/// use invidx_ir::SearchEngine;
-///
-/// let array = sparse_array(2, 50_000, 256);
-/// let mut engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-/// engine.add_document("the cat sat on the mat").unwrap();
-/// engine.add_document("the dog chased the cat").unwrap();
-/// engine.flush().unwrap();
-/// assert_eq!(engine.boolean_str("cat and dog").unwrap().len(), 1);
-/// assert_eq!(engine.within("dog", "cat", 3).unwrap().len(), 1);
-/// ```
-pub struct SearchEngine {
-    index: DualIndex,
-    docs: DocStore,
-    vocab: HashMap<String, WordId>,
-    next_word: u64,
-    next_doc: u32,
-    total_docs: u64,
+/// Engine state beyond the index itself: stored documents, the word
+/// interner, and the id counters. Query evaluation lives here too, so the
+/// plain and durable engines share one implementation.
+pub(crate) struct EngineCore {
+    pub(crate) docs: DocStore,
+    pub(crate) vocab: HashMap<String, WordId>,
+    pub(crate) next_word: u64,
+    pub(crate) next_doc: u32,
+    pub(crate) total_docs: u64,
 }
 
-impl SearchEngine {
-    /// Create a fresh engine on the given disks.
-    pub fn create(array: DiskArray, config: IndexConfig) -> Result<Self> {
-        Ok(Self {
-            index: DualIndex::create(array, config)?,
+impl EngineCore {
+    /// Fresh, empty state. Word id 0 is reserved (unknown words map to it
+    /// and match nothing); document ids start at 1.
+    pub(crate) fn new() -> Self {
+        Self {
             docs: DocStore::new(),
             vocab: HashMap::new(),
-            next_word: 1, // word 0 is reserved
+            next_word: 1,
             next_doc: 1,
             total_docs: 0,
-        })
+        }
     }
 
-    /// Serialize the engine's metadata (vocabulary, document directory,
-    /// counters) — everything beyond what `DualIndex` persists itself.
-    /// Write this beside the device files after each flush; pass it to
-    /// [`SearchEngine::open`] to restore.
-    pub fn save_meta(&self) -> Vec<u8> {
+    /// Intern a word (lowercased by the caller/lexer).
+    pub(crate) fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.vocab.get(word) {
+            return id;
+        }
+        let id = WordId(self.next_word);
+        self.next_word += 1;
+        self.vocab.insert(word.to_string(), id);
+        id
+    }
+
+    /// Look up a word without interning.
+    pub(crate) fn word_id(&self, word: &str) -> Option<WordId> {
+        self.vocab.get(&word.to_ascii_lowercase()).copied()
+    }
+
+    /// Lex a document and intern every word, in lexer order. Interning
+    /// order determines word-id assignment, so recovery re-runs exactly
+    /// this to reproduce the vocabulary.
+    pub(crate) fn lex_and_intern(&mut self, text: &str) -> Vec<WordId> {
+        lexer::document_words(text).iter().map(|w| self.intern(w)).collect()
+    }
+
+    /// Serialize everything beyond what the index persists itself:
+    /// counters, vocabulary, document directory.
+    pub(crate) fn encode_meta(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"IVXMETA1");
         out.extend_from_slice(&self.next_word.to_le_bytes());
@@ -82,10 +92,8 @@ impl SearchEngine {
         out
     }
 
-    /// Re-open an engine: recover the index from `array` (see
-    /// [`DualIndex::open`]) and the engine metadata from `meta` bytes.
-    /// Document-store extents are re-reserved in the allocators.
-    pub fn open(array: DiskArray, config: IndexConfig, meta: &[u8]) -> Result<Self> {
+    /// Restore from [`EngineCore::encode_meta`] bytes.
+    pub(crate) fn decode_meta(meta: &[u8]) -> Result<Self> {
         let corrupt = |m: &str| IndexError::Corruption(format!("engine meta: {m}"));
         let need = |ok: bool, m: &str| ok.then_some(()).ok_or_else(|| corrupt(m));
         need(meta.len() >= 8 && &meta[..8] == b"IVXMETA1", "bad magic")?;
@@ -112,15 +120,168 @@ impl SearchEngine {
         }
         let dlen = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
         let docs = DocStore::deserialize(take(dlen)?)?;
+        Ok(Self { docs, vocab, next_word, next_doc, total_docs })
+    }
 
-        let mut index = DualIndex::open(array, config)?;
-        for (_, disk, start, blocks) in docs.extents() {
+    /// Parse a boolean query string into a [`Query`]. Unknown words become
+    /// empty-list terms (word id 0 is never interned, so they match
+    /// nothing).
+    pub(crate) fn parse_query(&self, text: &str) -> Result<Query> {
+        let tokens = lex_query(text)?;
+        let mut p = Parser { tokens, pos: 0, vocab: &self.vocab };
+        let q = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(IndexError::InvalidConfig(format!(
+                "trailing tokens in query {text:?}"
+            )));
+        }
+        Ok(q)
+    }
+
+    /// Proximity query (paper §1): inverted lists prune to the documents
+    /// containing both words; the stored text verifies the positional
+    /// window.
+    pub(crate) fn within(
+        &self,
+        index: &mut DualIndex,
+        w1: &str,
+        w2: &str,
+        window: u32,
+    ) -> Result<PostingList> {
+        let (Some(a), Some(b)) = (self.word_id(w1), self.word_id(w2)) else {
+            return Ok(PostingList::new());
+        };
+        let candidates = Query::and(Query::Word(a), Query::Word(b)).eval(index)?;
+        let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
+        let mut hits = Vec::new();
+        for &doc in candidates.docs() {
+            let Some(text) = self.docs.load(index.array_mut(), doc)? else {
+                continue;
+            };
+            let positions = lexer::document_word_positions(&text);
+            let find = |w: &str| {
+                positions
+                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                    .ok()
+                    .map(|i| positions[i].1.as_slice())
+                    .unwrap_or(&[])
+            };
+            if proximity::within(find(&l1), find(&l2), window) {
+                hits.push(doc);
+            }
+        }
+        Ok(PostingList::from_sorted(hits))
+    }
+
+    /// Phrase query: the words of `phrase` occur contiguously, in order.
+    pub(crate) fn phrase(&self, index: &mut DualIndex, phrase: &str) -> Result<PostingList> {
+        let words: Vec<String> = lexer::tokenize_document(phrase);
+        if words.is_empty() {
+            return Ok(PostingList::new());
+        }
+        // Prune: AND over all words (unknown word => empty result).
+        let mut ids = Vec::with_capacity(words.len());
+        for w in &words {
+            match self.vocab.get(w) {
+                Some(&id) => ids.push(Query::Word(id)),
+                None => return Ok(PostingList::new()),
+            }
+        }
+        let candidates = Query::And(ids).eval(index)?;
+        let mut hits = Vec::new();
+        for &doc in candidates.docs() {
+            let Some(text) = self.docs.load(index.array_mut(), doc)? else {
+                continue;
+            };
+            let positions = lexer::document_word_positions(&text);
+            let find = |w: &str| {
+                positions
+                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                    .ok()
+                    .map(|i| positions[i].1.as_slice())
+                    .unwrap_or(&[])
+            };
+            let term_positions: Vec<&[u32]> = words.iter().map(|w| find(w)).collect();
+            if proximity::contains_phrase(&term_positions) {
+                hits.push(doc);
+            }
+        }
+        Ok(PostingList::from_sorted(hits))
+    }
+
+    /// Vector-space search using a document text as the query (the paper's
+    /// "a query may be derived from a document" — §5.2.1).
+    pub(crate) fn more_like_this(
+        &self,
+        index: &mut DualIndex,
+        text: &str,
+        k: usize,
+    ) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        search(index, &VectorQuery::from_words(words), self.total_docs, k)
+    }
+}
+
+/// A text search engine over the dual-structure index.
+///
+/// Documents are stored alongside the index (in a [`DocStore`] sharing the
+/// same disks), enabling the paper's §1 positional conditions: inverted
+/// lists prune the candidates, the stored text verifies proximity and
+/// phrase predicates.
+/// ```
+/// use invidx_core::index::IndexConfig;
+/// use invidx_disk::sparse_array;
+/// use invidx_ir::SearchEngine;
+///
+/// let array = sparse_array(2, 50_000, 256);
+/// let mut engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
+/// engine.add_document("the cat sat on the mat").unwrap();
+/// engine.add_document("the dog chased the cat").unwrap();
+/// engine.flush().unwrap();
+/// assert_eq!(engine.boolean_str("cat and dog").unwrap().len(), 1);
+/// assert_eq!(engine.within("dog", "cat", 3).unwrap().len(), 1);
+/// ```
+pub struct SearchEngine {
+    index: DualIndex,
+    core: EngineCore,
+}
+
+impl SearchEngine {
+    /// Create a fresh engine on the given disks.
+    pub fn create(array: DiskArray, config: IndexConfig) -> Result<Self> {
+        Ok(Self { index: DualIndex::create(array, config)?, core: EngineCore::new() })
+    }
+
+    /// Serialize the engine's metadata (vocabulary, document directory,
+    /// counters) — everything beyond what `DualIndex` persists itself.
+    /// Write this beside the device files after each flush; pass it to
+    /// [`SearchEngine::open`] to restore.
+    pub fn save_meta(&self) -> Vec<u8> {
+        self.core.encode_meta()
+    }
+
+    /// Assemble an engine from an already-recovered index plus
+    /// [`SearchEngine::save_meta`] bytes. Document-store extents are
+    /// re-reserved in the index's allocators.
+    pub fn from_parts(mut index: DualIndex, meta: &[u8]) -> Result<Self> {
+        let core = EngineCore::decode_meta(meta)?;
+        for (_, disk, start, blocks) in core.docs.extents() {
             index
                 .array_mut()
                 .reserve_on(disk, start, blocks)
                 .map_err(IndexError::from)?;
         }
-        Ok(Self { index, docs, vocab, next_word, next_doc, total_docs })
+        Ok(Self { index, core })
+    }
+
+    /// Re-open an engine: recover the index from `array` (see
+    /// [`DualIndex::open`]) and the engine metadata from `meta` bytes.
+    /// Document-store extents are re-reserved in the allocators.
+    pub fn open(array: DiskArray, config: IndexConfig, meta: &[u8]) -> Result<Self> {
+        Self::from_parts(DualIndex::open(array, config)?, meta)
     }
 
     /// The underlying index.
@@ -135,47 +296,40 @@ impl SearchEngine {
 
     /// Documents added so far.
     pub fn total_docs(&self) -> u64 {
-        self.total_docs
+        self.core.total_docs
     }
 
     /// Distinct words interned so far.
     pub fn vocabulary_size(&self) -> usize {
-        self.vocab.len()
+        self.core.vocab.len()
     }
 
     /// Intern a word (lowercased by the caller/lexer).
     pub fn intern(&mut self, word: &str) -> WordId {
-        if let Some(&id) = self.vocab.get(word) {
-            return id;
-        }
-        let id = WordId(self.next_word);
-        self.next_word += 1;
-        self.vocab.insert(word.to_string(), id);
-        id
+        self.core.intern(word)
     }
 
     /// Look up a word without interning.
     pub fn word_id(&self, word: &str) -> Option<WordId> {
-        self.vocab.get(&word.to_ascii_lowercase()).copied()
+        self.core.word_id(word)
     }
 
     /// Add a document; returns its assigned id. The text goes through the
     /// paper's lexer: letter/digit tokens, lowercasing, header-line
     /// skipping, per-document dedup.
     pub fn add_document(&mut self, text: &str) -> Result<DocId> {
-        let words: Vec<WordId> =
-            lexer::document_words(text).iter().map(|w| self.intern(w)).collect();
-        let doc = DocId(self.next_doc);
-        self.next_doc += 1;
+        let words = self.core.lex_and_intern(text);
+        let doc = DocId(self.core.next_doc);
+        self.core.next_doc += 1;
         self.index.insert_document(doc, words)?;
-        self.docs.store(self.index.array_mut(), doc, text)?;
-        self.total_docs += 1;
+        self.core.docs.store(self.index.array_mut(), doc, text)?;
+        self.core.total_docs += 1;
         Ok(doc)
     }
 
     /// The stored text of a document.
     pub fn document(&mut self, doc: DocId) -> Result<Option<String>> {
-        self.docs.load(self.index.array_mut(), doc)
+        self.core.docs.load(self.index.array_mut(), doc)
     }
 
     /// Flush the current batch to disk.
@@ -209,20 +363,12 @@ impl SearchEngine {
     /// empty-list terms (word id 0 is never interned, so they match
     /// nothing).
     pub fn parse_query(&self, text: &str) -> Result<Query> {
-        let tokens = lex_query(text)?;
-        let mut p = Parser { tokens, pos: 0, engine: self };
-        let q = p.expr()?;
-        if p.pos != p.tokens.len() {
-            return Err(IndexError::InvalidConfig(format!(
-                "trailing tokens in query {text:?}"
-            )));
-        }
-        Ok(q)
+        self.core.parse_query(text)
     }
 
     /// Vector-space search with an explicit query.
     pub fn vector(&mut self, query: &VectorQuery, k: usize) -> Result<Vec<Hit>> {
-        search(&mut self.index, query, self.total_docs, k)
+        search(&mut self.index, query, self.core.total_docs, k)
     }
 
     /// Proximity query (paper §1: "requiring that 'cat' and 'dog' occur
@@ -230,75 +376,18 @@ impl SearchEngine {
     /// documents containing both words; the stored text verifies the
     /// positional window.
     pub fn within(&mut self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
-        let (Some(a), Some(b)) = (self.word_id(w1), self.word_id(w2)) else {
-            return Ok(PostingList::new());
-        };
-        let candidates = Query::and(Query::Word(a), Query::Word(b)).eval(&mut self.index)?;
-        let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
-        let mut hits = Vec::new();
-        for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(self.index.array_mut(), doc)? else {
-                continue;
-            };
-            let positions = lexer::document_word_positions(&text);
-            let find = |w: &str| {
-                positions
-                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
-                    .ok()
-                    .map(|i| positions[i].1.as_slice())
-                    .unwrap_or(&[])
-            };
-            if proximity::within(find(&l1), find(&l2), window) {
-                hits.push(doc);
-            }
-        }
-        Ok(PostingList::from_sorted(hits))
+        self.core.within(&mut self.index, w1, w2, window)
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
     pub fn phrase(&mut self, phrase: &str) -> Result<PostingList> {
-        let words: Vec<String> = lexer::tokenize_document(phrase);
-        if words.is_empty() {
-            return Ok(PostingList::new());
-        }
-        // Prune: AND over all words (unknown word => empty result).
-        let mut ids = Vec::with_capacity(words.len());
-        for w in &words {
-            match self.vocab.get(w) {
-                Some(&id) => ids.push(Query::Word(id)),
-                None => return Ok(PostingList::new()),
-            }
-        }
-        let candidates = Query::And(ids).eval(&mut self.index)?;
-        let mut hits = Vec::new();
-        for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(self.index.array_mut(), doc)? else {
-                continue;
-            };
-            let positions = lexer::document_word_positions(&text);
-            let find = |w: &str| {
-                positions
-                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
-                    .ok()
-                    .map(|i| positions[i].1.as_slice())
-                    .unwrap_or(&[])
-            };
-            let term_positions: Vec<&[u32]> = words.iter().map(|w| find(w)).collect();
-            if proximity::contains_phrase(&term_positions) {
-                hits.push(doc);
-            }
-        }
-        Ok(PostingList::from_sorted(hits))
+        self.core.phrase(&mut self.index, phrase)
     }
 
     /// Vector-space search using a document text as the query (the paper's
     /// "a query may be derived from a document" — §5.2.1).
     pub fn more_like_this(&mut self, text: &str, k: usize) -> Result<Vec<Hit>> {
-        let words: Vec<WordId> = lexer::document_words(text)
-            .iter()
-            .filter_map(|w| self.vocab.get(w).copied())
-            .collect();
-        self.vector(&VectorQuery::from_words(words), k)
+        self.core.more_like_this(&mut self.index, text, k)
     }
 }
 
@@ -348,7 +437,7 @@ fn lex_query(text: &str) -> Result<Vec<Tok>> {
 struct Parser<'a> {
     tokens: Vec<Tok>,
     pos: usize,
-    engine: &'a SearchEngine,
+    vocab: &'a HashMap<String, WordId>,
 }
 
 impl Parser<'_> {
@@ -407,7 +496,7 @@ impl Parser<'_> {
             Some(Tok::Word(w)) => {
                 self.pos += 1;
                 // Unknown words map to the reserved id 0 => empty list.
-                Ok(Query::Word(self.engine.vocab.get(&w).copied().unwrap_or(WordId(0))))
+                Ok(Query::Word(self.vocab.get(&w).copied().unwrap_or(WordId(0))))
             }
             Some(Tok::Not) => Err(IndexError::InvalidConfig(
                 "NOT is only valid after AND (a AND NOT b)".into(),

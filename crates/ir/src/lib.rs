@@ -13,11 +13,13 @@
 
 pub mod boolean;
 pub mod docstore;
+pub mod durable_engine;
 pub mod engine;
 pub mod proximity;
 pub mod vector;
 
 pub use boolean::{PostingSource, Query};
 pub use docstore::DocStore;
+pub use durable_engine::DurableEngine;
 pub use engine::SearchEngine;
 pub use vector::{search, Hit, VectorQuery};

@@ -56,6 +56,23 @@ pub const DISK_SERVICE_MS: &str = "disk_service_time_ms";
 /// (histogram; 1.0 = perfectly balanced).
 pub const DISK_QUEUE_IMBALANCE: &str = "disk_queue_imbalance_ratio";
 
+/// WAL records appended (one per committed batch/sweep/compact/rebalance).
+pub const WAL_APPENDS: &str = "wal_appends_total";
+/// Bytes appended to the write-ahead log.
+pub const WAL_BYTES: &str = "wal_bytes_total";
+/// fsync calls issued on the write-ahead log.
+pub const WAL_FSYNCS: &str = "wal_fsyncs_total";
+/// Checkpoint snapshots committed (atomic renames).
+pub const CHECKPOINT_WRITES: &str = "checkpoint_writes_total";
+/// Bytes written per checkpoint snapshot.
+pub const CHECKPOINT_BYTES: &str = "checkpoint_bytes_total";
+/// WAL records replayed during recovery.
+pub const RECOVERY_REPLAYED_RECORDS: &str = "recovery_replayed_records_total";
+/// Torn/corrupt WAL tail bytes truncated during recovery.
+pub const RECOVERY_TRUNCATED_BYTES: &str = "recovery_truncated_bytes_total";
+/// Recovery runs that found and used a checkpoint.
+pub const RECOVERY_OPENS: &str = "recovery_opens_total";
+
 /// Attach a `disk` label to a base metric name.
 pub fn per_disk(base: &str, disk: u16) -> String {
     format!("{base}{{disk=\"{disk}\"}}")

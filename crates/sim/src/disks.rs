@@ -171,7 +171,7 @@ impl DiskStage {
     fn snapshot(&self) -> BatchDiskStats {
         let dir = self.store.directory();
         BatchDiskStats {
-            cumulative_ops: self.array.trace().map_or(0, |t| t.ops.len() as u64),
+            cumulative_ops: self.array.with_trace(|t| t.map_or(0, |t| t.ops.len() as u64)),
             utilization: dir.utilization(self.params.block_postings),
             avg_reads_per_long_list: dir.avg_reads_per_long_list(),
             long_words: dir.num_words() as u64,
@@ -334,7 +334,7 @@ mod tests {
         }
         let first_word = stage.store.directory().iter().next().map(|(w, _)| w);
         if let Some(word) = first_word {
-            let list = stage.store.read_list(&mut stage.array, word).unwrap();
+            let list = stage.store.read_list(&stage.array, word).unwrap();
             assert!(!list.is_empty());
         }
     }

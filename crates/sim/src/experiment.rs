@@ -107,7 +107,7 @@ pub fn build_dual_index(
     policy: Policy,
     batches: &[BatchUpdate],
 ) -> Result<(DualIndex, Vec<BatchReport>)> {
-    let mut array = sparse_array(params.disks, params.blocks_per_disk, params.block_size);
+    let array = sparse_array(params.disks, params.blocks_per_disk, params.block_size);
     array.start_trace();
     let mut index = DualIndex::create(array, params.index_config(policy))?;
     let mut counters: HashMap<WordId, u32> = HashMap::new();

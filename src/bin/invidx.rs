@@ -9,19 +9,26 @@
 //! invidx near  ./myindex cat dog 5
 //! invidx like  ./myindex "incremental index updates" 5
 //! invidx show  ./myindex 3
+//! invidx checkpoint ./myindex
+//! invidx recover ./myindex
 //! invidx stats ./myindex
 //! ```
 //!
-//! The index directory holds one file per simulated disk (`disk<N>.bin`),
-//! a plain-text config (`invidx.conf`), and the engine metadata
-//! (`engine.meta`, rewritten after every mutating command). Updates are
-//! incremental: every `add` is one batch flush, never a rebuild.
+//! New indexes are **durable**: the directory holds one file per simulated
+//! disk (`disk-<N>.dat`), a write-ahead log (`wal.log`), an atomically
+//! renamed checkpoint (`index.ckpt`), and a plain-text config
+//! (`invidx.conf`). Every `add` is one WAL-committed batch — kill the
+//! process at any point and the next command recovers to the last
+//! committed batch. `init --legacy` produces the old volatile layout
+//! (`disk<N>.bin` + `engine.meta` rewritten after every mutating command),
+//! which existing index directories keep using.
 
-use invidx::core::index::IndexConfig;
+use invidx::core::index::{DualIndex, IndexConfig};
 use invidx::core::policy::Policy;
 use invidx::core::types::DocId;
 use invidx::disk::{BlockDevice, Disk, DiskArray, FileDevice, FitStrategy, FreeList};
-use invidx::ir::SearchEngine;
+use invidx::durable::{DurableOptions, StoreGeometry};
+use invidx::ir::{DurableEngine, SearchEngine};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -55,6 +62,14 @@ impl Conf {
             block_postings: self.block_postings,
             policy: self.policy,
             materialize_buckets: true,
+        }
+    }
+
+    fn geometry(&self) -> StoreGeometry {
+        StoreGeometry {
+            disks: self.disks,
+            blocks_per_disk: self.blocks,
+            block_size: self.block_size as u32,
         }
     }
 
@@ -102,6 +117,12 @@ impl Conf {
     }
 }
 
+/// A durable store directory carries its checkpoint file; the legacy
+/// layout never has one.
+fn is_durable(dir: &Path) -> bool {
+    dir.join("index.ckpt").exists()
+}
+
 fn device_array(dir: &Path, conf: &Conf, create: bool) -> Result<DiskArray, String> {
     let disks = (0..conf.disks)
         .map(|d| {
@@ -126,23 +147,126 @@ fn device_array(dir: &Path, conf: &Conf, create: bool) -> Result<DiskArray, Stri
     Ok(DiskArray::new(disks))
 }
 
-fn open_engine(dir: &Path) -> Result<(SearchEngine, Conf), String> {
+/// The engine behind a CLI index directory: WAL-backed for durable stores,
+/// `engine.meta`-backed for legacy ones.
+enum Engine {
+    Legacy(Box<SearchEngine>),
+    Durable(Box<DurableEngine>),
+}
+
+impl Engine {
+    fn add_document(&mut self, text: &str) -> Result<DocId, String> {
+        match self {
+            Self::Legacy(e) => e.add_document(text).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.add_document(text).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn flush(&mut self) -> Result<invidx::core::index::BatchReport, String> {
+        match self {
+            Self::Legacy(e) => e.flush().map_err(|e| e.to_string()),
+            Self::Durable(e) => e.flush().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn boolean_str(&mut self, query: &str) -> Result<invidx::core::postings::PostingList, String> {
+        match self {
+            Self::Legacy(e) => e.boolean_str(query).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.boolean_str(query).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn phrase(&mut self, phrase: &str) -> Result<invidx::core::postings::PostingList, String> {
+        match self {
+            Self::Legacy(e) => e.phrase(phrase).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.phrase(phrase).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn within(
+        &mut self,
+        w1: &str,
+        w2: &str,
+        window: u32,
+    ) -> Result<invidx::core::postings::PostingList, String> {
+        match self {
+            Self::Legacy(e) => e.within(w1, w2, window).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.within(w1, w2, window).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn more_like_this(&mut self, text: &str, k: usize) -> Result<Vec<invidx::ir::Hit>, String> {
+        match self {
+            Self::Legacy(e) => e.more_like_this(text, k).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.more_like_this(text, k).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn document(&mut self, doc: DocId) -> Result<Option<String>, String> {
+        match self {
+            Self::Legacy(e) => e.document(doc).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.document(doc).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn compact(&mut self) -> Result<invidx::core::index::CompactReport, String> {
+        match self {
+            Self::Legacy(e) => e.index_mut().compact().map_err(|e| e.to_string()),
+            Self::Durable(e) => e.compact().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn total_docs(&self) -> u64 {
+        match self {
+            Self::Legacy(e) => e.total_docs(),
+            Self::Durable(e) => e.total_docs(),
+        }
+    }
+
+    fn vocabulary_size(&self) -> usize {
+        match self {
+            Self::Legacy(e) => e.vocabulary_size(),
+            Self::Durable(e) => e.vocabulary_size(),
+        }
+    }
+
+    /// The core dual-structure index (stats, gauges).
+    fn core_index(&self) -> &DualIndex {
+        match self {
+            Self::Legacy(e) => e.index(),
+            Self::Durable(e) => e.index().inner(),
+        }
+    }
+}
+
+fn open_engine(dir: &Path) -> Result<(Engine, Conf), String> {
     let conf = Conf::load(dir)?;
+    if is_durable(dir) {
+        let engine = DurableEngine::open(dir, conf.index_config(), DurableOptions::default())
+            .map_err(|e| format!("cannot recover index: {e}"))?;
+        return Ok((Engine::Durable(Box::new(engine)), conf));
+    }
     let meta = std::fs::read(dir.join("engine.meta"))
         .map_err(|e| format!("cannot read engine.meta: {e}"))?;
     let array = device_array(dir, &conf, false)?;
     let engine = SearchEngine::open(array, conf.index_config(), &meta)
         .map_err(|e| format!("cannot open index: {e}"))?;
-    Ok((engine, conf))
+    Ok((Engine::Legacy(Box::new(engine)), conf))
 }
 
-fn persist(dir: &Path, engine: &SearchEngine) -> Result<(), String> {
-    std::fs::write(dir.join("engine.meta"), engine.save_meta())
-        .map_err(|e| format!("cannot write engine.meta: {e}"))
+/// Make the engine state survive the process: legacy engines rewrite
+/// `engine.meta`; durable engines already committed through the WAL.
+fn persist(dir: &Path, engine: &Engine) -> Result<(), String> {
+    match engine {
+        Engine::Legacy(e) => std::fs::write(dir.join("engine.meta"), e.save_meta())
+            .map_err(|e| format!("cannot write engine.meta: {e}")),
+        Engine::Durable(_) => Ok(()),
+    }
 }
 
 fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     let mut conf = Conf::defaults();
+    let mut legacy = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -173,6 +297,10 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("block-size: {e}"))?;
                 i += 2;
             }
+            "--legacy" => {
+                legacy = true;
+                i += 1;
+            }
             other => return Err(format!("unknown init option {other:?}")),
         }
     }
@@ -180,15 +308,24 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     if dir.join("invidx.conf").exists() {
         return Err(format!("{} is already an index", dir.display()));
     }
-    let array = device_array(dir, &conf, true)?;
-    let mut engine = SearchEngine::create(array, conf.index_config())
-        .map_err(|e| format!("cannot create index: {e}"))?;
-    // An empty first flush establishes the superblock/recovery point.
-    engine.flush().map_err(|e| format!("initial flush: {e}"))?;
+    let mode = if legacy {
+        let array = device_array(dir, &conf, true)?;
+        let mut engine = SearchEngine::create(array, conf.index_config())
+            .map_err(|e| format!("cannot create index: {e}"))?;
+        // An empty first flush establishes the superblock/recovery point.
+        engine.flush().map_err(|e| format!("initial flush: {e}"))?;
+        persist(dir, &Engine::Legacy(Box::new(engine)))?;
+        "legacy (engine.meta)"
+    } else {
+        // Creation writes the batch-0 checkpoint, so the store is already
+        // recoverable before the first add.
+        DurableEngine::create(dir, conf.index_config(), conf.geometry(), DurableOptions::default())
+            .map_err(|e| format!("cannot create index: {e}"))?;
+        "durable (WAL + checkpoints)"
+    };
     conf.save(dir).map_err(|e| e.to_string())?;
-    persist(dir, &engine)?;
     println!(
-        "initialized {} ({} disks x {} blocks x {} B, policy '{}')",
+        "initialized {} ({} disks x {} blocks x {} B, policy '{}', {mode})",
         dir.display(),
         conf.disks,
         conf.blocks,
@@ -265,10 +402,7 @@ fn cmd_show(dir: &Path, id: &str) -> Result<(), String> {
 
 fn cmd_compact(dir: &Path) -> Result<(), String> {
     let (mut engine, _) = open_engine(dir)?;
-    let report = engine
-        .index_mut()
-        .compact()
-        .map_err(|e| format!("compact: {e}"))?;
+    let report = engine.compact().map_err(|e| format!("compact: {e}"))?;
     persist(dir, &engine)?;
     println!(
         "compacted {} long lists: {} -> {} chunks, {} blocks freed",
@@ -277,11 +411,59 @@ fn cmd_compact(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Force a checkpoint now: snapshot the index + engine state and reset the
+/// WAL, so the next open restores without replay.
+fn cmd_checkpoint(dir: &Path) -> Result<(), String> {
+    let (engine, _) = open_engine(dir)?;
+    let Engine::Durable(mut engine) = engine else {
+        return Err("legacy index: checkpoints need a durable store (re-init without --legacy)"
+            .into());
+    };
+    let bytes = engine.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    println!(
+        "checkpoint at batch {} ({bytes} B); WAL reset to {} B",
+        engine.index().last_checkpoint_batch(),
+        engine.index().wal_size()
+    );
+    Ok(())
+}
+
+/// Run recovery explicitly and report what it did. Every command on a
+/// durable store recovers on open; this one just shows the numbers — after
+/// a crash, `invidx recover` tells you how much WAL was replayed and
+/// whether a torn tail was truncated.
+fn cmd_recover(dir: &Path) -> Result<(), String> {
+    let (engine, _) = open_engine(dir)?;
+    let Engine::Durable(engine) = engine else {
+        return Err("legacy index: nothing to recover (no WAL); durable stores only".into());
+    };
+    let info = engine.recovery().copied().unwrap_or_default();
+    println!("checkpoint batch    {}", info.checkpoint_batch);
+    println!("replayed records    {}", info.replayed_records);
+    println!("skipped records     {}", info.skipped_records);
+    println!("truncated bytes     {}", info.truncated_bytes);
+    println!(
+        "recovered: {} docs, {} words, batch {}",
+        engine.total_docs(),
+        engine.vocabulary_size(),
+        engine.index().inner().batches()
+    );
+    Ok(())
+}
+
 fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
     let (engine, conf) = open_engine(dir)?;
-    let ix = engine.index();
+    let ix = engine.core_index();
     let d = ix.directory();
     println!("policy              {}", conf.policy);
+    match &engine {
+        Engine::Legacy(_) => println!("durability          legacy (engine.meta)"),
+        Engine::Durable(e) => {
+            println!("durability          WAL + checkpoints");
+            println!("wal size            {} B", e.index().wal_size());
+            println!("last checkpoint     batch {}", e.index().last_checkpoint_batch());
+        }
+    }
     println!("documents           {}", engine.total_docs());
     println!("vocabulary          {}", engine.vocabulary_size());
     println!("batches flushed     {}", ix.batches());
@@ -309,9 +491,9 @@ fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
 /// Publish the opened index's state into the metric registry as gauges, so
 /// the rendered registry describes the on-disk index and not just whatever
 /// counters this process happened to touch.
-fn publish_index_gauges(engine: &SearchEngine, conf: &Conf) {
+fn publish_index_gauges(engine: &Engine, conf: &Conf) {
     use invidx::obs::gauge;
-    let ix = engine.index();
+    let ix = engine.core_index();
     let d = ix.directory();
     gauge!("index_documents").set(engine.total_docs() as i64);
     gauge!("index_vocabulary").set(engine.vocabulary_size() as i64);
@@ -323,6 +505,10 @@ fn publish_index_gauges(engine: &SearchEngine, conf: &Conf) {
     gauge!("index_long_postings").set(d.total_postings() as i64);
     gauge!("index_long_chunks").set(d.total_chunks() as i64);
     gauge!("index_long_blocks").set(d.total_blocks() as i64);
+    if let Engine::Durable(e) = engine {
+        gauge!("index_wal_bytes").set(e.index().wal_size() as i64);
+        gauge!("index_last_checkpoint_batch").set(e.index().last_checkpoint_batch() as i64);
+    }
     invidx::obs::histogram!(
         "index_long_utilization",
         invidx::obs::Buckets(vec![0.25, 0.5, 0.75, 0.9, 1.0])
@@ -388,11 +574,12 @@ fn print_docs(docs: &[DocId]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N]\n  \
+        "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n  \
          invidx add <dir> <file...>\n  invidx search <dir> <boolean query>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
          invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
-         invidx compact <dir>\n  invidx stats <dir> [--metrics]\n  \
+         invidx compact <dir>\n  invidx checkpoint <dir>\n  invidx recover <dir>\n  \
+         invidx stats <dir> [--metrics]\n  \
          invidx metrics <dir> [--json] [--read <word>]..."
     );
     ExitCode::from(2)
@@ -417,6 +604,8 @@ fn main() -> ExitCode {
         ("like", [t, k]) => cmd_like(&dir, t, Some(k)),
         ("show", [id]) => cmd_show(&dir, id),
         ("compact", []) => cmd_compact(&dir),
+        ("checkpoint", []) => cmd_checkpoint(&dir),
+        ("recover", []) => cmd_recover(&dir),
         ("stats", []) => cmd_stats(&dir, false),
         ("stats", [flag]) if flag == "--metrics" => cmd_stats(&dir, true),
         ("metrics", opts) => cmd_metrics(&dir, opts),

@@ -13,6 +13,7 @@ pub use invidx_btree as btree;
 pub use invidx_core as core;
 pub use invidx_corpus as corpus;
 pub use invidx_disk as disk;
+pub use invidx_durable as durable;
 pub use invidx_ir as ir;
 pub use invidx_obs as obs;
 pub use invidx_sim as sim;

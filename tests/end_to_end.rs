@@ -84,7 +84,7 @@ fn every_policy_answers_every_query_identically() {
         .collect();
 
     for policy in all_policies() {
-        let mut index = build(policy);
+        let index = build(policy);
         for &w in &samples {
             let got: Vec<u32> =
                 index.postings(WordId(w)).expect("query").docs().iter().map(|d| d.0).collect();

@@ -86,7 +86,7 @@ fn recovery_preserves_all_flushed_state_under_both_extreme_policies() {
             }
         } // crash
 
-        let mut index =
+        let index =
             DualIndex::open(file_array(&dir, 2, false), config(policy)).expect("open");
         assert_eq!(index.batches(), 4);
         let mut checked = 0usize;
@@ -124,7 +124,7 @@ fn index_continues_correctly_after_recovery() {
     // A second crash/recovery cycle still works (shadow generations were
     // freed and reallocated correctly).
     drop(index);
-    let mut index = DualIndex::open(file_array(&dir, 2, false), config(policy)).expect("open");
+    let index = DualIndex::open(file_array(&dir, 2, false), config(policy)).expect("open");
     assert_eq!(index.batches(), 2);
     assert_eq!(index.postings(WordId(15)).expect("query").len(), 200);
     std::fs::remove_dir_all(&dir).ok();
