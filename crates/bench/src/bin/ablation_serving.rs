@@ -1,0 +1,422 @@
+//! Ablation: concurrent serving under load. The paper argues for
+//! incremental updates precisely so the index can stay online — "7 days a
+//! week, 24 hours a day" (§1) — which only matters if queries keep flowing
+//! *while* batches land. This load generator drives the `invidx-serve`
+//! stack end to end over its TCP wire protocol:
+//!
+//! * **Sustained phase** — 8 closed-loop clients replay a Zipf-weighted
+//!   query stream against the server while a writer thread keeps ingesting
+//!   batches. Every response's `(epoch, docs)` pair is checked against a
+//!   single-threaded oracle replay of the same batch schedule; one
+//!   mismatch fails the run.
+//! * **Overload phase** — the server is rebuilt with a deliberately tiny
+//!   queue (1 reader, high-water 4) and its writer wedged, then burst
+//!   clients flood it. The point under test: the server answers with
+//!   *typed* `ERR overloaded` / `ERR timeout` lines instead of queueing
+//!   unboundedly or dropping connections.
+//!
+//! Reported: throughput, p50/p95/p99 latency, cache hit rate, shed rate.
+//! `INVIDX_QUICK=1` shrinks the corpus and request counts to CI scale.
+
+use invidx_bench::{emit_table, init_metrics, quick};
+use invidx_core::index::IndexConfig;
+use invidx_corpus::vocab::word_string;
+use invidx_corpus::zipf::ZipfTable;
+use invidx_disk::sparse_array;
+use invidx_ir::SearchEngine;
+use invidx_serve::{
+    parse_response, AdmissionConfig, Payload, QueryService, Request, Server, ServiceConfig,
+};
+use invidx_sim::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const VOCAB_RANKS: u64 = 2_000;
+const WORDS_PER_DOC: usize = 12;
+const ZIPF_S: f64 = 1.05;
+
+struct Scale {
+    batches: usize,
+    docs_per_batch: usize,
+    requests_per_client: usize,
+    query_pool: usize,
+}
+
+fn scale() -> Scale {
+    if quick() {
+        Scale { batches: 6, docs_per_batch: 20, requests_per_client: 200, query_pool: 48 }
+    } else {
+        Scale { batches: 16, docs_per_batch: 60, requests_per_client: 1_500, query_pool: 96 }
+    }
+}
+
+/// Zipf-sampled document text: frequent ranks dominate, like real text.
+fn make_batches(s: &Scale, zipf: &ZipfTable, rng: &mut StdRng) -> Vec<Vec<String>> {
+    (0..s.batches)
+        .map(|_| {
+            (0..s.docs_per_batch)
+                .map(|_| {
+                    (0..WORDS_PER_DOC)
+                        .map(|_| word_string(zipf.sample(rng)))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The query pool the clients replay (itself Zipf-weighted: queries are
+/// built from the same skewed rank distribution, so popular words repeat —
+/// which is exactly what gives the result cache something to do).
+fn make_queries(s: &Scale, zipf: &ZipfTable, rng: &mut StdRng) -> Vec<Request> {
+    (0..s.query_pool)
+        .map(|i| {
+            let mut w = || word_string(zipf.sample(rng));
+            match i % 4 {
+                0 => Request::Boolean(w()),
+                1 => Request::Boolean(format!("{} and {}", w(), w())),
+                2 => Request::Boolean(format!("({} or {}) and {}", w(), w(), w())),
+                _ => Request::Near(w(), w(), 5),
+            }
+        })
+        .collect()
+}
+
+fn run_oracle_request(engine: &SearchEngine, req: &Request) -> Vec<u32> {
+    let list = match req {
+        Request::Boolean(q) => engine.boolean_str(q).expect("oracle boolean"),
+        Request::Near(w1, w2, win) => engine.within(w1, w2, *win).expect("oracle near"),
+        other => panic!("not in the oracle mix: {other:?}"),
+    };
+    list.docs().iter().map(|d| d.0).collect()
+}
+
+/// `oracle[epoch][wire-form] = expected docs` from a single-threaded replay.
+fn build_oracle(
+    schedule: &[Vec<String>],
+    queries: &[Request],
+) -> Vec<HashMap<String, Vec<u32>>> {
+    let mut engine =
+        SearchEngine::create(sparse_array(4, 200_000, 512), IndexConfig::small()).unwrap();
+    let row = |e: &SearchEngine| {
+        queries.iter().map(|q| (q.to_wire(), run_oracle_request(e, q))).collect()
+    };
+    let mut oracle = vec![row(&engine)];
+    for batch in schedule {
+        for text in batch {
+            engine.add_document(text).unwrap();
+        }
+        engine.flush().unwrap();
+        oracle.push(row(&engine));
+    }
+    oracle
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    shed: u64,
+    timeouts: u64,
+}
+
+/// One closed-loop TCP client: send a request line, wait for the reply,
+/// oracle-check it, repeat.
+fn run_client(
+    addr: std::net::SocketAddr,
+    queries: &[Request],
+    oracle: &[HashMap<String, Vec<u32>>],
+    requests: usize,
+    seed: u64,
+    mismatches: &AtomicU64,
+) -> ClientOutcome {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out =
+        ClientOutcome { latencies_us: Vec::with_capacity(requests), ok: 0, shed: 0, timeouts: 0 };
+    let mut line = String::new();
+    for _ in 0..requests {
+        let req = &queries[rng.random_range(0..queries.len())];
+        let t = Instant::now();
+        writeln!(writer, "{}", req.to_wire()).expect("send");
+        writer.flush().expect("flush");
+        line.clear();
+        reader.read_line(&mut line).expect("recv");
+        out.latencies_us.push(t.elapsed().as_micros() as u64);
+        match parse_response(&line).expect("well-formed reply") {
+            Ok(resp) => {
+                let Payload::Docs(got) = &resp.payload else {
+                    panic!("unexpected payload: {line}")
+                };
+                let want = &oracle[resp.epoch as usize][&req.to_wire()];
+                if got != want {
+                    mismatches.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "MISMATCH {} at epoch {}: got {got:?}, oracle {want:?}",
+                        req.to_wire(),
+                        resp.epoch
+                    );
+                }
+                out.ok += 1;
+            }
+            Err(e) if e.code() == "overloaded" => out.shed += 1,
+            Err(e) if e.code() == "timeout" => out.timeouts += 1,
+            Err(e) => panic!("unexpected serving error: {e}"),
+        }
+    }
+    out
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+struct PhaseRow {
+    label: String,
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    shed: u64,
+    timeouts: u64,
+    secs: f64,
+    latencies_us: Vec<u64>,
+    cache_hit_rate: f64,
+}
+
+impl PhaseRow {
+    fn cells(mut self) -> Vec<String> {
+        self.latencies_us.sort_unstable();
+        vec![
+            self.label,
+            self.clients.to_string(),
+            self.requests.to_string(),
+            self.ok.to_string(),
+            self.shed.to_string(),
+            self.timeouts.to_string(),
+            format!("{:.0}", self.ok as f64 / self.secs),
+            format!("{:.2}", percentile(&self.latencies_us, 0.50)),
+            format!("{:.2}", percentile(&self.latencies_us, 0.95)),
+            format!("{:.2}", percentile(&self.latencies_us, 0.99)),
+            format!("{:.1}%", self.cache_hit_rate * 100.0),
+            format!("{:.1}%", self.shed as f64 / self.requests.max(1) as f64 * 100.0),
+        ]
+    }
+}
+
+/// Sustained phase: 8 clients vs 1 writer, every result oracle-checked.
+fn sustained_phase(
+    s: &Scale,
+    schedule: Arc<Vec<Vec<String>>>,
+    queries: Arc<Vec<Request>>,
+    oracle: Arc<Vec<HashMap<String, Vec<u32>>>>,
+) -> PhaseRow {
+    let engine =
+        SearchEngine::create(sparse_array(4, 200_000, 512), IndexConfig::small()).unwrap();
+    let service = Arc::new(QueryService::new(engine, ServiceConfig { cache_capacity: 512 }));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        AdmissionConfig {
+            readers: 4,
+            high_water: 1_024,
+            deadline: Duration::from_secs(30),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let mismatches = Arc::new(AtomicU64::new(0));
+
+    let t = Instant::now();
+    let writer = {
+        let service = Arc::clone(&service);
+        let schedule = Arc::clone(&schedule);
+        std::thread::spawn(move || {
+            for batch in schedule.iter() {
+                service.ingest_batch(batch).expect("ingest");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let queries = Arc::clone(&queries);
+            let oracle = Arc::clone(&oracle);
+            let mismatches = Arc::clone(&mismatches);
+            let requests = s.requests_per_client;
+            std::thread::spawn(move || {
+                run_client(addr, &queries, &oracle, requests, 0xC0FFEE + c as u64, &mismatches)
+            })
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    writer.join().unwrap();
+    let secs = t.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let bad = mismatches.load(Ordering::Relaxed);
+    assert_eq!(bad, 0, "{bad} oracle mismatches — serving returned incorrect results");
+    let stats = service.stats();
+    assert_eq!(stats.batches as usize, s.batches, "writer must have kept updating");
+    let lookups = stats.cache_hits + stats.cache_misses;
+    PhaseRow {
+        label: "sustained (oracle-checked)".into(),
+        clients: CLIENTS,
+        requests: outcomes.iter().map(|o| o.latencies_us.len() as u64).sum(),
+        ok: outcomes.iter().map(|o| o.ok).sum(),
+        shed: outcomes.iter().map(|o| o.shed).sum(),
+        timeouts: outcomes.iter().map(|o| o.timeouts).sum(),
+        secs,
+        latencies_us: outcomes.into_iter().flat_map(|o| o.latencies_us).collect(),
+        cache_hit_rate: if lookups == 0 { 0.0 } else { stats.cache_hits as f64 / lookups as f64 },
+    }
+}
+
+/// Overload phase: tiny queue, wedged writer, burst clients. The server
+/// must degrade by answering typed load errors, not by queueing forever.
+fn overload_phase(queries: Arc<Vec<Request>>, seed_batch: &[String]) -> PhaseRow {
+    let engine =
+        SearchEngine::create(sparse_array(2, 50_000, 256), IndexConfig::small()).unwrap();
+    let service = Arc::new(QueryService::new(engine, ServiceConfig { cache_capacity: 0 }));
+    service.ingest_batch(seed_batch).expect("seed");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        AdmissionConfig {
+            readers: 1,
+            high_water: 4,
+            deadline: Duration::from_millis(20),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Wedge the single reader behind the engine write lock so the queue
+    // fills and admission control has to act.
+    let wedge_service = Arc::clone(&service);
+    let hold = Duration::from_millis(if quick() { 300 } else { 800 });
+    let wedge = std::thread::spawn(move || {
+        wedge_service.with_blocked_writer(|| std::thread::sleep(hold));
+    });
+
+    let burst_clients = 16;
+    let per_client = 40;
+    let t = Instant::now();
+    let clients: Vec<_> = (0..burst_clients)
+        .map(|c| {
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = BufWriter::new(stream);
+                let mut rng = StdRng::seed_from_u64(0xBAD10AD + c as u64);
+                let mut out = ClientOutcome {
+                    latencies_us: Vec::with_capacity(per_client),
+                    ok: 0,
+                    shed: 0,
+                    timeouts: 0,
+                };
+                let mut line = String::new();
+                for _ in 0..per_client {
+                    let req = &queries[rng.random_range(0..queries.len())];
+                    let t = Instant::now();
+                    writeln!(writer, "{}", req.to_wire()).expect("send");
+                    writer.flush().expect("flush");
+                    line.clear();
+                    reader.read_line(&mut line).expect("recv");
+                    out.latencies_us.push(t.elapsed().as_micros() as u64);
+                    match parse_response(&line).expect("well-formed reply") {
+                        Ok(_) => out.ok += 1,
+                        Err(e) if e.code() == "overloaded" => out.shed += 1,
+                        Err(e) if e.code() == "timeout" => out.timeouts += 1,
+                        Err(e) => panic!("untyped degradation: {e}"),
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let secs = t.elapsed().as_secs_f64();
+    wedge.join().unwrap();
+    server.shutdown();
+
+    let shed: u64 = outcomes.iter().map(|o| o.shed).sum();
+    let timeouts: u64 = outcomes.iter().map(|o| o.timeouts).sum();
+    assert!(
+        shed + timeouts > 0,
+        "deliberate overload produced no typed load responses — admission control is inert"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.shed, shed, "server-side shed counter must match client-observed sheds");
+    PhaseRow {
+        label: "overload (1 reader, hw 4)".into(),
+        clients: burst_clients,
+        requests: (burst_clients * per_client) as u64,
+        ok: outcomes.iter().map(|o| o.ok).sum(),
+        shed,
+        timeouts,
+        secs,
+        latencies_us: outcomes.into_iter().flat_map(|o| o.latencies_us).collect(),
+        cache_hit_rate: 0.0,
+    }
+}
+
+fn main() {
+    init_metrics();
+    let s = scale();
+    let zipf = ZipfTable::new(VOCAB_RANKS as usize, ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(0x5EED5EED);
+    let schedule = Arc::new(make_batches(&s, &zipf, &mut rng));
+    let queries = Arc::new(make_queries(&s, &zipf, &mut rng));
+    invidx_obs::log_progress(
+        "serving",
+        &format!(
+            "{} batches x {} docs, {} queries in pool, {} clients x {} requests",
+            s.batches, s.docs_per_batch, queries.len(), CLIENTS, s.requests_per_client
+        ),
+    );
+    let oracle = Arc::new(build_oracle(&schedule, &queries));
+    invidx_obs::log_progress("serving", "oracle replay built; starting load");
+
+    let sustained = sustained_phase(&s, Arc::clone(&schedule), Arc::clone(&queries), oracle);
+    let overload = overload_phase(queries, &schedule[0]);
+
+    emit_table(&TextTable {
+        id: "ablation_serving".into(),
+        title: format!(
+            "Concurrent serving: {} docs ingested live, Zipf(s={ZIPF_S}) queries, \
+             every sustained-phase result oracle-checked",
+            s.batches * s.docs_per_batch
+        ),
+        headers: vec![
+            "Phase".into(),
+            "Clients".into(),
+            "Requests".into(),
+            "OK".into(),
+            "Shed".into(),
+            "Timeout".into(),
+            "Req/s".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+            "Cache hit".into(),
+            "Shed rate".into(),
+        ],
+        rows: vec![sustained.cells(), overload.cells()],
+    });
+}

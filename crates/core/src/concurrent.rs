@@ -20,21 +20,64 @@ use crate::index::{BatchReport, DualIndex, SweepReport};
 use crate::postings::PostingList;
 use crate::types::{DocId, Result, WordId};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A monotone batch-epoch counter.
+///
+/// The serving layer's snapshot model hangs off this number: the epoch
+/// advances exactly when the visible state of the index changes (a batch
+/// flush, a sweep — anything that lands under the write lock), so any
+/// result computed under the read lock is fully described by the epoch it
+/// was computed at. Caches key their invalidation on it: an entry recorded
+/// at epoch `e` is valid while the counter still reads `e`.
+#[derive(Debug, Default)]
+pub struct EpochCounter(AtomicU64);
+
+impl EpochCounter {
+    /// A counter starting at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Advance to the next epoch, returning the new value. Called with the
+    /// writer lock held, after a mutation becomes visible to readers.
+    pub fn bump(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
 
 /// A cloneable, thread-safe handle to a [`DualIndex`].
 #[derive(Clone)]
 pub struct SharedIndex {
     inner: Arc<RwLock<DualIndex>>,
+    epoch: Arc<EpochCounter>,
 }
 
 impl SharedIndex {
     /// Wrap an index.
     pub fn new(index: DualIndex) -> Self {
-        Self { inner: Arc::new(RwLock::new(index)) }
+        Self { inner: Arc::new(RwLock::new(index)), epoch: Arc::new(EpochCounter::new()) }
+    }
+
+    /// The current batch epoch: bumped by every visible mutation
+    /// ([`Self::flush_batch`], [`Self::sweep`], [`Self::with_write`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
     }
 
     /// Add a document to the current batch.
+    ///
+    /// Does **not** bump the epoch: per the paper, the arriving batch "can
+    /// be searched simultaneously with the larger index", so unflushed
+    /// documents are visible to queries — epoch-keyed caching therefore
+    /// only makes sense when inserts and flushes are applied as one unit
+    /// under [`Self::with_write`] (as the serving layer does).
     pub fn insert_document<I>(&self, doc: DocId, words: I) -> Result<()>
     where
         I: IntoIterator<Item = WordId>,
@@ -42,9 +85,12 @@ impl SharedIndex {
         self.inner.write().insert_document(doc, words)
     }
 
-    /// Flush the current batch to disk.
+    /// Flush the current batch to disk and advance the epoch.
     pub fn flush_batch(&self) -> Result<BatchReport> {
-        self.inner.write().flush_batch()
+        let mut guard = self.inner.write();
+        let report = guard.flush_batch()?;
+        self.epoch.bump();
+        Ok(report)
     }
 
     /// Query a word's postings (in-memory batch included, deletions
@@ -60,14 +106,20 @@ impl SharedIndex {
         self.inner.read().doc_frequency(word)
     }
 
-    /// Logically delete a document.
+    /// Logically delete a document. Bumps the epoch: the deletion filter
+    /// applies to queries immediately, so cached results are stale at once.
     pub fn delete_document(&self, doc: DocId) {
-        self.inner.write().delete_document(doc);
+        let mut guard = self.inner.write();
+        guard.delete_document(doc);
+        self.epoch.bump();
     }
 
-    /// Run the deletion sweep.
+    /// Run the deletion sweep and advance the epoch.
     pub fn sweep(&self) -> Result<SweepReport> {
-        self.inner.write().sweep()
+        let mut guard = self.inner.write();
+        let report = guard.sweep()?;
+        self.epoch.bump();
+        Ok(report)
     }
 
     /// Run a closure with shared (read) access to the index.
@@ -75,9 +127,22 @@ impl SharedIndex {
         f(&self.inner.read())
     }
 
-    /// Run a closure with exclusive access to the index.
+    /// Run a closure with a consistent `(epoch, index)` snapshot under the
+    /// read lock: the epoch cannot advance while the closure runs, so the
+    /// pair is coherent — the result the closure computes is exactly the
+    /// state named by that epoch.
+    pub fn with_snapshot<R>(&self, f: impl FnOnce(u64, &DualIndex) -> R) -> R {
+        let guard = self.inner.read();
+        f(self.epoch.get(), &guard)
+    }
+
+    /// Run a closure with exclusive access to the index, then advance the
+    /// epoch (the closure is assumed to have changed visible state).
     pub fn with_write<R>(&self, f: impl FnOnce(&mut DualIndex) -> R) -> R {
-        f(&mut self.inner.write())
+        let mut guard = self.inner.write();
+        let r = f(&mut guard);
+        self.epoch.bump();
+        r
     }
 }
 
@@ -133,6 +198,37 @@ mod tests {
         }
         index.flush_batch().unwrap();
         assert_eq!(index.postings(WordId(1)).unwrap().len(), 150);
+    }
+
+    #[test]
+    fn epoch_advances_with_visible_mutations() {
+        let index = shared();
+        assert_eq!(index.epoch(), 0);
+        index.insert_document(DocId(1), [WordId(1)]).unwrap();
+        // Inserts alone leave the epoch: the batch is already queryable.
+        assert_eq!(index.epoch(), 0);
+        index.flush_batch().unwrap();
+        assert_eq!(index.epoch(), 1);
+        index.delete_document(DocId(1));
+        assert_eq!(index.epoch(), 2);
+        index.sweep().unwrap();
+        assert_eq!(index.epoch(), 3);
+        index
+            .with_write(|ix| {
+                ix.insert_document(DocId(2), [WordId(1)]).and_then(|_| ix.flush_batch())
+            })
+            .unwrap();
+        assert_eq!(index.epoch(), 4);
+    }
+
+    #[test]
+    fn snapshot_pairs_epoch_with_state() {
+        let index = shared();
+        index.insert_document(DocId(1), [WordId(7)]).unwrap();
+        index.flush_batch().unwrap();
+        let (epoch, len) =
+            index.with_snapshot(|e, ix| (e, ix.postings(WordId(7)).unwrap().len()));
+        assert_eq!((epoch, len), (1, 1));
     }
 
     #[test]

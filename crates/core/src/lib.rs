@@ -54,6 +54,7 @@ pub mod postings;
 pub mod types;
 
 pub use bucket::{Bucket, BucketStore, InsertOutcome};
+pub use concurrent::{EpochCounter, SharedIndex};
 pub use directory::{ChunkRef, Directory, LongEntry};
 pub use index::{
     BatchReport, CompactReport, DualIndex, IndexConfig, IndexSnapshot, RebalanceReport,

@@ -63,8 +63,10 @@ impl Query {
         }
     }
 
-    /// Evaluate against any posting source.
-    pub fn eval<S: PostingSource + ?Sized>(&self, source: &mut S) -> Result<PostingList> {
+    /// Evaluate against any posting source. Takes `&S`: posting reads are
+    /// shared-access all the way down (see [`PostingSource`]), so concurrent
+    /// queries evaluate in parallel under a read lock.
+    pub fn eval<S: PostingSource + ?Sized>(&self, source: &S) -> Result<PostingList> {
         match self {
             Query::Word(w) => source.postings(*w),
             Query::And(qs) => {
@@ -107,13 +109,18 @@ impl Query {
 /// Anything that can produce the posting list of a word. Implemented by
 /// the dual-structure index (through the engine) and by in-memory maps in
 /// tests.
+///
+/// `postings` takes `&self`: the whole read path is shareable
+/// (`DualIndex::postings` is `&self`; device reads and trace recording go
+/// through shared interfaces), which is what lets N serving threads
+/// evaluate queries concurrently under one read lock.
 pub trait PostingSource {
     /// The current posting list for `word` (empty if absent).
-    fn postings(&mut self, word: WordId) -> Result<PostingList>;
+    fn postings(&self, word: WordId) -> Result<PostingList>;
 }
 
 impl PostingSource for invidx_core::DualIndex {
-    fn postings(&mut self, word: WordId) -> Result<PostingList> {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
         invidx_core::DualIndex::postings(self, word)
     }
 }
@@ -127,7 +134,7 @@ mod tests {
     struct MapSource(HashMap<u64, Vec<u32>>);
 
     impl PostingSource for MapSource {
-        fn postings(&mut self, word: WordId) -> Result<PostingList> {
+        fn postings(&self, word: WordId) -> Result<PostingList> {
             Ok(self
                 .0
                 .get(&word.0)
@@ -154,14 +161,14 @@ mod tests {
             Query::and(Query::Word(WordId(1)), Query::Word(WordId(2))),
             Query::Word(WordId(3)),
         );
-        let r = q.eval(&mut source()).unwrap();
+        let r = q.eval(&source()).unwrap();
         assert_eq!(docs(&r), vec![2, 3, 4, 5, 6, 8]);
     }
 
     #[test]
     fn and_not() {
         let q = Query::and_not(Query::Word(WordId(1)), Query::Word(WordId(2)));
-        let r = q.eval(&mut source()).unwrap();
+        let r = q.eval(&source()).unwrap();
         assert_eq!(docs(&r), vec![1, 5]);
     }
 
@@ -172,18 +179,18 @@ mod tests {
             Query::or(Query::Word(WordId(1)), Query::Word(WordId(3))),
             Query::and(Query::Word(WordId(2)), Query::Word(WordId(3))),
         );
-        let r = q.eval(&mut source()).unwrap();
+        let r = q.eval(&source()).unwrap();
         assert_eq!(docs(&r), vec![1, 2, 3, 5, 6, 8]);
     }
 
     #[test]
     fn empty_operands() {
         let q = Query::And(vec![]);
-        assert!(q.eval(&mut source()).unwrap().is_empty());
+        assert!(q.eval(&source()).unwrap().is_empty());
         let q = Query::Or(vec![]);
-        assert!(q.eval(&mut source()).unwrap().is_empty());
+        assert!(q.eval(&source()).unwrap().is_empty());
         let q = Query::and(Query::Word(WordId(99)), Query::Word(WordId(1)));
-        assert!(q.eval(&mut source()).unwrap().is_empty());
+        assert!(q.eval(&source()).unwrap().is_empty());
     }
 
     #[test]
@@ -203,7 +210,7 @@ mod tests {
             Query::Word(WordId(2)),
             Query::Word(WordId(3)),
         ]);
-        let r = q.eval(&mut source()).unwrap();
+        let r = q.eval(&source()).unwrap();
         assert!(docs(&r).is_empty());
     }
 }

@@ -84,8 +84,11 @@ impl DocStore {
         Ok(())
     }
 
-    /// Load a document's text; one sequential read.
-    pub fn load(&self, array: &mut DiskArray, doc: DocId) -> Result<Option<String>> {
+    /// Load a document's text; one sequential read. Shared access: device
+    /// reads and trace recording are `&self` on the array, so concurrent
+    /// readers (the serving layer's worker threads) load documents in
+    /// parallel.
+    pub fn load(&self, array: &DiskArray, doc: DocId) -> Result<Option<String>> {
         let Some(&r) = self.directory.get(&doc) else {
             return Ok(None);
         };
@@ -175,9 +178,9 @@ mod tests {
         let mut store = DocStore::new();
         store.store(&mut array, DocId(1), "hello world").unwrap();
         store.store(&mut array, DocId(2), &"long text ".repeat(100)).unwrap();
-        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "hello world");
-        assert_eq!(store.load(&mut array, DocId(2)).unwrap().unwrap().len(), 1000);
-        assert_eq!(store.load(&mut array, DocId(404)).unwrap(), None);
+        assert_eq!(store.load(&array, DocId(1)).unwrap().unwrap(), "hello world");
+        assert_eq!(store.load(&array, DocId(2)).unwrap().unwrap().len(), 1000);
+        assert_eq!(store.load(&array, DocId(404)).unwrap(), None);
         assert_eq!(store.len(), 2);
         assert_eq!(store.bytes_stored(), 11 + 1000);
     }
@@ -189,7 +192,7 @@ mod tests {
         let free0 = array.free_blocks();
         store.store(&mut array, DocId(1), &"x".repeat(640)).unwrap();
         store.store(&mut array, DocId(1), "short").unwrap();
-        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "short");
+        assert_eq!(store.load(&array, DocId(1)).unwrap().unwrap(), "short");
         assert_eq!(array.free_blocks(), free0 - 1);
         assert_eq!(store.bytes_stored(), 5);
     }
@@ -211,7 +214,7 @@ mod tests {
         let mut array = sparse_array(1, 1_000, 64);
         let mut store = DocStore::new();
         store.store(&mut array, DocId(1), "").unwrap();
-        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), "");
+        assert_eq!(store.load(&array, DocId(1)).unwrap().unwrap(), "");
     }
 
     #[test]
@@ -220,6 +223,6 @@ mod tests {
         let mut store = DocStore::new();
         let text = "caf\u{e9} na\u{ef}ve \u{1F600}";
         store.store(&mut array, DocId(1), text).unwrap();
-        assert_eq!(store.load(&mut array, DocId(1)).unwrap().unwrap(), text);
+        assert_eq!(store.load(&array, DocId(1)).unwrap().unwrap(), text);
     }
 }

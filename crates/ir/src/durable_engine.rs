@@ -255,13 +255,14 @@ impl DurableEngine {
 
     // ----- queries (same surface as `SearchEngine`) -----
 
-    /// Evaluate a boolean [`Query`].
-    pub fn boolean(&mut self, query: &Query) -> invidx_core::Result<PostingList> {
-        query.eval(self.index.inner_mut())
+    /// Evaluate a boolean [`Query`]. `&self`, like every query method:
+    /// the serving layer runs these concurrently under a read lock.
+    pub fn boolean(&self, query: &Query) -> invidx_core::Result<PostingList> {
+        query.eval(self.index.inner())
     }
 
     /// Parse and evaluate a boolean query string.
-    pub fn boolean_str(&mut self, query: &str) -> invidx_core::Result<PostingList> {
+    pub fn boolean_str(&self, query: &str) -> invidx_core::Result<PostingList> {
         let q = self.core.parse_query(query)?;
         self.boolean(&q)
     }
@@ -272,29 +273,28 @@ impl DurableEngine {
     }
 
     /// Vector-space search with an explicit query.
-    pub fn vector(&mut self, query: &VectorQuery, k: usize) -> invidx_core::Result<Vec<Hit>> {
-        let total = self.core.total_docs;
-        search(self.index.inner_mut(), query, total, k)
+    pub fn vector(&self, query: &VectorQuery, k: usize) -> invidx_core::Result<Vec<Hit>> {
+        search(self.index.inner(), query, self.core.total_docs, k)
     }
 
     /// Proximity query: both words within `window` positions of each other.
-    pub fn within(&mut self, w1: &str, w2: &str, window: u32) -> invidx_core::Result<PostingList> {
-        self.core.within(self.index.inner_mut(), w1, w2, window)
+    pub fn within(&self, w1: &str, w2: &str, window: u32) -> invidx_core::Result<PostingList> {
+        self.core.within(self.index.inner(), w1, w2, window)
     }
 
     /// Phrase query: the words occur contiguously, in order.
-    pub fn phrase(&mut self, phrase: &str) -> invidx_core::Result<PostingList> {
-        self.core.phrase(self.index.inner_mut(), phrase)
+    pub fn phrase(&self, phrase: &str) -> invidx_core::Result<PostingList> {
+        self.core.phrase(self.index.inner(), phrase)
     }
 
     /// Vector-space search using a document text as the query.
-    pub fn more_like_this(&mut self, text: &str, k: usize) -> invidx_core::Result<Vec<Hit>> {
-        self.core.more_like_this(self.index.inner_mut(), text, k)
+    pub fn more_like_this(&self, text: &str, k: usize) -> invidx_core::Result<Vec<Hit>> {
+        self.core.more_like_this(self.index.inner(), text, k)
     }
 
     /// The stored text of a document.
-    pub fn document(&mut self, doc: DocId) -> invidx_core::Result<Option<String>> {
-        self.core.docs.load(self.index.inner_mut().array_mut(), doc)
+    pub fn document(&self, doc: DocId) -> invidx_core::Result<Option<String>> {
+        self.core.docs.load(self.index.inner().array(), doc)
     }
 
     // ----- introspection -----
@@ -328,7 +328,7 @@ impl DurableEngine {
 }
 
 impl PostingSource for DurableEngine {
-    fn postings(&mut self, word: WordId) -> invidx_core::Result<PostingList> {
+    fn postings(&self, word: WordId) -> invidx_core::Result<PostingList> {
         self.index.inner().postings(word)
     }
 }
@@ -404,7 +404,7 @@ mod tests {
         assert_eq!(e.index().wal_size(), 0);
         drop(e);
 
-        let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+        let e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
         assert_eq!(e.recovery().unwrap().replayed_records, 0);
         assert_eq!(e.total_docs(), 2);
         assert_eq!(e.boolean_str("beta and gamma").unwrap().len(), 2);
@@ -425,7 +425,7 @@ mod tests {
         assert_eq!(e.boolean_str("shared").unwrap().len(), 1);
         drop(e);
 
-        let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+        let e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
         assert_eq!(e.boolean_str("shared").unwrap().len(), 1);
         assert_eq!(e.index().inner().pending_deletions(), 0);
         std::fs::remove_dir_all(&dir).ok();

@@ -143,7 +143,7 @@ impl EngineCore {
     /// window.
     pub(crate) fn within(
         &self,
-        index: &mut DualIndex,
+        index: &DualIndex,
         w1: &str,
         w2: &str,
         window: u32,
@@ -155,7 +155,7 @@ impl EngineCore {
         let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
         let mut hits = Vec::new();
         for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(index.array_mut(), doc)? else {
+            let Some(text) = self.docs.load(index.array(), doc)? else {
                 continue;
             };
             let positions = lexer::document_word_positions(&text);
@@ -174,7 +174,7 @@ impl EngineCore {
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
-    pub(crate) fn phrase(&self, index: &mut DualIndex, phrase: &str) -> Result<PostingList> {
+    pub(crate) fn phrase(&self, index: &DualIndex, phrase: &str) -> Result<PostingList> {
         let words: Vec<String> = lexer::tokenize_document(phrase);
         if words.is_empty() {
             return Ok(PostingList::new());
@@ -190,7 +190,7 @@ impl EngineCore {
         let candidates = Query::And(ids).eval(index)?;
         let mut hits = Vec::new();
         for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(index.array_mut(), doc)? else {
+            let Some(text) = self.docs.load(index.array(), doc)? else {
                 continue;
             };
             let positions = lexer::document_word_positions(&text);
@@ -213,7 +213,7 @@ impl EngineCore {
     /// "a query may be derived from a document" — §5.2.1).
     pub(crate) fn more_like_this(
         &self,
-        index: &mut DualIndex,
+        index: &DualIndex,
         text: &str,
         k: usize,
     ) -> Result<Vec<Hit>> {
@@ -328,8 +328,8 @@ impl SearchEngine {
     }
 
     /// The stored text of a document.
-    pub fn document(&mut self, doc: DocId) -> Result<Option<String>> {
-        self.core.docs.load(self.index.array_mut(), doc)
+    pub fn document(&self, doc: DocId) -> Result<Option<String>> {
+        self.core.docs.load(self.index.array(), doc)
     }
 
     /// Flush the current batch to disk.
@@ -347,14 +347,16 @@ impl SearchEngine {
         self.index.sweep()
     }
 
-    /// Evaluate a boolean [`Query`].
-    pub fn boolean(&mut self, query: &Query) -> Result<PostingList> {
-        query.eval(&mut self.index)
+    /// Evaluate a boolean [`Query`]. `&self`: queries share the engine,
+    /// so a serving layer can fan them out across threads under one read
+    /// lock while a single writer ingests.
+    pub fn boolean(&self, query: &Query) -> Result<PostingList> {
+        query.eval(&self.index)
     }
 
     /// Parse and evaluate a boolean query string, e.g.
     /// `"(cat and dog) or mouse"`.
-    pub fn boolean_str(&mut self, query: &str) -> Result<PostingList> {
+    pub fn boolean_str(&self, query: &str) -> Result<PostingList> {
         let q = self.parse_query(query)?;
         self.boolean(&q)
     }
@@ -367,32 +369,32 @@ impl SearchEngine {
     }
 
     /// Vector-space search with an explicit query.
-    pub fn vector(&mut self, query: &VectorQuery, k: usize) -> Result<Vec<Hit>> {
-        search(&mut self.index, query, self.core.total_docs, k)
+    pub fn vector(&self, query: &VectorQuery, k: usize) -> Result<Vec<Hit>> {
+        search(&self.index, query, self.core.total_docs, k)
     }
 
     /// Proximity query (paper §1: "requiring that 'cat' and 'dog' occur
     /// within so many words of each other"): inverted lists prune to the
     /// documents containing both words; the stored text verifies the
     /// positional window.
-    pub fn within(&mut self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
-        self.core.within(&mut self.index, w1, w2, window)
+    pub fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        self.core.within(&self.index, w1, w2, window)
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
-    pub fn phrase(&mut self, phrase: &str) -> Result<PostingList> {
-        self.core.phrase(&mut self.index, phrase)
+    pub fn phrase(&self, phrase: &str) -> Result<PostingList> {
+        self.core.phrase(&self.index, phrase)
     }
 
     /// Vector-space search using a document text as the query (the paper's
     /// "a query may be derived from a document" — §5.2.1).
-    pub fn more_like_this(&mut self, text: &str, k: usize) -> Result<Vec<Hit>> {
-        self.core.more_like_this(&mut self.index, text, k)
+    pub fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        self.core.more_like_this(&self.index, text, k)
     }
 }
 
 impl PostingSource for SearchEngine {
-    fn postings(&mut self, word: WordId) -> Result<PostingList> {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
         self.index.postings(word)
     }
 }

@@ -97,7 +97,7 @@ impl Ord for HeapEntry {
 /// document count. Returns up to `k` hits, highest score first; ties break
 /// toward smaller document ids.
 pub fn search<S: PostingSource + ?Sized>(
-    source: &mut S,
+    source: &S,
     query: &VectorQuery,
     total_docs: u64,
     k: usize,
@@ -147,7 +147,7 @@ mod tests {
     struct MapSource(Map<u64, Vec<u32>>);
 
     impl PostingSource for MapSource {
-        fn postings(&mut self, word: WordId) -> Result<PostingList> {
+        fn postings(&self, word: WordId) -> Result<PostingList> {
             Ok(self
                 .0
                 .get(&word.0)
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn rare_terms_score_higher() {
         let q = VectorQuery::from_words([WordId(1), WordId(2), WordId(3)]);
-        let hits = search(&mut source(), &q, 10, 5).unwrap();
+        let hits = search(&source(), &q, 10, 5).unwrap();
         // Doc 7 matches all three terms; doc 3 matches two; others one.
         assert_eq!(hits[0].doc, DocId(7));
         assert_eq!(hits[1].doc, DocId(3));
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn k_bounds_results() {
         let q = VectorQuery::from_words([WordId(1)]);
-        let hits = search(&mut source(), &q, 10, 3).unwrap();
+        let hits = search(&source(), &q, 10, 3).unwrap();
         assert_eq!(hits.len(), 3);
         // Ties broken toward smaller doc ids.
         assert_eq!(hits[0].doc, DocId(1));
@@ -189,8 +189,8 @@ mod tests {
     fn weights_scale_contributions() {
         let balanced = VectorQuery::new().term(WordId(2), 1.0).term(WordId(3), 1.0);
         let boosted = VectorQuery::new().term(WordId(2), 10.0).term(WordId(3), 1.0);
-        let hb = search(&mut source(), &balanced, 10, 2).unwrap();
-        let hw = search(&mut source(), &boosted, 10, 2).unwrap();
+        let hb = search(&source(), &balanced, 10, 2).unwrap();
+        let hw = search(&source(), &boosted, 10, 2).unwrap();
         // Boosting the term shared by docs 3 and 7 narrows the gap made by
         // doc 7's extra rarest term.
         let gap_b = hb[0].score - hb[1].score;
@@ -203,23 +203,23 @@ mod tests {
     fn duplicate_terms_accumulate() {
         let q = VectorQuery::new().term(WordId(3), 1.0).term(WordId(3), 1.0);
         let single = VectorQuery::new().term(WordId(3), 2.0);
-        let a = search(&mut source(), &q, 10, 1).unwrap();
-        let b = search(&mut source(), &single, 10, 1).unwrap();
+        let a = search(&source(), &q, 10, 1).unwrap();
+        let b = search(&source(), &single, 10, 1).unwrap();
         assert_eq!(a[0].doc, b[0].doc);
         assert!((a[0].score - b[0].score).abs() < 1e-12);
     }
 
     #[test]
     fn empty_query_or_zero_k() {
-        assert!(search(&mut source(), &VectorQuery::new(), 10, 5).unwrap().is_empty());
+        assert!(search(&source(), &VectorQuery::new(), 10, 5).unwrap().is_empty());
         let q = VectorQuery::from_words([WordId(1)]);
-        assert!(search(&mut source(), &q, 10, 0).unwrap().is_empty());
+        assert!(search(&source(), &q, 10, 0).unwrap().is_empty());
     }
 
     #[test]
     fn unknown_words_ignored() {
         let q = VectorQuery::from_words([WordId(404), WordId(2)]);
-        let hits = search(&mut source(), &q, 10, 5).unwrap();
+        let hits = search(&source(), &q, 10, 5).unwrap();
         assert_eq!(hits.len(), 2);
     }
 }

@@ -80,7 +80,7 @@ fn crash_at_commit_point_rolls_back_to_last_batch() {
 
     // One more clean reopen for good measure.
     drop(e);
-    let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+    let e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
     assert_eq!(e.total_docs(), 5);
     assert_eq!(e.boolean_str("owl or mouse").unwrap().len(), 3);
     std::fs::remove_dir_all(&dir).ok();
@@ -168,7 +168,7 @@ fn recovery_combines_checkpoint_meta_and_wal_replay() {
     drop(e);
     inj.disarm();
 
-    let mut e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
+    let e = DurableEngine::open(&dir, IndexConfig::small(), opts).unwrap();
     let info = *e.recovery().unwrap();
     assert_eq!(info.checkpoint_batch, 1);
     assert_eq!(info.replayed_records, 2, "batch 2 and the crashed-apply batch 3");

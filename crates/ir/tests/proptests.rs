@@ -14,7 +14,7 @@ use std::collections::{BTreeSet, HashMap};
 struct MapSource(HashMap<u64, BTreeSet<u32>>);
 
 impl PostingSource for MapSource {
-    fn postings(&mut self, word: WordId) -> Result<PostingList> {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
         Ok(self
             .0
             .get(&word.0)
@@ -81,9 +81,9 @@ proptest! {
     fn boolean_eval_matches_reference(q in arb_query(), source in arb_source()) {
         let universe: BTreeSet<u32> = source.0.values().flatten().copied().collect();
         let expected = reference(&q, &source, &universe);
-        let mut src = source.clone();
+        let src = source.clone();
         let got: BTreeSet<u32> =
-            q.eval(&mut src).expect("eval").docs().iter().map(|d| d.0).collect();
+            q.eval(&src).expect("eval").docs().iter().map(|d| d.0).collect();
         prop_assert_eq!(got, expected);
     }
 
@@ -99,9 +99,9 @@ proptest! {
             Query::and_not(x, Query::Word(WordId(a))),
             Query::Word(WordId(b)),
         );
-        let mut s1 = source.clone();
-        let mut s2 = source.clone();
-        prop_assert_eq!(lhs.eval(&mut s1).expect("lhs"), rhs.eval(&mut s2).expect("rhs"));
+        let s1 = source.clone();
+        let s2 = source.clone();
+        prop_assert_eq!(lhs.eval(&s1).expect("lhs"), rhs.eval(&s2).expect("rhs"));
     }
 
     #[test]
@@ -114,8 +114,8 @@ proptest! {
         }
         let q = VectorQuery::from_words(words.clone());
         let total_docs = 50u64;
-        let mut src = source.clone();
-        let hits = search(&mut src, &q, total_docs, k).expect("search");
+        let src = source.clone();
+        let hits = search(&src, &q, total_docs, k).expect("search");
         prop_assert!(hits.len() <= k);
         // Scores are non-increasing.
         for w in hits.windows(2) {

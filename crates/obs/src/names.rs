@@ -73,6 +73,29 @@ pub const RECOVERY_TRUNCATED_BYTES: &str = "recovery_truncated_bytes_total";
 /// Recovery runs that found and used a checkpoint.
 pub const RECOVERY_OPENS: &str = "recovery_opens_total";
 
+/// Queries executed by the serving layer (cache hits included).
+pub const SERVE_QUERIES: &str = "serve_queries_total";
+/// Result-cache lookups that returned a current-epoch entry.
+pub const SERVE_CACHE_HITS: &str = "serve_cache_hits_total";
+/// Result-cache lookups that missed (absent entry).
+pub const SERVE_CACHE_MISSES: &str = "serve_cache_misses_total";
+/// Result-cache entries evicted by capacity pressure.
+pub const SERVE_CACHE_EVICTIONS: &str = "serve_cache_evictions_total";
+/// Result-cache entries lazily discarded because their epoch was stale.
+pub const SERVE_CACHE_STALE_DROPS: &str = "serve_cache_stale_drops_total";
+/// Requests rejected at admission because the queue passed its high-water
+/// mark.
+pub const SERVE_SHED: &str = "serve_shed_total";
+/// Requests that expired in the queue past their deadline.
+pub const SERVE_TIMEOUTS: &str = "serve_timeouts_total";
+/// Batches ingested (added + flushed) by the serving writer.
+pub const SERVE_BATCHES: &str = "serve_batches_total";
+/// End-to-end request latency in milliseconds (queue wait + execution;
+/// histogram).
+pub const SERVE_LATENCY_MS: &str = "serve_latency_ms";
+/// Work-queue depth observed at each admission (histogram).
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+
 /// Attach a `disk` label to a base metric name.
 pub fn per_disk(base: &str, disk: u16) -> String {
     format!("{base}{{disk=\"{disk}\"}}")

@@ -1,0 +1,277 @@
+//! Bounded LRU result cache with epoch invalidation.
+//!
+//! Entries are keyed on **normalized query text** and stamped with the
+//! batch **epoch** the result was computed at. The invalidation rule is a
+//! single comparison: an entry is valid iff its epoch equals the current
+//! one. A flush bumps the epoch, which implicitly invalidates the whole
+//! cache without touching it — stale entries are discarded lazily, when a
+//! lookup trips over them (counted as `stale_drops`) or when capacity
+//! eviction reaps them like any other entry.
+//!
+//! The structure is a classic O(1) LRU: a hash map from key to slot, slots
+//! forming an intrusive doubly-linked recency list inside one `Vec` (no
+//! per-entry allocation, no unsafe).
+
+use crate::request::Payload;
+use std::collections::HashMap;
+
+/// Slot-index sentinel for "no neighbour".
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: String,
+    epoch: u64,
+    value: Payload,
+    prev: usize,
+    next: usize,
+}
+
+/// What a lookup did — the service maps these onto counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Valid entry at the current epoch.
+    Hit,
+    /// No entry under that key.
+    Miss,
+    /// An entry existed but was recorded at an older epoch; it was dropped.
+    Stale,
+}
+
+/// A bounded LRU map from normalized query text to `(epoch, result)`.
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    evictions: u64,
+    stale_drops: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries. Zero capacity is a
+    /// valid always-miss cache (caching disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            evictions: 0,
+            stale_drops: 0,
+        }
+    }
+
+    /// Entries currently held (stale ones included until they are reaped).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Stale-epoch lazy drops so far.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// Look up `key` at the current `epoch`. A current-epoch entry moves to
+    /// the recency front and returns a clone; an old-epoch entry is
+    /// discarded and reported as [`Lookup::Stale`].
+    pub fn get(&mut self, key: &str, epoch: u64) -> (Option<Payload>, Lookup) {
+        let Some(&slot) = self.map.get(key) else {
+            return (None, Lookup::Miss);
+        };
+        if self.nodes[slot].epoch != epoch {
+            self.remove_slot(slot);
+            self.stale_drops += 1;
+            return (None, Lookup::Stale);
+        }
+        self.detach(slot);
+        self.push_front(slot);
+        (Some(self.nodes[slot].value.clone()), Lookup::Hit)
+    }
+
+    /// Insert (or refresh) `key` with a result computed at `epoch`,
+    /// evicting the least-recently-used entry if at capacity.
+    pub fn insert(&mut self, key: String, epoch: u64, value: Payload) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.nodes[slot].epoch = epoch;
+            self.nodes[slot].value = value;
+            self.detach(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "capacity > 0 and map full implies a tail");
+            self.remove_slot(lru);
+            self.evictions += 1;
+        }
+        let node = Node { key: key.clone(), epoch, value, prev: NIL, next: NIL };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most- to least-recently used (tests, introspection).
+    pub fn keys_by_recency(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            out.push(self.nodes[slot].key.as_str());
+            slot = self.nodes[slot].next;
+        }
+        out
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        self.detach(slot);
+        let key = std::mem::take(&mut self.nodes[slot].key);
+        self.map.remove(&key);
+        self.nodes[slot].value = Payload::Pong; // drop the payload now
+        self.free.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(ids: &[u32]) -> Payload {
+        Payload::Docs(ids.to_vec())
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.get("a", 0), (None, Lookup::Miss));
+        c.insert("a".into(), 0, docs(&[1]));
+        c.insert("b".into(), 0, docs(&[2]));
+        assert_eq!(c.get("a", 0), (Some(docs(&[1])), Lookup::Hit));
+        assert_eq!(c.keys_by_recency(), vec!["a", "b"]);
+        // "b" is now LRU; inserting "c" evicts it.
+        c.insert("c".into(), 0, docs(&[3]));
+        assert_eq!(c.get("b", 0), (None, Lookup::Miss));
+        assert_eq!(c.get("a", 0).1, Lookup::Hit);
+        assert_eq!(c.get("c", 0).1, Lookup::Hit);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_lazily() {
+        let mut c = ResultCache::new(4);
+        c.insert("q".into(), 1, docs(&[1, 2]));
+        assert_eq!(c.get("q", 1).1, Lookup::Hit);
+        // Epoch advanced: entry is stale, dropped on first touch.
+        assert_eq!(c.get("q", 2), (None, Lookup::Stale));
+        assert_eq!(c.stale_drops(), 1);
+        assert_eq!(c.len(), 0);
+        // Re-inserted at the new epoch it serves again.
+        c.insert("q".into(), 2, docs(&[1, 2, 3]));
+        assert_eq!(c.get("q", 2), (Some(docs(&[1, 2, 3])), Lookup::Hit));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), 0, docs(&[1]));
+        c.insert("b".into(), 0, docs(&[2]));
+        c.insert("a".into(), 1, docs(&[9]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", 1), (Some(docs(&[9])), Lookup::Hit));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert("a".into(), 0, docs(&[1]));
+        assert_eq!(c.get("a", 0), (None, Lookup::Miss));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut c = ResultCache::new(3);
+        for round in 0u32..50 {
+            c.insert(format!("k{}", round % 7), 0, docs(&[round]));
+            assert!(c.len() <= 3);
+        }
+        // The backing vec never outgrows capacity + 1 churn slack.
+        assert!(c.nodes.len() <= 4, "nodes grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c = ResultCache::new(1);
+        c.insert("a".into(), 0, docs(&[1]));
+        c.insert("b".into(), 0, docs(&[2]));
+        assert_eq!(c.evictions(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 1);
+        c.insert("c".into(), 0, docs(&[3]));
+        assert_eq!(c.get("c", 0).1, Lookup::Hit);
+    }
+}

@@ -1,0 +1,127 @@
+//! The engine abstraction the serving layer sits on.
+//!
+//! [`ServeEngine`] is the split personality every servable engine must
+//! have: queries on `&self` (so N reader threads share one engine under a
+//! read lock) and updates on `&mut self` (so the single writer serializes
+//! through the write lock). Both of the repo's engines qualify —
+//! [`SearchEngine`] (volatile metadata) and [`DurableEngine`] (WAL +
+//! checkpoints, which additionally supports [`ServeEngine::checkpoint`]
+//! while serving).
+
+use invidx_core::index::BatchReport;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, Result};
+use invidx_ir::{DurableEngine, Hit, SearchEngine};
+
+/// Query-on-`&self`, update-on-`&mut self` — the contract that lets
+/// [`crate::QueryService`] put an engine behind one `RwLock`.
+pub trait ServeEngine: Send + Sync + 'static {
+    /// Parse and evaluate a boolean query string.
+    fn boolean_str(&self, query: &str) -> Result<PostingList>;
+    /// Phrase query: the words occur contiguously, in order.
+    fn phrase(&self, phrase: &str) -> Result<PostingList>;
+    /// Proximity query: both words within `window` positions.
+    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList>;
+    /// Top-k vector-model search seeded by a text.
+    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>>;
+    /// The stored text of a document.
+    fn document(&self, doc: DocId) -> Result<Option<String>>;
+
+    /// Add a document to the current batch (not yet visible as a flushed
+    /// epoch; the serving writer always pairs adds with a flush).
+    fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String>;
+    /// Flush the current batch; the serving layer bumps the epoch on
+    /// success.
+    fn flush(&mut self) -> std::result::Result<BatchReport, String>;
+    /// Write a durable checkpoint, if this engine has one. Returns
+    /// `Ok(None)` for engines without durability; `Ok(Some(bytes))` with
+    /// the checkpoint size otherwise.
+    fn checkpoint(&mut self) -> std::result::Result<Option<u64>, String> {
+        Ok(None)
+    }
+
+    /// Documents indexed so far.
+    fn total_docs(&self) -> u64;
+    /// Distinct words interned so far.
+    fn vocabulary_size(&self) -> usize;
+}
+
+impl ServeEngine for SearchEngine {
+    fn boolean_str(&self, query: &str) -> Result<PostingList> {
+        SearchEngine::boolean_str(self, query)
+    }
+
+    fn phrase(&self, phrase: &str) -> Result<PostingList> {
+        SearchEngine::phrase(self, phrase)
+    }
+
+    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        SearchEngine::within(self, w1, w2, window)
+    }
+
+    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        SearchEngine::more_like_this(self, text, k)
+    }
+
+    fn document(&self, doc: DocId) -> Result<Option<String>> {
+        SearchEngine::document(self, doc)
+    }
+
+    fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
+        SearchEngine::add_document(self, text).map_err(|e| e.to_string())
+    }
+
+    fn flush(&mut self) -> std::result::Result<BatchReport, String> {
+        SearchEngine::flush(self).map_err(|e| e.to_string())
+    }
+
+    fn total_docs(&self) -> u64 {
+        SearchEngine::total_docs(self)
+    }
+
+    fn vocabulary_size(&self) -> usize {
+        SearchEngine::vocabulary_size(self)
+    }
+}
+
+impl ServeEngine for DurableEngine {
+    fn boolean_str(&self, query: &str) -> Result<PostingList> {
+        DurableEngine::boolean_str(self, query)
+    }
+
+    fn phrase(&self, phrase: &str) -> Result<PostingList> {
+        DurableEngine::phrase(self, phrase)
+    }
+
+    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        DurableEngine::within(self, w1, w2, window)
+    }
+
+    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        DurableEngine::more_like_this(self, text, k)
+    }
+
+    fn document(&self, doc: DocId) -> Result<Option<String>> {
+        DurableEngine::document(self, doc)
+    }
+
+    fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
+        DurableEngine::add_document(self, text).map_err(|e| e.to_string())
+    }
+
+    fn flush(&mut self) -> std::result::Result<BatchReport, String> {
+        DurableEngine::flush(self).map_err(|e| e.to_string())
+    }
+
+    fn checkpoint(&mut self) -> std::result::Result<Option<u64>, String> {
+        DurableEngine::checkpoint(self).map(Some).map_err(|e| e.to_string())
+    }
+
+    fn total_docs(&self) -> u64 {
+        DurableEngine::total_docs(self)
+    }
+
+    fn vocabulary_size(&self) -> usize {
+        DurableEngine::vocabulary_size(self)
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed serving errors.
+//!
+//! The admission-control contract of the subsystem lives in this type: an
+//! overloaded server answers with [`ServeError::Overloaded`] instead of
+//! queueing unboundedly, and a request that waited past its deadline
+//! answers [`ServeError::Timeout`] instead of burning a reader thread on a
+//! result nobody is waiting for. Clients can tell these apart from real
+//! failures and back off accordingly.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Everything the serving layer can answer instead of a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The work queue is at its high-water mark; the request was rejected
+    /// at admission without queuing. Retry after backoff.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured high-water mark.
+        high_water: usize,
+    },
+    /// The request waited in the queue past its deadline and was dropped
+    /// before execution.
+    Timeout {
+        /// How long the request had waited when it was reaped.
+        waited: Duration,
+        /// The deadline it was admitted with.
+        deadline: Duration,
+    },
+    /// The request line or query text did not parse.
+    BadRequest(String),
+    /// The engine failed while executing the request.
+    Engine(String),
+    /// The server is shutting down; no more requests are accepted.
+    Shutdown,
+}
+
+impl ServeError {
+    /// Short machine-readable code used on the wire (`ERR <code> ...`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::Overloaded { .. } => "overloaded",
+            Self::Timeout { .. } => "timeout",
+            Self::BadRequest(_) => "badrequest",
+            Self::Engine(_) => "engine",
+            Self::Shutdown => "shutdown",
+        }
+    }
+
+    /// True for the two graceful-degradation answers (shed or expired):
+    /// the server is healthy, the request was deliberately not served.
+    pub fn is_load_response(&self) -> bool {
+        matches!(self, Self::Overloaded { .. } | Self::Timeout { .. })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { depth, high_water } => {
+                write!(f, "overloaded: queue depth {depth} at high-water {high_water}")
+            }
+            Self::Timeout { waited, deadline } => write!(
+                f,
+                "deadline exceeded: waited {:.1} ms past a {:.1} ms deadline",
+                waited.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::Engine(msg) => write!(f, "engine error: {msg}"),
+            Self::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_classification() {
+        let shed = ServeError::Overloaded { depth: 9, high_water: 8 };
+        let late = ServeError::Timeout {
+            waited: Duration::from_millis(12),
+            deadline: Duration::from_millis(10),
+        };
+        assert_eq!(shed.code(), "overloaded");
+        assert_eq!(late.code(), "timeout");
+        assert!(shed.is_load_response());
+        assert!(late.is_load_response());
+        assert!(!ServeError::BadRequest("x".into()).is_load_response());
+        assert!(!ServeError::Shutdown.is_load_response());
+        assert!(shed.to_string().contains("high-water 8"));
+    }
+}

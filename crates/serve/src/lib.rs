@@ -1,0 +1,48 @@
+//! # invidx-serve — concurrent query serving over the incremental index
+//!
+//! The paper's engine (Tomasic, García-Molina & Shoens, SIGMOD '94) is an
+//! *update* story: batches of postings folded into a dual bucket/long-list
+//! structure. This crate is the complementary *read* story: serve queries
+//! from many clients **while** those batches keep landing, without ever
+//! returning a result that a single-threaded replay could not produce.
+//!
+//! The layers, bottom up:
+//!
+//! * [`ServeEngine`] — the engine contract: queries on `&self`, updates on
+//!   `&mut self`. Implemented by `SearchEngine` and `DurableEngine`.
+//! * [`QueryService`] — one engine behind a `RwLock`, an epoch counter
+//!   bumped under the write lock at every visible state change, and an
+//!   epoch-keyed LRU [`ResultCache`]. N readers share snapshots; the one
+//!   writer applies add+flush batches atomically.
+//! * [`Frontend`] — admission control: a bounded work queue with
+//!   high-water load shedding ([`ServeError::Overloaded`]), per-request
+//!   deadlines reaped in the queue ([`ServeError::Timeout`]), and a
+//!   reader-thread pool.
+//! * [`Server`] — a line-oriented TCP front end (`QUERY`/`PHRASE`/`NEAR`/
+//!   `LIKE`/`DOC`/`ADD`/`FLUSH`/`CHECKPOINT`/`STATS`/`PING`) you can drive
+//!   with `nc`.
+//!
+//! The correctness invariant threaded through all of it: every response
+//! carries the **epoch** it was computed at, epochs only move while the
+//! write lock is held, and therefore `(epoch, result)` pairs are exactly
+//! reproducible by replaying the same batches single-threaded and querying
+//! at the same epoch. The stress tests and the `ablation_serving` load
+//! generator check results against that oracle.
+
+pub mod admission;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod request;
+pub mod server;
+pub mod service;
+
+pub use admission::{AdmissionConfig, Frontend, Ticket};
+pub use cache::{Lookup, ResultCache};
+pub use engine::ServeEngine;
+pub use error::ServeError;
+pub use request::{
+    error_to_wire, normalize_query, parse_response, Payload, Request, Response, ServeStats,
+};
+pub use server::Server;
+pub use service::{QueryService, ServeCounters, ServiceConfig};

@@ -1,0 +1,459 @@
+//! The serving request model and its line-oriented wire form.
+//!
+//! One request or response per line, ASCII keywords, no framing beyond
+//! `\n` — the protocol a human can drive with `nc`. Read requests map onto
+//! the engine's query surface (boolean, phrase, proximity, vector); write
+//! requests (`ADD`/`FLUSH`/`CHECKPOINT`) bypass the reader queue and take
+//! the writer path directly.
+//!
+//! Every successful response carries the **epoch** the result was computed
+//! at (`OK <epoch> ...`), which is what makes results checkable against an
+//! oracle replay: a result is correct iff it equals the single-threaded
+//! answer at that same epoch.
+
+use crate::error::ServeError;
+
+/// A read request, executed by the reader pool under the shared lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <boolean expression>` — e.g. `(cat and dog) or mouse`.
+    Boolean(String),
+    /// `PHRASE <words>` — contiguous in-order match.
+    Phrase(String),
+    /// `NEAR <w1> <w2> <window>` — proximity predicate.
+    Near(String, String, u32),
+    /// `LIKE <k> <text>` — top-k vector-model search seeded by a text.
+    Like(usize, String),
+    /// `DOC <id>` — fetch a stored document.
+    Doc(u32),
+    /// `STATS` — serving counters and epoch.
+    Stats,
+    /// `PING` — liveness check, never queued.
+    Ping,
+}
+
+impl Request {
+    /// Parse one request line. Unknown verbs and malformed operands are
+    /// [`ServeError::BadRequest`].
+    pub fn parse(line: &str) -> Result<Self, ServeError> {
+        let bad = |m: String| ServeError::BadRequest(m);
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "QUERY" if !rest.is_empty() => Ok(Self::Boolean(rest.to_string())),
+            "PHRASE" if !rest.is_empty() => Ok(Self::Phrase(rest.to_string())),
+            "NEAR" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [w1, w2, win] = parts.as_slice() else {
+                    return Err(bad(format!("NEAR wants `w1 w2 window`, got {rest:?}")));
+                };
+                let window = win.parse().map_err(|e| bad(format!("NEAR window: {e}")))?;
+                Ok(Self::Near(w1.to_string(), w2.to_string(), window))
+            }
+            "LIKE" => {
+                let (k, text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| bad(format!("LIKE wants `k text`, got {rest:?}")))?;
+                let k = k.parse().map_err(|e| bad(format!("LIKE k: {e}")))?;
+                Ok(Self::Like(k, text.trim().to_string()))
+            }
+            "DOC" => {
+                let id = rest.parse().map_err(|e| bad(format!("DOC id: {e}")))?;
+                Ok(Self::Doc(id))
+            }
+            "STATS" if rest.is_empty() => Ok(Self::Stats),
+            "PING" if rest.is_empty() => Ok(Self::Ping),
+            "" => Err(bad("empty request".into())),
+            other => Err(bad(format!("unknown verb {other:?}"))),
+        }
+    }
+
+    /// The normalized cache key, or `None` for uncacheable requests
+    /// (`DOC` is cheap and identity-keyed; `STATS`/`PING` are not queries).
+    ///
+    /// Normalization makes textually different spellings of the same query
+    /// share one cache entry: case-folded, parentheses spaced out, all
+    /// whitespace runs collapsed — `" Cat AND( dog )"` and `"cat and (dog)"`
+    /// both key as `b:cat and ( dog )`.
+    pub fn cache_key(&self) -> Option<String> {
+        match self {
+            Self::Boolean(q) => Some(format!("b:{}", normalize_query(q))),
+            Self::Phrase(p) => Some(format!("p:{}", normalize_query(p))),
+            Self::Near(w1, w2, win) => Some(format!(
+                "n:{}:{}:{win}",
+                w1.to_ascii_lowercase(),
+                w2.to_ascii_lowercase()
+            )),
+            Self::Like(k, text) => Some(format!("l:{k}:{}", normalize_query(text))),
+            Self::Doc(_) | Self::Stats | Self::Ping => None,
+        }
+    }
+
+    /// Render as a request line (inverse of [`Request::parse`]).
+    pub fn to_wire(&self) -> String {
+        match self {
+            Self::Boolean(q) => format!("QUERY {q}"),
+            Self::Phrase(p) => format!("PHRASE {p}"),
+            Self::Near(w1, w2, win) => format!("NEAR {w1} {w2} {win}"),
+            Self::Like(k, text) => format!("LIKE {k} {text}"),
+            Self::Doc(id) => format!("DOC {id}"),
+            Self::Stats => "STATS".to_string(),
+            Self::Ping => "PING".to_string(),
+        }
+    }
+}
+
+/// Case-fold, space out parentheses, collapse whitespace.
+pub fn normalize_query(text: &str) -> String {
+    text.to_ascii_lowercase()
+        .replace('(', " ( ")
+        .replace(')', " ) ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serving counters reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Documents in the index.
+    pub docs: u64,
+    /// Queries executed (cache hits included).
+    pub queries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Capacity evictions.
+    pub cache_evictions: u64,
+    /// Stale-epoch lazy drops.
+    pub cache_stale_drops: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests expired in the queue.
+    pub timeouts: u64,
+    /// Batches ingested by the writer.
+    pub batches: u64,
+}
+
+/// What a successfully executed request returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Matching document ids, ascending (boolean/phrase/proximity).
+    Docs(Vec<u32>),
+    /// Ranked `(doc, score)` hits, best first (vector model).
+    Hits(Vec<(u32, f64)>),
+    /// A stored document, if present.
+    Text(Option<String>),
+    /// Serving counters.
+    Stats(ServeStats),
+    /// `PING` answer.
+    Pong,
+}
+
+/// A successful answer: the payload plus the epoch it was computed at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Batch epoch of the snapshot the result reflects.
+    pub epoch: u64,
+    /// The result itself.
+    pub payload: Payload,
+}
+
+impl Response {
+    /// Render as a response line: `OK <epoch> <payload>`.
+    pub fn to_wire(&self) -> String {
+        let body = match &self.payload {
+            Payload::Docs(ids) => {
+                let mut s = format!("DOCS {}", ids.len());
+                for id in ids {
+                    s.push(' ');
+                    s.push_str(&id.to_string());
+                }
+                s
+            }
+            Payload::Hits(hits) => {
+                let mut s = format!("HITS {}", hits.len());
+                for (id, score) in hits {
+                    s.push_str(&format!(" {id}:{score:.6}"));
+                }
+                s
+            }
+            Payload::Text(Some(text)) => format!("TEXT {}", text.escape_default()),
+            Payload::Text(None) => "NONE".to_string(),
+            Payload::Stats(s) => format!(
+                "STATS docs={} queries={} cache_hits={} cache_misses={} \
+                 cache_evictions={} cache_stale_drops={} shed={} timeouts={} batches={}",
+                s.docs,
+                s.queries,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_stale_drops,
+                s.shed,
+                s.timeouts,
+                s.batches
+            ),
+            Payload::Pong => "PONG".to_string(),
+        };
+        format!("OK {} {body}", self.epoch)
+    }
+}
+
+/// Render an error as a response line: `ERR <code> <message>`.
+pub fn error_to_wire(err: &ServeError) -> String {
+    format!("ERR {} {err}", err.code())
+}
+
+/// Parse a response line back into `Ok(Response)` / `Err(ServeError)` —
+/// the client half of the protocol, used by the load generator and tests.
+/// Error lines keep only their code; the free-text message is not
+/// reconstructed field-by-field.
+pub fn parse_response(line: &str) -> Result<Result<Response, ServeError>, ServeError> {
+    let bad = |m: String| ServeError::BadRequest(m);
+    let line = line.trim_end();
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+        let err = match code {
+            "overloaded" => ServeError::Overloaded { depth: 0, high_water: 0 },
+            "timeout" => ServeError::Timeout {
+                waited: std::time::Duration::ZERO,
+                deadline: std::time::Duration::ZERO,
+            },
+            "badrequest" => ServeError::BadRequest(msg.to_string()),
+            "engine" => ServeError::Engine(msg.to_string()),
+            "shutdown" => ServeError::Shutdown,
+            other => return Err(bad(format!("unknown error code {other:?}"))),
+        };
+        return Ok(Err(err));
+    }
+    let rest = line
+        .strip_prefix("OK ")
+        .ok_or_else(|| bad(format!("response line {line:?} is neither OK nor ERR")))?;
+    let (epoch, body) = rest
+        .split_once(' ')
+        .ok_or_else(|| bad("OK line missing payload".into()))?;
+    let epoch: u64 = epoch.parse().map_err(|e| bad(format!("epoch: {e}")))?;
+    let (kind, args) = body.split_once(' ').unwrap_or((body, ""));
+    let payload = match kind {
+        "DOCS" => {
+            let mut it = args.split_whitespace();
+            let n: usize = it
+                .next()
+                .ok_or_else(|| bad("DOCS missing count".into()))?
+                .parse()
+                .map_err(|e| bad(format!("DOCS count: {e}")))?;
+            let ids: Vec<u32> = it
+                .map(|t| t.parse().map_err(|e| bad(format!("doc id: {e}"))))
+                .collect::<Result<_, _>>()?;
+            if ids.len() != n {
+                return Err(bad(format!("DOCS count {n} != {} ids", ids.len())));
+            }
+            Payload::Docs(ids)
+        }
+        "HITS" => {
+            let mut it = args.split_whitespace();
+            let n: usize = it
+                .next()
+                .ok_or_else(|| bad("HITS missing count".into()))?
+                .parse()
+                .map_err(|e| bad(format!("HITS count: {e}")))?;
+            let hits: Vec<(u32, f64)> = it
+                .map(|t| {
+                    let (id, score) = t
+                        .split_once(':')
+                        .ok_or_else(|| bad(format!("hit {t:?} missing ':'")))?;
+                    Ok((
+                        id.parse().map_err(|e| bad(format!("hit id: {e}")))?,
+                        score.parse().map_err(|e| bad(format!("hit score: {e}")))?,
+                    ))
+                })
+                .collect::<Result<_, ServeError>>()?;
+            if hits.len() != n {
+                return Err(bad(format!("HITS count {n} != {} hits", hits.len())));
+            }
+            Payload::Hits(hits)
+        }
+        "TEXT" => Payload::Text(Some(unescape(args)?)),
+        "NONE" => Payload::Text(None),
+        "STATS" => {
+            let mut stats = ServeStats::default();
+            for kv in args.split_whitespace() {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("stats field {kv:?}")))?;
+                let v: u64 = v.parse().map_err(|e| bad(format!("stats {k}: {e}")))?;
+                match k {
+                    "docs" => stats.docs = v,
+                    "queries" => stats.queries = v,
+                    "cache_hits" => stats.cache_hits = v,
+                    "cache_misses" => stats.cache_misses = v,
+                    "cache_evictions" => stats.cache_evictions = v,
+                    "cache_stale_drops" => stats.cache_stale_drops = v,
+                    "shed" => stats.shed = v,
+                    "timeouts" => stats.timeouts = v,
+                    "batches" => stats.batches = v,
+                    other => return Err(bad(format!("unknown stats field {other:?}"))),
+                }
+            }
+            Payload::Stats(stats)
+        }
+        "PONG" => Payload::Pong,
+        other => return Err(bad(format!("unknown payload kind {other:?}"))),
+    };
+    Ok(Ok(Response { epoch, payload }))
+}
+
+/// Invert [`str::escape_default`] for the subset it emits.
+fn unescape(text: &str) -> Result<String, ServeError> {
+    let bad = |m: &str| ServeError::BadRequest(format!("TEXT unescape: {m}"));
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('\\') => out.push('\\'),
+            Some('\'') => out.push('\''),
+            Some('"') => out.push('"'),
+            Some('0') => out.push('\0'),
+            Some('u') => {
+                let rest: String = chars.clone().collect();
+                let inner = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.split_once('}'))
+                    .ok_or_else(|| bad("malformed \\u{...}"))?;
+                let code =
+                    u32::from_str_radix(inner.0, 16).map_err(|_| bad("bad hex in \\u{...}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| bad("invalid scalar"))?);
+                for _ in 0..inner.0.len() + 2 {
+                    chars.next();
+                }
+            }
+            _ => return Err(bad("dangling backslash")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_request_lines() {
+        assert_eq!(
+            Request::parse("QUERY (cat and dog) or mouse").unwrap(),
+            Request::Boolean("(cat and dog) or mouse".into())
+        );
+        assert_eq!(
+            Request::parse("  near cat dog 5 ").unwrap(),
+            Request::Near("cat".into(), "dog".into(), 5)
+        );
+        assert_eq!(
+            Request::parse("LIKE 3 incremental index updates").unwrap(),
+            Request::Like(3, "incremental index updates".into())
+        );
+        assert_eq!(Request::parse("DOC 17").unwrap(), Request::Doc(17));
+        assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        for bad in ["", "QUERY", "NEAR cat dog", "NEAR cat dog x", "LIKE 3", "DOC abc", "FROB x"] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn request_wire_round_trips() {
+        for req in [
+            Request::Boolean("(cat and dog) or mouse".into()),
+            Request::Phrase("inverted lists".into()),
+            Request::Near("cat".into(), "dog".into(), 5),
+            Request::Like(7, "some text".into()),
+            Request::Doc(3),
+            Request::Stats,
+            Request::Ping,
+        ] {
+            assert_eq!(Request::parse(&req.to_wire()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn normalization_folds_spelling_variants() {
+        assert_eq!(
+            Request::Boolean(" Cat AND( dog )".into()).cache_key(),
+            Request::Boolean("cat and (dog)".into()).cache_key()
+        );
+        assert_ne!(
+            Request::Boolean("cat".into()).cache_key(),
+            Request::Phrase("cat".into()).cache_key()
+        );
+        assert_ne!(
+            Request::Like(3, "cat".into()).cache_key(),
+            Request::Like(4, "cat".into()).cache_key()
+        );
+        assert_eq!(Request::Doc(1).cache_key(), None);
+        assert_eq!(Request::Stats.cache_key(), None);
+    }
+
+    #[test]
+    fn response_wire_round_trips() {
+        let cases = vec![
+            Response { epoch: 3, payload: Payload::Docs(vec![1, 5, 9]) },
+            Response { epoch: 0, payload: Payload::Docs(vec![]) },
+            Response { epoch: 8, payload: Payload::Hits(vec![(4, 1.5), (2, 0.25)]) },
+            Response {
+                epoch: 2,
+                payload: Payload::Text(Some("line one\nline \"two\"\ttab".into())),
+            },
+            Response { epoch: 2, payload: Payload::Text(Some("caf\u{e9} \u{1F600}".into())) },
+            Response { epoch: 1, payload: Payload::Text(None) },
+            Response {
+                epoch: 9,
+                payload: Payload::Stats(ServeStats {
+                    docs: 10,
+                    queries: 7,
+                    cache_hits: 3,
+                    cache_misses: 4,
+                    cache_evictions: 1,
+                    cache_stale_drops: 2,
+                    shed: 5,
+                    timeouts: 6,
+                    batches: 8,
+                }),
+            },
+            Response { epoch: 4, payload: Payload::Pong },
+        ];
+        for resp in cases {
+            let line = resp.to_wire();
+            assert!(!line.contains('\n'), "payload leaked a newline: {line:?}");
+            assert_eq!(parse_response(&line).unwrap().unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn error_wire_round_trips_codes() {
+        for err in [
+            ServeError::Overloaded { depth: 9, high_water: 8 },
+            ServeError::Timeout {
+                waited: std::time::Duration::from_millis(5),
+                deadline: std::time::Duration::from_millis(2),
+            },
+            ServeError::BadRequest("nope".into()),
+            ServeError::Shutdown,
+        ] {
+            let parsed = parse_response(&error_to_wire(&err)).unwrap().unwrap_err();
+            assert_eq!(parsed.code(), err.code());
+        }
+        assert!(parse_response("GARBAGE").is_err());
+        assert!(parse_response("OK x DOCS 0").is_err());
+        assert!(parse_response("OK 1 DOCS 2 5").is_err());
+    }
+}

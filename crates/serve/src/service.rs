@@ -1,0 +1,341 @@
+//! [`QueryService`]: the shared read path with its epoch-keyed cache.
+//!
+//! The snapshot model is lock-based and coarse but exact: an engine behind
+//! one `RwLock`, an [`EpochCounter`] bumped **while the write lock is
+//! held**, readers sampling the epoch **under the read lock**. The pair a
+//! reader sees is therefore coherent — the epoch names exactly the state
+//! its result was computed from, which is what the result cache keys its
+//! invalidation on and what the oracle tests replay against.
+//!
+//! Writer operations are batch-atomic: [`QueryService::ingest_batch`] adds
+//! the documents *and* flushes under one write-lock hold, so queries never
+//! observe a half-ingested batch and visible state only changes at epoch
+//! bumps.
+
+use crate::cache::{Lookup, ResultCache};
+use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::request::{Payload, Request, Response, ServeStats};
+use invidx_core::concurrent::EpochCounter;
+use invidx_core::index::BatchReport;
+use invidx_core::types::DocId;
+use invidx_obs::names;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { cache_capacity: 1024 }
+    }
+}
+
+/// Per-service counters, mirrored into the global `invidx-obs` registry so
+/// dashboards see them, but readable per instance so tests don't race each
+/// other through process-global state.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ServeCounters {
+    fn bump(counter: &AtomicU64, name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        invidx_obs::counter!(name).inc();
+    }
+
+    /// Count one shed request (admission rejection).
+    pub fn count_shed(&self) {
+        Self::bump(&self.shed, names::SERVE_SHED);
+    }
+
+    /// Count one queue-deadline expiry.
+    pub fn count_timeout(&self) {
+        Self::bump(&self.timeouts, names::SERVE_TIMEOUTS);
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests expired so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// A read-shared, write-exclusive serving handle over an engine.
+pub struct QueryService<E> {
+    engine: RwLock<E>,
+    epoch: EpochCounter,
+    cache: Mutex<ResultCache>,
+    counters: ServeCounters,
+}
+
+impl<E: ServeEngine> QueryService<E> {
+    /// Wrap an engine for serving.
+    pub fn new(engine: E, config: ServiceConfig) -> Self {
+        Self {
+            engine: RwLock::new(engine),
+            epoch: EpochCounter::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            counters: ServeCounters::default(),
+        }
+    }
+
+    /// The current batch epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Unwrap the service and hand the engine back (e.g. to close it
+    /// cleanly or reopen a durable store).
+    pub fn into_engine(self) -> E {
+        self.engine.into_inner()
+    }
+
+    /// The per-service counters (shared with the admission layer).
+    pub fn counters(&self) -> &ServeCounters {
+        &self.counters
+    }
+
+    /// Execute one read request against a coherent `(epoch, engine)`
+    /// snapshot, consulting the result cache for cacheable requests.
+    pub fn execute(&self, request: &Request) -> Result<Response, ServeError> {
+        ServeCounters::bump(&self.counters.queries, names::SERVE_QUERIES);
+        // The read lock pins the epoch: writers bump it only while holding
+        // the write lock, so `epoch` names exactly the state we query.
+        let engine = self.engine.read();
+        let epoch = self.epoch.get();
+        let key = request.cache_key();
+        if let Some(key) = &key {
+            let (cached, outcome) = self.cache.lock().get(key, epoch);
+            self.count_lookup(outcome);
+            if let Some(payload) = cached {
+                return Ok(Response { epoch, payload });
+            }
+        }
+        let payload = self.run(&engine, request)?;
+        if let Some(key) = key {
+            // Still under the read lock, so `epoch` is still current.
+            self.cache.lock().insert(key, epoch, payload.clone());
+        }
+        Ok(Response { epoch, payload })
+    }
+
+    fn run(&self, engine: &E, request: &Request) -> Result<Payload, ServeError> {
+        let engine_err = |e: invidx_core::types::IndexError| match e {
+            invidx_core::types::IndexError::InvalidConfig(msg) => ServeError::BadRequest(msg),
+            other => ServeError::Engine(other.to_string()),
+        };
+        Ok(match request {
+            Request::Boolean(q) => {
+                Payload::Docs(to_ids(&engine.boolean_str(q).map_err(engine_err)?))
+            }
+            Request::Phrase(p) => Payload::Docs(to_ids(&engine.phrase(p).map_err(engine_err)?)),
+            Request::Near(w1, w2, win) => {
+                Payload::Docs(to_ids(&engine.within(w1, w2, *win).map_err(engine_err)?))
+            }
+            Request::Like(k, text) => Payload::Hits(
+                engine
+                    .more_like_this(text, *k)
+                    .map_err(engine_err)?
+                    .into_iter()
+                    .map(|h| (h.doc.0, h.score))
+                    .collect(),
+            ),
+            Request::Doc(id) => {
+                Payload::Text(engine.document(DocId(*id)).map_err(engine_err)?)
+            }
+            Request::Stats => Payload::Stats(self.stats_with(engine)),
+            Request::Ping => Payload::Pong,
+        })
+    }
+
+    fn count_lookup(&self, outcome: Lookup) {
+        match outcome {
+            Lookup::Hit => {
+                ServeCounters::bump(&self.counters.cache_hits, names::SERVE_CACHE_HITS)
+            }
+            Lookup::Miss => {
+                ServeCounters::bump(&self.counters.cache_misses, names::SERVE_CACHE_MISSES)
+            }
+            Lookup::Stale => {
+                // A stale drop is also a miss from the caller's viewpoint.
+                ServeCounters::bump(&self.counters.cache_misses, names::SERVE_CACHE_MISSES);
+                invidx_obs::counter!(names::SERVE_CACHE_STALE_DROPS).inc();
+            }
+        }
+    }
+
+    /// Ingest one batch atomically: add every document, flush, bump the
+    /// epoch. Queries either see none of the batch (old epoch) or all of
+    /// it (new epoch). Returns the report and the new epoch.
+    pub fn ingest_batch<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+    ) -> Result<(BatchReport, u64), ServeError> {
+        let mut engine = self.engine.write();
+        for text in texts {
+            engine.add_document(text.as_ref()).map_err(ServeError::Engine)?;
+        }
+        let report = engine.flush().map_err(ServeError::Engine)?;
+        // Bump while still holding the write lock, so no reader can pair
+        // the new state with the old epoch.
+        let epoch = self.epoch.bump();
+        ServeCounters::bump(&self.counters.batches, names::SERVE_BATCHES);
+        drop(engine);
+        Ok((report, epoch))
+    }
+
+    /// Write a durable checkpoint (no-op `Ok(None)` for volatile engines).
+    /// Takes the write lock — readers stall for the duration and resume;
+    /// the visible state does not change, so the epoch does not move.
+    pub fn checkpoint(&self) -> Result<Option<u64>, ServeError> {
+        self.engine.write().checkpoint().map_err(ServeError::Engine)
+    }
+
+    /// Hold the engine write lock for the duration of `f` without touching
+    /// the engine or the epoch — a deterministic way for tests to stall
+    /// the read path.
+    #[doc(hidden)]
+    pub fn with_blocked_writer(&self, f: impl FnOnce()) {
+        let _guard = self.engine.write();
+        f();
+    }
+
+    /// Run a closure with shared access to the engine and the pinned epoch
+    /// (oracle tests use this to snapshot ground truth).
+    pub fn with_read<R>(&self, f: impl FnOnce(u64, &E) -> R) -> R {
+        let engine = self.engine.read();
+        f(self.epoch.get(), &engine)
+    }
+
+    /// Serving counters plus engine totals.
+    pub fn stats(&self) -> ServeStats {
+        self.stats_with(&self.engine.read())
+    }
+
+    fn stats_with(&self, engine: &E) -> ServeStats {
+        let cache = self.cache.lock();
+        ServeStats {
+            docs: engine.total_docs(),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: cache.evictions(),
+            cache_stale_drops: cache.stale_drops(),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn to_ids(list: &invidx_core::postings::PostingList) -> Vec<u32> {
+    list.docs().iter().map(|d| d.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_core::index::IndexConfig;
+    use invidx_disk::sparse_array;
+    use invidx_ir::SearchEngine;
+
+    fn service(cache: usize) -> QueryService<SearchEngine> {
+        let array = sparse_array(2, 50_000, 256);
+        let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
+        QueryService::new(engine, ServiceConfig { cache_capacity: cache })
+    }
+
+    fn docs_of(resp: &Response) -> Vec<u32> {
+        match &resp.payload {
+            Payload::Docs(ids) => ids.clone(),
+            other => panic!("expected docs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queries_see_batches_atomically() {
+        let s = service(16);
+        assert_eq!(s.epoch(), 0);
+        let (report, epoch) =
+            s.ingest_batch(&["the cat sat on the mat", "the dog chased the cat"]).unwrap();
+        assert_eq!((report.batch, epoch), (0, 1)); // batches are 0-based, epochs count flushes
+        let resp = s.execute(&Request::Boolean("cat and dog".into())).unwrap();
+        assert_eq!((resp.epoch, docs_of(&resp)), (1, vec![2]));
+        let resp = s.execute(&Request::Near("cat".into(), "dog".into(), 3)).unwrap();
+        assert_eq!(docs_of(&resp), vec![2]);
+        let resp = s.execute(&Request::Doc(1)).unwrap();
+        assert_eq!(resp.payload, Payload::Text(Some("the cat sat on the mat".into())));
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_epoch_invalidates() {
+        let s = service(16);
+        s.ingest_batch(&["alpha beta gamma"]).unwrap();
+        let q = Request::Boolean("alpha".into());
+        let first = s.execute(&q).unwrap();
+        let second = s.execute(&q).unwrap();
+        assert_eq!(first, second);
+        let stats = s.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        // New batch changes the answer; the stale entry must not serve.
+        s.ingest_batch(&["alpha again here"]).unwrap();
+        let third = s.execute(&q).unwrap();
+        assert_eq!(docs_of(&third), vec![1, 2]);
+        assert_eq!(third.epoch, 2);
+        assert_eq!(s.stats().cache_stale_drops, 1);
+    }
+
+    #[test]
+    fn uncacheable_requests_bypass_the_cache() {
+        let s = service(16);
+        s.ingest_batch(&["one document"]).unwrap();
+        s.execute(&Request::Doc(1)).unwrap();
+        s.execute(&Request::Ping).unwrap();
+        s.execute(&Request::Stats).unwrap();
+        let stats = s.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn bad_queries_are_typed_bad_requests() {
+        let s = service(4);
+        s.ingest_batch(&["some text"]).unwrap();
+        let err = s.execute(&Request::Boolean("(cat and".into())).unwrap_err();
+        assert_eq!(err.code(), "badrequest");
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let s = service(2);
+        s.ingest_batch(&["a b c", "b c d"]).unwrap();
+        let q = Request::Boolean("b".into());
+        s.execute(&q).unwrap();
+        s.execute(&q).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.docs, 2);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+}

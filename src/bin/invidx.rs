@@ -5,6 +5,7 @@
 //! invidx init  ./myindex --policy "whole z prop 1.2" --disks 4
 //! invidx add   ./myindex docs/*.txt            # each invocation = one batch
 //! invidx search ./myindex "(cat and dog) or mouse"
+//! invidx search ./myindex --stdin < queries.txt   # one engine, many queries
 //! invidx phrase ./myindex "inverted lists"
 //! invidx near  ./myindex cat dog 5
 //! invidx like  ./myindex "incremental index updates" 5
@@ -12,6 +13,7 @@
 //! invidx checkpoint ./myindex
 //! invidx recover ./myindex
 //! invidx stats ./myindex
+//! invidx serve ./myindex --addr 127.0.0.1:7700   # TCP query server
 //! ```
 //!
 //! New indexes are **durable**: the directory holds one file per simulated
@@ -169,14 +171,14 @@ impl Engine {
         }
     }
 
-    fn boolean_str(&mut self, query: &str) -> Result<invidx::core::postings::PostingList, String> {
+    fn boolean_str(&self, query: &str) -> Result<invidx::core::postings::PostingList, String> {
         match self {
             Self::Legacy(e) => e.boolean_str(query).map_err(|e| e.to_string()),
             Self::Durable(e) => e.boolean_str(query).map_err(|e| e.to_string()),
         }
     }
 
-    fn phrase(&mut self, phrase: &str) -> Result<invidx::core::postings::PostingList, String> {
+    fn phrase(&self, phrase: &str) -> Result<invidx::core::postings::PostingList, String> {
         match self {
             Self::Legacy(e) => e.phrase(phrase).map_err(|e| e.to_string()),
             Self::Durable(e) => e.phrase(phrase).map_err(|e| e.to_string()),
@@ -184,7 +186,7 @@ impl Engine {
     }
 
     fn within(
-        &mut self,
+        &self,
         w1: &str,
         w2: &str,
         window: u32,
@@ -195,14 +197,14 @@ impl Engine {
         }
     }
 
-    fn more_like_this(&mut self, text: &str, k: usize) -> Result<Vec<invidx::ir::Hit>, String> {
+    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<invidx::ir::Hit>, String> {
         match self {
             Self::Legacy(e) => e.more_like_this(text, k).map_err(|e| e.to_string()),
             Self::Durable(e) => e.more_like_this(text, k).map_err(|e| e.to_string()),
         }
     }
 
-    fn document(&mut self, doc: DocId) -> Result<Option<String>, String> {
+    fn document(&self, doc: DocId) -> Result<Option<String>, String> {
         match self {
             Self::Legacy(e) => e.document(doc).map_err(|e| e.to_string()),
             Self::Durable(e) => e.document(doc).map_err(|e| e.to_string()),
@@ -261,6 +263,152 @@ fn persist(dir: &Path, engine: &Engine) -> Result<(), String> {
         Engine::Legacy(e) => std::fs::write(dir.join("engine.meta"), e.save_meta())
             .map_err(|e| format!("cannot write engine.meta: {e}")),
         Engine::Durable(_) => Ok(()),
+    }
+}
+
+/// A CLI index directory wired into the serving layer: queries fan out to
+/// whichever engine variant lives in the directory, and every served
+/// `FLUSH` also persists legacy metadata so the TCP write path offers the
+/// same durability as the corresponding CLI command.
+struct ServedEngine {
+    engine: Engine,
+    dir: PathBuf,
+}
+
+impl invidx::serve::ServeEngine for ServedEngine {
+    fn boolean_str(&self, query: &str) -> invidx::core::Result<invidx::core::postings::PostingList> {
+        match &self.engine {
+            Engine::Legacy(e) => e.boolean_str(query),
+            Engine::Durable(e) => e.boolean_str(query),
+        }
+    }
+
+    fn phrase(&self, phrase: &str) -> invidx::core::Result<invidx::core::postings::PostingList> {
+        match &self.engine {
+            Engine::Legacy(e) => e.phrase(phrase),
+            Engine::Durable(e) => e.phrase(phrase),
+        }
+    }
+
+    fn within(
+        &self,
+        w1: &str,
+        w2: &str,
+        window: u32,
+    ) -> invidx::core::Result<invidx::core::postings::PostingList> {
+        match &self.engine {
+            Engine::Legacy(e) => e.within(w1, w2, window),
+            Engine::Durable(e) => e.within(w1, w2, window),
+        }
+    }
+
+    fn more_like_this(&self, text: &str, k: usize) -> invidx::core::Result<Vec<invidx::ir::Hit>> {
+        match &self.engine {
+            Engine::Legacy(e) => e.more_like_this(text, k),
+            Engine::Durable(e) => e.more_like_this(text, k),
+        }
+    }
+
+    fn document(&self, doc: DocId) -> invidx::core::Result<Option<String>> {
+        match &self.engine {
+            Engine::Legacy(e) => e.document(doc),
+            Engine::Durable(e) => e.document(doc),
+        }
+    }
+
+    fn add_document(&mut self, text: &str) -> Result<DocId, String> {
+        self.engine.add_document(text)
+    }
+
+    fn flush(&mut self) -> Result<invidx::core::index::BatchReport, String> {
+        let report = self.engine.flush()?;
+        persist(&self.dir, &self.engine)?;
+        Ok(report)
+    }
+
+    fn checkpoint(&mut self) -> Result<Option<u64>, String> {
+        match &mut self.engine {
+            Engine::Legacy(_) => Ok(None),
+            Engine::Durable(e) => e.checkpoint().map(Some).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn total_docs(&self) -> u64 {
+        self.engine.total_docs()
+    }
+
+    fn vocabulary_size(&self) -> usize {
+        self.engine.vocabulary_size()
+    }
+}
+
+/// Serve the index over TCP until killed: line protocol, bounded admission
+/// queue, epoch-invalidated result cache (see `crates/serve`).
+fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
+    use invidx::serve::{AdmissionConfig, QueryService, Server, ServiceConfig};
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut admission = AdmissionConfig::default();
+    let mut service_config = ServiceConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--readers" => {
+                admission.readers =
+                    value("--readers")?.parse().map_err(|e| format!("readers: {e}"))?
+            }
+            "--high-water" => {
+                admission.high_water =
+                    value("--high-water")?.parse().map_err(|e| format!("high-water: {e}"))?
+            }
+            "--deadline-ms" => {
+                let ms: u64 =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("deadline-ms: {e}"))?;
+                admission.deadline = std::time::Duration::from_millis(ms);
+            }
+            "--cache" => {
+                service_config.cache_capacity =
+                    value("--cache")?.parse().map_err(|e| format!("cache: {e}"))?
+            }
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+        i += 2;
+    }
+    let (engine, _) = open_engine(dir)?;
+    let durability = match &engine {
+        Engine::Legacy(_) => "legacy: engine.meta rewritten on every FLUSH",
+        Engine::Durable(_) => "durable: WAL + CHECKPOINT verb available",
+    };
+    let served = ServedEngine { engine, dir: dir.to_path_buf() };
+    println!(
+        "serving {} ({} docs, {} words; {durability})",
+        dir.display(),
+        invidx::serve::ServeEngine::total_docs(&served),
+        invidx::serve::ServeEngine::vocabulary_size(&served),
+    );
+    let service = std::sync::Arc::new(QueryService::new(served, service_config));
+    let server = Server::bind(&addr, service, admission)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "listening on {} ({} readers, high-water {}, deadline {} ms, cache {})",
+        server.addr(),
+        admission.readers,
+        admission.high_water,
+        admission.deadline.as_millis(),
+        service_config.cache_capacity,
+    );
+    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DOC | STATS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
+    println!(
+        "try:      printf 'QUERY cat and dog\\nQUIT\\n' | nc {} {}",
+        server.addr().ip(),
+        server.addr().port()
+    );
+    // Serve until the process is killed; connection threads do the work.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -356,14 +504,46 @@ fn cmd_add(dir: &Path, files: &[String]) -> Result<(), String> {
 }
 
 fn cmd_search(dir: &Path, query: &str) -> Result<(), String> {
-    let (mut engine, _) = open_engine(dir)?;
+    let (engine, _) = open_engine(dir)?;
     let hits = engine.boolean_str(query).map_err(|e| format!("query: {e}"))?;
     print_docs(hits.docs());
     Ok(())
 }
 
+/// Batch query mode: recover/open the engine once, then run every line of
+/// stdin as a boolean query against it. Opening the engine dominates the
+/// cost of a single query, so this is the way to run query workloads from
+/// the shell; one result line per query, tab-separated for scripting.
+fn cmd_search_stdin(dir: &Path) -> Result<(), String> {
+    use std::io::BufRead;
+    let (engine, _) = open_engine(dir)?;
+    let started = std::time::Instant::now();
+    let mut queries = 0u64;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let query = line.trim();
+        if query.is_empty() || query.starts_with('#') {
+            continue;
+        }
+        queries += 1;
+        match engine.boolean_str(query) {
+            Ok(hits) if hits.docs().is_empty() => println!("{query}\t-"),
+            Ok(hits) => println!(
+                "{query}\t{}",
+                hits.docs().iter().map(|d| d.0.to_string()).collect::<Vec<_>>().join(",")
+            ),
+            Err(e) => println!("{query}\terror: {e}"),
+        }
+    }
+    eprintln!(
+        "{queries} queries in {:.1} ms (one engine open)",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
 fn cmd_phrase(dir: &Path, phrase: &str) -> Result<(), String> {
-    let (mut engine, _) = open_engine(dir)?;
+    let (engine, _) = open_engine(dir)?;
     let hits = engine.phrase(phrase).map_err(|e| format!("query: {e}"))?;
     print_docs(hits.docs());
     Ok(())
@@ -371,7 +551,7 @@ fn cmd_phrase(dir: &Path, phrase: &str) -> Result<(), String> {
 
 fn cmd_near(dir: &Path, w1: &str, w2: &str, window: &str) -> Result<(), String> {
     let window: u32 = window.parse().map_err(|e| format!("window: {e}"))?;
-    let (mut engine, _) = open_engine(dir)?;
+    let (engine, _) = open_engine(dir)?;
     let hits = engine.within(w1, w2, window).map_err(|e| format!("query: {e}"))?;
     print_docs(hits.docs());
     Ok(())
@@ -379,7 +559,7 @@ fn cmd_near(dir: &Path, w1: &str, w2: &str, window: &str) -> Result<(), String> 
 
 fn cmd_like(dir: &Path, text: &str, k: Option<&String>) -> Result<(), String> {
     let k: usize = k.map(|s| s.parse()).transpose().map_err(|e| format!("k: {e}"))?.unwrap_or(10);
-    let (mut engine, _) = open_engine(dir)?;
+    let (engine, _) = open_engine(dir)?;
     let hits = engine.more_like_this(text, k).map_err(|e| format!("query: {e}"))?;
     if hits.is_empty() {
         println!("no matches");
@@ -392,7 +572,7 @@ fn cmd_like(dir: &Path, text: &str, k: Option<&String>) -> Result<(), String> {
 
 fn cmd_show(dir: &Path, id: &str) -> Result<(), String> {
     let id: u32 = id.parse().map_err(|e| format!("doc id: {e}"))?;
-    let (mut engine, _) = open_engine(dir)?;
+    let (engine, _) = open_engine(dir)?;
     match engine.document(DocId(id)).map_err(|e| format!("load: {e}"))? {
         Some(text) => println!("{text}"),
         None => println!("doc {id} not found"),
@@ -544,7 +724,7 @@ fn cmd_metrics(dir: &Path, args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown metrics option {other:?}")),
         }
     }
-    let (mut engine, conf) = open_engine(dir)?;
+    let (engine, conf) = open_engine(dir)?;
     // Optional read traffic so counter/histogram metrics show live values.
     for w in &read_words {
         let hits = engine.boolean_str(w).map_err(|e| format!("read {w:?}: {e}"))?;
@@ -575,12 +755,13 @@ fn print_docs(docs: &[DocId]) {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n  \
-         invidx add <dir> <file...>\n  invidx search <dir> <boolean query>\n  \
+         invidx add <dir> <file...>\n  invidx search <dir> <boolean query | --stdin>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
          invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
          invidx compact <dir>\n  invidx checkpoint <dir>\n  invidx recover <dir>\n  \
          invidx stats <dir> [--metrics]\n  \
-         invidx metrics <dir> [--json] [--read <word>]..."
+         invidx metrics <dir> [--json] [--read <word>]...\n  \
+         invidx serve <dir> [--addr H:P] [--readers N] [--high-water N] [--deadline-ms N] [--cache N]"
     );
     ExitCode::from(2)
 }
@@ -597,6 +778,7 @@ fn main() -> ExitCode {
     let result = match (cmd.as_str(), rest) {
         ("init", opts) => cmd_init(&dir, opts),
         ("add", files) => cmd_add(&dir, files),
+        ("search", [flag]) if flag == "--stdin" => cmd_search_stdin(&dir),
         ("search", [q]) => cmd_search(&dir, q),
         ("phrase", [p]) => cmd_phrase(&dir, p),
         ("near", [a, b, w]) => cmd_near(&dir, a, b, w),
@@ -609,6 +791,7 @@ fn main() -> ExitCode {
         ("stats", []) => cmd_stats(&dir, false),
         ("stats", [flag]) if flag == "--metrics" => cmd_stats(&dir, true),
         ("metrics", opts) => cmd_metrics(&dir, opts),
+        ("serve", opts) => cmd_serve(&dir, opts),
         _ => return usage(),
     };
     match result {

@@ -59,7 +59,7 @@ fn scan<F: Fn(&BTreeSet<String>) -> bool>(texts: &[String], pred: F) -> Vec<u32>
 #[test]
 fn boolean_queries_match_brute_force() {
     let texts = corpus_texts();
-    let mut engine = build_engine(&texts);
+    let engine = build_engine(&texts);
     // Pick real words from the corpus: a frequent one and two rarer ones.
     let mut freq: std::collections::HashMap<String, usize> = Default::default();
     for t in &texts {
@@ -112,7 +112,7 @@ fn boolean_queries_match_brute_force() {
 #[test]
 fn proximity_matches_brute_force() {
     let texts = corpus_texts();
-    let mut engine = build_engine(&texts);
+    let engine = build_engine(&texts);
     // Two words that co-occur somewhere.
     let sample = lexer::document_words(&texts[0]);
     let w1 = sample[sample.len() / 3].clone();
@@ -145,7 +145,7 @@ fn proximity_matches_brute_force() {
 #[test]
 fn phrase_matches_brute_force() {
     let texts = corpus_texts();
-    let mut engine = build_engine(&texts);
+    let engine = build_engine(&texts);
     // Take a real 3-token phrase from the middle of a document body.
     let toks = lexer::tokenize_document(&texts[3]);
     let phrase = format!("{} {} {}", toks[10], toks[11], toks[12]);
@@ -168,7 +168,7 @@ fn phrase_matches_brute_force() {
 #[test]
 fn more_like_this_favours_the_source_document() {
     let texts = corpus_texts();
-    let mut engine = build_engine(&texts);
+    let engine = build_engine(&texts);
     for probe in [0usize, 7, 42] {
         let hits = engine.more_like_this(&texts[probe], 3).expect("mlt");
         assert_eq!(
