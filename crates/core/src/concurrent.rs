@@ -66,23 +66,38 @@ impl SharedIndex {
     }
 
     /// The current batch epoch: bumped by every visible mutation
-    /// ([`Self::flush_batch`], [`Self::sweep`], [`Self::with_write`]).
+    /// ([`Self::insert_document`], [`Self::flush_batch`], [`Self::sweep`],
+    /// [`Self::with_write`]).
     pub fn epoch(&self) -> u64 {
         self.epoch.get()
     }
 
-    /// Add a document to the current batch.
+    /// Add a document to the current batch and advance the epoch.
     ///
-    /// Does **not** bump the epoch: per the paper, the arriving batch "can
-    /// be searched simultaneously with the larger index", so unflushed
-    /// documents are visible to queries — epoch-keyed caching therefore
-    /// only makes sense when inserts and flushes are applied as one unit
-    /// under [`Self::with_write`] (as the serving layer does).
+    /// Per the paper, the arriving batch "can be searched simultaneously
+    /// with the larger index": an unflushed document is visible to queries
+    /// the moment this returns, so any result cached under an earlier
+    /// epoch is already stale. The bump happens while the write lock is
+    /// still held, so no reader can observe the new document under the old
+    /// epoch.
     pub fn insert_document<I>(&self, doc: DocId, words: I) -> Result<()>
     where
         I: IntoIterator<Item = WordId>,
     {
-        self.inner.write().insert_document(doc, words)
+        let mut guard = self.inner.write();
+        guard.insert_document(doc, words)?;
+        self.epoch.bump();
+        Ok(())
+    }
+
+    /// Add a whole batch of documents in one write-lock hold, inverting
+    /// them in parallel on `threads` workers (see
+    /// [`DualIndex::insert_documents`]). One epoch bump covers the batch.
+    pub fn insert_documents(&self, docs: Vec<(DocId, Vec<WordId>)>, threads: usize) -> Result<()> {
+        let mut guard = self.inner.write();
+        guard.insert_documents(docs, threads)?;
+        self.epoch.bump();
+        Ok(())
     }
 
     /// Flush the current batch to disk and advance the epoch.
@@ -204,21 +219,39 @@ mod tests {
     fn epoch_advances_with_visible_mutations() {
         let index = shared();
         assert_eq!(index.epoch(), 0);
+        // An insert is immediately queryable (the in-memory batch merges
+        // into query results), so it must advance the epoch too.
         index.insert_document(DocId(1), [WordId(1)]).unwrap();
-        // Inserts alone leave the epoch: the batch is already queryable.
-        assert_eq!(index.epoch(), 0);
-        index.flush_batch().unwrap();
         assert_eq!(index.epoch(), 1);
-        index.delete_document(DocId(1));
+        index.flush_batch().unwrap();
         assert_eq!(index.epoch(), 2);
-        index.sweep().unwrap();
+        index.delete_document(DocId(1));
         assert_eq!(index.epoch(), 3);
+        index.sweep().unwrap();
+        assert_eq!(index.epoch(), 4);
         index
             .with_write(|ix| {
                 ix.insert_document(DocId(2), [WordId(1)]).and_then(|_| ix.flush_batch())
             })
             .unwrap();
-        assert_eq!(index.epoch(), 4);
+        assert_eq!(index.epoch(), 5);
+    }
+
+    #[test]
+    fn direct_insert_cannot_serve_stale_cache_hits() {
+        // Model of the serving layer's epoch-keyed result cache: an entry
+        // recorded at epoch `e` may be served while `epoch()` still reads
+        // `e`. A direct insert makes the new document queryable at once,
+        // so the cached pair must become unusable immediately.
+        let index = shared();
+        let (cached_epoch, cached) =
+            index.with_snapshot(|e, ix| (e, ix.postings(WordId(9)).unwrap()));
+        assert!(cached.is_empty());
+        index.insert_document(DocId(1), [WordId(9)]).unwrap();
+        // The cache's validity check fails: the epoch moved past the entry.
+        assert_ne!(index.epoch(), cached_epoch);
+        // And rightly so — the fresh answer differs from the cached one.
+        assert_eq!(index.postings(WordId(9)).unwrap().len(), 1);
     }
 
     #[test]
@@ -228,7 +261,7 @@ mod tests {
         index.flush_batch().unwrap();
         let (epoch, len) =
             index.with_snapshot(|e, ix| (e, ix.postings(WordId(7)).unwrap().len()));
-        assert_eq!((epoch, len), (1, 1));
+        assert_eq!((epoch, len), (2, 1));
     }
 
     #[test]

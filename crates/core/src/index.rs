@@ -209,6 +209,9 @@ pub struct DualIndex {
     bucket_extents: Vec<(u16, u64, u64)>,
     /// Live on-disk directory extent.
     dir_extent: Option<(u16, u64, u64)>,
+    /// Worker threads for batch inversion and the captured parallel apply
+    /// (1 = fully sequential; see [`Self::set_ingest_threads`]).
+    ingest_threads: usize,
 }
 
 impl DualIndex {
@@ -233,7 +236,23 @@ impl DualIndex {
             batch_no: 0,
             bucket_extents: Vec::new(),
             dir_extent: None,
+            ingest_threads: 1,
         })
+    }
+
+    /// Set the ingest worker-pool size. With more than one thread,
+    /// [`Self::insert_documents`] inverts batches across workers and
+    /// [`Self::flush_batch`] / [`Self::apply_batch`] run the batch apply
+    /// through a capture window that executes each disk's writes on its
+    /// own worker ([`DiskArray::begin_capture`]). Results are
+    /// bit-identical to single-threaded ingest at any setting.
+    pub fn set_ingest_threads(&mut self, threads: usize) {
+        self.ingest_threads = threads.max(1);
+    }
+
+    /// The configured ingest worker-pool size.
+    pub fn ingest_threads(&self) -> usize {
+        self.ingest_threads
     }
 
     /// The configuration.
@@ -286,6 +305,24 @@ impl DualIndex {
         self.mem.add_document(doc, words)
     }
 
+    /// Add a whole batch of documents at once, inverting them across the
+    /// configured ingest workers (word-sharded, merged deterministically —
+    /// see [`crate::parallel::invert_batch`]). Equivalent to calling
+    /// [`Self::insert_document`] for each document in order.
+    pub fn insert_documents(&mut self, docs: Vec<(DocId, Vec<WordId>)>, threads: usize) -> Result<()> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        if let (Some(last), Some(first)) = (self.mem.last_doc(), docs.first().map(|d| d.0)) {
+            if first <= last {
+                return Err(IndexError::OutOfOrderDocument { have: last, new: first });
+            }
+        }
+        let threads = threads.max(1);
+        let batch = crate::parallel::invert_batch(docs, threads, threads)?;
+        self.mem.absorb(batch)
+    }
+
     /// Add a pre-built in-memory list (pipeline replay path).
     pub fn insert_list(&mut self, word: WordId, list: &PostingList) -> Result<()> {
         use invidx_obs::names;
@@ -301,10 +338,13 @@ impl DualIndex {
         let _span = invidx_obs::span("flush_batch");
         let obs_before = invidx_obs::ObsDelta::capture();
         let mut report = self.apply_updates()?;
-        // The superblock records *completed* batches, so count this one
-        // before the commit point.
-        self.batch_no += 1;
-        self.flush_metadata()?;
+        // The superblock records *completed* batches. The flush writes the
+        // new count, but the in-memory counter only advances once the
+        // commit point succeeds — a failed flush must leave `batch_no`
+        // matching the superblock on disk, so a retry cannot double-count.
+        let committed = self.batch_no + 1;
+        self.flush_metadata(committed)?;
+        self.batch_no = committed;
         self.array.end_batch();
         self.finish_report(&mut report, &obs_before);
         Ok(report)
@@ -352,6 +392,46 @@ impl DualIndex {
             bucket_units: 0,
             obs: invidx_obs::ObsDelta::default(),
         };
+        let threads = self.ingest_threads;
+        if threads > 1 {
+            // Parallel apply: buffer long-list writes per target disk while
+            // the drain loop runs (allocator calls and bucket mutations
+            // still execute immediately, in word order), then land each
+            // disk's writes on its own worker. Reads overlay the buffered
+            // writes, so a list evicted and re-appended within one batch
+            // still sees its own bytes. Device state, allocator state, and
+            // trace are bit-identical to the sequential path.
+            self.array.begin_capture();
+        }
+        let applied = self.apply_drained(drained, &mut report, overflow_counter, migration_counter);
+        if threads > 1 {
+            let per_disk = self.array.end_capture(threads)?;
+            invidx_obs::counter!(names::INGEST_PARALLEL_BATCHES).inc();
+            let registry = invidx_obs::registry();
+            for (disk, (ops, blocks)) in per_disk.iter().enumerate() {
+                if *ops > 0 {
+                    registry
+                        .counter(&names::per_disk(names::INGEST_APPLY_WRITES, disk as u16))
+                        .add(*ops);
+                    registry
+                        .counter(&names::per_disk(names::INGEST_APPLY_BLOCKS, disk as u16))
+                        .add(*blocks);
+                }
+            }
+        }
+        applied?;
+        Ok(report)
+    }
+
+    /// The batch-apply drain loop: route each drained word to its long
+    /// list or bucket, migrating eviction victims (Figure 7).
+    fn apply_drained(
+        &mut self,
+        drained: Vec<(WordId, PostingList)>,
+        report: &mut BatchReport,
+        overflow_counter: &invidx_obs::Counter,
+        migration_counter: &invidx_obs::Counter,
+    ) -> Result<()> {
         for (word, list) in drained {
             report.postings += list.len() as u64;
             // Categorize the word-occurrence pair (Figure 7).
@@ -377,7 +457,7 @@ impl DualIndex {
                 }
             }
         }
-        Ok(report)
+        Ok(())
     }
 
     fn finish_report(&self, report: &mut BatchReport, obs_before: &invidx_obs::ObsDelta) {
@@ -422,9 +502,12 @@ impl DualIndex {
         self.array.end_batch();
     }
 
-    /// Shadow-write buckets and directory, commit via the superblock, then
-    /// free the previous generation and the release list.
-    fn flush_metadata(&mut self) -> Result<()> {
+    /// Shadow-write buckets and directory, commit via the superblock
+    /// (which records `committed` as the completed-batch count), then free
+    /// the previous generation and the release list. Callers advance
+    /// `self.batch_no` only after this returns `Ok` — see
+    /// [`Self::flush_batch`].
+    fn flush_metadata(&mut self, committed: u64) -> Result<()> {
         let bs = self.array.block_size();
         let n = self.array.num_disks();
         let bucket_blocks = self.config.bucket_blocks();
@@ -472,7 +555,7 @@ impl DualIndex {
         // New directory extent, on a rotating disk.
         let dir_bytes = self.longs.directory().serialize();
         let dir_blocks = (dir_bytes.len().div_ceil(bs) as u64).max(1);
-        let dir_disk = (self.batch_no % n as u64) as u16;
+        let dir_disk = (committed % n as u64) as u16;
         let dir_start = self.array.alloc_on(dir_disk, dir_blocks)?;
         let mut buf = dir_bytes;
         buf.resize(dir_blocks as usize * bs, 0);
@@ -490,7 +573,7 @@ impl DualIndex {
         // block per batch and is excluded from the measured trace.
         let old_buckets = std::mem::replace(&mut self.bucket_extents, new_bucket_extents);
         let old_dir = self.dir_extent.replace((dir_disk, dir_start, dir_blocks));
-        self.write_superblock()?;
+        self.write_superblock(committed)?;
 
         // Previous generation and released long-list chunks return to free
         // space only after the commit point.
@@ -610,7 +693,9 @@ impl DualIndex {
             }
             report.postings_removed += (list.len() - kept.len()) as u64;
             // Release the old chunks.
-            let old = self.longs.directory_mut().remove(word).expect("listed");
+            let old = self.longs.directory_mut().remove(word).ok_or_else(|| {
+                IndexError::Corruption(format!("sweep: listed word {word} missing from directory"))
+            })?;
             for c in old.chunks {
                 self.longs.directory_mut().push_release(c.disk, c.start, c.blocks);
             }
@@ -626,7 +711,9 @@ impl DualIndex {
         // disk copy refreshes at the next flush.
         let short_words: Vec<WordId> = self.buckets.iter().map(|(w, _)| w).collect();
         for word in short_words {
-            let list = self.buckets.get(word).expect("listed").clone();
+            let Some(list) = self.buckets.get(word).cloned() else {
+                continue;
+            };
             let mut kept = list.clone();
             kept.retain(|d| !deleted.contains(&d));
             if kept.len() == list.len() {
@@ -661,7 +748,7 @@ impl DualIndex {
     pub fn compact(&mut self) -> Result<CompactReport> {
         let blocks_before = self.array.total_blocks() - self.array.free_blocks();
         let mut report = self.compact_core()?;
-        self.flush_metadata()?;
+        self.flush_metadata(self.batch_no)?;
         let blocks_after = self.array.total_blocks() - self.array.free_blocks();
         report.blocks_freed = blocks_before.saturating_sub(blocks_after);
         invidx_obs::event!("compact", {
@@ -733,7 +820,7 @@ impl DualIndex {
     ) -> Result<RebalanceReport> {
         let report = self.rebalance_core(num_buckets, capacity_units)?;
         // Commit the new generation (buckets + directory + superblock).
-        self.flush_metadata()?;
+        self.flush_metadata(self.batch_no)?;
         invidx_obs::event!("rebalance_buckets", {
             "old_buckets": report.old_buckets,
             "new_buckets": report.new_buckets,
@@ -795,11 +882,11 @@ impl DualIndex {
 
     // ----- persistence -----
 
-    fn superblock_bytes(&self) -> Vec<u8> {
+    fn superblock_bytes(&self, committed: u64) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
         out.extend_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
         out.extend_from_slice(&SUPERBLOCK_VERSION.to_le_bytes());
-        out.extend_from_slice(&self.batch_no.to_le_bytes());
+        out.extend_from_slice(&committed.to_le_bytes());
         // Document-ordering ceiling: 0 = no documents yet.
         let ceiling = self.mem.last_doc().map_or(0u64, |d| d.0 as u64 + 1);
         out.extend_from_slice(&ceiling.to_le_bytes());
@@ -819,9 +906,9 @@ impl DualIndex {
         out
     }
 
-    fn write_superblock(&mut self) -> Result<()> {
+    fn write_superblock(&mut self, committed: u64) -> Result<()> {
         let bs = self.array.block_size();
-        let mut buf = self.superblock_bytes();
+        let mut buf = self.superblock_bytes(committed);
         if buf.len() > bs {
             return Err(IndexError::InvalidConfig(format!(
                 "superblock of {} bytes exceeds the {bs}-byte block; fewer disks required",
@@ -960,6 +1047,7 @@ impl DualIndex {
             batch_no,
             bucket_extents,
             dir_extent,
+            ingest_threads: 1,
         })
     }
 
@@ -1042,6 +1130,7 @@ impl DualIndex {
             // devices; these stay empty until a legacy flush_batch runs.
             bucket_extents: Vec::new(),
             dir_extent: None,
+            ingest_threads: 1,
         })
     }
 }

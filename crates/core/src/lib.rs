@@ -49,6 +49,7 @@ pub mod directory;
 pub mod index;
 pub mod longlist;
 pub mod memindex;
+pub mod parallel;
 pub mod policy;
 pub mod postings;
 pub mod types;
@@ -62,6 +63,7 @@ pub use index::{
 };
 pub use longlist::{LongConfig, LongStats, LongStore};
 pub use memindex::MemIndex;
+pub use parallel::{invert_batch, shard_of};
 pub use policy::{Alloc, Limit, Policy, Style};
 pub use postings::PostingList;
 pub use types::{DocId, IndexError, Result, WordId};

@@ -201,7 +201,10 @@ impl LongStore {
             .directory
             .get(word)
             .ok_or_else(|| IndexError::Corruption(format!("in-place update of absent {word}")))?;
-        let chunk = *entry.chunks.last().expect("entries have chunks");
+        let chunk = *entry
+            .chunks
+            .last()
+            .ok_or_else(|| IndexError::Corruption(format!("empty chunk list for {word}")))?;
         let used = chunk.postings;
         debug_assert!(used + y <= chunk.capacity(bp), "in-place update overflows chunk");
 
@@ -250,10 +253,10 @@ impl LongStore {
         invidx_obs::counter!(invidx_obs::names::LONG_IN_PLACE_UPDATES).inc();
         self.directory
             .get_mut(word)
-            .expect("checked above")
-            .chunks
-            .last_mut()
-            .expect("entries have chunks")
+            .and_then(|e| e.chunks.last_mut())
+            .ok_or_else(|| {
+                IndexError::Corruption(format!("directory entry for {word} vanished mid-update"))
+            })?
             .postings += y;
         Ok(())
     }
@@ -308,18 +311,13 @@ impl LongStore {
         postings: &PostingList,
     ) -> Result<()> {
         let bp = self.config.block_postings;
-        let mut combined = if self.directory.contains(word) {
+        let old_chunks: Option<Vec<(u16, u64, u64)>> = self
+            .directory
+            .get(word)
+            .map(|e| e.chunks.iter().map(|c| (c.disk, c.start, c.blocks)).collect());
+        let mut combined = if let Some(old_chunks) = old_chunks {
             let old = self.read_list(array, word)?;
-            for &(disk, start, blocks) in self
-                .directory
-                .get(word)
-                .expect("exists")
-                .chunks
-                .iter()
-                .map(|c| (c.disk, c.start, c.blocks))
-                .collect::<Vec<_>>()
-                .iter()
-            {
+            for (disk, start, blocks) in old_chunks {
                 self.directory.push_release(disk, start, blocks);
             }
             self.stats.whole_rewrites += 1;
@@ -446,15 +444,9 @@ impl LongStore {
         if before == 1 && entry.total_blocks() <= target_blocks {
             return Ok(1);
         }
+        let old: Vec<(u16, u64, u64)> =
+            entry.chunks.iter().map(|c| (c.disk, c.start, c.blocks)).collect();
         let docs = self.read_list(array, word)?;
-        let old: Vec<(u16, u64, u64)> = self
-            .directory
-            .get(word)
-            .expect("checked above")
-            .chunks
-            .iter()
-            .map(|c| (c.disk, c.start, c.blocks))
-            .collect();
         for (d, s, b) in old {
             self.directory.push_release(d, s, b);
         }

@@ -34,11 +34,7 @@ impl MemIndex {
     {
         if let Some(last) = self.last_doc {
             if doc <= last {
-                return Err(IndexError::OutOfOrderAppend {
-                    word: WordId(0),
-                    have: last,
-                    new: doc,
-                });
+                return Err(IndexError::OutOfOrderDocument { have: last, new: doc });
             }
         }
         let mut distinct: Vec<WordId> = words.into_iter().collect();
@@ -65,6 +61,39 @@ impl MemIndex {
         }
         self.lists.entry(word).or_default().append(word, list)?;
         self.postings += list.len() as u64;
+        Ok(())
+    }
+
+    /// Assemble an index from pre-merged shard output (the parallel
+    /// inversion path). The caller guarantees the lists are in document
+    /// order and the counts match.
+    pub(crate) fn from_parts(
+        lists: BTreeMap<WordId, PostingList>,
+        postings: u64,
+        documents: u64,
+        last_doc: Option<DocId>,
+    ) -> Self {
+        Self { lists, postings, documents, last_doc }
+    }
+
+    /// Merge another index whose documents all follow this one's. Per-word
+    /// lists are appended (document-order checked per word); counts and the
+    /// ordering floor carry over.
+    pub fn absorb(&mut self, other: MemIndex) -> Result<()> {
+        if let (Some(last), Some(first)) = (self.last_doc, other_first_doc(&other)) {
+            if first <= last {
+                return Err(IndexError::OutOfOrderDocument { have: last, new: first });
+            }
+        }
+        for (w, list) in other.lists {
+            self.lists.entry(w).or_default().append(w, &list)?;
+        }
+        self.postings += other.postings;
+        self.documents += other.documents;
+        self.last_doc = match (self.last_doc, other.last_doc) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
         Ok(())
     }
 
@@ -121,6 +150,11 @@ impl MemIndex {
     }
 }
 
+/// Smallest document id present in an index's lists (None when empty).
+fn other_first_doc(m: &MemIndex) -> Option<DocId> {
+    m.lists.values().filter_map(|l| l.docs().first().copied()).min()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +203,39 @@ mod tests {
         m.add_document(DocId(1), [WordId(9), WordId(3), WordId(6)]).unwrap();
         let words: Vec<WordId> = m.drain().into_iter().map(|(w, _)| w).collect();
         assert_eq!(words, vec![WordId(3), WordId(6), WordId(9)]);
+    }
+
+    #[test]
+    fn out_of_order_documents_use_dedicated_error() {
+        let mut m = MemIndex::new();
+        m.add_document(DocId(5), [WordId(1)]).unwrap();
+        match m.add_document(DocId(3), [WordId(1)]) {
+            Err(IndexError::OutOfOrderDocument { have, new }) => {
+                assert_eq!(have, DocId(5));
+                assert_eq!(new, DocId(3));
+            }
+            other => panic!("expected OutOfOrderDocument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_merges_lists_and_counts() {
+        let mut a = MemIndex::new();
+        a.add_document(DocId(1), [WordId(2), WordId(5)]).unwrap();
+        let mut b = MemIndex::new();
+        b.add_document(DocId(2), [WordId(2), WordId(9)]).unwrap();
+        a.absorb(b).unwrap();
+        assert_eq!(a.get(WordId(2)).unwrap().docs(), &[DocId(1), DocId(2)]);
+        assert_eq!(a.postings(), 4);
+        assert_eq!(a.documents(), 2);
+        assert_eq!(a.last_doc(), Some(DocId(2)));
+        // Absorbing documents at or below the floor is rejected.
+        let mut c = MemIndex::new();
+        c.add_document(DocId(2), [WordId(1)]).unwrap();
+        assert!(matches!(
+            a.absorb(c),
+            Err(IndexError::OutOfOrderDocument { have: DocId(2), new: DocId(2) })
+        ));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Parallel batch inversion: word-sharded in-memory index build.
+//!
+//! The paper's invert step ("when a new document arrives it is parsed and
+//! its words are inserted into an in-memory inverted index", §2) is pure
+//! CPU work, so a batch's documents can be inverted across a worker pool.
+//! The build is **word-sharded**: each worker owns the words whose id
+//! hashes into its shards, scans every document in document order, and
+//! accumulates only its own words' lists. Because the shards partition the
+//! vocabulary and every worker sees the documents in the same order, the
+//! merged result is byte-identical to the sequential build for *any*
+//! worker or shard count — the property the oracle tests and the shard
+//! proptest pin down.
+
+use crate::memindex::MemIndex;
+use crate::postings::PostingList;
+use crate::types::{DocId, IndexError, Result, WordId};
+use std::collections::BTreeMap;
+
+/// The shard a word's id hashes into (Fibonacci multiplicative hash — word
+/// ids are dense ranks, so low-bit modulo would correlate with frequency).
+pub fn shard_of(word: WordId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (word.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+/// Invert a batch of documents into a [`MemIndex`] using `workers` threads
+/// over `shards` word shards. Equivalent to adding each document in order
+/// with [`MemIndex::add_document`] to a fresh index: same lists, same
+/// counts, same ordering floor — regardless of `workers` and `shards`.
+///
+/// Documents must carry strictly increasing ids; duplicate words within a
+/// document are deduplicated; word id 0 is rejected as reserved. All
+/// validation runs up front in document order, so the reported error never
+/// depends on worker interleaving.
+pub fn invert_batch(
+    mut docs: Vec<(DocId, Vec<WordId>)>,
+    workers: usize,
+    shards: usize,
+) -> Result<MemIndex> {
+    let workers = workers.max(1);
+    let shards = shards.max(1);
+    let mut last: Option<DocId> = None;
+    for (doc, words) in &docs {
+        if let Some(l) = last {
+            if *doc <= l {
+                return Err(IndexError::OutOfOrderDocument { have: l, new: *doc });
+            }
+        }
+        if words.contains(&WordId(0)) {
+            return Err(IndexError::InvalidConfig("word id 0 is reserved".into()));
+        }
+        last = Some(*doc);
+    }
+    let documents = docs.len() as u64;
+    let last_doc = last;
+
+    // Phase 1 — normalize each document's word set (sort + dedup), the
+    // same canonical form `add_document` produces, partitioned by
+    // contiguous document ranges.
+    let chunk = docs.len().div_ceil(workers).max(1);
+    std::thread::scope(|s| {
+        for group in docs.chunks_mut(chunk) {
+            s.spawn(move || {
+                for (_, words) in group {
+                    words.sort_unstable();
+                    words.dedup();
+                }
+            });
+        }
+    });
+
+    // Phase 2 — shard-invert: worker k owns every shard s with
+    // s % workers == k, scans all documents in order, and keeps only its
+    // own words. The shards partition the vocabulary, so the workers'
+    // maps are disjoint and their union is order-independent.
+    let docs_ref = &docs;
+    let maps: Vec<Result<BTreeMap<WordId, PostingList>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(shards))
+            .map(|k| {
+                s.spawn(move || -> Result<BTreeMap<WordId, PostingList>> {
+                    let mut map: BTreeMap<WordId, PostingList> = BTreeMap::new();
+                    for (doc, words) in docs_ref {
+                        for &w in words {
+                            if shard_of(w, shards) % workers == k {
+                                map.entry(w).or_default().push(w, *doc)?;
+                            }
+                        }
+                    }
+                    Ok(map)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut merged: BTreeMap<WordId, PostingList> = BTreeMap::new();
+    let mut postings = 0u64;
+    for map in maps {
+        let map = map?;
+        postings += map.values().map(|l| l.len() as u64).sum::<u64>();
+        merged.extend(map);
+    }
+
+    if workers > 1 {
+        use invidx_obs::names;
+        invidx_obs::counter!(names::INGEST_INVERT_BATCHES).inc();
+        let mut per_shard = vec![0u64; shards];
+        for (w, l) in &merged {
+            per_shard[shard_of(*w, shards)] += l.len() as u64;
+        }
+        let registry = invidx_obs::registry();
+        for (s, n) in per_shard.iter().enumerate() {
+            if *n > 0 {
+                registry.counter(&names::per_shard(names::INGEST_SHARD_POSTINGS, s)).add(*n);
+            }
+        }
+    }
+    Ok(MemIndex::from_parts(merged, postings, documents, last_doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_docs() -> Vec<(DocId, Vec<WordId>)> {
+        (1..=40u32)
+            .map(|d| {
+                let words = (1..=12u64)
+                    .filter(|w| !(d as u64 + w).is_multiple_of(3))
+                    .flat_map(|w| [WordId(w), WordId(w)]) // duplicates
+                    .collect();
+                (DocId(d), words)
+            })
+            .collect()
+    }
+
+    fn sequential(docs: &[(DocId, Vec<WordId>)]) -> MemIndex {
+        let mut m = MemIndex::new();
+        for (d, ws) in docs {
+            m.add_document(*d, ws.iter().copied()).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn matches_sequential_for_any_worker_and_shard_count() {
+        let docs = sample_docs();
+        let seq = sequential(&docs);
+        let expected: Vec<_> = seq.iter().map(|(w, l)| (w, l.clone())).collect();
+        for workers in [1usize, 2, 3, 8] {
+            for shards in [1usize, 2, 5, 16] {
+                let par = invert_batch(docs.clone(), workers, shards).unwrap();
+                let got: Vec<_> = par.iter().map(|(w, l)| (w, l.clone())).collect();
+                assert_eq!(got, expected, "workers={workers} shards={shards}");
+                assert_eq!(par.postings(), seq.postings());
+                assert_eq!(par.documents(), seq.documents());
+                assert_eq!(par.last_doc(), seq.last_doc());
+            }
+        }
+    }
+
+    #[test]
+    fn validation_runs_in_document_order() {
+        let docs = vec![
+            (DocId(2), vec![WordId(1)]),
+            (DocId(1), vec![WordId(0)]), // both errors present; order wins
+        ];
+        assert!(matches!(
+            invert_batch(docs, 4, 4),
+            Err(IndexError::OutOfOrderDocument { have: DocId(2), new: DocId(1) })
+        ));
+        let docs = vec![(DocId(1), vec![WordId(0)])];
+        assert!(matches!(invert_batch(docs, 4, 4), Err(IndexError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_index() {
+        let m = invert_batch(Vec::new(), 8, 8).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.last_doc(), None);
+    }
+
+    #[test]
+    fn shards_partition_the_vocabulary() {
+        let shards = 7;
+        for w in 1..200u64 {
+            let s = shard_of(WordId(w), shards);
+            assert!(s < shards);
+            // Stable: the same word always lands in the same shard.
+            assert_eq!(s, shard_of(WordId(w), shards));
+        }
+    }
+}

@@ -44,6 +44,13 @@ pub enum IndexError {
         /// Offending new document.
         new: DocId,
     },
+    /// Documents must be added to a batch in increasing id order.
+    OutOfOrderDocument {
+        /// Largest document id already added.
+        have: DocId,
+        /// Offending new document.
+        new: DocId,
+    },
     /// On-disk bytes failed validation when loaded.
     Corruption(String),
     /// A configuration that cannot work (e.g. zero buckets).
@@ -57,6 +64,10 @@ impl fmt::Display for IndexError {
             Self::OutOfOrderAppend { word, have, new } => write!(
                 f,
                 "out-of-order append to {word}: have up to {have}, got {new}"
+            ),
+            Self::OutOfOrderDocument { have, new } => write!(
+                f,
+                "out-of-order document: have up to {have}, got {new}"
             ),
             Self::Corruption(msg) => write!(f, "index corruption: {msg}"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -95,6 +106,9 @@ mod tests {
         let e = IndexError::OutOfOrderAppend { word: WordId(1), have: DocId(5), new: DocId(3) };
         assert!(e.to_string().contains("out-of-order"));
         assert!(e.source().is_none());
+        let e = IndexError::OutOfOrderDocument { have: DocId(5), new: DocId(3) };
+        assert!(e.to_string().contains("out-of-order document"));
+        assert!(!e.to_string().contains('w'), "no bogus word in document-order errors");
         let d: IndexError = invidx_disk::DiskError::EmptyAccess.into();
         assert!(d.source().is_some());
     }

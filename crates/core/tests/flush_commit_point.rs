@@ -1,0 +1,118 @@
+//! Regression: a failed metadata flush must not advance the batch count.
+//!
+//! `DualIndex::flush_batch` used to bump `batch_no` *before*
+//! `flush_metadata`, so an I/O error inside the flush left the in-memory
+//! counter one ahead of the superblock on disk — a retried flush then
+//! double-counted the batch and rotated the directory onto the wrong
+//! disk. The counter now advances only after the commit point (the
+//! superblock write) succeeds; this test injects a device failure in the
+//! middle of the second flush and checks the invariant.
+
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::types::{DocId, WordId};
+use invidx_disk::{BlockDevice, Disk, DiskArray, FitStrategy, FreeList, SparseDevice};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A device that fails writes once a shared budget is exhausted.
+struct FailingDevice {
+    inner: SparseDevice,
+    budget: Arc<AtomicU64>,
+}
+
+impl BlockDevice for FailingDevice {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read(&self, start: u64, buf: &mut [u8]) -> invidx_disk::Result<()> {
+        self.inner.read(start, buf)
+    }
+
+    fn write(&mut self, start: u64, data: &[u8]) -> invidx_disk::Result<()> {
+        let remaining = self.budget.load(Ordering::SeqCst);
+        if remaining == 0 {
+            return Err(invidx_disk::DiskError::OutOfSpace { requested: 0, largest_free: 0 });
+        }
+        self.budget.fetch_sub(1, Ordering::SeqCst);
+        self.inner.write(start, data)
+    }
+}
+
+fn failing_array(disks: u16, blocks: u64, block_size: usize, budget: &Arc<AtomicU64>) -> DiskArray {
+    let disks = (0..disks)
+        .map(|_| Disk {
+            device: Box::new(FailingDevice {
+                inner: SparseDevice::new(blocks, block_size),
+                budget: Arc::clone(budget),
+            }) as Box<dyn BlockDevice>,
+            alloc: Box::new(FreeList::new(blocks, FitStrategy::FirstFit)),
+        })
+        .collect();
+    DiskArray::new(disks)
+}
+
+fn add_batch(index: &mut DualIndex, docs: std::ops::Range<u32>) {
+    for d in docs {
+        let words = (1..=10u64).map(WordId).collect::<Vec<_>>();
+        index.insert_document(DocId(d), words).expect("insert");
+    }
+}
+
+#[test]
+fn failed_metadata_flush_leaves_batch_count_unchanged() {
+    let budget = Arc::new(AtomicU64::new(u64::MAX));
+    let array = failing_array(2, 20_000, 512, &budget);
+    let mut index = DualIndex::create(array, IndexConfig::small()).expect("create");
+
+    add_batch(&mut index, 1..20);
+    index.flush_batch().expect("first flush");
+    assert_eq!(index.batches(), 1);
+
+    // Exhaust the write budget: the second flush fails inside
+    // `flush_metadata` (the bucket/directory shadow writes), after the
+    // in-memory batch has already drained.
+    add_batch(&mut index, 20..40);
+    budget.store(0, Ordering::SeqCst);
+    let err = index.flush_batch();
+    assert!(err.is_err(), "flush must fail with a zero write budget");
+    assert_eq!(index.batches(), 1, "failed flush must not advance the batch count");
+
+    // With the budget restored the retry commits exactly one more batch.
+    budget.store(u64::MAX, Ordering::SeqCst);
+    index.flush_batch().expect("retried flush");
+    assert_eq!(index.batches(), 2);
+    let postings = index.postings(WordId(1)).expect("read");
+    assert_eq!(postings.docs().len(), 39);
+}
+
+#[test]
+fn repeated_flush_failures_never_advance_the_count() {
+    // Torture the commit point: fail the flush at every possible write
+    // offset in turn; the count must hold at 1 through every failure and
+    // reach exactly 2 on the first success.
+    let budget = Arc::new(AtomicU64::new(u64::MAX));
+    let array = failing_array(2, 20_000, 512, &budget);
+    let mut index = DualIndex::create(array, IndexConfig::small()).expect("create");
+    add_batch(&mut index, 1..10);
+    index.flush_batch().expect("first flush");
+    add_batch(&mut index, 10..20);
+
+    let mut allowed = 0u64;
+    loop {
+        budget.store(allowed, Ordering::SeqCst);
+        match index.flush_batch() {
+            Ok(_) => break,
+            Err(_) => {
+                assert_eq!(index.batches(), 1, "after failure with {allowed} writes allowed");
+                allowed += 1;
+                assert!(allowed < 10_000, "flush never succeeded");
+            }
+        }
+    }
+    assert_eq!(index.batches(), 2);
+}

@@ -1,0 +1,172 @@
+//! Oracle: the parallel ingest pipeline is **byte-identical** to the
+//! sequential one. The same 20-batch corpus runs through a 1-thread index
+//! and an 8-thread index, and everything observable must agree — every
+//! `BatchReport` field (except the process-global `obs` deltas, which
+//! other tests running in the same process perturb), the full device
+//! bytes of every disk (superblock, buckets, directory, long lists),
+//! per-disk usage, the free-space count, sampled posting lists, and the
+//! complete I/O trace in issue order.
+
+use invidx_core::index::{BatchReport, DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_disk::{sparse_array, DiskArray, IoTrace};
+
+const DISKS: u16 = 4;
+const BLOCKS_PER_DISK: u64 = 6_000;
+const BLOCK_SIZE: usize = 512;
+const BATCHES: usize = 20;
+const DOCS_PER_BATCH: u32 = 30;
+
+/// A deterministic 20-batch corpus with a skewed word distribution: a hot
+/// head (words 1..=8 in almost every document, so they overflow buckets
+/// and grow long lists), a warm middle, and a long tail of rare words.
+fn corpus() -> Vec<Vec<(DocId, Vec<WordId>)>> {
+    let mut batches = Vec::with_capacity(BATCHES);
+    let mut next_doc = 1u32;
+    for b in 0..BATCHES as u64 {
+        let mut docs = Vec::with_capacity(DOCS_PER_BATCH as usize);
+        for _ in 0..DOCS_PER_BATCH {
+            let d = next_doc;
+            next_doc += 1;
+            let mut words = Vec::new();
+            for w in 1..=8u64 {
+                if !(d as u64 + w).is_multiple_of(9) {
+                    words.push(WordId(w));
+                }
+            }
+            for k in 0..6u64 {
+                words.push(WordId(9 + (d as u64 * 7 + k * 13 + b) % 120));
+            }
+            words.push(WordId(200 + (d as u64 * 31 + b * 17) % 2_000));
+            // Unsorted input with duplicates: normalization is part of
+            // what must match.
+            words.push(words[0]);
+            docs.push((DocId(d), words));
+        }
+        batches.push(docs);
+    }
+    batches
+}
+
+fn config() -> IndexConfig {
+    IndexConfig {
+        num_buckets: 32,
+        bucket_capacity_units: 60,
+        block_postings: 10,
+        policy: Policy::balanced(),
+        materialize_buckets: true,
+    }
+}
+
+fn build(threads: usize) -> (DualIndex, Vec<BatchReport>, IoTrace) {
+    let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+    let mut index = DualIndex::create(array, config()).expect("create");
+    index.set_ingest_threads(threads);
+    index.array_mut().start_trace();
+    let mut reports = Vec::new();
+    for batch in corpus() {
+        index.insert_documents(batch, threads).expect("insert");
+        reports.push(index.flush_batch().expect("flush"));
+    }
+    let trace = index.array_mut().take_trace();
+    (index, reports, trace)
+}
+
+fn device_bytes(array: &DiskArray) -> Vec<Vec<u8>> {
+    (0..DISKS)
+        .map(|disk| {
+            let mut bytes = vec![0u8; (BLOCKS_PER_DISK as usize) * BLOCK_SIZE];
+            for start in (0..BLOCKS_PER_DISK).step_by(256) {
+                let blocks = 256.min(BLOCKS_PER_DISK - start) as usize;
+                let off = start as usize * BLOCK_SIZE;
+                array
+                    .read_untraced(disk, start, &mut bytes[off..off + blocks * BLOCK_SIZE])
+                    .expect("read");
+            }
+            bytes
+        })
+        .collect()
+}
+
+/// Compare every report field except `obs` (process-global counters —
+/// concurrent tests in the same binary make them non-deterministic).
+fn assert_reports_eq(seq: &BatchReport, par: &BatchReport, batch: usize) {
+    let ctx = format!("batch {batch}");
+    assert_eq!(seq.batch, par.batch, "{ctx}: batch");
+    assert_eq!(seq.words, par.words, "{ctx}: words");
+    assert_eq!(seq.postings, par.postings, "{ctx}: postings");
+    assert_eq!(seq.new_words, par.new_words, "{ctx}: new_words");
+    assert_eq!(seq.bucket_words, par.bucket_words, "{ctx}: bucket_words");
+    assert_eq!(seq.long_words, par.long_words, "{ctx}: long_words");
+    assert_eq!(seq.evictions, par.evictions, "{ctx}: evictions");
+    assert_eq!(seq.long_appends, par.long_appends, "{ctx}: long_appends");
+    assert_eq!(seq.long_words_total, par.long_words_total, "{ctx}: long_words_total");
+    assert_eq!(seq.long_chunks_total, par.long_chunks_total, "{ctx}: long_chunks_total");
+    assert_eq!(seq.long_blocks_total, par.long_blocks_total, "{ctx}: long_blocks_total");
+    assert_eq!(seq.long_postings_total, par.long_postings_total, "{ctx}: long_postings_total");
+    assert_eq!(seq.bucket_units, par.bucket_units, "{ctx}: bucket_units");
+    assert!((seq.utilization - par.utilization).abs() < 1e-12, "{ctx}: utilization");
+    assert!(
+        (seq.avg_reads_per_long_list - par.avg_reads_per_long_list).abs() < 1e-12,
+        "{ctx}: avg_reads_per_long_list"
+    );
+}
+
+#[test]
+fn parallel_ingest_is_byte_identical_to_sequential() {
+    let (seq_index, seq_reports, seq_trace) = build(1);
+    let (par_index, par_reports, par_trace) = build(8);
+
+    assert_eq!(seq_reports.len(), BATCHES);
+    for (b, (s, p)) in seq_reports.iter().zip(&par_reports).enumerate() {
+        assert_reports_eq(s, p, b);
+    }
+    assert!(
+        seq_reports.last().unwrap().evictions > 0
+            || seq_reports.iter().any(|r| r.evictions > 0),
+        "corpus must exercise the eviction/long-list path"
+    );
+
+    // Full device state: every block of every disk, superblock included.
+    let seq_bytes = device_bytes(seq_index.array());
+    let par_bytes = device_bytes(par_index.array());
+    for disk in 0..DISKS as usize {
+        if seq_bytes[disk] != par_bytes[disk] {
+            let first =
+                seq_bytes[disk].iter().zip(&par_bytes[disk]).position(|(a, b)| a != b).unwrap();
+            panic!("disk {disk} differs at byte {first} (block {})", first / BLOCK_SIZE);
+        }
+    }
+
+    // Allocator state.
+    assert_eq!(seq_index.array().per_disk_usage(), par_index.array().per_disk_usage());
+    assert_eq!(seq_index.array().free_blocks(), par_index.array().free_blocks());
+
+    // The I/O trace: same ops in the same issue order.
+    assert_eq!(seq_trace.ops.len(), par_trace.ops.len(), "trace length");
+    for (i, (s, p)) in seq_trace.ops.iter().zip(&par_trace.ops).enumerate() {
+        assert_eq!(s, p, "trace op {i}");
+    }
+
+    // Sampled posting lists through the read path (bucket + long words).
+    for w in [1u64, 2, 5, 8, 9, 40, 100, 250, 1_999] {
+        let s = seq_index.postings(WordId(w)).expect("seq read");
+        let p = par_index.postings(WordId(w)).expect("par read");
+        assert_eq!(s, p, "postings for word {w}");
+    }
+}
+
+#[test]
+fn every_thread_count_agrees_with_sequential_state() {
+    let (seq_index, _, _) = build(1);
+    let seq_bytes = device_bytes(seq_index.array());
+    for threads in [2usize, 3, 5] {
+        let (par_index, _, _) = build(threads);
+        assert_eq!(
+            device_bytes(par_index.array()),
+            seq_bytes,
+            "device bytes differ at {threads} threads"
+        );
+    }
+}

@@ -247,4 +247,34 @@ proptest! {
             prop_assert_eq!(got.docs(), docs.as_slice(), "word {} under {}", w, policy);
         }
     }
+
+    #[test]
+    fn parallel_invert_matches_sequential_memindex(
+        // Documents: (word-seed, word-count) pairs; doc ids ascend.
+        docs in prop::collection::vec((0u64..500, 0usize..20), 0..60),
+        workers in 1usize..9,
+        shards in 1usize..33,
+    ) {
+        let batch: Vec<(DocId, Vec<WordId>)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, (seed, n))| {
+                let words = (0..*n)
+                    .map(|j| WordId(1 + seed.wrapping_mul(17).wrapping_add(j as u64 * 13) % 200))
+                    .collect();
+                (DocId(i as u32 + 1), words)
+            })
+            .collect();
+        let mut seq = invidx_core::memindex::MemIndex::new();
+        for (doc, words) in &batch {
+            seq.add_document(*doc, words.iter().copied()).expect("add");
+        }
+        let par = invidx_core::invert_batch(batch, workers, shards).expect("invert");
+        prop_assert_eq!(par.postings(), seq.postings());
+        prop_assert_eq!(par.documents(), seq.documents());
+        prop_assert_eq!(par.last_doc(), seq.last_doc());
+        let s: Vec<_> = seq.iter().collect();
+        let p: Vec<_> = par.iter().collect();
+        prop_assert_eq!(p, s, "workers {} shards {}", workers, shards);
+    }
 }

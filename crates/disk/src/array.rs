@@ -37,6 +37,48 @@ pub struct DiskArray {
     /// When set, freed extents are quarantined here instead of returning to
     /// the allocators — crash-recovery epochs (see [`Self::defer_frees`]).
     deferred: Option<Vec<(u16, u64, u64)>>,
+    /// When set, writes are buffered per disk instead of hitting devices —
+    /// the parallel batch-apply window (see [`Self::begin_capture`]).
+    capture: Mutex<Option<CaptureState>>,
+}
+
+/// Deferred-execution state for one capture window.
+///
+/// The plan records every operation in issue order so the trace stays
+/// byte-identical to a sequential run; the per-disk write buffers preserve
+/// each disk's issue order so the final device bytes do too (overlapping
+/// writes land in their original relative order).
+/// One disk's buffered `(start, blocks, data)` writes, in issue order.
+type PendingWrites = Vec<(u64, u64, Vec<u8>)>;
+
+struct CaptureState {
+    /// All captured ops (reads and writes), in issue order.
+    plan: Vec<IoOp>,
+    /// Buffered writes per disk.
+    pending: Vec<PendingWrites>,
+}
+
+/// Copy any captured-but-unexecuted writes that overlap `[start,
+/// start+blocks)` into `buf` — the read-your-writes overlay that lets a
+/// capture-mode read observe earlier same-batch writes. Later writes win,
+/// exactly as they would on the device.
+fn overlay_pending(
+    pending: &[(u64, u64, Vec<u8>)],
+    start: u64,
+    blocks: u64,
+    buf: &mut [u8],
+    block_size: usize,
+) {
+    let read_end = start + blocks;
+    for (w_start, w_blocks, data) in pending {
+        let lo = start.max(*w_start);
+        let hi = read_end.min(w_start + w_blocks);
+        for b in lo..hi {
+            let src = ((b - w_start) as usize) * block_size;
+            let dst = ((b - start) as usize) * block_size;
+            buf[dst..dst + block_size].copy_from_slice(&data[src..src + block_size]);
+        }
+    }
 }
 
 impl DiskArray {
@@ -51,7 +93,14 @@ impl DiskArray {
             disks.iter().all(|d| d.device.block_size() == block_size),
             "all devices must share one block size"
         );
-        Self { disks, cursor: 0, trace: Mutex::new(None), block_size, deferred: None }
+        Self {
+            disks,
+            cursor: 0,
+            trace: Mutex::new(None),
+            block_size,
+            deferred: None,
+            capture: Mutex::new(None),
+        }
     }
 
     /// Number of disks.
@@ -192,8 +241,21 @@ impl DiskArray {
 
     /// Perform (and record) a write described by `op`. `data` must be
     /// exactly `op.blocks * block_size` bytes.
+    ///
+    /// Inside a capture window ([`Self::begin_capture`]) the write is
+    /// buffered on its target disk instead of hitting the device; it lands
+    /// at [`Self::end_capture`].
     pub fn write_op(&mut self, op: IoOp, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len() as u64, op.blocks * self.block_size as u64);
+        {
+            let mut cap = self.capture.lock();
+            if let Some(state) = cap.as_mut() {
+                self.disk_ref(op.disk)?; // validate the disk index now
+                state.pending[op.disk as usize].push((op.start, op.blocks, data.to_vec()));
+                state.plan.push(op);
+                return Ok(());
+            }
+        }
         self.disk_mut(op.disk)?.device.write(op.start, data)?;
         self.trace_push(op);
         Ok(())
@@ -205,11 +267,100 @@ impl DiskArray {
     /// Takes `&self`: device reads are shareable and the trace append goes
     /// through the sink mutex, so concurrent queries need no exclusive
     /// access to the array.
+    ///
+    /// Inside a capture window the read still executes immediately, with
+    /// any overlapping buffered writes overlaid on the result (a batch can
+    /// read blocks it wrote moments earlier), and its trace entry is
+    /// deferred into the capture plan so the recorded order matches a
+    /// sequential run.
     pub fn read_op(&self, op: IoOp, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len() as u64, op.blocks * self.block_size as u64);
+        {
+            let mut cap = self.capture.lock();
+            if let Some(state) = cap.as_mut() {
+                self.disk_ref(op.disk)?.device.read(op.start, buf)?;
+                overlay_pending(
+                    &state.pending[op.disk as usize],
+                    op.start,
+                    op.blocks,
+                    buf,
+                    self.block_size,
+                );
+                state.plan.push(op);
+                return Ok(());
+            }
+        }
         self.disk_ref(op.disk)?.device.read(op.start, buf)?;
         self.trace_push(op);
         Ok(())
+    }
+
+    /// Open a capture window: subsequent [`Self::write_op`]s are buffered
+    /// per target disk and [`Self::read_op`]s overlay those buffers, while
+    /// allocator calls ([`Self::alloc_on`], [`Self::free_on`],
+    /// [`Self::next_disk`]) keep executing immediately in issue order. The
+    /// window closes at [`Self::end_capture`], which applies each disk's
+    /// buffered writes on its own worker thread. Because per-disk write
+    /// order, allocator order, and the trace plan all preserve issue
+    /// order, the resulting device bytes, free lists, and trace are
+    /// byte-identical to executing the same operations sequentially.
+    ///
+    /// Untraced accesses ([`Self::read_untraced`], [`Self::write_untraced`])
+    /// bypass the window — callers use them outside the measured batch.
+    pub fn begin_capture(&mut self) {
+        let n = self.disks.len();
+        *self.capture.lock() =
+            Some(CaptureState { plan: Vec::new(), pending: vec![Vec::new(); n] });
+    }
+
+    /// Close the capture window: execute each disk's buffered writes (in
+    /// buffered order) across at most `threads` worker threads, then
+    /// replay the captured op plan into the trace in issue order. Returns
+    /// per-disk `(write_ops, blocks)` counts for instrumentation. A no-op
+    /// returning empty counts when no window is open.
+    pub fn end_capture(&mut self, threads: usize) -> Result<Vec<(u64, u64)>> {
+        let state = self.capture.lock().take();
+        let Some(CaptureState { plan, pending }) = state else {
+            return Ok(Vec::new());
+        };
+        let per_disk: Vec<(u64, u64)> = pending
+            .iter()
+            .map(|w| (w.len() as u64, w.iter().map(|(_, b, _)| b).sum()))
+            .collect();
+        let mut work: Vec<(&mut Disk, PendingWrites)> =
+            self.disks.iter_mut().zip(pending).collect();
+        let groups = threads.clamp(1, work.len().max(1));
+        let chunk = work.len().div_ceil(groups);
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks_mut(chunk)
+                .map(|group| {
+                    s.spawn(move || -> Result<()> {
+                        for (disk, writes) in group.iter_mut() {
+                            for (start, _, data) in writes.drain(..) {
+                                disk.device.write(start, &data)?;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        drop(work);
+        for r in results {
+            r?;
+        }
+        for op in plan {
+            self.trace_push(op);
+        }
+        Ok(per_disk)
     }
 
     /// Read without recording a trace operation (used for recovery-time
@@ -353,6 +504,73 @@ mod tests {
         assert_eq!(a.cursor(), 2);
         a.flush().unwrap();
         assert_eq!(a.total_blocks(), 400);
+    }
+
+    #[test]
+    fn capture_defers_writes_and_overlays_reads() {
+        let mut a = sparse_array(2, 100, 64);
+        a.start_trace();
+        let wop = |disk, start| IoOp {
+            kind: OpKind::Write,
+            disk,
+            start,
+            blocks: 1,
+            payload: Payload::Bucket,
+        };
+        a.begin_capture();
+        a.write_op(wop(0, 3), &[7u8; 64]).unwrap();
+        a.write_op(wop(1, 5), &[9u8; 64]).unwrap();
+        // Device untouched while captured...
+        let mut buf = vec![0u8; 64];
+        a.read_untraced(0, 3, &mut buf).unwrap();
+        assert_eq!(buf[0], 0);
+        // ...but a capture-mode read sees the buffered bytes.
+        let rop = IoOp { kind: OpKind::Read, ..wop(0, 3) };
+        a.read_op(rop, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 64]);
+        let per_disk = a.end_capture(4).unwrap();
+        assert_eq!(per_disk, vec![(1, 1), (1, 1)]);
+        a.read_untraced(0, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 64]);
+        a.read_untraced(1, 5, &mut buf).unwrap();
+        assert_eq!(buf, vec![9u8; 64]);
+        // Trace preserves issue order: write, write, read.
+        let t = a.take_trace();
+        assert_eq!(t.ops.len(), 3);
+        assert_eq!((t.ops[0].kind, t.ops[0].disk), (OpKind::Write, 0));
+        assert_eq!((t.ops[1].kind, t.ops[1].disk), (OpKind::Write, 1));
+        assert_eq!((t.ops[2].kind, t.ops[2].disk), (OpKind::Read, 0));
+    }
+
+    #[test]
+    fn capture_overlapping_writes_keep_issue_order() {
+        let mut a = sparse_array(1, 100, 64);
+        let wop = |start, blocks| IoOp {
+            kind: OpKind::Write,
+            disk: 0,
+            start,
+            blocks,
+            payload: Payload::Bucket,
+        };
+        a.begin_capture();
+        a.write_op(wop(2, 2), &[1u8; 128]).unwrap();
+        a.write_op(wop(3, 1), &[2u8; 64]).unwrap();
+        // A partial-overlap read: block 2 from the first write, block 3
+        // from the second (later write wins).
+        let mut buf = vec![0u8; 128];
+        a.read_op(IoOp { kind: OpKind::Read, ..wop(2, 2) }, &mut buf).unwrap();
+        assert_eq!(&buf[..64], &[1u8; 64][..]);
+        assert_eq!(&buf[64..], &[2u8; 64][..]);
+        a.end_capture(1).unwrap();
+        let mut out = vec![0u8; 128];
+        a.read_untraced(0, 2, &mut out).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn end_capture_without_window_is_a_noop() {
+        let mut a = sparse_array(1, 100, 64);
+        assert!(a.end_capture(8).unwrap().is_empty());
     }
 
     #[test]

@@ -52,11 +52,25 @@ pub struct DurableOptions {
     /// (as [`Payload::Wal`] / [`Payload::Checkpoint`] ops) so experiments
     /// can count durability I/O alongside index I/O.
     pub trace_durability_ops: bool,
+    /// Overlap each flush's WAL append + fsync with the in-place batch
+    /// apply on a background thread, joining before the flush returns.
+    /// Crash-safe: if the process dies before the fsync lands, the record
+    /// is lost and recovery sees the previous batch — the apply's device
+    /// writes only touched blocks the checkpoint considers free or bytes
+    /// past the committed posting counts, both invisible after recovery.
+    /// Incompatible with deterministically ordered fault injection at the
+    /// WAL fault points, so the kill-matrix tests leave it off.
+    pub pipelined_wal: bool,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
-        Self { checkpoint_every: 8, fsync_wal: true, trace_durability_ops: false }
+        Self {
+            checkpoint_every: 8,
+            fsync_wal: true,
+            trace_durability_ops: false,
+            pipelined_wal: false,
+        }
     }
 }
 
@@ -333,6 +347,19 @@ impl DurableIndex {
         Ok(self.inner.insert_document(doc, words)?)
     }
 
+    /// Add a whole batch of documents, inverted in parallel across the
+    /// configured worker pool (see [`DualIndex::insert_documents`]).
+    pub fn insert_documents(&mut self, docs: Vec<(DocId, Vec<WordId>)>, threads: usize) -> Result<()> {
+        self.check_poison()?;
+        Ok(self.inner.insert_documents(docs, threads)?)
+    }
+
+    /// Set the ingest worker-pool size of the wrapped index (parallel
+    /// batch apply; see [`DualIndex::set_ingest_threads`]).
+    pub fn set_ingest_threads(&mut self, threads: usize) {
+        self.inner.set_ingest_threads(threads);
+    }
+
     /// Logically delete a document. Rides in the next WAL record.
     pub fn delete_document(&mut self, doc: DocId) {
         self.inner.delete_document(doc);
@@ -358,9 +385,66 @@ impl DurableIndex {
             deletes: self.pending_deletes.clone(),
             meta,
         };
-        self.commit_record(&record)?;
+        if !self.opts.pipelined_wal {
+            self.commit_record(&record)?;
+            self.pending_deletes.clear();
+            let report = match self.inner.apply_batch() {
+                Ok(r) => r,
+                Err(e) => return Err(self.poison(e.into())),
+            };
+            self.after_record()?;
+            return Ok(report);
+        }
+
+        // Pipelined flush: serialize the record here, then overlap the
+        // log append + fsync with the in-place apply. The join lands
+        // before anything observable happens — the caller only sees `Ok`
+        // (and `pending_deletes` only clears, a checkpoint only runs)
+        // once the record is durable AND the apply finished. A crash in
+        // the window loses the record: the apply's stray device writes
+        // touched only blocks the last checkpoint considers free, or
+        // bytes past the committed posting counts, so recovery never
+        // reads them.
+        let frame = record.encode_frame();
+        if self.opts.trace_durability_ops {
+            let bs = self.inner.array().block_size() as u64;
+            self.inner.array().trace_push(IoOp {
+                kind: OpKind::Write,
+                disk: 0,
+                start: record.batch(),
+                blocks: (frame.len() as u64).div_ceil(bs).max(1),
+                payload: Payload::Wal,
+            });
+        }
+        let fsync = self.opts.fsync_wal;
+        let wal = &mut self.wal;
+        let inner = &mut self.inner;
+        let (wal_result, apply_result) = std::thread::scope(|s| {
+            let logger = s.spawn(move || -> Result<u64> {
+                let bytes = wal.append_frame(&frame)?;
+                if fsync {
+                    wal.sync()?;
+                }
+                Ok(bytes)
+            });
+            let apply = inner.apply_batch();
+            let logged = match logger.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (logged, apply)
+        });
+        let bytes = match wal_result {
+            Ok(b) => b,
+            Err(e) => return Err(self.poison(e)),
+        };
+        invidx_obs::counter!(names::WAL_APPENDS).inc();
+        invidx_obs::counter!(names::WAL_BYTES).add(bytes);
+        if fsync {
+            invidx_obs::counter!(names::WAL_FSYNCS).inc();
+        }
         self.pending_deletes.clear();
-        let report = match self.inner.apply_batch() {
+        let report = match apply_result {
             Ok(r) => r,
             Err(e) => return Err(self.poison(e.into())),
         };

@@ -233,8 +233,14 @@ impl WalWriter {
     /// Append one record (not yet durable). Returns the frame size in
     /// bytes.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
-        let frame = record.encode_frame();
-        self.file.append(&frame)?;
+        self.append_frame(&record.encode_frame())
+    }
+
+    /// Append an already-encoded frame (the pipelined flush serializes the
+    /// record on the caller's thread and ships the bytes to a background
+    /// append+fsync). Returns the frame size in bytes.
+    pub fn append_frame(&mut self, frame: &[u8]) -> Result<u64> {
+        self.file.append(frame)?;
         Ok(frame.len() as u64)
     }
 

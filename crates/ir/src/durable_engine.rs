@@ -207,6 +207,38 @@ impl DurableEngine {
         Ok(doc)
     }
 
+    /// Add a batch of documents: parallel tokenize, serial intern in
+    /// document order, sharded parallel invert. Produces the same ids,
+    /// vocabulary, in-memory index, stored texts, and pending WAL batch
+    /// as calling [`Self::add_document`] once per text — recovery replays
+    /// the logged texts one at a time and converges on identical state.
+    pub fn add_documents(&mut self, texts: &[&str]) -> invidx_durable::Result<Vec<DocId>> {
+        let threads = self.index.inner().ingest_threads();
+        let words = self.core.lex_batch(texts, threads);
+        let mut ids = Vec::with_capacity(texts.len());
+        let mut batch = Vec::with_capacity(texts.len());
+        for per_doc in words {
+            let doc = DocId(self.core.next_doc);
+            self.core.next_doc += 1;
+            batch.push((doc, per_doc));
+            ids.push(doc);
+        }
+        self.index.insert_documents(batch, threads)?;
+        for (doc, text) in ids.iter().zip(texts) {
+            self.core.docs.store(self.index.inner_mut().array_mut(), *doc, text)?;
+            self.core.total_docs += 1;
+            self.pending_docs.push((*doc, text.to_string()));
+        }
+        Ok(ids)
+    }
+
+    /// Set the worker count used by batch ingest and the parallel apply
+    /// inside [`Self::flush`]. `1` (the default) keeps every path
+    /// sequential.
+    pub fn set_ingest_threads(&mut self, threads: usize) {
+        self.index.set_ingest_threads(threads);
+    }
+
     /// Logically delete a document; rides in the next WAL record.
     pub fn delete(&mut self, doc: DocId) {
         self.index.delete_document(doc);

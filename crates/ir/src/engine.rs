@@ -70,6 +70,41 @@ impl EngineCore {
         lexer::document_words(text).iter().map(|w| self.intern(w)).collect()
     }
 
+    /// Lex a batch of documents across `threads` workers, then intern
+    /// serially in document order. Tokenization is pure per-document work,
+    /// so it parallelizes freely; interning — the only order-sensitive
+    /// step — stays sequential, which makes word-id assignment identical
+    /// to calling [`Self::lex_and_intern`] once per document. Recovery
+    /// replays documents one at a time and still reproduces the same
+    /// vocabulary.
+    pub(crate) fn lex_batch(&mut self, texts: &[&str], threads: usize) -> Vec<Vec<WordId>> {
+        let threads = threads.max(1);
+        if threads == 1 || texts.len() < 2 {
+            return texts.iter().map(|t| self.lex_and_intern(t)).collect();
+        }
+        let chunk = texts.len().div_ceil(threads);
+        let lexed: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = texts
+                .chunks(chunk)
+                .map(|group| {
+                    s.spawn(move || {
+                        group.iter().map(|t| lexer::document_words(t)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(texts.len());
+            for h in handles {
+                match h.join() {
+                    Ok(group) => all.extend(group),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            all
+        });
+        invidx_obs::counter!(invidx_obs::names::INGEST_LEXED_DOCS).add(texts.len() as u64);
+        lexed.iter().map(|words| words.iter().map(|w| self.intern(w)).collect()).collect()
+    }
+
     /// Serialize everything beyond what the index persists itself:
     /// counters, vocabulary, document directory.
     pub(crate) fn encode_meta(&self) -> Vec<u8> {
@@ -106,19 +141,25 @@ impl EngineCore {
             pos += n;
             Ok(s)
         };
-        let next_word = u64::from_le_bytes(take(8)?.try_into().expect("8"));
-        let next_doc = u32::from_le_bytes(take(4)?.try_into().expect("4"));
-        let total_docs = u64::from_le_bytes(take(8)?.try_into().expect("8"));
-        let vocab_len = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let width = |m: &str| IndexError::Corruption(format!("engine meta: short field {m}"));
+        macro_rules! word_field {
+            ($ty:ty, $n:expr, $m:expr) => {
+                <$ty>::from_le_bytes(take($n)?.try_into().map_err(|_| width($m))?)
+            };
+        }
+        let next_word = word_field!(u64, 8, "next_word");
+        let next_doc = word_field!(u32, 4, "next_doc");
+        let total_docs = word_field!(u64, 8, "total_docs");
+        let vocab_len = word_field!(u64, 8, "vocab_len") as usize;
         let mut vocab = HashMap::with_capacity(vocab_len);
         for _ in 0..vocab_len {
-            let id = WordId(u64::from_le_bytes(take(8)?.try_into().expect("8")));
-            let wlen = u16::from_le_bytes(take(2)?.try_into().expect("2")) as usize;
+            let id = WordId(word_field!(u64, 8, "word_id"));
+            let wlen = word_field!(u16, 2, "word_len") as usize;
             let word = String::from_utf8(take(wlen)?.to_vec())
                 .map_err(|_| corrupt("non-utf8 word"))?;
             vocab.insert(word, id);
         }
-        let dlen = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let dlen = word_field!(u64, 8, "doc_len") as usize;
         let docs = DocStore::deserialize(take(dlen)?)?;
         Ok(Self { docs, vocab, next_word, next_doc, total_docs })
     }
@@ -327,6 +368,38 @@ impl SearchEngine {
         Ok(doc)
     }
 
+    /// Add a batch of documents in one call. Texts are tokenized across
+    /// the configured ingest-thread pool, interned serially in document
+    /// order (identical word-id assignment to one-at-a-time adds), and
+    /// inverted by the word-sharded parallel inverter. Document ids are
+    /// assigned in input order and the result is byte-identical to
+    /// calling [`Self::add_document`] for each text in turn.
+    pub fn add_documents(&mut self, texts: &[&str]) -> Result<Vec<DocId>> {
+        let threads = self.index.ingest_threads();
+        let words = self.core.lex_batch(texts, threads);
+        let mut ids = Vec::with_capacity(texts.len());
+        let mut batch = Vec::with_capacity(texts.len());
+        for per_doc in words {
+            let doc = DocId(self.core.next_doc);
+            self.core.next_doc += 1;
+            batch.push((doc, per_doc));
+            ids.push(doc);
+        }
+        self.index.insert_documents(batch, threads)?;
+        for (doc, text) in ids.iter().zip(texts) {
+            self.core.docs.store(self.index.array_mut(), *doc, text)?;
+            self.core.total_docs += 1;
+        }
+        Ok(ids)
+    }
+
+    /// Set the worker count used by batch ingest ([`Self::add_documents`]
+    /// and the parallel apply inside [`Self::flush`]). `1` (the default)
+    /// keeps every path sequential.
+    pub fn set_ingest_threads(&mut self, threads: usize) {
+        self.index.set_ingest_threads(threads);
+    }
+
     /// The stored text of a document.
     pub fn document(&self, doc: DocId) -> Result<Option<String>> {
         self.core.docs.load(self.index.array(), doc)
@@ -458,11 +531,15 @@ impl Parser<'_> {
 
     /// expr := term (OR term)*
     fn expr(&mut self) -> Result<Query> {
-        let mut parts = vec![self.term()?];
+        let first = self.term()?;
+        if !self.eat(&Tok::Or) {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.term()?];
         while self.eat(&Tok::Or) {
             parts.push(self.term()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Query::Or(parts) })
+        Ok(Query::Or(parts))
     }
 
     /// term := factor ((AND NOT? | NOT) factor)*
@@ -522,6 +599,38 @@ mod tests {
 
     fn doc_ids(list: &PostingList) -> Vec<u32> {
         list.docs().iter().map(|d| d.0).collect()
+    }
+
+    #[test]
+    fn add_documents_matches_sequential_adds() {
+        let texts: Vec<String> = (0..24)
+            .map(|i| format!("shared w{} w{} tail{}", i % 5, (i * 7) % 11, i))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|t| t.as_str()).collect();
+
+        let mut seq = engine();
+        for t in &refs {
+            seq.add_document(t).unwrap();
+        }
+        let mut par = engine();
+        par.set_ingest_threads(4);
+        let ids = par.add_documents(&refs).unwrap();
+
+        assert_eq!(ids, (1..=24).map(DocId).collect::<Vec<_>>());
+        assert_eq!(par.vocabulary_size(), seq.vocabulary_size());
+        for word in ["shared", "w", "tail", "3", "10"] {
+            assert_eq!(par.word_id(word), seq.word_id(word), "{word}");
+            assert!(par.word_id(word).is_some(), "{word}");
+        }
+        for i in 1..=24 {
+            assert_eq!(par.document(DocId(i)).unwrap(), seq.document(DocId(i)).unwrap());
+        }
+        seq.flush().unwrap();
+        par.flush().unwrap();
+        let a = seq.boolean_str("shared AND 3").unwrap();
+        let b = par.boolean_str("shared AND 3").unwrap();
+        assert_eq!(doc_ids(&a), doc_ids(&b));
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -32,6 +32,19 @@ pub const LONG_IN_PLACE_UPDATES: &str = "long_in_place_updates_total";
 /// Chunk read operations issued by long-list reads.
 pub const LONG_READ_OPS: &str = "long_read_ops_total";
 
+/// Batches applied through the parallel (captured per-disk) ingest path.
+pub const INGEST_PARALLEL_BATCHES: &str = "ingest_parallel_batches_total";
+/// Captured long-list writes executed per disk during parallel apply.
+pub const INGEST_APPLY_WRITES: &str = "ingest_apply_writes_total";
+/// Blocks written per disk during parallel apply.
+pub const INGEST_APPLY_BLOCKS: &str = "ingest_apply_blocks_total";
+/// Batches inverted by the sharded parallel inverter.
+pub const INGEST_INVERT_BATCHES: &str = "ingest_invert_batches_total";
+/// Postings accumulated per word shard by the parallel inverter.
+pub const INGEST_SHARD_POSTINGS: &str = "ingest_shard_postings_total";
+/// Documents lexed by the parallel tokenization pool.
+pub const INGEST_LEXED_DOCS: &str = "ingest_lexed_docs_total";
+
 /// Extent allocations served by a free list.
 pub const FREELIST_ALLOCS: &str = "freelist_allocs_total";
 /// Extents returned to a free list.
@@ -101,10 +114,23 @@ pub fn per_disk(base: &str, disk: u16) -> String {
     format!("{base}{{disk=\"{disk}\"}}")
 }
 
+/// Attach a `shard` label to a base metric name.
+pub fn per_shard(base: &str, shard: usize) -> String {
+    format!("{base}{{shard=\"{shard}\"}}")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn per_disk_labels() {
         assert_eq!(super::per_disk(super::DISK_OPS, 3), "disk_ops_total{disk=\"3\"}");
+    }
+
+    #[test]
+    fn per_shard_labels() {
+        assert_eq!(
+            super::per_shard(super::INGEST_SHARD_POSTINGS, 2),
+            "ingest_shard_postings_total{shard=\"2\"}"
+        );
     }
 }

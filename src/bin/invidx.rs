@@ -164,6 +164,20 @@ impl Engine {
         }
     }
 
+    fn add_documents(&mut self, texts: &[&str]) -> Result<Vec<DocId>, String> {
+        match self {
+            Self::Legacy(e) => e.add_documents(texts).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.add_documents(texts).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn set_ingest_threads(&mut self, threads: usize) {
+        match self {
+            Self::Legacy(e) => e.set_ingest_threads(threads),
+            Self::Durable(e) => e.set_ingest_threads(threads),
+        }
+    }
+
     fn flush(&mut self) -> Result<invidx::core::index::BatchReport, String> {
         match self {
             Self::Legacy(e) => e.flush().map_err(|e| e.to_string()),
@@ -242,9 +256,13 @@ impl Engine {
 }
 
 fn open_engine(dir: &Path) -> Result<(Engine, Conf), String> {
+    open_engine_with(dir, DurableOptions::default())
+}
+
+fn open_engine_with(dir: &Path, options: DurableOptions) -> Result<(Engine, Conf), String> {
     let conf = Conf::load(dir)?;
     if is_durable(dir) {
-        let engine = DurableEngine::open(dir, conf.index_config(), DurableOptions::default())
+        let engine = DurableEngine::open(dir, conf.index_config(), options)
             .map_err(|e| format!("cannot recover index: {e}"))?;
         return Ok((Engine::Durable(Box::new(engine)), conf));
     }
@@ -483,15 +501,46 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_add(dir: &Path, files: &[String]) -> Result<(), String> {
+fn cmd_add(dir: &Path, args: &[String]) -> Result<(), String> {
+    let mut threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ingest-threads" => {
+                threads = args
+                    .get(i + 1)
+                    .ok_or("--ingest-threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("ingest-threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--ingest-threads must be at least 1".into());
+                }
+                i += 2;
+            }
+            f => {
+                files.push(&args[i]);
+                let _ = f;
+                i += 1;
+            }
+        }
+    }
     if files.is_empty() {
         return Err("add needs at least one file".into());
     }
-    let (mut engine, _) = open_engine(dir)?;
-    for f in files {
-        let text =
-            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        let doc = engine.add_document(&text).map_err(|e| format!("{f}: {e}"))?;
+    // Parallel batches overlap the WAL fsync with the in-place apply; a
+    // single-threaded add keeps the fully sequential commit path.
+    let options = DurableOptions { pipelined_wal: threads > 1, ..DurableOptions::default() };
+    let (mut engine, _) = open_engine_with(dir, options)?;
+    engine.set_ingest_threads(threads);
+    let mut texts = Vec::with_capacity(files.len());
+    for f in files.iter() {
+        texts.push(std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?);
+    }
+    let refs: Vec<&str> = texts.iter().map(|t| t.as_str()).collect();
+    let docs = engine.add_documents(&refs).map_err(|e| e.to_string())?;
+    for (f, doc) in files.iter().zip(&docs) {
         println!("{f} -> doc {}", doc.0);
     }
     let report = engine.flush().map_err(|e| format!("flush: {e}"))?;
@@ -755,7 +804,8 @@ fn print_docs(docs: &[DocId]) {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n  \
-         invidx add <dir> <file...>\n  invidx search <dir> <boolean query | --stdin>\n  \
+         invidx add <dir> [--ingest-threads N] <file...>\n  \
+         invidx search <dir> <boolean query | --stdin>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
          invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
          invidx compact <dir>\n  invidx checkpoint <dir>\n  invidx recover <dir>\n  \
