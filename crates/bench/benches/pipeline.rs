@@ -65,12 +65,15 @@ fn bench_stages(c: &mut Criterion) {
 fn bench_dual_index(c: &mut Criterion) {
     let corpus = CorpusParams { days: 4, docs_per_weekday: 60, ..CorpusParams::tiny() };
     let (batches, stats) = generate_batches(corpus);
-    let config = |policy| IndexConfig {
-        num_buckets: 128,
-        bucket_capacity_units: 200,
-        block_postings: 20,
-        policy,
-        materialize_buckets: false,
+    let config = |policy| {
+        IndexConfig::builder()
+            .num_buckets(128)
+            .bucket_capacity_units(200)
+            .block_postings(20)
+            .policy(policy)
+            .materialize_buckets(false)
+            .build()
+            .expect("valid config")
     };
     let mut g = c.benchmark_group("dual_index");
     g.sample_size(10);

@@ -44,15 +44,16 @@ fn main() {
     let mut rows = Vec::new();
     for batch_docs in [1usize, 10, 100, 1000] {
         let array = sparse_array(4, 2_000_000, block_size);
-        let config = IndexConfig {
-            num_buckets: 256,
-            bucket_capacity_units: 400,
-            block_postings: 25,
-            policy: Policy::balanced(),
-            materialize_buckets: false,
-        };
+        let config = IndexConfig::builder()
+            .num_buckets(256)
+            .bucket_capacity_units(400)
+            .block_postings(25)
+            .policy(Policy::balanced())
+            .materialize_buckets(false)
+            .build()
+            .expect("valid config");
         let mut index = DualIndex::create(array, config).expect("create");
-        index.array_mut().start_trace();
+        index.array().start_trace();
         for (i, (id, words)) in docs.iter().enumerate() {
             index
                 .insert_document(DocId(*id), words.iter().map(|&r| WordId(r)))
@@ -64,7 +65,7 @@ fn main() {
         if !index.mem().is_empty() {
             index.flush_batch().expect("final flush");
         }
-        let trace = index.array_mut().take_trace();
+        let trace = index.array().take_trace();
         let timing = exercise(
             &trace,
             &ExerciseConfig { profile: profile.clone(), disks: 4, buffer_blocks: 64 },

@@ -1,0 +1,173 @@
+//! Ablation: block-cache budget under a Zipf query workload.
+//!
+//! The paper charges every long-list read to the device; a block cache in
+//! front of the disk model keeps the hot head of a Zipf-distributed query
+//! stream resident. This ablation builds the same index four times with a
+//! cache budget of 0 / 1% / 5% / 25% of the device blocks, replays the
+//! same Zipf word stream against each, and reports hit rate and measured
+//! device reads per long-list query.
+//!
+//! Two properties are asserted (CI runs this binary as a gate):
+//!
+//! * device reads per long-list query **strictly decrease** as the budget
+//!   grows — the cache may never make the disk model busier;
+//! * the hit rate at the 5% budget exceeds 0.5 — a Zipf stream's hot head
+//!   fits in a small fraction of the device.
+
+use invidx_bench::emit_table;
+use invidx_core::index::{DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_core::WordLocation;
+use invidx_corpus::{CorpusGenerator, CorpusParams};
+use invidx_disk::sparse_array;
+use invidx_sim::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DISKS: u16 = 2;
+const BLOCKS_PER_DISK: u64 = 4_000;
+const BLOCK_SIZE: usize = 512;
+const QUERIES: usize = 2_000;
+
+fn corpus() -> CorpusParams {
+    CorpusParams {
+        days: 3,
+        docs_per_weekday: 400,
+        vocab_ranks: 20_000,
+        interrupted_day: None,
+        ..CorpusParams::tiny()
+    }
+}
+
+fn build(cache_blocks: usize) -> DualIndex {
+    let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+    let config = IndexConfig::builder()
+        .num_buckets(64)
+        .bucket_capacity_units(100)
+        .block_postings(25)
+        .policy(Policy::balanced())
+        .materialize_buckets(false)
+        .cache_blocks(cache_blocks)
+        .cache_shards(4)
+        .build()
+        .expect("valid config");
+    let mut index = DualIndex::create(array, config).expect("create");
+    let mut batch = Vec::new();
+    for day in CorpusGenerator::new(corpus()) {
+        for d in day.docs {
+            batch.push((DocId(d.id + 1), d.word_ranks.into_iter().map(WordId).collect()));
+            if batch.len() == 100 {
+                index.insert_documents(std::mem::take(&mut batch), 1).expect("insert");
+                index.flush_batch().expect("flush");
+            }
+        }
+    }
+    if !batch.is_empty() {
+        index.insert_documents(batch, 1).expect("insert");
+        index.flush_batch().expect("flush");
+    }
+    index
+}
+
+/// The Zipf word stream: rank r drawn with probability ∝ 1/r^1.2 over the
+/// vocabulary (the classic query-log skew), same seed for every budget so
+/// the streams are identical.
+fn zipf_stream(vocab: u64, n: usize, seed: u64) -> Vec<WordId> {
+    let weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / (r as f64).powf(1.2)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut u: f64 = rng.random::<f64>() * total;
+            let mut rank = vocab;
+            for (i, w) in weights.iter().enumerate() {
+                u -= w;
+                if u <= 0.0 {
+                    rank = i as u64 + 1;
+                    break;
+                }
+            }
+            WordId(rank)
+        })
+        .collect()
+}
+
+fn main() {
+    let stream = zipf_stream(corpus().vocab_ranks as u64, QUERIES, 9);
+    let total_blocks = DISKS as u64 * BLOCKS_PER_DISK;
+    let budgets = [(0u64, 0usize), (1, 0), (5, 0), (25, 0)]
+        .map(|(pct, _)| (pct, (total_blocks * pct / 100) as usize));
+
+    let mut rows = Vec::new();
+    let mut reads_per_long = Vec::new();
+    let mut hit_rate_at_5 = None;
+    for (pct, budget) in budgets {
+        let index = build(budget);
+        index.array().take_trace(); // drop the build trace
+        index.array().start_trace();
+        let mut long_queries = 0u64;
+        for &word in &stream {
+            if matches!(index.location(word), WordLocation::Long) {
+                long_queries += 1;
+                index.postings(word).expect("query");
+            }
+        }
+        let trace = index.array().take_trace();
+        let device_reads = trace.ops.len() as u64;
+        let per_long = device_reads as f64 / long_queries.max(1) as f64;
+        let (hit_rate, hits, misses, evictions) = match index.cache_stats() {
+            Some(s) => (s.hit_rate(), s.hits, s.misses, s.evictions),
+            None => (0.0, 0, 0, 0),
+        };
+        if pct == 5 {
+            hit_rate_at_5 = Some(hit_rate);
+        }
+        reads_per_long.push(per_long);
+        invidx_obs::log_progress(
+            "ablation",
+            &format!(
+                "budget {pct}% ({budget} blocks): {long_queries} long queries, \
+                 {device_reads} device reads, hit rate {hit_rate:.3}"
+            ),
+        );
+        rows.push(vec![
+            format!("{pct}%"),
+            budget.to_string(),
+            long_queries.to_string(),
+            device_reads.to_string(),
+            format!("{per_long:.3}"),
+            format!("{hit_rate:.3}"),
+            hits.to_string(),
+            misses.to_string(),
+            evictions.to_string(),
+        ]);
+    }
+
+    emit_table(&TextTable {
+        id: "ablation_block_cache".into(),
+        title: "Block-cache budget vs device reads (Zipf query stream)".into(),
+        headers: vec![
+            "Budget".into(),
+            "Blocks".into(),
+            "Long queries".into(),
+            "Device reads".into(),
+            "Reads/long query".into(),
+            "Hit rate".into(),
+            "Hits".into(),
+            "Misses".into(),
+            "Evictions".into(),
+        ],
+        rows,
+    });
+
+    for pair in reads_per_long.windows(2) {
+        assert!(
+            pair[1] < pair[0],
+            "device reads per long-list query must strictly decrease with budget: {reads_per_long:?}"
+        );
+    }
+    let rate = hit_rate_at_5.expect("5% budget ran");
+    assert!(rate > 0.5, "hit rate at the 5% budget must exceed 0.5, got {rate:.3}");
+    invidx_obs::log_progress("ablation", "block-cache gates passed");
+}

@@ -19,13 +19,14 @@ fn build_index() -> (DualIndex, u32) {
         ..CorpusParams::tiny()
     };
     let array = sparse_array(4, 500_000, 512);
-    let config = IndexConfig {
-        num_buckets: 256,
-        bucket_capacity_units: 100,
-        block_postings: 20,
-        policy: Policy::balanced(),
-        materialize_buckets: true,
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(256)
+        .bucket_capacity_units(100)
+        .block_postings(20)
+        .policy(Policy::balanced())
+        .materialize_buckets(true)
+        .build()
+        .expect("valid config");
     let mut index = DualIndex::create(array, config).expect("create");
     let mut max_doc = 0u32;
     for day in CorpusGenerator::new(params) {
@@ -49,11 +50,11 @@ fn main() {
             }
         }
         let deleted = index.pending_deletions();
-        index.array_mut().start_trace();
+        index.array().start_trace();
         let wall = std::time::Instant::now();
         let report = index.sweep().expect("sweep");
         let cpu = wall.elapsed();
-        let trace = index.array_mut().take_trace();
+        let trace = index.array().take_trace();
         rows.push(vec![
             format!("{pct}%"),
             deleted.to_string(),

@@ -38,13 +38,14 @@ fn corpus() -> CorpusParams {
 }
 
 fn config() -> IndexConfig {
-    IndexConfig {
-        num_buckets: 256,
-        bucket_capacity_units: 400,
-        block_postings: 25,
-        policy: Policy::balanced(),
-        materialize_buckets: true,
-    }
+    IndexConfig::builder()
+        .num_buckets(256)
+        .bucket_capacity_units(400)
+        .block_postings(25)
+        .policy(Policy::balanced())
+        .materialize_buckets(true)
+        .build()
+        .expect("valid config")
 }
 
 fn geometry() -> StoreGeometry {

@@ -48,8 +48,8 @@ fn render(word_ranks: &[u64]) -> String {
 
 fn ingest(texts: &[&str], threads: usize, batch_docs: usize) -> (f64, usize, u64) {
     let array = sparse_array(4, 2_000_000, 512);
-    let mut engine = SearchEngine::create(array, IndexConfig::small()).expect("create");
-    engine.set_ingest_threads(threads);
+    let config = IndexConfig { ingest_threads: threads, ..IndexConfig::small() };
+    let mut engine = SearchEngine::create(array, config).expect("create");
     let start = Instant::now();
     for group in texts.chunks(batch_docs) {
         engine.add_documents(group).expect("add");

@@ -25,7 +25,7 @@ use invidx_corpus::zipf::ZipfTable;
 use invidx_disk::sparse_array;
 use invidx_ir::SearchEngine;
 use invidx_serve::{
-    parse_response, AdmissionConfig, Payload, QueryService, Request, Server, ServiceConfig,
+    parse_response, Payload, QueryService, Request, ServeConfig, Server,
 };
 use invidx_sim::TextTable;
 use rand::rngs::StdRng;
@@ -226,17 +226,15 @@ fn sustained_phase(
 ) -> PhaseRow {
     let engine =
         SearchEngine::create(sparse_array(4, 200_000, 512), IndexConfig::small()).unwrap();
-    let service = Arc::new(QueryService::new(engine, ServiceConfig { cache_capacity: 512 }));
-    let server = Server::bind(
-        "127.0.0.1:0",
-        Arc::clone(&service),
-        AdmissionConfig {
-            readers: 4,
-            high_water: 1_024,
-            deadline: Duration::from_secs(30),
-        },
-    )
-    .expect("bind");
+    let config = ServeConfig::builder()
+        .result_cache_capacity(512)
+        .readers(4)
+        .high_water(1_024)
+        .deadline(Duration::from_secs(30))
+        .build()
+        .expect("valid serve config");
+    let service = Arc::new(QueryService::with_config(engine, config));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
     let addr = server.addr();
     let mismatches = Arc::new(AtomicU64::new(0));
 
@@ -290,18 +288,16 @@ fn sustained_phase(
 fn overload_phase(queries: Arc<Vec<Request>>, seed_batch: &[String]) -> PhaseRow {
     let engine =
         SearchEngine::create(sparse_array(2, 50_000, 256), IndexConfig::small()).unwrap();
-    let service = Arc::new(QueryService::new(engine, ServiceConfig { cache_capacity: 0 }));
+    let config = ServeConfig::builder()
+        .result_cache_capacity(0)
+        .readers(1)
+        .high_water(4)
+        .deadline(Duration::from_millis(20))
+        .build()
+        .expect("valid serve config");
+    let service = Arc::new(QueryService::with_config(engine, config));
     service.ingest_batch(seed_batch).expect("seed");
-    let server = Server::bind(
-        "127.0.0.1:0",
-        Arc::clone(&service),
-        AdmissionConfig {
-            readers: 1,
-            high_water: 4,
-            deadline: Duration::from_millis(20),
-        },
-    )
-    .expect("bind");
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
     let addr = server.addr();
 
     // Wedge the single reader behind the engine write lock so the queue

@@ -18,7 +18,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for policy in invidx_bench::figure_policies() {
-        let (mut index, _) = match build_dual_index(&exp.params, policy, &exp.batches) {
+        let (index, _) = match build_dual_index(&exp.params, policy, &exp.batches) {
             Ok(x) => x,
             Err(e) if invidx_sim::disks::is_out_of_space(&e) => {
                 println!("{}: disks not large enough (skipped)", policy.label());
@@ -26,9 +26,9 @@ fn main() {
             }
             Err(e) => panic!("{policy}: {e}"),
         };
-        index.array_mut().take_trace(); // discard the build trace
+        index.array().take_trace(); // discard the build trace
         for workload in [&vector, &boolean] {
-            let cost = execute_queries(&mut index, &exp.params, workload).expect("queries");
+            let cost = execute_queries(&index, &exp.params, workload).expect("queries");
             rows.push(vec![
                 policy.label(),
                 format!("{:?}", cost.model),

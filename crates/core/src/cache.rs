@@ -1,0 +1,656 @@
+//! Sharded block cache (buffer pool) between the read path and the disk
+//! array.
+//!
+//! The paper charges every long-list query with one physical read per
+//! chunk (§5.4's *average disk reads per long list*). Under the Zipf skew
+//! the corpus reproduces, a small head of hot words absorbs most of those
+//! reads — serving the same chunk bytes over and over between flushes.
+//! [`BlockCache`] keeps those bytes memory-resident:
+//!
+//! * **Budget** — a fixed number of device blocks, split across N shards.
+//! * **Sharding** — frames are keyed by `(disk, block)`; a Fibonacci hash
+//!   picks the shard, so one hot list spreads across shards and readers
+//!   contend only on short per-shard mutexes.
+//! * **Eviction** — per-shard CLOCK: every hit re-arms a reference bit,
+//!   the hand clears bits until it finds an unreferenced, unpinned frame.
+//! * **Pinning** — a multi-chunk long-list read pins each chunk's frames
+//!   via a [`PinGuard`] until the whole list is assembled, so chunk *k*'s
+//!   insertion can never evict chunk *k−1* mid-read. An insert that finds
+//!   only pinned frames is counted as a **bypass** and skipped — which is
+//!   why a budget smaller than one long list still serves the list
+//!   correctly (just without retaining it).
+//! * **Invalidation** — the cache registers as the array's
+//!   [`WriteObserver`]; every write that lands on a device drops exactly
+//!   the frames it overwrote. Captured batches notify at
+//!   `end_capture` — the commit point — so a snapshot reader at epoch E
+//!   never observes bytes from batch E+1.
+//!
+//! Accounting rule: a **hit** means every block of the requested range was
+//! resident — no `read_op` is issued, so the disk model and the I/O trace
+//! are not charged. Any absent block makes the whole range a **miss**,
+//! charged exactly as an uncached read. The paper's I/O numbers therefore
+//! stay meaningful: they count real device reads, while hits/misses are
+//! reported separately through `invidx-obs`.
+
+use invidx_disk::WriteObserver;
+use invidx_obs::names;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One resident device block.
+struct Frame {
+    key: (u16, u64),
+    data: Arc<[u8]>,
+    /// CLOCK reference bit; re-armed on every hit.
+    referenced: bool,
+    /// Active [`PinGuard`] holds; pinned frames are never evicted.
+    pins: u32,
+    /// Invalidated while pinned: already unmapped, slot freed at unpin.
+    doomed: bool,
+}
+
+/// One shard: an index over a bounded slab of frames plus a CLOCK hand.
+struct Shard {
+    map: HashMap<(u16, u64), usize>,
+    frames: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            frames: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.frames[idx] = None;
+        self.free.push(idx);
+    }
+
+    /// Find a slot for a new frame: spare capacity first, then CLOCK.
+    /// `None` means every frame is pinned — the caller bypasses.
+    fn find_slot(&mut self) -> SlotOutcome {
+        if let Some(idx) = self.free.pop() {
+            return SlotOutcome::Free(idx);
+        }
+        if self.frames.len() < self.capacity {
+            self.frames.push(None);
+            return SlotOutcome::Free(self.frames.len() - 1);
+        }
+        if self.frames.is_empty() {
+            return SlotOutcome::AllPinned;
+        }
+        // Two full sweeps: the first may only clear reference bits.
+        for _ in 0..2 * self.frames.len() {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            match &mut self.frames[idx] {
+                None => {
+                    // Freed concurrently with the scan (doomed unpin).
+                    self.free.retain(|&f| f != idx);
+                    return SlotOutcome::Free(idx);
+                }
+                Some(f) if f.pins > 0 => {}
+                Some(f) if f.referenced => f.referenced = false,
+                Some(f) => {
+                    let key = f.key;
+                    self.map.remove(&key);
+                    self.frames[idx] = None;
+                    return SlotOutcome::Evicted(idx);
+                }
+            }
+        }
+        SlotOutcome::AllPinned
+    }
+}
+
+enum SlotOutcome {
+    Free(usize),
+    Evicted(usize),
+    AllPinned,
+}
+
+/// A snapshot of the cache's counters and gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Range lookups answered entirely from resident frames.
+    pub hits: u64,
+    /// Range lookups with at least one absent block (full device read).
+    pub misses: u64,
+    /// Frames evicted by CLOCK under budget pressure.
+    pub evictions: u64,
+    /// Inserts skipped because every candidate frame was pinned.
+    pub bypasses: u64,
+    /// Resident frames dropped by write-through invalidation.
+    pub invalidations: u64,
+    /// Blocks currently resident.
+    pub resident_blocks: u64,
+    /// Bytes currently resident (`resident_blocks * block_size`).
+    pub resident_bytes: u64,
+    /// Highest simultaneous pinned-frame count observed.
+    pub pinned_high_water: u64,
+    /// Configured budget in blocks.
+    pub budget_blocks: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `0.0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded, pinnable, write-through-invalidated block cache.
+///
+/// All methods take `&self`; internal state lives behind per-shard
+/// mutexes, so concurrent readers (the serving layer's reader pool) probe
+/// different shards without contention.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    block_size: usize,
+    budget_blocks: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+    invalidations: AtomicU64,
+    resident: AtomicU64,
+    pinned: AtomicU64,
+    pinned_high_water: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("budget_blocks", &self.budget_blocks)
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache holding at most `budget_blocks` device blocks of
+    /// `block_size` bytes, split over `shards` shards (clamped so every
+    /// shard holds at least one block).
+    pub fn new(budget_blocks: usize, shards: usize, block_size: usize) -> Self {
+        assert!(budget_blocks > 0, "budget must be at least one block");
+        assert!(block_size > 0, "block size must be positive");
+        let shards = shards.clamp(1, budget_blocks);
+        let base = budget_blocks / shards;
+        let extra = budget_blocks % shards;
+        let shards = (0..shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        Self {
+            shards,
+            block_size,
+            budget_blocks,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            pinned: AtomicU64::new(0),
+            pinned_high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Device block size this cache was built for.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Configured budget in blocks.
+    pub fn budget_blocks(&self) -> usize {
+        self.budget_blocks
+    }
+
+    fn shard_of(&self, disk: u16, block: u64) -> usize {
+        // Fibonacci hashing over the packed key — same multiplier as the
+        // ingest word shards.
+        let key = ((disk as u64) << 48) ^ block;
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    fn pin_one(&self) {
+        let now = self.pinned.fetch_add(1, Ordering::Relaxed) + 1;
+        let hw = self.pinned_high_water.fetch_max(now, Ordering::Relaxed).max(now);
+        invidx_obs::gauge!(names::CACHE_PINNED_HIGH_WATER).set(hw as i64);
+    }
+
+    fn unpin_one(&self) {
+        self.pinned.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn resident_delta(&self, added: i64) {
+        let now = if added >= 0 {
+            self.resident.fetch_add(added as u64, Ordering::Relaxed) + added as u64
+        } else {
+            self.resident.fetch_sub((-added) as u64, Ordering::Relaxed) - (-added) as u64
+        };
+        invidx_obs::gauge!(names::CACHE_BYTES_RESIDENT)
+            .set((now as usize * self.block_size) as i64);
+    }
+
+    /// Copy blocks `[start, start + blocks)` of `disk` into `buf` if — and
+    /// only if — **every** one is resident; the touched frames stay pinned
+    /// in `guard` until the guard drops. Returns `false` (and pins
+    /// nothing) when any block is absent: the caller issues the full
+    /// device read, exactly as it would without a cache.
+    pub fn read_pinned(
+        &self,
+        disk: u16,
+        start: u64,
+        blocks: u64,
+        buf: &mut [u8],
+        guard: &mut PinGuard<'_>,
+    ) -> bool {
+        debug_assert_eq!(buf.len(), blocks as usize * self.block_size);
+        debug_assert!(std::ptr::eq(guard.cache, self), "guard belongs to another cache");
+        let mut copied: Vec<(u64, usize, usize, Arc<[u8]>)> =
+            Vec::with_capacity(blocks as usize);
+        for b in start..start + blocks {
+            let shard_no = self.shard_of(disk, b);
+            let mut shard = self.shards[shard_no].lock();
+            let frame = shard.map.get(&(disk, b)).copied().and_then(|idx| {
+                let f = shard.frames[idx].as_mut()?;
+                f.referenced = true;
+                f.pins += 1;
+                Some((idx, Arc::clone(&f.data)))
+            });
+            drop(shard);
+            match frame {
+                Some((idx, data)) => {
+                    self.pin_one();
+                    copied.push((b, shard_no, idx, data));
+                }
+                None => {
+                    for &(_, shard_no, idx, _) in &copied {
+                        self.unpin(shard_no, idx);
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    invidx_obs::counter!(names::CACHE_MISSES).inc();
+                    return false;
+                }
+            }
+        }
+        for (b, shard_no, idx, data) in copied {
+            let off = (b - start) as usize * self.block_size;
+            buf[off..off + self.block_size].copy_from_slice(&data);
+            guard.pins.push((shard_no, idx));
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        invidx_obs::counter!(names::CACHE_HITS).inc();
+        true
+    }
+
+    /// Insert the freshly-read bytes for `[start, start + blocks)` and pin
+    /// them in `guard`. A block whose shard has only pinned frames is
+    /// skipped (a *bypass*) — the read still succeeded, the bytes just are
+    /// not retained.
+    pub fn insert_pinned(
+        &self,
+        disk: u16,
+        start: u64,
+        blocks: u64,
+        data: &[u8],
+        guard: &mut PinGuard<'_>,
+    ) {
+        debug_assert_eq!(data.len(), blocks as usize * self.block_size);
+        debug_assert!(std::ptr::eq(guard.cache, self), "guard belongs to another cache");
+        for b in start..start + blocks {
+            let off = (b - start) as usize * self.block_size;
+            let bytes: Arc<[u8]> = Arc::from(&data[off..off + self.block_size]);
+            let shard_no = self.shard_of(disk, b);
+            let mut shard = self.shards[shard_no].lock();
+            if let Some(&idx) = shard.map.get(&(disk, b)) {
+                // Already resident (another reader raced us): refresh and
+                // pin the existing frame.
+                if let Some(f) = shard.frames[idx].as_mut() {
+                    f.data = bytes;
+                    f.referenced = true;
+                    f.pins += 1;
+                    drop(shard);
+                    self.pin_one();
+                    guard.pins.push((shard_no, idx));
+                    continue;
+                }
+            }
+            let slot = shard.find_slot();
+            let (idx, evicted) = match slot {
+                SlotOutcome::Free(idx) => (idx, false),
+                SlotOutcome::Evicted(idx) => (idx, true),
+                SlotOutcome::AllPinned => {
+                    drop(shard);
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    invidx_obs::counter!(names::CACHE_BYPASSES).inc();
+                    continue;
+                }
+            };
+            // New frames start unreferenced — only a subsequent hit arms
+            // the bit. Arming at insert would let one sweep clear every
+            // bit and evict in slot order, ignoring recency entirely.
+            shard.frames[idx] = Some(Frame {
+                key: (disk, b),
+                data: bytes,
+                referenced: false,
+                pins: 1,
+                doomed: false,
+            });
+            shard.map.insert((disk, b), idx);
+            drop(shard);
+            if evicted {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                invidx_obs::counter!(names::CACHE_EVICTIONS).inc();
+            } else {
+                self.resident_delta(1);
+            }
+            self.pin_one();
+            guard.pins.push((shard_no, idx));
+        }
+    }
+
+    /// Release one pin on slot `idx` of shard `shard_no`. Pinned slots are
+    /// stable (eviction and release both skip them), so the identity
+    /// recorded at pin time is still the same frame — even if its key was
+    /// invalidated and re-inserted elsewhere in the meantime.
+    fn unpin(&self, shard_no: usize, idx: usize) {
+        let mut shard = self.shards[shard_no].lock();
+        if let Some(f) = shard.frames[idx].as_mut() {
+            debug_assert!(f.pins > 0, "unpin without pin");
+            f.pins -= 1;
+            if f.pins == 0 && f.doomed {
+                shard.release(idx);
+                drop(shard);
+                self.resident_delta(-1);
+                self.unpin_one();
+                return;
+            }
+        }
+        drop(shard);
+        self.unpin_one();
+    }
+
+    /// Drop every resident copy of `[start, start + blocks)` on `disk`.
+    /// This is the write-through hook: [`WriteObserver::wrote`] routes
+    /// here, so device writes — sequential immediately, captured batches
+    /// at their commit point — drop exactly the frames they overwrote.
+    pub fn invalidate(&self, disk: u16, start: u64, blocks: u64) {
+        for b in start..start + blocks {
+            let mut shard = self.shards[self.shard_of(disk, b)].lock();
+            if let Some(idx) = shard.map.remove(&(disk, b)) {
+                let Some(f) = shard.frames[idx].as_mut() else { continue };
+                if f.pins > 0 {
+                    // A reader still holds this frame; the slot is
+                    // reclaimed at its final unpin.
+                    f.doomed = true;
+                } else {
+                    shard.release(idx);
+                    drop(shard);
+                    self.resident_delta(-1);
+                }
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                invidx_obs::counter!(names::CACHE_INVALIDATIONS).inc();
+            }
+        }
+    }
+
+    /// Drop everything (recovery paths rebuild indexes from device bytes;
+    /// any resident frame could be stale).
+    pub fn clear(&self) {
+        let mut dropped = 0i64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            for idx in 0..s.frames.len() {
+                if let Some(f) = &s.frames[idx] {
+                    assert!(f.pins == 0, "clear with active pins");
+                    s.release(idx);
+                    dropped += 1;
+                }
+            }
+        }
+        self.resident_delta(-dropped);
+    }
+
+    /// Open a pin scope; frames touched through it stay resident until it
+    /// drops.
+    pub fn pin_scope(&self) -> PinGuard<'_> {
+        PinGuard { cache: self, pins: Vec::new() }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let resident = self.resident.load(Ordering::Relaxed);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            resident_blocks: resident,
+            resident_bytes: resident * self.block_size as u64,
+            pinned_high_water: self.pinned_high_water.load(Ordering::Relaxed),
+            budget_blocks: self.budget_blocks as u64,
+        }
+    }
+}
+
+impl WriteObserver for BlockCache {
+    fn wrote(&self, disk: u16, start: u64, blocks: u64) {
+        self.invalidate(disk, start, blocks);
+    }
+}
+
+/// Scope holding pins on behalf of one logical read; dropping it unpins
+/// everything it touched.
+pub struct PinGuard<'a> {
+    cache: &'a BlockCache,
+    /// `(shard, slot)` of every pinned frame — slot identity, not key,
+    /// because a pinned frame's key can be invalidated and re-inserted.
+    pins: Vec<(usize, usize)>,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        for &(shard_no, idx) in &self.pins {
+            self.cache.unpin(shard_no, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: usize = 64;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; BS]
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = BlockCache::new(8, 2, BS);
+        let mut buf = vec![0u8; BS];
+        {
+            let mut g = cache.pin_scope();
+            assert!(!cache.read_pinned(0, 5, 1, &mut buf, &mut g));
+            cache.insert_pinned(0, 5, 1, &block(7), &mut g);
+        }
+        let mut g = cache.pin_scope();
+        assert!(cache.read_pinned(0, 5, 1, &mut buf, &mut g));
+        assert_eq!(buf, block(7));
+        drop(g);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.resident_blocks), (1, 1, 1));
+        assert_eq!(s.resident_bytes, BS as u64);
+    }
+
+    #[test]
+    fn partial_residency_is_a_full_miss() {
+        let cache = BlockCache::new(8, 4, BS);
+        {
+            let mut g = cache.pin_scope();
+            cache.insert_pinned(0, 10, 1, &block(1), &mut g);
+        }
+        let mut buf = vec![0u8; 2 * BS];
+        let mut g = cache.pin_scope();
+        // Block 11 absent: the 2-block range must miss as a whole.
+        assert!(!cache.read_pinned(0, 10, 2, &mut buf, &mut g));
+        drop(g);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().pinned_high_water, 1);
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let cache = BlockCache::new(2, 1, BS);
+        {
+            let mut g = cache.pin_scope();
+            cache.insert_pinned(0, 1, 1, &block(1), &mut g);
+            cache.insert_pinned(0, 2, 1, &block(2), &mut g);
+        }
+        // Touch block 1 so its reference bit is armed; block 2's decays
+        // on the first sweep.
+        let mut buf = vec![0u8; BS];
+        {
+            let mut g = cache.pin_scope();
+            assert!(cache.read_pinned(0, 1, 1, &mut buf, &mut g));
+        }
+        {
+            let mut g = cache.pin_scope();
+            cache.insert_pinned(0, 3, 1, &block(3), &mut g);
+        }
+        let mut g = cache.pin_scope();
+        assert!(cache.read_pinned(0, 1, 1, &mut buf, &mut g), "re-armed frame survives");
+        assert!(cache.read_pinned(0, 3, 1, &mut buf, &mut g), "new frame resident");
+        drop(g);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident_blocks, 2);
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let cache = BlockCache::new(2, 1, BS);
+        let mut g = cache.pin_scope();
+        cache.insert_pinned(0, 1, 1, &block(1), &mut g);
+        cache.insert_pinned(0, 2, 1, &block(2), &mut g);
+        // Shard full of pinned frames: the insert bypasses, nothing is
+        // evicted, and the pinned bytes stay readable.
+        cache.insert_pinned(0, 3, 1, &block(3), &mut g);
+        let mut buf = vec![0u8; BS];
+        assert!(cache.read_pinned(0, 1, 1, &mut buf, &mut g));
+        assert_eq!(buf, block(1));
+        drop(g);
+        let s = cache.stats();
+        assert_eq!(s.bypasses, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.pinned_high_water, 3);
+        // Unpinned now: the next insert may evict normally.
+        let mut g = cache.pin_scope();
+        cache.insert_pinned(0, 4, 1, &block(4), &mut g);
+        drop(g);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_exactly_the_written_range() {
+        let cache = BlockCache::new(8, 3, BS);
+        {
+            let mut g = cache.pin_scope();
+            for b in 0..4 {
+                cache.insert_pinned(0, b, 1, &block(b as u8), &mut g);
+            }
+        }
+        cache.invalidate(0, 1, 2);
+        let mut buf = vec![0u8; BS];
+        let mut g = cache.pin_scope();
+        assert!(cache.read_pinned(0, 0, 1, &mut buf, &mut g));
+        assert!(!cache.read_pinned(0, 1, 1, &mut buf, &mut g));
+        assert!(!cache.read_pinned(0, 2, 1, &mut buf, &mut g));
+        assert!(cache.read_pinned(0, 3, 1, &mut buf, &mut g));
+        drop(g);
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 2);
+        assert_eq!(s.resident_blocks, 2);
+    }
+
+    #[test]
+    fn invalidate_while_pinned_dooms_until_unpin() {
+        let cache = BlockCache::new(4, 1, BS);
+        let mut g = cache.pin_scope();
+        cache.insert_pinned(0, 7, 1, &block(9), &mut g);
+        cache.invalidate(0, 7, 1);
+        // Unmapped immediately: a fresh lookup misses even while the old
+        // reader still holds its pin.
+        let mut buf = vec![0u8; BS];
+        {
+            let mut g2 = cache.pin_scope();
+            assert!(!cache.read_pinned(0, 7, 1, &mut buf, &mut g2));
+        }
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().resident_blocks, 1, "slot reclaimed only at unpin");
+        drop(g);
+        assert_eq!(cache.stats().resident_blocks, 0);
+    }
+
+    #[test]
+    fn write_observer_routes_to_invalidate() {
+        let cache = BlockCache::new(4, 2, BS);
+        {
+            let mut g = cache.pin_scope();
+            cache.insert_pinned(1, 3, 1, &block(5), &mut g);
+        }
+        WriteObserver::wrote(&cache, 1, 3, 1);
+        let mut buf = vec![0u8; BS];
+        let mut g = cache.pin_scope();
+        assert!(!cache.read_pinned(1, 3, 1, &mut buf, &mut g));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = BlockCache::new(16, 4, BS);
+        {
+            let mut g = cache.pin_scope();
+            for b in 0..10 {
+                cache.insert_pinned(0, b, 1, &block(b as u8), &mut g);
+            }
+        }
+        cache.clear();
+        assert_eq!(cache.stats().resident_blocks, 0);
+        let mut buf = vec![0u8; BS];
+        let mut g = cache.pin_scope();
+        for b in 0..10 {
+            assert!(!cache.read_pinned(0, b, 1, &mut buf, &mut g));
+        }
+    }
+
+    #[test]
+    fn budget_splits_across_shards_with_remainder() {
+        let cache = BlockCache::new(5, 3, BS);
+        let caps: Vec<usize> = cache.shards.iter().map(|s| s.lock().capacity).collect();
+        assert_eq!(caps.iter().sum::<usize>(), 5);
+        assert!(caps.iter().all(|&c| c >= 1));
+        // More shards than budget: clamped so every shard holds a block.
+        let small = BlockCache::new(2, 8, BS);
+        assert_eq!(small.shards.len(), 2);
+    }
+}

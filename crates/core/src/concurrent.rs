@@ -137,6 +137,13 @@ impl SharedIndex {
         Ok(report)
     }
 
+    /// Block-cache counters, if the index was configured with a cache.
+    /// Runs under the read lock — the cache's own counters are atomic, but
+    /// sampling under the lock keeps the snapshot coherent with an epoch.
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.inner.read().cache_stats()
+    }
+
     /// Run a closure with shared (read) access to the index.
     pub fn with_read<R>(&self, f: impl FnOnce(&DualIndex) -> R) -> R {
         f(&self.inner.read())

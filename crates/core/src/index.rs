@@ -18,6 +18,7 @@
 //!    aborted", §1).
 
 use crate::bucket::BucketStore;
+use crate::cache::{BlockCache, CacheStats};
 use crate::directory::Directory;
 use crate::longlist::{LongConfig, LongStats, LongStore};
 use crate::memindex::MemIndex;
@@ -26,8 +27,12 @@ use crate::postings::PostingList;
 use crate::types::{DocId, IndexError, Result, WordId};
 use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-/// Index-level configuration (the tunables of the paper's Table 4).
+/// Index-level configuration (the tunables of the paper's Table 4, plus
+/// the runtime knobs that grew around them: ingest parallelism and the
+/// block cache). Construct via [`IndexConfig::builder`], which validates
+/// at `build()`.
 #[derive(Debug, Clone, Copy)]
 pub struct IndexConfig {
     /// Number of buckets (`Buckets`).
@@ -43,9 +48,29 @@ pub struct IndexConfig {
     /// only need traces and statistics turn this off; the I/O trace is
     /// identical either way, but queries-after-restart require it on.
     pub materialize_buckets: bool,
+    /// Worker threads for batch inversion and the captured parallel apply
+    /// (1 = fully sequential).
+    pub ingest_threads: usize,
+    /// Block-cache budget in device blocks; 0 disables the cache.
+    pub cache_blocks: usize,
+    /// Block-cache shard count (clamped to the budget when smaller).
+    pub cache_shards: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self::paper_base()
+    }
 }
 
 impl IndexConfig {
+    /// Start building a configuration from [`IndexConfig::paper_base`]
+    /// defaults; finish with [`IndexConfigBuilder::build`], which
+    /// validates the geometry-independent invariants up front.
+    pub fn builder() -> IndexConfigBuilder {
+        IndexConfigBuilder { config: Self::paper_base() }
+    }
+
     /// The paper's base-case scale (Table 4 values are OCR-damaged in our
     /// copy; these are the documented reconstruction — see DESIGN.md).
     pub fn paper_base() -> Self {
@@ -55,6 +80,9 @@ impl IndexConfig {
             block_postings: 100,
             policy: Policy::balanced(),
             materialize_buckets: true,
+            ingest_threads: 1,
+            cache_blocks: 0,
+            cache_shards: 8,
         }
     }
 
@@ -66,6 +94,9 @@ impl IndexConfig {
             block_postings: 10,
             policy: Policy::balanced(),
             materialize_buckets: true,
+            ingest_threads: 1,
+            cache_blocks: 0,
+            cache_shards: 8,
         }
     }
 
@@ -81,11 +112,28 @@ impl IndexConfig {
         self.bucket_capacity_units.div_ceil(self.block_postings)
     }
 
-    /// Validate against a device block size.
-    pub fn validate(&self, block_size: usize) -> Result<()> {
+    /// The geometry-independent invariants (everything [`Self::validate`]
+    /// can check without knowing the device block size).
+    fn validate_shape(&self) -> Result<()> {
         if self.num_buckets == 0 {
             return Err(IndexError::InvalidConfig("num_buckets must be positive".into()));
         }
+        if self.ingest_threads == 0 {
+            return Err(IndexError::InvalidConfig(
+                "ingest_threads must be at least 1 (1 = sequential)".into(),
+            ));
+        }
+        if self.cache_blocks > 0 && self.cache_shards == 0 {
+            return Err(IndexError::InvalidConfig(
+                "cache_shards must be positive when the cache is enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate against a device block size.
+    pub fn validate(&self, block_size: usize) -> Result<()> {
+        self.validate_shape()?;
         LongConfig { block_postings: self.block_postings, policy: self.policy }
             .validate(block_size)?;
         // The serialized worst case of a bucket must fit its block region.
@@ -98,6 +146,74 @@ impl IndexConfig {
             )));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`IndexConfig`]; obtain via [`IndexConfig::builder`].
+///
+/// Every setter is infallible; [`Self::build`] runs the shape validation
+/// (positive bucket count, positive ingest threads, coherent cache
+/// settings) so misconfiguration surfaces at construction, not first use.
+/// Device-geometry checks still run in [`DualIndex::create`]/
+/// [`DualIndex::open`], which know the block size.
+#[derive(Debug, Clone)]
+pub struct IndexConfigBuilder {
+    config: IndexConfig,
+}
+
+impl IndexConfigBuilder {
+    /// Number of buckets (`Buckets`).
+    pub fn num_buckets(mut self, n: usize) -> Self {
+        self.config.num_buckets = n;
+        self
+    }
+
+    /// Capacity of each bucket in units (`BucketSize`).
+    pub fn bucket_capacity_units(mut self, units: u64) -> Self {
+        self.config.bucket_capacity_units = units;
+        self
+    }
+
+    /// Postings per block (`BlockPosting`).
+    pub fn block_postings(mut self, postings: u64) -> Self {
+        self.config.block_postings = postings;
+        self
+    }
+
+    /// Long-list allocation policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Physically write bucket contents at flush time.
+    pub fn materialize_buckets(mut self, on: bool) -> Self {
+        self.config.materialize_buckets = on;
+        self
+    }
+
+    /// Worker threads for batch inversion and the captured parallel apply.
+    pub fn ingest_threads(mut self, threads: usize) -> Self {
+        self.config.ingest_threads = threads;
+        self
+    }
+
+    /// Block-cache budget in device blocks (0 disables the cache).
+    pub fn cache_blocks(mut self, blocks: usize) -> Self {
+        self.config.cache_blocks = blocks;
+        self
+    }
+
+    /// Block-cache shard count.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<IndexConfig> {
+        self.config.validate_shape()?;
+        Ok(self.config)
     }
 }
 
@@ -209,9 +325,24 @@ pub struct DualIndex {
     bucket_extents: Vec<(u16, u64, u64)>,
     /// Live on-disk directory extent.
     dir_extent: Option<(u16, u64, u64)>,
-    /// Worker threads for batch inversion and the captured parallel apply
-    /// (1 = fully sequential; see [`Self::set_ingest_threads`]).
-    ingest_threads: usize,
+    /// Sharded block cache over long-list chunks and bucket stripes
+    /// (`None` when `config.cache_blocks == 0`). Registered as the
+    /// array's write observer so every committed write invalidates
+    /// exactly the blocks it touched.
+    cache: Option<Arc<BlockCache>>,
+}
+
+/// Build the block cache described by `config` (if any) and register it
+/// as the array's write observer.
+fn attach_cache(array: &mut DiskArray, config: &IndexConfig) -> Option<Arc<BlockCache>> {
+    if config.cache_blocks == 0 {
+        array.set_write_observer(None);
+        return None;
+    }
+    let cache =
+        Arc::new(BlockCache::new(config.cache_blocks, config.cache_shards, array.block_size()));
+    array.set_write_observer(Some(cache.clone()));
+    Some(cache)
 }
 
 impl DualIndex {
@@ -226,6 +357,7 @@ impl DualIndex {
             block_postings: config.block_postings,
             policy: config.policy,
         });
+        let cache = attach_cache(&mut array, &config);
         Ok(Self {
             config,
             array,
@@ -236,7 +368,7 @@ impl DualIndex {
             batch_no: 0,
             bucket_extents: Vec::new(),
             dir_extent: None,
-            ingest_threads: 1,
+            cache,
         })
     }
 
@@ -246,13 +378,31 @@ impl DualIndex {
     /// through a capture window that executes each disk's writes on its
     /// own worker ([`DiskArray::begin_capture`]). Results are
     /// bit-identical to single-threaded ingest at any setting.
+    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
     pub fn set_ingest_threads(&mut self, threads: usize) {
-        self.ingest_threads = threads.max(1);
+        self.config.ingest_threads = threads.max(1);
     }
 
     /// The configured ingest worker-pool size.
     pub fn ingest_threads(&self) -> usize {
-        self.ingest_threads
+        self.config.ingest_threads
+    }
+
+    /// Block-cache statistics, or `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The cache to consult for the current read, if any. Capture mode
+    /// buffers writes in the array's overlay, which a cache hit would
+    /// bypass — so reads issued inside a capture window go straight to
+    /// the array (which consults the overlay itself).
+    fn query_cache(&self) -> Option<&BlockCache> {
+        if self.array.capture_active() {
+            None
+        } else {
+            self.cache.as_deref()
+        }
     }
 
     /// The configuration.
@@ -271,7 +421,48 @@ impl DualIndex {
     }
 
     /// Mutable disk array access.
+    #[deprecated(
+        since = "0.5.0",
+        note = "trace control is available through `array()` (it takes `&self`); mutation \
+                goes through the purpose-named methods (`set_defer_frees`, \
+                `release_deferred_frees`, `flush_devices`, `reserve_extent`, \
+                `sidecar_array`)"
+    )]
     pub fn array_mut(&mut self) -> &mut DiskArray {
+        &mut self.array
+    }
+
+    /// Quarantine freed extents instead of returning them to the
+    /// allocators ([`DiskArray::defer_frees`]). Durable (WAL) mode runs
+    /// with the quarantine on so replay can still read chunks the last
+    /// checkpoint references.
+    pub fn set_defer_frees(&mut self, on: bool) {
+        self.array.defer_frees(on);
+    }
+
+    /// Return quarantined freed extents to the allocators — durable mode
+    /// calls this right after a checkpoint commits.
+    pub fn release_deferred_frees(&mut self) -> Result<()> {
+        Ok(self.array.release_deferred()?)
+    }
+
+    /// Flush every device to stable storage.
+    pub fn flush_devices(&mut self) -> Result<()> {
+        Ok(self.array.flush()?)
+    }
+
+    /// Re-reserve an extent on a fresh allocator during recovery —
+    /// sidecar stores (document store, vocabulary) re-claim their
+    /// checkpointed extents with this before WAL replay runs.
+    pub fn reserve_extent(&mut self, disk: u16, start: u64, blocks: u64) -> Result<()> {
+        reserve_on(&mut self.array, disk, start, blocks)
+    }
+
+    /// The disk array as shared storage for sidecar stores that co-locate
+    /// their extents with the index's (the IR layer's document store).
+    /// Sidecar writes go through [`DiskArray::write_op`] and therefore
+    /// notify the block cache like any index write.
+    pub fn sidecar_array(&mut self) -> &mut DiskArray {
         &mut self.array
     }
 
@@ -392,7 +583,7 @@ impl DualIndex {
             bucket_units: 0,
             obs: invidx_obs::ObsDelta::default(),
         };
-        let threads = self.ingest_threads;
+        let threads = self.config.ingest_threads;
         if threads > 1 {
             // Parallel apply: buffer long-list writes per target disk while
             // the drain loop runs (allocator calls and bucket mutations
@@ -548,6 +739,13 @@ impl DualIndex {
                     blocks: stripe_blocks,
                     payload: Payload::Bucket,
                 });
+                // No physical write means no write-observer notification:
+                // drop any frames a previous tenant of this extent left in
+                // the cache, so a later bucket-read charge cannot hit on
+                // stale bytes.
+                if let Some(cache) = &self.cache {
+                    cache.invalidate(d, start, stripe_blocks);
+                }
             }
             new_bucket_extents.push((d, start, stripe_blocks));
         }
@@ -608,6 +806,13 @@ impl DualIndex {
     /// Read operations needed to fetch this word's stored postings — the
     /// paper's query-cost metric (1 bucket read for short lists, one read
     /// per chunk for long lists).
+    ///
+    /// Deliberately counts *device* reads only: postings still buffered in
+    /// the current batch's in-memory index are served from memory at zero
+    /// I/O cost, so a word that exists only in memory has `read_cost` 0
+    /// even though [`Self::postings`] returns its list. Use
+    /// [`Self::doc_frequency`] for a posting count that includes the
+    /// unflushed batch.
     pub fn read_cost(&self, word: WordId) -> u64 {
         match self.location(word) {
             WordLocation::Long => {
@@ -616,6 +821,59 @@ impl DualIndex {
             WordLocation::Short => 1,
             _ => 0,
         }
+    }
+
+    /// The on-disk home of a word's bucket in the current flushed
+    /// generation: `(disk, start, bucket_blocks)`. Bucket `i` lives on
+    /// disk `i % n`, at slot `i / n` within that disk's stripe (the flush
+    /// writes buckets to each stripe in index order). `None` before the
+    /// first shadow-paged flush — durable (WAL) mode never has an
+    /// on-disk generation.
+    pub fn bucket_extent_of(&self, word: WordId) -> Option<(u16, u64, u64)> {
+        let n = self.array.num_disks() as usize;
+        let b = self.buckets.bucket_of(word);
+        let bucket_blocks = self.config.bucket_blocks();
+        let (disk, stripe_start, stripe_blocks) = *self.bucket_extents.get(b % n)?;
+        if stripe_blocks == 0 {
+            return None;
+        }
+        Some((disk, stripe_start + (b / n) as u64 * bucket_blocks, bucket_blocks))
+    }
+
+    /// Charge one bucket read against the disk model, answering from the
+    /// block cache when the bucket's blocks are resident. Live queries
+    /// never read buckets from disk (they are memory-resident), so this
+    /// models the paper's one-read-per-bucket query cost: on a cache hit
+    /// nothing is charged and `Ok(true)` is returned; on a miss (or with
+    /// the cache disabled) a read op for the bucket's region is recorded
+    /// and `Ok(false)` is returned.
+    ///
+    /// Uses the real stripe extent of the current generation when one
+    /// exists, falling back to a synthetic fixed-slot address before the
+    /// first flush so exercisers always have an op to time.
+    pub fn charge_bucket_read(&self, word: WordId) -> Result<bool> {
+        let bucket_blocks = self.config.bucket_blocks();
+        let (disk, start, blocks) = self.bucket_extent_of(word).unwrap_or_else(|| {
+            let n = self.array.num_disks() as usize;
+            let b = self.buckets.bucket_of(word);
+            ((b % n) as u16, (b / n) as u64 * bucket_blocks, bucket_blocks)
+        });
+        let op = IoOp { kind: OpKind::Read, disk, start, blocks, payload: Payload::Bucket };
+        if let Some(cache) = self.query_cache() {
+            let bs = self.array.block_size();
+            let mut buf = vec![0u8; blocks as usize * bs];
+            let mut guard = cache.pin_scope();
+            if cache.read_pinned(disk, start, blocks, &mut buf, &mut guard) {
+                return Ok(true);
+            }
+            self.array.read_op(op, &mut buf)?;
+            cache.insert_pinned(disk, start, blocks, &buf, &mut guard);
+        } else {
+            // Cache off: the historical accounting-only charge (a trace
+            // op with no device transfer).
+            self.array.trace_push(op);
+        }
+        Ok(false)
     }
 
     /// The full posting list for a word: stored postings (long list or
@@ -627,7 +885,7 @@ impl DualIndex {
     /// [`crate::SharedIndex`]'s read lock) never serialize on the index.
     pub fn postings(&self, word: WordId) -> Result<PostingList> {
         let mut list = if self.longs.contains(word) {
-            self.longs.read_list(&self.array, word)?
+            self.longs.read_list(&self.array, self.query_cache(), word)?
         } else {
             self.buckets.get(word).cloned().unwrap_or_default()
         };
@@ -685,7 +943,7 @@ impl DualIndex {
 
         // Long lists: read, filter, rewrite compacted.
         for word in self.longs.directory().words() {
-            let list = self.longs.read_list(&self.array, word)?;
+            let list = self.longs.read_list(&self.array, self.query_cache(), word)?;
             let mut kept = list.clone();
             kept.retain(|d| !deleted.contains(&d));
             if kept.len() == list.len() {
@@ -789,8 +1047,12 @@ impl DualIndex {
             chunks_after: 0,
             blocks_freed: 0,
         };
+        // Field projections rather than `query_cache()`: `longs` and
+        // `array` are borrowed mutably below, and the borrows are disjoint
+        // only when spelled out.
+        let cache = if self.array.capture_active() { None } else { self.cache.as_deref() };
         for word in self.longs.directory().words() {
-            let before = self.longs.compact_word(&mut self.array, word)?;
+            let before = self.longs.compact_word(&mut self.array, cache, word)?;
             if before > 1 {
                 report.lists_rewritten += 1;
             }
@@ -1037,6 +1299,9 @@ impl DualIndex {
             mem.set_floor(DocId((doc_ceiling - 1) as u32));
         }
 
+        // A fresh cache on every open: recovery (and any restart) starts
+        // cold rather than trusting frames from a previous incarnation.
+        let cache = attach_cache(&mut array, &config);
         Ok(Self {
             config,
             array,
@@ -1047,7 +1312,7 @@ impl DualIndex {
             batch_no,
             bucket_extents,
             dir_extent,
-            ingest_threads: 1,
+            cache,
         })
     }
 
@@ -1118,6 +1383,10 @@ impl DualIndex {
         if snap.doc_ceiling > 0 {
             mem.set_floor(DocId((snap.doc_ceiling - 1) as u32));
         }
+        // Recovery always drops the cache: WAL replay rewrites chunks the
+        // checkpoint's directory still references, and a warm frame from
+        // before the crash must never answer a post-recovery read.
+        let cache = attach_cache(&mut array, &config);
         Ok(Self {
             config,
             array,
@@ -1130,7 +1399,7 @@ impl DualIndex {
             // devices; these stay empty until a legacy flush_batch runs.
             bucket_extents: Vec::new(),
             dir_extent: None,
-            ingest_threads: 1,
+            cache,
         })
     }
 }
@@ -1350,12 +1619,12 @@ mod tests {
     #[test]
     fn trace_contains_bucket_directory_and_longlist_ops() {
         let mut ix = small_index();
-        ix.array_mut().start_trace();
+        ix.array().start_trace();
         for batch in 0..4u32 {
             load(&mut ix, batch * 60 + 1..(batch + 1) * 60 + 1, 10);
             ix.flush_batch().unwrap();
         }
-        let trace = ix.array_mut().take_trace();
+        let trace = ix.array().take_trace();
         assert_eq!(trace.batches(), 4);
         assert!(trace.count(|op| matches!(op.payload, Payload::Bucket)) >= 4);
         assert!(trace.count(|op| matches!(op.payload, Payload::Directory)) == 4);
@@ -1630,8 +1899,7 @@ mod tests {
             num_buckets: 4,
             bucket_capacity_units: 1000,
             block_postings: 1000,
-            policy: Policy::balanced(),
-            materialize_buckets: true,
+            ..IndexConfig::small()
         };
         // 1000 postings * 4 bytes = 4000 > 256-byte block: LongConfig fails
         // first; with a big enough block the bucket check fires.
@@ -1648,12 +1916,12 @@ mod tests {
             let array = sparse_array(2, 50_000, 256);
             let config = IndexConfig { materialize_buckets: materialize, ..IndexConfig::small() };
             let mut ix = DualIndex::create(array, config).unwrap();
-            ix.array_mut().start_trace();
+            ix.array().start_trace();
             for b in 0..3u32 {
                 load(&mut ix, b * 50 + 1..(b + 1) * 50 + 1, 10);
                 ix.flush_batch().unwrap();
             }
-            ix.array_mut().take_trace()
+            ix.array().take_trace()
         };
         assert_eq!(run(true), run(false));
     }

@@ -36,6 +36,8 @@
 //! * [`directory`] — long-list chunk metadata + the RELEASE list;
 //! * [`policy`] — the `Style`/`Limit`/`Alloc` policy space (paper Table 2);
 //! * [`longlist`] — the Figure 2 update algorithm over a disk array;
+//! * [`cache`] — the sharded block cache between the read path and the
+//!   disk array (CLOCK eviction, pinning, write-through invalidation);
 //! * [`index`] — [`index::DualIndex`]: updates, queries, deletion
 //!   (filter + sweep), shadow-paged flush, and crash recovery;
 //! * [`concurrent`] — a thread-safe wrapper allowing concurrent readers.
@@ -44,6 +46,7 @@
 #![deny(unsafe_code)]
 
 pub mod bucket;
+pub mod cache;
 pub mod concurrent;
 pub mod directory;
 pub mod index;
@@ -55,6 +58,7 @@ pub mod postings;
 pub mod types;
 
 pub use bucket::{Bucket, BucketStore, InsertOutcome};
+pub use cache::{BlockCache, CacheStats, PinGuard};
 pub use concurrent::{EpochCounter, SharedIndex};
 pub use directory::{ChunkRef, Directory, LongEntry};
 pub use index::{

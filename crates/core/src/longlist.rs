@@ -26,6 +26,7 @@
 //! needed. `BlockPosting` "implicitly models the efficiency of the
 //! compression algorithm applied to long lists" (§4.4).
 
+use crate::cache::BlockCache;
 use crate::directory::{ChunkRef, Directory, LongEntry};
 use crate::policy::{Limit, Policy, Style};
 use crate::postings::{fixed, PostingList};
@@ -316,7 +317,7 @@ impl LongStore {
             .get(word)
             .map(|e| e.chunks.iter().map(|c| (c.disk, c.start, c.blocks)).collect());
         let mut combined = if let Some(old_chunks) = old_chunks {
-            let old = self.read_list(array, word)?;
+            let old = self.read_list(array, None, word)?;
             for (disk, start, blocks) in old_chunks {
                 self.directory.push_release(disk, start, blocks);
             }
@@ -377,16 +378,30 @@ impl LongStore {
     /// Read a word's complete long list: one read operation per chunk
     /// (covering its data blocks), concatenated in chunk order.
     ///
+    /// With a [`BlockCache`], each chunk is first looked up in the cache:
+    /// a chunk whose blocks are all resident costs no device read (no
+    /// trace op, no `read_ops` increment — the paper's read-cost metrics
+    /// count physical reads only); on a miss the read is charged exactly
+    /// as in the uncached path and the bytes are inserted pinned. One pin
+    /// scope spans the whole list, so a multi-chunk read cannot lose
+    /// earlier chunks to eviction midway.
+    ///
     /// `&self`: this is the query path; reads go through
     /// [`DiskArray::read_op`]'s shared-access interface and the op counter
     /// is atomic, so concurrent readers proceed without exclusive locks.
-    pub fn read_list(&self, array: &DiskArray, word: WordId) -> Result<PostingList> {
+    pub fn read_list(
+        &self,
+        array: &DiskArray,
+        cache: Option<&BlockCache>,
+        word: WordId,
+    ) -> Result<PostingList> {
         let bp = self.config.block_postings;
         let bs = array.block_size();
         let chunks: &[ChunkRef] = match self.directory.get(word) {
             Some(e) => &e.chunks,
             None => return Ok(PostingList::new()),
         };
+        let mut guard = cache.map(|c| c.pin_scope());
         let mut docs: Vec<DocId> = Vec::new();
         for c in chunks {
             if c.postings == 0 {
@@ -394,16 +409,25 @@ impl LongStore {
             }
             let data_blocks = c.postings.div_ceil(bp);
             let mut buf = vec![0u8; data_blocks as usize * bs];
-            let op = IoOp {
-                kind: OpKind::Read,
-                disk: c.disk,
-                start: c.start,
-                blocks: data_blocks,
-                payload: Payload::LongList { word: word.0, postings: c.postings },
+            let cached = match (cache, guard.as_mut()) {
+                (Some(cache), Some(g)) => cache.read_pinned(c.disk, c.start, data_blocks, &mut buf, g),
+                _ => false,
             };
-            array.read_op(op, &mut buf)?;
-            self.read_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            invidx_obs::counter!(invidx_obs::names::LONG_READ_OPS).inc();
+            if !cached {
+                let op = IoOp {
+                    kind: OpKind::Read,
+                    disk: c.disk,
+                    start: c.start,
+                    blocks: data_blocks,
+                    payload: Payload::LongList { word: word.0, postings: c.postings },
+                };
+                array.read_op(op, &mut buf)?;
+                self.read_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                invidx_obs::counter!(invidx_obs::names::LONG_READ_OPS).inc();
+                if let (Some(cache), Some(g)) = (cache, guard.as_mut()) {
+                    cache.insert_pinned(c.disk, c.start, data_blocks, &buf, g);
+                }
+            }
             let mut remaining = c.postings as usize;
             for block in buf.chunks(bs) {
                 let take = remaining.min(bp as usize);
@@ -434,7 +458,12 @@ impl LongStore {
     /// Old chunks go on the RELEASE list. Returns the chunk count before
     /// the rewrite; a no-op (returning 1) when the list is already one
     /// chunk with no more reserved slack than the policy would grant.
-    pub fn compact_word(&mut self, array: &mut DiskArray, word: WordId) -> Result<usize> {
+    pub fn compact_word(
+        &mut self,
+        array: &mut DiskArray,
+        cache: Option<&BlockCache>,
+        word: WordId,
+    ) -> Result<usize> {
         let bp = self.config.block_postings;
         let Some(entry) = self.directory.get(word) else {
             return Ok(0);
@@ -446,7 +475,7 @@ impl LongStore {
         }
         let old: Vec<(u16, u64, u64)> =
             entry.chunks.iter().map(|c| (c.disk, c.start, c.blocks)).collect();
-        let docs = self.read_list(array, word)?;
+        let docs = self.read_list(array, cache, word)?;
         for (d, s, b) in old {
             self.directory.push_release(d, s, b);
         }
@@ -495,7 +524,7 @@ mod tests {
             s.append(&mut a, w, &pl(7..45)).unwrap();
             s.append(&mut a, w, &pl(45..48)).unwrap();
             s.append(&mut a, w, &pl(48..120)).unwrap();
-            let got = s.read_list(&a, w).unwrap();
+            let got = s.read_list(&a, None, w).unwrap();
             assert_eq!(got, pl(0..120), "policy {policy}");
         }
     }
@@ -511,7 +540,7 @@ mod tests {
                 s.append(&mut a, WordId(w), &pl(100..(130 + w as u32))).unwrap();
             }
             for w in 0..20u64 {
-                let got = s.read_list(&a, WordId(w)).unwrap();
+                let got = s.read_list(&a, None, WordId(w)).unwrap();
                 assert_eq!(got.len(), (5 + w as usize) + (30 + w as usize), "policy {policy}");
             }
         }
@@ -568,7 +597,7 @@ mod tests {
         let entry = s.directory().get(w).unwrap();
         assert_eq!(entry.num_chunks(), 1);
         assert_eq!(s.stats().in_place_updates, 1);
-        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..10));
+        assert_eq!(s.read_list(&a, None, w).unwrap(), pl(0..10));
     }
 
     #[test]
@@ -584,7 +613,7 @@ mod tests {
         assert_eq!(entry.chunks[0].postings, 7);
         assert_eq!(entry.chunks[1].postings, 4);
         assert_eq!(s.stats().in_place_updates, 0);
-        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..11));
+        assert_eq!(s.read_list(&a, None, w).unwrap(), pl(0..11));
     }
 
     #[test]
@@ -599,7 +628,7 @@ mod tests {
         assert_eq!(s.directory().get(w).unwrap().num_chunks(), 1);
         assert_eq!(s.stats().in_place_updates, 1);
         assert_eq!(s.stats().in_place_fraction(), 1.0);
-        assert_eq!(s.read_list(&a, w).unwrap(), pl(0..20));
+        assert_eq!(s.read_list(&a, None, w).unwrap(), pl(0..20));
     }
 
     #[test]
@@ -672,7 +701,7 @@ mod tests {
     #[test]
     fn read_absent_word_is_empty() {
         let (s, a) = store(Policy::balanced());
-        assert!(s.read_list(&a, WordId(404)).unwrap().is_empty());
+        assert!(s.read_list(&a, None, WordId(404)).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Oracle: an index with a block cache is **observably identical** to one
+//! without. The cache sits between the read path and the device, so it may
+//! change *which* reads hit the device (that is the point) but never what
+//! any query returns and never a single byte of device state.
+//!
+//! Two twins run every randomized schedule — inserts, flushes, deletes,
+//! sweeps, compactions, reads — one with a deliberately tiny cache (so
+//! eviction, pinning, and write-through invalidation all fire) and one
+//! with the cache off. After every flush the batch reports must agree;
+//! after the full schedule every posting list and every device byte must
+//! agree.
+
+use invidx_core::index::{BatchReport, DualIndex, IndexConfig};
+use invidx_core::policy::Policy;
+use invidx_core::types::{DocId, WordId};
+use invidx_disk::{sparse_array, DiskArray};
+use proptest::prelude::*;
+
+const DISKS: u16 = 2;
+const BLOCKS_PER_DISK: u64 = 6_000;
+const BLOCK_SIZE: usize = 256;
+
+/// Deterministic skewed word set for a document: a hot head that grows
+/// long lists, a warm middle, and a rare tail word.
+fn doc_words(d: u32) -> Vec<WordId> {
+    let mut words = Vec::new();
+    for w in 1..=6u64 {
+        if !(d as u64 + w).is_multiple_of(7) {
+            words.push(WordId(w));
+        }
+    }
+    for k in 0..4u64 {
+        words.push(WordId(7 + (d as u64 * 5 + k * 11) % 40));
+    }
+    words.push(WordId(60 + (d as u64 * 13) % 400));
+    words
+}
+
+fn config(cache_blocks: usize, threads: usize) -> IndexConfig {
+    IndexConfig::builder()
+        .num_buckets(16)
+        .bucket_capacity_units(40)
+        .block_postings(8)
+        .policy(Policy::balanced())
+        .materialize_buckets(true)
+        .ingest_threads(threads)
+        .cache_blocks(cache_blocks)
+        .cache_shards(2)
+        .build()
+        .expect("valid config")
+}
+
+fn device_bytes(array: &DiskArray) -> Vec<Vec<u8>> {
+    (0..DISKS)
+        .map(|disk| {
+            let mut bytes = vec![0u8; (BLOCKS_PER_DISK as usize) * BLOCK_SIZE];
+            for start in (0..BLOCKS_PER_DISK).step_by(256) {
+                let blocks = 256.min(BLOCKS_PER_DISK - start) as usize;
+                let off = start as usize * BLOCK_SIZE;
+                array
+                    .read_untraced(disk, start, &mut bytes[off..off + blocks * BLOCK_SIZE])
+                    .expect("read");
+            }
+            bytes
+        })
+        .collect()
+}
+
+/// One randomized step, applied to both twins in lockstep.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert 1–8 documents and flush the batch.
+    Batch(u8),
+    /// Logically delete one already-inserted document.
+    Delete(u8),
+    /// Run the deletion sweep.
+    Sweep,
+    /// Compact long lists and rebuild buckets.
+    Compact,
+    /// Read a word's postings through the query path.
+    Query(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Batches and queries dominate the schedule; the structural ops ride
+    // along often enough to fire on most cases.
+    prop_oneof![
+        any::<u8>().prop_map(Op::Batch),
+        any::<u8>().prop_map(Op::Batch),
+        any::<u8>().prop_map(Op::Delete),
+        Just(Op::Sweep),
+        Just(Op::Compact),
+        any::<u16>().prop_map(Op::Query),
+        any::<u16>().prop_map(Op::Query),
+    ]
+}
+
+struct Twin {
+    ix: DualIndex,
+    threads: usize,
+}
+
+impl Twin {
+    fn new(cache_blocks: usize, threads: usize) -> Self {
+        let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+        let ix = DualIndex::create(array, config(cache_blocks, threads)).expect("create");
+        Self { ix, threads }
+    }
+
+    fn apply(&mut self, op: &Op, next_doc: u32) -> Option<BatchReport> {
+        match op {
+            Op::Batch(n) => {
+                let docs = (0..1 + (*n as u32 % 8))
+                    .map(|i| (DocId(next_doc + i), doc_words(next_doc + i)))
+                    .collect();
+                self.ix.insert_documents(docs, self.threads).expect("insert");
+                Some(self.ix.flush_batch().expect("flush"))
+            }
+            Op::Delete(k) => {
+                if next_doc > 1 {
+                    self.ix.delete_document(DocId(1 + *k as u32 % (next_doc - 1)));
+                }
+                None
+            }
+            Op::Sweep => {
+                self.ix.sweep().expect("sweep");
+                None
+            }
+            Op::Compact => {
+                self.ix.compact().expect("compact");
+                None
+            }
+            Op::Query(w) => {
+                let word = WordId(1 + *w as u64 % 500);
+                self.ix.postings(word).expect("query");
+                None
+            }
+        }
+    }
+}
+
+/// Compare reports field-by-field, excluding the process-global `obs`
+/// deltas (other tests in the binary perturb them).
+fn assert_reports_eq(a: &BatchReport, b: &BatchReport) {
+    assert_eq!(a.batch, b.batch);
+    assert_eq!(a.words, b.words);
+    assert_eq!(a.postings, b.postings);
+    assert_eq!(a.new_words, b.new_words);
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.long_appends, b.long_appends);
+    assert_eq!(a.long_chunks_total, b.long_chunks_total);
+    assert_eq!(a.long_blocks_total, b.long_blocks_total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_index_is_observably_identical_to_uncached(
+        ops in prop::collection::vec(arb_op(), 1..24),
+        threads in 1usize..3,
+    ) {
+        // 48 blocks is far below the working set of this schedule, so the
+        // CLOCK hand turns and invalidation hits resident frames.
+        let mut cached = Twin::new(48, threads);
+        let mut plain = Twin::new(0, threads);
+        let mut next_doc = 1u32;
+        for op in &ops {
+            let ra = cached.apply(op, next_doc);
+            let rb = plain.apply(op, next_doc);
+            if let Op::Batch(n) = op {
+                next_doc += 1 + (*n as u32 % 8);
+                assert_reports_eq(&ra.unwrap(), &rb.unwrap());
+            }
+        }
+        // Every word the schedule could have touched reads identically.
+        for w in (1..=6).chain(7..47).chain(60..460) {
+            let a = cached.ix.postings(WordId(w)).expect("cached read");
+            let b = plain.ix.postings(WordId(w)).expect("plain read");
+            prop_assert_eq!(a, b, "postings for word {}", w);
+        }
+        prop_assert_eq!(
+            cached.ix.doc_frequency(WordId(1)),
+            plain.ix.doc_frequency(WordId(1))
+        );
+        // The cache must never have changed a device byte.
+        prop_assert_eq!(device_bytes(cached.ix.array()), device_bytes(plain.ix.array()));
+        prop_assert_eq!(cached.ix.array().free_blocks(), plain.ix.array().free_blocks());
+    }
+}
+
+/// A budget smaller than one long list: the pin scope keeps every frame of
+/// the in-flight read resident, inserts that find all frames pinned bypass
+/// the cache (counted), and the read still returns the full list.
+#[test]
+fn pinned_reads_survive_a_budget_smaller_than_one_list() {
+    let build = |cache_blocks: usize| {
+        let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+        let config = IndexConfig::builder()
+            .num_buckets(8)
+            .bucket_capacity_units(20)
+            .block_postings(8)
+            .policy(Policy::update_optimized()) // New style: many chunks
+            .materialize_buckets(true)
+            .cache_blocks(cache_blocks)
+            .cache_shards(1)
+            .build()
+            .expect("valid config");
+        let mut ix = DualIndex::create(array, config).expect("create");
+        // Word 1 in every document: overflows its bucket fast and then
+        // appends one new chunk per batch.
+        for b in 0..12u32 {
+            for d in 1..=20u32 {
+                let doc = b * 20 + d;
+                ix.insert_document(DocId(doc), [WordId(1), WordId(2 + doc as u64 % 5)])
+                    .expect("insert");
+            }
+            ix.flush_batch().expect("flush");
+        }
+        ix
+    };
+    let tiny = build(2); // two frames cannot hold one multi-chunk list
+    let plain = build(0);
+    let stats_before = tiny.cache_stats().expect("cache is on");
+    let got = tiny.postings(WordId(1)).expect("read under pressure");
+    let want = plain.postings(WordId(1)).expect("uncached read");
+    assert_eq!(got, want);
+    assert_eq!(got.len(), 240);
+    let stats = tiny.cache_stats().expect("cache is on");
+    assert!(
+        stats.bypasses > stats_before.bypasses,
+        "a 2-block budget under a multi-chunk pinned read must bypass inserts \
+         (before {} after {})",
+        stats_before.bypasses,
+        stats.bypasses
+    );
+    assert!(stats.budget_blocks == 2 && stats.resident_blocks <= 2);
+}
+
+/// Parallel apply buffers writes in a capture and commits them in one
+/// dispatch; the cache is invalidated at that commit point. A word whose
+/// chunks were cached before the batch must read its post-batch state.
+#[test]
+fn capture_commit_invalidates_cached_frames() {
+    let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+    // Whole style with in-place updates: appends that fit overwrite the
+    // blocks a warm read left resident, so commit-point invalidation must
+    // fire for the next read to see the new bytes.
+    let config = IndexConfig::builder()
+        .num_buckets(16)
+        .bucket_capacity_units(40)
+        .block_postings(8)
+        .policy(Policy::query_optimized())
+        .materialize_buckets(true)
+        .ingest_threads(4)
+        .cache_blocks(128)
+        .cache_shards(2)
+        .build()
+        .expect("valid config");
+    let mut ix = DualIndex::create(array, config).expect("create");
+    let mut next_doc = 1u32;
+    let mut batch = |ix: &mut DualIndex, n: u32| {
+        let docs = (0..n).map(|i| (DocId(next_doc + i), doc_words(next_doc + i))).collect();
+        ix.insert_documents(docs, 4).expect("insert");
+        ix.flush_batch().expect("flush");
+        next_doc += n;
+    };
+    for _ in 0..10 {
+        batch(&mut ix, 8);
+    }
+    assert!(
+        (1..=6).any(|w| matches!(ix.location(WordId(w)), invidx_core::WordLocation::Long)),
+        "hot words must have grown long lists for the cache to matter"
+    );
+    // Warm the cache on the hot words' chunks: the first pass faults the
+    // blocks in, the second pass must be answered from residents.
+    for w in 1..=6 {
+        ix.postings(WordId(w)).expect("fault-in read");
+    }
+    let before: Vec<_> =
+        (1..=6).map(|w| ix.postings(WordId(w)).expect("warm read")).collect();
+    for _ in 0..6 {
+        batch(&mut ix, 8);
+    }
+    // Every post-batch read must see the appended postings, not the frames
+    // cached at the old epoch.
+    for (i, old) in before.iter().enumerate() {
+        let now = ix.postings(WordId(i as u64 + 1)).expect("post-batch read");
+        assert!(
+            now.len() > old.len(),
+            "word {} grew from {} to {} postings",
+            i + 1,
+            old.len(),
+            now.len()
+        );
+    }
+    let stats = ix.cache_stats().expect("cache is on");
+    assert!(stats.invalidations > 0, "captured writes must invalidate resident frames");
+    assert!(stats.hits > 0, "warm reads should have hit");
+}
+
+/// Regression: `read_cost` counts device reads and must stay 0 for a word
+/// whose postings are still in the in-memory batch, while `postings` and
+/// `doc_frequency` already include that pending state.
+#[test]
+fn mem_only_word_has_zero_read_cost_but_live_postings() {
+    let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
+    let mut ix = DualIndex::create(array, config(0, 1)).expect("create");
+    ix.insert_document(DocId(1), [WordId(99)]).expect("insert");
+    ix.insert_document(DocId(2), [WordId(99)]).expect("insert");
+    assert_eq!(ix.read_cost(WordId(99)), 0, "unflushed word costs no device reads");
+    assert_eq!(ix.doc_frequency(WordId(99)), 2, "doc_frequency includes the mem batch");
+    assert_eq!(ix.postings(WordId(99)).expect("read").len(), 2);
+    ix.flush_batch().expect("flush");
+    // Flushed to a bucket: still short, and doc_frequency is unchanged.
+    assert_eq!(ix.doc_frequency(WordId(99)), 2);
+    assert_eq!(ix.postings(WordId(99)).expect("read").len(), 2);
+}
+
+#[test]
+fn config_builder_validates_at_build() {
+    assert!(IndexConfig::builder().build().is_ok());
+    assert!(IndexConfig::builder().num_buckets(0).build().is_err());
+    assert!(IndexConfig::builder().ingest_threads(0).build().is_err());
+    assert!(
+        IndexConfig::builder().cache_blocks(64).cache_shards(0).build().is_err(),
+        "a cache with zero shards is rejected at build()"
+    );
+    let c = IndexConfig::builder()
+        .cache_blocks(64)
+        .cache_shards(4)
+        .ingest_threads(2)
+        .build()
+        .expect("valid config");
+    assert_eq!((c.cache_blocks, c.cache_shards, c.ingest_threads), (64, 4, 2));
+}

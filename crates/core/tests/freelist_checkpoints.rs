@@ -24,13 +24,14 @@ fn style_policies() -> Vec<(&'static str, Policy)> {
 /// sweep (freeing and reallocating chunks), and a final compaction.
 fn churn(policy: Policy) -> DualIndex {
     let array = sparse_array(2, 100_000, 256);
-    let config = IndexConfig {
-        num_buckets: 8,
-        bucket_capacity_units: 20,
-        block_postings: 10,
-        policy,
-        materialize_buckets: false,
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(8)
+        .bucket_capacity_units(20)
+        .block_postings(10)
+        .policy(policy)
+        .materialize_buckets(false)
+        .build()
+        .expect("valid config");
     let mut index = DualIndex::create(array, config).expect("create");
     let mut doc = 1u32;
     for batch in 0..8 {

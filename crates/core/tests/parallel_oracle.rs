@@ -49,27 +49,28 @@ fn corpus() -> Vec<Vec<(DocId, Vec<WordId>)>> {
     batches
 }
 
-fn config() -> IndexConfig {
-    IndexConfig {
-        num_buckets: 32,
-        bucket_capacity_units: 60,
-        block_postings: 10,
-        policy: Policy::balanced(),
-        materialize_buckets: true,
-    }
+fn config(threads: usize) -> IndexConfig {
+    IndexConfig::builder()
+        .num_buckets(32)
+        .bucket_capacity_units(60)
+        .block_postings(10)
+        .policy(Policy::balanced())
+        .materialize_buckets(true)
+        .ingest_threads(threads)
+        .build()
+        .expect("valid config")
 }
 
 fn build(threads: usize) -> (DualIndex, Vec<BatchReport>, IoTrace) {
     let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
-    let mut index = DualIndex::create(array, config()).expect("create");
-    index.set_ingest_threads(threads);
-    index.array_mut().start_trace();
+    let mut index = DualIndex::create(array, config(threads)).expect("create");
+    index.array().start_trace();
     let mut reports = Vec::new();
     for batch in corpus() {
         index.insert_documents(batch, threads).expect("insert");
         reports.push(index.flush_batch().expect("flush"));
     }
-    let trace = index.array_mut().take_trace();
+    let trace = index.array().take_trace();
     (index, reports, trace)
 }
 

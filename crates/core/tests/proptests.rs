@@ -193,7 +193,7 @@ proptest! {
             store.free_released(&mut array).expect("release");
         }
         for (&word, docs) in &model {
-            let got = store.read_list(&array, WordId(word)).expect("read");
+            let got = store.read_list(&array, None, WordId(word)).expect("read");
             prop_assert_eq!(got.docs(), docs.as_slice());
             // Whole style: exactly one chunk per word, always.
             if matches!(policy.style, Style::Whole) {
@@ -220,13 +220,14 @@ proptest! {
         flush_every in 1usize..10,
     ) {
         let array = sparse_array(2, 100_000, 256);
-        let config = IndexConfig {
-            num_buckets: 8,
-            bucket_capacity_units: 30,
-            block_postings: 10,
-            policy,
-            materialize_buckets: false,
-        };
+        let config = IndexConfig::builder()
+            .num_buckets(8)
+            .bucket_capacity_units(30)
+            .block_postings(10)
+            .policy(policy)
+            .materialize_buckets(false)
+            .build()
+            .expect("valid config");
         let mut index = DualIndex::create(array, config).expect("create");
         let mut model: BTreeMap<u64, Vec<DocId>> = BTreeMap::new();
         for (i, (nwords, seed)) in docs.iter().enumerate() {

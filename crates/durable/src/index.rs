@@ -74,6 +74,54 @@ impl Default for DurableOptions {
     }
 }
 
+impl DurableOptions {
+    /// Start building options from the defaults; finish with
+    /// [`DurableOptionsBuilder::build`].
+    pub fn builder() -> DurableOptionsBuilder {
+        DurableOptionsBuilder { opts: Self::default() }
+    }
+}
+
+/// Builder for [`DurableOptions`]; obtain via [`DurableOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct DurableOptionsBuilder {
+    opts: DurableOptions,
+}
+
+impl DurableOptionsBuilder {
+    /// Checkpoint after this many committed WAL records (0 = explicit
+    /// checkpoints only).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.opts.checkpoint_every = every;
+        self
+    }
+
+    /// fsync the WAL at each commit.
+    pub fn fsync_wal(mut self, on: bool) -> Self {
+        self.opts.fsync_wal = on;
+        self
+    }
+
+    /// Record WAL/checkpoint ops in the array's I/O trace.
+    pub fn trace_durability_ops(mut self, on: bool) -> Self {
+        self.opts.trace_durability_ops = on;
+        self
+    }
+
+    /// Overlap WAL append + fsync with the in-place batch apply.
+    pub fn pipelined_wal(mut self, on: bool) -> Self {
+        self.opts.pipelined_wal = on;
+        self
+    }
+
+    /// Validate and return the options. (All current combinations are
+    /// valid; validation exists so future invariants have a home and the
+    /// builder matches [`invidx_core::IndexConfig::builder`]'s shape.)
+    pub fn build(self) -> Result<DurableOptions> {
+        Ok(self.opts)
+    }
+}
+
 /// Hooks that let a higher layer (the IR engine) participate in recovery.
 ///
 /// The engine stores state outside the index proper — a document store and
@@ -183,7 +231,7 @@ impl DurableIndex {
         std::fs::create_dir_all(dir)?;
         let array = build_array(dir, geometry, &injector, true)?;
         let mut inner = DualIndex::create(array, config)?;
-        inner.array_mut().defer_frees(true);
+        inner.set_defer_frees(true);
         let wal = WalWriter::open(&dir.join(WAL_FILE), injector.clone())?;
         let mut me = Self {
             inner,
@@ -247,7 +295,7 @@ impl DurableIndex {
                 )));
             }
         }
-        inner.array_mut().defer_frees(true);
+        inner.set_defer_frees(true);
 
         let mut wal = WalWriter::open(&dir.join(WAL_FILE), injector.clone())?;
         let scan = WalReader::scan(&wal.read_all()?);
@@ -355,8 +403,10 @@ impl DurableIndex {
     }
 
     /// Set the ingest worker-pool size of the wrapped index (parallel
-    /// batch apply; see [`DualIndex::set_ingest_threads`]).
+    /// batch apply).
+    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
     pub fn set_ingest_threads(&mut self, threads: usize) {
+        #[allow(deprecated)]
         self.inner.set_ingest_threads(threads);
     }
 
@@ -580,7 +630,7 @@ impl DurableIndex {
         let _span = invidx_obs::span("checkpoint");
         // Everything the apply phase wrote must be on the platter before
         // the checkpoint can reference it.
-        self.inner.array_mut().flush()?;
+        self.inner.flush_devices()?;
         let snapshot = self.inner.snapshot()?;
         let free_per_disk: Vec<u64> = self
             .inner
@@ -614,7 +664,7 @@ impl DurableIndex {
         // are dead, and nothing can replay reads against quarantined
         // extents anymore.
         self.wal.truncate(&self.injector)?;
-        self.inner.array_mut().release_deferred()?;
+        self.inner.release_deferred_frees()?;
         self.last_ckpt_batch = batch;
         self.records_since_ckpt = 0;
         invidx_obs::event!("checkpoint", { "batch": batch, "bytes": bytes });
@@ -670,6 +720,11 @@ impl DurableIndex {
     /// The fault injector wired through every write site.
     pub fn injector(&self) -> &FaultInjector {
         &self.injector
+    }
+
+    /// Block-cache counters of the underlying index, if configured.
+    pub fn cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
+        self.inner.cache_stats()
     }
 
     /// Borrow the underlying index (queries, statistics).

@@ -42,5 +42,5 @@ pub use checkpoint::{Checkpoint, StoreGeometry};
 pub use crc::crc32;
 pub use error::{DurableError, Result};
 pub use fault::{DurableFile, Fault, FaultDevice, FaultInjector, FaultMode, FaultPoint};
-pub use index::{DurableIndex, DurableOptions, RecoveryHooks, RecoveryInfo};
+pub use index::{DurableIndex, DurableOptions, DurableOptionsBuilder, RecoveryHooks, RecoveryInfo};
 pub use wal::{WalReader, WalRecord, WalWriter};

@@ -35,8 +35,8 @@ fn batch_docs(batch: u32) -> Vec<(DocId, Vec<WordId>)> {
 
 fn run(tag: &str, options: DurableOptions, ingest_threads: usize) -> (PathBuf, Vec<String>) {
     let dir = tmpdir(tag);
-    let mut ix = DurableIndex::create(&dir, IndexConfig::small(), geom(), options).expect("create");
-    ix.set_ingest_threads(ingest_threads);
+    let config = IndexConfig { ingest_threads, ..IndexConfig::small() };
+    let mut ix = DurableIndex::create(&dir, config, geom(), options).expect("create");
     let mut reports = Vec::new();
     for b in 1..=BATCHES {
         ix.insert_documents(batch_docs(b), ingest_threads).expect("insert");

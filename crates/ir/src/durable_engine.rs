@@ -91,7 +91,7 @@ impl RecoveryHooks for EngineHooks {
         }
         self.core = EngineCore::decode_meta(meta)?;
         for (_, disk, start, blocks) in self.core.docs.extents() {
-            index.array_mut().reserve_on(disk, start, blocks)?;
+            index.reserve_extent(disk, start, blocks)?;
         }
         Ok(())
     }
@@ -108,7 +108,7 @@ impl RecoveryHooks for EngineHooks {
             // Re-intern in lexer order: reproduces the original word-id
             // assignment, which the record's posting lists were built with.
             self.core.lex_and_intern(&text);
-            self.core.docs.store(index.array_mut(), doc, &text)?;
+            self.core.docs.store(index.sidecar_array(), doc, &text)?;
             self.core.next_doc = self.core.next_doc.max(doc.0 + 1);
             self.core.total_docs += 1;
         }
@@ -201,7 +201,7 @@ impl DurableEngine {
         let doc = DocId(self.core.next_doc);
         self.index.insert_document(doc, words)?;
         self.core.next_doc += 1;
-        self.core.docs.store(self.index.inner_mut().array_mut(), doc, text)?;
+        self.core.docs.store(self.index.inner_mut().sidecar_array(), doc, text)?;
         self.core.total_docs += 1;
         self.pending_docs.push((doc, text.to_string()));
         Ok(doc)
@@ -225,7 +225,7 @@ impl DurableEngine {
         }
         self.index.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
-            self.core.docs.store(self.index.inner_mut().array_mut(), *doc, text)?;
+            self.core.docs.store(self.index.inner_mut().sidecar_array(), *doc, text)?;
             self.core.total_docs += 1;
             self.pending_docs.push((*doc, text.to_string()));
         }
@@ -235,7 +235,9 @@ impl DurableEngine {
     /// Set the worker count used by batch ingest and the parallel apply
     /// inside [`Self::flush`]. `1` (the default) keeps every path
     /// sequential.
+    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
     pub fn set_ingest_threads(&mut self, threads: usize) {
+        #[allow(deprecated)]
         self.index.set_ingest_threads(threads);
     }
 
@@ -340,6 +342,12 @@ impl DurableEngine {
     /// Documents added so far.
     pub fn total_docs(&self) -> u64 {
         self.core.total_docs
+    }
+
+    /// Block-cache counters, if the index was configured with a cache
+    /// (`IndexConfig::cache_blocks > 0`).
+    pub fn cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
+        self.index.cache_stats()
     }
 
     /// Distinct words interned so far.

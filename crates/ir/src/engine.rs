@@ -310,10 +310,7 @@ impl SearchEngine {
     pub fn from_parts(mut index: DualIndex, meta: &[u8]) -> Result<Self> {
         let core = EngineCore::decode_meta(meta)?;
         for (_, disk, start, blocks) in core.docs.extents() {
-            index
-                .array_mut()
-                .reserve_on(disk, start, blocks)
-                .map_err(IndexError::from)?;
+            index.reserve_extent(disk, start, blocks)?;
         }
         Ok(Self { index, core })
     }
@@ -340,6 +337,12 @@ impl SearchEngine {
         self.core.total_docs
     }
 
+    /// Block-cache counters, if the index was configured with a cache
+    /// (`IndexConfig::cache_blocks > 0`).
+    pub fn cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
+        self.index.cache_stats()
+    }
+
     /// Distinct words interned so far.
     pub fn vocabulary_size(&self) -> usize {
         self.core.vocab.len()
@@ -363,7 +366,7 @@ impl SearchEngine {
         let doc = DocId(self.core.next_doc);
         self.core.next_doc += 1;
         self.index.insert_document(doc, words)?;
-        self.core.docs.store(self.index.array_mut(), doc, text)?;
+        self.core.docs.store(self.index.sidecar_array(), doc, text)?;
         self.core.total_docs += 1;
         Ok(doc)
     }
@@ -387,7 +390,7 @@ impl SearchEngine {
         }
         self.index.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
-            self.core.docs.store(self.index.array_mut(), *doc, text)?;
+            self.core.docs.store(self.index.sidecar_array(), *doc, text)?;
             self.core.total_docs += 1;
         }
         Ok(ids)
@@ -396,7 +399,9 @@ impl SearchEngine {
     /// Set the worker count used by batch ingest ([`Self::add_documents`]
     /// and the parallel apply inside [`Self::flush`]). `1` (the default)
     /// keeps every path sequential.
+    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
     pub fn set_ingest_threads(&mut self, threads: usize) {
+        #[allow(deprecated)]
         self.index.set_ingest_threads(threads);
     }
 
@@ -612,8 +617,8 @@ mod tests {
         for t in &refs {
             seq.add_document(t).unwrap();
         }
-        let mut par = engine();
-        par.set_ingest_threads(4);
+        let config = IndexConfig { ingest_threads: 4, ..IndexConfig::small() };
+        let mut par = SearchEngine::create(sparse_array(2, 50_000, 256), config).expect("create");
         let ids = par.add_documents(&refs).unwrap();
 
         assert_eq!(ids, (1..=24).map(DocId).collect::<Vec<_>>());

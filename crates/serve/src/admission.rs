@@ -27,7 +27,7 @@
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
 use crate::request::{Request, Response};
-use crate::service::QueryService;
+use crate::service::{QueryService, ServeConfig};
 use invidx_obs::names;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the admission front end.
+#[deprecated(since = "0.5.0", note = "superseded by `ServeConfig::builder()`")]
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionConfig {
     /// Reader threads draining the queue.
@@ -47,6 +48,7 @@ pub struct AdmissionConfig {
     pub deadline: Duration,
 }
 
+#[allow(deprecated)]
 impl Default for AdmissionConfig {
     fn default() -> Self {
         Self { readers: 4, high_water: 128, deadline: Duration::from_millis(500) }
@@ -97,13 +99,15 @@ impl Ticket {
 pub struct Frontend<E: ServeEngine> {
     service: Arc<QueryService<E>>,
     queue: Arc<Queue>,
-    config: AdmissionConfig,
+    config: ServeConfig,
     readers: Vec<JoinHandle<()>>,
 }
 
 impl<E: ServeEngine> Frontend<E> {
-    /// Start `config.readers` reader threads over `service`.
-    pub fn start(service: Arc<QueryService<E>>, config: AdmissionConfig) -> Self {
+    /// Start `config.readers` reader threads over `service`. The config's
+    /// shape was validated at `ServeConfig::build()`, so there is nothing
+    /// to panic about here.
+    pub fn start_with(service: Arc<QueryService<E>>, config: ServeConfig) -> Self {
         assert!(config.readers > 0, "at least one reader thread");
         assert!(config.high_water > 0, "high-water mark must be positive");
         let queue = Arc::new(Queue {
@@ -122,6 +126,24 @@ impl<E: ServeEngine> Frontend<E> {
             })
             .collect();
         Self { service, queue, config, readers }
+    }
+
+    /// Start `config.readers` reader threads over `service`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `ServeConfig` with `ServeConfig::builder()` and use `start_with`"
+    )]
+    #[allow(deprecated)]
+    pub fn start(service: Arc<QueryService<E>>, config: AdmissionConfig) -> Self {
+        Self::start_with(
+            service,
+            ServeConfig {
+                readers: config.readers,
+                high_water: config.high_water,
+                deadline: config.deadline,
+                ..ServeConfig::default()
+            },
+        )
     }
 
     /// The service this front end feeds (for the writer path and stats).
@@ -236,22 +258,21 @@ fn reader_loop<E: ServeEngine>(service: &QueryService<E>, queue: &Queue) {
 mod tests {
     use super::*;
     use crate::request::Payload;
-    use crate::service::ServiceConfig;
     use invidx_core::index::IndexConfig;
     use invidx_disk::sparse_array;
     use invidx_ir::SearchEngine;
 
-    fn frontend(config: AdmissionConfig) -> Frontend<SearchEngine> {
+    fn frontend(config: ServeConfig) -> Frontend<SearchEngine> {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-        let service = Arc::new(QueryService::new(engine, ServiceConfig::default()));
+        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
         service.ingest_batch(&["the quick brown fox", "lazy dog sleeps"]).unwrap();
-        Frontend::start(service, config)
+        Frontend::start_with(service, config)
     }
 
     #[test]
     fn calls_round_trip_through_the_pool() {
-        let fe = frontend(AdmissionConfig { readers: 2, ..AdmissionConfig::default() });
+        let fe = frontend(ServeConfig { readers: 2, ..ServeConfig::default() });
         let resp = fe.call(Request::Boolean("fox".into())).unwrap();
         assert_eq!(resp.payload, Payload::Docs(vec![1]));
         let resp = fe.call(Request::Ping).unwrap();
@@ -261,7 +282,7 @@ mod tests {
 
     #[test]
     fn concurrent_clients_all_get_answers() {
-        let fe = Arc::new(frontend(AdmissionConfig { readers: 4, ..AdmissionConfig::default() }));
+        let fe = Arc::new(frontend(ServeConfig { readers: 4, ..ServeConfig::default() }));
         let handles: Vec<_> = (0..16)
             .map(|i| {
                 let fe = Arc::clone(&fe);
@@ -285,10 +306,11 @@ mod tests {
     fn full_queue_sheds_with_typed_error() {
         // One reader, wedged on a query while we overfill the queue: park
         // the reader by submitting against a *stalled* engine write lock.
-        let fe = frontend(AdmissionConfig {
+        let fe = frontend(ServeConfig {
             readers: 1,
             high_water: 2,
             deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
         });
         let service = Arc::clone(fe.service());
         // Hold the write lock so the reader blocks inside execute().
@@ -321,10 +343,11 @@ mod tests {
 
     #[test]
     fn expired_jobs_are_reaped_not_executed() {
-        let fe = frontend(AdmissionConfig {
+        let fe = frontend(ServeConfig {
             readers: 1,
             high_water: 16,
             deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
         });
         let service = Arc::clone(fe.service());
         let gate = Arc::new(std::sync::Barrier::new(2));
@@ -356,7 +379,7 @@ mod tests {
 
     #[test]
     fn closed_frontend_rejects_at_admission() {
-        let fe = frontend(AdmissionConfig { readers: 1, ..AdmissionConfig::default() });
+        let fe = frontend(ServeConfig { readers: 1, ..ServeConfig::default() });
         fe.call(Request::Ping).unwrap();
         fe.queue.closed.store(true, Ordering::Release);
         let err = fe.submit(Request::Ping).unwrap_err();
@@ -366,7 +389,7 @@ mod tests {
 
     #[test]
     fn drop_joins_readers_cleanly() {
-        let fe = frontend(AdmissionConfig { readers: 3, ..AdmissionConfig::default() });
+        let fe = frontend(ServeConfig { readers: 3, ..ServeConfig::default() });
         fe.call(Request::Boolean("fox".into())).unwrap();
         drop(fe); // must not hang or panic
     }

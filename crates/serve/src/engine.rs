@@ -8,6 +8,7 @@
 //! checkpoints, which additionally supports [`ServeEngine::checkpoint`]
 //! while serving).
 
+use invidx_core::cache::CacheStats;
 use invidx_core::index::BatchReport;
 use invidx_core::postings::PostingList;
 use invidx_core::types::{DocId, Result};
@@ -38,6 +39,13 @@ pub trait ServeEngine: Send + Sync + 'static {
     /// the checkpoint size otherwise.
     fn checkpoint(&mut self) -> std::result::Result<Option<u64>, String> {
         Ok(None)
+    }
+
+    /// Counters of the engine's block cache, if one is configured
+    /// (`IndexConfig::cache_blocks > 0`). The STATS verb surfaces these so
+    /// operators can see device-read savings next to result-cache hits.
+    fn block_cache_stats(&self) -> Option<CacheStats> {
+        None
     }
 
     /// Documents indexed so far.
@@ -73,6 +81,10 @@ impl ServeEngine for SearchEngine {
 
     fn flush(&mut self) -> std::result::Result<BatchReport, String> {
         SearchEngine::flush(self).map_err(|e| e.to_string())
+    }
+
+    fn block_cache_stats(&self) -> Option<CacheStats> {
+        SearchEngine::cache_stats(self)
     }
 
     fn total_docs(&self) -> u64 {
@@ -115,6 +127,10 @@ impl ServeEngine for DurableEngine {
 
     fn checkpoint(&mut self) -> std::result::Result<Option<u64>, String> {
         DurableEngine::checkpoint(self).map(Some).map_err(|e| e.to_string())
+    }
+
+    fn block_cache_stats(&self) -> Option<CacheStats> {
+        DurableEngine::cache_stats(self)
     }
 
     fn total_docs(&self) -> u64 {

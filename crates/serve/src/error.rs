@@ -31,6 +31,8 @@ pub enum ServeError {
     },
     /// The request line or query text did not parse.
     BadRequest(String),
+    /// A `ServeConfig` failed validation at `build()`.
+    Config(String),
     /// The engine failed while executing the request.
     Engine(String),
     /// The server is shutting down; no more requests are accepted.
@@ -44,6 +46,7 @@ impl ServeError {
             Self::Overloaded { .. } => "overloaded",
             Self::Timeout { .. } => "timeout",
             Self::BadRequest(_) => "badrequest",
+            Self::Config(_) => "config",
             Self::Engine(_) => "engine",
             Self::Shutdown => "shutdown",
         }
@@ -69,6 +72,7 @@ impl fmt::Display for ServeError {
                 deadline.as_secs_f64() * 1e3
             ),
             Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::Config(msg) => write!(f, "invalid serve config: {msg}"),
             Self::Engine(msg) => write!(f, "engine error: {msg}"),
             Self::Shutdown => write!(f, "server shutting down"),
         }

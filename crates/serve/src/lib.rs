@@ -37,7 +37,9 @@ pub mod request;
 pub mod server;
 pub mod service;
 
-pub use admission::{AdmissionConfig, Frontend, Ticket};
+#[allow(deprecated)]
+pub use admission::AdmissionConfig;
+pub use admission::{Frontend, Ticket};
 pub use cache::{Lookup, ResultCache};
 pub use engine::ServeEngine;
 pub use error::ServeError;
@@ -45,4 +47,6 @@ pub use request::{
     error_to_wire, normalize_query, parse_response, Payload, Request, Response, ServeStats,
 };
 pub use server::Server;
-pub use service::{QueryService, ServeCounters, ServiceConfig};
+#[allow(deprecated)]
+pub use service::ServiceConfig;
+pub use service::{QueryService, ServeConfig, ServeConfigBuilder, ServeCounters};

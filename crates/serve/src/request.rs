@@ -137,6 +137,13 @@ pub struct ServeStats {
     pub timeouts: u64,
     /// Batches ingested by the writer.
     pub batches: u64,
+    /// Engine block-cache hits (long-list/bucket reads answered from
+    /// resident blocks; 0 when the engine runs without a block cache).
+    pub block_cache_hits: u64,
+    /// Engine block-cache misses (reads that went to the device).
+    pub block_cache_misses: u64,
+    /// Engine block-cache frame evictions under budget pressure.
+    pub block_cache_evictions: u64,
 }
 
 /// What a successfully executed request returns.
@@ -186,7 +193,8 @@ impl Response {
             Payload::Text(None) => "NONE".to_string(),
             Payload::Stats(s) => format!(
                 "STATS docs={} queries={} cache_hits={} cache_misses={} \
-                 cache_evictions={} cache_stale_drops={} shed={} timeouts={} batches={}",
+                 cache_evictions={} cache_stale_drops={} shed={} timeouts={} batches={} \
+                 block_cache_hits={} block_cache_misses={} block_cache_evictions={}",
                 s.docs,
                 s.queries,
                 s.cache_hits,
@@ -195,7 +203,10 @@ impl Response {
                 s.cache_stale_drops,
                 s.shed,
                 s.timeouts,
-                s.batches
+                s.batches,
+                s.block_cache_hits,
+                s.block_cache_misses,
+                s.block_cache_evictions
             ),
             Payload::Pong => "PONG".to_string(),
         };
@@ -296,6 +307,9 @@ pub fn parse_response(line: &str) -> Result<Result<Response, ServeError>, ServeE
                     "shed" => stats.shed = v,
                     "timeouts" => stats.timeouts = v,
                     "batches" => stats.batches = v,
+                    "block_cache_hits" => stats.block_cache_hits = v,
+                    "block_cache_misses" => stats.block_cache_misses = v,
+                    "block_cache_evictions" => stats.block_cache_evictions = v,
                     other => return Err(bad(format!("unknown stats field {other:?}"))),
                 }
             }
@@ -427,6 +441,9 @@ mod tests {
                     shed: 5,
                     timeouts: 6,
                     batches: 8,
+                    block_cache_hits: 11,
+                    block_cache_misses: 12,
+                    block_cache_evictions: 13,
                 }),
             },
             Response { epoch: 4, payload: Payload::Pong },

@@ -30,11 +30,11 @@
 //! Plain `std::net` + one thread per connection: serviceable at the tested
 //! scale (tens of clients) without pulling an async runtime into the tree.
 
-use crate::admission::{AdmissionConfig, Frontend};
+use crate::admission::Frontend;
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
 use crate::request::{error_to_wire, Request};
-use crate::service::QueryService;
+use crate::service::{QueryService, ServeConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,11 +55,11 @@ impl<E: ServeEngine> Server<E> {
     pub fn bind(
         addr: &str,
         service: Arc<QueryService<E>>,
-        config: AdmissionConfig,
+        config: ServeConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let frontend = Arc::new(Frontend::start(service, config));
+        let frontend = Arc::new(Frontend::start_with(service, config));
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let frontend = Arc::clone(&frontend);
@@ -208,7 +208,6 @@ fn serve_connection<E: ServeEngine>(
 mod tests {
     use super::*;
     use crate::request::{parse_response, Payload};
-    use crate::service::ServiceConfig;
     use invidx_core::index::IndexConfig;
     use invidx_disk::sparse_array;
     use invidx_ir::SearchEngine;
@@ -238,8 +237,8 @@ mod tests {
     fn server() -> Server<SearchEngine> {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-        let service = Arc::new(QueryService::new(engine, ServiceConfig::default()));
-        Server::bind("127.0.0.1:0", service, AdmissionConfig::default()).unwrap()
+        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+        Server::bind("127.0.0.1:0", service, ServeConfig::default()).unwrap()
     }
 
     #[test]

@@ -24,15 +24,103 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tuning knobs for a [`QueryService`].
+#[deprecated(since = "0.5.0", note = "superseded by `ServeConfig::builder()`")]
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
 }
 
+#[allow(deprecated)]
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self { cache_capacity: 1024 }
+    }
+}
+
+/// One configuration for the whole serving stack — the result cache
+/// ([`QueryService`]) and admission control ([`crate::Frontend`]) read
+/// from the same struct, so a deployment is described in one place.
+///
+/// Construct through [`ServeConfig::builder`], which validates the shape
+/// at `build()` (readers and high-water must be positive, the deadline
+/// non-zero) instead of panicking at first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Result-cache capacity in entries; 0 disables result caching.
+    pub result_cache_capacity: usize,
+    /// Reader threads draining the admission queue.
+    pub readers: usize,
+    /// Queue depth at which new requests are shed.
+    pub high_water: usize,
+    /// Default per-request deadline, measured from admission.
+    pub deadline: std::time::Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            result_cache_capacity: 1024,
+            readers: 4,
+            high_water: 128,
+            deadline: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Start from the defaults and override what you need.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Builder for [`ServeConfig`]; obtained from [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Result-cache capacity in entries; 0 disables result caching.
+    pub fn result_cache_capacity(mut self, entries: usize) -> Self {
+        self.config.result_cache_capacity = entries;
+        self
+    }
+
+    /// Reader threads draining the admission queue.
+    pub fn readers(mut self, readers: usize) -> Self {
+        self.config.readers = readers;
+        self
+    }
+
+    /// Queue depth at which new requests are shed.
+    pub fn high_water(mut self, depth: usize) -> Self {
+        self.config.high_water = depth;
+        self
+    }
+
+    /// Default per-request deadline, measured from admission.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
+    /// Validate and produce the config. All shape invariants are checked
+    /// here, so a `ServeConfig` in hand is always safe to start a
+    /// [`crate::Frontend`] with.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        let c = &self.config;
+        if c.readers == 0 {
+            return Err(ServeError::Config("readers must be >= 1".into()));
+        }
+        if c.high_water == 0 {
+            return Err(ServeError::Config("high-water mark must be >= 1".into()));
+        }
+        if c.deadline.is_zero() {
+            return Err(ServeError::Config("deadline must be non-zero".into()));
+        }
+        Ok(self.config)
     }
 }
 
@@ -91,13 +179,26 @@ pub struct QueryService<E> {
 
 impl<E: ServeEngine> QueryService<E> {
     /// Wrap an engine for serving.
-    pub fn new(engine: E, config: ServiceConfig) -> Self {
+    pub fn with_config(engine: E, config: ServeConfig) -> Self {
         Self {
             engine: RwLock::new(engine),
             epoch: EpochCounter::new(),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            cache: Mutex::new(ResultCache::new(config.result_cache_capacity)),
             counters: ServeCounters::default(),
         }
+    }
+
+    /// Wrap an engine for serving.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `ServeConfig` with `ServeConfig::builder()` and use `with_config`"
+    )]
+    #[allow(deprecated)]
+    pub fn new(engine: E, config: ServiceConfig) -> Self {
+        Self::with_config(
+            engine,
+            ServeConfig { result_cache_capacity: config.cache_capacity, ..ServeConfig::default() },
+        )
     }
 
     /// The current batch epoch.
@@ -235,6 +336,7 @@ impl<E: ServeEngine> QueryService<E> {
 
     fn stats_with(&self, engine: &E) -> ServeStats {
         let cache = self.cache.lock();
+        let block = engine.block_cache_stats().unwrap_or_default();
         ServeStats {
             docs: engine.total_docs(),
             queries: self.counters.queries.load(Ordering::Relaxed),
@@ -245,6 +347,9 @@ impl<E: ServeEngine> QueryService<E> {
             shed: self.counters.shed.load(Ordering::Relaxed),
             timeouts: self.counters.timeouts.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
+            block_cache_hits: block.hits,
+            block_cache_misses: block.misses,
+            block_cache_evictions: block.evictions,
         }
     }
 }
@@ -263,7 +368,86 @@ mod tests {
     fn service(cache: usize) -> QueryService<SearchEngine> {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-        QueryService::new(engine, ServiceConfig { cache_capacity: cache })
+        let config = ServeConfig::builder().result_cache_capacity(cache).build().unwrap();
+        QueryService::with_config(engine, config)
+    }
+
+    /// The STATS payload must carry the engine's block-cache counters —
+    /// a stub engine with known counters proves the plumbing end to end
+    /// (service snapshot → wire render → wire parse).
+    #[test]
+    fn stats_surface_engine_block_cache_counters() {
+        use invidx_core::postings::PostingList;
+        struct Stub;
+        impl ServeEngine for Stub {
+            fn boolean_str(&self, _: &str) -> invidx_core::types::Result<PostingList> {
+                Ok(PostingList::from_sorted(vec![]))
+            }
+            fn phrase(&self, _: &str) -> invidx_core::types::Result<PostingList> {
+                Ok(PostingList::from_sorted(vec![]))
+            }
+            fn within(&self, _: &str, _: &str, _: u32) -> invidx_core::types::Result<PostingList> {
+                Ok(PostingList::from_sorted(vec![]))
+            }
+            fn more_like_this(
+                &self,
+                _: &str,
+                _: usize,
+            ) -> invidx_core::types::Result<Vec<invidx_ir::Hit>> {
+                Ok(vec![])
+            }
+            fn document(&self, _: DocId) -> invidx_core::types::Result<Option<String>> {
+                Ok(None)
+            }
+            fn add_document(&mut self, _: &str) -> Result<DocId, String> {
+                Err("unused".into())
+            }
+            fn flush(&mut self) -> Result<invidx_core::index::BatchReport, String> {
+                Err("unused".into())
+            }
+            fn block_cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
+                Some(invidx_core::cache::CacheStats {
+                    hits: 21,
+                    misses: 8,
+                    evictions: 3,
+                    ..Default::default()
+                })
+            }
+            fn total_docs(&self) -> u64 {
+                0
+            }
+            fn vocabulary_size(&self) -> usize {
+                0
+            }
+        }
+        let s = QueryService::with_config(Stub, ServeConfig::default());
+        let resp = s.execute(&Request::Stats).unwrap();
+        let Payload::Stats(stats) = resp.payload else { panic!("expected stats") };
+        assert_eq!(
+            (stats.block_cache_hits, stats.block_cache_misses, stats.block_cache_evictions),
+            (21, 8, 3)
+        );
+        let wire = Response { epoch: 0, payload: Payload::Stats(stats) }.to_wire();
+        let parsed = crate::request::parse_response(&wire).unwrap().unwrap();
+        assert_eq!(parsed.payload, Payload::Stats(stats));
+    }
+
+    #[test]
+    fn builder_validates_shape() {
+        let c = ServeConfig::builder()
+            .result_cache_capacity(0)
+            .readers(2)
+            .high_water(7)
+            .deadline(std::time::Duration::from_millis(100))
+            .build()
+            .unwrap();
+        assert_eq!(
+            (c.result_cache_capacity, c.readers, c.high_water),
+            (0, 2, 7)
+        );
+        assert!(ServeConfig::builder().readers(0).build().is_err());
+        assert!(ServeConfig::builder().high_water(0).build().is_err());
+        assert!(ServeConfig::builder().deadline(std::time::Duration::ZERO).build().is_err());
     }
 
     fn docs_of(resp: &Response) -> Vec<u32> {

@@ -11,7 +11,7 @@
 use invidx_core::index::IndexConfig;
 use invidx_disk::sparse_array;
 use invidx_ir::SearchEngine;
-use invidx_serve::{Payload, QueryService, Request, ServiceConfig};
+use invidx_serve::{Payload, QueryService, Request, ServeConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -74,7 +74,8 @@ proptest! {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
         // Capacity 4 with an 8-word vocabulary: constant eviction churn.
-        let service = QueryService::new(engine, ServiceConfig { cache_capacity: 4 });
+        let config = ServeConfig::builder().result_cache_capacity(4).build().unwrap();
+        let service = QueryService::with_config(engine, config);
         let mut corpus: Vec<BTreeSet<usize>> = Vec::new();
         let mut flushes = 0u64;
 

@@ -14,7 +14,7 @@ use invidx_disk::sparse_array;
 use invidx_durable::{DurableOptions, StoreGeometry};
 use invidx_ir::{DurableEngine, SearchEngine};
 use invidx_serve::{
-    AdmissionConfig, Frontend, Payload, QueryService, Request, ServeEngine, ServiceConfig,
+    Frontend, Payload, QueryService, Request, ServeConfig, ServeEngine,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,15 +90,15 @@ fn eight_readers_one_writer_match_oracle_replay() {
 
     let array = sparse_array(2, 100_000, 256);
     let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-    let service = Arc::new(QueryService::new(engine, ServiceConfig { cache_capacity: 64 }));
-    let frontend = Arc::new(Frontend::start(
-        Arc::clone(&service),
-        AdmissionConfig {
-            readers: 4,
-            high_water: 256,
-            deadline: Duration::from_secs(10),
-        },
-    ));
+    let config = ServeConfig::builder()
+        .result_cache_capacity(64)
+        .readers(4)
+        .high_water(256)
+        .deadline(Duration::from_secs(10))
+        .build()
+        .unwrap();
+    let service = Arc::new(QueryService::with_config(engine, config));
+    let frontend = Arc::new(Frontend::start_with(Arc::clone(&service), config));
     let final_epoch = schedule.len() as u64;
     let checked = Arc::new(AtomicU64::new(0));
 
@@ -171,8 +171,8 @@ fn serving_continues_while_checkpointing() {
     // checkpoint_every: 0 — the service decides when to checkpoint.
     let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
     let engine = DurableEngine::create(&dir, IndexConfig::small(), geometry, opts).unwrap();
-    let service = Arc::new(QueryService::new(engine, ServiceConfig::default()));
-    let frontend = Arc::new(Frontend::start(Arc::clone(&service), AdmissionConfig::default()));
+    let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+    let frontend = Arc::new(Frontend::start_with(Arc::clone(&service), ServeConfig::default()));
 
     let schedule = batches(6, 4);
     let oracle = Arc::new(build_oracle(&schedule, &query_mix()));

@@ -101,7 +101,7 @@ impl Experiment {
 /// Build a real [`DualIndex`] from batch updates (synthesizing monotone
 /// document ids per word), returning the live index and its per-batch
 /// reports. The array has tracing enabled; take or inspect the trace via
-/// [`DualIndex::array_mut`].
+/// [`DualIndex::array`] (trace control takes `&self`).
 pub fn build_dual_index(
     params: &SimParams,
     policy: Policy,
@@ -132,8 +132,8 @@ pub fn run_dual_index(
     policy: Policy,
     batches: &[BatchUpdate],
 ) -> Result<(Vec<BatchReport>, IoTrace)> {
-    let (mut index, reports) = build_dual_index(params, policy, batches)?;
-    Ok((reports, index.array_mut().take_trace()))
+    let (index, reports) = build_dual_index(params, policy, batches)?;
+    Ok((reports, index.array().take_trace()))
 }
 
 #[cfg(test)]

@@ -86,13 +86,14 @@ impl SimParams {
 
     /// The index configuration slice of these parameters.
     pub fn index_config(&self, policy: Policy) -> IndexConfig {
-        IndexConfig {
-            num_buckets: self.buckets,
-            bucket_capacity_units: self.bucket_size,
-            block_postings: self.block_postings,
-            policy,
-            materialize_buckets: false,
-        }
+        IndexConfig::builder()
+            .num_buckets(self.buckets)
+            .bucket_capacity_units(self.bucket_size)
+            .block_postings(self.block_postings)
+            .policy(policy)
+            .materialize_buckets(false)
+            .build()
+            .expect("simulation parameters are a valid index configuration")
     }
 
     /// The exercise-stage configuration.

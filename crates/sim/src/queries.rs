@@ -147,7 +147,7 @@ impl QueryCost {
 /// *during updates*, but a cold query must fetch the bucket region for the
 /// word). Long-list reads come straight from the traced chunk reads.
 pub fn execute(
-    index: &mut DualIndex,
+    index: &DualIndex,
     params: &SimParams,
     workload: &QueryWorkload,
 ) -> Result<QueryCost> {
@@ -162,10 +162,9 @@ pub fn execute(
         postings: 0,
         modeled_seconds: 0.0,
     };
-    let bucket_blocks = index.config().bucket_blocks();
-    index.array_mut().start_trace();
+    index.array().start_trace();
     for query in &workload.queries {
-        let mut bucket_reads: Vec<usize> = Vec::new();
+        let mut bucket_reads: Vec<(usize, invidx_core::WordId)> = Vec::new();
         for &word in query {
             match index.location(word) {
                 invidx_core::WordLocation::Long => {
@@ -178,8 +177,8 @@ pub fn execute(
                     cost.hit_words += 1;
                     cost.postings += index.postings(word)?.len() as u64;
                     let b = index.buckets().bucket_of(word);
-                    if !bucket_reads.contains(&b) {
-                        bucket_reads.push(b);
+                    if !bucket_reads.iter().any(|&(seen, _)| seen == b) {
+                        bucket_reads.push((b, word));
                     }
                 }
                 _ => {}
@@ -187,22 +186,14 @@ pub fn execute(
         }
         // Charge one bucket-region read per distinct bucket touched: the
         // bucket array is striped across disks; bucket i sits at a fixed
-        // offset in its disk's stripe.
-        for b in bucket_reads {
-            let disks = index.array().num_disks() as usize;
-            let disk = (b % disks) as u16;
-            let slot = (b / disks) as u64;
-            index.array_mut().trace_push(invidx_disk::IoOp {
-                kind: invidx_disk::OpKind::Read,
-                disk,
-                start: slot * bucket_blocks,
-                blocks: bucket_blocks,
-                payload: invidx_disk::Payload::Bucket,
-            });
+        // offset in its disk's stripe. With a block cache configured the
+        // charge is suppressed when the bucket's blocks are resident.
+        for (_, word) in bucket_reads {
+            index.charge_bucket_read(word)?;
         }
-        index.array_mut().end_batch();
+        index.array().end_batch();
     }
-    let trace = index.array_mut().take_trace();
+    let trace = index.array().take_trace();
     cost.read_ops = trace.ops.len() as u64;
     cost.read_blocks = trace.ops.iter().map(|op| op.blocks).sum();
     let timing = exercise(&trace, &params.exercise_config());
@@ -237,9 +228,9 @@ mod tests {
         let exp = Experiment::prepare(params.clone()).unwrap();
         let workload = QueryWorkload::vector_space(&params.corpus, 30, 99);
         let run = |policy| {
-            let (mut index, _) = build_dual_index(&params, policy, &exp.batches).unwrap();
-            index.array_mut().take_trace(); // drop the build trace
-            execute(&mut index, &params, &workload).unwrap()
+            let (index, _) = build_dual_index(&params, policy, &exp.batches).unwrap();
+            index.array().take_trace(); // drop the build trace
+            execute(&index, &params, &workload).unwrap()
         };
         let whole = run(Policy::query_optimized());
         let new0 = run(Policy::update_optimized());
@@ -259,9 +250,9 @@ mod tests {
     fn boolean_queries_touch_more_buckets_than_long_lists() {
         let params = SimParams::tiny();
         let exp = Experiment::prepare(params.clone()).unwrap();
-        let (mut index, _) = build_dual_index(&params, Policy::balanced(), &exp.batches).unwrap();
-        index.array_mut().take_trace();
-        let boolean = execute(&mut index, &params, &QueryWorkload::boolean(&params.corpus, 50, 5))
+        let (index, _) = build_dual_index(&params, Policy::balanced(), &exp.batches).unwrap();
+        index.array().take_trace();
+        let boolean = execute(&index, &params, &QueryWorkload::boolean(&params.corpus, 50, 5))
             .unwrap();
         // "We would expect many query words to reside in buckets for this
         // model" — infrequent words are mostly short.

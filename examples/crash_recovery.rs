@@ -37,13 +37,13 @@ fn file_array(dir: &Path, create: bool) -> DiskArray {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("invidx-example-{}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
-    let config = IndexConfig {
-        num_buckets: 64,
-        bucket_capacity_units: 120,
-        block_postings: 25,
-        policy: Policy::balanced(),
-        materialize_buckets: true, // recovery needs real bytes
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(64)
+        .bucket_capacity_units(120)
+        .block_postings(25)
+        .policy(Policy::balanced())
+        .materialize_buckets(true) // recovery needs real bytes
+        .build()?;
     let corpus = CorpusParams {
         days: 8,
         docs_per_weekday: 80,

@@ -23,13 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let array = sparse_array(4, 500_000, 512);
-    let config = IndexConfig {
-        num_buckets: 256,
-        bucket_capacity_units: 150,
-        block_postings: 20,
-        policy: Policy::balanced(),
-        materialize_buckets: true,
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(256)
+        .bucket_capacity_units(150)
+        .block_postings(20)
+        .policy(Policy::balanced())
+        .materialize_buckets(true)
+        .build()?;
     let mut index = DualIndex::create(array, config)?;
 
     // Watch one frequent and one rare word migrate (or not).

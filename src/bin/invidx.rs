@@ -42,6 +42,10 @@ struct Conf {
     num_buckets: usize,
     bucket_units: u64,
     block_postings: u64,
+    /// Block-cache budget in device blocks (0 = cache off).
+    cache_blocks: usize,
+    /// Ingest worker threads used when a command doesn't override them.
+    ingest_threads: usize,
 }
 
 impl Conf {
@@ -54,17 +58,22 @@ impl Conf {
             num_buckets: 512,
             bucket_units: 400,
             block_postings: 50,
+            cache_blocks: 0,
+            ingest_threads: 1,
         }
     }
 
-    fn index_config(&self) -> IndexConfig {
-        IndexConfig {
-            num_buckets: self.num_buckets,
-            bucket_capacity_units: self.bucket_units,
-            block_postings: self.block_postings,
-            policy: self.policy,
-            materialize_buckets: true,
-        }
+    fn index_config(&self) -> Result<IndexConfig, String> {
+        IndexConfig::builder()
+            .num_buckets(self.num_buckets)
+            .bucket_capacity_units(self.bucket_units)
+            .block_postings(self.block_postings)
+            .policy(self.policy)
+            .materialize_buckets(true)
+            .cache_blocks(self.cache_blocks)
+            .ingest_threads(self.ingest_threads)
+            .build()
+            .map_err(|e| format!("bad index configuration: {e}"))
     }
 
     fn geometry(&self) -> StoreGeometry {
@@ -78,14 +87,16 @@ impl Conf {
     fn save(&self, dir: &Path) -> std::io::Result<()> {
         let text = format!(
             "policy={}\ndisks={}\nblocks={}\nblock_size={}\nnum_buckets={}\n\
-             bucket_units={}\nblock_postings={}\n",
+             bucket_units={}\nblock_postings={}\ncache_blocks={}\ningest_threads={}\n",
             self.policy.label(),
             self.disks,
             self.blocks,
             self.block_size,
             self.num_buckets,
             self.bucket_units,
-            self.block_postings
+            self.block_postings,
+            self.cache_blocks,
+            self.ingest_threads
         );
         std::fs::write(dir.join("invidx.conf"), text)
     }
@@ -111,6 +122,12 @@ impl Conf {
                 }
                 "block_postings" => {
                     conf.block_postings = v.parse().map_err(|e| format!("block_postings: {e}"))?
+                }
+                "cache_blocks" => {
+                    conf.cache_blocks = v.parse().map_err(|e| format!("cache_blocks: {e}"))?
+                }
+                "ingest_threads" => {
+                    conf.ingest_threads = v.parse().map_err(|e| format!("ingest_threads: {e}"))?
                 }
                 _ => return Err(format!("unknown config key {k:?}")),
             }
@@ -168,13 +185,6 @@ impl Engine {
         match self {
             Self::Legacy(e) => e.add_documents(texts).map_err(|e| e.to_string()),
             Self::Durable(e) => e.add_documents(texts).map_err(|e| e.to_string()),
-        }
-    }
-
-    fn set_ingest_threads(&mut self, threads: usize) {
-        match self {
-            Self::Legacy(e) => e.set_ingest_threads(threads),
-            Self::Durable(e) => e.set_ingest_threads(threads),
         }
     }
 
@@ -256,20 +266,27 @@ impl Engine {
 }
 
 fn open_engine(dir: &Path) -> Result<(Engine, Conf), String> {
-    open_engine_with(dir, DurableOptions::default())
+    open_engine_with(dir, DurableOptions::default(), None)
 }
 
-fn open_engine_with(dir: &Path, options: DurableOptions) -> Result<(Engine, Conf), String> {
-    let conf = Conf::load(dir)?;
+fn open_engine_with(
+    dir: &Path,
+    options: DurableOptions,
+    ingest_threads: Option<usize>,
+) -> Result<(Engine, Conf), String> {
+    let mut conf = Conf::load(dir)?;
+    if let Some(threads) = ingest_threads {
+        conf.ingest_threads = threads;
+    }
     if is_durable(dir) {
-        let engine = DurableEngine::open(dir, conf.index_config(), options)
+        let engine = DurableEngine::open(dir, conf.index_config()?, options)
             .map_err(|e| format!("cannot recover index: {e}"))?;
         return Ok((Engine::Durable(Box::new(engine)), conf));
     }
     let meta = std::fs::read(dir.join("engine.meta"))
         .map_err(|e| format!("cannot read engine.meta: {e}"))?;
     let array = device_array(dir, &conf, false)?;
-    let engine = SearchEngine::open(array, conf.index_config(), &meta)
+    let engine = SearchEngine::open(array, conf.index_config()?, &meta)
         .map_err(|e| format!("cannot open index: {e}"))?;
     Ok((Engine::Legacy(Box::new(engine)), conf))
 }
@@ -351,6 +368,13 @@ impl invidx::serve::ServeEngine for ServedEngine {
         }
     }
 
+    fn block_cache_stats(&self) -> Option<invidx::core::cache::CacheStats> {
+        match &self.engine {
+            Engine::Legacy(e) => e.cache_stats(),
+            Engine::Durable(e) => e.cache_stats(),
+        }
+    }
+
     fn total_docs(&self) -> u64 {
         self.engine.total_docs()
     }
@@ -363,10 +387,9 @@ impl invidx::serve::ServeEngine for ServedEngine {
 /// Serve the index over TCP until killed: line protocol, bounded admission
 /// queue, epoch-invalidated result cache (see `crates/serve`).
 fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
-    use invidx::serve::{AdmissionConfig, QueryService, Server, ServiceConfig};
+    use invidx::serve::{QueryService, ServeConfig, Server};
     let mut addr = "127.0.0.1:7700".to_string();
-    let mut admission = AdmissionConfig::default();
-    let mut service_config = ServiceConfig::default();
+    let mut builder = ServeConfig::builder();
     let mut i = 0;
     while i < args.len() {
         let value = |flag: &str| {
@@ -375,26 +398,29 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--addr" => addr = value("--addr")?,
             "--readers" => {
-                admission.readers =
-                    value("--readers")?.parse().map_err(|e| format!("readers: {e}"))?
+                builder = builder
+                    .readers(value("--readers")?.parse().map_err(|e| format!("readers: {e}"))?)
             }
             "--high-water" => {
-                admission.high_water =
-                    value("--high-water")?.parse().map_err(|e| format!("high-water: {e}"))?
+                builder = builder.high_water(
+                    value("--high-water")?.parse().map_err(|e| format!("high-water: {e}"))?,
+                )
             }
             "--deadline-ms" => {
                 let ms: u64 =
                     value("--deadline-ms")?.parse().map_err(|e| format!("deadline-ms: {e}"))?;
-                admission.deadline = std::time::Duration::from_millis(ms);
+                builder = builder.deadline(std::time::Duration::from_millis(ms));
             }
             "--cache" => {
-                service_config.cache_capacity =
-                    value("--cache")?.parse().map_err(|e| format!("cache: {e}"))?
+                builder = builder.result_cache_capacity(
+                    value("--cache")?.parse().map_err(|e| format!("cache: {e}"))?,
+                )
             }
             other => return Err(format!("unknown serve option {other:?}")),
         }
         i += 2;
     }
+    let config = builder.build().map_err(|e| e.to_string())?;
     let (engine, _) = open_engine(dir)?;
     let durability = match &engine {
         Engine::Legacy(_) => "legacy: engine.meta rewritten on every FLUSH",
@@ -407,16 +433,16 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
         invidx::serve::ServeEngine::total_docs(&served),
         invidx::serve::ServeEngine::vocabulary_size(&served),
     );
-    let service = std::sync::Arc::new(QueryService::new(served, service_config));
-    let server = Server::bind(&addr, service, admission)
+    let service = std::sync::Arc::new(QueryService::with_config(served, config));
+    let server = Server::bind(&addr, service, config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
         "listening on {} ({} readers, high-water {}, deadline {} ms, cache {})",
         server.addr(),
-        admission.readers,
-        admission.high_water,
-        admission.deadline.as_millis(),
-        service_config.cache_capacity,
+        config.readers,
+        config.high_water,
+        config.deadline.as_millis(),
+        config.result_cache_capacity,
     );
     println!("protocol: QUERY | PHRASE | NEAR | LIKE | DOC | STATS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
     println!(
@@ -463,6 +489,22 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("block-size: {e}"))?;
                 i += 2;
             }
+            "--cache-blocks" => {
+                conf.cache_blocks = args
+                    .get(i + 1)
+                    .ok_or("--cache-blocks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("cache-blocks: {e}"))?;
+                i += 2;
+            }
+            "--ingest-threads" => {
+                conf.ingest_threads = args
+                    .get(i + 1)
+                    .ok_or("--ingest-threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("ingest-threads: {e}"))?;
+                i += 2;
+            }
             "--legacy" => {
                 legacy = true;
                 i += 1;
@@ -476,7 +518,7 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     }
     let mode = if legacy {
         let array = device_array(dir, &conf, true)?;
-        let mut engine = SearchEngine::create(array, conf.index_config())
+        let mut engine = SearchEngine::create(array, conf.index_config()?)
             .map_err(|e| format!("cannot create index: {e}"))?;
         // An empty first flush establishes the superblock/recovery point.
         engine.flush().map_err(|e| format!("initial flush: {e}"))?;
@@ -485,7 +527,7 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     } else {
         // Creation writes the batch-0 checkpoint, so the store is already
         // recoverable before the first add.
-        DurableEngine::create(dir, conf.index_config(), conf.geometry(), DurableOptions::default())
+        DurableEngine::create(dir, conf.index_config()?, conf.geometry(), DurableOptions::default())
             .map_err(|e| format!("cannot create index: {e}"))?;
         "durable (WAL + checkpoints)"
     };
@@ -531,9 +573,11 @@ fn cmd_add(dir: &Path, args: &[String]) -> Result<(), String> {
     }
     // Parallel batches overlap the WAL fsync with the in-place apply; a
     // single-threaded add keeps the fully sequential commit path.
-    let options = DurableOptions { pipelined_wal: threads > 1, ..DurableOptions::default() };
-    let (mut engine, _) = open_engine_with(dir, options)?;
-    engine.set_ingest_threads(threads);
+    let options = DurableOptions::builder()
+        .pipelined_wal(threads > 1)
+        .build()
+        .map_err(|e| format!("durable options: {e}"))?;
+    let (mut engine, _) = open_engine_with(dir, options, Some(threads))?;
     let mut texts = Vec::with_capacity(files.len());
     for f in files.iter() {
         texts.push(std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?);
@@ -709,6 +753,18 @@ fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
         .iter()
         .fold((0u64, 0u64), |(f, t), &(df, dt)| (f + df, t + dt));
     println!("disk usage          {} / {} blocks", total - free, total);
+    match ix.cache_stats() {
+        Some(cs) => {
+            println!("block cache         {} blocks budget", cs.budget_blocks);
+            println!("cache hit rate      {:.2}", cs.hit_rate());
+            println!(
+                "cache hits/misses   {} / {} ({} evictions, {} invalidations)",
+                cs.hits, cs.misses, cs.evictions, cs.invalidations
+            );
+            println!("cache resident      {} B", cs.resident_bytes);
+        }
+        None => println!("block cache         off"),
+    }
     if metrics {
         publish_index_gauges(&engine, &conf);
         println!();

@@ -72,13 +72,14 @@ fn array(dir: &Path, create: bool, budget: Option<Arc<AtomicI64>>) -> DiskArray 
 }
 
 fn config(policy: Policy) -> IndexConfig {
-    IndexConfig {
-        num_buckets: 16,
-        bucket_capacity_units: 60,
-        block_postings: 20,
-        policy,
-        materialize_buckets: true,
-    }
+    IndexConfig::builder()
+        .num_buckets(16)
+        .bucket_capacity_units(60)
+        .block_postings(20)
+        .policy(policy)
+        .materialize_buckets(true)
+        .build()
+        .expect("valid config")
 }
 
 fn load_batch(index: &mut DualIndex, range: std::ops::Range<u32>) {

@@ -50,13 +50,14 @@ fn reference() -> BTreeMap<u64, Vec<u32>> {
 
 fn build(policy: Policy) -> DualIndex {
     let array = sparse_array(3, 500_000, 512);
-    let config = IndexConfig {
-        num_buckets: 64,
-        bucket_capacity_units: 120,
-        block_postings: 25,
-        policy,
-        materialize_buckets: false,
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(64)
+        .bucket_capacity_units(120)
+        .block_postings(25)
+        .policy(policy)
+        .materialize_buckets(false)
+        .build()
+        .expect("valid config");
     let mut index = DualIndex::create(array, config).expect("create");
     for day in CorpusGenerator::new(corpus()) {
         for doc in &day.docs {

@@ -28,13 +28,14 @@ fn corpus_texts() -> Vec<String> {
 
 fn build_engine(texts: &[String]) -> SearchEngine {
     let array = sparse_array(2, 500_000, 512);
-    let config = IndexConfig {
-        num_buckets: 64,
-        bucket_capacity_units: 150,
-        block_postings: 25,
-        policy: Policy::query_optimized(),
-        materialize_buckets: false,
-    };
+    let config = IndexConfig::builder()
+        .num_buckets(64)
+        .bucket_capacity_units(150)
+        .block_postings(25)
+        .policy(Policy::query_optimized())
+        .materialize_buckets(false)
+        .build()
+        .expect("valid config");
     let mut engine = SearchEngine::create(array, config).expect("engine");
     for (i, t) in texts.iter().enumerate() {
         engine.add_document(t).expect("add");

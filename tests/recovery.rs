@@ -34,13 +34,14 @@ fn file_array(dir: &Path, n: u16, create: bool) -> DiskArray {
 }
 
 fn config(policy: Policy) -> IndexConfig {
-    IndexConfig {
-        num_buckets: 64,
-        bucket_capacity_units: 100,
-        block_postings: 20,
-        policy,
-        materialize_buckets: true,
-    }
+    IndexConfig::builder()
+        .num_buckets(64)
+        .bucket_capacity_units(100)
+        .block_postings(20)
+        .policy(policy)
+        .materialize_buckets(true)
+        .build()
+        .expect("valid config")
 }
 
 fn corpus() -> CorpusParams {
