@@ -863,7 +863,16 @@ impl DualIndex {
             let bs = self.array.block_size();
             let mut buf = vec![0u8; blocks as usize * bs];
             let mut guard = cache.pin_scope();
-            if cache.read_pinned(disk, start, blocks, &mut buf, &mut guard) {
+            let hit = {
+                let _stage = invidx_obs::trace::stage("block_cache");
+                invidx_obs::trace::add_blocks(blocks);
+                let hit = cache.read_pinned(disk, start, blocks, &mut buf, &mut guard);
+                if hit {
+                    invidx_obs::trace::add_bytes(buf.len() as u64);
+                }
+                hit
+            };
+            if hit {
                 return Ok(true);
             }
             self.array.read_op(op, &mut buf)?;

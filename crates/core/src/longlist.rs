@@ -409,9 +409,19 @@ impl LongStore {
             }
             let data_blocks = c.postings.div_ceil(bp);
             let mut buf = vec![0u8; data_blocks as usize * bs];
-            let cached = match (cache, guard.as_mut()) {
-                (Some(cache), Some(g)) => cache.read_pinned(c.disk, c.start, data_blocks, &mut buf, g),
-                _ => false,
+            let cached = {
+                let _stage = invidx_obs::trace::stage("block_cache");
+                invidx_obs::trace::add_blocks(data_blocks);
+                let hit = match (cache, guard.as_mut()) {
+                    (Some(cache), Some(g)) => {
+                        cache.read_pinned(c.disk, c.start, data_blocks, &mut buf, g)
+                    }
+                    _ => false,
+                };
+                if hit {
+                    invidx_obs::trace::add_bytes(buf.len() as u64);
+                }
+                hit
             };
             if !cached {
                 let op = IoOp {

@@ -313,6 +313,9 @@ impl DiskArray {
     /// sequential run.
     pub fn read_op(&self, op: IoOp, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len() as u64, op.blocks * self.block_size as u64);
+        let _stage = invidx_obs::trace::stage("disk");
+        invidx_obs::trace::add_blocks(op.blocks);
+        invidx_obs::trace::add_bytes(buf.len() as u64);
         {
             let mut cap = self.capture.lock();
             if let Some(state) = cap.as_mut() {

@@ -121,7 +121,10 @@ pub trait PostingSource {
 
 impl PostingSource for invidx_core::DualIndex {
     fn postings(&self, word: WordId) -> Result<PostingList> {
-        invidx_core::DualIndex::postings(self, word)
+        let _stage = invidx_obs::trace::stage("term");
+        let list = invidx_core::DualIndex::postings(self, word)?;
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
     }
 }
 

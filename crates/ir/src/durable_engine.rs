@@ -369,7 +369,10 @@ impl DurableEngine {
 
 impl PostingSource for DurableEngine {
     fn postings(&self, word: WordId) -> invidx_core::Result<PostingList> {
-        self.index.inner().postings(word)
+        let _stage = invidx_obs::trace::stage("term");
+        let list = self.index.inner().postings(word)?;
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
     }
 }
 

@@ -473,7 +473,10 @@ impl SearchEngine {
 
 impl PostingSource for SearchEngine {
     fn postings(&self, word: WordId) -> Result<PostingList> {
-        self.index.postings(word)
+        let _stage = invidx_obs::trace::stage("term");
+        let list = self.index.postings(word)?;
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
     }
 }
 

@@ -27,12 +27,18 @@
 mod events;
 pub mod names;
 mod render;
+mod sliding;
+mod slo;
+pub mod trace;
 
 pub use events::{
     emit_event, events_enabled, flush_events, init_event_sink, init_memory_event_sink,
     log_progress, take_memory_events, Field,
 };
-pub use render::{escape_json, Snapshot};
+pub use render::{escape_json, parse_prometheus, Snapshot};
+pub use sliding::SlidingHistogram;
+pub use slo::SloTracker;
+pub use trace::{Sampler, SpanRecord, TraceCtx};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

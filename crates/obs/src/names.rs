@@ -122,8 +122,40 @@ pub const SERVE_BATCHES: &str = "serve_batches_total";
 /// End-to-end request latency in milliseconds (queue wait + execution;
 /// histogram).
 pub const SERVE_LATENCY_MS: &str = "serve_latency_ms";
-/// Work-queue depth observed at each admission (histogram).
+/// Requests currently admitted and waiting in the work queue (gauge;
+/// incremented on admission, decremented on every exit path).
 pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Time spent waiting in the admission queue, milliseconds (histogram).
+pub const SERVE_QUEUE_WAIT_MS: &str = "serve_queue_wait_ms";
+/// Requests whose end-to-end latency crossed the slow-query threshold,
+/// plus every shed/timed-out request (always logged).
+pub const SERVE_SLOW_QUERIES: &str = "serve_slow_queries_total";
+/// Requests sampled for tracing (each produces a span tree on the event
+/// stream).
+pub const SERVE_TRACES: &str = "serve_traces_total";
+/// Live p50 latency over the sliding window, microseconds (gauge).
+pub const SERVE_P50_US: &str = "serve_latency_p50_us";
+/// Live p95 latency over the sliding window, microseconds (gauge).
+pub const SERVE_P95_US: &str = "serve_latency_p95_us";
+/// Live p99 latency over the sliding window, microseconds (gauge).
+pub const SERVE_P99_US: &str = "serve_latency_p99_us";
+/// Current index epoch as seen by the serving layer (gauge).
+pub const SERVE_EPOCH: &str = "serve_epoch";
+
+/// Requests accounted against the SLO (served, shed, or reaped).
+pub const SLO_REQUESTS: &str = "slo_requests_total";
+/// Requests that violated the SLO (missed the latency target, shed, or
+/// reaped).
+pub const SLO_VIOLATIONS: &str = "slo_violations_total";
+/// Error budget remaining, ppm of the budget (gauge; 1e6 = untouched,
+/// 0 = exhausted, negative = overspent).
+pub const SLO_BUDGET_REMAINING_PPM: &str = "slo_error_budget_remaining_ppm";
+/// Error-budget burn rate ×1000 (gauge; 1000 = exactly sustainable).
+pub const SLO_BURN_RATE_X1000: &str = "slo_burn_rate_x1000";
+
+/// Bytes of write-ahead log not yet folded into a checkpoint (gauge);
+/// the replay debt a crash would incur — "WAL lag".
+pub const INDEX_WAL_BYTES: &str = "index_wal_bytes";
 
 /// Attach a `disk` label to a base metric name.
 pub fn per_disk(base: &str, disk: u16) -> String {

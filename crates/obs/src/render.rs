@@ -151,6 +151,160 @@ impl Snapshot {
     }
 }
 
+/// Parse Prometheus text exposition back into a [`Snapshot`]. The
+/// inverse of [`Snapshot::to_prometheus`] for the dialect this crate
+/// emits (every series preceded by a `# TYPE` line, label values without
+/// embedded commas or spaces). Validates histogram well-formedness —
+/// buckets cumulative and non-decreasing, a final `+Inf` bucket agreeing
+/// with `_count` — and returns a description of the first malformation
+/// found.
+pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct HistAcc {
+        sum: f64,
+        count: Option<u64>,
+        cum: Vec<(f64, u64)>,
+    }
+
+    let mut types: BTreeMap<String, &str> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+
+    // Base name of a histogram owning this series suffix, if any.
+    let hist_base = |types: &BTreeMap<String, &str>, base: &str, suffix: &str| -> Option<String> {
+        let stem = base.strip_suffix(suffix)?;
+        (types.get(stem).copied() == Some("histogram")).then(|| stem.to_string())
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(base), Some(kind @ ("counter" | "gauge" | "histogram"))) => {
+                    types.insert(base.to_string(), match kind {
+                        "counter" => "counter",
+                        "gauge" => "gauge",
+                        _ => "histogram",
+                    });
+                }
+                _ => return err(format!("malformed TYPE line: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return err(format!("no value on series line: {line:?}"));
+        };
+        let (base, labels) = split_labels(series);
+        if let Some(stem) = hist_base(&types, base, "_bucket") {
+            let Some(labels) = labels else {
+                return err(format!("bucket series without le label: {series:?}"));
+            };
+            let mut le = None;
+            let mut rest: Vec<&str> = Vec::new();
+            for pair in labels.split(',') {
+                match pair.strip_prefix("le=\"") {
+                    Some(v) => le = Some(v.trim_end_matches('"')),
+                    None => rest.push(pair),
+                }
+            }
+            let Some(le) = le else {
+                return err(format!("bucket series without le label: {series:?}"));
+            };
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().map_err(|e| format!("line {}: bad le {le:?}: {e}", lineno + 1))?
+            };
+            let cum: u64 = value
+                .parse()
+                .map_err(|e| format!("line {}: bad bucket count {value:?}: {e}", lineno + 1))?;
+            let key = if rest.is_empty() {
+                stem
+            } else {
+                format!("{stem}{{{}}}", rest.join(","))
+            };
+            hists.entry(key).or_default().cum.push((bound, cum));
+        } else if let Some(stem) = hist_base(&types, base, "_sum") {
+            let key = labels.map(|l| format!("{stem}{{{l}}}")).unwrap_or(stem);
+            hists.entry(key).or_default().sum = value
+                .parse()
+                .map_err(|e| format!("line {}: bad sum {value:?}: {e}", lineno + 1))?;
+        } else if let Some(stem) = hist_base(&types, base, "_count") {
+            let key = labels.map(|l| format!("{stem}{{{l}}}")).unwrap_or(stem);
+            hists.entry(key).or_default().count = Some(value.parse().map_err(|e| {
+                format!("line {}: bad count {value:?}: {e}", lineno + 1)
+            })?);
+        } else {
+            match types.get(base).copied() {
+                Some("counter") => {
+                    let v: u64 = value.parse().map_err(|e| {
+                        format!("line {}: bad counter value {value:?}: {e}", lineno + 1)
+                    })?;
+                    counters.insert(series.to_string(), v);
+                }
+                Some("gauge") => {
+                    let v: i64 = value.parse().map_err(|e| {
+                        format!("line {}: bad gauge value {value:?}: {e}", lineno + 1)
+                    })?;
+                    gauges.insert(series.to_string(), v);
+                }
+                Some(other) => {
+                    return err(format!("series {series:?} typed {other} used as scalar"));
+                }
+                None => return err(format!("series {series:?} has no TYPE line")),
+            }
+        }
+    }
+
+    let mut snap = Snapshot {
+        counters: counters.into_iter().collect(),
+        gauges: gauges.into_iter().collect(),
+        histograms: Vec::new(),
+    };
+    for (name, acc) in hists {
+        if acc.cum.is_empty() {
+            return Err(format!("histogram {name:?} has no buckets"));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0u64;
+        let mut buckets = Vec::with_capacity(acc.cum.len());
+        for (le, cum) in &acc.cum {
+            if *le <= prev_le {
+                return Err(format!("histogram {name:?}: le bounds not increasing"));
+            }
+            if *cum < prev_cum {
+                return Err(format!("histogram {name:?}: cumulative counts decrease"));
+            }
+            buckets.push((*le, cum - prev_cum));
+            prev_le = *le;
+            prev_cum = *cum;
+        }
+        let (last_le, _) = *acc.cum.last().unwrap();
+        if !last_le.is_infinite() {
+            return Err(format!("histogram {name:?}: missing +Inf bucket"));
+        }
+        let count = acc.count.ok_or_else(|| format!("histogram {name:?}: missing _count"))?;
+        if count != prev_cum {
+            return Err(format!(
+                "histogram {name:?}: _count {count} != +Inf cumulative {prev_cum}"
+            ));
+        }
+        snap.histograms.push(HistogramSnapshot { name, count, sum: acc.sum, buckets });
+    }
+    Ok(snap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +357,41 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let snap = sample();
+        let text = snap.to_prometheus();
+        let parsed = parse_prometheus(&text).expect("parses");
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert_eq!(parsed.histograms.len(), 1);
+        let (a, b) = (&parsed.histograms[0], &snap.histograms[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.count, b.count);
+        assert!((a.sum - b.sum).abs() < 1e-9);
+        assert_eq!(a.buckets.len(), b.buckets.len());
+        for ((le_a, n_a), (le_b, n_b)) in a.buckets.iter().zip(&b.buckets) {
+            assert_eq!(n_a, n_b);
+            assert!(le_a == le_b || (le_a.is_infinite() && le_b.is_infinite()));
+        }
+        // Round-tripping the parsed snapshot re-renders identically.
+        assert_eq!(parsed.to_prometheus(), text);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_histograms() {
+        // Missing +Inf bucket.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1.5\nh_count 2\n";
+        assert!(parse_prometheus(text).unwrap_err().contains("+Inf"));
+        // Cumulative counts that decrease.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n";
+        assert!(parse_prometheus(text).unwrap_err().contains("decrease"));
+        // _count disagreeing with the +Inf bucket.
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 4\n";
+        assert!(parse_prometheus(text).unwrap_err().contains("!="));
+        // Series without a TYPE line.
+        assert!(parse_prometheus("mystery_total 3\n").unwrap_err().contains("no TYPE"));
     }
 }

@@ -1,0 +1,175 @@
+//! Sliding-window histogram for *live* latency quantiles.
+//!
+//! The cumulative [`Histogram`](crate::Histogram) answers "what happened
+//! since process start"; a dashboard wants "what is p99 **right now**".
+//! [`SlidingHistogram`] keeps a ring of fixed-width time slots, each a
+//! plain bucket array. `record` is lock-free in the steady state (one
+//! stamp load + one bucket increment); a slot is zeroed lazily, under a
+//! mutex, the first time a sample lands in a new time slot. Quantiles
+//! merge the slots that are still inside the window and interpolate
+//! within the winning log-bucket.
+
+use crate::Buckets;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Slot {
+    /// Tick this slot's counts belong to; 0 = never used.
+    stamp: AtomicU64,
+    counts: Vec<AtomicU64>,
+}
+
+/// Log-bucket histogram over a sliding time window of `slots × slot_ms`.
+pub struct SlidingHistogram {
+    bounds: Vec<f64>,
+    slot_ms: u64,
+    slots: Vec<Slot>,
+    rotate: Mutex<()>,
+    epoch: Instant,
+}
+
+impl SlidingHistogram {
+    /// A window of `slots` slots, each `slot_ms` wide, over `buckets`.
+    pub fn new(buckets: Buckets, slots: usize, slot_ms: u64) -> Self {
+        let bounds = buckets.0;
+        let slots = slots.max(2);
+        let slot_ms = slot_ms.max(1);
+        let slots = (0..slots)
+            .map(|_| Slot {
+                stamp: AtomicU64::new(0),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        Self { bounds, slot_ms, slots, rotate: Mutex::new(()), epoch: Instant::now() }
+    }
+
+    /// Window width in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.slot_ms * self.slots.len() as u64
+    }
+
+    /// Ticks start at 1 so stamp 0 can mean "never used".
+    fn tick(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64 / self.slot_ms + 1
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: f64) {
+        let tick = self.tick();
+        let slot = &self.slots[(tick % self.slots.len() as u64) as usize];
+        if slot.stamp.load(Ordering::Acquire) != tick {
+            let _g = self.rotate.lock().unwrap();
+            if slot.stamp.load(Ordering::Acquire) != tick {
+                for c in &slot.counts {
+                    c.store(0, Ordering::Relaxed);
+                }
+                slot.stamp.store(tick, Ordering::Release);
+            }
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        slot.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge the live slots into one bucket array.
+    fn merged(&self) -> Vec<u64> {
+        let tick = self.tick();
+        let len = self.slots.len() as u64;
+        let mut out = vec![0u64; self.bounds.len() + 1];
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp != 0 && tick.saturating_sub(stamp) < len {
+                for (o, c) in out.iter_mut().zip(&slot.counts) {
+                    *o += c.load(Ordering::Relaxed);
+                }
+            }
+        }
+        out
+    }
+
+    /// Samples currently inside the window.
+    pub fn count(&self) -> u64 {
+        self.merged().iter().sum()
+    }
+
+    /// Quantile estimate over the window (`q` in `[0, 1]`), linearly
+    /// interpolated within the winning bucket. Returns 0 when the window
+    /// is empty; samples above the top bound report the top bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let merged = self.merged();
+        let total: u64 = merged.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in merged.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no upper bound to interpolate
+                    // toward; report the top finite bound.
+                    return *self.bounds.last().unwrap_or(&0.0);
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (rank - seen) as f64 / *c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        *self.bounds.last().unwrap_or(&0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = SlidingHistogram::new(Buckets(vec![1.0, 2.0, 4.0, 8.0]), 6, 10_000);
+        for _ in 0..90 {
+            h.record(0.5);
+        }
+        for _ in 0..10 {
+            h.record(6.0);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!(p50 <= 1.0, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((4.0..=8.0).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let h = SlidingHistogram::new(Buckets::time_ms(), 6, 10_000);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn overflow_reports_top_bound() {
+        let h = SlidingHistogram::new(Buckets(vec![1.0, 2.0]), 4, 10_000);
+        h.record(100.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn stale_slots_age_out() {
+        // 2-slot window, 1 ms slots: after sleeping past the window the
+        // old samples must not count.
+        let h = SlidingHistogram::new(Buckets(vec![1.0]), 2, 1);
+        h.record(0.5);
+        assert!(h.count() >= 1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! SLO accounting: a latency target, an availability objective, and the
+//! error-budget arithmetic on top of two atomic counters.
+//!
+//! The tracker classifies every finished request as *good* (served within
+//! the target) or *bad* (slower than the target, shed, reaped, or
+//! failed). With an objective of `O` ppm good, the error budget is the
+//! `(1e6 - O)` ppm of traffic allowed to be bad; [`budget_remaining_ppm`]
+//! reports how much of that allowance is left (1e6 = untouched, 0 =
+//! exhausted, negative = overspent) and [`burn_rate_x1000`] how fast it
+//! is being consumed (1000 = exactly at the sustainable rate).
+//!
+//! [`budget_remaining_ppm`]: SloTracker::budget_remaining_ppm
+//! [`burn_rate_x1000`]: SloTracker::burn_rate_x1000
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error-budget accountant for one latency SLO.
+#[derive(Debug)]
+pub struct SloTracker {
+    target_ms: f64,
+    objective_ppm: u32,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+impl SloTracker {
+    /// A tracker for "`objective_ppm` ppm of requests complete within
+    /// `target_ms` ms". `objective_ppm` is clamped to `[1, 999_999]` so
+    /// the budget is never zero-width.
+    pub fn new(target_ms: f64, objective_ppm: u32) -> Self {
+        Self {
+            target_ms,
+            objective_ppm: objective_ppm.clamp(1, 999_999),
+            good: AtomicU64::new(0),
+            bad: AtomicU64::new(0),
+        }
+    }
+
+    /// The latency target in milliseconds.
+    pub fn target_ms(&self) -> f64 {
+        self.target_ms
+    }
+
+    /// The availability objective in ppm.
+    pub fn objective_ppm(&self) -> u32 {
+        self.objective_ppm
+    }
+
+    /// Record a served request; returns whether it met the target.
+    pub fn observe(&self, latency_ms: f64) -> bool {
+        let ok = latency_ms <= self.target_ms;
+        if ok {
+            self.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bad.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Record a request that never produced a result (shed, reaped,
+    /// failed) — always budget-consuming.
+    pub fn observe_failure(&self) {
+        self.bad.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests accounted.
+    pub fn total(&self) -> u64 {
+        self.good.load(Ordering::Relaxed) + self.bad.load(Ordering::Relaxed)
+    }
+
+    /// Requests that violated the SLO.
+    pub fn violations(&self) -> u64 {
+        self.bad.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of the error budget remaining, in ppm of the budget
+    /// itself: 1_000_000 = untouched, 0 = exhausted, negative =
+    /// overspent. An empty window reports a full budget.
+    pub fn budget_remaining_ppm(&self) -> i64 {
+        let bad = self.bad.load(Ordering::Relaxed) as f64;
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 1_000_000;
+        }
+        let allowed = total * (1_000_000 - self.objective_ppm) as f64 / 1e6;
+        (((allowed - bad) / allowed) * 1e6) as i64
+    }
+
+    /// Budget burn rate ×1000: the observed bad fraction over the allowed
+    /// bad fraction. 1000 means bad requests arrive exactly at the rate
+    /// the objective tolerates; 2000 means the budget drains twice as
+    /// fast as it accrues; 0 means no violations.
+    pub fn burn_rate_x1000(&self) -> i64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0;
+        }
+        let bad_frac = self.bad.load(Ordering::Relaxed) as f64 / total;
+        let allowed_frac = (1_000_000 - self.objective_ppm) as f64 / 1e6;
+        (bad_frac / allowed_frac * 1000.0) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_has_full_budget() {
+        let t = SloTracker::new(50.0, 999_000);
+        assert_eq!(t.budget_remaining_ppm(), 1_000_000);
+        assert_eq!(t.burn_rate_x1000(), 0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn classification_and_counts() {
+        let t = SloTracker::new(10.0, 990_000);
+        assert!(t.observe(5.0));
+        assert!(!t.observe(50.0));
+        t.observe_failure();
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.violations(), 2);
+    }
+
+    #[test]
+    fn budget_arithmetic() {
+        // Objective 99% good → 1% budget. 100 requests, 1 bad: budget
+        // exactly exhausted; burn rate exactly 1000.
+        let t = SloTracker::new(10.0, 990_000);
+        for _ in 0..99 {
+            t.observe(1.0);
+        }
+        t.observe(100.0);
+        assert_eq!(t.budget_remaining_ppm(), 0);
+        assert_eq!(t.burn_rate_x1000(), 1000);
+    }
+
+    #[test]
+    fn overspend_goes_negative() {
+        let t = SloTracker::new(10.0, 990_000);
+        for _ in 0..98 {
+            t.observe(1.0);
+        }
+        t.observe(100.0);
+        t.observe(100.0);
+        assert!(t.budget_remaining_ppm() < 0);
+        assert!(t.burn_rate_x1000() > 1000);
+    }
+
+    #[test]
+    fn objective_is_clamped() {
+        let t = SloTracker::new(10.0, 1_000_000);
+        assert_eq!(t.objective_ppm(), 999_999);
+        let t = SloTracker::new(10.0, 0);
+        assert_eq!(t.objective_ppm(), 1);
+    }
+}

@@ -61,6 +61,9 @@ struct Job {
     admitted: Instant,
     deadline: Duration,
     reply: mpsc::Sender<Result<Response, ServeError>>,
+    /// Trace context for sampled requests; carried through the queue and
+    /// installed on the reader thread for the execute window.
+    trace: Option<invidx_obs::TraceCtx>,
 }
 
 /// The shared queue state behind the mutex.
@@ -166,20 +169,33 @@ impl<E: ServeEngine> Frontend<E> {
             return Err(ServeError::Shutdown);
         }
         let (tx, rx) = mpsc::channel();
-        let depth = {
+        {
             let mut jobs = self.queue.jobs.lock().expect("queue poisoned");
             if jobs.len() >= self.config.high_water {
                 drop(jobs);
                 self.service.counters().count_shed();
+                self.service.telemetry().record_failed();
+                // Shed outcomes are always logged — they are the requests
+                // the slow-query log exists to explain.
+                invidx_obs::counter!(names::SERVE_SLOW_QUERIES).inc();
+                invidx_obs::event!("slow_query", {
+                    "req": request.to_wire(),
+                    "outcome": "overloaded",
+                    "total_ms": 0.0,
+                    "queue_ms": 0.0,
+                    "trace_id": 0u64,
+                });
                 return Err(ServeError::Overloaded {
                     depth: self.config.high_water,
                     high_water: self.config.high_water,
                 });
             }
-            jobs.push_back(Job { request, admitted: Instant::now(), deadline, reply: tx });
-            jobs.len()
-        };
-        invidx_obs::gauge!(names::SERVE_QUEUE_DEPTH).set(depth as i64);
+            let trace = self.service.telemetry().sample();
+            jobs.push_back(Job { request, admitted: Instant::now(), deadline, reply: tx, trace });
+            // Balanced by the dequeue in `reader_loop` and the drain in
+            // `close()`: the gauge returns to zero on every exit path.
+            invidx_obs::gauge!(names::SERVE_QUEUE_DEPTH).add(1);
+        }
         self.queue.wake.notify_one();
         Ok(Ticket { rx })
     }
@@ -209,6 +225,9 @@ impl<E: ServeEngine> Frontend<E> {
             let mut jobs = self.queue.jobs.lock().expect("queue poisoned");
             jobs.drain(..).collect()
         };
+        if !drained.is_empty() {
+            invidx_obs::gauge!(names::SERVE_QUEUE_DEPTH).add(-(drained.len() as i64));
+        }
         for job in drained {
             let _ = job.reply.send(Err(ServeError::Shutdown));
         }
@@ -227,7 +246,7 @@ impl<E: ServeEngine> Drop for Frontend<E> {
 
 fn reader_loop<E: ServeEngine>(service: &QueryService<E>, queue: &Queue) {
     loop {
-        let job = {
+        let mut job = {
             let mut jobs = queue.jobs.lock().expect("queue poisoned");
             loop {
                 if let Some(job) = jobs.pop_front() {
@@ -239,16 +258,58 @@ fn reader_loop<E: ServeEngine>(service: &QueryService<E>, queue: &Queue) {
                 jobs = queue.wake.wait(jobs).expect("queue poisoned");
             }
         };
+        invidx_obs::gauge!(names::SERVE_QUEUE_DEPTH).add(-1);
         let waited = job.admitted.elapsed();
+        let waited_ms = waited.as_secs_f64() * 1e3;
+        invidx_obs::histogram!(names::SERVE_QUEUE_WAIT_MS, invidx_obs::Buckets::time_ms())
+            .record(waited_ms);
+        let mut trace = job.trace.take();
+        if let Some(ctx) = trace.as_mut() {
+            ctx.add_span("queue", 0, waited.as_micros() as u64);
+        }
         let reply = if waited > job.deadline {
             service.counters().count_timeout();
+            service.telemetry().record_failed();
             Err(ServeError::Timeout { waited, deadline: job.deadline })
         } else {
-            service.execute(&job.request)
+            // Install the trace for the execute window so stage sites in
+            // the service, engine, cache, and disk layers attach to it.
+            if let Some(ctx) = trace.take() {
+                invidx_obs::trace::install(ctx);
+            }
+            let reply = service.execute(&job.request);
+            trace = invidx_obs::trace::uninstall();
+            reply
         };
         let total_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
         invidx_obs::histogram!(names::SERVE_LATENCY_MS, invidx_obs::Buckets::time_ms())
             .record(total_ms);
+        let outcome = match &reply {
+            Ok(_) => {
+                service.telemetry().record_served(total_ms);
+                "ok"
+            }
+            Err(ServeError::Timeout { .. }) => "timeout", // accounted above
+            Err(e) => {
+                service.telemetry().record_failed();
+                e.code()
+            }
+        };
+        let slow_ms = service.telemetry().slow_threshold_ms();
+        let reaped = matches!(reply, Err(ServeError::Timeout { .. }));
+        if reaped || (slow_ms > 0 && total_ms >= slow_ms as f64) {
+            invidx_obs::counter!(names::SERVE_SLOW_QUERIES).inc();
+            invidx_obs::event!("slow_query", {
+                "req": job.request.to_wire(),
+                "outcome": outcome,
+                "total_ms": total_ms,
+                "queue_ms": waited_ms,
+                "trace_id": trace.as_ref().map(|t| t.trace_id()).unwrap_or(0),
+            });
+        }
+        if let Some(ctx) = trace {
+            ctx.finish(&job.request.to_wire(), outcome);
+        }
         // The client may have given up (wait_timeout); that's fine.
         let _ = job.reply.send(reply);
     }

@@ -48,6 +48,13 @@ pub trait ServeEngine: Send + Sync + 'static {
         None
     }
 
+    /// Bytes of write-ahead log not yet folded into a checkpoint — the
+    /// replay debt a crash would incur. `None` for volatile engines; the
+    /// telemetry layer publishes it as the WAL-lag gauge.
+    fn wal_bytes(&self) -> Option<u64> {
+        None
+    }
+
     /// Documents indexed so far.
     fn total_docs(&self) -> u64;
     /// Distinct words interned so far.
@@ -131,6 +138,10 @@ impl ServeEngine for DurableEngine {
 
     fn block_cache_stats(&self) -> Option<CacheStats> {
         DurableEngine::cache_stats(self)
+    }
+
+    fn wal_bytes(&self) -> Option<u64> {
+        Some(self.index().wal_size())
     }
 
     fn total_docs(&self) -> u64 {

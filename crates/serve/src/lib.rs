@@ -36,6 +36,7 @@ pub mod error;
 pub mod request;
 pub mod server;
 pub mod service;
+pub mod telemetry;
 
 #[allow(deprecated)]
 pub use admission::AdmissionConfig;
@@ -50,3 +51,4 @@ pub use server::Server;
 #[allow(deprecated)]
 pub use service::ServiceConfig;
 pub use service::{QueryService, ServeConfig, ServeConfigBuilder, ServeCounters};
+pub use telemetry::Telemetry;

@@ -22,7 +22,9 @@
 //!
 //! Read verbs (`QUERY`, `PHRASE`, `NEAR`, `LIKE`, `DOC`, `STATS`, `PING`)
 //! pass through the bounded queue and can be shed or time out. Write verbs
-//! (`ADD`, `FLUSH`, `CHECKPOINT`) go straight to the service's write path.
+//! (`ADD`, `FLUSH`, `CHECKPOINT`) go straight to the service's write path,
+//! and `METRICS` — the telemetry scrape — bypasses the queue entirely so
+//! dashboards keep working while the queue sheds.
 //! `ADD` stages text into a per-connection batch; `FLUSH` applies the
 //! whole batch atomically and bumps the epoch. Every `OK` reply carries
 //! the epoch it was computed at, so clients can reason about staleness.
@@ -182,6 +184,21 @@ fn serve_connection<E: ServeEngine>(
                 }
                 Err(e) => error_to_wire(&e),
             },
+            // Telemetry scrape: bypasses the admission queue on purpose —
+            // observability must keep answering while the queue sheds.
+            // Reply is framed as `OK <epoch> METRICS <nlines>` followed by
+            // that many lines of Prometheus text exposition.
+            "METRICS" => {
+                let text = frontend.service().render_metrics();
+                write!(
+                    writer,
+                    "OK {} METRICS {}\n{text}",
+                    frontend.service().epoch(),
+                    text.lines().count()
+                )?;
+                writer.flush()?;
+                continue;
+            }
             "CHECKPOINT" => match frontend.service().checkpoint() {
                 Ok(Some(bytes)) => {
                     format!("OK {} CHECKPOINTED {bytes}", frontend.service().epoch())
@@ -231,6 +248,22 @@ mod tests {
             let mut reply = String::new();
             self.reader.read_line(&mut reply).unwrap();
             reply.trim_end().to_string()
+        }
+
+        /// Send `METRICS`, parse the `OK <epoch> METRICS <n>` header, and
+        /// return the n-line exposition body.
+        fn scrape_metrics(&mut self) -> String {
+            let header = self.roundtrip("METRICS");
+            let nlines: usize = header
+                .strip_prefix("OK ")
+                .and_then(|r| r.split_once(" METRICS "))
+                .map(|(_, n)| n.parse().unwrap())
+                .unwrap_or_else(|| panic!("bad METRICS header: {header}"));
+            let mut body = String::new();
+            for _ in 0..nlines {
+                self.reader.read_line(&mut body).unwrap();
+            }
+            body
         }
     }
 
@@ -300,6 +333,30 @@ mod tests {
             let resp = h.join().unwrap();
             assert_eq!(resp.payload, Payload::Docs(vec![1, 2]));
         }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn metrics_over_the_wire() {
+        let srv = server();
+        let mut c = Client::connect(srv.addr());
+        c.roundtrip("ADD one two three");
+        c.roundtrip("FLUSH");
+        c.roundtrip("QUERY two");
+        let body = c.scrape_metrics();
+        // The exposition must parse cleanly and carry the serving metrics.
+        let snap = invidx_obs::parse_prometheus(&body)
+            .unwrap_or_else(|e| panic!("exposition must parse: {e}"));
+        assert!(snap.counters.iter().any(|(n, _)| n == "serve_queries_total"));
+        assert!(snap.gauges.iter().any(|(n, _)| n == "serve_latency_p99_us"));
+        assert!(snap.gauges.iter().any(|(n, _)| n == "slo_error_budget_remaining_ppm"));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "serve_latency_ms" && h.count > 0));
+        // A second scrape still parses (idempotent, no framing drift).
+        let again = c.scrape_metrics();
+        invidx_obs::parse_prometheus(&again).unwrap();
         srv.shutdown();
     }
 

@@ -55,6 +55,18 @@ pub struct ServeConfig {
     pub high_water: usize,
     /// Default per-request deadline, measured from admission.
     pub deadline: std::time::Duration,
+    /// Trace one in this many requests (0 = tracing off, 1 = every
+    /// request). Sampled requests emit a span tree on the event stream.
+    pub trace_sample: u32,
+    /// Slow-query threshold in milliseconds; served requests at or above
+    /// it are logged as `slow_query` events (0 disables the threshold;
+    /// shed and timed-out requests are always logged).
+    pub slow_query_ms: u64,
+    /// SLO latency target in milliseconds.
+    pub slo_target_ms: u64,
+    /// SLO availability objective in ppm of requests meeting the target
+    /// (e.g. 999_000 = 99.9%).
+    pub slo_objective_ppm: u32,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +76,10 @@ impl Default for ServeConfig {
             readers: 4,
             high_water: 128,
             deadline: std::time::Duration::from_millis(500),
+            trace_sample: 0,
+            slow_query_ms: 250,
+            slo_target_ms: 50,
+            slo_objective_ppm: 999_000,
         }
     }
 }
@@ -106,6 +122,30 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Trace one in `every` requests (0 = off, 1 = all).
+    pub fn trace_sample(mut self, every: u32) -> Self {
+        self.config.trace_sample = every;
+        self
+    }
+
+    /// Slow-query threshold in milliseconds (0 disables the threshold).
+    pub fn slow_query_ms(mut self, ms: u64) -> Self {
+        self.config.slow_query_ms = ms;
+        self
+    }
+
+    /// SLO latency target in milliseconds.
+    pub fn slo_target_ms(mut self, ms: u64) -> Self {
+        self.config.slo_target_ms = ms;
+        self
+    }
+
+    /// SLO availability objective in ppm (e.g. 999_000 = 99.9%).
+    pub fn slo_objective_ppm(mut self, ppm: u32) -> Self {
+        self.config.slo_objective_ppm = ppm;
+        self
+    }
+
     /// Validate and produce the config. All shape invariants are checked
     /// here, so a `ServeConfig` in hand is always safe to start a
     /// [`crate::Frontend`] with.
@@ -120,6 +160,14 @@ impl ServeConfigBuilder {
         if c.deadline.is_zero() {
             return Err(ServeError::Config("deadline must be non-zero".into()));
         }
+        if c.slo_target_ms == 0 {
+            return Err(ServeError::Config("SLO target must be non-zero".into()));
+        }
+        if !(1..=999_999).contains(&c.slo_objective_ppm) {
+            return Err(ServeError::Config(
+                "SLO objective must be in [1, 999999] ppm".into(),
+            ));
+        }
         Ok(self.config)
     }
 }
@@ -127,45 +175,82 @@ impl ServeConfigBuilder {
 /// Per-service counters, mirrored into the global `invidx-obs` registry so
 /// dashboards see them, but readable per instance so tests don't race each
 /// other through process-global state.
-#[derive(Debug, Default)]
+///
+/// Each local counter is paired with its resolved global handle at
+/// construction. (An earlier version mirrored through the `counter!`
+/// macro inside a shared helper — but that macro caches its handle per
+/// *call site*, so every name funneled through one helper incremented
+/// whichever global counter was resolved first.)
+#[derive(Debug)]
 pub struct ServeCounters {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    shed: AtomicU64,
-    timeouts: AtomicU64,
-    batches: AtomicU64,
+    queries: MirroredCounter,
+    cache_hits: MirroredCounter,
+    cache_misses: MirroredCounter,
+    shed: MirroredCounter,
+    timeouts: MirroredCounter,
+    batches: MirroredCounter,
+}
+
+/// A per-instance counter plus its global-registry mirror.
+#[derive(Debug)]
+struct MirroredCounter {
+    local: AtomicU64,
+    global: std::sync::Arc<invidx_obs::Counter>,
+}
+
+impl MirroredCounter {
+    fn new(name: &str) -> Self {
+        Self { local: AtomicU64::new(0), global: invidx_obs::registry().counter(name) }
+    }
+
+    fn inc(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+        self.global.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ServeCounters {
+    fn default() -> Self {
+        Self {
+            queries: MirroredCounter::new(names::SERVE_QUERIES),
+            cache_hits: MirroredCounter::new(names::SERVE_CACHE_HITS),
+            cache_misses: MirroredCounter::new(names::SERVE_CACHE_MISSES),
+            shed: MirroredCounter::new(names::SERVE_SHED),
+            timeouts: MirroredCounter::new(names::SERVE_TIMEOUTS),
+            batches: MirroredCounter::new(names::SERVE_BATCHES),
+        }
+    }
 }
 
 impl ServeCounters {
-    fn bump(counter: &AtomicU64, name: &str) {
-        counter.fetch_add(1, Ordering::Relaxed);
-        invidx_obs::counter!(name).inc();
-    }
 
     /// Count one shed request (admission rejection).
     pub fn count_shed(&self) {
-        Self::bump(&self.shed, names::SERVE_SHED);
+        self.shed.inc();
     }
 
     /// Count one queue-deadline expiry.
     pub fn count_timeout(&self) {
-        Self::bump(&self.timeouts, names::SERVE_TIMEOUTS);
+        self.timeouts.inc();
     }
 
     /// Requests shed so far.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Requests expired so far.
     pub fn timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Relaxed)
+        self.timeouts.get()
     }
 
     /// Cache hits so far.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.get()
     }
 }
 
@@ -175,6 +260,7 @@ pub struct QueryService<E> {
     epoch: EpochCounter,
     cache: Mutex<ResultCache>,
     counters: ServeCounters,
+    telemetry: crate::telemetry::Telemetry,
 }
 
 impl<E: ServeEngine> QueryService<E> {
@@ -185,6 +271,7 @@ impl<E: ServeEngine> QueryService<E> {
             epoch: EpochCounter::new(),
             cache: Mutex::new(ResultCache::new(config.result_cache_capacity)),
             counters: ServeCounters::default(),
+            telemetry: crate::telemetry::Telemetry::new(&config),
         }
     }
 
@@ -217,25 +304,62 @@ impl<E: ServeEngine> QueryService<E> {
         &self.counters
     }
 
+    /// The per-service telemetry (trace sampling, live quantiles, SLO).
+    pub fn telemetry(&self) -> &crate::telemetry::Telemetry {
+        &self.telemetry
+    }
+
+    /// Refresh derived gauges (live quantiles, SLO budget, epoch, WAL
+    /// lag) in the global registry. Uses `try_read` on the engine so a
+    /// wedged writer cannot stall a metrics scrape.
+    pub fn publish_gauges(&self) {
+        self.telemetry.publish_gauges();
+        invidx_obs::gauge!(names::SERVE_EPOCH).set(self.epoch.get() as i64);
+        if let Some(engine) = self.engine.try_read() {
+            if let Some(wal) = engine.wal_bytes() {
+                invidx_obs::gauge!(names::INDEX_WAL_BYTES).set(wal as i64);
+            }
+        }
+    }
+
+    /// Render the full Prometheus text exposition for this process,
+    /// refreshing derived gauges first and flushing any buffered event
+    /// sink so scrapes and trace files stay in step. Backs the `METRICS`
+    /// protocol verb.
+    pub fn render_metrics(&self) -> String {
+        self.publish_gauges();
+        invidx_obs::flush_events();
+        invidx_obs::snapshot().to_prometheus()
+    }
+
     /// Execute one read request against a coherent `(epoch, engine)`
     /// snapshot, consulting the result cache for cacheable requests.
     pub fn execute(&self, request: &Request) -> Result<Response, ServeError> {
-        ServeCounters::bump(&self.counters.queries, names::SERVE_QUERIES);
+        self.counters.queries.inc();
         // The read lock pins the epoch: writers bump it only while holding
         // the write lock, so `epoch` names exactly the state we query.
         let engine = self.engine.read();
         let epoch = self.epoch.get();
         let key = request.cache_key();
         if let Some(key) = &key {
-            let (cached, outcome) = self.cache.lock().get(key, epoch);
+            let probe = {
+                let _stage = invidx_obs::trace::stage("cache");
+                invidx_obs::trace::add_items(1);
+                self.cache.lock().get(key, epoch)
+            };
+            let (cached, outcome) = probe;
             self.count_lookup(outcome);
             if let Some(payload) = cached {
                 return Ok(Response { epoch, payload });
             }
         }
-        let payload = self.run(&engine, request)?;
+        let payload = {
+            let _stage = invidx_obs::trace::stage("engine");
+            self.run(&engine, request)?
+        };
         if let Some(key) = key {
             // Still under the read lock, so `epoch` is still current.
+            let _stage = invidx_obs::trace::stage("cache");
             self.cache.lock().insert(key, epoch, payload.clone());
         }
         Ok(Response { epoch, payload })
@@ -272,15 +396,11 @@ impl<E: ServeEngine> QueryService<E> {
 
     fn count_lookup(&self, outcome: Lookup) {
         match outcome {
-            Lookup::Hit => {
-                ServeCounters::bump(&self.counters.cache_hits, names::SERVE_CACHE_HITS)
-            }
-            Lookup::Miss => {
-                ServeCounters::bump(&self.counters.cache_misses, names::SERVE_CACHE_MISSES)
-            }
+            Lookup::Hit => self.counters.cache_hits.inc(),
+            Lookup::Miss => self.counters.cache_misses.inc(),
             Lookup::Stale => {
                 // A stale drop is also a miss from the caller's viewpoint.
-                ServeCounters::bump(&self.counters.cache_misses, names::SERVE_CACHE_MISSES);
+                self.counters.cache_misses.inc();
                 invidx_obs::counter!(names::SERVE_CACHE_STALE_DROPS).inc();
             }
         }
@@ -301,7 +421,7 @@ impl<E: ServeEngine> QueryService<E> {
         // Bump while still holding the write lock, so no reader can pair
         // the new state with the old epoch.
         let epoch = self.epoch.bump();
-        ServeCounters::bump(&self.counters.batches, names::SERVE_BATCHES);
+        self.counters.batches.inc();
         drop(engine);
         Ok((report, epoch))
     }
@@ -339,14 +459,14 @@ impl<E: ServeEngine> QueryService<E> {
         let block = engine.block_cache_stats().unwrap_or_default();
         ServeStats {
             docs: engine.total_docs(),
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            queries: self.counters.queries.get(),
+            cache_hits: self.counters.cache_hits.get(),
+            cache_misses: self.counters.cache_misses.get(),
             cache_evictions: cache.evictions(),
             cache_stale_drops: cache.stale_drops(),
-            shed: self.counters.shed.load(Ordering::Relaxed),
-            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
+            shed: self.counters.shed.get(),
+            timeouts: self.counters.timeouts.get(),
+            batches: self.counters.batches.get(),
             block_cache_hits: block.hits,
             block_cache_misses: block.misses,
             block_cache_evictions: block.evictions,

@@ -1,0 +1,138 @@
+//! Live telemetry for one serving instance: trace sampling, sliding
+//! latency quantiles, the slow-query threshold, and SLO accounting.
+//!
+//! One [`Telemetry`] lives inside each [`crate::QueryService`] and is
+//! consulted at admission (should this request carry a
+//! [`TraceCtx`](invidx_obs::TraceCtx)?) and at completion (classify the
+//! outcome against the SLO, feed the sliding window, decide whether the
+//! request belongs in the slow-query log). [`Telemetry::publish_gauges`]
+//! pushes the derived values — live p50/p95/p99, error-budget remaining,
+//! burn rate — into the global registry so the `METRICS` verb and
+//! `invidx top` see them.
+
+use crate::service::ServeConfig;
+use invidx_obs::names;
+use invidx_obs::{Buckets, Sampler, SlidingHistogram, SloTracker, TraceCtx};
+
+/// Latency quantile window: 6 slots × 10 s = one minute.
+const WINDOW_SLOTS: usize = 6;
+const SLOT_MS: u64 = 10_000;
+
+/// Per-service telemetry state (see module docs).
+pub struct Telemetry {
+    sampler: Sampler,
+    latency: SlidingHistogram,
+    slo: SloTracker,
+    slow_ms: u64,
+}
+
+impl Telemetry {
+    /// Build from the serving config's observability knobs.
+    pub fn new(config: &ServeConfig) -> Self {
+        Self {
+            sampler: Sampler::new(config.trace_sample),
+            latency: SlidingHistogram::new(Buckets::time_ms(), WINDOW_SLOTS, SLOT_MS),
+            slo: SloTracker::new(config.slo_target_ms as f64, config.slo_objective_ppm),
+            slow_ms: config.slow_query_ms,
+        }
+    }
+
+    /// Decide whether this arrival is traced; a `Some` carries a fresh
+    /// context whose root span starts now.
+    pub fn sample(&self) -> Option<TraceCtx> {
+        if !self.sampler.hit() {
+            return None;
+        }
+        invidx_obs::counter!(names::SERVE_TRACES).inc();
+        Some(TraceCtx::start(invidx_obs::trace::next_trace_id()))
+    }
+
+    /// Account a served request; returns whether it met the SLO target.
+    pub fn record_served(&self, latency_ms: f64) -> bool {
+        self.latency.record(latency_ms);
+        let ok = self.slo.observe(latency_ms);
+        invidx_obs::counter!(names::SLO_REQUESTS).inc();
+        if !ok {
+            invidx_obs::counter!(names::SLO_VIOLATIONS).inc();
+        }
+        ok
+    }
+
+    /// Account a request that produced no result (shed, reaped, engine
+    /// error) — always an SLO violation.
+    pub fn record_failed(&self) {
+        self.slo.observe_failure();
+        invidx_obs::counter!(names::SLO_REQUESTS).inc();
+        invidx_obs::counter!(names::SLO_VIOLATIONS).inc();
+    }
+
+    /// Slow-query threshold in ms (0 disables the threshold path;
+    /// shed/timeout outcomes are always logged).
+    pub fn slow_threshold_ms(&self) -> u64 {
+        self.slow_ms
+    }
+
+    /// Live quantile over the sliding window, in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.latency.quantile(q)
+    }
+
+    /// The SLO accountant.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// Push derived gauges (live quantiles in µs, error-budget state)
+    /// into the global registry.
+    pub fn publish_gauges(&self) {
+        let us = |q: f64| (self.latency.quantile(q) * 1e3) as i64;
+        invidx_obs::gauge!(names::SERVE_P50_US).set(us(0.50));
+        invidx_obs::gauge!(names::SERVE_P95_US).set(us(0.95));
+        invidx_obs::gauge!(names::SERVE_P99_US).set(us(0.99));
+        invidx_obs::gauge!(names::SLO_BUDGET_REMAINING_PPM).set(self.slo.budget_remaining_ppm());
+        invidx_obs::gauge!(names::SLO_BURN_RATE_X1000).set(self.slo.burn_rate_x1000());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(trace_sample: u32) -> ServeConfig {
+        ServeConfig { trace_sample, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn sampling_follows_config() {
+        let t = Telemetry::new(&config(0));
+        assert!(t.sample().is_none());
+        let t = Telemetry::new(&config(1));
+        assert!(t.sample().is_some());
+        let t = Telemetry::new(&config(3));
+        let sampled = (0..9).filter(|_| t.sample().is_some()).count();
+        assert_eq!(sampled, 3);
+    }
+
+    #[test]
+    fn slo_classification_feeds_tracker() {
+        let cfg = ServeConfig { slo_target_ms: 10, slo_objective_ppm: 900_000, ..config(0) };
+        let t = Telemetry::new(&cfg);
+        assert!(t.record_served(1.0));
+        assert!(!t.record_served(100.0));
+        t.record_failed();
+        assert_eq!(t.slo().total(), 3);
+        assert_eq!(t.slo().violations(), 2);
+    }
+
+    #[test]
+    fn quantiles_come_from_the_window() {
+        let t = Telemetry::new(&config(0));
+        for _ in 0..100 {
+            t.record_served(1.0);
+        }
+        let p99 = t.quantile_ms(0.99);
+        assert!(p99 > 0.0 && p99 <= 2.56, "p99={p99}");
+        t.publish_gauges(); // must not panic; gauge values spot-checked
+        assert!(invidx_obs::registry().gauge(names::SERVE_P99_US).get() > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Satellite check: the `STATS` verb over TCP and the in-process
+//! `QueryService::stats()` must agree field-by-field, and a scripted
+//! query/flush sequence must move *all* the result-cache and block-cache
+//! counters (hit, miss, stale drop, eviction) off zero — so a dashboard
+//! built on either surface sees the same, complete story.
+
+use invidx_core::index::IndexConfig;
+use invidx_disk::sparse_array;
+use invidx_ir::SearchEngine;
+use invidx_serve::{parse_response, Payload, QueryService, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+#[test]
+fn stats_verb_matches_in_process_counters() {
+    // Geometry chosen so the counters are forced to move: both "hot" and
+    // "warm" have 120 postings (≫ the 40-unit bucket capacity, so they
+    // migrate to 12-block long lists), the block cache holds 16 blocks in
+    // one shard (warm's read evicts hot's frames), and the result cache
+    // holds exactly one entry (the warm lookup evicts the hot entry).
+    let mut config = IndexConfig::small();
+    config.cache_blocks = 16;
+    config.cache_shards = 1;
+    let array = sparse_array(2, 50_000, 256);
+    let engine = SearchEngine::create(array, config).unwrap();
+    let serve = ServeConfig::builder().result_cache_capacity(1).readers(1).build().unwrap();
+    let service = Arc::new(QueryService::with_config(engine, serve));
+    let docs: Vec<String> = (0..120)
+        .map(|i| format!("hot f{i}"))
+        .chain((0..120).map(|i| format!("warm g{i}")))
+        .collect();
+    service.ingest_batch(&docs).unwrap();
+
+    let srv = Server::bind("127.0.0.1:0", Arc::clone(&service), serve).unwrap();
+    let stream = TcpStream::connect(srv.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut roundtrip = |line: &str| -> String {
+        writeln!(&stream, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK "), "{line} failed: {reply}");
+        reply
+    };
+
+    // Result-cache miss + cold block-cache read (12 misses, 12 inserts).
+    roundtrip("QUERY hot");
+    // Epoch bump: the cached "hot" entry is now stale.
+    roundtrip("ADD unrelated zzz");
+    roundtrip("FLUSH");
+    // Stale drop + recompute; the blocks are still resident → block hits.
+    roundtrip("QUERY hot");
+    // Same epoch now → result-cache hit.
+    roundtrip("QUERY hot");
+    // New key: result miss, and its insert evicts the "hot" entry
+    // (capacity 1); its 12-block read evicts hot's frames (16-block cache).
+    roundtrip("QUERY warm");
+
+    let reply = roundtrip("STATS");
+    let resp = parse_response(&reply).unwrap().unwrap();
+    let Payload::Stats(wire) = resp.payload else { panic!("want stats: {reply}") };
+    let local = service.stats();
+
+    // The two surfaces must agree exactly — same counters, same engine.
+    assert_eq!(wire, local, "wire STATS diverged from in-process stats()");
+
+    // And the scripted sequence moved every cache counter off zero.
+    assert!(wire.docs >= 241, "240 corpus docs + 1 added");
+    assert!(wire.queries >= 4);
+    assert_eq!(wire.batches, 2);
+    assert!(wire.cache_misses >= 2, "hot cold lookup + warm lookup");
+    assert!(wire.cache_stale_drops >= 1, "epoch bump must stale the entry");
+    assert!(wire.cache_hits >= 1, "same-epoch re-query must hit");
+    assert!(wire.cache_evictions >= 1, "capacity-1 cache must evict");
+    // Block-cache hits/misses count range reads, not blocks; evictions
+    // count frames.
+    assert!(wire.block_cache_misses >= 1, "cold long-list read");
+    assert!(wire.block_cache_hits >= 1, "resident re-read must hit");
+    assert!(wire.block_cache_evictions >= 1, "16-frame budget must evict");
+    assert_eq!(wire.shed, 0);
+    assert_eq!(wire.timeouts, 0);
+    srv.shutdown();
+}

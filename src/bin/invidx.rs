@@ -375,6 +375,13 @@ impl invidx::serve::ServeEngine for ServedEngine {
         }
     }
 
+    fn wal_bytes(&self) -> Option<u64> {
+        match &self.engine {
+            Engine::Legacy(_) => None,
+            Engine::Durable(e) => Some(e.index().wal_size()),
+        }
+    }
+
     fn total_docs(&self) -> u64 {
         self.engine.total_docs()
     }
@@ -390,6 +397,7 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
     use invidx::serve::{QueryService, ServeConfig, Server};
     let mut addr = "127.0.0.1:7700".to_string();
     let mut builder = ServeConfig::builder();
+    let mut events: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |flag: &str| {
@@ -416,9 +424,39 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
                     value("--cache")?.parse().map_err(|e| format!("cache: {e}"))?,
                 )
             }
+            "--trace-sample" => {
+                builder = builder.trace_sample(
+                    value("--trace-sample")?
+                        .parse()
+                        .map_err(|e| format!("trace-sample: {e}"))?,
+                )
+            }
+            "--slow-ms" => {
+                builder = builder
+                    .slow_query_ms(value("--slow-ms")?.parse().map_err(|e| format!("slow-ms: {e}"))?)
+            }
+            "--slo-target-ms" => {
+                builder = builder.slo_target_ms(
+                    value("--slo-target-ms")?
+                        .parse()
+                        .map_err(|e| format!("slo-target-ms: {e}"))?,
+                )
+            }
+            "--slo-objective-ppm" => {
+                builder = builder.slo_objective_ppm(
+                    value("--slo-objective-ppm")?
+                        .parse()
+                        .map_err(|e| format!("slo-objective-ppm: {e}"))?,
+                )
+            }
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
             other => return Err(format!("unknown serve option {other:?}")),
         }
         i += 2;
+    }
+    if let Some(path) = &events {
+        invidx::obs::init_event_sink(path)
+            .map_err(|e| format!("cannot open event sink {}: {e}", path.display()))?;
     }
     let config = builder.build().map_err(|e| e.to_string())?;
     let (engine, _) = open_engine(dir)?;
@@ -444,7 +482,15 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
         config.deadline.as_millis(),
         config.result_cache_capacity,
     );
-    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DOC | STATS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
+    println!(
+        "telemetry: trace 1/{} (0 = off), slow-query {} ms, SLO {} ms @ {} ppm{}",
+        config.trace_sample,
+        config.slow_query_ms,
+        config.slo_target_ms,
+        config.slo_objective_ppm,
+        events.as_deref().map(|p| format!(", events -> {}", p.display())).unwrap_or_default(),
+    );
+    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DOC | STATS | METRICS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
     println!(
         "try:      printf 'QUERY cat and dog\\nQUIT\\n' | nc {} {}",
         server.addr().ip(),
@@ -794,9 +840,10 @@ fn publish_index_gauges(engine: &Engine, conf: &Conf) {
         gauge!("index_wal_bytes").set(e.index().wal_size() as i64);
         gauge!("index_last_checkpoint_batch").set(e.index().last_checkpoint_batch() as i64);
     }
+    // Utilization is a fraction in (0, 1]: doubling bounds 0.125..1.0.
     invidx::obs::histogram!(
         "index_long_utilization",
-        invidx::obs::Buckets(vec![0.25, 0.5, 0.75, 0.9, 1.0])
+        invidx::obs::Buckets::exponential(0.125, 2.0, 4)
     )
     .record(d.utilization(conf.block_postings));
     for (disk, &(free, total)) in ix.array().per_disk_usage().iter().enumerate() {
@@ -814,6 +861,7 @@ fn publish_index_gauges(engine: &Engine, conf: &Conf) {
 /// load, long-list reads when `--read <word>` is given).
 fn cmd_metrics(dir: &Path, args: &[String]) -> Result<(), String> {
     let mut json = false;
+    let mut watch: Option<u64> = None;
     let mut read_words: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -826,23 +874,199 @@ fn cmd_metrics(dir: &Path, args: &[String]) -> Result<(), String> {
                 read_words.push(args.get(i + 1).ok_or("--read needs a word")?.clone());
                 i += 2;
             }
+            "--watch" => {
+                let secs: u64 = args
+                    .get(i + 1)
+                    .ok_or("--watch needs a period in seconds")?
+                    .parse()
+                    .map_err(|e| format!("watch: {e}"))?;
+                if secs == 0 {
+                    return Err("--watch period must be at least 1 second".into());
+                }
+                watch = Some(secs);
+                i += 2;
+            }
             other => return Err(format!("unknown metrics option {other:?}")),
         }
     }
-    let (engine, conf) = open_engine(dir)?;
-    // Optional read traffic so counter/histogram metrics show live values.
-    for w in &read_words {
-        let hits = engine.boolean_str(w).map_err(|e| format!("read {w:?}: {e}"))?;
-        invidx::obs::log_progress("invidx", &format!("{w:?}: {} match(es)", hits.docs().len()));
+    loop {
+        // Reopen per tick: another process (an `add`, the server) may have
+        // moved the on-disk index since the last render.
+        let (engine, conf) = open_engine(dir)?;
+        // Optional read traffic so counter/histogram metrics show live
+        // values.
+        for w in &read_words {
+            let hits = engine.boolean_str(w).map_err(|e| format!("read {w:?}: {e}"))?;
+            invidx::obs::log_progress("invidx", &format!("{w:?}: {} match(es)", hits.docs().len()));
+        }
+        publish_index_gauges(&engine, &conf);
+        let snap = invidx::obs::snapshot();
+        let Some(secs) = watch else {
+            if json {
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", snap.to_prometheus());
+            }
+            return Ok(());
+        };
+        // Watch mode: clear the terminal and redraw, `watch(1)`-style.
+        print!("\x1b[2J\x1b[H");
+        println!("# invidx metrics {} — every {secs}s, ctrl-c to stop", dir.display());
+        if json {
+            println!("{}", snap.to_json());
+        } else {
+            print!("{}", snap.to_prometheus());
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        std::thread::sleep(std::time::Duration::from_secs(secs));
     }
-    publish_index_gauges(&engine, &conf);
-    let snap = invidx::obs::snapshot();
-    if json {
-        println!("{}", snap.to_json());
-    } else {
-        print!("{}", snap.to_prometheus());
+}
+
+/// One poll of a running server: scrape the `METRICS` and `STATS` verbs
+/// over an existing connection.
+fn poll_server(
+    mut stream: &std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+) -> Result<(u64, invidx::obs::Snapshot, invidx::serve::ServeStats), String> {
+    use std::io::{BufRead, Write};
+    writeln!(stream, "METRICS").map_err(|e| format!("send METRICS: {e}"))?;
+    let mut header = String::new();
+    reader.read_line(&mut header).map_err(|e| format!("read METRICS header: {e}"))?;
+    // `OK <epoch> METRICS <nlines>` then nlines of Prometheus text.
+    let mut parts = header.split_whitespace();
+    let (Some("OK"), Some(epoch), Some("METRICS"), Some(n)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("bad METRICS header: {header:?}"));
+    };
+    let epoch: u64 = epoch.parse().map_err(|e| format!("METRICS epoch: {e}"))?;
+    let n: usize = n.parse().map_err(|e| format!("METRICS line count: {e}"))?;
+    let mut text = String::new();
+    for _ in 0..n {
+        reader.read_line(&mut text).map_err(|e| format!("read METRICS body: {e}"))?;
     }
-    Ok(())
+    let snap = invidx::obs::parse_prometheus(&text)
+        .map_err(|e| format!("malformed exposition from server: {e}"))?;
+    writeln!(stream, "STATS").map_err(|e| format!("send STATS: {e}"))?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read STATS: {e}"))?;
+    let resp = invidx::serve::parse_response(&line)
+        .map_err(|e| format!("parse STATS: {e}"))?
+        .map_err(|e| format!("STATS failed: {e}"))?;
+    let invidx::serve::Payload::Stats(stats) = resp.payload else {
+        return Err(format!("STATS returned a non-stats payload: {line:?}"));
+    };
+    Ok((epoch, snap, stats))
+}
+
+/// Live dashboard over a running `invidx serve`: polls `METRICS` + `STATS`
+/// and renders qps, tail latency, cache hit rates, shedding, SLO budget,
+/// and WAL lag. `--once` prints a single frame (scripts, CI smoke tests).
+fn cmd_top(addr: &str, args: &[String]) -> Result<(), String> {
+    let mut interval = 2u64;
+    let mut once = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval" => {
+                interval = args
+                    .get(i + 1)
+                    .ok_or("--interval needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("interval: {e}"))?;
+                if interval == 0 {
+                    return Err("--interval must be at least 1 second".into());
+                }
+                i += 2;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown top option {other:?}")),
+        }
+    }
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = std::io::BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let gauge = |snap: &invidx::obs::Snapshot, name: &str| -> i64 {
+        snap.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    let counter = |snap: &invidx::obs::Snapshot, name: &str| -> u64 {
+        snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    let rate = |hits: u64, misses: u64| -> f64 {
+        let total = hits + misses;
+        if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+    };
+    let mut prev: Option<(std::time::Instant, u64)> = None;
+    loop {
+        let (epoch, snap, stats) = poll_server(&stream, &mut reader)?;
+        let now = std::time::Instant::now();
+        let queries = counter(&snap, "serve_queries_total");
+        let qps = match prev {
+            Some((t, q)) if now > t => (queries.saturating_sub(q)) as f64
+                / now.duration_since(t).as_secs_f64(),
+            _ => 0.0,
+        };
+        prev = Some((now, queries));
+        if !once {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("invidx top — {addr} (every {interval}s, ctrl-c to stop)");
+        println!();
+        println!("epoch               {epoch}");
+        println!("documents           {}", stats.docs);
+        println!("qps                 {qps:.1}");
+        println!(
+            "latency p50/p95/p99 {:.2} / {:.2} / {:.2} ms",
+            gauge(&snap, "serve_latency_p50_us") as f64 / 1e3,
+            gauge(&snap, "serve_latency_p95_us") as f64 / 1e3,
+            gauge(&snap, "serve_latency_p99_us") as f64 / 1e3,
+        );
+        println!("queue depth         {}", gauge(&snap, "serve_queue_depth"));
+        println!(
+            "result cache        {:.1}% hit ({} hits / {} misses, {} evictions, {} stale)",
+            rate(stats.cache_hits, stats.cache_misses) * 100.0,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.cache_stale_drops,
+        );
+        println!(
+            "block cache         {:.1}% hit ({} hits / {} misses, {} evictions, {} B resident)",
+            rate(stats.block_cache_hits, stats.block_cache_misses) * 100.0,
+            stats.block_cache_hits,
+            stats.block_cache_misses,
+            stats.block_cache_evictions,
+            gauge(&snap, "block_cache_bytes_resident"),
+        );
+        println!(
+            "shed / timeouts     {} / {} ({:.2}% shed)",
+            stats.shed,
+            stats.timeouts,
+            rate(stats.shed, stats.queries) * 100.0,
+        );
+        println!(
+            "slo                 {:.1}% budget left, burn {:.2}x ({} violations / {} requests)",
+            gauge(&snap, "slo_error_budget_remaining_ppm") as f64 / 1e4,
+            gauge(&snap, "slo_burn_rate_x1000") as f64 / 1e3,
+            counter(&snap, "slo_violations_total"),
+            counter(&snap, "slo_requests_total"),
+        );
+        println!(
+            "tracing             {} traces, {} slow queries logged",
+            counter(&snap, "serve_traces_total"),
+            counter(&snap, "serve_slow_queries_total"),
+        );
+        println!("wal lag             {} B", gauge(&snap, "index_wal_bytes"));
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
 }
 
 fn print_docs(docs: &[DocId]) {
@@ -866,8 +1090,10 @@ fn usage() -> ExitCode {
          invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
          invidx compact <dir>\n  invidx checkpoint <dir>\n  invidx recover <dir>\n  \
          invidx stats <dir> [--metrics]\n  \
-         invidx metrics <dir> [--json] [--read <word>]...\n  \
-         invidx serve <dir> [--addr H:P] [--readers N] [--high-water N] [--deadline-ms N] [--cache N]"
+         invidx metrics <dir> [--json] [--read <word>]... [--watch <secs>]\n  \
+         invidx serve <dir> [--addr H:P] [--readers N] [--high-water N] [--deadline-ms N] [--cache N]\n               \
+         [--trace-sample N] [--slow-ms N] [--slo-target-ms N] [--slo-objective-ppm N] [--events <file>]\n  \
+         invidx top <addr> [--interval <secs>] [--once]"
     );
     ExitCode::from(2)
 }
@@ -898,6 +1124,8 @@ fn main() -> ExitCode {
         ("stats", [flag]) if flag == "--metrics" => cmd_stats(&dir, true),
         ("metrics", opts) => cmd_metrics(&dir, opts),
         ("serve", opts) => cmd_serve(&dir, opts),
+        // For `top` the positional argument is a host:port, not a dir.
+        ("top", opts) => cmd_top(&dir.to_string_lossy(), opts),
         _ => return usage(),
     };
     match result {

@@ -1,0 +1,130 @@
+//! Drives the `invidx` binary end to end: init → add → stats/metrics all
+//! report a consistent story, the Prometheus exposition round-trips
+//! through the parser, and `invidx serve` + `invidx top --once` make one
+//! live dashboard frame from the METRICS/STATS verbs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_invidx");
+
+/// Unique scratch dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("invidx-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the serve child on drop so a failing assert can't leak it.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(BIN).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "invidx {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn stats_metrics_and_top_agree_end_to_end() {
+    let scratch = Scratch::new("stats");
+    let index = scratch.path().join("ix");
+    let dir = index.to_str().unwrap();
+    run(&["init", dir, "--disks", "2", "--blocks", "4000", "--cache-blocks", "16"]);
+    let doc1 = scratch.path().join("doc1.txt");
+    let doc2 = scratch.path().join("doc2.txt");
+    std::fs::write(&doc1, "the quick brown fox jumps").unwrap();
+    std::fs::write(&doc2, "the lazy dog sleeps all day").unwrap();
+    run(&["add", dir, doc1.to_str().unwrap(), doc2.to_str().unwrap()]);
+
+    // `stats --metrics` appends a Prometheus exposition after a blank
+    // line; it must parse, and its gauges must match the human-readable
+    // stats above it.
+    let stats = run(&["stats", dir, "--metrics"]);
+    assert!(stats.contains("documents           2"), "{stats}");
+    let prom = stats.split_once("\n\n").expect("blank line before exposition").1;
+    let snap = invidx::obs::parse_prometheus(prom).unwrap();
+    let gauge = |name: &str| {
+        snap.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    };
+    assert_eq!(gauge("index_documents"), Some(2));
+    assert_eq!(gauge("index_batches_flushed"), Some(1));
+
+    // `metrics` renders the same registry standalone, with the migrated
+    // exponential utilization buckets.
+    let metrics = run(&["metrics", dir]);
+    let snap = invidx::obs::parse_prometheus(&metrics).unwrap();
+    assert!(snap.gauges.iter().any(|(n, v)| n == "index_documents" && *v == 2));
+    let util = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "index_long_utilization")
+        .expect("utilization histogram");
+    let bounds: Vec<f64> =
+        util.buckets.iter().map(|&(le, _)| le).filter(|le| le.is_finite()).collect();
+    assert_eq!(bounds, vec![0.125, 0.25, 0.5, 1.0], "Buckets::exponential(0.125, 2, 4)");
+
+    // Serve the index with tracing on, drive a query, and render one
+    // `invidx top` frame from the telemetry verbs.
+    let mut child = KillOnDrop(
+        Command::new(BIN)
+            .args(["serve", dir, "--addr", "127.0.0.1:0", "--trace-sample", "1",
+                   "--slow-ms", "1000"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let stdout = child.0.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("server exited before listening").unwrap();
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for req in ["QUERY fox", "QUERY dog"] {
+        writeln!(&stream, "{req}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK "), "{req} failed: {reply}");
+    }
+
+    let top = run(&["top", &addr, "--once"]);
+    assert!(top.contains("documents           2"), "{top}");
+    assert!(top.contains("latency p50/p95/p99"), "{top}");
+    assert!(top.contains("slo "), "{top}");
+    assert!(top.contains("wal lag"), "{top}");
+    // The two queries are visible in the frame's result-cache line.
+    assert!(top.contains("result cache"), "{top}");
+}
