@@ -9,6 +9,12 @@
 //!   batches. Every response's `(epoch, docs)` pair is checked against a
 //!   single-threaded oracle replay of the same batch schedule; one
 //!   mismatch fails the run.
+//! * **Open-loop phase** — arrivals are sampled from a Poisson process at
+//!   a fixed offered rate (same Zipf query mix) and each request gets its
+//!   own connection and thread; arrivals never wait for completions, so a
+//!   saturating server can't throttle its own load generator, and latency
+//!   is measured from the *scheduled* arrival instant — queueing delay
+//!   counts. Every response is oracle-checked.
 //! * **Overload phase** — the server is rebuilt with a deliberately tiny
 //!   queue (1 reader, high-water 4) and its writer wedged, then burst
 //!   clients flood it. The point under test: the server answers with
@@ -283,6 +289,129 @@ fn sustained_phase(
     }
 }
 
+/// Open-loop phase: fixed-rate Poisson arrivals against a warm server.
+/// Unlike the closed-loop sustained phase, the arrival process is
+/// independent of completions — each arrival gets its own connection and
+/// thread, and latency is charged from the request's *scheduled* arrival
+/// time, so backlog shows up as latency rather than as a slowed client.
+fn open_loop_phase(
+    queries: Arc<Vec<Request>>,
+    oracle: Arc<Vec<HashMap<String, Vec<u32>>>>,
+    schedule: &[Vec<String>],
+) -> PhaseRow {
+    let engine =
+        SearchEngine::create(sparse_array(4, 200_000, 512), IndexConfig::small()).unwrap();
+    let config = ServeConfig::builder()
+        .result_cache_capacity(512)
+        .readers(4)
+        .high_water(256)
+        .deadline(Duration::from_secs(5))
+        .build()
+        .expect("valid serve config");
+    let service = Arc::new(QueryService::with_config(engine, config));
+    for batch in schedule {
+        service.ingest_batch(batch).expect("seed");
+    }
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
+    let addr = server.addr();
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let (rate, window) = if quick() {
+        (400.0, Duration::from_secs(2))
+    } else {
+        (1_000.0, Duration::from_secs(4))
+    };
+
+    let (tx, rx) = std::sync::mpsc::channel::<(u8, u64)>(); // (0 ok | 1 shed | 2 timeout, us)
+    let mut rng = StdRng::seed_from_u64(0x09E71007);
+    let started = Instant::now();
+    let mut next = Duration::ZERO;
+    let mut arrivals = 0u64;
+    let mut workers = Vec::new();
+    while next < window {
+        let due = started + next;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        arrivals += 1;
+        let pick = rng.random_range(0..queries.len());
+        let queries = Arc::clone(&queries);
+        let oracle = Arc::clone(&oracle);
+        let mismatches = Arc::clone(&mismatches);
+        let tx = tx.clone();
+        workers.push(std::thread::spawn(move || {
+            let req = &queries[pick];
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            writeln!(writer, "{}", req.to_wire()).expect("send");
+            writer.flush().expect("flush");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("recv");
+            let latency = due.elapsed().as_micros() as u64;
+            match parse_response(&line).expect("well-formed reply") {
+                Ok(resp) => {
+                    let Payload::Docs(got) = &resp.payload else {
+                        panic!("unexpected payload: {line}")
+                    };
+                    let want = &oracle[resp.epoch as usize][&req.to_wire()];
+                    if got != want {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "MISMATCH {} at epoch {}: got {got:?}, oracle {want:?}",
+                            req.to_wire(),
+                            resp.epoch
+                        );
+                    }
+                    let _ = tx.send((0, latency));
+                }
+                Err(e) if e.code() == "overloaded" => drop(tx.send((1, latency))),
+                Err(e) if e.code() == "timeout" => drop(tx.send((2, latency))),
+                Err(e) => panic!("unexpected serving error: {e}"),
+            }
+        }));
+        // Exponential inter-arrival; u < 1.0 keeps the log finite.
+        let u: f64 = rng.random();
+        next += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    drop(tx);
+    server.shutdown();
+
+    let bad = mismatches.load(Ordering::Relaxed);
+    assert_eq!(bad, 0, "{bad} oracle mismatches in the open-loop phase");
+    let mut out = PhaseRow {
+        label: format!("open loop ({rate:.0}/s Poisson)"),
+        clients: 1, // one arrival process, not a closed client pool
+        requests: arrivals,
+        ok: 0,
+        shed: 0,
+        timeouts: 0,
+        secs,
+        latencies_us: Vec::new(),
+        cache_hit_rate: 0.0,
+    };
+    for (kind, latency) in rx {
+        match kind {
+            0 => {
+                out.ok += 1;
+                out.latencies_us.push(latency);
+            }
+            1 => out.shed += 1,
+            _ => out.timeouts += 1,
+        }
+    }
+    assert!(out.ok > 0, "open loop produced no successful responses");
+    let stats = service.stats();
+    let lookups = stats.cache_hits + stats.cache_misses;
+    out.cache_hit_rate =
+        if lookups == 0 { 0.0 } else { stats.cache_hits as f64 / lookups as f64 };
+    out
+}
+
 /// Overload phase: tiny queue, wedged writer, burst clients. The server
 /// must degrade by answering typed load errors, not by queueing forever.
 fn overload_phase(queries: Arc<Vec<Request>>, seed_batch: &[String]) -> PhaseRow {
@@ -389,7 +518,9 @@ fn main() {
     let oracle = Arc::new(build_oracle(&schedule, &queries));
     invidx_obs::log_progress("serving", "oracle replay built; starting load");
 
-    let sustained = sustained_phase(&s, Arc::clone(&schedule), Arc::clone(&queries), oracle);
+    let sustained =
+        sustained_phase(&s, Arc::clone(&schedule), Arc::clone(&queries), Arc::clone(&oracle));
+    let open_loop = open_loop_phase(Arc::clone(&queries), oracle, &schedule);
     let overload = overload_phase(queries, &schedule[0]);
 
     emit_table(&TextTable {
@@ -413,6 +544,6 @@ fn main() {
             "Cache hit".into(),
             "Shed rate".into(),
         ],
-        rows: vec![sustained.cells(), overload.cells()],
+        rows: vec![sustained.cells(), open_loop.cells(), overload.cells()],
     });
 }

@@ -40,6 +40,13 @@ impl EpochCounter {
         Self::default()
     }
 
+    /// A counter starting at an arbitrary epoch — used when the epoch is
+    /// anchored to persistent state (a durable store's committed batch
+    /// count), so epochs stay comparable across restarts and replicas.
+    pub fn starting_at(epoch: u64) -> Self {
+        Self(AtomicU64::new(epoch))
+    }
+
     /// The current epoch.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Acquire)

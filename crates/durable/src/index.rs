@@ -701,6 +701,21 @@ impl DurableIndex {
         self.wal.len()
     }
 
+    /// Committed WAL records with batch numbers above `from_batch`,
+    /// decoded from the live log — the WAL-shipping read path. `&self` on
+    /// purpose: a serving layer answers tail requests under its read lock
+    /// while the single writer appends. A torn tail (a record mid-append
+    /// on the other side of the lock) is simply not yet visible; the
+    /// tailer picks it up on its next poll.
+    ///
+    /// Only useful on stores running `checkpoint_every: 0`: a checkpoint
+    /// resets the WAL, so records at or below the checkpoint batch are
+    /// gone and a lagging replica would see a gap it cannot replay across.
+    pub fn wal_records_from(&self, from_batch: u64) -> Result<Vec<WalRecord>> {
+        let scan = WalReader::scan(&self.wal.read_all()?);
+        Ok(scan.records.into_iter().filter(|r| r.batch() > from_batch).collect())
+    }
+
     /// Batch number the latest checkpoint covers.
     pub fn last_checkpoint_batch(&self) -> u64 {
         self.last_ckpt_batch

@@ -326,6 +326,89 @@ impl DurableEngine {
         self.core.more_like_this(self.index.inner(), text, k)
     }
 
+    /// Document frequency per term (0 for unknown words) — the DF phase of
+    /// the router's distributed LIKE.
+    pub fn term_dfs(&self, terms: &[String]) -> invidx_core::Result<Vec<u64>> {
+        self.core.term_dfs(self.index.inner(), terms)
+    }
+
+    /// Top-k scoring with caller-supplied per-term contributions (the
+    /// router's WLIKE phase); accumulation runs in slice order.
+    pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> invidx_core::Result<Vec<Hit>> {
+        self.core.weighted_like(self.index.inner(), terms, k)
+    }
+
+    // ----- replication -----
+
+    /// Committed WAL records after `from_batch` — what a primary serves to
+    /// a tailing replica. See [`DurableIndex::wal_records_from`] for the
+    /// checkpoint caveat (primaries that ship their WAL must run with
+    /// `checkpoint_every: 0`).
+    pub fn wal_records_from(&self, from_batch: u64) -> invidx_durable::Result<Vec<WalRecord>> {
+        self.index.wal_records_from(from_batch)
+    }
+
+    /// Apply one shipped WAL record on a replica, re-running the primary's
+    /// batch through this engine's own update path (re-lex, re-intern,
+    /// re-store, re-flush). The replica converges on the same vocabulary,
+    /// document store, and posting lists as the primary because the record
+    /// carries the batch's document texts and interning order is the
+    /// deterministic lexer order — the same argument that makes crash
+    /// recovery exact. The record lands in the replica's *own* WAL, so a
+    /// restarted replica recovers locally and resumes tailing from its
+    /// committed batch count.
+    ///
+    /// Records must arrive in batch order with no gaps; a divergent doc id
+    /// or batch number poisons nothing but returns `Corrupt`, and the
+    /// caller should re-seed the replica.
+    pub fn apply_replicated(&mut self, record: &WalRecord) -> invidx_durable::Result<u64> {
+        let expect = self.index.batches() + 1;
+        if record.batch() != expect {
+            return Err(DurableError::Corrupt(format!(
+                "replica committed batch {}, shipped record is batch {} (gap or replay)",
+                expect - 1,
+                record.batch()
+            )));
+        }
+        match record {
+            WalRecord::Batch { deletes, meta, .. } => {
+                for (doc, text) in decode_batch_meta(meta)? {
+                    if doc.0 != self.core.next_doc {
+                        return Err(DurableError::Corrupt(format!(
+                            "shipped batch adds doc {}, replica expects doc {}",
+                            doc.0, self.core.next_doc
+                        )));
+                    }
+                    self.add_document(&text)?;
+                }
+                for &d in deletes {
+                    self.delete(d);
+                }
+                self.flush()?;
+            }
+            WalRecord::Sweep { deletes, .. } => {
+                for &d in deletes {
+                    self.delete(d);
+                }
+                self.sweep()?;
+            }
+            WalRecord::Compact { .. } => {
+                self.compact()?;
+            }
+            WalRecord::Rebalance { num_buckets, capacity_units, .. } => {
+                self.rebalance(*num_buckets as usize, *capacity_units as u64)?;
+            }
+        }
+        let now = self.index.batches();
+        if now != record.batch() {
+            return Err(DurableError::Corrupt(format!(
+                "replicated apply produced batch {now}, record says {}",
+                record.batch()
+            )));
+        }
+        Ok(now)
+    }
+
     /// The stored text of a document.
     pub fn document(&self, doc: DocId) -> invidx_core::Result<Option<String>> {
         self.core.docs.load(self.index.inner().array(), doc)
@@ -453,6 +536,66 @@ mod tests {
         assert_eq!(e.boolean_str("beta and gamma").unwrap().len(), 2);
         assert_eq!(e.document(DocId(2)).unwrap().unwrap(), "beta gamma delta words");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_shipping_replica_converges_and_survives_restart() {
+        let pdir = tmpdir("repl-primary");
+        let rdir = tmpdir("repl-replica");
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let mut primary = DurableEngine::create(&pdir, IndexConfig::small(), geom(), opts).unwrap();
+        let mut replica = DurableEngine::create(&rdir, IndexConfig::small(), geom(), opts).unwrap();
+
+        let d1 = primary.add_document("the cat sat on the mat").unwrap();
+        primary.add_document("the dog chased the cat").unwrap();
+        primary.flush().unwrap();
+        primary.add_document("a mouse ran past the sleeping dog").unwrap();
+        primary.delete(d1);
+        primary.flush().unwrap();
+        primary.sweep().unwrap();
+
+        // Ship everything past the replica's committed batch count.
+        for rec in primary.wal_records_from(replica.index().batches()).unwrap() {
+            replica.apply_replicated(&rec).unwrap();
+        }
+        assert_eq!(replica.index().batches(), primary.index().batches());
+        assert_eq!(replica.total_docs(), primary.total_docs());
+        assert_eq!(replica.vocabulary_size(), primary.vocabulary_size());
+        for q in ["cat", "dog and mouse", "cat and not dog"] {
+            assert_eq!(
+                replica.boolean_str(q).unwrap().docs(),
+                primary.boolean_str(q).unwrap().docs(),
+                "{q}"
+            );
+        }
+        let (ph, rh) =
+            (primary.more_like_this("cat dog", 5).unwrap(), replica.more_like_this("cat dog", 5).unwrap());
+        assert_eq!(ph.len(), rh.len());
+        for (a, b) in ph.iter().zip(&rh) {
+            assert_eq!((a.doc, a.score.to_bits()), (b.doc, b.score.to_bits()));
+        }
+
+        // The replica restarts from its own WAL and resumes tailing.
+        drop(replica);
+        let mut replica = DurableEngine::open(&rdir, IndexConfig::small(), opts).unwrap();
+        primary.add_document("another cat arrives").unwrap();
+        primary.flush().unwrap();
+        let shipped = primary.wal_records_from(replica.index().batches()).unwrap();
+        assert_eq!(shipped.len(), 1);
+        for rec in shipped {
+            replica.apply_replicated(&rec).unwrap();
+        }
+        assert_eq!(replica.index().batches(), primary.index().batches());
+        assert_eq!(
+            replica.boolean_str("cat").unwrap().docs(),
+            primary.boolean_str("cat").unwrap().docs()
+        );
+
+        // Gap and divergence detection: replaying an old record is refused.
+        let stale = primary.wal_records_from(0).unwrap();
+        assert!(replica.apply_replicated(&stale[0]).is_err());
+        std::fs::remove_dir_all(&pdir).ok();
+        std::fs::remove_dir_all(&rdir).ok();
     }
 
     #[test]

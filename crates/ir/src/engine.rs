@@ -252,6 +252,12 @@ impl EngineCore {
 
     /// Vector-space search using a document text as the query (the paper's
     /// "a query may be derived from a document" — §5.2.1).
+    ///
+    /// Terms are evaluated in the lexer's canonical (sorted, deduplicated)
+    /// order via [`crate::vector::search_like`], so scores are bit-exact
+    /// across runs and across deployments — an unsharded engine and a
+    /// sharded router computing the same global weights produce identical
+    /// f64 scores for every document.
     pub(crate) fn more_like_this(
         &self,
         index: &DualIndex,
@@ -262,7 +268,40 @@ impl EngineCore {
             .iter()
             .filter_map(|w| self.vocab.get(w).copied())
             .collect();
-        search(index, &VectorQuery::from_words(words), self.total_docs, k)
+        crate::vector::search_like(index, &words, self.total_docs, k)
+    }
+
+    /// Document frequency of each query term, for the router's two-phase
+    /// distributed LIKE: `(term, df)` per requested term (0 for unknown
+    /// words), plus this engine's document count. Uses the same
+    /// deletion-filtered posting lists that scoring reads, so a router
+    /// summing shard dfs computes exactly the idf an unsharded engine
+    /// would.
+    pub(crate) fn term_dfs(&self, index: &DualIndex, terms: &[String]) -> Result<Vec<u64>> {
+        terms
+            .iter()
+            .map(|t| match self.word_id(t) {
+                Some(w) => Ok(index.postings(w)?.len() as u64),
+                None => Ok(0),
+            })
+            .collect()
+    }
+
+    /// Top-k scoring with caller-supplied per-term contributions, in slice
+    /// order (the router ships corpus-global idf weights in canonical
+    /// sorted-term order). Unknown words are skipped — they have no local
+    /// postings, so they contribute nothing anyway.
+    pub(crate) fn weighted_like(
+        &self,
+        index: &DualIndex,
+        terms: &[(String, f64)],
+        k: usize,
+    ) -> Result<Vec<Hit>> {
+        let seeded: Vec<(WordId, f64)> = terms
+            .iter()
+            .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
+            .collect();
+        crate::vector::search_seeded(index, &seeded, k)
     }
 }
 
@@ -468,6 +507,18 @@ impl SearchEngine {
     /// "a query may be derived from a document" — §5.2.1).
     pub fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
         self.core.more_like_this(&self.index, text, k)
+    }
+
+    /// Document frequency per term (0 for unknown words) — the DF phase of
+    /// the router's distributed LIKE.
+    pub fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
+        self.core.term_dfs(&self.index, terms)
+    }
+
+    /// Top-k scoring with caller-supplied per-term contributions (the
+    /// router's WLIKE phase); accumulation runs in slice order.
+    pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
+        self.core.weighted_like(&self.index, terms, k)
     }
 }
 

@@ -22,4 +22,4 @@ pub use boolean::{PostingSource, Query};
 pub use docstore::DocStore;
 pub use durable_engine::DurableEngine;
 pub use engine::SearchEngine;
-pub use vector::{search, Hit, VectorQuery};
+pub use vector::{search, search_like, search_seeded, Hit, VectorQuery};

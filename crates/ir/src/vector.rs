@@ -123,7 +123,76 @@ pub fn search<S: PostingSource + ?Sized>(
             *acc.entry(d).or_insert(0.0) += contribution;
         }
     }
-    // Top-k via bounded min-heap.
+    Ok(top_k(acc, k))
+}
+
+/// Evaluate a pre-weighted term list over a posting source.
+///
+/// Unlike [`search`], the weight of each term *is* its per-document
+/// contribution — no idf is computed here — and accumulation runs in
+/// **slice order**, so two evaluators handed the same `(term, weight)`
+/// slice produce bit-identical f64 scores. That is the contract the
+/// scatter-gather router depends on: it computes corpus-global idf weights
+/// once, ships them to every shard in canonical (sorted-term) order, and
+/// merges the per-shard top-k knowing equal docs score equally everywhere.
+///
+/// Terms with empty posting lists contribute nothing; duplicate terms
+/// accumulate, exactly as repeated `+=` in slice order.
+pub fn search_seeded<S: PostingSource + ?Sized>(
+    source: &S,
+    terms: &[(WordId, f64)],
+    k: usize,
+) -> Result<Vec<Hit>> {
+    if terms.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    for &(word, contribution) in terms {
+        let list = source.postings(word)?;
+        for &d in list.docs() {
+            *acc.entry(d).or_insert(0.0) += contribution;
+        }
+    }
+    Ok(top_k(acc, k))
+}
+
+/// Evaluate a term list with locally computed idf weights, in slice order.
+///
+/// The single-engine counterpart of [`search_seeded`]: each term's weight
+/// is `ln(1 + total_docs / df)` with `df` taken from its posting list, and
+/// per-document accumulation runs in slice order. Handing this a sorted
+/// term list makes `more_like_this` scores independent of hash-map
+/// iteration order — the property that lets an unsharded engine serve as
+/// a bit-exact oracle for a sharded deployment computing the same global
+/// weights.
+pub fn search_like<S: PostingSource + ?Sized>(
+    source: &S,
+    terms: &[WordId],
+    total_docs: u64,
+    k: usize,
+) -> Result<Vec<Hit>> {
+    if terms.is_empty() || k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    for &word in terms {
+        let list = source.postings(word)?;
+        if list.is_empty() {
+            continue;
+        }
+        let idf = (1.0 + total_docs as f64 / list.len() as f64).ln();
+        for &d in list.docs() {
+            *acc.entry(d).or_insert(0.0) += idf;
+        }
+    }
+    Ok(top_k(acc, k))
+}
+
+/// Bounded-heap top-k selection shared by every search entry point. The
+/// result is independent of accumulator iteration order: `(score desc,
+/// doc asc)` is a total order, so the k winners and their ordering are
+/// fully determined by the `(doc, score)` set itself.
+fn top_k(acc: HashMap<DocId, f64>, k: usize) -> Vec<Hit> {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (doc, score) in acc {
         heap.push(HeapEntry(Hit { doc, score }));
@@ -135,7 +204,7 @@ pub fn search<S: PostingSource + ?Sized>(
     hits.sort_by(|a, b| {
         b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
     });
-    Ok(hits)
+    hits
 }
 
 #[cfg(test)]
@@ -221,5 +290,55 @@ mod tests {
         let q = VectorQuery::from_words([WordId(404), WordId(2)]);
         let hits = search(&source(), &q, 10, 5).unwrap();
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn seeded_search_matches_local_idf_path() {
+        let s = source();
+        let terms = [WordId(1), WordId(2), WordId(3)];
+        let local = search_like(&s, &terms, 10, 5).unwrap();
+        // Same weights, computed by the caller instead of the evaluator.
+        let seeded: Vec<(WordId, f64)> = terms
+            .iter()
+            .map(|&w| {
+                let df = s.postings(w).unwrap().len() as f64;
+                (w, (1.0 + 10.0 / df).ln())
+            })
+            .collect();
+        let routed = search_seeded(&s, &seeded, 5).unwrap();
+        assert_eq!(local.len(), routed.len());
+        for (a, b) in local.iter().zip(&routed) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "scores must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn seeded_search_skips_unknown_and_respects_k() {
+        let s = source();
+        let terms = [(WordId(404), 9.0), (WordId(3), 1.5)];
+        let hits = search_seeded(&s, &terms, 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(7));
+        assert_eq!(hits[0].score.to_bits(), 1.5f64.to_bits());
+        assert!(search_seeded(&s, &[], 10).unwrap().is_empty());
+        assert!(search_seeded(&s, &terms, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_like_is_slice_order_deterministic() {
+        let s = source();
+        let a = search_like(&s, &[WordId(1), WordId(2), WordId(3)], 10, 10).unwrap();
+        let b = search_like(&s, &[WordId(1), WordId(2), WordId(3)], 10, 10).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // And agrees with the classic uniform-weight search on doc ranking.
+        let q = VectorQuery::from_words([WordId(1), WordId(2), WordId(3)]);
+        let classic = search(&s, &q, 10, 10).unwrap();
+        assert_eq!(
+            a.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            classic.iter().map(|h| h.doc).collect::<Vec<_>>()
+        );
     }
 }

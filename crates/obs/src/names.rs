@@ -157,6 +157,37 @@ pub const SLO_BURN_RATE_X1000: &str = "slo_burn_rate_x1000";
 /// the replay debt a crash would incur — "WAL lag".
 pub const INDEX_WAL_BYTES: &str = "index_wal_bytes";
 
+/// Client requests admitted by the scatter-gather router (its own
+/// admission, distinct from the per-shard `serve_*` counters it fans out
+/// to — keep the namespaces disjoint or aggregation double-counts).
+pub const ROUTER_QUERIES: &str = "router_queries_total";
+/// Documents routed to a shard by the router's single writer.
+pub const ROUTER_INGESTED_DOCS: &str = "router_ingested_docs_total";
+/// Per-shard request failures observed by the router (timeouts and
+/// transport errors; label with [`per_shard`]).
+pub const ROUTER_SHARD_ERRORS: &str = "router_shard_errors_total";
+/// Failover retries: a shard read re-sent to another replica after a
+/// failure or deadline miss.
+pub const ROUTER_RETRIES: &str = "router_retries_total";
+/// Hedged reads: duplicate shard requests launched because the first
+/// exceeded the hedge threshold.
+pub const ROUTER_HEDGES: &str = "router_hedges_total";
+/// Per-shard fan-out latency in milliseconds (histogram; label with
+/// [`per_shard`]).
+pub const ROUTER_SHARD_LATENCY_MS: &str = "router_shard_latency_ms";
+/// Committed epoch per shard as observed by the router (gauge; label with
+/// [`per_shard`]).
+pub const ROUTER_SHARD_EPOCH: &str = "router_shard_epoch";
+
+/// WAL records applied by a tailing replica.
+pub const REPLICA_APPLIED_RECORDS: &str = "replica_applied_records_total";
+/// Replication lag in batches: primary epoch minus replica epoch (gauge;
+/// label with [`per_shard`]).
+pub const REPLICA_LAG_BATCHES: &str = "replica_lag_batches";
+/// Tail polls that failed (connection refused, torn reply); the tailer
+/// backs off and retries.
+pub const REPLICA_POLL_ERRORS: &str = "replica_poll_errors_total";
+
 /// Attach a `disk` label to a base metric name.
 pub fn per_disk(base: &str, disk: u16) -> String {
     format!("{base}{{disk=\"{disk}\"}}")

@@ -1,0 +1,237 @@
+//! Document partitioning: who owns which document.
+//!
+//! A [`Partitioner`] is a pure function from global doc id to shard; the
+//! [`PartitionMap`] materializes the two-way translation between global
+//! ids (what clients see) and per-shard local ids (what each shard's
+//! engine assigns). The map is rebuilt deterministically from nothing but
+//! `(partitioner, total_docs)` — global ids are allocated densely in
+//! ingest order and each shard's engine assigns local ids densely in its
+//! own arrival order, so replaying `1..=total` reproduces the exact
+//! assignment without persisting anything beyond the partitioner spec.
+//!
+//! Both partitioners make local↔global **monotone within a shard**: a
+//! shard's documents, enumerated by local id, have ascending global ids.
+//! That is the property the router's merge leans on — translating a
+//! shard's sorted posting list to global ids keeps it sorted, so the
+//! scatter-gather union of disjoint per-shard lists is an exact merge,
+//! not a re-sort of unknown provenance.
+
+use invidx_serve::ServeError;
+
+/// The splitting constant of Fibonacci hashing (⌊2⁶⁴/φ⌋, odd): multiplies
+/// sequential ids into well-spread high bits.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic assignment of global document ids to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Contiguous ranges of `chunk` documents dealt to shards round-robin:
+    /// docs 1..=chunk to shard 0, the next chunk to shard 1, and so on,
+    /// wrapping. `chunk = 1` degenerates to plain round-robin; a large
+    /// chunk approximates static range partitioning while still filling
+    /// every shard eventually.
+    Range {
+        /// Number of shards.
+        shards: usize,
+        /// Consecutive documents per dealt range.
+        chunk: u64,
+    },
+    /// Multiplicative hash of the global id — spreads any ingest order
+    /// uniformly, at the cost of neighbouring docs landing on different
+    /// shards.
+    Hash {
+        /// Number of shards.
+        shards: usize,
+    },
+}
+
+impl Partitioner {
+    /// Number of shards this partitioner spreads over.
+    pub fn shards(&self) -> usize {
+        match *self {
+            Self::Range { shards, .. } | Self::Hash { shards } => shards,
+        }
+    }
+
+    /// The shard owning global document `global` (1-based, as engines
+    /// assign them).
+    pub fn shard_of(&self, global: u32) -> usize {
+        debug_assert!(global >= 1, "doc ids are 1-based");
+        match *self {
+            Self::Range { shards, chunk } => {
+                (((u64::from(global) - 1) / chunk) % shards as u64) as usize
+            }
+            Self::Hash { shards } => (u64::from(global).wrapping_mul(FIB) % shards as u64) as usize,
+        }
+    }
+
+    /// Render as the one-line config form: `range <shards> <chunk>` or
+    /// `hash <shards>`.
+    pub fn to_wire(&self) -> String {
+        match *self {
+            Self::Range { shards, chunk } => format!("range {shards} {chunk}"),
+            Self::Hash { shards } => format!("hash {shards}"),
+        }
+    }
+
+    /// Parse the config form rendered by [`Self::to_wire`].
+    pub fn parse(text: &str) -> Result<Self, ServeError> {
+        let bad = |m: String| ServeError::Config(m);
+        let parts: Vec<&str> = text.split_whitespace().collect();
+        let parsed = match parts.as_slice() {
+            ["range", shards, chunk] => Self::Range {
+                shards: shards.parse().map_err(|e| bad(format!("range shards: {e}")))?,
+                chunk: chunk.parse().map_err(|e| bad(format!("range chunk: {e}")))?,
+            },
+            ["hash", shards] => Self::Hash {
+                shards: shards.parse().map_err(|e| bad(format!("hash shards: {e}")))?,
+            },
+            _ => return Err(bad(format!("partitioner spec {text:?}"))),
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+
+    /// Shape check: at least one shard, non-zero chunk.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards() == 0 {
+            return Err(ServeError::Config("partitioner needs at least one shard".into()));
+        }
+        if let Self::Range { chunk: 0, .. } = self {
+            return Err(ServeError::Config("range chunk must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The materialized two-way id translation for one deployment.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    partitioner: Partitioner,
+    /// Indexed by `global - 1`: the owning shard and the local id the
+    /// shard's engine assigned.
+    owner: Vec<(u32, u32)>,
+    /// Indexed by `[shard][local - 1]`: the global id. Ascending by
+    /// construction (appends happen in global order).
+    locals: Vec<Vec<u32>>,
+}
+
+impl PartitionMap {
+    /// An empty map for a fresh deployment.
+    pub fn new(partitioner: Partitioner) -> Self {
+        Self { partitioner, owner: Vec::new(), locals: vec![Vec::new(); partitioner.shards()] }
+    }
+
+    /// Reconstruct the map for an existing deployment by replaying the
+    /// dense global id sequence — the determinism that makes the map
+    /// state-free on disk.
+    pub fn rebuild(partitioner: Partitioner, total_docs: u64) -> Self {
+        let mut map = Self::new(partitioner);
+        for _ in 0..total_docs {
+            map.append();
+        }
+        map
+    }
+
+    /// The partitioner this map materializes.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Allocate the next global id and return `(global, shard, local)`.
+    /// The caller (the router's single writer) must then actually deliver
+    /// the document to that shard, in this order.
+    pub fn append(&mut self) -> (u32, usize, u32) {
+        let global = self.owner.len() as u32 + 1;
+        let shard = self.partitioner.shard_of(global);
+        self.locals[shard].push(global);
+        let local = self.locals[shard].len() as u32;
+        self.owner.push((shard as u32, local));
+        (global, shard, local)
+    }
+
+    /// Total documents allocated.
+    pub fn total_docs(&self) -> u64 {
+        self.owner.len() as u64
+    }
+
+    /// Documents owned by `shard`.
+    pub fn shard_docs(&self, shard: usize) -> u64 {
+        self.locals[shard].len() as u64
+    }
+
+    /// `(shard, local)` for a global id, or `None` if never allocated.
+    pub fn locate(&self, global: u32) -> Option<(usize, u32)> {
+        let (shard, local) = *self.owner.get(global.checked_sub(1)? as usize)?;
+        Some((shard as usize, local))
+    }
+
+    /// The global id of `(shard, local)`, or `None` if out of range.
+    pub fn global(&self, shard: usize, local: u32) -> Option<u32> {
+        self.locals.get(shard)?.get(local.checked_sub(1)? as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_deals_chunks_round_robin() {
+        let p = Partitioner::Range { shards: 3, chunk: 2 };
+        let shards: Vec<usize> = (1..=8).map(|g| p.shard_of(g)).collect();
+        assert_eq!(shards, [0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_append() {
+        for p in [
+            Partitioner::Range { shards: 4, chunk: 3 },
+            Partitioner::Hash { shards: 4 },
+            Partitioner::Range { shards: 1, chunk: 1 },
+        ] {
+            let mut incremental = PartitionMap::new(p);
+            for _ in 0..100 {
+                incremental.append();
+            }
+            let rebuilt = PartitionMap::rebuild(p, 100);
+            assert_eq!(incremental.owner, rebuilt.owner);
+            assert_eq!(incremental.locals, rebuilt.locals);
+        }
+    }
+
+    #[test]
+    fn translation_round_trips_and_is_monotone() {
+        for p in [Partitioner::Range { shards: 3, chunk: 2 }, Partitioner::Hash { shards: 3 }] {
+            let map = PartitionMap::rebuild(p, 200);
+            for g in 1..=200u32 {
+                let (shard, local) = map.locate(g).unwrap();
+                assert_eq!(map.global(shard, local), Some(g));
+                assert_eq!(p.shard_of(g), shard);
+            }
+            // Per-shard global sequences ascend: sorted local posting
+            // lists stay sorted after translation.
+            for shard in 0..p.shards() {
+                let globals: Vec<u32> =
+                    (1..=map.shard_docs(shard) as u32).map(|l| map.global(shard, l).unwrap()).collect();
+                assert!(globals.windows(2).all(|w| w[0] < w[1]));
+            }
+            assert_eq!(
+                (0..p.shards()).map(|s| map.shard_docs(s)).sum::<u64>(),
+                map.total_docs()
+            );
+        }
+        assert_eq!(PartitionMap::new(Partitioner::Hash { shards: 2 }).locate(1), None);
+        assert_eq!(PartitionMap::new(Partitioner::Hash { shards: 2 }).global(0, 1), None);
+    }
+
+    #[test]
+    fn spec_round_trips_and_validates() {
+        for p in [Partitioner::Range { shards: 4, chunk: 16 }, Partitioner::Hash { shards: 2 }] {
+            assert_eq!(Partitioner::parse(&p.to_wire()).unwrap(), p);
+        }
+        for bad in ["", "range 0 4", "range 2 0", "hash 0", "hash", "modulo 3", "range 2"] {
+            assert!(Partitioner::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The routed line protocol: the single-shard wire format, one level up.
+//!
+//! Same verbs as [`invidx_serve::Server`] (minus the durability plumbing
+//! that belongs to each shard), same one-line-per-turn discipline — the
+//! only visible difference is that `OK` replies carry a comma-joined
+//! **epoch vector** instead of a single epoch:
+//!
+//! ```text
+//! > QUERY cat and dog
+//! < OK 4,3,4 DOCS 2 17
+//! > ADD fresh document text
+//! < OK 4,3,4 ADDED 1
+//! > FLUSH
+//! < OK 4,4,4 FLUSHED 1
+//! ```
+//!
+//! `METRICS` is framed and queue-bypassing exactly like the single-shard
+//! server's, and exposes the router-layer (`router_*`, `replica_*`)
+//! series.
+
+use crate::router::Router;
+use invidx_serve::{error_to_wire, Request, ServeEngine, ServeError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running routed TCP server; dropping it (or [`RouterServer::shutdown`])
+/// stops the accept loop and joins every connection thread.
+pub struct RouterServer<E: ServeEngine> {
+    router: Arc<Router<E>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<E: ServeEngine> RouterServer<E> {
+    /// Bind `addr` (port 0 for ephemeral) and start serving `router`.
+    pub fn bind(addr: &str, router: Arc<Router<E>>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("router-accept".into())
+                .spawn(move || accept_loop(&listener, &router, &stop))
+                .expect("spawn router accept thread")
+        };
+        Ok(Self { router, addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router behind this server.
+    pub fn router(&self) -> &Arc<Router<E>> {
+        &self.router
+    }
+
+    /// Stop accepting, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<E: ServeEngine> Drop for RouterServer<E> {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop<E: ServeEngine>(
+    listener: &TcpListener,
+    router: &Arc<Router<E>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut workers: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(peer) = stream.try_clone() else { continue };
+        let router = Arc::clone(router);
+        let stop = Arc::clone(stop);
+        let handle = std::thread::Builder::new()
+            .name("router-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &router, &stop);
+            })
+            .expect("spawn router connection thread");
+        workers.push((peer, handle));
+    }
+    for (peer, handle) in workers {
+        let _ = peer.shutdown(std::net::Shutdown::Both);
+        let _ = handle.join();
+    }
+}
+
+fn epochs_wire(epochs: &[u64]) -> String {
+    epochs.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn serve_connection<E: ServeEngine>(
+    stream: TcpStream,
+    router: &Router<E>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let mut staged: Vec<String> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if stop.load(Ordering::Acquire) {
+            writeln!(writer, "{}", error_to_wire(&ServeError::Shutdown))?;
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v.to_ascii_uppercase(), r.trim()),
+            None => (line.to_ascii_uppercase(), ""),
+        };
+        let reply = match verb.as_str() {
+            "QUIT" => break,
+            "ADD" => {
+                if rest.is_empty() {
+                    error_to_wire(&ServeError::BadRequest("ADD needs document text".into()))
+                } else {
+                    staged.push(rest.to_string());
+                    format!("OK {} ADDED {}", epochs_wire(&router.epochs()), staged.len())
+                }
+            }
+            "FLUSH" => match router.ingest(&staged) {
+                Ok(epochs) => {
+                    let n = staged.len();
+                    staged.clear();
+                    format!("OK {} FLUSHED {n}", epochs_wire(&epochs))
+                }
+                Err(e) => error_to_wire(&e),
+            },
+            "METRICS" => {
+                let text = router.render_metrics();
+                write!(
+                    writer,
+                    "OK {} METRICS {}\n{text}",
+                    epochs_wire(&router.epochs()),
+                    text.lines().count()
+                )?;
+                writer.flush()?;
+                continue;
+            }
+            _ => match Request::parse(line) {
+                Ok(request) => match router.execute(&request) {
+                    Ok(response) => response.to_wire(),
+                    Err(e) => error_to_wire(&e),
+                },
+                Err(e) => error_to_wire(&e),
+            },
+        };
+        writeln!(writer, "{reply}")?;
+    }
+    Ok(())
+}

@@ -12,6 +12,7 @@ use invidx_core::cache::CacheStats;
 use invidx_core::index::BatchReport;
 use invidx_core::postings::PostingList;
 use invidx_core::types::{DocId, Result};
+use invidx_durable::WalRecord;
 use invidx_ir::{DurableEngine, Hit, SearchEngine};
 
 /// Query-on-`&self`, update-on-`&mut self` — the contract that lets
@@ -27,6 +28,21 @@ pub trait ServeEngine: Send + Sync + 'static {
     fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>>;
     /// The stored text of a document.
     fn document(&self, doc: DocId) -> Result<Option<String>>;
+
+    /// Document frequency per term (0 for unknown words) — the DF phase of
+    /// the router's two-phase distributed LIKE. The default (all zeros)
+    /// suits engines that never sit behind a router.
+    fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
+        Ok(vec![0; terms.len()])
+    }
+
+    /// Top-k scoring with caller-supplied per-term contributions, applied
+    /// in slice order (the router's WLIKE phase ships corpus-global idf
+    /// weights in canonical sorted-term order).
+    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
+        let _ = (terms, k);
+        Ok(Vec::new())
+    }
 
     /// Add a document to the current batch (not yet visible as a flushed
     /// epoch; the serving writer always pairs adds with a flush).
@@ -55,6 +71,30 @@ pub trait ServeEngine: Send + Sync + 'static {
         None
     }
 
+    /// Committed batches (0 for engines without a durable batch counter).
+    /// Anchors serving epochs to persistent state: a service constructed
+    /// with [`crate::QueryService::with_config_at`] over this value keeps
+    /// epochs comparable across restarts and replicas, which is what
+    /// replication lag (primary epoch − replica epoch) is measured in.
+    fn batches(&self) -> u64 {
+        0
+    }
+
+    /// Committed WAL records after `from_batch` — the primary half of WAL
+    /// shipping. `Err` for engines without a WAL.
+    fn wal_records_from(&self, from_batch: u64) -> std::result::Result<Vec<WalRecord>, String> {
+        let _ = from_batch;
+        Err("engine has no write-ahead log".into())
+    }
+
+    /// Apply one shipped WAL record (the replica half of WAL shipping);
+    /// returns the new committed batch count. `Err` for engines without a
+    /// WAL.
+    fn apply_replicated(&mut self, record: &WalRecord) -> std::result::Result<u64, String> {
+        let _ = record;
+        Err("engine has no write-ahead log".into())
+    }
+
     /// Documents indexed so far.
     fn total_docs(&self) -> u64;
     /// Distinct words interned so far.
@@ -80,6 +120,14 @@ impl ServeEngine for SearchEngine {
 
     fn document(&self, doc: DocId) -> Result<Option<String>> {
         SearchEngine::document(self, doc)
+    }
+
+    fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
+        SearchEngine::term_dfs(self, terms)
+    }
+
+    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
+        SearchEngine::weighted_like(self, terms, k)
     }
 
     fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
@@ -124,6 +172,14 @@ impl ServeEngine for DurableEngine {
         DurableEngine::document(self, doc)
     }
 
+    fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
+        DurableEngine::term_dfs(self, terms)
+    }
+
+    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
+        DurableEngine::weighted_like(self, terms, k)
+    }
+
     fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
         DurableEngine::add_document(self, text).map_err(|e| e.to_string())
     }
@@ -142,6 +198,18 @@ impl ServeEngine for DurableEngine {
 
     fn wal_bytes(&self) -> Option<u64> {
         Some(self.index().wal_size())
+    }
+
+    fn batches(&self) -> u64 {
+        self.index().batches()
+    }
+
+    fn wal_records_from(&self, from_batch: u64) -> std::result::Result<Vec<WalRecord>, String> {
+        DurableEngine::wal_records_from(self, from_batch).map_err(|e| e.to_string())
+    }
+
+    fn apply_replicated(&mut self, record: &WalRecord) -> std::result::Result<u64, String> {
+        DurableEngine::apply_replicated(self, record).map_err(|e| e.to_string())
     }
 
     fn total_docs(&self) -> u64 {

@@ -45,7 +45,8 @@ pub use cache::{Lookup, ResultCache};
 pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use request::{
-    error_to_wire, normalize_query, parse_response, Payload, Request, Response, ServeStats,
+    error_to_wire, from_hex, normalize_query, parse_response, to_hex, Payload, Request, Response,
+    ServeStats,
 };
 pub use server::Server;
 #[allow(deprecated)]

@@ -24,6 +24,15 @@ pub enum Request {
     Near(String, String, u32),
     /// `LIKE <k> <text>` — top-k vector-model search seeded by a text.
     Like(usize, String),
+    /// `DF <term>...` — document frequency per term plus the engine's
+    /// document count: the fan-out phase of the router's distributed LIKE.
+    Df(Vec<String>),
+    /// `WLIKE <k> <n> <term>:<weight-bits-hex>...` — top-k scoring with
+    /// caller-supplied per-term contributions, applied in wire order.
+    /// Weights travel as `f64::to_bits` hex so shipped idf values survive
+    /// the wire bit-exactly; that is what makes sharded LIKE scores equal
+    /// an unsharded engine's, to the last ulp.
+    WeightedLike(usize, Vec<(String, u64)>),
     /// `DOC <id>` — fetch a stored document.
     Doc(u32),
     /// `STATS` — serving counters and epoch.
@@ -60,6 +69,39 @@ impl Request {
                 let k = k.parse().map_err(|e| bad(format!("LIKE k: {e}")))?;
                 Ok(Self::Like(k, text.trim().to_string()))
             }
+            "DF" => {
+                if rest.is_empty() {
+                    return Err(bad("DF wants at least one term".into()));
+                }
+                Ok(Self::Df(rest.split_whitespace().map(str::to_string).collect()))
+            }
+            "WLIKE" => {
+                let mut it = rest.split_whitespace();
+                let k: usize = it
+                    .next()
+                    .ok_or_else(|| bad("WLIKE missing k".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("WLIKE k: {e}")))?;
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| bad("WLIKE missing term count".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("WLIKE count: {e}")))?;
+                let terms: Vec<(String, u64)> = it
+                    .map(|t| {
+                        let (term, bits) = t
+                            .rsplit_once(':')
+                            .ok_or_else(|| bad(format!("WLIKE term {t:?} missing ':'")))?;
+                        let bits = u64::from_str_radix(bits, 16)
+                            .map_err(|e| bad(format!("WLIKE weight bits: {e}")))?;
+                        Ok((term.to_string(), bits))
+                    })
+                    .collect::<Result<_, ServeError>>()?;
+                if terms.len() != n {
+                    return Err(bad(format!("WLIKE count {n} != {} terms", terms.len())));
+                }
+                Ok(Self::WeightedLike(k, terms))
+            }
             "DOC" => {
                 let id = rest.parse().map_err(|e| bad(format!("DOC id: {e}")))?;
                 Ok(Self::Doc(id))
@@ -88,6 +130,10 @@ impl Request {
                 w2.to_ascii_lowercase()
             )),
             Self::Like(k, text) => Some(format!("l:{k}:{}", normalize_query(text))),
+            // DF/WLIKE are the router's internal fan-out verbs: the router
+            // caches at its own layer (keyed by the client request), so
+            // caching the halves again would only double the memory.
+            Self::Df(_) | Self::WeightedLike(_, _) => None,
             Self::Doc(_) | Self::Stats | Self::Ping => None,
         }
     }
@@ -99,11 +145,48 @@ impl Request {
             Self::Phrase(p) => format!("PHRASE {p}"),
             Self::Near(w1, w2, win) => format!("NEAR {w1} {w2} {win}"),
             Self::Like(k, text) => format!("LIKE {k} {text}"),
+            Self::Df(terms) => format!("DF {}", terms.join(" ")),
+            Self::WeightedLike(k, terms) => {
+                let mut s = format!("WLIKE {k} {}", terms.len());
+                for (term, bits) in terms {
+                    s.push_str(&format!(" {term}:{bits:x}"));
+                }
+                s
+            }
             Self::Doc(id) => format!("DOC {id}"),
             Self::Stats => "STATS".to_string(),
             Self::Ping => "PING".to_string(),
         }
     }
+}
+
+/// Lowercase-hex encode arbitrary bytes for line-framed transport (the
+/// WALTAIL reply body ships WAL record payloads this way — hex keeps the
+/// one-line-per-record framing byte-safe).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Invert [`to_hex`].
+pub fn from_hex(text: &str) -> Result<Vec<u8>, ServeError> {
+    let bad = |m: String| ServeError::BadRequest(m);
+    let text = text.trim();
+    if !text.is_ascii() {
+        return Err(bad("hex line has non-ASCII bytes".into()));
+    }
+    if !text.len().is_multiple_of(2) {
+        return Err(bad(format!("hex line has odd length {}", text.len())));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&text[i..i + 2], 16).map_err(|e| bad(format!("hex byte: {e}")))
+        })
+        .collect()
 }
 
 /// Case-fold, space out parentheses, collapse whitespace.
@@ -153,6 +236,9 @@ pub enum Payload {
     Docs(Vec<u32>),
     /// Ranked `(doc, score)` hits, best first (vector model).
     Hits(Vec<(u32, f64)>),
+    /// `DF` answer: total documents in the engine, then one document
+    /// frequency per requested term (0 for unknown words), in request order.
+    Df(u64, Vec<u64>),
     /// A stored document, if present.
     Text(Option<String>),
     /// Serving counters.
@@ -183,9 +269,20 @@ impl Response {
                 s
             }
             Payload::Hits(hits) => {
+                // `{score}` is Rust's shortest-round-trip f64 rendering:
+                // parsing it back yields the identical bits, so scores can
+                // be oracle-checked for exact equality across the wire.
                 let mut s = format!("HITS {}", hits.len());
                 for (id, score) in hits {
-                    s.push_str(&format!(" {id}:{score:.6}"));
+                    s.push_str(&format!(" {id}:{score}"));
+                }
+                s
+            }
+            Payload::Df(docs, dfs) => {
+                let mut s = format!("DF {docs} {}", dfs.len());
+                for df in dfs {
+                    s.push(' ');
+                    s.push_str(&df.to_string());
                 }
                 s
             }
@@ -287,6 +384,26 @@ pub fn parse_response(line: &str) -> Result<Result<Response, ServeError>, ServeE
                 return Err(bad(format!("HITS count {n} != {} hits", hits.len())));
             }
             Payload::Hits(hits)
+        }
+        "DF" => {
+            let mut it = args.split_whitespace();
+            let docs: u64 = it
+                .next()
+                .ok_or_else(|| bad("DF missing docs".into()))?
+                .parse()
+                .map_err(|e| bad(format!("DF docs: {e}")))?;
+            let n: usize = it
+                .next()
+                .ok_or_else(|| bad("DF missing count".into()))?
+                .parse()
+                .map_err(|e| bad(format!("DF count: {e}")))?;
+            let dfs: Vec<u64> = it
+                .map(|t| t.parse().map_err(|e| bad(format!("df value: {e}"))))
+                .collect::<Result<_, _>>()?;
+            if dfs.len() != n {
+                return Err(bad(format!("DF count {n} != {} values", dfs.len())));
+            }
+            Payload::Df(docs, dfs)
         }
         "TEXT" => Payload::Text(Some(unescape(args)?)),
         "NONE" => Payload::Text(None),
@@ -391,12 +508,33 @@ mod tests {
             Request::Phrase("inverted lists".into()),
             Request::Near("cat".into(), "dog".into(), 5),
             Request::Like(7, "some text".into()),
+            Request::Df(vec!["cat".into(), "dog".into()]),
+            Request::WeightedLike(
+                2,
+                vec![("cat".into(), 1.5f64.to_bits()), ("dog".into(), 0.1f64.to_bits())],
+            ),
             Request::Doc(3),
             Request::Stats,
             Request::Ping,
         ] {
             assert_eq!(Request::parse(&req.to_wire()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn wlike_weight_bits_survive_the_wire_exactly() {
+        // 0.1 has no finite binary expansion — if the wire rendered the
+        // weight as decimal text, the bits would drift.
+        let w = 0.1f64 + 0.2f64;
+        let req = Request::WeightedLike(5, vec![("x".into(), w.to_bits())]);
+        let Request::WeightedLike(_, terms) = Request::parse(&req.to_wire()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(f64::from_bits(terms[0].1).to_bits(), w.to_bits());
+        for bad in ["WLIKE", "WLIKE 3", "WLIKE 3 1", "WLIKE 3 1 nocolon", "WLIKE 3 2 a:1"] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert!(Request::parse("DF").is_err());
     }
 
     #[test]
@@ -423,6 +561,14 @@ mod tests {
             Response { epoch: 3, payload: Payload::Docs(vec![1, 5, 9]) },
             Response { epoch: 0, payload: Payload::Docs(vec![]) },
             Response { epoch: 8, payload: Payload::Hits(vec![(4, 1.5), (2, 0.25)]) },
+            // Non-dyadic scores must round-trip bit-exactly for the
+            // router's oracle checks to use ==.
+            Response {
+                epoch: 8,
+                payload: Payload::Hits(vec![(1, 0.1f64 + 0.2f64), (9, 2.0f64.ln())]),
+            },
+            Response { epoch: 5, payload: Payload::Df(42, vec![7, 0, 3]) },
+            Response { epoch: 0, payload: Payload::Df(0, vec![]) },
             Response {
                 epoch: 2,
                 payload: Payload::Text(Some("line one\nline \"two\"\ttab".into())),

@@ -35,7 +35,7 @@
 use crate::admission::Frontend;
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
-use crate::request::{error_to_wire, Request};
+use crate::request::{error_to_wire, to_hex, Request};
 use crate::service::{QueryService, ServeConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -196,6 +196,35 @@ fn serve_connection<E: ServeEngine>(
                     frontend.service().epoch(),
                     text.lines().count()
                 )?;
+                writer.flush()?;
+                continue;
+            }
+            // WAL shipping: `WALTAIL <from_batch>` returns every committed
+            // record after `from_batch`, framed as `OK <epoch> WALTAIL <n>`
+            // followed by n lines of `<hex payload>`. Pull-based and
+            // queue-bypassing like METRICS: a replica polling for records
+            // must not contend with (or be shed by) the query queue, and
+            // reading the WAL takes only the shared lock.
+            "WALTAIL" => {
+                let reply = match rest.parse::<u64>() {
+                    Err(e) => {
+                        error_to_wire(&ServeError::BadRequest(format!("WALTAIL from_batch: {e}")))
+                    }
+                    Ok(from) => frontend.service().with_read(|epoch, engine| {
+                        match engine.wal_records_from(from) {
+                            Ok(records) => {
+                                let mut s = format!("OK {epoch} WALTAIL {}", records.len());
+                                for rec in &records {
+                                    s.push('\n');
+                                    s.push_str(&to_hex(&rec.encode_payload()));
+                                }
+                                s
+                            }
+                            Err(e) => error_to_wire(&ServeError::Engine(e)),
+                        }
+                    }),
+                };
+                writeln!(writer, "{reply}")?;
                 writer.flush()?;
                 continue;
             }

@@ -266,9 +266,18 @@ pub struct QueryService<E> {
 impl<E: ServeEngine> QueryService<E> {
     /// Wrap an engine for serving.
     pub fn with_config(engine: E, config: ServeConfig) -> Self {
+        Self::with_config_at(engine, config, 0)
+    }
+
+    /// Wrap an engine for serving with the epoch anchored at `epoch` —
+    /// normally the engine's committed batch count, so that epochs stay
+    /// comparable across restarts and across a replication pair (the lag
+    /// gauge is *primary epoch − replica epoch*, which only means anything
+    /// when both sides count from the same durable state).
+    pub fn with_config_at(engine: E, config: ServeConfig, epoch: u64) -> Self {
         Self {
             engine: RwLock::new(engine),
-            epoch: EpochCounter::new(),
+            epoch: EpochCounter::starting_at(epoch),
             cache: Mutex::new(ResultCache::new(config.result_cache_capacity)),
             counters: ServeCounters::default(),
             telemetry: crate::telemetry::Telemetry::new(&config),
@@ -386,6 +395,21 @@ impl<E: ServeEngine> QueryService<E> {
                     .map(|h| (h.doc.0, h.score))
                     .collect(),
             ),
+            Request::Df(terms) => {
+                Payload::Df(engine.total_docs(), engine.term_dfs(terms).map_err(engine_err)?)
+            }
+            Request::WeightedLike(k, terms) => {
+                let weighted: Vec<(String, f64)> =
+                    terms.iter().map(|(t, bits)| (t.clone(), f64::from_bits(*bits))).collect();
+                Payload::Hits(
+                    engine
+                        .weighted_like(&weighted, *k)
+                        .map_err(engine_err)?
+                        .into_iter()
+                        .map(|h| (h.doc.0, h.score))
+                        .collect(),
+                )
+            }
             Request::Doc(id) => {
                 Payload::Text(engine.document(DocId(*id)).map_err(engine_err)?)
             }
@@ -424,6 +448,21 @@ impl<E: ServeEngine> QueryService<E> {
         self.counters.batches.inc();
         drop(engine);
         Ok((report, epoch))
+    }
+
+    /// Apply one shipped WAL record under the write lock (the replica half
+    /// of WAL shipping) and bump the epoch, exactly as the equivalent local
+    /// write would have. When the service was constructed with
+    /// [`Self::with_config_at`] over the engine's batch count, this keeps
+    /// `epoch == batches` on the replica, so replication lag is directly
+    /// the primary/replica epoch delta. Returns the new epoch.
+    pub fn apply_replicated(&self, record: &invidx_durable::WalRecord) -> Result<u64, ServeError> {
+        let mut engine = self.engine.write();
+        engine.apply_replicated(record).map_err(ServeError::Engine)?;
+        let epoch = self.epoch.bump();
+        self.counters.batches.inc();
+        drop(engine);
+        Ok(epoch)
     }
 
     /// Write a durable checkpoint (no-op `Ok(None)` for volatile engines).

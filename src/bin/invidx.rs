@@ -502,6 +502,217 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Create a sharded deployment: a `router.conf` naming the partitioner
+/// plus one full durable index directory per shard under `shard-<N>/`.
+fn cmd_shard_init(dir: &Path, args: &[String]) -> Result<(), String> {
+    use invidx::router::Partitioner;
+    let mut conf = Conf::defaults();
+    let mut shards = 2usize;
+    let mut scheme = "range".to_string();
+    let mut chunk = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--shards" => {
+                shards = value("--shards")?.parse().map_err(|e| format!("shards: {e}"))?
+            }
+            "--partition" => scheme = value("--partition")?,
+            "--chunk" => chunk = value("--chunk")?.parse().map_err(|e| format!("chunk: {e}"))?,
+            "--policy" => conf.policy = value("--policy")?.parse()?,
+            "--disks" => {
+                conf.disks = value("--disks")?.parse().map_err(|e| format!("disks: {e}"))?
+            }
+            "--blocks" => {
+                conf.blocks = value("--blocks")?.parse().map_err(|e| format!("blocks: {e}"))?
+            }
+            "--block-size" => {
+                conf.block_size =
+                    value("--block-size")?.parse().map_err(|e| format!("block-size: {e}"))?
+            }
+            other => return Err(format!("unknown shard-init option {other:?}")),
+        }
+        i += 2;
+    }
+    let partitioner = match scheme.as_str() {
+        "range" => Partitioner::Range { shards, chunk },
+        "hash" => Partitioner::Hash { shards },
+        other => return Err(format!("unknown partition scheme {other:?} (range | hash)")),
+    };
+    partitioner.validate().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    if dir.join("router.conf").exists() {
+        return Err(format!("{} is already a sharded deployment", dir.display()));
+    }
+    for shard in 0..shards {
+        let shard_dir = dir.join(format!("shard-{shard}"));
+        std::fs::create_dir_all(&shard_dir).map_err(|e| e.to_string())?;
+        DurableEngine::create(
+            &shard_dir,
+            conf.index_config()?,
+            conf.geometry(),
+            DurableOptions::default(),
+        )
+        .map_err(|e| format!("cannot create shard {shard}: {e}"))?;
+        conf.save(&shard_dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(dir.join("router.conf"), format!("partition={}\n", partitioner.to_wire()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "initialized {} ({shards} shards, '{}' partitioning, durable stores under shard-N/)",
+        dir.display(),
+        partitioner.to_wire(),
+    );
+    Ok(())
+}
+
+/// Serve a sharded deployment until killed: per-shard durable primaries
+/// shipping their WAL to in-process read replicas, fronted by the
+/// scatter-gather router speaking the routed line protocol
+/// (`OK <e0,e1,...> <payload>`).
+fn cmd_route(dir: &Path, args: &[String]) -> Result<(), String> {
+    use invidx::router::{
+        LocalShard, Partitioner, ReadPolicy, ReplicaSet, ReplicaTailer, Router, RouterServer,
+        ShardBackend, TailerOptions,
+    };
+    use invidx::serve::{QueryService, ServeConfig, ServeEngine, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+    let mut addr = "127.0.0.1:7800".to_string();
+    let mut replicas = 1usize;
+    let mut deadline_ms = 2_000u64;
+    let mut hedge_ms = 250u64;
+    let mut attempts = 2usize;
+    let mut poll_ms = 20u64;
+    let mut cache = 1024usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--replicas" => {
+                replicas = value("--replicas")?.parse().map_err(|e| format!("replicas: {e}"))?
+            }
+            "--deadline-ms" => {
+                deadline_ms =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("deadline-ms: {e}"))?
+            }
+            "--hedge-ms" => {
+                hedge_ms = value("--hedge-ms")?.parse().map_err(|e| format!("hedge-ms: {e}"))?
+            }
+            "--attempts" => {
+                attempts = value("--attempts")?.parse().map_err(|e| format!("attempts: {e}"))?
+            }
+            "--poll-ms" => {
+                poll_ms = value("--poll-ms")?.parse().map_err(|e| format!("poll-ms: {e}"))?
+            }
+            "--cache" => cache = value("--cache")?.parse().map_err(|e| format!("cache: {e}"))?,
+            other => return Err(format!("unknown route option {other:?}")),
+        }
+        i += 2;
+    }
+    let spec = std::fs::read_to_string(dir.join("router.conf"))
+        .map_err(|e| format!("not a sharded deployment ({e})"))?;
+    let partitioner = spec
+        .lines()
+        .find_map(|line| line.strip_prefix("partition="))
+        .ok_or_else(|| "router.conf has no partition= line".to_string())
+        .and_then(|v| Partitioner::parse(v).map_err(|e| e.to_string()))?;
+    let shards = partitioner.shards();
+    let config =
+        ServeConfig::builder().result_cache_capacity(cache).build().map_err(|e| e.to_string())?;
+    // Primaries ship their WAL, so checkpoints stay off while routing —
+    // a checkpoint would reset the log the replicas tail.
+    let ship = DurableOptions { checkpoint_every: 0, ..DurableOptions::default() };
+    let mut writers = Vec::with_capacity(shards);
+    let mut primary_servers = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let shard_dir = dir.join(format!("shard-{shard}"));
+        let conf = Conf::load(&shard_dir)?;
+        let engine = DurableEngine::open(&shard_dir, conf.index_config()?, ship)
+            .map_err(|e| format!("cannot open shard {shard}: {e}"))?;
+        let epoch = ServeEngine::batches(&engine);
+        let service = Arc::new(QueryService::with_config_at(engine, config, epoch));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config)
+            .map_err(|e| format!("shard {shard} primary server: {e}"))?;
+        writers.push(service);
+        primary_servers.push(server);
+    }
+    // Each replica is its own durable store under the shard directory,
+    // kept caught up by tailing the primary's WALTAIL endpoint; the
+    // primary itself closes every replica set as the fallback read.
+    let mut tailers = Vec::new();
+    let mut readers = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let shard_dir = dir.join(format!("shard-{shard}"));
+        let conf = Conf::load(&shard_dir)?;
+        let mut backends: Vec<Arc<dyn ShardBackend>> = Vec::new();
+        for r in 0..replicas {
+            let rdir = shard_dir.join(format!("replica-{r}"));
+            let engine = if is_durable(&rdir) {
+                DurableEngine::open(&rdir, conf.index_config()?, ship)
+            } else {
+                std::fs::create_dir_all(&rdir).map_err(|e| e.to_string())?;
+                DurableEngine::create(&rdir, conf.index_config()?, conf.geometry(), ship)
+            }
+            .map_err(|e| format!("shard {shard} replica {r}: {e}"))?;
+            let epoch = ServeEngine::batches(&engine);
+            let service = Arc::new(QueryService::with_config_at(engine, config, epoch));
+            tailers.push(ReplicaTailer::start(
+                Arc::clone(&service),
+                primary_servers[shard].addr(),
+                TailerOptions {
+                    poll: Duration::from_millis(poll_ms),
+                    timeout: Duration::from_secs(2),
+                    shard,
+                },
+            ));
+            backends.push(Arc::new(LocalShard::new(service, format!("shard-{shard}/replica-{r}"))));
+        }
+        backends.push(Arc::new(LocalShard::new(
+            Arc::clone(&writers[shard]),
+            format!("shard-{shard}/primary"),
+        )));
+        readers.push(ReplicaSet::new(backends).map_err(|e| e.to_string())?);
+    }
+    let policy = ReadPolicy {
+        deadline: Duration::from_millis(deadline_ms),
+        hedge_after: (hedge_ms > 0).then(|| Duration::from_millis(hedge_ms)),
+        max_attempts: attempts,
+    };
+    let router =
+        Arc::new(Router::new(writers, readers, partitioner, policy).map_err(|e| e.to_string())?);
+    println!(
+        "routing {} ({shards} shards x {replicas} replica(s), '{}' partitioning, {} docs)",
+        dir.display(),
+        partitioner.to_wire(),
+        router.total_docs(),
+    );
+    let server =
+        RouterServer::bind(&addr, router).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "listening on {} (deadline {deadline_ms} ms, hedge {} , attempts {attempts})",
+        server.addr(),
+        if hedge_ms > 0 { format!("{hedge_ms} ms") } else { "off".into() },
+    );
+    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DF | WLIKE | DOC | STATS | METRICS | PING | ADD | FLUSH | QUIT");
+    println!(
+        "try:      printf 'QUERY cat and dog\\nQUIT\\n' | nc {} {}",
+        server.addr().ip(),
+        server.addr().port()
+    );
+    // Route until the process is killed; `tailers` stays alive here so
+    // the replicas keep catching up in the background.
+    let _tailers = tailers;
+    loop {
+        std::thread::park();
+    }
+}
+
 fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
     let mut conf = Conf::defaults();
     let mut legacy = false;
@@ -1093,6 +1304,10 @@ fn usage() -> ExitCode {
          invidx metrics <dir> [--json] [--read <word>]... [--watch <secs>]\n  \
          invidx serve <dir> [--addr H:P] [--readers N] [--high-water N] [--deadline-ms N] [--cache N]\n               \
          [--trace-sample N] [--slow-ms N] [--slo-target-ms N] [--slo-objective-ppm N] [--events <file>]\n  \
+         invidx shard-init <dir> --shards N [--partition range|hash] [--chunk N] [--policy P] [--disks N]\n               \
+         [--blocks N] [--block-size N]\n  \
+         invidx route <dir> [--addr H:P] [--replicas N] [--deadline-ms N] [--hedge-ms N] [--attempts N]\n               \
+         [--poll-ms N] [--cache N]\n  \
          invidx top <addr> [--interval <secs>] [--once]"
     );
     ExitCode::from(2)
@@ -1124,6 +1339,8 @@ fn main() -> ExitCode {
         ("stats", [flag]) if flag == "--metrics" => cmd_stats(&dir, true),
         ("metrics", opts) => cmd_metrics(&dir, opts),
         ("serve", opts) => cmd_serve(&dir, opts),
+        ("shard-init", opts) => cmd_shard_init(&dir, opts),
+        ("route", opts) => cmd_route(&dir, opts),
         // For `top` the positional argument is a host:port, not a dir.
         ("top", opts) => cmd_top(&dir.to_string_lossy(), opts),
         _ => return usage(),
