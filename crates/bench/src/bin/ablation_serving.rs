@@ -23,6 +23,8 @@
 //!
 //! Reported: throughput, p50/p95/p99 latency, cache hit rate, shed rate.
 //! `INVIDX_QUICK=1` shrinks the corpus and request counts to CI scale.
+//! With `INVIDX_MAX_P99_MS=<ms>` the run exits non-zero unless the
+//! sustained-phase p99 latency stays at or under `ms`.
 
 use invidx_bench::{emit_table, init_metrics, quick};
 use invidx_core::index::IndexConfig;
@@ -523,6 +525,12 @@ fn main() {
     let open_loop = open_loop_phase(Arc::clone(&queries), oracle, &schedule);
     let overload = overload_phase(queries, &schedule[0]);
 
+    let sustained_p99_ms = {
+        let mut us = sustained.latencies_us.clone();
+        us.sort_unstable();
+        percentile(&us, 0.99)
+    };
+
     emit_table(&TextTable {
         id: "ablation_serving".into(),
         title: format!(
@@ -546,4 +554,13 @@ fn main() {
         ],
         rows: vec![sustained.cells(), open_loop.cells(), overload.cells()],
     });
+
+    if let Ok(max) = std::env::var("INVIDX_MAX_P99_MS") {
+        let max: f64 = max.parse().expect("INVIDX_MAX_P99_MS must be a number");
+        if sustained_p99_ms > max {
+            eprintln!("FAIL: sustained-phase p99 {sustained_p99_ms:.2} ms > SLO {max:.2} ms");
+            std::process::exit(1);
+        }
+        println!("OK: sustained-phase p99 {sustained_p99_ms:.2} ms <= SLO {max:.2} ms");
+    }
 }

@@ -30,7 +30,9 @@
 //! Reported per replica count: offered vs achieved throughput, shed
 //! rate, latency percentiles, and scaling vs one replica. With
 //! `INVIDX_MIN_SPEEDUP=<x>` the run exits non-zero unless 2-replica
-//! goodput reaches `x`× the 1-replica goodput.
+//! goodput reaches `x`× the 1-replica goodput. With
+//! `INVIDX_MAX_P99_MS=<ms>` it exits non-zero unless the best
+//! configuration's p99 latency stays at or under `ms`.
 
 use invidx_bench::{emit_table, init_metrics, quick};
 use invidx_core::index::IndexConfig;
@@ -527,6 +529,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline: Option<f64> = None;
     let mut speedup_at_2 = 1.0f64;
+    let mut best_p99_ms = f64::INFINITY;
     for &replicas in &s.replica_counts {
         let mut out = run_config(&s, replicas, &schedule, &oracle, &queries, partitioner);
         let base = *baseline.get_or_insert(out.goodput);
@@ -542,6 +545,7 @@ fn main() {
             ),
         );
         out.latencies_us.sort_unstable();
+        best_p99_ms = best_p99_ms.min(percentile(&out.latencies_us, 0.99));
         rows.push(vec![
             replicas.to_string(),
             format!("{:.0}", s.offered_rate),
@@ -586,5 +590,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("OK: 2-replica goodput scaling {speedup_at_2:.2}x >= {min:.2}x");
+    }
+    if let Ok(max) = std::env::var("INVIDX_MAX_P99_MS") {
+        let max: f64 = max.parse().expect("INVIDX_MAX_P99_MS must be a number");
+        if best_p99_ms > max {
+            eprintln!("FAIL: best-config p99 {best_p99_ms:.2} ms > SLO {max:.2} ms");
+            std::process::exit(1);
+        }
+        println!("OK: best-config p99 {best_p99_ms:.2} ms <= SLO {max:.2} ms");
     }
 }

@@ -29,6 +29,39 @@ use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+/// Which storage engine serves stored postings.
+///
+/// `InPlace` is the paper's dual structure: every flush mutates buckets
+/// and long-list chunks where they live. `Segmented` keeps the same
+/// machinery as a bounded "L0" but seals it into immutable, write-once
+/// segment artifacts whenever its stored footprint crosses `l0_budget`
+/// bytes; sealed segments are merged tier-by-tier once `fanout` of them
+/// accumulate on a level (see the `invidx-segment` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's in-place dual-structure update path.
+    InPlace,
+    /// LSM-style tiering: in-place machinery as L0, sealed segments above.
+    Segmented {
+        /// Seal L0 into a segment when its stored bytes exceed this.
+        l0_budget: u64,
+        /// Merge a level once this many segments accumulate on it.
+        fanout: u32,
+    },
+}
+
+impl EngineKind {
+    /// Default L0 byte budget for `Segmented` when none is given.
+    pub const DEFAULT_L0_BUDGET: u64 = 1 << 20;
+    /// Default per-level fanout for `Segmented` when none is given.
+    pub const DEFAULT_FANOUT: u32 = 4;
+
+    /// A `Segmented` kind with the default budget and fanout.
+    pub fn segmented() -> Self {
+        Self::Segmented { l0_budget: Self::DEFAULT_L0_BUDGET, fanout: Self::DEFAULT_FANOUT }
+    }
+}
+
 /// Index-level configuration (the tunables of the paper's Table 4, plus
 /// the runtime knobs that grew around them: ingest parallelism and the
 /// block cache). Construct via [`IndexConfig::builder`], which validates
@@ -55,6 +88,8 @@ pub struct IndexConfig {
     pub cache_blocks: usize,
     /// Block-cache shard count (clamped to the budget when smaller).
     pub cache_shards: usize,
+    /// Storage engine: in-place (the paper) or segment-tiered.
+    pub engine: EngineKind,
 }
 
 impl Default for IndexConfig {
@@ -83,6 +118,7 @@ impl IndexConfig {
             ingest_threads: 1,
             cache_blocks: 0,
             cache_shards: 8,
+            engine: EngineKind::InPlace,
         }
     }
 
@@ -97,6 +133,7 @@ impl IndexConfig {
             ingest_threads: 1,
             cache_blocks: 0,
             cache_shards: 8,
+            engine: EngineKind::InPlace,
         }
     }
 
@@ -127,6 +164,18 @@ impl IndexConfig {
             return Err(IndexError::InvalidConfig(
                 "cache_shards must be positive when the cache is enabled".into(),
             ));
+        }
+        if let EngineKind::Segmented { l0_budget, fanout } = self.engine {
+            if l0_budget == 0 {
+                return Err(IndexError::InvalidConfig(
+                    "segmented engine needs a positive l0_budget".into(),
+                ));
+            }
+            if fanout < 2 {
+                return Err(IndexError::InvalidConfig(
+                    "segmented engine needs a fanout of at least 2".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -207,6 +256,13 @@ impl IndexConfigBuilder {
     /// Block-cache shard count.
     pub fn cache_shards(mut self, shards: usize) -> Self {
         self.config.cache_shards = shards;
+        self
+    }
+
+    /// Storage engine: [`EngineKind::InPlace`] (default) or
+    /// [`EngineKind::Segmented`].
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.config.engine = engine;
         self
     }
 
@@ -372,17 +428,6 @@ impl DualIndex {
         })
     }
 
-    /// Set the ingest worker-pool size. With more than one thread,
-    /// [`Self::insert_documents`] inverts batches across workers and
-    /// [`Self::flush_batch`] / [`Self::apply_batch`] run the batch apply
-    /// through a capture window that executes each disk's writes on its
-    /// own worker ([`DiskArray::begin_capture`]). Results are
-    /// bit-identical to single-threaded ingest at any setting.
-    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
-    pub fn set_ingest_threads(&mut self, threads: usize) {
-        self.config.ingest_threads = threads.max(1);
-    }
-
     /// The configured ingest worker-pool size.
     pub fn ingest_threads(&self) -> usize {
         self.config.ingest_threads
@@ -403,6 +448,28 @@ impl DualIndex {
         } else {
             self.cache.as_deref()
         }
+    }
+
+    /// The block cache as layered stores should consult it: `None` when
+    /// disabled or inside a capture window. The segment-tiered read path
+    /// charges its reads through this so device-byte accounting matches
+    /// the in-place engine's.
+    pub fn block_cache(&self) -> Option<&BlockCache> {
+        self.query_cache()
+    }
+
+    /// Is this document logically deleted (pending sweep)?
+    pub fn is_deleted(&self, doc: DocId) -> bool {
+        self.deleted.contains(&doc)
+    }
+
+    /// Bytes of stored postings state in the in-place structures — the
+    /// segmented engine's L0 occupancy metric: long-list blocks at block
+    /// granularity plus bucket units at 4 bytes/unit (one fixed-width
+    /// posting each).
+    pub fn stored_bytes(&self) -> u64 {
+        let bs = self.array.block_size() as u64;
+        self.longs.directory().total_blocks() * bs + self.buckets.total_units() * 4
     }
 
     /// The configuration.
@@ -908,6 +975,19 @@ impl DualIndex {
         Ok(list)
     }
 
+    /// The stored posting list for a word exactly as it sits on disk or
+    /// in a bucket: no in-memory batch merge, no deletion filter. The
+    /// segmented engine seals these raw lists so document frequencies
+    /// stay bit-identical with the in-place engine (which also counts
+    /// deleted-but-unswept postings).
+    pub fn stored_postings(&self, word: WordId) -> Result<PostingList> {
+        if self.longs.contains(word) {
+            self.longs.read_list(&self.array, self.query_cache(), word)
+        } else {
+            Ok(self.buckets.get(word).cloned().unwrap_or_default())
+        }
+    }
+
     /// Document frequency (postings count) without reading long lists from
     /// disk — directory metadata suffices. Ignores the deletion filter.
     pub fn doc_frequency(&self, word: WordId) -> u64 {
@@ -1003,6 +1083,38 @@ impl DualIndex {
             "words_dropped": report.words_dropped,
         });
         Ok(report)
+    }
+
+    // ----- segment-tiered support (L0 seal) -----
+
+    /// Drop every stored posting — long-list chunks and bucket contents —
+    /// returning their blocks to free space, while keeping the batch
+    /// counter, document-ordering floor, and deletion filter intact.
+    ///
+    /// This is the segmented engine's "L0 reset": after its contents have
+    /// been sealed into an immutable segment (and the manifest committed),
+    /// the in-place machinery starts over empty. Requires a batch boundary;
+    /// under [`DiskArray::defer_frees`] the freed extents are quarantined
+    /// until the caller's next checkpoint, so recovery can still read the
+    /// pre-seal chunks the last checkpoint references.
+    pub fn seal_reset(&mut self) -> Result<()> {
+        if !self.mem.is_empty() {
+            return Err(IndexError::InvalidConfig(
+                "seal_reset requires a batch boundary (flush first)".into(),
+            ));
+        }
+        for word in self.longs.directory().words() {
+            let entry = self.longs.directory_mut().remove(word).ok_or_else(|| {
+                IndexError::Corruption(format!("seal_reset: word {word} missing from directory"))
+            })?;
+            for c in entry.chunks {
+                self.longs.directory_mut().push_release(c.disk, c.start, c.blocks);
+            }
+        }
+        self.longs.free_released(&mut self.array)?;
+        self.buckets = BucketStore::new(self.config.num_buckets, self.config.bucket_capacity_units)?;
+        invidx_obs::counter!(invidx_obs::names::CORE_SEAL_RESETS).inc();
+        Ok(())
     }
 
     // ----- compaction -----

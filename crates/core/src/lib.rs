@@ -62,8 +62,8 @@ pub use cache::{BlockCache, CacheStats, PinGuard};
 pub use concurrent::{EpochCounter, SharedIndex};
 pub use directory::{ChunkRef, Directory, LongEntry};
 pub use index::{
-    BatchReport, CompactReport, DualIndex, IndexConfig, IndexSnapshot, RebalanceReport,
-    SweepReport, WordLocation,
+    BatchReport, CompactReport, DualIndex, EngineKind, IndexConfig, IndexSnapshot,
+    RebalanceReport, SweepReport, WordLocation,
 };
 pub use longlist::{LongConfig, LongStats, LongStore};
 pub use memindex::MemIndex;

@@ -44,6 +44,12 @@ pub enum Payload {
     Wal,
     /// Checkpoint snapshot bytes (durable store checkpoint path).
     Checkpoint,
+    /// Sealed-segment bytes (segment-tiered engine): postings runs and the
+    /// term index of immutable segment `segment`.
+    Segment {
+        /// The segment id whose blocks are accessed.
+        segment: u64,
+    },
 }
 
 /// One I/O system call.
@@ -100,6 +106,11 @@ impl fmt::Display for IoOp {
             Payload::Checkpoint => write!(
                 f,
                 "{verb} checkpoint disk {} id {} size {}",
+                self.disk, self.start, self.blocks
+            ),
+            Payload::Segment { segment } => write!(
+                f,
+                "{verb} segment {segment} disk {} id {} size {}",
                 self.disk, self.start, self.blocks
             ),
         }
@@ -241,6 +252,13 @@ fn parse_op(line: &str) -> std::result::Result<IoOp, String> {
                 payload: if *kind == "wal" { Payload::Wal } else { Payload::Checkpoint },
             })
         }
+        [verb @ ("read" | "write"), "segment", seg, "disk", d, "id", s, "size", b] => Ok(IoOp {
+            kind: if *verb == "read" { OpKind::Read } else { OpKind::Write },
+            disk: num(d)? as u16,
+            start: num(s)?,
+            blocks: num(b)?,
+            payload: Payload::Segment { segment: num(seg)? },
+        }),
         _ => Err("unrecognized trace line".into()),
     }
 }
@@ -280,6 +298,13 @@ mod tests {
             blocks: 2,
             payload: Payload::LongList { word: 9, postings: 0 },
         });
+        t.push(IoOp {
+            kind: OpKind::Write,
+            disk: 2,
+            start: 512,
+            blocks: 64,
+            payload: Payload::Segment { segment: 17 },
+        });
         t.end_batch();
         t
     }
@@ -293,6 +318,7 @@ mod tests {
             t.ops[2].to_string(),
             "write word 172921 posting 1013 disk 0 id 1377 size 7"
         );
+        assert_eq!(t.ops[4].to_string(), "write segment 17 disk 2 id 512 size 64");
     }
 
     #[test]
@@ -308,8 +334,8 @@ mod tests {
         let t = sample_trace();
         assert_eq!(t.batches(), 2);
         assert_eq!(t.batch_ops(0).len(), 3);
-        assert_eq!(t.batch_ops(1).len(), 1);
-        assert_eq!(t.cumulative_ops_per_batch(), vec![3, 4]);
+        assert_eq!(t.batch_ops(1).len(), 2);
+        assert_eq!(t.cumulative_ops_per_batch(), vec![3, 5]);
     }
 
     #[test]

@@ -402,14 +402,6 @@ impl DurableIndex {
         Ok(self.inner.insert_documents(docs, threads)?)
     }
 
-    /// Set the ingest worker-pool size of the wrapped index (parallel
-    /// batch apply).
-    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
-    pub fn set_ingest_threads(&mut self, threads: usize) {
-        #[allow(deprecated)]
-        self.inner.set_ingest_threads(threads);
-    }
-
     /// Logically delete a document. Rides in the next WAL record.
     pub fn delete_document(&mut self, doc: DocId) {
         self.inner.delete_document(doc);

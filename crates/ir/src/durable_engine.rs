@@ -21,16 +21,152 @@
 //! redoes a batch's document appends before its index postings land.
 
 use crate::boolean::{PostingSource, Query};
-use crate::engine::EngineCore;
+use crate::engine::{EngineCore, QueryIndex};
 use crate::vector::{search, Hit, VectorQuery};
-use invidx_core::index::{BatchReport, CompactReport, DualIndex, IndexConfig, RebalanceReport, SweepReport};
+use invidx_core::index::{
+    BatchReport, CompactReport, DualIndex, EngineKind, IndexConfig, RebalanceReport, SweepReport,
+};
 use invidx_core::postings::PostingList;
-use invidx_core::types::{DocId, WordId};
+use invidx_core::types::{DocId, IndexError, WordId};
 use invidx_durable::{
     DurableError, DurableIndex, DurableOptions, FaultInjector, RecoveryHooks, RecoveryInfo,
     StoreGeometry, WalRecord,
 };
+use invidx_segment::{DurableSegmentedIndex, SegmentStats};
 use std::path::Path;
+
+/// The crash-safe store behind a [`DurableEngine`]: a [`DurableIndex`]
+/// alone (in-place engine), or a [`DurableSegmentedIndex`] that layers
+/// sealed segments, a manifest, and compaction over it.
+pub enum DurableBackend {
+    /// WAL + checkpoint over the in-place dual-structure index.
+    InPlace(DurableIndex),
+    /// The same durable L0 plus the segment tier.
+    Segmented(DurableSegmentedIndex),
+}
+
+impl DurableBackend {
+    /// The durable L0 store (the whole store when in-place).
+    pub fn l0(&self) -> &DurableIndex {
+        match self {
+            DurableBackend::InPlace(ix) => ix,
+            DurableBackend::Segmented(ix) => ix.l0(),
+        }
+    }
+
+    fn inner(&self) -> &DualIndex {
+        self.l0().inner()
+    }
+
+    fn inner_mut(&mut self) -> &mut DualIndex {
+        match self {
+            DurableBackend::InPlace(ix) => ix.inner_mut(),
+            DurableBackend::Segmented(ix) => ix.inner_mut(),
+        }
+    }
+
+    /// Segment-tier statistics, when this backend is segmented.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        match self {
+            DurableBackend::InPlace(_) => None,
+            DurableBackend::Segmented(ix) => Some(ix.stats()),
+        }
+    }
+
+    fn insert_document(&mut self, doc: DocId, words: Vec<WordId>) -> invidx_durable::Result<()> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.insert_document(doc, words),
+            DurableBackend::Segmented(ix) => ix.insert_document(doc, words).map_err(Into::into),
+        }
+    }
+
+    fn insert_documents(
+        &mut self,
+        docs: Vec<(DocId, Vec<WordId>)>,
+        threads: usize,
+    ) -> invidx_durable::Result<()> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.insert_documents(docs, threads),
+            DurableBackend::Segmented(ix) => {
+                ix.insert_documents(docs, threads).map_err(Into::into)
+            }
+        }
+    }
+
+    fn delete_document(&mut self, doc: DocId) {
+        match self {
+            DurableBackend::InPlace(ix) => ix.delete_document(doc),
+            DurableBackend::Segmented(ix) => ix.delete_document(doc),
+        }
+    }
+
+    fn set_checkpoint_meta(&mut self, meta: Vec<u8>) {
+        match self {
+            DurableBackend::InPlace(ix) => ix.set_checkpoint_meta(meta),
+            DurableBackend::Segmented(ix) => ix.set_checkpoint_meta(meta),
+        }
+    }
+
+    fn flush_with_meta(&mut self, meta: Vec<u8>) -> invidx_durable::Result<BatchReport> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.flush_with_meta(meta),
+            DurableBackend::Segmented(ix) => ix.flush_with_meta(meta).map_err(Into::into),
+        }
+    }
+
+    fn checkpoint(&mut self) -> invidx_durable::Result<u64> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.checkpoint(),
+            DurableBackend::Segmented(ix) => ix.checkpoint().map_err(Into::into),
+        }
+    }
+
+    fn sweep(&mut self) -> invidx_durable::Result<SweepReport> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.sweep(),
+            // See `Backend::sweep`: sealed segments rely on L0 tombstones.
+            DurableBackend::Segmented(_) => Err(DurableError::Index(IndexError::InvalidConfig(
+                "the segmented engine has no sweep; deletions are purged by compaction".into(),
+            ))),
+        }
+    }
+
+    fn compact(&mut self) -> invidx_durable::Result<CompactReport> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.compact(),
+            DurableBackend::Segmented(ix) => ix.l0_mut().compact(),
+        }
+    }
+
+    fn rebalance(
+        &mut self,
+        num_buckets: usize,
+        capacity_units: u64,
+    ) -> invidx_durable::Result<RebalanceReport> {
+        match self {
+            DurableBackend::InPlace(ix) => ix.rebalance(num_buckets, capacity_units),
+            DurableBackend::Segmented(ix) => ix.l0_mut().rebalance(num_buckets, capacity_units),
+        }
+    }
+}
+
+impl PostingSource for DurableBackend {
+    fn postings(&self, word: WordId) -> invidx_core::Result<PostingList> {
+        let _stage = invidx_obs::trace::stage("term");
+        let list = match self {
+            DurableBackend::InPlace(ix) => ix.inner().postings(word)?,
+            DurableBackend::Segmented(ix) => ix.postings(word).map_err(IndexError::from)?,
+        };
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
+    }
+}
+
+impl QueryIndex for DurableBackend {
+    fn array(&self) -> &invidx_disk::DiskArray {
+        self.inner().array()
+    }
+}
 
 /// Per-batch WAL metadata: the documents added since the last flush, as
 /// `u32 count`, then per document `u32 id | u32 len | utf8 text`.
@@ -139,7 +275,7 @@ impl RecoveryHooks for EngineHooks {
 /// std::fs::remove_dir_all(&dir).ok();
 /// ```
 pub struct DurableEngine {
-    index: DurableIndex,
+    backend: DurableBackend,
     core: EngineCore,
     /// Documents added since the last flush; their texts become the next
     /// WAL record's metadata.
@@ -165,8 +301,15 @@ impl DurableEngine {
         opts: DurableOptions,
         injector: FaultInjector,
     ) -> invidx_durable::Result<Self> {
-        let index = DurableIndex::create_with(dir, config, geometry, opts, injector)?;
-        Ok(Self { index, core: EngineCore::new(), pending_docs: Vec::new() })
+        let backend = match config.engine {
+            EngineKind::InPlace => DurableBackend::InPlace(DurableIndex::create_with(
+                dir, config, geometry, opts, injector,
+            )?),
+            EngineKind::Segmented { .. } => DurableBackend::Segmented(
+                DurableSegmentedIndex::create_with(dir, config, geometry, opts, injector)?,
+            ),
+        };
+        Ok(Self { backend, core: EngineCore::new(), pending_docs: Vec::new() })
     }
 
     /// Open (recover) a durable engine from `dir`: restore the checkpoint's
@@ -188,8 +331,17 @@ impl DurableEngine {
         injector: FaultInjector,
     ) -> invidx_durable::Result<Self> {
         let mut hooks = EngineHooks { core: EngineCore::new() };
-        let index = DurableIndex::open_with(dir, config, opts, injector, &mut hooks)?;
-        Ok(Self { index, core: hooks.core, pending_docs: Vec::new() })
+        let backend = match config.engine {
+            EngineKind::InPlace => DurableBackend::InPlace(DurableIndex::open_with(
+                dir, config, opts, injector, &mut hooks,
+            )?),
+            // The segment layer peels its manifest slice off the
+            // checkpoint meta and hands these hooks the engine blob.
+            EngineKind::Segmented { .. } => DurableBackend::Segmented(
+                DurableSegmentedIndex::open_with(dir, config, opts, injector, &mut hooks)?,
+            ),
+        };
+        Ok(Self { backend, core: hooks.core, pending_docs: Vec::new() })
     }
 
     // ----- updates -----
@@ -199,9 +351,9 @@ impl DurableEngine {
     pub fn add_document(&mut self, text: &str) -> invidx_durable::Result<DocId> {
         let words = self.core.lex_and_intern(text);
         let doc = DocId(self.core.next_doc);
-        self.index.insert_document(doc, words)?;
+        self.backend.insert_document(doc, words)?;
         self.core.next_doc += 1;
-        self.core.docs.store(self.index.inner_mut().sidecar_array(), doc, text)?;
+        self.core.docs.store(self.backend.inner_mut().sidecar_array(), doc, text)?;
         self.core.total_docs += 1;
         self.pending_docs.push((doc, text.to_string()));
         Ok(doc)
@@ -213,7 +365,7 @@ impl DurableEngine {
     /// as calling [`Self::add_document`] once per text — recovery replays
     /// the logged texts one at a time and converges on identical state.
     pub fn add_documents(&mut self, texts: &[&str]) -> invidx_durable::Result<Vec<DocId>> {
-        let threads = self.index.inner().ingest_threads();
+        let threads = self.backend.inner().ingest_threads();
         let words = self.core.lex_batch(texts, threads);
         let mut ids = Vec::with_capacity(texts.len());
         let mut batch = Vec::with_capacity(texts.len());
@@ -223,68 +375,63 @@ impl DurableEngine {
             batch.push((doc, per_doc));
             ids.push(doc);
         }
-        self.index.insert_documents(batch, threads)?;
+        self.backend.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
-            self.core.docs.store(self.index.inner_mut().sidecar_array(), *doc, text)?;
+            self.core.docs.store(self.backend.inner_mut().sidecar_array(), *doc, text)?;
             self.core.total_docs += 1;
             self.pending_docs.push((*doc, text.to_string()));
         }
         Ok(ids)
     }
 
-    /// Set the worker count used by batch ingest and the parallel apply
-    /// inside [`Self::flush`]. `1` (the default) keeps every path
-    /// sequential.
-    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
-    pub fn set_ingest_threads(&mut self, threads: usize) {
-        #[allow(deprecated)]
-        self.index.set_ingest_threads(threads);
-    }
-
     /// Logically delete a document; rides in the next WAL record.
     pub fn delete(&mut self, doc: DocId) {
-        self.index.delete_document(doc);
+        self.backend.delete_document(doc);
     }
 
     /// Flush the buffered batch: WAL-commit the postings, the deletions,
-    /// and the batch's document texts, then apply.
+    /// and the batch's document texts, then apply. On the segmented
+    /// engine a flush that crosses the L0 budget also seals a segment
+    /// and runs one compaction tick, each committed durably.
     pub fn flush(&mut self) -> invidx_durable::Result<BatchReport> {
-        self.index.set_checkpoint_meta(self.core.encode_meta());
+        self.backend.set_checkpoint_meta(self.core.encode_meta());
         let meta = encode_batch_meta(&self.pending_docs);
-        let report = self.index.flush_with_meta(meta)?;
+        let report = self.backend.flush_with_meta(meta)?;
         self.pending_docs.clear();
         Ok(report)
     }
 
-    /// Run the deletion sweep as a logged, replayable operation.
+    /// Run the deletion sweep as a logged, replayable operation
+    /// (in-place engine only; the segmented engine purges deletions
+    /// through compaction instead).
     pub fn sweep(&mut self) -> invidx_durable::Result<SweepReport> {
-        self.index.set_checkpoint_meta(self.core.encode_meta());
-        self.index.sweep()
+        self.backend.set_checkpoint_meta(self.core.encode_meta());
+        self.backend.sweep()
     }
 
     /// Rewrite fragmented long lists contiguously (logged; needs a batch
-    /// boundary — flush first).
+    /// boundary — flush first). Operates on L0 under the segmented engine.
     pub fn compact(&mut self) -> invidx_durable::Result<CompactReport> {
-        self.index.set_checkpoint_meta(self.core.encode_meta());
-        self.index.compact()
+        self.backend.set_checkpoint_meta(self.core.encode_meta());
+        self.backend.compact()
     }
 
     /// Rehash the bucket space to a new geometry (logged; needs a batch
-    /// boundary — flush first).
+    /// boundary — flush first). Operates on L0 under the segmented engine.
     pub fn rebalance(
         &mut self,
         num_buckets: usize,
         capacity_units: u64,
     ) -> invidx_durable::Result<RebalanceReport> {
-        self.index.set_checkpoint_meta(self.core.encode_meta());
-        self.index.rebalance(num_buckets, capacity_units)
+        self.backend.set_checkpoint_meta(self.core.encode_meta());
+        self.backend.rebalance(num_buckets, capacity_units)
     }
 
     /// Write a checkpoint now (embedding current engine metadata) and reset
     /// the WAL. Returns the checkpoint size in bytes.
     pub fn checkpoint(&mut self) -> invidx_durable::Result<u64> {
-        self.index.set_checkpoint_meta(self.core.encode_meta());
-        self.index.checkpoint()
+        self.backend.set_checkpoint_meta(self.core.encode_meta());
+        self.backend.checkpoint()
     }
 
     // ----- queries (same surface as `SearchEngine`) -----
@@ -292,7 +439,7 @@ impl DurableEngine {
     /// Evaluate a boolean [`Query`]. `&self`, like every query method:
     /// the serving layer runs these concurrently under a read lock.
     pub fn boolean(&self, query: &Query) -> invidx_core::Result<PostingList> {
-        query.eval(self.index.inner())
+        query.eval(&self.backend)
     }
 
     /// Parse and evaluate a boolean query string.
@@ -308,34 +455,34 @@ impl DurableEngine {
 
     /// Vector-space search with an explicit query.
     pub fn vector(&self, query: &VectorQuery, k: usize) -> invidx_core::Result<Vec<Hit>> {
-        search(self.index.inner(), query, self.core.total_docs, k)
+        search(&self.backend, query, self.core.total_docs, k)
     }
 
     /// Proximity query: both words within `window` positions of each other.
     pub fn within(&self, w1: &str, w2: &str, window: u32) -> invidx_core::Result<PostingList> {
-        self.core.within(self.index.inner(), w1, w2, window)
+        self.core.within(&self.backend, w1, w2, window)
     }
 
     /// Phrase query: the words occur contiguously, in order.
     pub fn phrase(&self, phrase: &str) -> invidx_core::Result<PostingList> {
-        self.core.phrase(self.index.inner(), phrase)
+        self.core.phrase(&self.backend, phrase)
     }
 
     /// Vector-space search using a document text as the query.
     pub fn more_like_this(&self, text: &str, k: usize) -> invidx_core::Result<Vec<Hit>> {
-        self.core.more_like_this(self.index.inner(), text, k)
+        self.core.more_like_this(&self.backend, text, k)
     }
 
     /// Document frequency per term (0 for unknown words) — the DF phase of
     /// the router's distributed LIKE.
     pub fn term_dfs(&self, terms: &[String]) -> invidx_core::Result<Vec<u64>> {
-        self.core.term_dfs(self.index.inner(), terms)
+        self.core.term_dfs(&self.backend, terms)
     }
 
     /// Top-k scoring with caller-supplied per-term contributions (the
     /// router's WLIKE phase); accumulation runs in slice order.
     pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> invidx_core::Result<Vec<Hit>> {
-        self.core.weighted_like(self.index.inner(), terms, k)
+        self.core.weighted_like(&self.backend, terms, k)
     }
 
     // ----- replication -----
@@ -344,8 +491,10 @@ impl DurableEngine {
     /// a tailing replica. See [`DurableIndex::wal_records_from`] for the
     /// checkpoint caveat (primaries that ship their WAL must run with
     /// `checkpoint_every: 0`).
+    /// (Segmented engines checkpoint on every seal, truncating the WAL,
+    /// so only in-place primaries can ship their log.)
     pub fn wal_records_from(&self, from_batch: u64) -> invidx_durable::Result<Vec<WalRecord>> {
-        self.index.wal_records_from(from_batch)
+        self.backend.l0().wal_records_from(from_batch)
     }
 
     /// Apply one shipped WAL record on a replica, re-running the primary's
@@ -362,7 +511,7 @@ impl DurableEngine {
     /// or batch number poisons nothing but returns `Corrupt`, and the
     /// caller should re-seed the replica.
     pub fn apply_replicated(&mut self, record: &WalRecord) -> invidx_durable::Result<u64> {
-        let expect = self.index.batches() + 1;
+        let expect = self.backend.l0().batches() + 1;
         if record.batch() != expect {
             return Err(DurableError::Corrupt(format!(
                 "replica committed batch {}, shipped record is batch {} (gap or replay)",
@@ -399,7 +548,7 @@ impl DurableEngine {
                 self.rebalance(*num_buckets as usize, *capacity_units as u64)?;
             }
         }
-        let now = self.index.batches();
+        let now = self.backend.l0().batches();
         if now != record.batch() {
             return Err(DurableError::Corrupt(format!(
                 "replicated apply produced batch {now}, record says {}",
@@ -411,15 +560,41 @@ impl DurableEngine {
 
     /// The stored text of a document.
     pub fn document(&self, doc: DocId) -> invidx_core::Result<Option<String>> {
-        self.core.docs.load(self.index.inner().array(), doc)
+        self.core.docs.load(self.backend.inner().array(), doc)
     }
 
     // ----- introspection -----
 
     /// The underlying durable index (WAL size, checkpoint state, recovery
-    /// report, fault injector).
+    /// report, fault injector) — L0 when segmented.
     pub fn index(&self) -> &DurableIndex {
-        &self.index
+        self.backend.l0()
+    }
+
+    /// The backend behind this engine.
+    pub fn backend(&self) -> &DurableBackend {
+        &self.backend
+    }
+
+    /// The segment-tiered store, when running the segmented engine.
+    pub fn segmented(&self) -> Option<&DurableSegmentedIndex> {
+        match &self.backend {
+            DurableBackend::InPlace(_) => None,
+            DurableBackend::Segmented(ix) => Some(ix),
+        }
+    }
+
+    /// Mutable segment-tier access (merge-rate control, forced seals).
+    pub fn segmented_mut(&mut self) -> Option<&mut DurableSegmentedIndex> {
+        match &mut self.backend {
+            DurableBackend::InPlace(_) => None,
+            DurableBackend::Segmented(ix) => Some(ix),
+        }
+    }
+
+    /// Segment-tier statistics, when running the segmented engine.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        self.backend.segment_stats()
     }
 
     /// Documents added so far.
@@ -430,7 +605,7 @@ impl DurableEngine {
     /// Block-cache counters, if the index was configured with a cache
     /// (`IndexConfig::cache_blocks > 0`).
     pub fn cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
-        self.index.cache_stats()
+        self.backend.l0().cache_stats()
     }
 
     /// Distinct words interned so far.
@@ -446,16 +621,13 @@ impl DurableEngine {
     /// What recovery did when this handle was opened (None for freshly
     /// created stores).
     pub fn recovery(&self) -> Option<&RecoveryInfo> {
-        self.index.recovery()
+        self.backend.l0().recovery()
     }
 }
 
 impl PostingSource for DurableEngine {
     fn postings(&self, word: WordId) -> invidx_core::Result<PostingList> {
-        let _stage = invidx_obs::trace::stage("term");
-        let list = self.index.inner().postings(word)?;
-        invidx_obs::trace::add_items(list.len() as u64);
-        Ok(list)
+        self.backend.postings(word)
     }
 }
 

@@ -16,12 +16,147 @@ use crate::boolean::{PostingSource, Query};
 use crate::docstore::DocStore;
 use crate::proximity;
 use crate::vector::{search, Hit, VectorQuery};
-use invidx_core::index::{BatchReport, DualIndex, IndexConfig, SweepReport};
+use invidx_core::index::{BatchReport, DualIndex, EngineKind, IndexConfig, SweepReport};
 use invidx_core::postings::PostingList;
 use invidx_core::types::{DocId, IndexError, Result, WordId};
 use invidx_corpus::lexer;
 use invidx_disk::DiskArray;
+use invidx_segment::{SegmentStats, SegmentedIndex};
 use std::collections::HashMap;
+
+/// A queryable index backend: posting lists plus the disk array the
+/// document store lives on. Everything the query evaluators need,
+/// satisfied by the in-place [`DualIndex`], the segment-tiered
+/// [`SegmentedIndex`], and the engines' own backend enums — so boolean,
+/// proximity, phrase, and vector search run unchanged over any engine.
+pub trait QueryIndex: PostingSource {
+    /// The disk array shared by the index and the document store.
+    fn array(&self) -> &DiskArray;
+}
+
+impl QueryIndex for DualIndex {
+    fn array(&self) -> &DiskArray {
+        DualIndex::array(self)
+    }
+}
+
+impl PostingSource for SegmentedIndex {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
+        let _stage = invidx_obs::trace::stage("term");
+        let list = SegmentedIndex::postings(self, word)?;
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
+    }
+}
+
+impl QueryIndex for SegmentedIndex {
+    fn array(&self) -> &DiskArray {
+        SegmentedIndex::array(self)
+    }
+}
+
+/// The index behind a [`SearchEngine`]: the paper's mutable in-place
+/// store, or the segment-tiered store with that same structure demoted
+/// to L0. Selected by [`IndexConfig::engine`] at creation.
+pub enum Backend {
+    /// Update-in-place dual-structure index (the paper's design).
+    InPlace(DualIndex),
+    /// L0 dual-structure index plus immutable sealed segments.
+    Segmented(SegmentedIndex),
+}
+
+impl Backend {
+    fn create(array: DiskArray, config: IndexConfig) -> Result<Self> {
+        match config.engine {
+            EngineKind::InPlace => Ok(Backend::InPlace(DualIndex::create(array, config)?)),
+            EngineKind::Segmented { .. } => {
+                Ok(Backend::Segmented(SegmentedIndex::create(array, config)?))
+            }
+        }
+    }
+
+    /// The dual-structure index: the whole store in-place, L0 when
+    /// segmented.
+    pub fn dual(&self) -> &DualIndex {
+        match self {
+            Backend::InPlace(ix) => ix,
+            Backend::Segmented(ix) => ix.l0(),
+        }
+    }
+
+    fn dual_mut(&mut self) -> &mut DualIndex {
+        match self {
+            Backend::InPlace(ix) => ix,
+            Backend::Segmented(ix) => ix.l0_mut(),
+        }
+    }
+
+    /// Segment-tier statistics, when this backend is segmented.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        match self {
+            Backend::InPlace(_) => None,
+            Backend::Segmented(ix) => Some(ix.stats()),
+        }
+    }
+
+    fn insert_document(&mut self, doc: DocId, words: Vec<WordId>) -> Result<()> {
+        match self {
+            Backend::InPlace(ix) => ix.insert_document(doc, words),
+            Backend::Segmented(ix) => Ok(ix.insert_document(doc, words)?),
+        }
+    }
+
+    fn insert_documents(&mut self, docs: Vec<(DocId, Vec<WordId>)>, threads: usize) -> Result<()> {
+        match self {
+            Backend::InPlace(ix) => ix.insert_documents(docs, threads),
+            Backend::Segmented(ix) => Ok(ix.insert_documents(docs, threads)?),
+        }
+    }
+
+    fn delete_document(&mut self, doc: DocId) {
+        match self {
+            Backend::InPlace(ix) => ix.delete_document(doc),
+            Backend::Segmented(ix) => ix.delete_document(doc),
+        }
+    }
+
+    fn flush_batch(&mut self) -> Result<BatchReport> {
+        match self {
+            Backend::InPlace(ix) => ix.flush_batch(),
+            Backend::Segmented(ix) => Ok(ix.flush_batch()?),
+        }
+    }
+
+    fn sweep(&mut self) -> Result<SweepReport> {
+        match self {
+            Backend::InPlace(ix) => ix.sweep(),
+            // Sweeping L0 would clear tombstones that sealed segments
+            // still need for read-time filtering; deletions are instead
+            // dropped for good when segments merge.
+            Backend::Segmented(_) => Err(IndexError::InvalidConfig(
+                "the segmented engine has no sweep; deletions are purged by compaction".into(),
+            )),
+        }
+    }
+}
+
+impl PostingSource for Backend {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
+        match self {
+            Backend::InPlace(ix) => PostingSource::postings(ix, word),
+            Backend::Segmented(ix) => PostingSource::postings(ix, word),
+        }
+    }
+}
+
+impl QueryIndex for Backend {
+    fn array(&self) -> &DiskArray {
+        match self {
+            Backend::InPlace(ix) => DualIndex::array(ix),
+            Backend::Segmented(ix) => SegmentedIndex::array(ix),
+        }
+    }
+}
 
 /// Engine state beyond the index itself: stored documents, the word
 /// interner, and the id counters. Query evaluation lives here too, so the
@@ -182,9 +317,9 @@ impl EngineCore {
     /// Proximity query (paper §1): inverted lists prune to the documents
     /// containing both words; the stored text verifies the positional
     /// window.
-    pub(crate) fn within(
+    pub(crate) fn within<S: QueryIndex + ?Sized>(
         &self,
-        index: &DualIndex,
+        index: &S,
         w1: &str,
         w2: &str,
         window: u32,
@@ -215,7 +350,11 @@ impl EngineCore {
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
-    pub(crate) fn phrase(&self, index: &DualIndex, phrase: &str) -> Result<PostingList> {
+    pub(crate) fn phrase<S: QueryIndex + ?Sized>(
+        &self,
+        index: &S,
+        phrase: &str,
+    ) -> Result<PostingList> {
         let words: Vec<String> = lexer::tokenize_document(phrase);
         if words.is_empty() {
             return Ok(PostingList::new());
@@ -258,9 +397,9 @@ impl EngineCore {
     /// across runs and across deployments — an unsharded engine and a
     /// sharded router computing the same global weights produce identical
     /// f64 scores for every document.
-    pub(crate) fn more_like_this(
+    pub(crate) fn more_like_this<S: QueryIndex + ?Sized>(
         &self,
-        index: &DualIndex,
+        index: &S,
         text: &str,
         k: usize,
     ) -> Result<Vec<Hit>> {
@@ -277,7 +416,11 @@ impl EngineCore {
     /// deletion-filtered posting lists that scoring reads, so a router
     /// summing shard dfs computes exactly the idf an unsharded engine
     /// would.
-    pub(crate) fn term_dfs(&self, index: &DualIndex, terms: &[String]) -> Result<Vec<u64>> {
+    pub(crate) fn term_dfs<S: QueryIndex + ?Sized>(
+        &self,
+        index: &S,
+        terms: &[String],
+    ) -> Result<Vec<u64>> {
         terms
             .iter()
             .map(|t| match self.word_id(t) {
@@ -291,9 +434,9 @@ impl EngineCore {
     /// order (the router ships corpus-global idf weights in canonical
     /// sorted-term order). Unknown words are skipped — they have no local
     /// postings, so they contribute nothing anyway.
-    pub(crate) fn weighted_like(
+    pub(crate) fn weighted_like<S: QueryIndex + ?Sized>(
         &self,
-        index: &DualIndex,
+        index: &S,
         terms: &[(String, f64)],
         k: usize,
     ) -> Result<Vec<Hit>> {
@@ -325,14 +468,15 @@ impl EngineCore {
 /// assert_eq!(engine.within("dog", "cat", 3).unwrap().len(), 1);
 /// ```
 pub struct SearchEngine {
-    index: DualIndex,
+    backend: Backend,
     core: EngineCore,
 }
 
 impl SearchEngine {
-    /// Create a fresh engine on the given disks.
+    /// Create a fresh engine on the given disks. [`IndexConfig::engine`]
+    /// picks the backend: in-place (the paper's design) or segmented.
     pub fn create(array: DiskArray, config: IndexConfig) -> Result<Self> {
-        Ok(Self { index: DualIndex::create(array, config)?, core: EngineCore::new() })
+        Ok(Self { backend: Backend::create(array, config)?, core: EngineCore::new() })
     }
 
     /// Serialize the engine's metadata (vocabulary, document directory,
@@ -351,24 +495,49 @@ impl SearchEngine {
         for (_, disk, start, blocks) in core.docs.extents() {
             index.reserve_extent(disk, start, blocks)?;
         }
-        Ok(Self { index, core })
+        Ok(Self { backend: Backend::InPlace(index), core })
     }
 
     /// Re-open an engine: recover the index from `array` (see
     /// [`DualIndex::open`]) and the engine metadata from `meta` bytes.
     /// Document-store extents are re-reserved in the allocators.
+    /// In-place only: the segmented engine's manifest lives in a store
+    /// directory, so it reopens through [`crate::DurableEngine`].
     pub fn open(array: DiskArray, config: IndexConfig, meta: &[u8]) -> Result<Self> {
+        if !matches!(config.engine, EngineKind::InPlace) {
+            return Err(IndexError::InvalidConfig(
+                "the segmented engine reopens through DurableEngine (its manifest \
+                 is part of the durable store directory)"
+                    .into(),
+            ));
+        }
         Self::from_parts(DualIndex::open(array, config)?, meta)
     }
 
-    /// The underlying index.
+    /// The dual-structure index: the whole store for the in-place
+    /// engine, the L0 tier for the segmented one.
     pub fn index(&self) -> &DualIndex {
-        &self.index
+        self.backend.dual()
     }
 
-    /// Mutable access to the underlying index.
+    /// Mutable access to the dual-structure index (see [`Self::index`]).
     pub fn index_mut(&mut self) -> &mut DualIndex {
-        &mut self.index
+        self.backend.dual_mut()
+    }
+
+    /// The backend behind this engine.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Mutable backend access (compaction rate control, forced seals).
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// Segment-tier statistics, when running the segmented engine.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        self.backend.segment_stats()
     }
 
     /// Documents added so far.
@@ -379,7 +548,7 @@ impl SearchEngine {
     /// Block-cache counters, if the index was configured with a cache
     /// (`IndexConfig::cache_blocks > 0`).
     pub fn cache_stats(&self) -> Option<invidx_core::cache::CacheStats> {
-        self.index.cache_stats()
+        self.backend.dual().cache_stats()
     }
 
     /// Distinct words interned so far.
@@ -404,8 +573,8 @@ impl SearchEngine {
         let words = self.core.lex_and_intern(text);
         let doc = DocId(self.core.next_doc);
         self.core.next_doc += 1;
-        self.index.insert_document(doc, words)?;
-        self.core.docs.store(self.index.sidecar_array(), doc, text)?;
+        self.backend.insert_document(doc, words)?;
+        self.core.docs.store(self.backend.dual_mut().sidecar_array(), doc, text)?;
         self.core.total_docs += 1;
         Ok(doc)
     }
@@ -417,7 +586,7 @@ impl SearchEngine {
     /// assigned in input order and the result is byte-identical to
     /// calling [`Self::add_document`] for each text in turn.
     pub fn add_documents(&mut self, texts: &[&str]) -> Result<Vec<DocId>> {
-        let threads = self.index.ingest_threads();
+        let threads = self.backend.dual().ingest_threads();
         let words = self.core.lex_batch(texts, threads);
         let mut ids = Vec::with_capacity(texts.len());
         let mut batch = Vec::with_capacity(texts.len());
@@ -427,48 +596,41 @@ impl SearchEngine {
             batch.push((doc, per_doc));
             ids.push(doc);
         }
-        self.index.insert_documents(batch, threads)?;
+        self.backend.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
-            self.core.docs.store(self.index.sidecar_array(), *doc, text)?;
+            self.core.docs.store(self.backend.dual_mut().sidecar_array(), *doc, text)?;
             self.core.total_docs += 1;
         }
         Ok(ids)
     }
 
-    /// Set the worker count used by batch ingest ([`Self::add_documents`]
-    /// and the parallel apply inside [`Self::flush`]). `1` (the default)
-    /// keeps every path sequential.
-    #[deprecated(since = "0.5.0", note = "set `ingest_threads` via IndexConfig::builder()")]
-    pub fn set_ingest_threads(&mut self, threads: usize) {
-        #[allow(deprecated)]
-        self.index.set_ingest_threads(threads);
-    }
-
     /// The stored text of a document.
     pub fn document(&self, doc: DocId) -> Result<Option<String>> {
-        self.core.docs.load(self.index.array(), doc)
+        self.core.docs.load(self.backend.array(), doc)
     }
 
-    /// Flush the current batch to disk.
+    /// Flush the current batch to disk. On the segmented engine this
+    /// also runs the seal policy and one compaction tick.
     pub fn flush(&mut self) -> Result<BatchReport> {
-        self.index.flush_batch()
+        self.backend.flush_batch()
     }
 
     /// Logically delete a document.
     pub fn delete(&mut self, doc: DocId) {
-        self.index.delete_document(doc);
+        self.backend.delete_document(doc);
     }
 
-    /// Run the deletion sweep.
+    /// Run the deletion sweep (in-place engine only; the segmented
+    /// engine purges deletions through compaction instead).
     pub fn sweep(&mut self) -> Result<SweepReport> {
-        self.index.sweep()
+        self.backend.sweep()
     }
 
     /// Evaluate a boolean [`Query`]. `&self`: queries share the engine,
     /// so a serving layer can fan them out across threads under one read
     /// lock while a single writer ingests.
     pub fn boolean(&self, query: &Query) -> Result<PostingList> {
-        query.eval(&self.index)
+        query.eval(&self.backend)
     }
 
     /// Parse and evaluate a boolean query string, e.g.
@@ -487,7 +649,7 @@ impl SearchEngine {
 
     /// Vector-space search with an explicit query.
     pub fn vector(&self, query: &VectorQuery, k: usize) -> Result<Vec<Hit>> {
-        search(&self.index, query, self.core.total_docs, k)
+        search(&self.backend, query, self.core.total_docs, k)
     }
 
     /// Proximity query (paper §1: "requiring that 'cat' and 'dog' occur
@@ -495,39 +657,36 @@ impl SearchEngine {
     /// documents containing both words; the stored text verifies the
     /// positional window.
     pub fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
-        self.core.within(&self.index, w1, w2, window)
+        self.core.within(&self.backend, w1, w2, window)
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
     pub fn phrase(&self, phrase: &str) -> Result<PostingList> {
-        self.core.phrase(&self.index, phrase)
+        self.core.phrase(&self.backend, phrase)
     }
 
     /// Vector-space search using a document text as the query (the paper's
     /// "a query may be derived from a document" — §5.2.1).
     pub fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
-        self.core.more_like_this(&self.index, text, k)
+        self.core.more_like_this(&self.backend, text, k)
     }
 
     /// Document frequency per term (0 for unknown words) — the DF phase of
     /// the router's distributed LIKE.
     pub fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
-        self.core.term_dfs(&self.index, terms)
+        self.core.term_dfs(&self.backend, terms)
     }
 
     /// Top-k scoring with caller-supplied per-term contributions (the
     /// router's WLIKE phase); accumulation runs in slice order.
     pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
-        self.core.weighted_like(&self.index, terms, k)
+        self.core.weighted_like(&self.backend, terms, k)
     }
 }
 
 impl PostingSource for SearchEngine {
     fn postings(&self, word: WordId) -> Result<PostingList> {
-        let _stage = invidx_obs::trace::stage("term");
-        let list = self.index.postings(word)?;
-        invidx_obs::trace::add_items(list.len() as u64);
-        Ok(list)
+        self.backend.postings(word)
     }
 }
 

@@ -20,6 +20,6 @@ pub mod vector;
 
 pub use boolean::{PostingSource, Query};
 pub use docstore::DocStore;
-pub use durable_engine::DurableEngine;
-pub use engine::SearchEngine;
+pub use durable_engine::{DurableBackend, DurableEngine};
+pub use engine::{Backend, QueryIndex, SearchEngine};
 pub use vector::{search, search_like, search_seeded, Hit, VectorQuery};

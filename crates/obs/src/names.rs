@@ -21,6 +21,26 @@ pub const CORE_SWEEPS: &str = "core_sweeps_total";
 pub const CORE_COMPACTIONS: &str = "core_compactions_total";
 /// Bucket-space rebalances performed.
 pub const CORE_REBALANCES: &str = "core_rebalances_total";
+/// L0 resets performed after sealing into a segment.
+pub const CORE_SEAL_RESETS: &str = "core_seal_resets_total";
+
+/// Segments sealed from L0 contents.
+pub const SEGMENT_SEALS: &str = "segment_seals_total";
+/// Tiered merges performed by the compaction scheduler.
+pub const SEGMENT_MERGES: &str = "segment_merges_total";
+/// Device bytes written into sealed segments (seals + merges) — the
+/// numerator of write amplification.
+pub const SEGMENT_BYTES_WRITTEN: &str = "segment_bytes_written_total";
+/// Segment chunk reads issued by the segmented read path.
+pub const SEGMENT_READ_OPS: &str = "segment_read_ops_total";
+/// Live segments across all levels (gauge).
+pub const SEGMENT_LIVE: &str = "segment_live";
+/// Manifest generations committed.
+pub const SEGMENT_MANIFEST_COMMITS: &str = "segment_manifest_commits_total";
+/// Merges deferred by the rate limiter (picked up on a later tick).
+pub const SEGMENT_MERGE_DEFERRALS: &str = "segment_merge_deferrals_total";
+/// Interrupted seals/merges rolled forward by recovery.
+pub const SEGMENT_ROLLFORWARDS: &str = "segment_rollforwards_total";
 
 /// Fresh long-list chunks allocated and written.
 pub const LONG_CHUNK_ALLOCS: &str = "long_chunk_allocs_total";

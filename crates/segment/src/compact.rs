@@ -1,0 +1,131 @@
+//! Tiered background compaction over the sealed-segment set.
+//!
+//! Seals produce level-0 segments; whenever a level accumulates `fanout`
+//! segments, the oldest `fanout` of them merge into one segment at the
+//! next level. Merging is append-only and tombstone-free: inputs are
+//! unioned run-by-run (doc-id order), the output is written as a fresh
+//! immutable segment, the manifest commits the swap, and only then are
+//! the input extents freed. Deletions never write tombstones — the L0
+//! deletion filter screens reads, exactly as §3 of the paper screens
+//! in-place reads.
+//!
+//! The scheduler is cooperative: the owning writer pumps it between
+//! batches (`tick`), and a per-tick byte budget bounds how much merge
+//! I/O a single batch boundary can absorb. Work that exceeds the budget
+//! is deferred to the next tick and counted in
+//! `segment_merge_deferrals_total`.
+
+use crate::manifest::Manifest;
+
+/// Knobs governing when and how fast segments merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// A level merges when it holds this many segments.
+    pub fanout: u32,
+    /// Per-tick merge budget: at most this many blocks of input may be
+    /// merged at one batch boundary (0 disables the limit).
+    pub max_merge_blocks_per_tick: u64,
+}
+
+impl CompactionPolicy {
+    /// Default per-tick budget in blocks.
+    pub const DEFAULT_TICK_BLOCKS: u64 = 4096;
+
+    /// Policy for a given fanout with the default rate limit.
+    pub fn with_fanout(fanout: u32) -> Self {
+        Self { fanout, max_merge_blocks_per_tick: Self::DEFAULT_TICK_BLOCKS }
+    }
+}
+
+/// One unit of compaction work: merge `inputs` (all at `level`) into a
+/// fresh segment at `output_level`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergePlan {
+    /// Level being compacted.
+    pub level: u32,
+    /// Ids of the input segments, oldest first.
+    pub inputs: Vec<u64>,
+    /// Level of the merge output (`level + 1`).
+    pub output_level: u32,
+    /// Total input blocks (the cost charged against the tick budget).
+    pub input_blocks: u64,
+}
+
+/// Pick the next merge, lowest level first, respecting `budget_blocks`
+/// (the tick budget remaining). Returns `None` when no level is over
+/// fanout or the only eligible merge exceeds the budget (the deferral is
+/// counted).
+pub fn plan(manifest: &Manifest, policy: &CompactionPolicy, budget_blocks: u64) -> Option<MergePlan> {
+    let fanout = policy.fanout.max(2) as usize;
+    for (level, segs) in manifest.levels() {
+        if segs.len() < fanout {
+            continue;
+        }
+        let inputs: Vec<_> = segs.iter().take(fanout).collect();
+        let input_blocks: u64 = inputs.iter().map(|s| s.blocks()).sum();
+        if policy.max_merge_blocks_per_tick > 0 && input_blocks > budget_blocks {
+            invidx_obs::counter!(invidx_obs::names::SEGMENT_MERGE_DEFERRALS).inc();
+            return None;
+        }
+        return Some(MergePlan {
+            level,
+            inputs: inputs.iter().map(|s| s.id).collect(),
+            output_level: level + 1,
+            input_blocks,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{SegmentExtent, SegmentMeta};
+
+    fn seg(id: u64, level: u32, blocks: u64) -> SegmentMeta {
+        SegmentMeta {
+            id,
+            level,
+            extents: vec![SegmentExtent { disk: 0, start: id * 1000, blocks }],
+            terms: vec![],
+            data_bytes: 0,
+            crc: 0,
+        }
+    }
+
+    #[test]
+    fn plans_oldest_fanout_at_lowest_level() {
+        let mut m = Manifest::new();
+        m.next_segment_id = 0;
+        for id in 0..5 {
+            m.apply_seal(seg(id, 0, 10), id);
+        }
+        let p = plan(&m, &CompactionPolicy::with_fanout(4), u64::MAX).unwrap();
+        assert_eq!(p.level, 0);
+        assert_eq!(p.inputs, vec![0, 1, 2, 3]);
+        assert_eq!(p.output_level, 1);
+        assert_eq!(p.input_blocks, 40);
+    }
+
+    #[test]
+    fn under_fanout_is_idle() {
+        let mut m = Manifest::new();
+        for id in 0..3 {
+            m.apply_seal(seg(id, 0, 10), id);
+        }
+        assert_eq!(plan(&m, &CompactionPolicy::with_fanout(4), u64::MAX), None);
+    }
+
+    #[test]
+    fn budget_defers_large_merges() {
+        let mut m = Manifest::new();
+        for id in 0..4 {
+            m.apply_seal(seg(id, 0, 100), id);
+        }
+        let before = invidx_obs::counter!(invidx_obs::names::SEGMENT_MERGE_DEFERRALS).get();
+        assert_eq!(plan(&m, &CompactionPolicy::with_fanout(4), 100), None);
+        let after = invidx_obs::counter!(invidx_obs::names::SEGMENT_MERGE_DEFERRALS).get();
+        assert_eq!(after, before + 1);
+        assert!(plan(&m, &CompactionPolicy::with_fanout(4), 400).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the segment-tiered storage engine.
+
+use std::fmt;
+
+/// Everything that can go wrong in the segment layer.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// Invariant violation or unreadable on-disk state.
+    Corrupt(String),
+    /// Misuse of the API (wrong engine kind, seal mid-batch, ...).
+    Usage(String),
+    /// Bubbled up from the core index.
+    Index(invidx_core::IndexError),
+    /// Bubbled up from the disk array.
+    Disk(invidx_disk::DiskError),
+    /// Bubbled up from the durability layer (WAL, checkpoint, manifest
+    /// file, injected faults).
+    Durable(invidx_durable::DurableError),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SegmentError>;
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Corrupt(m) => write!(f, "segment corruption: {m}"),
+            SegmentError::Usage(m) => write!(f, "segment usage error: {m}"),
+            SegmentError::Index(e) => write!(f, "index error: {e}"),
+            SegmentError::Disk(e) => write!(f, "disk error: {e}"),
+            SegmentError::Durable(e) => write!(f, "durability error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<invidx_core::IndexError> for SegmentError {
+    fn from(e: invidx_core::IndexError) -> Self {
+        SegmentError::Index(e)
+    }
+}
+
+impl From<invidx_disk::DiskError> for SegmentError {
+    fn from(e: invidx_disk::DiskError) -> Self {
+        SegmentError::Disk(e)
+    }
+}
+
+impl From<invidx_durable::DurableError> for SegmentError {
+    fn from(e: invidx_durable::DurableError) -> Self {
+        SegmentError::Durable(e)
+    }
+}
+
+/// Lossy downcast for callers speaking the core error vocabulary (the
+/// IR engines expose one error type regardless of backend).
+impl From<SegmentError> for invidx_core::IndexError {
+    fn from(e: SegmentError) -> Self {
+        use invidx_core::IndexError;
+        match e {
+            SegmentError::Index(e) => e,
+            SegmentError::Disk(e) => IndexError::Disk(e),
+            SegmentError::Durable(invidx_durable::DurableError::Index(e)) => e,
+            SegmentError::Durable(e) => IndexError::Corruption(format!("durable: {e}")),
+            SegmentError::Corrupt(m) => IndexError::Corruption(m),
+            SegmentError::Usage(m) => IndexError::InvalidConfig(m),
+        }
+    }
+}
+
+/// Lossy downcast for callers speaking the durability vocabulary.
+impl From<SegmentError> for invidx_durable::DurableError {
+    fn from(e: SegmentError) -> Self {
+        use invidx_durable::DurableError;
+        match e {
+            SegmentError::Durable(e) => e,
+            SegmentError::Index(e) => DurableError::Index(e),
+            SegmentError::Disk(e) => DurableError::Index(invidx_core::IndexError::Disk(e)),
+            SegmentError::Corrupt(m) => DurableError::Corrupt(m),
+            SegmentError::Usage(m) => {
+                DurableError::Index(invidx_core::IndexError::InvalidConfig(m))
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The manifest: durable source of truth for the set of live segments.
+//!
+//! The manifest is a generation-numbered record of every sealed segment
+//! (with its extent list and term index) plus the id counter and the L0
+//! watermark. Every state change — a seal or a merge — bumps the
+//! generation and, in durable mode, rewrites the manifest file with the
+//! same tmp-write/fsync/atomic-rename protocol the checkpoint uses, at
+//! the same injectable fault points. A crash can therefore leave at most
+//! one committed-but-uncheckpointed manifest generation, which recovery
+//! rolls forward (see `crate::durable`).
+
+use crate::error::{Result, SegmentError};
+use crate::format::{take_u32, take_u64, SegmentMeta};
+use invidx_durable::{crc32, DurableFile, FaultInjector, FaultPoint};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening a serialized manifest.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"IVXMANI1";
+/// Default manifest file name inside a durable store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// The live-segment set at one generation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic generation; bumped by every seal and merge.
+    pub generation: u64,
+    /// Next segment id to assign.
+    pub next_segment_id: u64,
+    /// Batch number of the L0 index when the last seal committed — the
+    /// watermark below which all postings live in sealed segments.
+    pub l0_sealed_batch: u64,
+    /// Live segments, oldest first (creation order). Within a word,
+    /// postings from later segments and L0 supersede nothing — segments
+    /// are disjoint snapshots merged by doc-id union at read time.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// A fresh empty manifest at generation zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assign the next segment id (does not bump the generation; the id
+    /// is only consumed when the seal or merge commits).
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_segment_id
+    }
+
+    /// Commit a freshly sealed L0 segment.
+    pub fn apply_seal(&mut self, meta: SegmentMeta, l0_batch: u64) {
+        debug_assert_eq!(meta.id, self.next_segment_id);
+        self.next_segment_id = meta.id + 1;
+        self.segments.push(meta);
+        self.l0_sealed_batch = l0_batch;
+        self.generation += 1;
+        invidx_obs::counter!(invidx_obs::names::SEGMENT_SEALS).inc();
+        invidx_obs::gauge!(invidx_obs::names::SEGMENT_LIVE).set(self.segments.len() as i64);
+    }
+
+    /// Commit a merge: drop `inputs`, add `output` in their place (at the
+    /// position of the oldest input, preserving creation order).
+    pub fn apply_merge(&mut self, inputs: &[u64], output: SegmentMeta) -> Result<()> {
+        debug_assert_eq!(output.id, self.next_segment_id);
+        let first = self
+            .segments
+            .iter()
+            .position(|s| inputs.contains(&s.id))
+            .ok_or_else(|| SegmentError::Corrupt("merge inputs not in manifest".into()))?;
+        let before = self.segments.len();
+        self.segments.retain(|s| !inputs.contains(&s.id));
+        if before - self.segments.len() != inputs.len() {
+            return Err(SegmentError::Corrupt(format!(
+                "merge expected {} inputs live, found {}",
+                inputs.len(),
+                before - self.segments.len()
+            )));
+        }
+        self.next_segment_id = output.id + 1;
+        self.segments.insert(first, output);
+        self.generation += 1;
+        invidx_obs::counter!(invidx_obs::names::SEGMENT_MERGES).inc();
+        invidx_obs::gauge!(invidx_obs::names::SEGMENT_LIVE).set(self.segments.len() as i64);
+        Ok(())
+    }
+
+    /// Segment metadata by id.
+    pub fn segment(&self, id: u64) -> Option<&SegmentMeta> {
+        self.segments.iter().find(|s| s.id == id)
+    }
+
+    /// Live segments grouped by tier level, ascending.
+    pub fn levels(&self) -> BTreeMap<u32, Vec<&SegmentMeta>> {
+        let mut map: BTreeMap<u32, Vec<&SegmentMeta>> = BTreeMap::new();
+        for s in &self.segments {
+            map.entry(s.level).or_default().push(s);
+        }
+        map
+    }
+
+    /// Total blocks held by live segments.
+    pub fn total_blocks(&self) -> u64 {
+        self.segments.iter().map(|s| s.blocks()).sum()
+    }
+
+    /// Total postings held by live segments.
+    pub fn total_postings(&self) -> u64 {
+        self.segments.iter().map(|s| s.postings()).sum()
+    }
+
+    /// Serialize with magic, version, and trailing CRC32.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&self.l0_sealed_batch.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            s.encode_into(&mut out);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MANIFEST_MAGIC.len() + 4 + 4 || &bytes[..8] != MANIFEST_MAGIC {
+            return Err(SegmentError::Corrupt("bad manifest magic".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let want = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != want {
+            return Err(SegmentError::Corrupt("manifest CRC mismatch".into()));
+        }
+        let mut pos = 8;
+        let version = take_u32(body, &mut pos)?;
+        if version != 1 {
+            return Err(SegmentError::Corrupt(format!("manifest version {version}")));
+        }
+        let generation = take_u64(body, &mut pos)?;
+        let next_segment_id = take_u64(body, &mut pos)?;
+        let l0_sealed_batch = take_u64(body, &mut pos)?;
+        let n = take_u32(body, &mut pos)? as usize;
+        let mut segments = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            segments.push(SegmentMeta::decode_from(body, &mut pos)?);
+        }
+        Ok(Self { generation, next_segment_id, l0_sealed_batch, segments })
+    }
+}
+
+/// Atomic file persistence for the manifest, mirroring the checkpoint's
+/// tmp-write → fsync → rename → dir-fsync protocol. It reuses the
+/// checkpoint fault points (`CheckpointWrite`/`CheckpointFsync`/
+/// `CheckpointRename`) so the existing kill matrices strike manifest
+/// writes too.
+#[derive(Debug, Clone)]
+pub struct ManifestFile {
+    path: PathBuf,
+}
+
+impl ManifestFile {
+    /// Manifest persisted at `dir/MANIFEST`.
+    pub fn in_dir(dir: &Path) -> Self {
+        Self { path: dir.join(MANIFEST_FILE) }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically replace the manifest file with `manifest`.
+    pub fn store(&self, manifest: &Manifest, injector: &FaultInjector) -> Result<()> {
+        let bytes = manifest.encode();
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = DurableFile::open_append(
+                &tmp,
+                injector.clone(),
+                FaultPoint::CheckpointWrite,
+                FaultPoint::CheckpointFsync,
+            )?;
+            f.truncate(0)?;
+            f.append(&bytes)?;
+            f.sync()?;
+        }
+        injector.check_event(FaultPoint::CheckpointRename)?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| SegmentError::Corrupt(format!("manifest rename: {e}")))?;
+        if let Some(parent) = self.path.parent() {
+            if let Ok(d) = std::fs::File::open(parent) {
+                d.sync_all().ok();
+            }
+        }
+        invidx_obs::counter!(invidx_obs::names::SEGMENT_MANIFEST_COMMITS).inc();
+        Ok(())
+    }
+
+    /// Load the manifest, or `None` when the file does not exist yet. A
+    /// leftover `.tmp` from an interrupted store is discarded.
+    pub fn load(&self) -> Result<Option<Manifest>> {
+        std::fs::remove_file(self.path.with_extension("tmp")).ok();
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Manifest::decode(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(SegmentError::Corrupt(format!("manifest read: {e}"))),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Crash-consistency matrix for the segmented durable store: kill the
+//! pipeline at every injectable write site — WAL, apply, device flush,
+//! manifest tmp-write/fsync/rename (which share the checkpoint fault
+//! points), WAL truncate — and at every protocol site inside the
+//! seal/merge commit sequence, across both manifest-changing operations.
+//! After each crash, recover and prove the store holds exactly the
+//! committed history by diffing every word against an independent model,
+//! then prove the store still works and survives a second clean reopen.
+
+use invidx_core::{DocId, EngineKind, IndexConfig, PostingList, WordId};
+use invidx_durable::{DurableOptions, Fault, FaultInjector, FaultPoint, StoreGeometry};
+use invidx_segment::{DurableSegmentedIndex, ProtocolSite};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+const DOCS_PER_BATCH: u32 = 40;
+const WORDS: u64 = 10;
+const DELETED: [u32; 2] = [4, 9];
+
+fn geom() -> StoreGeometry {
+    StoreGeometry { disks: 3, blocks_per_disk: 40_000, block_size: 256 }
+}
+
+fn config(l0_budget: u64, fanout: u32) -> IndexConfig {
+    IndexConfig { engine: EngineKind::Segmented { l0_budget, fanout }, ..IndexConfig::small() }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("invidx-segrec-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn insert_batch(ix: &mut DurableSegmentedIndex, batch: u32) {
+    let lo = (batch - 1) * DOCS_PER_BATCH + 1;
+    let hi = batch * DOCS_PER_BATCH + 1;
+    for d in lo..hi {
+        let words = (1..=WORDS).filter(|w| (d as u64).is_multiple_of(*w)).map(WordId);
+        ix.insert_document(DocId(d), words).unwrap();
+    }
+}
+
+fn expected(word: u64, batches: u64) -> PostingList {
+    let deleted: BTreeSet<u32> =
+        if batches >= 2 { DELETED.into_iter().collect() } else { BTreeSet::new() };
+    let hi = batches as u32 * DOCS_PER_BATCH;
+    PostingList::from_sorted(
+        (1..=hi)
+            .filter(|d| (*d as u64).is_multiple_of(word) && !deleted.contains(d))
+            .map(DocId)
+            .collect(),
+    )
+}
+
+fn verify_all_words(ix: &DurableSegmentedIndex, batches: u64, tag: &str) {
+    for w in 1..=WORDS {
+        let got = ix.postings(WordId(w)).unwrap();
+        let want = expected(w, batches);
+        assert_eq!(
+            got.docs(),
+            want.docs(),
+            "[{tag}] word {w} differs after recovery to batch {batches}"
+        );
+    }
+    assert!(ix.postings(WordId(999)).unwrap().is_empty(), "[{tag}] ghost word appeared");
+    ix.verify_segments().unwrap_or_else(|e| panic!("[{tag}] segment CRC audit failed: {e}"));
+}
+
+/// Reopen, check the model, commit one more batch, reopen again clean.
+fn recover_and_continue(
+    dir: &PathBuf,
+    cfg: IndexConfig,
+    opts: DurableOptions,
+    inj: &FaultInjector,
+    committed: u64,
+    tag: &str,
+) {
+    let mut ix =
+        DurableSegmentedIndex::open_with(dir, cfg, opts, inj.clone(), &mut ())
+            .unwrap_or_else(|e| panic!("[{tag}] recovery failed: {e}"));
+    assert_eq!(ix.batches(), committed, "[{tag}] wrong batch count after recovery");
+    verify_all_words(&ix, committed, tag);
+
+    insert_batch(&mut ix, committed as u32 + 1);
+    ix.flush().unwrap_or_else(|e| panic!("[{tag}] post-recovery flush failed: {e}"));
+    verify_all_words(&ix, committed + 1, tag);
+    let gen = ix.manifest().generation;
+    drop(ix);
+
+    let ix = DurableSegmentedIndex::open(dir, cfg, opts)
+        .unwrap_or_else(|e| panic!("[{tag}] second recovery failed: {e}"));
+    assert!(ix.manifest().generation >= gen, "[{tag}] manifest generation went backwards");
+    verify_all_words(&ix, committed + 1, tag);
+    drop(ix);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Two committed batches (the second carrying deletes), then batch 3
+/// flushed under an armed fault. With `l0_budget = 1` every flush also
+/// seals, so the armed point's first write site inside the seal protocol
+/// is struck: the manifest tmp write for `CheckpointWrite`, the manifest
+/// rename for `CheckpointRename`, the pre-manifest device flush for
+/// `DeviceFlush`, and so on.
+fn crash_during_seal(fault: Fault) {
+    let tag = format!("seal-{:?}-{}", fault.point, fault.after);
+    let dir = tmpdir(&tag);
+    let cfg = config(1, 100); // seal every flush, never merge
+    let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+    let inj = FaultInjector::new();
+    let mut ix =
+        DurableSegmentedIndex::create_with(&dir, cfg, geom(), opts, inj.clone()).unwrap();
+
+    insert_batch(&mut ix, 1);
+    ix.flush().unwrap();
+    for d in DELETED {
+        ix.delete_document(DocId(d));
+    }
+    insert_batch(&mut ix, 2);
+    ix.flush().unwrap();
+    assert!(ix.stats().seals >= 2, "[{tag}] setup failed to seal");
+
+    insert_batch(&mut ix, 3);
+    inj.arm(fault);
+    let res = ix.flush();
+    if res.is_ok() {
+        // A deep `after` can overshoot every write of this flush; nothing
+        // crashed, nothing to recover.
+        assert!(inj.fired().is_none(), "[{tag}] fault fired but flush succeeded");
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    assert_eq!(inj.fired(), Some(fault.point), "[{tag}] wrong fault fired");
+    drop(ix);
+    inj.disarm();
+
+    let committed = if fault.point.before_commit() { 2 } else { 3 };
+    recover_and_continue(&dir, cfg, opts, &inj, committed, &tag);
+}
+
+#[test]
+fn kill_matrix_during_seal_every_fault_point() {
+    for point in FaultPoint::ALL {
+        crash_during_seal(Fault::at(point));
+    }
+}
+
+#[test]
+fn kill_matrix_during_seal_apply_depths() {
+    // Deeper strikes into ApplyWrite land inside the segment extent
+    // writes rather than the batch apply.
+    for after in [0, 2, 5, 9, 14, 20, 40] {
+        crash_during_seal(Fault::at(FaultPoint::ApplyWrite).after(after));
+    }
+}
+
+/// Three sealed segments awaiting a deferred merge, then the merge runs
+/// under an armed fault: the first strike site of every fault point is
+/// inside the merge protocol (there is no batch in flight).
+fn crash_during_merge(fault: Fault) {
+    let tag = format!("merge-{:?}-{}", fault.point, fault.after);
+    let dir = tmpdir(&tag);
+    let cfg = config(1, 2);
+    let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+    let inj = FaultInjector::new();
+    let mut ix =
+        DurableSegmentedIndex::create_with(&dir, cfg, geom(), opts, inj.clone()).unwrap();
+    ix.set_merge_rate(1); // defer all merges during setup
+
+    insert_batch(&mut ix, 1);
+    ix.flush().unwrap();
+    for d in DELETED {
+        ix.delete_document(DocId(d));
+    }
+    insert_batch(&mut ix, 2);
+    ix.flush().unwrap();
+    insert_batch(&mut ix, 3);
+    ix.flush().unwrap();
+    assert!(ix.stats().seals >= 3 && ix.stats().merges == 0, "[{tag}] setup skewed");
+
+    ix.set_merge_rate(0);
+    inj.arm(fault);
+    let res = ix.tick();
+    if res.is_ok() {
+        assert!(inj.fired().is_none(), "[{tag}] fault fired but tick succeeded");
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    assert_eq!(inj.fired(), Some(fault.point), "[{tag}] wrong fault fired");
+    drop(ix);
+    inj.disarm();
+
+    // No batch was in flight: all three batches stay committed whatever
+    // the strike site; the merge either vanished or rolls forward.
+    recover_and_continue(&dir, cfg, opts, &inj, 3, &tag);
+}
+
+#[test]
+fn kill_matrix_during_merge_every_fault_point() {
+    // WAL points never fire during a merge (no record is written); the
+    // other six all strike inside the merge protocol.
+    for point in [
+        FaultPoint::ApplyWrite,
+        FaultPoint::DeviceFlush,
+        FaultPoint::CheckpointWrite,
+        FaultPoint::CheckpointFsync,
+        FaultPoint::CheckpointRename,
+        FaultPoint::WalTruncate,
+    ] {
+        crash_during_merge(Fault::at(point));
+    }
+}
+
+/// Process-kill at each site inside the seal protocol proper (the
+/// windows between durable steps that the byte-level faults cannot pin
+/// exactly), including the roll-forward window after the manifest
+/// commit.
+#[test]
+fn kill_matrix_protocol_sites_during_seal() {
+    for site in ProtocolSite::ALL {
+        if site == ProtocolSite::AfterInputFree {
+            continue; // merge-only site
+        }
+        let tag = format!("site-seal-{site:?}");
+        let dir = tmpdir(&tag);
+        let cfg = config(1, 100);
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let inj = FaultInjector::new();
+        let mut ix =
+            DurableSegmentedIndex::create_with(&dir, cfg, geom(), opts, inj.clone()).unwrap();
+        insert_batch(&mut ix, 1);
+        ix.flush().unwrap();
+        for d in DELETED {
+            ix.delete_document(DocId(d));
+        }
+        insert_batch(&mut ix, 2);
+        ix.flush().unwrap();
+
+        insert_batch(&mut ix, 3);
+        ix.inject_protocol_crash(site);
+        ix.flush().expect_err(&format!("[{tag}] protocol crash did not fire"));
+        drop(ix);
+
+        // The triggering batch committed before the seal began.
+        recover_and_continue(&dir, cfg, opts, &inj, 3, &tag);
+    }
+}
+
+#[test]
+fn kill_matrix_protocol_sites_during_merge() {
+    for site in ProtocolSite::ALL {
+        if site == ProtocolSite::AfterL0Reset {
+            continue; // seal-only site
+        }
+        let tag = format!("site-merge-{site:?}");
+        let dir = tmpdir(&tag);
+        let cfg = config(1, 2);
+        let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+        let inj = FaultInjector::new();
+        let mut ix =
+            DurableSegmentedIndex::create_with(&dir, cfg, geom(), opts, inj.clone()).unwrap();
+        ix.set_merge_rate(1);
+        insert_batch(&mut ix, 1);
+        ix.flush().unwrap();
+        for d in DELETED {
+            ix.delete_document(DocId(d));
+        }
+        insert_batch(&mut ix, 2);
+        ix.flush().unwrap();
+        insert_batch(&mut ix, 3);
+        ix.flush().unwrap();
+
+        ix.set_merge_rate(0);
+        ix.inject_protocol_crash(site);
+        ix.tick().expect_err(&format!("[{tag}] protocol crash did not fire"));
+        drop(ix);
+
+        recover_and_continue(&dir, cfg, opts, &inj, 3, &tag);
+    }
+}
+
+/// A clean close/reopen cycle with seals and merges on disk: the sealed
+/// history, tier shape, and manifest generation all survive.
+#[test]
+fn clean_round_trip_preserves_tiers() {
+    let dir = tmpdir("roundtrip");
+    let cfg = config(1, 2);
+    let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+    let mut ix = DurableSegmentedIndex::create(&dir, cfg, geom(), opts).unwrap();
+    for b in 1..=6u32 {
+        insert_batch(&mut ix, b);
+        if b == 2 {
+            for d in DELETED {
+                ix.delete_document(DocId(d));
+            }
+        }
+        ix.flush().unwrap();
+    }
+    let stats = ix.stats();
+    assert!(stats.seals >= 6 && stats.merges > 0, "round trip needs tiers: {stats:?}");
+    let gen = ix.manifest().generation;
+    drop(ix);
+
+    let ix = DurableSegmentedIndex::open(&dir, cfg, opts).unwrap();
+    assert_eq!(ix.manifest().generation, gen);
+    assert_eq!(ix.stats().segments, stats.segments);
+    verify_all_words(&ix, 6, "roundtrip");
+    drop(ix);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A seal that commits its manifest generation but crashes before the
+/// checkpoint is rolled *back* on recovery: the orphaned segment is
+/// discarded (WAL replay rebuilt its contents in L0, possibly on the
+/// same blocks), its id stays burned, and a superseding generation
+/// restores the manifest/checkpoint lockstep.
+#[test]
+fn interrupted_seal_rolls_back_and_burns_the_id() {
+    let tag = "rollback";
+    let dir = tmpdir(tag);
+    let cfg = config(1, 100);
+    let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
+    let inj = FaultInjector::new();
+    let mut ix =
+        DurableSegmentedIndex::create_with(&dir, cfg, geom(), opts, inj.clone()).unwrap();
+    insert_batch(&mut ix, 1);
+    ix.flush().unwrap();
+    let committed_segments = ix.stats().segments;
+    let next_id = ix.manifest().peek_next_id();
+    for d in DELETED {
+        ix.delete_document(DocId(d));
+    }
+    insert_batch(&mut ix, 2);
+    ix.inject_protocol_crash(ProtocolSite::AfterManifestCommit);
+    ix.flush().expect_err("crash site must fire");
+    let gen_ahead = ix.manifest().generation;
+    drop(ix);
+
+    let ix = DurableSegmentedIndex::open(&dir, cfg, opts).unwrap();
+    assert!(
+        ix.manifest().generation > gen_ahead,
+        "roll-back must supersede the orphaned generation, not resurrect it"
+    );
+    assert_eq!(ix.stats().segments, committed_segments, "orphan segment must be discarded");
+    assert!(ix.manifest().peek_next_id() > next_id, "orphan's id must stay burned");
+    verify_all_words(&ix, 2, tag);
+    drop(ix);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -36,25 +36,6 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for the admission front end.
-#[deprecated(since = "0.5.0", note = "superseded by `ServeConfig::builder()`")]
-#[derive(Debug, Clone, Copy)]
-pub struct AdmissionConfig {
-    /// Reader threads draining the queue.
-    pub readers: usize,
-    /// Queue depth at which new requests are shed.
-    pub high_water: usize,
-    /// Default per-request deadline, measured from admission.
-    pub deadline: Duration,
-}
-
-#[allow(deprecated)]
-impl Default for AdmissionConfig {
-    fn default() -> Self {
-        Self { readers: 4, high_water: 128, deadline: Duration::from_millis(500) }
-    }
-}
-
 /// One admitted read request waiting for a reader.
 struct Job {
     request: Request,
@@ -129,24 +110,6 @@ impl<E: ServeEngine> Frontend<E> {
             })
             .collect();
         Self { service, queue, config, readers }
-    }
-
-    /// Start `config.readers` reader threads over `service`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a `ServeConfig` with `ServeConfig::builder()` and use `start_with`"
-    )]
-    #[allow(deprecated)]
-    pub fn start(service: Arc<QueryService<E>>, config: AdmissionConfig) -> Self {
-        Self::start_with(
-            service,
-            ServeConfig {
-                readers: config.readers,
-                high_water: config.high_water,
-                deadline: config.deadline,
-                ..ServeConfig::default()
-            },
-        )
     }
 
     /// The service this front end feeds (for the writer path and stats).

@@ -38,8 +38,6 @@ pub mod server;
 pub mod service;
 pub mod telemetry;
 
-#[allow(deprecated)]
-pub use admission::AdmissionConfig;
 pub use admission::{Frontend, Ticket};
 pub use cache::{Lookup, ResultCache};
 pub use engine::ServeEngine;
@@ -49,7 +47,5 @@ pub use request::{
     ServeStats,
 };
 pub use server::Server;
-#[allow(deprecated)]
-pub use service::ServiceConfig;
 pub use service::{QueryService, ServeConfig, ServeConfigBuilder, ServeCounters};
 pub use telemetry::Telemetry;

@@ -23,21 +23,6 @@ use invidx_obs::names;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Tuning knobs for a [`QueryService`].
-#[deprecated(since = "0.5.0", note = "superseded by `ServeConfig::builder()`")]
-#[derive(Debug, Clone, Copy)]
-pub struct ServiceConfig {
-    /// Result-cache capacity in entries; 0 disables caching.
-    pub cache_capacity: usize,
-}
-
-#[allow(deprecated)]
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        Self { cache_capacity: 1024 }
-    }
-}
-
 /// One configuration for the whole serving stack — the result cache
 /// ([`QueryService`]) and admission control ([`crate::Frontend`]) read
 /// from the same struct, so a deployment is described in one place.
@@ -282,19 +267,6 @@ impl<E: ServeEngine> QueryService<E> {
             counters: ServeCounters::default(),
             telemetry: crate::telemetry::Telemetry::new(&config),
         }
-    }
-
-    /// Wrap an engine for serving.
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a `ServeConfig` with `ServeConfig::builder()` and use `with_config`"
-    )]
-    #[allow(deprecated)]
-    pub fn new(engine: E, config: ServiceConfig) -> Self {
-        Self::with_config(
-            engine,
-            ServeConfig { result_cache_capacity: config.cache_capacity, ..ServeConfig::default() },
-        )
     }
 
     /// The current batch epoch.

@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! invidx init  ./myindex --policy "whole z prop 1.2" --disks 4
+//! invidx init  ./lsm --engine segmented --l0-budget 1048576 --fanout 4
 //! invidx add   ./myindex docs/*.txt            # each invocation = one batch
 //! invidx search ./myindex "(cat and dog) or mouse"
 //! invidx search ./myindex --stdin < queries.txt   # one engine, many queries
@@ -25,7 +26,7 @@
 //! (`disk<N>.bin` + `engine.meta` rewritten after every mutating command),
 //! which existing index directories keep using.
 
-use invidx::core::index::{DualIndex, IndexConfig};
+use invidx::core::index::{DualIndex, EngineKind, IndexConfig};
 use invidx::core::policy::Policy;
 use invidx::core::types::DocId;
 use invidx::disk::{BlockDevice, Disk, DiskArray, FileDevice, FitStrategy, FreeList};
@@ -46,6 +47,8 @@ struct Conf {
     cache_blocks: usize,
     /// Ingest worker threads used when a command doesn't override them.
     ingest_threads: usize,
+    /// Storage engine: in-place dual-structure or segment-tiered.
+    engine: EngineKind,
 }
 
 impl Conf {
@@ -60,6 +63,7 @@ impl Conf {
             block_postings: 50,
             cache_blocks: 0,
             ingest_threads: 1,
+            engine: EngineKind::InPlace,
         }
     }
 
@@ -72,6 +76,7 @@ impl Conf {
             .materialize_buckets(true)
             .cache_blocks(self.cache_blocks)
             .ingest_threads(self.ingest_threads)
+            .engine(self.engine)
             .build()
             .map_err(|e| format!("bad index configuration: {e}"))
     }
@@ -85,7 +90,7 @@ impl Conf {
     }
 
     fn save(&self, dir: &Path) -> std::io::Result<()> {
-        let text = format!(
+        let mut text = format!(
             "policy={}\ndisks={}\nblocks={}\nblock_size={}\nnum_buckets={}\n\
              bucket_units={}\nblock_postings={}\ncache_blocks={}\ningest_threads={}\n",
             self.policy.label(),
@@ -98,6 +103,12 @@ impl Conf {
             self.cache_blocks,
             self.ingest_threads
         );
+        match self.engine {
+            EngineKind::InPlace => text.push_str("engine=inplace\n"),
+            EngineKind::Segmented { l0_budget, fanout } => {
+                text.push_str(&format!("engine=segmented\nl0_budget={l0_budget}\nfanout={fanout}\n"));
+            }
+        }
         std::fs::write(dir.join("invidx.conf"), text)
     }
 
@@ -128,6 +139,31 @@ impl Conf {
                 }
                 "ingest_threads" => {
                     conf.ingest_threads = v.parse().map_err(|e| format!("ingest_threads: {e}"))?
+                }
+                "engine" => {
+                    conf.engine = match v {
+                        "inplace" => EngineKind::InPlace,
+                        "segmented" => EngineKind::segmented(),
+                        other => return Err(format!("unknown engine {other:?}")),
+                    }
+                }
+                "l0_budget" => {
+                    let budget: u64 = v.parse().map_err(|e| format!("l0_budget: {e}"))?;
+                    match &mut conf.engine {
+                        EngineKind::Segmented { l0_budget, .. } => *l0_budget = budget,
+                        EngineKind::InPlace => {
+                            return Err("l0_budget requires engine=segmented".into())
+                        }
+                    }
+                }
+                "fanout" => {
+                    let n: u32 = v.parse().map_err(|e| format!("fanout: {e}"))?;
+                    match &mut conf.engine {
+                        EngineKind::Segmented { fanout, .. } => *fanout = n,
+                        EngineKind::InPlace => {
+                            return Err("fanout requires engine=segmented".into())
+                        }
+                    }
                 }
                 _ => return Err(format!("unknown config key {k:?}")),
             }
@@ -256,11 +292,20 @@ impl Engine {
         }
     }
 
-    /// The core dual-structure index (stats, gauges).
+    /// The core dual-structure index (stats, gauges). For segmented
+    /// engines this is the L0 index; sealed segments live above it.
     fn core_index(&self) -> &DualIndex {
         match self {
             Self::Legacy(e) => e.index(),
             Self::Durable(e) => e.index().inner(),
+        }
+    }
+
+    /// Tiered-store summary; `None` on in-place engines.
+    fn segment_stats(&self) -> Option<invidx::segment::SegmentStats> {
+        match self {
+            Self::Legacy(e) => e.segment_stats(),
+            Self::Durable(e) => e.segment_stats(),
         }
     }
 }
@@ -762,12 +807,62 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("ingest-threads: {e}"))?;
                 i += 2;
             }
+            "--engine" => {
+                conf.engine = match args.get(i + 1).ok_or("--engine needs a value")?.as_str() {
+                    "inplace" => EngineKind::InPlace,
+                    "segmented" => match conf.engine {
+                        seg @ EngineKind::Segmented { .. } => seg,
+                        EngineKind::InPlace => EngineKind::segmented(),
+                    },
+                    other => {
+                        return Err(format!("unknown engine {other:?} (inplace | segmented)"))
+                    }
+                };
+                i += 2;
+            }
+            "--l0-budget" => {
+                let budget: u64 = args
+                    .get(i + 1)
+                    .ok_or("--l0-budget needs a byte count")?
+                    .parse()
+                    .map_err(|e| format!("l0-budget: {e}"))?;
+                conf.engine = match conf.engine {
+                    EngineKind::Segmented { fanout, .. } => {
+                        EngineKind::Segmented { l0_budget: budget, fanout }
+                    }
+                    EngineKind::InPlace => EngineKind::Segmented {
+                        l0_budget: budget,
+                        fanout: EngineKind::DEFAULT_FANOUT,
+                    },
+                };
+                i += 2;
+            }
+            "--fanout" => {
+                let n: u32 = args
+                    .get(i + 1)
+                    .ok_or("--fanout needs a segment count")?
+                    .parse()
+                    .map_err(|e| format!("fanout: {e}"))?;
+                conf.engine = match conf.engine {
+                    EngineKind::Segmented { l0_budget, .. } => {
+                        EngineKind::Segmented { l0_budget, fanout: n }
+                    }
+                    EngineKind::InPlace => EngineKind::Segmented {
+                        l0_budget: EngineKind::DEFAULT_L0_BUDGET,
+                        fanout: n,
+                    },
+                };
+                i += 2;
+            }
             "--legacy" => {
                 legacy = true;
                 i += 1;
             }
             other => return Err(format!("unknown init option {other:?}")),
         }
+    }
+    if legacy && matches!(conf.engine, EngineKind::Segmented { .. }) {
+        return Err("the segmented engine needs the durable layout; drop --legacy".into());
     }
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     if dir.join("invidx.conf").exists() {
@@ -789,8 +884,14 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
         "durable (WAL + checkpoints)"
     };
     conf.save(dir).map_err(|e| e.to_string())?;
+    let engine = match conf.engine {
+        EngineKind::InPlace => "in-place".to_string(),
+        EngineKind::Segmented { l0_budget, fanout } => {
+            format!("segmented, l0 {l0_budget} B, fanout {fanout}")
+        }
+    };
     println!(
-        "initialized {} ({} disks x {} blocks x {} B, policy '{}', {mode})",
+        "initialized {} ({} disks x {} blocks x {} B, policy '{}', {engine}, {mode})",
         dir.display(),
         conf.disks,
         conf.blocks,
@@ -986,6 +1087,12 @@ fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
     let ix = engine.core_index();
     let d = ix.directory();
     println!("policy              {}", conf.policy);
+    match conf.engine {
+        EngineKind::InPlace => println!("engine              in-place"),
+        EngineKind::Segmented { l0_budget, fanout } => {
+            println!("engine              segmented (l0 budget {l0_budget} B, fanout {fanout})")
+        }
+    }
     match &engine {
         Engine::Legacy(_) => println!("durability          legacy (engine.meta)"),
         Engine::Durable(e) => {
@@ -993,6 +1100,21 @@ fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
             println!("wal size            {} B", e.index().wal_size());
             println!("last checkpoint     batch {}", e.index().last_checkpoint_batch());
         }
+    }
+    if let Some(ss) = engine.segment_stats() {
+        println!("manifest generation {}", ss.generation);
+        println!("sealed segments     {}", ss.segments);
+        for (level, count, blocks) in &ss.levels {
+            println!("  level {level:<3}         {count} segments, {blocks} blocks");
+        }
+        println!("segment postings    {}", ss.segment_postings);
+        println!("segment blocks      {}", ss.segment_blocks);
+        println!("l0 stored bytes     {}", ss.l0_bytes);
+        println!("seals / merges      {} / {}", ss.seals, ss.merges);
+        println!(
+            "write amplification {:.2}",
+            ss.write_amplification(conf.block_size)
+        );
     }
     println!("documents           {}", engine.total_docs());
     println!("vocabulary          {}", engine.vocabulary_size());
@@ -1050,6 +1172,12 @@ fn publish_index_gauges(engine: &Engine, conf: &Conf) {
     if let Engine::Durable(e) = engine {
         gauge!("index_wal_bytes").set(e.index().wal_size() as i64);
         gauge!("index_last_checkpoint_batch").set(e.index().last_checkpoint_batch() as i64);
+    }
+    if let Some(ss) = engine.segment_stats() {
+        gauge!("index_segments").set(ss.segments as i64);
+        gauge!("index_segment_blocks").set(ss.segment_blocks as i64);
+        gauge!("index_segment_postings").set(ss.segment_postings as i64);
+        gauge!("index_manifest_generation").set(ss.generation as i64);
     }
     // Utilization is a fraction in (0, 1]: doubling bounds 0.125..1.0.
     invidx::obs::histogram!(
@@ -1294,7 +1422,8 @@ fn print_docs(docs: &[DocId]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n  \
+        "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n               \
+         [--engine inplace|segmented] [--l0-budget BYTES] [--fanout N]\n  \
          invidx add <dir> [--ingest-threads N] <file...>\n  \
          invidx search <dir> <boolean query | --stdin>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \

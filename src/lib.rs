@@ -17,5 +17,6 @@ pub use invidx_durable as durable;
 pub use invidx_ir as ir;
 pub use invidx_obs as obs;
 pub use invidx_router as router;
+pub use invidx_segment as segment;
 pub use invidx_serve as serve;
 pub use invidx_sim as sim;
