@@ -241,7 +241,7 @@ fn sustained_phase(
         .deadline(Duration::from_secs(30))
         .build()
         .expect("valid serve config");
-    let service = Arc::new(QueryService::with_config(engine, config));
+    let service = Arc::new(QueryService::with_config(engine, config).expect("serve"));
     let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
     let addr = server.addr();
     let mismatches = Arc::new(AtomicU64::new(0));
@@ -310,7 +310,7 @@ fn open_loop_phase(
         .deadline(Duration::from_secs(5))
         .build()
         .expect("valid serve config");
-    let service = Arc::new(QueryService::with_config(engine, config));
+    let service = Arc::new(QueryService::with_config(engine, config).expect("serve"));
     for batch in schedule {
         service.ingest_batch(batch).expect("seed");
     }
@@ -426,7 +426,7 @@ fn overload_phase(queries: Arc<Vec<Request>>, seed_batch: &[String]) -> PhaseRow
         .deadline(Duration::from_millis(20))
         .build()
         .expect("valid serve config");
-    let service = Arc::new(QueryService::with_config(engine, config));
+    let service = Arc::new(QueryService::with_config(engine, config).expect("serve"));
     service.ingest_batch(seed_batch).expect("seed");
     let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
     let addr = server.addr();

@@ -36,19 +36,15 @@
 
 use invidx_bench::{emit_table, init_metrics, quick};
 use invidx_core::index::IndexConfig;
-use invidx_core::postings::PostingList;
-use invidx_core::types::DocId;
 use invidx_corpus::vocab::word_string;
 use invidx_corpus::zipf::ZipfTable;
-use invidx_durable::{DurableOptions, StoreGeometry, WalRecord};
-use invidx_ir::{DurableEngine, Hit};
+use invidx_durable::{DurableOptions, StoreGeometry};
+use invidx_ir::DurableEngine;
 use invidx_router::{
     FrontendShard, Partitioner, ReadPolicy, ReplicaSet, ReplicaTailer, Router, ShardBackend,
     TailerOptions,
 };
-use invidx_serve::{
-    Frontend, Payload, QueryService, Request, ServeConfig, ServeEngine, Server,
-};
+use invidx_serve::{Frontend, Payload, QueryService, Request, ServeConfig, Server};
 use invidx_sim::TextTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,74 +90,6 @@ fn scale() -> Scale {
             offered_rate: 2_500.0,
             replica_counts: vec![1, 2, 4],
         }
-    }
-}
-
-/// A replica engine whose query paths carry [`SEEK_FLOOR`] of simulated
-/// device wait. Writes (the replication apply path) are not slowed, so
-/// replicas keep up with the shipped WAL regardless of read load.
-struct SeekBound<E>(E);
-
-impl<E: ServeEngine> ServeEngine for SeekBound<E> {
-    fn boolean_str(&self, query: &str) -> invidx_core::Result<PostingList> {
-        std::thread::sleep(SEEK_FLOOR);
-        self.0.boolean_str(query)
-    }
-
-    fn phrase(&self, phrase: &str) -> invidx_core::Result<PostingList> {
-        std::thread::sleep(SEEK_FLOOR);
-        self.0.phrase(phrase)
-    }
-
-    fn within(&self, w1: &str, w2: &str, window: u32) -> invidx_core::Result<PostingList> {
-        std::thread::sleep(SEEK_FLOOR);
-        self.0.within(w1, w2, window)
-    }
-
-    fn more_like_this(&self, text: &str, k: usize) -> invidx_core::Result<Vec<Hit>> {
-        std::thread::sleep(SEEK_FLOOR);
-        self.0.more_like_this(text, k)
-    }
-
-    fn document(&self, doc: DocId) -> invidx_core::Result<Option<String>> {
-        std::thread::sleep(SEEK_FLOOR);
-        self.0.document(doc)
-    }
-
-    fn term_dfs(&self, terms: &[String]) -> invidx_core::Result<Vec<u64>> {
-        self.0.term_dfs(terms)
-    }
-
-    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> invidx_core::Result<Vec<Hit>> {
-        self.0.weighted_like(terms, k)
-    }
-
-    fn add_document(&mut self, text: &str) -> Result<DocId, String> {
-        self.0.add_document(text)
-    }
-
-    fn flush(&mut self) -> Result<invidx_core::index::BatchReport, String> {
-        self.0.flush()
-    }
-
-    fn batches(&self) -> u64 {
-        self.0.batches()
-    }
-
-    fn wal_records_from(&self, from_batch: u64) -> Result<Vec<WalRecord>, String> {
-        self.0.wal_records_from(from_batch)
-    }
-
-    fn apply_replicated(&mut self, record: &WalRecord) -> Result<u64, String> {
-        self.0.apply_replicated(record)
-    }
-
-    fn total_docs(&self) -> u64 {
-        self.0.total_docs()
-    }
-
-    fn vocabulary_size(&self) -> usize {
-        self.0.vocabulary_size()
     }
 }
 
@@ -310,12 +238,16 @@ fn run_config(
 ) -> RunOutcome {
     let cache_off = ServeConfig::builder().result_cache_capacity(0).build().unwrap();
     // One reader lane per replica, a short queue: saturated lanes shed
-    // quickly instead of building seconds of queueing delay.
+    // quickly instead of building seconds of queueing delay. The seek
+    // floor models a device-bound replica read; with the lock-free
+    // snapshot path it is injected at the service layer, since queries
+    // no longer reach the engine (or its block device) at all.
     let lane = ServeConfig::builder()
         .result_cache_capacity(0)
         .readers(1)
         .high_water(16)
         .deadline(Duration::from_secs(2))
+        .read_floor(SEEK_FLOOR)
         .build()
         .unwrap();
 
@@ -325,7 +257,7 @@ fn run_config(
         let dir = tmpdir(&format!("r{replicas}-primary-{shard}"));
         let engine = DurableEngine::create(&dir, IndexConfig::small(), geom(), ship_opts())
             .expect("create primary");
-        let service = Arc::new(QueryService::with_config_at(engine, cache_off, 0));
+        let service = Arc::new(QueryService::with_config_at(engine, cache_off, 0).expect("serve"));
         let server = Server::bind("127.0.0.1:0", Arc::clone(&service), cache_off).expect("bind");
         writers.push(service);
         primary_servers.push(server);
@@ -337,11 +269,9 @@ fn run_config(
         let mut backends: Vec<Arc<dyn ShardBackend>> = Vec::new();
         for r in 0..replicas {
             let dir = tmpdir(&format!("r{replicas}-replica-{shard}-{r}"));
-            let engine = SeekBound(
-                DurableEngine::create(&dir, IndexConfig::small(), geom(), ship_opts())
-                    .expect("create replica"),
-            );
-            let service = Arc::new(QueryService::with_config_at(engine, lane, 0));
+            let engine = DurableEngine::create(&dir, IndexConfig::small(), geom(), ship_opts())
+                .expect("create replica");
+            let service = Arc::new(QueryService::with_config_at(engine, lane, 0).expect("serve"));
             tailers.push(ReplicaTailer::start(
                 Arc::clone(&service),
                 primary_server.addr(),

@@ -66,7 +66,7 @@ fn build_frontend(docs: &[String], trace_sample: u32) -> Frontend<SearchEngine> 
         .slow_query_ms(0) // keep the slow-query log out of the measurement
         .build()
         .expect("valid serve config");
-    let service = Arc::new(QueryService::with_config(engine, serve));
+    let service = Arc::new(QueryService::with_config(engine, serve).expect("serve"));
     service.ingest_batch(docs).expect("ingest");
     Frontend::start_with(service, serve)
 }

@@ -386,6 +386,9 @@ impl DurableEngine {
 
     /// Logically delete a document; rides in the next WAL record.
     pub fn delete(&mut self, doc: DocId) {
+        // Deletions can shrink any list; conservatively invalidate the
+        // whole snapshot view (see `EngineCore::dirty_all`).
+        self.core.dirty_all = true;
         self.backend.delete_document(doc);
     }
 
@@ -405,6 +408,7 @@ impl DurableEngine {
     /// (in-place engine only; the segmented engine purges deletions
     /// through compaction instead).
     pub fn sweep(&mut self) -> invidx_durable::Result<SweepReport> {
+        self.core.dirty_all = true;
         self.backend.set_checkpoint_meta(self.core.encode_meta());
         self.backend.sweep()
     }
@@ -412,6 +416,7 @@ impl DurableEngine {
     /// Rewrite fragmented long lists contiguously (logged; needs a batch
     /// boundary — flush first). Operates on L0 under the segmented engine.
     pub fn compact(&mut self) -> invidx_durable::Result<CompactReport> {
+        self.core.dirty_all = true;
         self.backend.set_checkpoint_meta(self.core.encode_meta());
         self.backend.compact()
     }
@@ -423,8 +428,18 @@ impl DurableEngine {
         num_buckets: usize,
         capacity_units: u64,
     ) -> invidx_durable::Result<RebalanceReport> {
+        self.core.dirty_all = true;
         self.backend.set_checkpoint_meta(self.core.encode_meta());
         self.backend.rebalance(num_buckets, capacity_units)
+    }
+
+    /// Materialize an immutable point-in-time view of this engine for the
+    /// lock-free serving read path (see [`crate::EngineSnapshot`]).
+    pub fn snapshot(
+        &mut self,
+        prev: Option<&crate::EngineSnapshot>,
+    ) -> invidx_core::Result<crate::EngineSnapshot> {
+        crate::snapshot::materialize(&mut self.core, &self.backend, prev)
     }
 
     /// Write a checkpoint now (embedding current engine metadata) and reset

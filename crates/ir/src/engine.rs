@@ -22,7 +22,7 @@ use invidx_core::types::{DocId, IndexError, Result, WordId};
 use invidx_corpus::lexer;
 use invidx_disk::DiskArray;
 use invidx_segment::{SegmentStats, SegmentedIndex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A queryable index backend: posting lists plus the disk array the
 /// document store lives on. Everything the query evaluators need,
@@ -167,6 +167,14 @@ pub(crate) struct EngineCore {
     pub(crate) next_word: u64,
     pub(crate) next_doc: u32,
     pub(crate) total_docs: u64,
+    /// Words whose posting lists changed since the last snapshot
+    /// materialization ([`crate::EngineSnapshot`]). Every interned word is
+    /// marked: an intern happens exactly when a document contributes a
+    /// posting for that word.
+    pub(crate) dirty: HashSet<WordId>,
+    /// Conservative invalidation: deletions, sweeps, and freshly
+    /// constructed/recovered cores dirty every list at once.
+    pub(crate) dirty_all: bool,
 }
 
 impl EngineCore {
@@ -179,17 +187,21 @@ impl EngineCore {
             next_word: 1,
             next_doc: 1,
             total_docs: 0,
+            dirty: HashSet::new(),
+            dirty_all: true,
         }
     }
 
     /// Intern a word (lowercased by the caller/lexer).
     pub(crate) fn intern(&mut self, word: &str) -> WordId {
         if let Some(&id) = self.vocab.get(word) {
+            self.dirty.insert(id);
             return id;
         }
         let id = WordId(self.next_word);
         self.next_word += 1;
         self.vocab.insert(word.to_string(), id);
+        self.dirty.insert(id);
         id
     }
 
@@ -296,22 +308,22 @@ impl EngineCore {
         }
         let dlen = word_field!(u64, 8, "doc_len") as usize;
         let docs = DocStore::deserialize(take(dlen)?)?;
-        Ok(Self { docs, vocab, next_word, next_doc, total_docs })
+        Ok(Self {
+            docs,
+            vocab,
+            next_word,
+            next_doc,
+            total_docs,
+            dirty: HashSet::new(),
+            dirty_all: true,
+        })
     }
 
     /// Parse a boolean query string into a [`Query`]. Unknown words become
     /// empty-list terms (word id 0 is never interned, so they match
     /// nothing).
     pub(crate) fn parse_query(&self, text: &str) -> Result<Query> {
-        let tokens = lex_query(text)?;
-        let mut p = Parser { tokens, pos: 0, vocab: &self.vocab };
-        let q = p.expr()?;
-        if p.pos != p.tokens.len() {
-            return Err(IndexError::InvalidConfig(format!(
-                "trailing tokens in query {text:?}"
-            )));
-        }
-        Ok(q)
+        parse_query_with(&self.vocab, text)
     }
 
     /// Proximity query (paper §1): inverted lists prune to the documents
@@ -328,25 +340,7 @@ impl EngineCore {
             return Ok(PostingList::new());
         };
         let candidates = Query::and(Query::Word(a), Query::Word(b)).eval(index)?;
-        let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
-        let mut hits = Vec::new();
-        for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(index.array(), doc)? else {
-                continue;
-            };
-            let positions = lexer::document_word_positions(&text);
-            let find = |w: &str| {
-                positions
-                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
-                    .ok()
-                    .map(|i| positions[i].1.as_slice())
-                    .unwrap_or(&[])
-            };
-            if proximity::within(find(&l1), find(&l2), window) {
-                hits.push(doc);
-            }
-        }
-        Ok(PostingList::from_sorted(hits))
+        filter_within(&candidates, |doc| self.docs.load(index.array(), doc), w1, w2, window)
     }
 
     /// Phrase query: the words of `phrase` occur contiguously, in order.
@@ -368,25 +362,7 @@ impl EngineCore {
             }
         }
         let candidates = Query::And(ids).eval(index)?;
-        let mut hits = Vec::new();
-        for &doc in candidates.docs() {
-            let Some(text) = self.docs.load(index.array(), doc)? else {
-                continue;
-            };
-            let positions = lexer::document_word_positions(&text);
-            let find = |w: &str| {
-                positions
-                    .binary_search_by(|(t, _)| t.as_str().cmp(w))
-                    .ok()
-                    .map(|i| positions[i].1.as_slice())
-                    .unwrap_or(&[])
-            };
-            let term_positions: Vec<&[u32]> = words.iter().map(|w| find(w)).collect();
-            if proximity::contains_phrase(&term_positions) {
-                hits.push(doc);
-            }
-        }
-        Ok(PostingList::from_sorted(hits))
+        filter_phrase(&candidates, |doc| self.docs.load(index.array(), doc), &words)
     }
 
     /// Vector-space search using a document text as the query (the paper's
@@ -617,13 +593,24 @@ impl SearchEngine {
 
     /// Logically delete a document.
     pub fn delete(&mut self, doc: DocId) {
+        // A deletion can shrink any list the document appears in; the
+        // dirty-word set only tracks additions, so invalidate everything.
+        self.core.dirty_all = true;
         self.backend.delete_document(doc);
     }
 
     /// Run the deletion sweep (in-place engine only; the segmented
     /// engine purges deletions through compaction instead).
     pub fn sweep(&mut self) -> Result<SweepReport> {
+        self.core.dirty_all = true;
         self.backend.sweep()
+    }
+
+    /// Materialize an immutable point-in-time view of this engine for the
+    /// lock-free serving read path. Pass the previous snapshot to reuse
+    /// unchanged posting lists and texts (only dirty words are re-read).
+    pub fn snapshot(&mut self, prev: Option<&crate::EngineSnapshot>) -> Result<crate::EngineSnapshot> {
+        crate::snapshot::materialize(&mut self.core, &self.backend, prev)
     }
 
     /// Evaluate a boolean [`Query`]. `&self`: queries share the engine,
@@ -688,6 +675,83 @@ impl PostingSource for SearchEngine {
     fn postings(&self, word: WordId) -> Result<PostingList> {
         self.backend.postings(word)
     }
+}
+
+// ----- shared query helpers -----
+//
+// The text-verification passes and the query parser are free functions
+// over (candidates, text loader, vocabulary) so the live engines and the
+// materialized [`crate::EngineSnapshot`] run *identical* logic — snapshot
+// parity with the engines is by construction, not by parallel maintenance.
+
+/// Positional-window verification over pruned candidates: keep the
+/// documents where `w1` and `w2` occur within `window` positions.
+pub(crate) fn filter_within(
+    candidates: &PostingList,
+    mut load: impl FnMut(DocId) -> Result<Option<String>>,
+    w1: &str,
+    w2: &str,
+    window: u32,
+) -> Result<PostingList> {
+    let (l1, l2) = (w1.to_ascii_lowercase(), w2.to_ascii_lowercase());
+    let mut hits = Vec::new();
+    for &doc in candidates.docs() {
+        let Some(text) = load(doc)? else {
+            continue;
+        };
+        let positions = lexer::document_word_positions(&text);
+        let find = |w: &str| {
+            positions
+                .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                .ok()
+                .map(|i| positions[i].1.as_slice())
+                .unwrap_or(&[])
+        };
+        if proximity::within(find(&l1), find(&l2), window) {
+            hits.push(doc);
+        }
+    }
+    Ok(PostingList::from_sorted(hits))
+}
+
+/// Phrase verification over pruned candidates: keep the documents where
+/// `words` occur contiguously, in order.
+pub(crate) fn filter_phrase(
+    candidates: &PostingList,
+    mut load: impl FnMut(DocId) -> Result<Option<String>>,
+    words: &[String],
+) -> Result<PostingList> {
+    let mut hits = Vec::new();
+    for &doc in candidates.docs() {
+        let Some(text) = load(doc)? else {
+            continue;
+        };
+        let positions = lexer::document_word_positions(&text);
+        let find = |w: &str| {
+            positions
+                .binary_search_by(|(t, _)| t.as_str().cmp(w))
+                .ok()
+                .map(|i| positions[i].1.as_slice())
+                .unwrap_or(&[])
+        };
+        let term_positions: Vec<&[u32]> = words.iter().map(|w| find(w)).collect();
+        if proximity::contains_phrase(&term_positions) {
+            hits.push(doc);
+        }
+    }
+    Ok(PostingList::from_sorted(hits))
+}
+
+/// Parse a boolean query string against a vocabulary. Unknown words become
+/// empty-list terms (word id 0 is never interned, so they match nothing).
+pub(crate) fn parse_query_with(vocab: &HashMap<String, WordId>, text: &str) -> Result<Query> {
+    let tokens = lex_query(text)?;
+    let mut p = Parser { tokens, pos: 0, vocab };
+    let q = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(IndexError::InvalidConfig(format!("trailing tokens in query {text:?}")));
+    }
+    Ok(q)
 }
 
 // ----- boolean query-string parsing -----

@@ -16,10 +16,12 @@ pub mod docstore;
 pub mod durable_engine;
 pub mod engine;
 pub mod proximity;
+pub mod snapshot;
 pub mod vector;
 
 pub use boolean::{PostingSource, Query};
 pub use docstore::DocStore;
 pub use durable_engine::{DurableBackend, DurableEngine};
 pub use engine::{Backend, QueryIndex, SearchEngine};
+pub use snapshot::EngineSnapshot;
 pub use vector::{search, search_like, search_seeded, Hit, VectorQuery};

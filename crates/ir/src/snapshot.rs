@@ -1,0 +1,368 @@
+//! Immutable point-in-time engine views for the lock-free read path.
+//!
+//! The serving layer publishes an [`EngineSnapshot`] per committed batch:
+//! a fully materialized copy of the deletion-filtered posting lists, the
+//! stored document texts, and the vocabulary, behind `Arc`s so readers
+//! share the bulk of the data across epochs. Queries against a snapshot
+//! never touch the disk model or the block cache — all I/O (and its
+//! block-cache/disk accounting) happens once, at materialization time,
+//! inside the writer's commit path.
+//!
+//! Materialization is incremental: [`crate::engine::EngineCore`] tracks
+//! the words whose lists changed since the last snapshot (every intern
+//! marks its word dirty; deletions, sweeps, and compactions dirty
+//! everything), so re-materializing after a batch re-reads only the lists
+//! that batch touched and `Arc`-shares the rest from the previous
+//! snapshot.
+//!
+//! Query evaluation reuses the engines' own helpers
+//! ([`crate::engine::parse_query_with`], the positional filters, and the
+//! slice-ordered vector scorers), so snapshot answers — including LIKE
+//! scores, bit-exactly — match the live engine by construction.
+
+use crate::boolean::{PostingSource, Query};
+use crate::engine::{filter_phrase, filter_within, parse_query_with, EngineCore, QueryIndex};
+use crate::vector::{search_like, search_seeded, Hit};
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, Result, WordId};
+use invidx_corpus::lexer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, self-contained view of an engine at one commit point.
+///
+/// Cheap to share (`Arc` fields), cheap to evolve (unchanged posting
+/// lists and texts are pointer-shared with the previous snapshot), and
+/// safe to query from any number of threads with no locking at all.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSnapshot {
+    vocab: Arc<HashMap<String, WordId>>,
+    postings: HashMap<WordId, Arc<PostingList>>,
+    texts: HashMap<DocId, Arc<str>>,
+    total_docs: u64,
+    next_doc: u32,
+}
+
+impl EngineSnapshot {
+    /// An empty view: no vocabulary, no documents. Every query matches
+    /// nothing. Useful as a placeholder before the first materialization.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    fn word_id(&self, word: &str) -> Option<WordId> {
+        self.vocab.get(&word.to_ascii_lowercase()).copied()
+    }
+
+    fn load_text(&self, doc: DocId) -> Result<Option<String>> {
+        Ok(self.texts.get(&doc).map(|t| t.to_string()))
+    }
+
+    /// Parse and evaluate a boolean query string, e.g.
+    /// `"(cat and dog) or mouse"`.
+    pub fn boolean_str(&self, query: &str) -> Result<PostingList> {
+        parse_query_with(&self.vocab, query)?.eval(self)
+    }
+
+    /// Proximity query: documents where `w1` and `w2` occur within
+    /// `window` positions of each other.
+    pub fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        let (Some(a), Some(b)) = (self.word_id(w1), self.word_id(w2)) else {
+            return Ok(PostingList::new());
+        };
+        let candidates = Query::and(Query::Word(a), Query::Word(b)).eval(self)?;
+        filter_within(&candidates, |doc| self.load_text(doc), w1, w2, window)
+    }
+
+    /// Phrase query: the words of `phrase` occur contiguously, in order.
+    pub fn phrase(&self, phrase: &str) -> Result<PostingList> {
+        let words: Vec<String> = lexer::tokenize_document(phrase);
+        if words.is_empty() {
+            return Ok(PostingList::new());
+        }
+        let mut ids = Vec::with_capacity(words.len());
+        for w in &words {
+            match self.vocab.get(w) {
+                Some(&id) => ids.push(Query::Word(id)),
+                None => return Ok(PostingList::new()),
+            }
+        }
+        let candidates = Query::And(ids).eval(self)?;
+        filter_phrase(&candidates, |doc| self.load_text(doc), &words)
+    }
+
+    /// Vector-space search using a document text as the query. Terms run
+    /// in the lexer's canonical order, so scores are bit-exact with the
+    /// live engine's `more_like_this`.
+    pub fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        search_like(self, &words, self.total_docs, k)
+    }
+
+    /// Document frequency per term (0 for unknown words).
+    pub fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
+        Ok(terms
+            .iter()
+            .map(|t| match self.word_id(t) {
+                Some(w) => self.postings.get(&w).map(|l| l.len() as u64).unwrap_or(0),
+                None => 0,
+            })
+            .collect())
+    }
+
+    /// Top-k scoring with caller-supplied per-term contributions, in
+    /// slice order (the router's WLIKE phase).
+    pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
+        let seeded: Vec<(WordId, f64)> = terms
+            .iter()
+            .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
+            .collect();
+        search_seeded(self, &seeded, k)
+    }
+
+    /// The stored text of a document.
+    pub fn document(&self, doc: DocId) -> Result<Option<String>> {
+        self.load_text(doc)
+    }
+
+    /// Documents added as of this snapshot.
+    pub fn total_docs(&self) -> u64 {
+        self.total_docs
+    }
+
+    /// Distinct words interned as of this snapshot.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+impl PostingSource for EngineSnapshot {
+    fn postings(&self, word: WordId) -> Result<PostingList> {
+        let _stage = invidx_obs::trace::stage("term");
+        let list = self.postings.get(&word).map(|l| (**l).clone()).unwrap_or_default();
+        invidx_obs::trace::add_items(list.len() as u64);
+        Ok(list)
+    }
+}
+
+/// Build the next snapshot from an engine's core and index.
+///
+/// Pass `prev` — the snapshot produced by the *previous* call on this
+/// same engine — to re-read only the posting lists dirtied since then
+/// and `Arc`-share everything else. With `prev = None`, or after a
+/// conservative invalidation (`dirty_all`), every non-empty list is
+/// re-read. Either way the reads go through the index's normal
+/// [`PostingSource`] path, so block-cache counters and `block_cache` /
+/// `disk` trace stages charge here, at publish time, not on queries.
+pub(crate) fn materialize<S: QueryIndex + ?Sized>(
+    core: &mut EngineCore,
+    index: &S,
+    prev: Option<&EngineSnapshot>,
+) -> Result<EngineSnapshot> {
+    let _stage = invidx_obs::trace::stage("materialize");
+    let full = core.dirty_all || prev.is_none();
+    let (mut postings, mut texts) = if full {
+        (HashMap::new(), HashMap::new())
+    } else {
+        let p = prev.unwrap();
+        (p.postings.clone(), p.texts.clone())
+    };
+    if full {
+        for &id in core.vocab.values() {
+            let list = index.postings(id)?;
+            if !list.is_empty() {
+                postings.insert(id, Arc::new(list));
+            }
+        }
+        for (doc, _, _, _) in core.docs.extents() {
+            if let Some(text) = core.docs.load(index.array(), doc)? {
+                texts.insert(doc, Arc::from(text.as_str()));
+            }
+        }
+    } else {
+        for &id in core.dirty.iter() {
+            let list = index.postings(id)?;
+            if list.is_empty() {
+                postings.remove(&id);
+            } else {
+                postings.insert(id, Arc::new(list));
+            }
+        }
+        let from = prev.map(|p| p.next_doc).unwrap_or(1);
+        for id in from..core.next_doc {
+            let doc = DocId(id);
+            if let Some(text) = core.docs.load(index.array(), doc)? {
+                texts.insert(doc, Arc::from(text.as_str()));
+            }
+        }
+    }
+    // The vocabulary only grows; an unchanged length means an unchanged
+    // map, so the Arc can be shared with the previous snapshot.
+    let vocab = match prev {
+        Some(p) if p.vocab.len() == core.vocab.len() => p.vocab.clone(),
+        _ => Arc::new(core.vocab.clone()),
+    };
+    core.dirty.clear();
+    core.dirty_all = false;
+    Ok(EngineSnapshot {
+        vocab,
+        postings,
+        texts,
+        total_docs: core.total_docs,
+        next_doc: core.next_doc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchEngine;
+    use invidx_core::index::{EngineKind, IndexConfig};
+    use invidx_disk::sparse_array;
+
+    fn ids(list: &PostingList) -> Vec<u32> {
+        list.docs().iter().map(|d| d.0).collect()
+    }
+
+    fn score_bits(hits: &[Hit]) -> Vec<(u32, u64)> {
+        hits.iter().map(|h| (h.doc.0, h.score.to_bits())).collect()
+    }
+
+    fn corpus() -> Vec<String> {
+        (0..30)
+            .map(|i| {
+                format!(
+                    "shared w{} w{} anchor tail{} {}",
+                    i % 5,
+                    (i * 7) % 11,
+                    i,
+                    if i % 3 == 0 { "cat sat near the dog" } else { "mouse ran far away" }
+                )
+            })
+            .collect()
+    }
+
+    fn assert_parity(engine: &SearchEngine, snap: &EngineSnapshot) {
+        assert_eq!(snap.total_docs(), engine.total_docs());
+        assert_eq!(snap.vocabulary_size(), engine.vocabulary_size());
+        for q in ["shared", "cat and dog", "(cat and dog) or mouse", "shared and not cat", "w3 or w10", "nonexistent"] {
+            assert_eq!(
+                ids(&snap.boolean_str(q).unwrap()),
+                ids(&engine.boolean_str(q).unwrap()),
+                "boolean {q:?}"
+            );
+        }
+        assert_eq!(
+            ids(&snap.within("cat", "dog", 4).unwrap()),
+            ids(&engine.within("cat", "dog", 4).unwrap())
+        );
+        assert_eq!(
+            ids(&snap.phrase("cat sat near the dog").unwrap()),
+            ids(&engine.phrase("cat sat near the dog").unwrap())
+        );
+        assert_eq!(
+            score_bits(&snap.more_like_this("shared anchor cat dog", 10).unwrap()),
+            score_bits(&engine.more_like_this("shared anchor cat dog", 10).unwrap()),
+            "LIKE scores must be bit-exact"
+        );
+        let terms: Vec<String> = ["shared", "cat", "zebra"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(snap.term_dfs(&terms).unwrap(), engine.term_dfs(&terms).unwrap());
+        let weighted: Vec<(String, f64)> =
+            [("shared", 0.5), ("dog", 2.0)].iter().map(|(t, w)| (t.to_string(), *w)).collect();
+        assert_eq!(
+            score_bits(&snap.weighted_like(&weighted, 5).unwrap()),
+            score_bits(&engine.weighted_like(&weighted, 5).unwrap())
+        );
+        for d in [1u32, 2, 7, 999] {
+            assert_eq!(snap.document(DocId(d)).unwrap(), engine.document(DocId(d)).unwrap());
+        }
+    }
+
+    fn run_parity(config: IndexConfig) {
+        let array = sparse_array(2, 50_000, 256);
+        let mut e = SearchEngine::create(array, config).unwrap();
+        let texts = corpus();
+        for t in &texts[..20] {
+            e.add_document(t).unwrap();
+        }
+        e.flush().unwrap();
+        let snap1 = e.snapshot(None).unwrap();
+        assert_parity(&e, &snap1);
+
+        // Incremental: add more documents, re-materialize off the first.
+        for t in &texts[20..] {
+            e.add_document(t).unwrap();
+        }
+        e.flush().unwrap();
+        let snap2 = e.snapshot(Some(&snap1)).unwrap();
+        assert_parity(&e, &snap2);
+        // The first snapshot still answers for its own epoch. (The corpus
+        // lexer splits letter/digit runs, so "tail25" indexes as "tail"
+        // and "25"; the digit token is unique to document 26.)
+        assert_eq!(snap1.total_docs(), 20);
+        assert_eq!(ids(&snap1.boolean_str("25").unwrap()), Vec::<u32>::new());
+        assert_eq!(ids(&snap2.boolean_str("25").unwrap()), vec![26]);
+    }
+
+    #[test]
+    fn snapshot_matches_live_engine_in_place() {
+        run_parity(IndexConfig::small());
+    }
+
+    #[test]
+    fn snapshot_matches_live_engine_segmented() {
+        let config = IndexConfig {
+            engine: EngineKind::Segmented { l0_budget: 64, fanout: 2 },
+            ..IndexConfig::small()
+        };
+        run_parity(config);
+    }
+
+    #[test]
+    fn snapshot_tracks_deletions_via_dirty_all() {
+        let array = sparse_array(2, 50_000, 256);
+        let mut e = SearchEngine::create(array, IndexConfig::small()).unwrap();
+        let d1 = e.add_document("target shared words").unwrap();
+        e.add_document("other shared words").unwrap();
+        e.flush().unwrap();
+        let snap1 = e.snapshot(None).unwrap();
+        assert_eq!(snap1.boolean_str("target").unwrap().len(), 1);
+
+        e.delete(d1);
+        let snap2 = e.snapshot(Some(&snap1)).unwrap();
+        assert!(snap2.boolean_str("target").unwrap().is_empty(), "deletion must invalidate");
+        assert_eq!(ids(&snap2.boolean_str("shared").unwrap()), vec![2]);
+        // The old snapshot is untouched.
+        assert_eq!(snap1.boolean_str("target").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn incremental_rematerialization_shares_unchanged_lists() {
+        let array = sparse_array(2, 50_000, 256);
+        let mut e = SearchEngine::create(array, IndexConfig::small()).unwrap();
+        e.add_document("stable words never touched again").unwrap();
+        e.flush().unwrap();
+        let snap1 = e.snapshot(None).unwrap();
+        e.add_document("fresh vocabulary entirely disjoint").unwrap();
+        e.flush().unwrap();
+        let snap2 = e.snapshot(Some(&snap1)).unwrap();
+        let stable = e.word_id("stable").unwrap();
+        assert!(Arc::ptr_eq(&snap1.postings[&stable], &snap2.postings[&stable]));
+        assert!(Arc::ptr_eq(&snap1.texts[&DocId(1)], &snap2.texts[&DocId(1)]));
+        assert_eq!(snap2.boolean_str("fresh").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_answers_nothing() {
+        let s = EngineSnapshot::empty();
+        assert!(s.boolean_str("anything").unwrap().is_empty());
+        assert!(s.phrase("any phrase").unwrap().is_empty());
+        assert!(s.within("a", "b", 5).unwrap().is_empty());
+        assert!(s.more_like_this("query text", 5).unwrap().is_empty());
+        assert_eq!(s.total_docs(), 0);
+        assert_eq!(s.document(DocId(1)).unwrap(), None);
+    }
+}

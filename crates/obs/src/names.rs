@@ -161,6 +161,10 @@ pub const SERVE_P95_US: &str = "serve_latency_p95_us";
 pub const SERVE_P99_US: &str = "serve_latency_p99_us";
 /// Current index epoch as seen by the serving layer (gauge).
 pub const SERVE_EPOCH: &str = "serve_epoch";
+/// Metric scrapes that could not refresh writer-owned gauges (the writer
+/// held its lock); the last-known values were re-published instead, so
+/// dashboards can tell "no WAL growth" from "scrape skipped".
+pub const SERVE_GAUGE_SCRAPE_SKIPPED: &str = "serve_gauge_scrape_skipped_total";
 
 /// Requests accounted against the SLO (served, shed, or reaped).
 pub const SLO_REQUESTS: &str = "slo_requests_total";

@@ -63,7 +63,7 @@ fn tmpdir(name: &str) -> PathBuf {
 fn durable_service(dir: &Path) -> Arc<QueryService<DurableEngine>> {
     let engine = DurableEngine::create(dir, IndexConfig::small(), geom(), opts()).unwrap();
     let epoch = engine.batches();
-    Arc::new(QueryService::with_config_at(engine, serve_cfg(), epoch))
+    Arc::new(QueryService::with_config_at(engine, serve_cfg(), epoch).unwrap())
 }
 
 fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
@@ -182,7 +182,7 @@ fn router_fails_over_on_replica_death_and_replica_catches_up_after_restart() {
 
     let oracle_engine =
         SearchEngine::create(sparse_array(2, 50_000, 256), IndexConfig::small()).unwrap();
-    let oracle = QueryService::with_config(oracle_engine, serve_cfg());
+    let oracle = QueryService::with_config(oracle_engine, serve_cfg()).unwrap();
 
     let ingest = |router: &Router<DurableEngine>, texts: &[&str]| {
         router.ingest(texts).unwrap();
@@ -234,7 +234,7 @@ fn router_fails_over_on_replica_death_and_replica_catches_up_after_restart() {
         "local recovery must restore exactly the replicated prefix"
     );
     let restarted =
-        Arc::new(QueryService::with_config_at(engine, serve_cfg(), behind));
+        Arc::new(QueryService::with_config_at(engine, serve_cfg(), behind).unwrap());
     let primary_epoch = router.writers()[0].epoch();
     assert!(behind < primary_epoch, "the outage left replica 0 behind its primary");
     let _tailer =

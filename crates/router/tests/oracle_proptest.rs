@@ -103,7 +103,7 @@ fn fresh_service() -> Arc<QueryService<SearchEngine>> {
     // Caches off: the oracle compares engines, not cache layers (the
     // cache's own invariants have their own property test in serve).
     let config = ServeConfig::builder().result_cache_capacity(0).build().unwrap();
-    Arc::new(QueryService::with_config(engine, config))
+    Arc::new(QueryService::with_config(engine, config).unwrap())
 }
 
 fn build_router(partitioner: Partitioner) -> Router<SearchEngine> {

@@ -1,0 +1,113 @@
+//! Regression test for epoch anchoring across restarts: a durable engine
+//! reopened and rewrapped with `QueryService::with_config_at(batches)`
+//! must come back at the epoch its store committed, so the primary and
+//! its replica keep speaking the same epoch language and the router's
+//! replication-lag gauge (primary epoch − replica epoch) stays
+//! meaningful across the restart. Rewrapping with a zero-based epoch
+//! would make an up-to-date replica look infinitely ahead — and the lag
+//! gauge would wrap through `u64::MAX` into garbage.
+
+use invidx_core::index::IndexConfig;
+use invidx_durable::{DurableOptions, StoreGeometry};
+use invidx_ir::DurableEngine;
+use invidx_obs::names;
+use invidx_router::{ReplicaTailer, TailerOptions};
+use invidx_serve::{Payload, QueryService, Request, ServeConfig, ServeEngine, Server};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn geom() -> StoreGeometry {
+    StoreGeometry { disks: 2, blocks_per_disk: 20_000, block_size: 256 }
+}
+
+fn opts() -> DurableOptions {
+    // Replication source contract: no checkpoints while shipping.
+    DurableOptions { checkpoint_every: 0, ..Default::default() }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig::builder().result_cache_capacity(0).build().unwrap()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("invidx-restart-anchor-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn anchored_service(engine: DurableEngine) -> Arc<QueryService<DurableEngine>> {
+    let epoch = engine.batches();
+    Arc::new(QueryService::with_config_at(engine, serve_cfg(), epoch).unwrap())
+}
+
+fn create(dir: &Path) -> DurableEngine {
+    DurableEngine::create(dir, IndexConfig::small(), geom(), opts()).unwrap()
+}
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let started = Instant::now();
+    while !done() {
+        assert!(started.elapsed() < Duration::from_secs(10), "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn reanchored_restart_keeps_epochs_and_lag_gauge_comparable() {
+    let lag = invidx_obs::registry().gauge(&names::per_shard(names::REPLICA_LAG_BATCHES, 0));
+    let tailer_opts =
+        || TailerOptions { poll: Duration::from_millis(10), timeout: Duration::from_secs(1), shard: 0 };
+
+    // --- before the restart: primary at epoch 3, replica caught up -----
+    let primary_dir = tmpdir("primary");
+    let primary = anchored_service(create(&primary_dir));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&primary), serve_cfg()).unwrap();
+    let replica = anchored_service(create(&tmpdir("replica")));
+    let tailer = ReplicaTailer::start(Arc::clone(&replica), server.addr(), tailer_opts());
+
+    primary.ingest_batch(&["cat dog", "dog fox"]).unwrap();
+    primary.ingest_batch(&["bee ant cat"]).unwrap();
+    primary.ingest_batch(&["fox fox dog"]).unwrap();
+    assert_eq!(primary.epoch(), 3);
+    wait_until("replica parity before restart", || replica.epoch() >= 3);
+    wait_until("lag gauge settles at zero", || lag.get() == 0);
+
+    // --- restart the primary -------------------------------------------
+    tailer.stop();
+    server.shutdown();
+    let service = Arc::try_unwrap(primary).ok().expect("handles released");
+    drop(service.into_engine()); // close the store cleanly
+    let reopened = DurableEngine::open(&primary_dir, IndexConfig::small(), opts()).unwrap();
+    assert_eq!(reopened.batches(), 3, "recovery must restore the committed batch count");
+    let primary = anchored_service(reopened);
+
+    // The anchor is the whole point: the rewrapped service resumes at the
+    // committed epoch, directly comparable with the live replica's.
+    assert_eq!(primary.epoch(), 3, "with_config_at must anchor at the committed count");
+    assert_eq!(primary.epoch(), replica.epoch(), "primary/replica epoch parity survives");
+
+    // The restart's initial snapshot serves the recovered corpus at once.
+    let response = primary.execute(&Request::Boolean("cat".into())).unwrap();
+    assert_eq!(response.epoch, 3);
+    assert_eq!(response.payload, Payload::Docs(vec![1, 3]));
+
+    // --- after the restart: replication keeps counting from 3 ----------
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&primary), serve_cfg()).unwrap();
+    let _tailer = ReplicaTailer::start(Arc::clone(&replica), server.addr(), tailer_opts());
+    primary.ingest_batch(&["ant bee"]).unwrap();
+    assert_eq!(primary.epoch(), 4);
+    wait_until("replica parity after restart", || replica.epoch() >= 4);
+    wait_until("lag gauge returns to zero", || lag.get() == 0);
+    assert_eq!(replica.epoch(), 4, "replica followed the restarted primary to epoch 4");
+
+    // Both sides answer the post-restart corpus identically, at the same
+    // epoch — the invariant every lag dashboard and failover check rests on.
+    for request in [Request::Boolean("ant".into()), Request::Boolean("dog".into())] {
+        let p = primary.execute(&request).unwrap();
+        let r = replica.execute(&request).unwrap();
+        assert_eq!(p.epoch, r.epoch, "{request:?} answered at different epochs");
+        assert_eq!(p.payload, r.payload, "{request:?} diverged across the pair");
+    }
+}

@@ -35,7 +35,7 @@ fn build_router(shards: usize) -> Router<SearchEngine> {
         // A small cache so hits, misses, and stale drops all show up in
         // the summed fields.
         let config = ServeConfig::builder().result_cache_capacity(8).build().unwrap();
-        let service = Arc::new(QueryService::with_config(engine, config));
+        let service = Arc::new(QueryService::with_config(engine, config).unwrap());
         let backend: Arc<dyn ShardBackend> =
             Arc::new(LocalShard::new(Arc::clone(&service), format!("shard-{shard}")));
         writers.push(service);

@@ -244,6 +244,7 @@ fn reader_loop<E: ServeEngine>(service: &QueryService<E>, queue: &Queue) {
             trace = invidx_obs::trace::uninstall();
             reply
         };
+        let accounted = Instant::now();
         let total_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
         invidx_obs::histogram!(names::SERVE_LATENCY_MS, invidx_obs::Buckets::time_ms())
             .record(total_ms);
@@ -270,7 +271,11 @@ fn reader_loop<E: ServeEngine>(service: &QueryService<E>, queue: &Queue) {
                 "trace_id": trace.as_ref().map(|t| t.trace_id()).unwrap_or(0),
             });
         }
-        if let Some(ctx) = trace {
+        if let Some(mut ctx) = trace {
+            // Latency histograms and SLO accounting sit between the
+            // execute window and the trace close; name that slice so the
+            // top-level stages still sum to the root.
+            ctx.add_span("account", 0, accounted.elapsed().as_micros() as u64);
             ctx.finish(&job.request.to_wire(), outcome);
         }
         // The client may have given up (wait_timeout); that's fine.
@@ -289,7 +294,7 @@ mod tests {
     fn frontend(config: ServeConfig) -> Frontend<SearchEngine> {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()).unwrap());
         service.ingest_batch(&["the quick brown fox", "lazy dog sleeps"]).unwrap();
         Frontend::start_with(service, config)
     }

@@ -118,8 +118,16 @@ impl ResultCache {
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL, "capacity > 0 and map full implies a tail");
+            // Classify the reaped entry by its epoch stamp: an entry a
+            // flush already invalidated is a stale drop, not a capacity
+            // eviction — otherwise post-flush hit-rate accounting blames
+            // capacity pressure for losses the epoch bump caused.
+            if self.nodes[lru].epoch == epoch {
+                self.evictions += 1;
+            } else {
+                self.stale_drops += 1;
+            }
             self.remove_slot(lru);
-            self.evictions += 1;
         }
         let node = Node { key: key.clone(), epoch, value, prev: NIL, next: NIL };
         let slot = match self.free.pop() {
@@ -241,6 +249,25 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get("a", 1), (Some(docs(&[9])), Lookup::Hit));
         assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_reap_classifies_by_epoch_stamp() {
+        let mut c = ResultCache::new(2);
+        // Two entries recorded at epoch 0; a flush moves the world to
+        // epoch 1 without touching them.
+        c.insert("old1".into(), 0, docs(&[1]));
+        c.insert("old2".into(), 0, docs(&[2]));
+        // Capacity reap of an already-stale entry counts as a stale
+        // drop, not an eviction.
+        c.insert("new1".into(), 1, docs(&[3]));
+        assert_eq!((c.evictions(), c.stale_drops()), (0, 1));
+        // "old2" is still the LRU: reaping it is another stale drop.
+        c.insert("new2".into(), 1, docs(&[4]));
+        assert_eq!((c.evictions(), c.stale_drops()), (0, 2));
+        // Now the LRU ("new1") is current-epoch: a genuine eviction.
+        c.insert("new3".into(), 1, docs(&[5]));
+        assert_eq!((c.evictions(), c.stale_drops()), (1, 2));
     }
 
     #[test]

@@ -13,10 +13,11 @@ use invidx_core::index::BatchReport;
 use invidx_core::postings::PostingList;
 use invidx_core::types::{DocId, Result};
 use invidx_durable::WalRecord;
-use invidx_ir::{DurableEngine, Hit, SearchEngine};
+use invidx_ir::{DurableEngine, EngineSnapshot, Hit, SearchEngine};
 
 /// Query-on-`&self`, update-on-`&mut self` — the contract that lets
-/// [`crate::QueryService`] put an engine behind one `RwLock`.
+/// [`crate::QueryService`] serialize writers while serving reads from
+/// published copy-on-write snapshots.
 pub trait ServeEngine: Send + Sync + 'static {
     /// Parse and evaluate a boolean query string.
     fn boolean_str(&self, query: &str) -> Result<PostingList>;
@@ -95,6 +96,15 @@ pub trait ServeEngine: Send + Sync + 'static {
         Err("engine has no write-ahead log".into())
     }
 
+    /// Materialize an immutable point-in-time view of the engine for the
+    /// lock-free read path. The serving writer calls this at every commit
+    /// point, passing the previously published view so unchanged posting
+    /// lists and texts are shared rather than re-read.
+    fn snapshot(
+        &mut self,
+        prev: Option<&EngineSnapshot>,
+    ) -> std::result::Result<EngineSnapshot, String>;
+
     /// Documents indexed so far.
     fn total_docs(&self) -> u64;
     /// Distinct words interned so far.
@@ -140,6 +150,13 @@ impl ServeEngine for SearchEngine {
 
     fn block_cache_stats(&self) -> Option<CacheStats> {
         SearchEngine::cache_stats(self)
+    }
+
+    fn snapshot(
+        &mut self,
+        prev: Option<&EngineSnapshot>,
+    ) -> std::result::Result<EngineSnapshot, String> {
+        SearchEngine::snapshot(self, prev).map_err(|e| e.to_string())
     }
 
     fn total_docs(&self) -> u64 {
@@ -210,6 +227,13 @@ impl ServeEngine for DurableEngine {
 
     fn apply_replicated(&mut self, record: &WalRecord) -> std::result::Result<u64, String> {
         DurableEngine::apply_replicated(self, record).map_err(|e| e.to_string())
+    }
+
+    fn snapshot(
+        &mut self,
+        prev: Option<&EngineSnapshot>,
+    ) -> std::result::Result<EngineSnapshot, String> {
+        DurableEngine::snapshot(self, prev).map_err(|e| e.to_string())
     }
 
     fn total_docs(&self) -> u64 {

@@ -9,11 +9,14 @@
 //! The layers, bottom up:
 //!
 //! * [`ServeEngine`] — the engine contract: queries on `&self`, updates on
-//!   `&mut self`. Implemented by `SearchEngine` and `DurableEngine`.
-//! * [`QueryService`] — one engine behind a `RwLock`, an epoch counter
-//!   bumped under the write lock at every visible state change, and an
-//!   epoch-keyed LRU [`ResultCache`]. N readers share snapshots; the one
-//!   writer applies add+flush batches atomically.
+//!   `&mut self`, plus snapshot materialization for the read path.
+//!   Implemented by `SearchEngine` and `DurableEngine`.
+//! * [`QueryService`] — lock-free reads over copy-on-write epoch
+//!   snapshots: the single writer applies add+flush batches atomically,
+//!   materializes the next immutable engine view off to the side, and
+//!   publishes `(epoch, view, block-cache counters)` as one atomic unit;
+//!   readers load the current snapshot with no lock and consult a
+//!   per-core sharded epoch-keyed LRU ([`ResultCache`] shards).
 //! * [`Frontend`] — admission control: a bounded work queue with
 //!   high-water load shedding ([`ServeError::Overloaded`]), per-request
 //!   deadlines reaped in the queue ([`ServeError::Timeout`]), and a
@@ -23,8 +26,8 @@
 //!   with `nc`.
 //!
 //! The correctness invariant threaded through all of it: every response
-//! carries the **epoch** it was computed at, epochs only move while the
-//! write lock is held, and therefore `(epoch, result)` pairs are exactly
+//! carries the **epoch** it was computed at, and epoch + state travel in
+//! one published snapshot, so `(epoch, result)` pairs are exactly
 //! reproducible by replaying the same batches single-threaded and querying
 //! at the same epoch. The stress tests and the `ablation_serving` load
 //! generator check results against that oracle.
@@ -36,6 +39,7 @@ pub mod error;
 pub mod request;
 pub mod server;
 pub mod service;
+pub(crate) mod snapshot;
 pub mod telemetry;
 
 pub use admission::{Frontend, Ticket};

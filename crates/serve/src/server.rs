@@ -299,7 +299,7 @@ mod tests {
     fn server() -> Server<SearchEngine> {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+        let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()).unwrap());
         Server::bind("127.0.0.1:0", service, ServeConfig::default()).unwrap()
     }
 

@@ -1,27 +1,36 @@
-//! [`QueryService`]: the shared read path with its epoch-keyed cache.
+//! [`QueryService`]: the lock-free read path over published snapshots.
 //!
-//! The snapshot model is lock-based and coarse but exact: an engine behind
-//! one `RwLock`, an [`EpochCounter`] bumped **while the write lock is
-//! held**, readers sampling the epoch **under the read lock**. The pair a
-//! reader sees is therefore coherent — the epoch names exactly the state
-//! its result was computed from, which is what the result cache keys its
-//! invalidation on and what the oracle tests replay against.
+//! Readers never take a lock on the engine. Each request atomically loads
+//! the current [`ServeSnapshot`] — an `Arc` carrying `(epoch, materialized
+//! engine view, block-cache counters)` published as one unit — so the
+//! epoch always names exactly the state the result was computed from,
+//! which is what the result cache keys its invalidation on and what the
+//! oracle tests replay against. The writer serializes through one mutex,
+//! builds the next snapshot off to the side (incrementally: only posting
+//! lists the batch dirtied are re-read), and publishes it at the commit
+//! point, after the flush succeeds and before the epoch becomes visible.
 //!
 //! Writer operations are batch-atomic: [`QueryService::ingest_batch`] adds
-//! the documents *and* flushes under one write-lock hold, so queries never
-//! observe a half-ingested batch and visible state only changes at epoch
-//! bumps.
+//! the documents, flushes, and publishes one snapshot, so queries either
+//! see none of the batch (the old snapshot) or all of it (the new one) —
+//! visible state only changes at publication.
+//!
+//! The result cache is sharded per core ([`ShardedCache`]): independent
+//! LRU shards selected by key hash, per-shard counters summed for STATS.
+//! A reader stuck on one shard's mutex delays nothing but itself.
 
-use crate::cache::{Lookup, ResultCache};
+use crate::cache::Lookup;
 use crate::engine::ServeEngine;
 use crate::error::ServeError;
 use crate::request::{Payload, Request, Response, ServeStats};
+use crate::snapshot::{Published, ReadGate, ServeSnapshot, ShardedCache};
 use invidx_core::concurrent::EpochCounter;
 use invidx_core::index::BatchReport;
 use invidx_core::types::DocId;
 use invidx_obs::names;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One configuration for the whole serving stack — the result cache
 /// ([`QueryService`]) and admission control ([`crate::Frontend`]) read
@@ -52,6 +61,11 @@ pub struct ServeConfig {
     /// SLO availability objective in ppm of requests meeting the target
     /// (e.g. 999_000 = 99.9%).
     pub slo_objective_ppm: u32,
+    /// Simulated per-read device floor applied to uncached query requests
+    /// (zero = off). A load-experiment hook: the snapshot read path never
+    /// touches the device, so saturation benches that model a seek-bound
+    /// store inject the bounded per-lane service rate here.
+    pub read_floor: std::time::Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +79,7 @@ impl Default for ServeConfig {
             slow_query_ms: 250,
             slo_target_ms: 50,
             slo_objective_ppm: 999_000,
+            read_floor: std::time::Duration::ZERO,
         }
     }
 }
@@ -128,6 +143,12 @@ impl ServeConfigBuilder {
     /// SLO availability objective in ppm (e.g. 999_000 = 99.9%).
     pub fn slo_objective_ppm(mut self, ppm: u32) -> Self {
         self.config.slo_objective_ppm = ppm;
+        self
+    }
+
+    /// Simulated per-read device floor for uncached queries (zero = off).
+    pub fn read_floor(mut self, floor: std::time::Duration) -> Self {
+        self.config.read_floor = floor;
         self
     }
 
@@ -239,18 +260,34 @@ impl ServeCounters {
     }
 }
 
-/// A read-shared, write-exclusive serving handle over an engine.
+/// A serving handle over an engine: lock-free snapshot reads, one
+/// serialized writer.
 pub struct QueryService<E> {
-    engine: RwLock<E>,
+    /// The live engine — touched only by writer operations (ingest,
+    /// replication, checkpoint) and never on the query path.
+    writer: Mutex<E>,
     epoch: EpochCounter,
-    cache: Mutex<ResultCache>,
+    /// The published `(epoch, view, block stats)` readers load atomically.
+    current: Published,
+    cache: ShardedCache,
     counters: ServeCounters,
     telemetry: crate::telemetry::Telemetry,
+    /// Stalls readers for `with_blocked_writer` (test determinism only).
+    gate: ReadGate,
+    /// Simulated device floor for uncached reads (see
+    /// [`ServeConfig::read_floor`]); zero in production configs.
+    read_floor: std::time::Duration,
+    /// Last WAL-bytes value successfully read from the engine, re-published
+    /// when a scrape can't reach a busy writer. `u64::MAX` = never known
+    /// (volatile engine): nothing to re-publish.
+    last_wal: AtomicU64,
 }
 
 impl<E: ServeEngine> QueryService<E> {
-    /// Wrap an engine for serving.
-    pub fn with_config(engine: E, config: ServeConfig) -> Self {
+    /// Wrap an engine for serving. Materializes and publishes the initial
+    /// snapshot, so an engine opened over existing data serves it at once;
+    /// fails if that first materialization does.
+    pub fn with_config(engine: E, config: ServeConfig) -> Result<Self, ServeError> {
         Self::with_config_at(engine, config, 0)
     }
 
@@ -259,14 +296,25 @@ impl<E: ServeEngine> QueryService<E> {
     /// comparable across restarts and across a replication pair (the lag
     /// gauge is *primary epoch − replica epoch*, which only means anything
     /// when both sides count from the same durable state).
-    pub fn with_config_at(engine: E, config: ServeConfig, epoch: u64) -> Self {
-        Self {
-            engine: RwLock::new(engine),
+    pub fn with_config_at(
+        mut engine: E,
+        config: ServeConfig,
+        epoch: u64,
+    ) -> Result<Self, ServeError> {
+        let view = engine.snapshot(None).map_err(ServeError::Engine)?;
+        let block = engine.block_cache_stats().unwrap_or_default();
+        let wal = engine.wal_bytes();
+        Ok(Self {
+            writer: Mutex::new(engine),
             epoch: EpochCounter::starting_at(epoch),
-            cache: Mutex::new(ResultCache::new(config.result_cache_capacity)),
+            current: Published::new(ServeSnapshot { epoch, view: Arc::new(view), block }),
+            cache: ShardedCache::new(config.result_cache_capacity),
             counters: ServeCounters::default(),
             telemetry: crate::telemetry::Telemetry::new(&config),
-        }
+            gate: ReadGate::default(),
+            read_floor: config.read_floor,
+            last_wal: AtomicU64::new(wal.unwrap_or(u64::MAX)),
+        })
     }
 
     /// The current batch epoch.
@@ -277,7 +325,7 @@ impl<E: ServeEngine> QueryService<E> {
     /// Unwrap the service and hand the engine back (e.g. to close it
     /// cleanly or reopen a durable store).
     pub fn into_engine(self) -> E {
-        self.engine.into_inner()
+        self.writer.into_inner()
     }
 
     /// The per-service counters (shared with the admission layer).
@@ -291,14 +339,27 @@ impl<E: ServeEngine> QueryService<E> {
     }
 
     /// Refresh derived gauges (live quantiles, SLO budget, epoch, WAL
-    /// lag) in the global registry. Uses `try_read` on the engine so a
-    /// wedged writer cannot stall a metrics scrape.
+    /// lag) in the global registry. Uses `try_lock` on the writer so a
+    /// wedged writer cannot stall a metrics scrape; a skipped refresh is
+    /// counted (`serve_gauge_scrape_skipped_total`) and the last-known
+    /// WAL value is re-published, so dashboards can tell "no WAL growth"
+    /// from "scrape skipped under a wedged writer".
     pub fn publish_gauges(&self) {
         self.telemetry.publish_gauges();
         invidx_obs::gauge!(names::SERVE_EPOCH).set(self.epoch.get() as i64);
-        if let Some(engine) = self.engine.try_read() {
-            if let Some(wal) = engine.wal_bytes() {
-                invidx_obs::gauge!(names::INDEX_WAL_BYTES).set(wal as i64);
+        match self.writer.try_lock() {
+            Some(engine) => {
+                if let Some(wal) = engine.wal_bytes() {
+                    self.last_wal.store(wal, Ordering::Relaxed);
+                    invidx_obs::gauge!(names::INDEX_WAL_BYTES).set(wal as i64);
+                }
+            }
+            None => {
+                invidx_obs::counter!(names::SERVE_GAUGE_SCRAPE_SKIPPED).inc();
+                let last = self.last_wal.load(Ordering::Relaxed);
+                if last != u64::MAX {
+                    invidx_obs::gauge!(names::INDEX_WAL_BYTES).set(last as i64);
+                }
             }
         }
     }
@@ -313,20 +374,26 @@ impl<E: ServeEngine> QueryService<E> {
         invidx_obs::snapshot().to_prometheus()
     }
 
-    /// Execute one read request against a coherent `(epoch, engine)`
-    /// snapshot, consulting the result cache for cacheable requests.
+    /// Execute one read request against an atomically loaded snapshot,
+    /// consulting the result cache for cacheable requests. Takes no
+    /// engine lock: the snapshot pins a coherent `(epoch, state)` pair
+    /// for the whole request, however long the writer runs concurrently.
     pub fn execute(&self, request: &Request) -> Result<Response, ServeError> {
         self.counters.queries.inc();
-        // The read lock pins the epoch: writers bump it only while holding
-        // the write lock, so `epoch` names exactly the state we query.
-        let engine = self.engine.read();
-        let epoch = self.epoch.get();
-        let key = request.cache_key();
+        // With the engine stage down to RAM speed, the prelude (gate
+        // check, snapshot load, query normalization) is a visible slice
+        // of the latency — stage it so traces still decompose.
+        let (snap, key) = {
+            let _stage = invidx_obs::trace::stage("snapshot");
+            self.gate.wait_if_stalled();
+            (self.current.load(), request.cache_key())
+        };
+        let epoch = snap.epoch;
         if let Some(key) = &key {
             let probe = {
                 let _stage = invidx_obs::trace::stage("cache");
                 invidx_obs::trace::add_items(1);
-                self.cache.lock().get(key, epoch)
+                self.cache.get(key, epoch)
             };
             let (cached, outcome) = probe;
             self.count_lookup(outcome);
@@ -336,17 +403,30 @@ impl<E: ServeEngine> QueryService<E> {
         }
         let payload = {
             let _stage = invidx_obs::trace::stage("engine");
-            self.run(&engine, request)?
+            self.run(&snap, request)?
         };
         if let Some(key) = key {
-            // Still under the read lock, so `epoch` is still current.
+            // Stamped with the snapshot's own epoch: even if a newer
+            // snapshot published meanwhile, the entry names the state it
+            // was computed from and lazily drops as stale.
             let _stage = invidx_obs::trace::stage("cache");
-            self.cache.lock().insert(key, epoch, payload.clone());
+            self.cache.insert(key, epoch, payload.clone());
         }
         Ok(Response { epoch, payload })
     }
 
-    fn run(&self, engine: &E, request: &Request) -> Result<Payload, ServeError> {
+    fn run(&self, snap: &ServeSnapshot, request: &Request) -> Result<Payload, ServeError> {
+        if !self.read_floor.is_zero() {
+            if let Request::Boolean(_)
+            | Request::Phrase(_)
+            | Request::Near(..)
+            | Request::Like(..)
+            | Request::Doc(_) = request
+            {
+                std::thread::sleep(self.read_floor);
+            }
+        }
+        let engine = &*snap.view;
         let engine_err = |e: invidx_core::types::IndexError| match e {
             invidx_core::types::IndexError::InvalidConfig(msg) => ServeError::BadRequest(msg),
             other => ServeError::Engine(other.to_string()),
@@ -385,7 +465,7 @@ impl<E: ServeEngine> QueryService<E> {
             Request::Doc(id) => {
                 Payload::Text(engine.document(DocId(*id)).map_err(engine_err)?)
             }
-            Request::Stats => Payload::Stats(self.stats_with(engine)),
+            Request::Stats => Payload::Stats(self.stats_from(snap)),
             Request::Ping => Payload::Pong,
         })
     }
@@ -402,35 +482,88 @@ impl<E: ServeEngine> QueryService<E> {
         }
     }
 
-    /// Ingest one batch atomically: add every document, flush, bump the
-    /// epoch. Queries either see none of the batch (old epoch) or all of
-    /// it (new epoch). Returns the report and the new epoch.
+    /// Build and publish the next snapshot from the engine's state. Must
+    /// be called with the writer mutex held; `epoch` is what readers will
+    /// see as the current epoch. The materialization re-reads only the
+    /// posting lists dirtied since the previous snapshot — that is where
+    /// all block-cache and disk traffic for the read path happens now, so
+    /// the block counters are captured right after, as part of the same
+    /// publication.
+    fn publish_from(&self, engine: &mut E, epoch: u64) -> Result<(), ServeError> {
+        let prev = self.current.load();
+        let view = engine.snapshot(Some(&prev.view)).map_err(ServeError::Engine)?;
+        let block = engine.block_cache_stats().unwrap_or_default();
+        if let Some(wal) = engine.wal_bytes() {
+            self.last_wal.store(wal, Ordering::Relaxed);
+        }
+        self.current.publish(ServeSnapshot { epoch, view: Arc::new(view), block });
+        Ok(())
+    }
+
+    /// Ingest one batch atomically: add every document, flush, publish
+    /// the next snapshot, bump the epoch. Queries either see none of the
+    /// batch (the old snapshot) or all of it (the new one). Returns the
+    /// report and the new epoch. When telemetry samples this ingest, the
+    /// batch emits a span tree (`add`/`flush`/`publish`, with the
+    /// block-cache and disk stages nested under `publish`).
     pub fn ingest_batch<S: AsRef<str>>(
         &self,
         texts: &[S],
     ) -> Result<(BatchReport, u64), ServeError> {
-        let mut engine = self.engine.write();
-        for text in texts {
-            engine.add_document(text.as_ref()).map_err(ServeError::Engine)?;
+        let mut engine = self.writer.lock();
+        let trace = self.telemetry.sample();
+        if let Some(ctx) = trace {
+            invidx_obs::trace::install(ctx);
         }
-        let report = engine.flush().map_err(ServeError::Engine)?;
-        // Bump while still holding the write lock, so no reader can pair
-        // the new state with the old epoch.
+        let outcome = self.ingest_locked(&mut engine, texts);
+        if let Some(ctx) = invidx_obs::trace::uninstall() {
+            let label = format!("INGEST {}", texts.len());
+            ctx.finish(&label, if outcome.is_ok() { "served" } else { "error" });
+        }
+        outcome
+    }
+
+    fn ingest_locked<S: AsRef<str>>(
+        &self,
+        engine: &mut E,
+        texts: &[S],
+    ) -> Result<(BatchReport, u64), ServeError> {
+        {
+            let _stage = invidx_obs::trace::stage("add");
+            invidx_obs::trace::add_items(texts.len() as u64);
+            for text in texts {
+                engine.add_document(text.as_ref()).map_err(ServeError::Engine)?;
+            }
+        }
+        let report = {
+            let _stage = invidx_obs::trace::stage("flush");
+            engine.flush().map_err(ServeError::Engine)?
+        };
+        // Publish before the epoch counter moves: a reader loads the
+        // snapshot (state and epoch travel together), so at worst it
+        // briefly sees the new state under the new epoch while `epoch()`
+        // still reports the old value — never new state under an old
+        // snapshot.
+        let epoch = self.epoch.get() + 1;
+        {
+            let _stage = invidx_obs::trace::stage("publish");
+            self.publish_from(engine, epoch)?;
+        }
         let epoch = self.epoch.bump();
         self.counters.batches.inc();
-        drop(engine);
         Ok((report, epoch))
     }
 
-    /// Apply one shipped WAL record under the write lock (the replica half
-    /// of WAL shipping) and bump the epoch, exactly as the equivalent local
-    /// write would have. When the service was constructed with
-    /// [`Self::with_config_at`] over the engine's batch count, this keeps
-    /// `epoch == batches` on the replica, so replication lag is directly
-    /// the primary/replica epoch delta. Returns the new epoch.
+    /// Apply one shipped WAL record under the writer mutex (the replica
+    /// half of WAL shipping), publish, and bump the epoch, exactly as the
+    /// equivalent local write would have. When the service was constructed
+    /// with [`Self::with_config_at`] over the engine's batch count, this
+    /// keeps `epoch == batches` on the replica, so replication lag is
+    /// directly the primary/replica epoch delta. Returns the new epoch.
     pub fn apply_replicated(&self, record: &invidx_durable::WalRecord) -> Result<u64, ServeError> {
-        let mut engine = self.engine.write();
+        let mut engine = self.writer.lock();
         engine.apply_replicated(record).map_err(ServeError::Engine)?;
+        self.publish_from(&mut engine, self.epoch.get() + 1)?;
         let epoch = self.epoch.bump();
         self.counters.batches.inc();
         drop(engine);
@@ -438,49 +571,66 @@ impl<E: ServeEngine> QueryService<E> {
     }
 
     /// Write a durable checkpoint (no-op `Ok(None)` for volatile engines).
-    /// Takes the write lock — readers stall for the duration and resume;
-    /// the visible state does not change, so the epoch does not move.
+    /// Readers keep serving from the published snapshot throughout; the
+    /// visible state does not change, so the epoch does not move.
     pub fn checkpoint(&self) -> Result<Option<u64>, ServeError> {
-        self.engine.write().checkpoint().map_err(ServeError::Engine)
+        self.writer.lock().checkpoint().map_err(ServeError::Engine)
     }
 
-    /// Hold the engine write lock for the duration of `f` without touching
-    /// the engine or the epoch — a deterministic way for tests to stall
-    /// the read path.
+    /// Hold the writer mutex *and* stall the read path for the duration of
+    /// `f`, without touching the engine or the epoch — a deterministic way
+    /// for tests to wedge the service the way a stuck writer once could.
     #[doc(hidden)]
     pub fn with_blocked_writer(&self, f: impl FnOnce()) {
-        let _guard = self.engine.write();
+        let _guard = self.writer.lock();
+        // Drop-guard so a panicking closure still releases the readers.
+        struct Unstall<'a>(&'a ReadGate);
+        impl Drop for Unstall<'_> {
+            fn drop(&mut self) {
+                self.0.unstall();
+            }
+        }
+        self.gate.stall();
+        let _release = Unstall(&self.gate);
         f();
     }
 
-    /// Run a closure with shared access to the engine and the pinned epoch
-    /// (oracle tests use this to snapshot ground truth).
+    /// Hold every result-cache shard lock for the duration of `f` — the
+    /// deterministic wedge for proving the writer no longer waits on the
+    /// result cache.
+    #[doc(hidden)]
+    pub fn with_blocked_cache(&self, f: impl FnOnce()) {
+        self.cache.with_blocked(f);
+    }
+
+    /// Run a closure with access to the live engine and the current epoch
+    /// (oracle tests use this to snapshot ground truth; the router uses it
+    /// for WAL shipping). Serializes with the writer.
     pub fn with_read<R>(&self, f: impl FnOnce(u64, &E) -> R) -> R {
-        let engine = self.engine.read();
+        let engine = self.writer.lock();
         f(self.epoch.get(), &engine)
     }
 
-    /// Serving counters plus engine totals.
+    /// Serving counters plus engine totals, from the published snapshot.
     pub fn stats(&self) -> ServeStats {
-        self.stats_with(&self.engine.read())
+        self.stats_from(&self.current.load())
     }
 
-    fn stats_with(&self, engine: &E) -> ServeStats {
-        let cache = self.cache.lock();
-        let block = engine.block_cache_stats().unwrap_or_default();
+    fn stats_from(&self, snap: &ServeSnapshot) -> ServeStats {
+        let (evictions, stale_drops) = self.cache.totals();
         ServeStats {
-            docs: engine.total_docs(),
+            docs: snap.view.total_docs(),
             queries: self.counters.queries.get(),
             cache_hits: self.counters.cache_hits.get(),
             cache_misses: self.counters.cache_misses.get(),
-            cache_evictions: cache.evictions(),
-            cache_stale_drops: cache.stale_drops(),
+            cache_evictions: evictions,
+            cache_stale_drops: stale_drops,
             shed: self.counters.shed.get(),
             timeouts: self.counters.timeouts.get(),
             batches: self.counters.batches.get(),
-            block_cache_hits: block.hits,
-            block_cache_misses: block.misses,
-            block_cache_evictions: block.evictions,
+            block_cache_hits: snap.block.hits,
+            block_cache_misses: snap.block.misses,
+            block_cache_evictions: snap.block.evictions,
         }
     }
 }
@@ -500,7 +650,7 @@ mod tests {
         let array = sparse_array(2, 50_000, 256);
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
         let config = ServeConfig::builder().result_cache_capacity(cache).build().unwrap();
-        QueryService::with_config(engine, config)
+        QueryService::with_config(engine, config).unwrap()
     }
 
     /// The STATS payload must carry the engine's block-cache counters —
@@ -544,6 +694,12 @@ mod tests {
                     ..Default::default()
                 })
             }
+            fn snapshot(
+                &mut self,
+                _: Option<&invidx_ir::EngineSnapshot>,
+            ) -> Result<invidx_ir::EngineSnapshot, String> {
+                Ok(invidx_ir::EngineSnapshot::empty())
+            }
             fn total_docs(&self) -> u64 {
                 0
             }
@@ -551,7 +707,7 @@ mod tests {
                 0
             }
         }
-        let s = QueryService::with_config(Stub, ServeConfig::default());
+        let s = QueryService::with_config(Stub, ServeConfig::default()).unwrap();
         let resp = s.execute(&Request::Stats).unwrap();
         let Payload::Stats(stats) = resp.payload else { panic!("expected stats") };
         assert_eq!(

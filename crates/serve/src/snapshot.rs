@@ -1,0 +1,343 @@
+//! Copy-on-write snapshot publication and the per-core result cache.
+//!
+//! [`Published`] is the serving layer's RCU cell: the writer builds the
+//! next [`ServeSnapshot`] off to the side and publishes it at the commit
+//! point; readers follow a lock-free chain of `Arc` nodes to the newest
+//! snapshot. After a thread's first touch (one mutex lock to join the
+//! chain), every subsequent load is a handful of atomic pointer reads —
+//! no reader ever blocks on the writer, and a stalled reader never blocks
+//! publication.
+//!
+//! [`ShardedCache`] splits the result cache into independent LRU shards
+//! (one mutex each, selected by key hash), killing the global cache-mutex
+//! convoy that coupled reader latency to cache contention. Per-shard
+//! counters are summed for STATS, so totals are exactly what one big
+//! cache would have reported.
+//!
+//! [`ReadGate`] preserves the old `RwLock` semantics tests rely on:
+//! [`crate::QueryService::with_blocked_writer`] stalls the read path for
+//! its duration, without putting a lock on the normal query path (the
+//! fast path is a single relaxed atomic load).
+
+use crate::cache::{Lookup, ResultCache};
+use crate::request::Payload;
+use invidx_core::cache::CacheStats;
+use invidx_ir::EngineSnapshot;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+
+/// Everything a reader needs to answer one request coherently: the epoch,
+/// the materialized engine view it names, and the block-cache counters as
+/// of the publish (snapshot queries do no block I/O themselves — all
+/// cache/disk traffic happens at materialization, inside the writer).
+#[derive(Debug, Clone)]
+pub(crate) struct ServeSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) view: Arc<EngineSnapshot>,
+    pub(crate) block: CacheStats,
+}
+
+/// One link in the publication chain.
+#[derive(Debug)]
+struct Node {
+    value: Arc<ServeSnapshot>,
+    next: OnceLock<Arc<Node>>,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        // Unlink iteratively: a thread that parked on an old node for many
+        // epochs would otherwise trigger a recursive Arc-chain drop deep
+        // enough to overflow the stack.
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => next = n.next.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Distinguishes publication cells in the per-thread chain cache.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Each reader thread's last-seen node per publication cell. Entries
+    /// pin that node's suffix of the chain until the thread loads again
+    /// (chasing releases the prefix) or exits.
+    static CHAIN_CACHE: RefCell<HashMap<u64, Arc<Node>>> = RefCell::new(HashMap::new());
+}
+
+/// A single-writer, many-reader publication cell (RCU-style).
+///
+/// The writer serializes through [`Published::publish`] (the service holds
+/// its writer mutex there anyway); readers call [`Published::load`], which
+/// locks nothing after the thread's first touch.
+#[derive(Debug)]
+pub(crate) struct Published {
+    id: u64,
+    head: Mutex<Arc<Node>>,
+}
+
+impl Published {
+    pub(crate) fn new(initial: ServeSnapshot) -> Self {
+        Self {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            head: Mutex::new(Arc::new(Node {
+                value: Arc::new(initial),
+                next: OnceLock::new(),
+            })),
+        }
+    }
+
+    /// Publish the next snapshot. Readers parked anywhere on the chain
+    /// reach it by following `next` links; new threads join at the head.
+    pub(crate) fn publish(&self, value: ServeSnapshot) {
+        let node = Arc::new(Node { value: Arc::new(value), next: OnceLock::new() });
+        let mut head = self.head.lock();
+        head.next
+            .set(node.clone())
+            .expect("single writer: the head node's next link is unset");
+        *head = node;
+    }
+
+    /// The newest snapshot. Lock-free after the calling thread's first
+    /// load: cached chain position plus `OnceLock` pointer chasing.
+    pub(crate) fn load(&self) -> Arc<ServeSnapshot> {
+        CHAIN_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let node = cache.entry(self.id).or_insert_with(|| self.head.lock().clone());
+            while let Some(next) = node.next.get() {
+                *node = next.clone();
+            }
+            node.value.clone()
+        })
+    }
+}
+
+/// The result cache, split into independently locked LRU shards.
+///
+/// Shard count adapts to the machine (one per available core) but never
+/// exceeds the capacity — a capacity-1 cache stays one exact LRU slot,
+/// which the stats-consistency tests rely on. Keys pick their shard by
+/// hash, so repeat queries always land on the same shard and totals are
+/// exactly what a single cache of the same capacity would count.
+pub(crate) struct ShardedCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl ShardedCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = capacity.min(cores).max(1);
+        let per_shard = capacity.div_ceil(n);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(ResultCache::new(per_shard))).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<ResultCache> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    pub(crate) fn get(&self, key: &str, epoch: u64) -> (Option<Payload>, Lookup) {
+        self.shard_of(key).lock().get(key, epoch)
+    }
+
+    pub(crate) fn insert(&self, key: String, epoch: u64, value: Payload) {
+        self.shard_of(&key).lock().insert(key, epoch, value);
+    }
+
+    /// `(evictions, stale_drops)` summed across shards.
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(e, s), shard| {
+            let shard = shard.lock();
+            (e + shard.evictions(), s + shard.stale_drops())
+        })
+    }
+
+    /// Hold every shard lock for the duration of `f` — a deterministic
+    /// way for tests to wedge the cache path and prove the writer no
+    /// longer depends on it.
+    #[doc(hidden)]
+    pub(crate) fn with_blocked(&self, f: impl FnOnce()) {
+        let _guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        f();
+    }
+}
+
+/// Stalls the read path while [`crate::QueryService::with_blocked_writer`]
+/// runs, mirroring the old write-lock semantics the admission and
+/// gauge-hygiene tests are built around. The normal query path pays one
+/// relaxed atomic load.
+#[derive(Debug, Default)]
+pub(crate) struct ReadGate {
+    stalled: AtomicBool,
+    lock: StdMutex<()>,
+    cv: Condvar,
+}
+
+impl ReadGate {
+    /// Fast path: one atomic load. When stalled, park until released.
+    pub(crate) fn wait_if_stalled(&self) {
+        if !self.stalled.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.stalled.load(Ordering::Acquire) {
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn stall(&self) {
+        self.stalled.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn unstall(&self) {
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.stalled.store(false, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64) -> ServeSnapshot {
+        ServeSnapshot {
+            epoch,
+            view: Arc::new(EngineSnapshot::empty()),
+            block: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn publish_is_visible_to_old_and_new_readers() {
+        let cell = Published::new(snap(0));
+        assert_eq!(cell.load().epoch, 0);
+        for e in 1..=100 {
+            cell.publish(snap(e));
+            assert_eq!(cell.load().epoch, e, "same-thread reader chases to the tail");
+        }
+        // A fresh thread joins at the head and sees the newest snapshot.
+        let newest = std::thread::scope(|s| {
+            s.spawn(|| cell.load().epoch).join().unwrap()
+        });
+        assert_eq!(newest, 100);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotonic_epochs() {
+        let cell = Arc::new(Published::new(snap(0)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = cell.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let e = cell.load().epoch;
+                        assert!(e >= last, "epoch went backwards: {last} -> {e}");
+                        last = e;
+                    }
+                });
+            }
+            for e in 1..=500 {
+                cell.publish(snap(e));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.load().epoch, 500);
+    }
+
+    #[test]
+    fn long_chains_drop_without_overflowing() {
+        let cell = Published::new(snap(0));
+        // Pin the chain's origin, extend it far enough that a recursive
+        // drop would blow the stack, then release the origin.
+        let origin = cell.load();
+        for e in 1..=200_000 {
+            cell.publish(snap(e));
+        }
+        drop(origin);
+        CHAIN_CACHE.with(|c| c.borrow_mut().clear());
+        assert_eq!(cell.load().epoch, 200_000);
+    }
+
+    #[test]
+    fn sharded_cache_sums_counters_and_stays_exact_at_capacity_one() {
+        let c = ShardedCache::new(1);
+        assert_eq!(c.shards.len(), 1, "capacity bounds the shard count");
+        c.insert("a".into(), 0, Payload::Docs(vec![1]));
+        c.insert("b".into(), 0, Payload::Docs(vec![2]));
+        assert_eq!(c.totals(), (1, 0));
+        assert_eq!(c.get("b", 0).1, Lookup::Hit);
+        assert_eq!(c.get("b", 1).1, Lookup::Stale);
+        assert_eq!(c.totals(), (1, 1));
+    }
+
+    #[test]
+    fn sharded_cache_totals_sum_across_shards() {
+        // Wide capacity → as many shards as the machine has cores; keys
+        // hash across them. However the drops scatter, the summed totals
+        // must equal what the caller observed — exactly what one big
+        // cache of the same capacity would have counted.
+        let c = ShardedCache::new(256);
+        for i in 0..40 {
+            c.insert(format!("k{i}"), 0, Payload::Docs(vec![i]));
+        }
+        let mut observed_stale = 0;
+        for i in 0..40 {
+            if c.get(&format!("k{i}"), 1).1 == Lookup::Stale {
+                observed_stale += 1;
+            }
+        }
+        assert!(observed_stale > 0, "epoch bump must stale the entries");
+        let (evictions, stale_drops) = c.totals();
+        assert_eq!(stale_drops, observed_stale, "shard counters must sum to the totals");
+        assert_eq!(evictions, 0, "nothing was reaped for capacity");
+    }
+
+    #[test]
+    fn sharded_cache_routes_repeat_keys_to_one_shard() {
+        let c = ShardedCache::new(1024);
+        for i in 0..200 {
+            c.insert(format!("q{i}"), 3, Payload::Docs(vec![i]));
+        }
+        for i in 0..200 {
+            let (hit, outcome) = c.get(&format!("q{i}"), 3);
+            assert_eq!(outcome, Lookup::Hit);
+            assert_eq!(hit, Some(Payload::Docs(vec![i])));
+        }
+    }
+
+    #[test]
+    fn read_gate_blocks_until_released() {
+        let gate = Arc::new(ReadGate::default());
+        gate.stall();
+        let passed = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let g = gate.clone();
+            let p = passed.clone();
+            s.spawn(move || {
+                g.wait_if_stalled();
+                p.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!passed.load(Ordering::SeqCst), "reader must park while stalled");
+            gate.unstall();
+        });
+        assert!(passed.load(Ordering::SeqCst));
+        gate.wait_if_stalled(); // released gate is a no-op
+    }
+}

@@ -75,7 +75,7 @@ proptest! {
         let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
         // Capacity 4 with an 8-word vocabulary: constant eviction churn.
         let config = ServeConfig::builder().result_cache_capacity(4).build().unwrap();
-        let service = QueryService::with_config(engine, config);
+        let service = QueryService::with_config(engine, config).unwrap();
         let mut corpus: Vec<BTreeSet<usize>> = Vec::new();
         let mut flushes = 0u64;
 

@@ -17,7 +17,7 @@ use std::time::Duration;
 fn frontend(config: ServeConfig) -> Frontend<SearchEngine> {
     let array = sparse_array(2, 50_000, 256);
     let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
-    let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+    let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()).unwrap());
     service.ingest_batch(&["the quick brown fox", "lazy dog sleeps"]).unwrap();
     Frontend::start_with(service, config)
 }

@@ -1,8 +1,16 @@
 //! Satellite check: the `STATS` verb over TCP and the in-process
 //! `QueryService::stats()` must agree field-by-field, and a scripted
-//! query/flush sequence must move *all* the result-cache and block-cache
-//! counters (hit, miss, stale drop, eviction) off zero — so a dashboard
-//! built on either surface sees the same, complete story.
+//! sequence must move *all* the result-cache and block-cache counters
+//! (hit, miss, stale drop, eviction) off zero — so a dashboard built on
+//! either surface sees the same, complete story.
+//!
+//! Counter choreography under the snapshot read path: queries never touch
+//! the block device, so all block-cache traffic happens when the writer
+//! *materializes* a snapshot. A miss is a cold dirty-list read at
+//! publish; a hit needs a re-read with no intervening append (appends
+//! invalidate the written tail frame, and a range read only counts as a
+//! hit when fully resident) — exactly what the full re-materialization of
+//! a service restart does, so the script rewraps the engine mid-way.
 
 use invidx_core::index::IndexConfig;
 use invidx_disk::sparse_array;
@@ -14,23 +22,37 @@ use std::sync::Arc;
 
 #[test]
 fn stats_verb_matches_in_process_counters() {
-    // Geometry chosen so the counters are forced to move: both "hot" and
-    // "warm" have 120 postings (≫ the 40-unit bucket capacity, so they
-    // migrate to 12-block long lists), the block cache holds 16 blocks in
-    // one shard (warm's read evicts hot's frames), and the result cache
-    // holds exactly one entry (the warm lookup evicts the hot entry).
+    // Geometry chosen so the counters are forced to move deterministically:
+    // "hot" has 120 postings (≫ the 40-unit bucket capacity, so it
+    // migrates to a 12-block long list) and its whole publish working set
+    // (list + texts) fits the 64-frame block cache, so the restart re-read
+    // hits no matter what order materialization walks the vocabulary;
+    // "warm" has 360 postings, and its batch pushes the cumulative frame
+    // count past the budget, forcing evictions. The result cache holds
+    // exactly one entry (the warm lookup evicts the hot entry).
     let mut config = IndexConfig::small();
-    config.cache_blocks = 16;
+    config.cache_blocks = 64;
     config.cache_shards = 1;
     let array = sparse_array(2, 50_000, 256);
     let engine = SearchEngine::create(array, config).unwrap();
     let serve = ServeConfig::builder().result_cache_capacity(1).readers(1).build().unwrap();
-    let service = Arc::new(QueryService::with_config(engine, serve));
-    let docs: Vec<String> = (0..120)
-        .map(|i| format!("hot f{i}"))
-        .chain((0..120).map(|i| format!("warm g{i}")))
-        .collect();
-    service.ingest_batch(&docs).unwrap();
+
+    // Publish #1: materializing "hot" reads its 12 blocks cold —
+    // block-cache misses.
+    let staging = QueryService::with_config(engine, serve).unwrap();
+    let hot: Vec<String> = (0..120).map(|i| format!("hot f{i}")).collect();
+    staging.ingest_batch(&hot).unwrap();
+
+    // Restart-shaped rewrap: the full re-materialization re-reads hot's
+    // still-resident blocks with no intervening append — block-cache hits.
+    // Anchored at epoch 1 so epochs keep counting batches across the swap.
+    let service =
+        Arc::new(QueryService::with_config_at(staging.into_engine(), serve, 1).unwrap());
+
+    // Publish #3: warm's cold blocks push the 64-frame budget past
+    // capacity — block-cache evictions.
+    let warm: Vec<String> = (0..360).map(|i| format!("warm g{i}")).collect();
+    service.ingest_batch(&warm).unwrap();
 
     let srv = Server::bind("127.0.0.1:0", Arc::clone(&service), serve).unwrap();
     let stream = TcpStream::connect(srv.addr()).unwrap();
@@ -43,17 +65,17 @@ fn stats_verb_matches_in_process_counters() {
         reply
     };
 
-    // Result-cache miss + cold block-cache read (12 misses, 12 inserts).
+    // Result-cache miss (cold key).
     roundtrip("QUERY hot");
     // Epoch bump: the cached "hot" entry is now stale.
     roundtrip("ADD unrelated zzz");
     roundtrip("FLUSH");
-    // Stale drop + recompute; the blocks are still resident → block hits.
+    // Stale drop + recompute against the new snapshot.
     roundtrip("QUERY hot");
     // Same epoch now → result-cache hit.
     roundtrip("QUERY hot");
-    // New key: result miss, and its insert evicts the "hot" entry
-    // (capacity 1); its 12-block read evicts hot's frames (16-block cache).
+    // New key: result miss, and its same-epoch insert evicts the "hot"
+    // entry (capacity 1) — a capacity eviction, not a stale drop.
     roundtrip("QUERY warm");
 
     let reply = roundtrip("STATS");
@@ -65,18 +87,18 @@ fn stats_verb_matches_in_process_counters() {
     assert_eq!(wire, local, "wire STATS diverged from in-process stats()");
 
     // And the scripted sequence moved every cache counter off zero.
-    assert!(wire.docs >= 241, "240 corpus docs + 1 added");
+    assert!(wire.docs >= 481, "480 corpus docs + 1 added");
     assert!(wire.queries >= 4);
-    assert_eq!(wire.batches, 2);
+    assert_eq!(wire.batches, 2, "warm batch + wire flush through this service");
     assert!(wire.cache_misses >= 2, "hot cold lookup + warm lookup");
     assert!(wire.cache_stale_drops >= 1, "epoch bump must stale the entry");
     assert!(wire.cache_hits >= 1, "same-epoch re-query must hit");
     assert!(wire.cache_evictions >= 1, "capacity-1 cache must evict");
-    // Block-cache hits/misses count range reads, not blocks; evictions
-    // count frames.
-    assert!(wire.block_cache_misses >= 1, "cold long-list read");
-    assert!(wire.block_cache_hits >= 1, "resident re-read must hit");
-    assert!(wire.block_cache_evictions >= 1, "16-frame budget must evict");
+    // Block-cache hits/misses count range reads at materialization time,
+    // not blocks; evictions count frames.
+    assert!(wire.block_cache_misses >= 1, "cold long-list read at publish");
+    assert!(wire.block_cache_hits >= 1, "restart re-materialization must hit");
+    assert!(wire.block_cache_evictions >= 1, "64-frame budget must evict");
     assert_eq!(wire.shed, 0);
     assert_eq!(wire.timeouts, 0);
     srv.shutdown();

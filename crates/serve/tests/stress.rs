@@ -97,7 +97,7 @@ fn eight_readers_one_writer_match_oracle_replay() {
         .deadline(Duration::from_secs(10))
         .build()
         .unwrap();
-    let service = Arc::new(QueryService::with_config(engine, config));
+    let service = Arc::new(QueryService::with_config(engine, config).unwrap());
     let frontend = Arc::new(Frontend::start_with(Arc::clone(&service), config));
     let final_epoch = schedule.len() as u64;
     let checked = Arc::new(AtomicU64::new(0));
@@ -171,7 +171,7 @@ fn serving_continues_while_checkpointing() {
     // checkpoint_every: 0 — the service decides when to checkpoint.
     let opts = DurableOptions { checkpoint_every: 0, ..Default::default() };
     let engine = DurableEngine::create(&dir, IndexConfig::small(), geometry, opts).unwrap();
-    let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()));
+    let service = Arc::new(QueryService::with_config(engine, ServeConfig::default()).unwrap());
     let frontend = Arc::new(Frontend::start_with(Arc::clone(&service), ServeConfig::default()));
 
     let schedule = batches(6, 4);

@@ -1,8 +1,10 @@
 //! Acceptance test for end-to-end request tracing: a sampled query over
 //! TCP must produce a span tree on the NDJSON event stream whose stages
-//! (queue, cache, engine, block-cache, disk) are all present and whose
-//! top-level stages sum to within 10% of the measured end-to-end latency
-//! (the root `request` span).
+//! (queue, cache, engine) are all present and whose top-level stages sum
+//! to within 10% of the measured end-to-end latency (the root `request`
+//! span) — and a sampled ingest must show where the device traffic went,
+//! because under the snapshot read path the block-cache and disk layers
+//! are only touched when the writer materializes the next snapshot.
 //!
 //! Single `#[test]` on purpose: the event sink is process-global.
 
@@ -83,25 +85,28 @@ fn within(spans: &[Span], mut i: usize, root: usize) -> bool {
 #[test]
 fn sampled_query_yields_decomposed_span_tree() {
     // A corpus where "hot" migrates to a long list (1500 postings ≫ the
-    // 40-unit bucket capacity of IndexConfig::small), so the engine stage
-    // dominates and the trace reaches the block-cache and disk layers.
+    // 40-unit bucket capacity of IndexConfig::small), so the snapshot
+    // materialization reaches the block-cache and disk layers.
     let mut config = IndexConfig::small();
     config.cache_blocks = 64;
     let array = sparse_array(2, 50_000, 256);
     let engine = SearchEngine::create(array, config).unwrap();
-    // Result cache off so every query exercises the engine read path;
-    // sample every request.
+    // Result cache off so every query exercises the snapshot read path;
+    // sample every request (queries and ingests alike).
     let serve = ServeConfig::builder()
         .result_cache_capacity(0)
         .trace_sample(1)
         .readers(2)
         .build()
         .unwrap();
-    let service = Arc::new(QueryService::with_config(engine, serve));
+    let service = Arc::new(QueryService::with_config(engine, serve).unwrap());
+
+    // Sink installed before the ingest: the batch's sampled trace is the
+    // one that carries the block-cache/disk spans now.
+    invidx_obs::init_memory_event_sink();
     let docs: Vec<String> = (0..1500).map(|i| format!("hot filler{i}")).collect();
     service.ingest_batch(&docs).unwrap();
 
-    invidx_obs::init_memory_event_sink();
     let srv = Server::bind("127.0.0.1:0", service, serve).unwrap();
     let stream = TcpStream::connect(srv.addr()).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -117,6 +122,48 @@ fn sampled_query_yields_decomposed_span_tree() {
     srv.shutdown();
     let events = invidx_obs::take_memory_events().expect("memory sink");
 
+    // --- The ingest trace: add/flush/publish, device traffic inside
+    // publish (that is where the writer materializes the next snapshot).
+    let ingest_ids: Vec<u64> = events
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"trace\""))
+        .filter(|l| field_str(l, "req") == Some("INGEST 1500"))
+        .map(|l| field_u64(l, "trace_id").unwrap())
+        .collect();
+    assert_eq!(ingest_ids.len(), 1, "the batch ingest was sampled");
+    let ispans = spans_of(&events, ingest_ids[0]);
+    assert_eq!(ispans[0].name, "request");
+    assert!(ispans[0].parent == -1 && ispans[0].dur_us > 0);
+    for name in ["add", "flush", "publish"] {
+        let s = ispans.iter().find(|s| s.name == name).unwrap_or_else(|| {
+            panic!("stage {name} missing from ingest trace: {ispans:?}")
+        });
+        assert_eq!(s.parent, 0, "{name} must be a top-level ingest stage");
+    }
+    let publish_idx = ispans.iter().position(|s| s.name == "publish").unwrap();
+    for name in ["block_cache", "disk"] {
+        let idx = ispans.iter().position(|s| s.name == name).unwrap_or_else(|| {
+            panic!("stage {name} missing from ingest trace: {ispans:?}")
+        });
+        assert!(within(&ispans, idx, publish_idx), "{name} must nest under publish");
+    }
+    // Per-stage block accounting: materializing the long list moved its
+    // blocks through the cache, and the cold read fell through to disk.
+    let bc_blocks: u64 =
+        ispans.iter().filter(|s| s.name == "block_cache").map(|s| s.blocks).sum();
+    assert!(bc_blocks >= 10, "long list spans many blocks, saw {bc_blocks}");
+    let disk_blocks: u64 =
+        ispans.iter().filter(|s| s.name == "disk").map(|s| s.blocks).sum();
+    assert!(disk_blocks >= 10, "cold materialization must read the device");
+    let iexplained: u64 =
+        ispans.iter().filter(|s| s.parent == 0).map(|s| s.dur_us).sum();
+    assert!(
+        iexplained as f64 <= ispans[0].dur_us as f64 * 1.02,
+        "ingest children cannot exceed the root"
+    );
+
+    // --- The query traces: queue/cache/engine decompose the latency;
+    // no block-cache or disk span — the read path never touches either.
     let trace_ids: Vec<u64> = events
         .lines()
         .filter(|l| l.contains("\"kind\":\"trace\""))
@@ -126,14 +173,13 @@ fn sampled_query_yields_decomposed_span_tree() {
     assert_eq!(trace_ids.len(), 6, "every query was sampled");
 
     let mut best_ratio = 0.0f64;
-    for (qi, trace_id) in trace_ids.iter().enumerate() {
+    for trace_id in &trace_ids {
         let spans = spans_of(&events, *trace_id);
         assert_eq!(spans[0].name, "request");
         assert!(spans[0].parent == -1 && spans[0].dur_us > 0);
 
         // Structure: queue/cache/engine are children of the root; the
-        // engine subtree contains term, block_cache, and (on the cold
-        // query) disk.
+        // engine subtree evaluates terms against the published snapshot.
         for name in ["queue", "cache", "engine"] {
             let s = spans.iter().find(|s| s.name == name).unwrap_or_else(|| {
                 panic!("stage {name} missing from trace {trace_id}: {spans:?}")
@@ -141,27 +187,16 @@ fn sampled_query_yields_decomposed_span_tree() {
             assert_eq!(s.parent, 0, "{name} must be a top-level stage");
         }
         let engine_idx = spans.iter().position(|s| s.name == "engine").unwrap();
-        for name in ["term", "block_cache"] {
-            let idx = spans.iter().position(|s| s.name == name).unwrap_or_else(|| {
-                panic!("stage {name} missing from trace {trace_id}: {spans:?}")
-            });
-            assert!(within(&spans, idx, engine_idx), "{name} must nest under engine");
-        }
-        // Per-stage block accounting: the block-cache stage saw the long
-        // list's blocks.
-        let bc_blocks: u64 =
-            spans.iter().filter(|s| s.name == "block_cache").map(|s| s.blocks).sum();
-        assert!(bc_blocks >= 10, "long list spans many blocks, saw {bc_blocks}");
-        if qi == 0 {
-            // Cold query: the read fell through the block cache to the
-            // disk model, nested inside the engine stage.
-            let idx = spans
-                .iter()
-                .position(|s| s.name == "disk")
-                .expect("cold query must reach the disk stage");
-            assert!(within(&spans, idx, engine_idx), "disk must nest under engine");
-            assert!(spans[idx].blocks >= 10);
-        }
+        let term_idx = spans.iter().position(|s| s.name == "term").unwrap_or_else(|| {
+            panic!("stage term missing from trace {trace_id}: {spans:?}")
+        });
+        assert!(within(&spans, term_idx, engine_idx), "term must nest under engine");
+        // Lock-free read path: a query trace that reached the block cache
+        // or the disk model would mean the snapshot leaked device reads.
+        assert!(
+            !spans.iter().any(|s| s.name == "block_cache" || s.name == "disk"),
+            "query must be served from the snapshot alone: {spans:?}"
+        );
 
         // Decomposition: top-level stages must explain the end-to-end
         // latency (root duration) to within 10% on at least one trace.

@@ -427,6 +427,20 @@ impl invidx::serve::ServeEngine for ServedEngine {
         }
     }
 
+    fn batches(&self) -> u64 {
+        self.engine.core_index().batches()
+    }
+
+    fn snapshot(
+        &mut self,
+        prev: Option<&invidx::ir::EngineSnapshot>,
+    ) -> Result<invidx::ir::EngineSnapshot, String> {
+        match &mut self.engine {
+            Engine::Legacy(e) => e.snapshot(prev).map_err(|e| e.to_string()),
+            Engine::Durable(e) => e.snapshot(prev).map_err(|e| e.to_string()),
+        }
+    }
+
     fn total_docs(&self) -> u64 {
         self.engine.total_docs()
     }
@@ -516,7 +530,12 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
         invidx::serve::ServeEngine::total_docs(&served),
         invidx::serve::ServeEngine::vocabulary_size(&served),
     );
-    let service = std::sync::Arc::new(QueryService::with_config(served, config));
+    // Anchor serving epochs at the store's committed batch count so they
+    // stay comparable across restarts (and with any replica tailing us).
+    let epoch = invidx::serve::ServeEngine::batches(&served);
+    let service = std::sync::Arc::new(
+        QueryService::with_config_at(served, config, epoch).map_err(|e| e.to_string())?,
+    );
     let server = Server::bind(&addr, service, config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
@@ -681,7 +700,9 @@ fn cmd_route(dir: &Path, args: &[String]) -> Result<(), String> {
         let engine = DurableEngine::open(&shard_dir, conf.index_config()?, ship)
             .map_err(|e| format!("cannot open shard {shard}: {e}"))?;
         let epoch = ServeEngine::batches(&engine);
-        let service = Arc::new(QueryService::with_config_at(engine, config, epoch));
+        let service = Arc::new(
+            QueryService::with_config_at(engine, config, epoch).map_err(|e| e.to_string())?,
+        );
         let server = Server::bind("127.0.0.1:0", Arc::clone(&service), config)
             .map_err(|e| format!("shard {shard} primary server: {e}"))?;
         writers.push(service);
@@ -706,7 +727,9 @@ fn cmd_route(dir: &Path, args: &[String]) -> Result<(), String> {
             }
             .map_err(|e| format!("shard {shard} replica {r}: {e}"))?;
             let epoch = ServeEngine::batches(&engine);
-            let service = Arc::new(QueryService::with_config_at(engine, config, epoch));
+            let service = Arc::new(
+                QueryService::with_config_at(engine, config, epoch).map_err(|e| e.to_string())?,
+            );
             tailers.push(ReplicaTailer::start(
                 Arc::clone(&service),
                 primary_servers[shard].addr(),
