@@ -165,6 +165,15 @@ pub const SERVE_EPOCH: &str = "serve_epoch";
 /// held its lock); the last-known values were re-published instead, so
 /// dashboards can tell "no WAL growth" from "scrape skipped".
 pub const SERVE_GAUGE_SCRAPE_SKIPPED: &str = "serve_gauge_scrape_skipped_total";
+/// Snapshot publications deferred because materialization failed after a
+/// durable commit (both the incremental and the full-rebuild attempt).
+/// The epoch still advances with the commit; readers keep serving the
+/// previous snapshot until the next successful publication.
+pub const SERVE_PUBLISH_DEFERRED: &str = "serve_publish_deferred_total";
+/// Committed batches not yet visible to readers: current epoch minus the
+/// published snapshot's epoch (gauge; nonzero only while a deferred
+/// publication is pending).
+pub const SERVE_PUBLISH_LAG: &str = "serve_publish_lag_batches";
 
 /// Requests accounted against the SLO (served, shed, or reaped).
 pub const SLO_REQUESTS: &str = "slo_requests_total";

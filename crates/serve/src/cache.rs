@@ -65,6 +65,11 @@ impl ResultCache {
         }
     }
 
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Entries currently held (stale ones included until they are reaped).
     pub fn len(&self) -> usize {
         self.map.len()

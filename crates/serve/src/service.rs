@@ -13,7 +13,10 @@
 //! Writer operations are batch-atomic: [`QueryService::ingest_batch`] adds
 //! the documents, flushes, and publishes one snapshot, so queries either
 //! see none of the batch (the old snapshot) or all of it (the new one) —
-//! visible state only changes at publication.
+//! visible state only changes at publication. Past the flush the commit is
+//! durable, so the epoch always advances with the engine's batch count; a
+//! materialization failure defers publication (readers keep the previous
+//! snapshot, the lag is gauged) rather than desynchronizing the two.
 //!
 //! The result cache is sharded per core ([`ShardedCache`]): independent
 //! LRU shards selected by key hash, per-shard counters summed for STATS.
@@ -343,12 +346,19 @@ impl<E: ServeEngine> QueryService<E> {
     /// wedged writer cannot stall a metrics scrape; a skipped refresh is
     /// counted (`serve_gauge_scrape_skipped_total`) and the last-known
     /// WAL value is re-published, so dashboards can tell "no WAL growth"
-    /// from "scrape skipped under a wedged writer".
+    /// from "scrape skipped under a wedged writer". A scrape that does
+    /// get the writer lock also retries any deferred snapshot publication
+    /// (commit succeeded, materialization failed), so committed state
+    /// becomes visible even on a write-quiet service.
     pub fn publish_gauges(&self) {
         self.telemetry.publish_gauges();
-        invidx_obs::gauge!(names::SERVE_EPOCH).set(self.epoch.get() as i64);
+        let epoch = self.epoch.get();
+        invidx_obs::gauge!(names::SERVE_EPOCH).set(epoch as i64);
         match self.writer.try_lock() {
-            Some(engine) => {
+            Some(mut engine) => {
+                if self.current.load().epoch < epoch {
+                    self.publish_committed(&mut engine, epoch);
+                }
                 if let Some(wal) = engine.wal_bytes() {
                     self.last_wal.store(wal, Ordering::Relaxed);
                     invidx_obs::gauge!(names::INDEX_WAL_BYTES).set(wal as i64);
@@ -362,6 +372,8 @@ impl<E: ServeEngine> QueryService<E> {
                 }
             }
         }
+        invidx_obs::gauge!(names::SERVE_PUBLISH_LAG)
+            .set(epoch.saturating_sub(self.current.load().epoch) as i64);
     }
 
     /// Render the full Prometheus text exposition for this process,
@@ -484,20 +496,51 @@ impl<E: ServeEngine> QueryService<E> {
 
     /// Build and publish the next snapshot from the engine's state. Must
     /// be called with the writer mutex held; `epoch` is what readers will
-    /// see as the current epoch. The materialization re-reads only the
-    /// posting lists dirtied since the previous snapshot — that is where
-    /// all block-cache and disk traffic for the read path happens now, so
-    /// the block counters are captured right after, as part of the same
-    /// publication.
-    fn publish_from(&self, engine: &mut E, epoch: u64) -> Result<(), ServeError> {
+    /// see as the current epoch. An `incremental` materialization re-reads
+    /// only the posting lists dirtied since the last *successful* snapshot
+    /// (the engine clears its dirty set only when materialization
+    /// completes) — that is where all block-cache and disk traffic for the
+    /// read path happens now, so the block counters are captured right
+    /// after, as part of the same publication.
+    fn try_publish(
+        &self,
+        engine: &mut E,
+        epoch: u64,
+        incremental: bool,
+    ) -> Result<(), ServeError> {
         let prev = self.current.load();
-        let view = engine.snapshot(Some(&prev.view)).map_err(ServeError::Engine)?;
+        let view = engine
+            .snapshot(if incremental { Some(&prev.view) } else { None })
+            .map_err(ServeError::Engine)?;
         let block = engine.block_cache_stats().unwrap_or_default();
         if let Some(wal) = engine.wal_bytes() {
             self.last_wal.store(wal, Ordering::Relaxed);
         }
         self.current.publish(ServeSnapshot { epoch, view: Arc::new(view), block });
         Ok(())
+    }
+
+    /// Publish after a commit the engine has already made durable. Past
+    /// the commit point a materialization error must not unwind into the
+    /// caller: the engine is at the next batch whatever happens here, and
+    /// propagating an `Err` used to leave the epoch counter behind the
+    /// batch count — a re-shipped WAL record was then rejected by the
+    /// replica's gap check ("gap or replay"), wedging replication until a
+    /// restart. So: try the incremental materialization, fall back to a
+    /// full rebuild (the dirty set is intact after a failure, so both are
+    /// safe), and if even that fails, *defer* — the caller still bumps
+    /// the epoch in lockstep with the commit, readers keep the previous
+    /// snapshot, and the still-dirty engine state folds into the next
+    /// publication attempt (the next commit, or [`Self::publish_gauges`]'s
+    /// catch-up). Deferrals are counted (`serve_publish_deferred_total`)
+    /// and surface as the `serve_publish_lag_batches` gauge.
+    fn publish_committed(&self, engine: &mut E, epoch: u64) {
+        if self.try_publish(engine, epoch, true).is_ok() {
+            return;
+        }
+        if self.try_publish(engine, epoch, false).is_err() {
+            invidx_obs::counter!(names::SERVE_PUBLISH_DEFERRED).inc();
+        }
     }
 
     /// Ingest one batch atomically: add every document, flush, publish
@@ -543,11 +586,13 @@ impl<E: ServeEngine> QueryService<E> {
         // snapshot (state and epoch travel together), so at worst it
         // briefly sees the new state under the new epoch while `epoch()`
         // still reports the old value — never new state under an old
-        // snapshot.
+        // snapshot. The bump is unconditional: the flush committed, so the
+        // epoch tracks the engine's batch count even when publication is
+        // deferred (see `publish_committed`).
         let epoch = self.epoch.get() + 1;
         {
             let _stage = invidx_obs::trace::stage("publish");
-            self.publish_from(engine, epoch)?;
+            self.publish_committed(engine, epoch);
         }
         let epoch = self.epoch.bump();
         self.counters.batches.inc();
@@ -560,10 +605,18 @@ impl<E: ServeEngine> QueryService<E> {
     /// with [`Self::with_config_at`] over the engine's batch count, this
     /// keeps `epoch == batches` on the replica, so replication lag is
     /// directly the primary/replica epoch delta. Returns the new epoch.
+    ///
+    /// The epoch advances with the commit even if snapshot publication
+    /// fails (the record is in the replica's own WAL from the moment
+    /// `apply_replicated` returns on the engine): returning an error with
+    /// the epoch left behind would make the tailer re-request this batch
+    /// and trip the engine's gap check, wedging replication. A deferred
+    /// publication leaves readers on the previous snapshot until the next
+    /// record or metrics scrape republishes.
     pub fn apply_replicated(&self, record: &invidx_durable::WalRecord) -> Result<u64, ServeError> {
         let mut engine = self.writer.lock();
         engine.apply_replicated(record).map_err(ServeError::Engine)?;
-        self.publish_from(&mut engine, self.epoch.get() + 1)?;
+        self.publish_committed(&mut engine, self.epoch.get() + 1);
         let epoch = self.epoch.bump();
         self.counters.batches.inc();
         drop(engine);

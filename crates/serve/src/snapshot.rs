@@ -3,16 +3,24 @@
 //! [`Published`] is the serving layer's RCU cell: the writer builds the
 //! next [`ServeSnapshot`] off to the side and publishes it at the commit
 //! point; readers follow a lock-free chain of `Arc` nodes to the newest
-//! snapshot. After a thread's first touch (one mutex lock to join the
-//! chain), every subsequent load is a handful of atomic pointer reads —
-//! no reader ever blocks on the writer, and a stalled reader never blocks
-//! publication.
+//! snapshot. Each reader thread caches its chain position per cell as a
+//! `Weak` reference: between publications a load is pure atomic pointer
+//! reads, and a publication orphans the old chain, so the next load
+//! re-joins at the head (one brief mutex lock, held by the writer only
+//! to swap a pointer). Holding the position weakly is load-bearing for
+//! memory: a thread that served one query and then parked on an empty
+//! queue pins nothing, so superseded snapshots — each O(docs + vocab) —
+//! drop as soon as in-flight loads release them, however long the thread
+//! stays idle. No reader ever blocks on the writer's materialization
+//! work, and a stalled reader never blocks publication.
 //!
 //! [`ShardedCache`] splits the result cache into independent LRU shards
 //! (one mutex each, selected by key hash), killing the global cache-mutex
 //! convoy that coupled reader latency to cache contention. Per-shard
-//! counters are summed for STATS, so totals are exactly what one big
-//! cache would have reported.
+//! capacities sum exactly to the configured total and per-shard counters
+//! are summed for STATS; eviction *order* is the one divergence from a
+//! single LRU (each shard reaps its own least-recent entry under
+//! capacity pressure).
 //!
 //! [`ReadGate`] preserves the old `RwLock` semantics tests rely on:
 //! [`crate::QueryService::with_blocked_writer`] stalls the read path for
@@ -29,7 +37,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, Weak};
 
 /// Everything a reader needs to answer one request coherently: the epoch,
 /// the materialized engine view it names, and the block-cache counters as
@@ -51,8 +59,10 @@ struct Node {
 
 impl Drop for Node {
     fn drop(&mut self) {
-        // Unlink iteratively: a thread that parked on an old node for many
-        // epochs would otherwise trigger a recursive Arc-chain drop deep
+        // Unlink iteratively: reader caches are weak so chains stay short
+        // in steady state, but a reader mid-load (or a test) can still
+        // hold an old node while many publications extend the chain, and
+        // releasing it must not recurse one Arc drop per link — deep
         // enough to overflow the stack.
         let mut next = self.next.take();
         while let Some(node) = next {
@@ -68,17 +78,22 @@ impl Drop for Node {
 static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// Each reader thread's last-seen node per publication cell. Entries
-    /// pin that node's suffix of the chain until the thread loads again
-    /// (chasing releases the prefix) or exits.
-    static CHAIN_CACHE: RefCell<HashMap<u64, Arc<Node>>> = RefCell::new(HashMap::new());
+    /// Each reader thread's last-seen node per publication cell, held
+    /// weakly. The cached position accelerates repeat loads while its
+    /// chain is current, but pins nothing: an idle thread must not keep
+    /// superseded snapshots alive, and entries for destroyed cells are
+    /// swept on the next fallback load (see [`Published::load`]) rather
+    /// than accumulating for the thread's lifetime.
+    static CHAIN_CACHE: RefCell<HashMap<u64, Weak<Node>>> = RefCell::new(HashMap::new());
 }
 
 /// A single-writer, many-reader publication cell (RCU-style).
 ///
 /// The writer serializes through [`Published::publish`] (the service holds
 /// its writer mutex there anyway); readers call [`Published::load`], which
-/// locks nothing after the thread's first touch.
+/// locks nothing between publications after the thread's first touch, and
+/// pays one pointer-swap-sized head lock per publication to re-join the
+/// chain.
 #[derive(Debug)]
 pub(crate) struct Published {
     id: u64,
@@ -107,15 +122,28 @@ impl Published {
         *head = node;
     }
 
-    /// The newest snapshot. Lock-free after the calling thread's first
-    /// load: cached chain position plus `OnceLock` pointer chasing.
+    /// The newest snapshot. Between publications this is lock-free after
+    /// the calling thread's first touch: upgrade the cached `Weak` chain
+    /// position, then chase `OnceLock` pointers to the tail. Once a
+    /// publication has orphaned the cached chain the upgrade fails and
+    /// the thread re-joins at the head — one short mutex lock per
+    /// publication (the writer holds it only to swap a pointer), which is
+    /// also when entries whose chains are gone (superseded nodes,
+    /// destroyed cells) are swept from this thread's cache.
     pub(crate) fn load(&self) -> Arc<ServeSnapshot> {
         CHAIN_CACHE.with(|cache| {
             let mut cache = cache.borrow_mut();
-            let node = cache.entry(self.id).or_insert_with(|| self.head.lock().clone());
+            let mut node = match cache.get(&self.id).and_then(Weak::upgrade) {
+                Some(node) => node,
+                None => {
+                    cache.retain(|_, cached| cached.strong_count() > 0);
+                    self.head.lock().clone()
+                }
+            };
             while let Some(next) = node.next.get() {
-                *node = next.clone();
+                node = next.clone();
             }
+            cache.insert(self.id, Arc::downgrade(&node));
             node.value.clone()
         })
     }
@@ -126,8 +154,12 @@ impl Published {
 /// Shard count adapts to the machine (one per available core) but never
 /// exceeds the capacity — a capacity-1 cache stays one exact LRU slot,
 /// which the stats-consistency tests rely on. Keys pick their shard by
-/// hash, so repeat queries always land on the same shard and totals are
-/// exactly what a single cache of the same capacity would count.
+/// hash, so repeat queries always land on the same shard, per-shard
+/// capacities sum exactly to the configured total, and the summed
+/// hit/miss/drop counters are exactly what the callers observed.
+/// Eviction *order* is the one divergence from a single global LRU: each
+/// shard reaps its own least-recent entry, so under capacity pressure a
+/// hot shard can evict an entry a global LRU would have kept.
 pub(crate) struct ShardedCache {
     shards: Vec<Mutex<ResultCache>>,
 }
@@ -136,9 +168,15 @@ impl ShardedCache {
     pub(crate) fn new(capacity: usize) -> Self {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let n = capacity.min(cores).max(1);
-        let per_shard = capacity.div_ceil(n);
+        // Distribute the capacity exactly: the first `capacity % n` shards
+        // take one extra slot, so the shards sum to `capacity` rather than
+        // the rounded-up `n * ceil(capacity / n)`. With `n <= capacity`,
+        // every shard holds at least one entry.
+        let (base, extra) = (capacity / n, capacity % n);
         Self {
-            shards: (0..n).map(|_| Mutex::new(ResultCache::new(per_shard))).collect(),
+            shards: (0..n)
+                .map(|i| Mutex::new(ResultCache::new(base + usize::from(i < extra))))
+                .collect(),
         }
     }
 
@@ -263,15 +301,64 @@ mod tests {
     #[test]
     fn long_chains_drop_without_overflowing() {
         let cell = Published::new(snap(0));
-        // Pin the chain's origin, extend it far enough that a recursive
-        // drop would blow the stack, then release the origin.
-        let origin = cell.load();
+        // Pin the chain's origin node directly (reader caches are weak and
+        // pin nothing), extend the chain far enough that a recursive drop
+        // would blow the stack, then release it.
+        let origin = cell.head.lock().clone();
         for e in 1..=200_000 {
             cell.publish(snap(e));
         }
         drop(origin);
-        CHAIN_CACHE.with(|c| c.borrow_mut().clear());
         assert_eq!(cell.load().epoch, 200_000);
+    }
+
+    #[test]
+    fn parked_reader_thread_does_not_pin_superseded_snapshots() {
+        let cell = Arc::new(Published::new(snap(0)));
+        let (parked_tx, parked_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let reader = cell.clone();
+            s.spawn(move || {
+                // Serve one load, then park — the idle replica / no-query
+                // shape from the field: the thread must not keep every
+                // later publication alive through its chain cache.
+                reader.load();
+                parked_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+            parked_rx.recv().unwrap();
+            let mut weaks = Vec::new();
+            for e in 1..=50 {
+                cell.publish(snap(e));
+                weaks.push(Arc::downgrade(&cell.load()));
+            }
+            let (superseded, newest) = weaks.split_at(weaks.len() - 1);
+            assert!(
+                superseded.iter().all(|w| w.upgrade().is_none()),
+                "superseded snapshots must drop while a reader thread is parked"
+            );
+            assert!(newest[0].upgrade().is_some(), "the published snapshot stays live");
+            release_tx.send(()).unwrap();
+        });
+    }
+
+    #[test]
+    fn destroyed_cells_are_swept_from_reader_caches() {
+        let a = Published::new(snap(1));
+        let a_id = a.id;
+        assert_eq!(a.load().epoch, 1);
+        CHAIN_CACHE.with(|c| assert!(c.borrow().contains_key(&a_id), "load caches a position"));
+        drop(a);
+        // The next load that misses its cached position (here: a fresh
+        // cell's first touch) sweeps entries whose chains are gone, so a
+        // long-lived reader thread does not accumulate one entry per
+        // destroyed service.
+        let b = Published::new(snap(2));
+        assert_eq!(b.load().epoch, 2);
+        CHAIN_CACHE.with(|c| {
+            assert!(!c.borrow().contains_key(&a_id), "dead cell entry must be swept")
+        });
     }
 
     #[test]
@@ -290,8 +377,9 @@ mod tests {
     fn sharded_cache_totals_sum_across_shards() {
         // Wide capacity → as many shards as the machine has cores; keys
         // hash across them. However the drops scatter, the summed totals
-        // must equal what the caller observed — exactly what one big
-        // cache of the same capacity would have counted.
+        // must equal what the caller observed. (All inserts happen at
+        // epoch 0, so any capacity reap of a skewed shard counts as an
+        // eviction — entries missing at probe time are plain misses.)
         let c = ShardedCache::new(256);
         for i in 0..40 {
             c.insert(format!("k{i}"), 0, Payload::Docs(vec![i]));
@@ -305,7 +393,24 @@ mod tests {
         assert!(observed_stale > 0, "epoch bump must stale the entries");
         let (evictions, stale_drops) = c.totals();
         assert_eq!(stale_drops, observed_stale, "shard counters must sum to the totals");
-        assert_eq!(evictions, 0, "nothing was reaped for capacity");
+        assert_eq!(evictions, 40 - observed_stale, "every other entry was a capacity reap");
+    }
+
+    #[test]
+    fn sharded_cache_distributes_capacity_exactly() {
+        for capacity in [1usize, 2, 3, 5, 8, 10, 17, 100, 256] {
+            let c = ShardedCache::new(capacity);
+            let total: usize = c.shards.iter().map(|s| s.lock().capacity()).sum();
+            assert_eq!(total, capacity, "shard capacities must sum to the configured total");
+            assert!(
+                c.shards.iter().all(|s| s.lock().capacity() >= 1),
+                "no shard may be a zero-capacity black hole"
+            );
+        }
+        // Capacity 0 stays the single disabled shard.
+        let disabled = ShardedCache::new(0);
+        assert_eq!(disabled.shards.len(), 1);
+        assert_eq!(disabled.shards[0].lock().capacity(), 0);
     }
 
     #[test]
