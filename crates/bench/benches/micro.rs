@@ -4,9 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use invidx_core::bucket::BucketStore;
+use invidx_core::codec::{self, PostingsCodec};
 use invidx_core::postings::{fixed, varint, PostingList};
 use invidx_core::types::{DocId, WordId};
 use invidx_corpus::lexer;
+use invidx_ir::{rank_exhaustive, rank_seeded, Bm25Params, PostingSource};
 use invidx_corpus::zipf::{ZipfRejection, ZipfTable};
 use invidx_disk::{
     coalesce_batch, BuddyAllocator, ExtentAllocator, FitStrategy, FreeList, IoOp, OpKind, Payload,
@@ -65,6 +67,68 @@ fn bench_codecs(c: &mut Criterion) {
     let varint_bytes = varint::encode(&docs);
     g.bench_function("varint_decode", |b| {
         b.iter(|| black_box(varint::decode(&varint_bytes).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_codec_streams(c: &mut Criterion) {
+    // Long-list shape: 10k postings, mixed small gaps — the regime the
+    // coding-block streams are built for.
+    let docs: Vec<DocId> = (0..10_000u32).map(|i| DocId(i * 3)).collect();
+    let mut g = c.benchmark_group("codec_stream");
+    g.throughput(Throughput::Elements(docs.len() as u64));
+    for codec in [PostingsCodec::VarintDelta, PostingsCodec::BitPacked] {
+        g.bench_function(format!("{codec}_encode"), |b| {
+            b.iter(|| black_box(codec::encode_stream(codec, &docs, 128)))
+        });
+        let stream = codec::encode_stream(codec, &docs, 128);
+        g.bench_function(format!("{codec}_decode"), |b| {
+            b.iter(|| black_box(codec::decode_stream(&stream, docs.len() as u64).unwrap()))
+        });
+        // Skip-decode from the middle: the per-block max_doc entries let
+        // half the stream go untouched.
+        g.bench_function(format!("{codec}_skip_half"), |b| {
+            b.iter(|| {
+                black_box(codec::decode_stream_from(&stream, docs.len() as u64, 15_000).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ranked_topk(c: &mut Criterion) {
+    /// Synthetic postings: word `w` holds every `STRIDES[w]`-th doc id.
+    struct Lists(Vec<PostingList>);
+    impl PostingSource for Lists {
+        fn postings(&self, word: WordId) -> invidx_core::types::Result<PostingList> {
+            Ok(self.0[word.0 as usize].clone())
+        }
+    }
+    const N: u32 = 50_000;
+    const STRIDES: [u32; 5] = [2, 7, 31, 131, 997];
+    let lists = Lists(
+        STRIDES
+            .iter()
+            .map(|&s| PostingList::from_sorted((0..N / s).map(|i| DocId(i * s)).collect()))
+            .collect(),
+    );
+    let total: u64 = STRIDES.iter().map(|&s| (N / s) as u64).sum();
+    let terms: Vec<(WordId, f64)> = STRIDES
+        .iter()
+        .enumerate()
+        .map(|(w, &s)| (WordId(w as u64), (1.0 + N as f64 / (N / s) as f64).ln()))
+        .collect();
+    let lens: std::collections::HashMap<DocId, u32> =
+        (0..N).map(|d| (DocId(d), 5 + (d * 13) % 37)).collect();
+    let avgdl = lens.values().map(|&l| l as u64).sum::<u64>() as f64 / N as f64;
+    let p = Bm25Params::default();
+    let mut g = c.benchmark_group("ranked_topk");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("wand_top10", |b| {
+        b.iter(|| black_box(rank_seeded(&lists, &terms, &lens, avgdl, p, 10).unwrap()))
+    });
+    g.bench_function("exhaustive_top10", |b| {
+        b.iter(|| black_box(rank_exhaustive(&lists, &terms, &lens, avgdl, p, 10).unwrap()))
     });
     g.finish();
 }
@@ -169,6 +233,8 @@ criterion_group!(
     bench_zipf,
     bench_lexer,
     bench_codecs,
+    bench_codec_streams,
+    bench_ranked_topk,
     bench_merges,
     bench_buckets,
     bench_allocators,

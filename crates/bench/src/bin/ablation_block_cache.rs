@@ -26,7 +26,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const DISKS: u16 = 2;
-const BLOCKS_PER_DISK: u64 = 4_000;
+// Sized for the v2 directory format (each chunk entry carries its stream
+// byte length); the budgets below are percentages of the device, so the
+// gates are geometry-independent.
+const BLOCKS_PER_DISK: u64 = 5_000;
 const BLOCK_SIZE: usize = 512;
 const QUERIES: usize = 2_000;
 
@@ -40,7 +43,13 @@ fn corpus() -> CorpusParams {
     }
 }
 
-fn build(cache_blocks: usize) -> DualIndex {
+/// Build the index, returning it with the long-list byte counters
+/// (`postings_bytes_raw` / `postings_bytes_stored`) sampled across the
+/// build — under the plain codec the two are equal; a compressed codec
+/// shows its ratio here (see `ablation_compression_ranked`).
+fn build(cache_blocks: usize) -> (DualIndex, u64, u64) {
+    let raw0 = invidx_obs::registry().counter(invidx_obs::names::POSTINGS_BYTES_RAW).get();
+    let stored0 = invidx_obs::registry().counter(invidx_obs::names::POSTINGS_BYTES_STORED).get();
     let array = sparse_array(DISKS, BLOCKS_PER_DISK, BLOCK_SIZE);
     let config = IndexConfig::builder()
         .num_buckets(64)
@@ -67,7 +76,10 @@ fn build(cache_blocks: usize) -> DualIndex {
         index.insert_documents(batch, 1).expect("insert");
         index.flush_batch().expect("flush");
     }
-    index
+    let raw = invidx_obs::registry().counter(invidx_obs::names::POSTINGS_BYTES_RAW).get() - raw0;
+    let stored =
+        invidx_obs::registry().counter(invidx_obs::names::POSTINGS_BYTES_STORED).get() - stored0;
+    (index, raw, stored)
 }
 
 /// The Zipf word stream: rank r drawn with probability ∝ 1/r^1.2 over the
@@ -103,7 +115,7 @@ fn main() {
     let mut reads_per_long = Vec::new();
     let mut hit_rate_at_5 = None;
     for (pct, budget) in budgets {
-        let index = build(budget);
+        let (index, bytes_raw, bytes_stored) = build(budget);
         index.array().take_trace(); // drop the build trace
         index.array().start_trace();
         let mut long_queries = 0u64;
@@ -141,6 +153,8 @@ fn main() {
             hits.to_string(),
             misses.to_string(),
             evictions.to_string(),
+            (bytes_raw / 1024).to_string(),
+            (bytes_stored / 1024).to_string(),
         ]);
     }
 
@@ -157,6 +171,8 @@ fn main() {
             "Hits".into(),
             "Misses".into(),
             "Evictions".into(),
+            "Raw KB".into(),
+            "Stored KB".into(),
         ],
         rows,
     });

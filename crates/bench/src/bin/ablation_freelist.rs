@@ -61,6 +61,7 @@ fn run(params: &SimParams, kind: Kind, updates: &[BatchUpdate], policy: Policy) 
     let mut store = LongStore::new(LongConfig {
         block_postings: params.block_postings,
         policy,
+        codec: Default::default(),
     });
     let mut counters: HashMap<WordId, u32> = HashMap::new();
     let wall = std::time::Instant::now();

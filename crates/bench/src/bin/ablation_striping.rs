@@ -29,7 +29,11 @@ const DISKS: u16 = 8;
 fn read_time(policy: Policy, postings: u32) -> (f64, u64) {
     let mut array = sparse_array(DISKS, 2_000_000, BLOCK_SIZE);
     let mut store =
-        LongStore::new(LongConfig { block_postings: BLOCK_POSTINGS, policy });
+        LongStore::new(LongConfig {
+        block_postings: BLOCK_POSTINGS,
+        policy,
+        codec: Default::default(),
+    });
     let word = WordId(1);
     // Load in ten updates so fill actually distributes across disks.
     let step = (postings / 10).max(1);

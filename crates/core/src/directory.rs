@@ -26,6 +26,13 @@ pub struct ChunkRef {
     pub blocks: u64,
     /// Postings currently stored in the chunk.
     pub postings: u64,
+    /// Encoded byte length of the chunk's coding-block stream, when the
+    /// index uses a compressed postings codec. `0` for plain chunks —
+    /// plain data has no stream framing, its extent is implied by
+    /// `postings`. Allocation (`blocks`) and capacity accounting are
+    /// codec-independent; `bytes` only shrinks how much of the chunk the
+    /// read path must fetch.
+    pub bytes: u64,
 }
 
 impl ChunkRef {
@@ -165,6 +172,18 @@ impl Directory {
         self.entries.values().map(LongEntry::total_postings).sum()
     }
 
+    /// Bytes the long-list chunks occupy as stored: the encoded stream
+    /// length for compressed chunks, the fixed-width size (4 B/posting)
+    /// for plain ones. Compare against `total_postings() * 4` (the raw
+    /// size) for the on-disk compression ratio.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .flat_map(|e| e.chunks.iter())
+            .map(|c| if c.bytes == 0 { c.postings * 4 } else { c.bytes })
+            .sum()
+    }
+
     /// "The long list utilization rate, namely the fraction of space
     /// allocated in long lists disk blocks that have postings." 1.0 when
     /// there are no long lists (the paper's Figure 9 spike at the start).
@@ -192,9 +211,9 @@ impl Directory {
 
     /// Serialize: `u64 entry-count`, then per entry `u64 word | u32 chunk
     /// count`, then per chunk `u16 disk | u64 start | u64 blocks | u64
-    /// postings`.
+    /// postings | u64 bytes`.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.entries.len() * 40);
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 48);
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
         for (w, e) in &self.entries {
             out.extend_from_slice(&w.0.to_le_bytes());
@@ -204,6 +223,7 @@ impl Directory {
                 out.extend_from_slice(&c.start.to_le_bytes());
                 out.extend_from_slice(&c.blocks.to_le_bytes());
                 out.extend_from_slice(&c.postings.to_le_bytes());
+                out.extend_from_slice(&c.bytes.to_le_bytes());
             }
         }
         out
@@ -230,19 +250,21 @@ impl Directory {
             pos += 12;
             let mut entry = LongEntry::default();
             for _ in 0..nchunks {
-                need(bytes.len() >= pos + 26)?;
+                need(bytes.len() >= pos + 34)?;
                 let disk = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("2"));
                 let start = u64::from_le_bytes(bytes[pos + 2..pos + 10].try_into().expect("8"));
                 let blocks = u64::from_le_bytes(bytes[pos + 10..pos + 18].try_into().expect("8"));
                 let postings =
                     u64::from_le_bytes(bytes[pos + 18..pos + 26].try_into().expect("8"));
-                pos += 26;
+                let stream =
+                    u64::from_le_bytes(bytes[pos + 26..pos + 34].try_into().expect("8"));
+                pos += 34;
                 if blocks == 0 {
                     return Err(IndexError::Corruption(format!(
                         "zero-block chunk for {word} in directory"
                     )));
                 }
-                entry.chunks.push(ChunkRef { disk, start, blocks, postings });
+                entry.chunks.push(ChunkRef { disk, start, blocks, postings, bytes: stream });
             }
             if entry.chunks.is_empty() {
                 return Err(IndexError::Corruption(format!("chunkless entry for {word}")));
@@ -257,7 +279,7 @@ impl Directory {
         16.max(8 + self
             .entries
             .values()
-            .map(|e| 12 + e.chunks.len() * 26)
+            .map(|e| 12 + e.chunks.len() * 34)
             .sum::<usize>())
     }
 }
@@ -267,7 +289,7 @@ mod tests {
     use super::*;
 
     fn chunk(disk: u16, start: u64, blocks: u64, postings: u64) -> ChunkRef {
-        ChunkRef { disk, start, blocks, postings }
+        ChunkRef { disk, start, blocks, postings, bytes: 0 }
     }
 
     #[test]
@@ -321,7 +343,9 @@ mod tests {
         d.insert(WordId(7), LongEntry { chunks: vec![chunk(2, 40, 8, 777)] });
         d.insert(
             WordId(900),
-            LongEntry { chunks: vec![chunk(0, 0, 1, 100), chunk(1, 3, 2, 120)] },
+            LongEntry {
+                chunks: vec![chunk(0, 0, 1, 100), ChunkRef { bytes: 217, ..chunk(1, 3, 2, 120) }],
+            },
         );
         let bytes = d.serialize();
         let restored = Directory::deserialize(&bytes).unwrap();

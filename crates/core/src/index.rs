@@ -19,6 +19,7 @@
 
 use crate::bucket::BucketStore;
 use crate::cache::{BlockCache, CacheStats};
+use crate::codec::PostingsCodec;
 use crate::directory::Directory;
 use crate::longlist::{LongConfig, LongStats, LongStore};
 use crate::memindex::MemIndex;
@@ -90,6 +91,10 @@ pub struct IndexConfig {
     pub cache_shards: usize,
     /// Storage engine: in-place (the paper) or segment-tiered.
     pub engine: EngineKind,
+    /// On-disk encoding of long-list (and sealed-segment) postings.
+    /// Recorded in the superblock; changing it on an existing index is
+    /// rejected at open time ([`IndexError::CodecMismatch`]).
+    pub codec: PostingsCodec,
 }
 
 impl Default for IndexConfig {
@@ -119,6 +124,7 @@ impl IndexConfig {
             cache_blocks: 0,
             cache_shards: 8,
             engine: EngineKind::InPlace,
+            codec: PostingsCodec::Plain,
         }
     }
 
@@ -134,6 +140,7 @@ impl IndexConfig {
             cache_blocks: 0,
             cache_shards: 8,
             engine: EngineKind::InPlace,
+            codec: PostingsCodec::Plain,
         }
     }
 
@@ -183,7 +190,7 @@ impl IndexConfig {
     /// Validate against a device block size.
     pub fn validate(&self, block_size: usize) -> Result<()> {
         self.validate_shape()?;
-        LongConfig { block_postings: self.block_postings, policy: self.policy }
+        LongConfig { block_postings: self.block_postings, policy: self.policy, codec: self.codec }
             .validate(block_size)?;
         // The serialized worst case of a bucket must fit its block region.
         let worst = 4 + self.bucket_capacity_units as usize * 12;
@@ -263,6 +270,12 @@ impl IndexConfigBuilder {
     /// [`EngineKind::Segmented`].
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.config.engine = engine;
+        self
+    }
+
+    /// On-disk postings codec ([`PostingsCodec::Plain`] by default).
+    pub fn postings_codec(mut self, codec: PostingsCodec) -> Self {
+        self.config.codec = codec;
         self
     }
 
@@ -366,7 +379,8 @@ pub struct SweepReport {
 }
 
 const SUPERBLOCK_MAGIC: u64 = 0x1994_0dd5_1ecf_u64;
-const SUPERBLOCK_VERSION: u32 = 1;
+// Version 2 added the postings-codec tag after `block_postings`.
+const SUPERBLOCK_VERSION: u32 = 2;
 
 /// The dual-structure incremental inverted index.
 pub struct DualIndex {
@@ -412,6 +426,7 @@ impl DualIndex {
         let longs = LongStore::new(LongConfig {
             block_postings: config.block_postings,
             policy: config.policy,
+            codec: config.codec,
         });
         let cache = attach_cache(&mut array, &config);
         Ok(Self {
@@ -1276,6 +1291,7 @@ impl DualIndex {
         out.extend_from_slice(&(self.config.num_buckets as u64).to_le_bytes());
         out.extend_from_slice(&self.config.bucket_capacity_units.to_le_bytes());
         out.extend_from_slice(&self.config.block_postings.to_le_bytes());
+        out.push(self.config.codec.as_u8());
         let (dd, ds, db) = self.dir_extent.unwrap_or((0, 0, 0));
         out.extend_from_slice(&dd.to_le_bytes());
         out.extend_from_slice(&ds.to_le_bytes());
@@ -1342,6 +1358,15 @@ impl DualIndex {
                 config.block_postings
             )));
         }
+        let on_disk_codec = PostingsCodec::from_u8(take(1)[0])?;
+        // A codec change would reinterpret every stored chunk's bytes;
+        // reject it as a typed error rather than decode garbage.
+        if on_disk_codec != config.codec {
+            return Err(IndexError::CodecMismatch {
+                on_disk: on_disk_codec,
+                requested: config.codec,
+            });
+        }
         let config = IndexConfig {
             num_buckets,
             bucket_capacity_units: capacity,
@@ -1390,7 +1415,11 @@ impl DualIndex {
         }
         let longs = LongStore::from_directory(
             directory,
-            LongConfig { block_postings: config.block_postings, policy: config.policy },
+            LongConfig {
+                block_postings: config.block_postings,
+                policy: config.policy,
+                codec: config.codec,
+            },
         );
 
         // Load the buckets.
@@ -1453,6 +1482,7 @@ impl DualIndex {
             num_buckets: self.config.num_buckets as u64,
             bucket_capacity_units: self.config.bucket_capacity_units,
             block_postings: self.config.block_postings,
+            codec: self.config.codec,
             deleted: self.deleted.iter().map(|d| d.0).collect(),
             directory: self.longs.directory().serialize(),
             buckets,
@@ -1472,6 +1502,12 @@ impl DualIndex {
                 snap.block_postings, config.block_postings
             )));
         }
+        if snap.codec != config.codec {
+            return Err(IndexError::CodecMismatch {
+                on_disk: snap.codec,
+                requested: config.codec,
+            });
+        }
         let config = IndexConfig {
             num_buckets: snap.num_buckets as usize,
             bucket_capacity_units: snap.bucket_capacity_units,
@@ -1487,7 +1523,11 @@ impl DualIndex {
         }
         let longs = LongStore::from_directory(
             directory,
-            LongConfig { block_postings: config.block_postings, policy: config.policy },
+            LongConfig {
+                block_postings: config.block_postings,
+                policy: config.policy,
+                codec: config.codec,
+            },
         );
         let mut buckets = BucketStore::new(config.num_buckets, config.bucket_capacity_units)?;
         if snap.buckets.len() != config.num_buckets {
@@ -1542,6 +1582,8 @@ pub struct IndexSnapshot {
     pub bucket_capacity_units: u64,
     /// Postings per block.
     pub block_postings: u64,
+    /// Postings codec the chunk bytes were written with.
+    pub codec: PostingsCodec,
     /// Pending logical deletions.
     pub deleted: Vec<u32>,
     /// Serialized long-list directory.
@@ -1563,6 +1605,7 @@ impl IndexSnapshot {
         out.extend_from_slice(&self.num_buckets.to_le_bytes());
         out.extend_from_slice(&self.bucket_capacity_units.to_le_bytes());
         out.extend_from_slice(&self.block_postings.to_le_bytes());
+        out.push(self.codec.as_u8());
         out.extend_from_slice(&(self.deleted.len() as u32).to_le_bytes());
         for d in &self.deleted {
             out.extend_from_slice(&d.to_le_bytes());
@@ -1585,6 +1628,7 @@ impl IndexSnapshot {
         let num_buckets = cur.u64le()?;
         let bucket_capacity_units = cur.u64le()?;
         let block_postings = cur.u64le()?;
+        let codec = PostingsCodec::from_u8(cur.take(1)?[0])?;
         let ndel = cur.u32le()? as usize;
         let mut deleted = Vec::with_capacity(ndel.min(1 << 20));
         for _ in 0..ndel {
@@ -1612,6 +1656,7 @@ impl IndexSnapshot {
             num_buckets,
             bucket_capacity_units,
             block_postings,
+            codec,
             deleted,
             directory,
             buckets,
@@ -1894,6 +1939,65 @@ mod tests {
         let other_geometry = IndexConfig { num_buckets: 99, ..config };
         let ix = DualIndex::open(array, other_geometry).unwrap();
         assert_eq!(ix.config().num_buckets, config.num_buckets);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_codec_change() {
+        let dir = std::env::temp_dir().join(format!("invidx-codecsw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = IndexConfig { codec: PostingsCodec::VarintDelta, ..IndexConfig::small() };
+        {
+            let array = file_array(&dir, 1, 10_000, 256, true);
+            let mut ix = DualIndex::create(array, config).unwrap();
+            load(&mut ix, 1..30, 10);
+            ix.flush_batch().unwrap();
+        }
+        // Reinterpreting compressed chunks as plain (or vice versa) is a
+        // typed error, not silent garbage.
+        let array = file_array(&dir, 1, 10_000, 256, false);
+        let bad = IndexConfig { codec: PostingsCodec::Plain, ..config };
+        assert!(matches!(
+            DualIndex::open(array, bad),
+            Err(IndexError::CodecMismatch {
+                on_disk: PostingsCodec::VarintDelta,
+                requested: PostingsCodec::Plain,
+            })
+        ));
+        // The matching codec opens fine and reads back identical postings.
+        let array = file_array(&dir, 1, 10_000, 256, false);
+        let ix = DualIndex::open(array, config).unwrap();
+        assert_eq!(ix.postings(WordId(1)).unwrap().len(), 29);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_index_round_trips_through_snapshot() {
+        let dir = std::env::temp_dir().join(format!("invidx-codecsnap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = IndexConfig { codec: PostingsCodec::BitPacked, ..IndexConfig::small() };
+        let (snap, expect) = {
+            let array = file_array(&dir, 2, 20_000, 256, true);
+            let mut ix = DualIndex::create(array, config).unwrap();
+            load(&mut ix, 1..60, 10);
+            ix.flush_batch().unwrap();
+            let expect: Vec<_> =
+                (1..=10u64).map(|w| ix.postings(WordId(w)).unwrap()).collect();
+            (ix.snapshot().unwrap(), expect)
+        };
+        let restored_snap = IndexSnapshot::deserialize(&snap.serialize()).unwrap();
+        assert_eq!(restored_snap, snap);
+        // Restore requires the same codec.
+        let bad = IndexConfig { codec: PostingsCodec::Plain, ..config };
+        assert!(matches!(
+            DualIndex::restore(file_array(&dir, 2, 20_000, 256, false), bad, &snap),
+            Err(IndexError::CodecMismatch { .. })
+        ));
+        let restored =
+            DualIndex::restore(file_array(&dir, 2, 20_000, 256, false), config, &snap).unwrap();
+        for (w, want) in (1..=10u64).zip(&expect) {
+            assert_eq!(&restored.postings(WordId(w)).unwrap(), want, "word {w}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

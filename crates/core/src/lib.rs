@@ -47,6 +47,7 @@
 
 pub mod bucket;
 pub mod cache;
+pub mod codec;
 pub mod concurrent;
 pub mod directory;
 pub mod index;
@@ -59,6 +60,7 @@ pub mod types;
 
 pub use bucket::{Bucket, BucketStore, InsertOutcome};
 pub use cache::{BlockCache, CacheStats, PinGuard};
+pub use codec::PostingsCodec;
 pub use concurrent::{EpochCounter, SharedIndex};
 pub use directory::{ChunkRef, Directory, LongEntry};
 pub use index::{

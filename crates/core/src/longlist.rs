@@ -27,6 +27,7 @@
 //! compression algorithm applied to long lists" (§4.4).
 
 use crate::cache::BlockCache;
+use crate::codec::{self, PostingsCodec};
 use crate::directory::{ChunkRef, Directory, LongEntry};
 use crate::policy::{Limit, Policy, Style};
 use crate::postings::{fixed, PostingList};
@@ -40,11 +41,19 @@ pub struct LongConfig {
     pub block_postings: u64,
     /// The allocation policy in force.
     pub policy: Policy,
+    /// How chunk bytes are encoded. Compressed codecs store coding-block
+    /// streams; allocation stays in plain-equivalent units (see
+    /// [`crate::codec`]), so only read sizes change.
+    pub codec: PostingsCodec,
 }
 
 impl LongConfig {
     /// Validate against a block size: `block_postings` fixed-width postings
-    /// must fit a block.
+    /// must fit a block. Compressed codecs additionally require that a
+    /// worst-case coding block (header + plain-escape payload) fits a
+    /// block — the invariant that keeps compressed streams within the
+    /// plain layout's allocation — and that a coding block's `u16` count
+    /// field can hold `block_postings`.
     pub fn validate(&self, block_size: usize) -> Result<()> {
         if self.block_postings == 0 {
             return Err(IndexError::InvalidConfig("block_postings must be positive".into()));
@@ -54,6 +63,25 @@ impl LongConfig {
                 "{} postings of 4 bytes exceed the {}-byte block",
                 self.block_postings, block_size
             )));
+        }
+        if self.codec.is_compressed() {
+            if self.block_postings > u16::MAX as u64 {
+                return Err(IndexError::InvalidConfig(format!(
+                    "{} postings/block overflows a coding-block header (max {})",
+                    self.block_postings,
+                    u16::MAX
+                )));
+            }
+            if codec::HEADER_LEN + self.block_postings as usize * 4 > block_size {
+                return Err(IndexError::InvalidConfig(format!(
+                    "codec {}: a worst-case coding block ({} header + {} postings of 4 bytes) \
+                     exceeds the {}-byte block",
+                    self.codec,
+                    codec::HEADER_LEN,
+                    self.block_postings,
+                    block_size
+                )));
+            }
         }
         Ok(())
     }
@@ -208,6 +236,9 @@ impl LongStore {
             .ok_or_else(|| IndexError::Corruption(format!("empty chunk list for {word}")))?;
         let used = chunk.postings;
         debug_assert!(used + y <= chunk.capacity(bp), "in-place update overflows chunk");
+        if self.config.codec.is_compressed() {
+            return self.update_in_place_compressed(array, word, postings, chunk);
+        }
 
         let start_block = used / bp;
         let partial = used % bp;
@@ -252,6 +283,8 @@ impl LongStore {
         self.stats.write_ops += 1;
         self.stats.in_place_updates += 1;
         invidx_obs::counter!(invidx_obs::names::LONG_IN_PLACE_UPDATES).inc();
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_RAW).add(y * 4);
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_STORED).add(y * 4);
         self.directory
             .get_mut(word)
             .and_then(|e| e.chunks.last_mut())
@@ -262,16 +295,93 @@ impl LongStore {
         Ok(())
     }
 
-    /// Pack `docs` into whole blocks starting at a block boundary.
-    fn encode_blocks(&self, docs: &[DocId], bs: usize) -> Vec<u8> {
+    /// In-place update under a compressed codec: read the chunk's current
+    /// coding-block stream, append, re-encode, and rewrite the stream's
+    /// data blocks. Always one read + one write (a compressed tail block
+    /// cannot be extended without re-encoding it, so the block-boundary
+    /// read skip of the plain path does not apply). The capacity guarantee
+    /// (`LongConfig::validate`) ensures the re-encoded stream still fits
+    /// the chunk's allocation.
+    fn update_in_place_compressed(
+        &mut self,
+        array: &mut DiskArray,
+        word: WordId,
+        postings: &PostingList,
+        chunk: ChunkRef,
+    ) -> Result<()> {
+        let bp = self.config.block_postings;
+        let bs = array.block_size();
+        let y = postings.len() as u64;
+        let old_blocks = chunk.bytes.div_ceil(bs as u64).max(1);
+        let mut buf = vec![0u8; old_blocks as usize * bs];
+        let op = IoOp {
+            kind: OpKind::Read,
+            disk: chunk.disk,
+            start: chunk.start,
+            blocks: old_blocks,
+            payload: Payload::LongList { word: word.0, postings: 0 },
+        };
+        array.read_op(op, &mut buf)?;
+        self.read_ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut docs = codec::decode_stream(&buf, chunk.postings)?;
+        if let (Some(&last), Some(&first)) = (docs.last(), postings.docs().first()) {
+            if first <= last {
+                return Err(IndexError::OutOfOrderAppend { word, have: last, new: first });
+            }
+        }
+        docs.extend_from_slice(postings.docs());
+        let stream = codec::encode_stream(self.config.codec, &docs, bp);
+        let stored = stream.len() as u64;
+        let nblocks = stored.div_ceil(bs as u64);
+        debug_assert!(nblocks <= chunk.blocks, "re-encoded stream overflows chunk");
+        let mut out = vec![0u8; nblocks as usize * bs];
+        out[..stream.len()].copy_from_slice(&stream);
+        let op = IoOp {
+            kind: OpKind::Write,
+            disk: chunk.disk,
+            start: chunk.start,
+            blocks: nblocks,
+            payload: Payload::LongList { word: word.0, postings: y },
+        };
+        array.write_op(op, &out)?;
+        self.stats.write_ops += 1;
+        self.stats.in_place_updates += 1;
+        invidx_obs::counter!(invidx_obs::names::LONG_IN_PLACE_UPDATES).inc();
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_RAW).add(docs.len() as u64 * 4);
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_STORED).add(stored);
+        let tail = self
+            .directory
+            .get_mut(word)
+            .and_then(|e| e.chunks.last_mut())
+            .ok_or_else(|| {
+                IndexError::Corruption(format!("directory entry for {word} vanished mid-update"))
+            })?;
+        tail.postings += y;
+        tail.bytes = stored;
+        Ok(())
+    }
+
+    /// Pack `docs` into whole blocks starting at a block boundary. Returns
+    /// the block-padded buffer and the encoded stream length in bytes (0
+    /// under the plain codec, whose extent is implied by the posting
+    /// count).
+    fn encode_blocks(&self, docs: &[DocId], bs: usize) -> (Vec<u8>, u64) {
         let bp = self.config.block_postings as usize;
+        if self.config.codec.is_compressed() {
+            let stream = codec::encode_stream(self.config.codec, docs, bp as u64);
+            let stored = stream.len() as u64;
+            let nblocks = stream.len().div_ceil(bs).max(1);
+            let mut buf = vec![0u8; nblocks * bs];
+            buf[..stream.len()].copy_from_slice(&stream);
+            return (buf, stored);
+        }
         let nblocks = docs.len().div_ceil(bp).max(1);
         let mut buf = vec![0u8; nblocks * bs];
         for (chunk_idx, block_docs) in docs.chunks(bp).enumerate() {
             let off = chunk_idx * bs;
             fixed::encode_into(block_docs, &mut buf[off..off + block_docs.len() * 4]);
         }
-        buf
+        (buf, 0)
     }
 
     /// Write `docs` as a fresh chunk of `alloc_blocks` blocks on the next
@@ -286,7 +396,7 @@ impl LongStore {
         let bs = array.block_size();
         let disk = array.next_disk();
         let start = array.alloc_on(disk, alloc_blocks)?;
-        let buf = self.encode_blocks(docs, bs);
+        let (buf, stored) = self.encode_blocks(docs, bs);
         let data_blocks = (buf.len() / bs) as u64;
         debug_assert!(data_blocks <= alloc_blocks);
         let op = IoOp {
@@ -299,7 +409,11 @@ impl LongStore {
         array.write_op(op, &buf)?;
         self.stats.write_ops += 1;
         invidx_obs::counter!(invidx_obs::names::LONG_CHUNK_ALLOCS).inc();
-        Ok(ChunkRef { disk, start, blocks: alloc_blocks, postings: docs.len() as u64 })
+        let raw = docs.len() as u64 * 4;
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_RAW).add(raw);
+        invidx_obs::counter!(invidx_obs::names::POSTINGS_BYTES_STORED)
+            .add(if stored == 0 { raw } else { stored });
+        Ok(ChunkRef { disk, start, blocks: alloc_blocks, postings: docs.len() as u64, bytes: stored })
     }
 
     /// Whole style: `b := READ(L); WRITE_RESERVED(M and b)`. The old chunks
@@ -403,11 +517,18 @@ impl LongStore {
         };
         let mut guard = cache.map(|c| c.pin_scope());
         let mut docs: Vec<DocId> = Vec::new();
+        let compressed = self.config.codec.is_compressed();
         for c in chunks {
             if c.postings == 0 {
                 continue;
             }
-            let data_blocks = c.postings.div_ceil(bp);
+            // Compressed chunks read only the stream's blocks — the device
+            // saving compression buys; the allocation itself is unchanged.
+            let data_blocks = if compressed {
+                c.bytes.div_ceil(bs as u64).max(1)
+            } else {
+                c.postings.div_ceil(bp)
+            };
             let mut buf = vec![0u8; data_blocks as usize * bs];
             let cached = {
                 let _stage = invidx_obs::trace::stage("block_cache");
@@ -438,13 +559,17 @@ impl LongStore {
                     cache.insert_pinned(c.disk, c.start, data_blocks, &buf, g);
                 }
             }
-            let mut remaining = c.postings as usize;
-            for block in buf.chunks(bs) {
-                let take = remaining.min(bp as usize);
-                docs.extend(fixed::decode(block, take)?);
-                remaining -= take;
-                if remaining == 0 {
-                    break;
+            if compressed {
+                docs.extend(codec::decode_stream(&buf, c.postings)?);
+            } else {
+                let mut remaining = c.postings as usize;
+                for block in buf.chunks(bs) {
+                    let take = remaining.min(bp as usize);
+                    docs.extend(fixed::decode(block, take)?);
+                    remaining -= take;
+                    if remaining == 0 {
+                        break;
+                    }
                 }
             }
         }
@@ -506,7 +631,11 @@ mod tests {
     const BP: u64 = 10; // 10 postings per 256-byte block
 
     fn store(policy: Policy) -> (LongStore, DiskArray) {
-        let cfg = LongConfig { block_postings: BP, policy };
+        store_with(policy, PostingsCodec::Plain)
+    }
+
+    fn store_with(policy: Policy, codec: PostingsCodec) -> (LongStore, DiskArray) {
+        let cfg = LongConfig { block_postings: BP, policy, codec };
         cfg.validate(BS).unwrap();
         (LongStore::new(cfg), sparse_array(3, 10_000, BS))
     }
@@ -716,15 +845,127 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(LongConfig { block_postings: 0, policy: Policy::balanced() }
-            .validate(256)
-            .is_err());
-        assert!(LongConfig { block_postings: 100, policy: Policy::balanced() }
-            .validate(256)
-            .is_err());
-        assert!(LongConfig { block_postings: 64, policy: Policy::balanced() }
-            .validate(256)
-            .is_ok());
+        let plain = |bp| LongConfig {
+            block_postings: bp,
+            policy: Policy::balanced(),
+            codec: PostingsCodec::Plain,
+        };
+        assert!(plain(0).validate(256).is_err());
+        assert!(plain(100).validate(256).is_err());
+        assert!(plain(64).validate(256).is_ok());
+        // Compressed codecs need header room for the worst-case coding
+        // block: 64 postings fill a 256-byte block exactly, leaving none.
+        let packed = |bp| LongConfig {
+            block_postings: bp,
+            policy: Policy::balanced(),
+            codec: PostingsCodec::BitPacked,
+        };
+        assert!(packed(64).validate(256).is_err());
+        assert!(packed(61).validate(256).is_ok());
+        assert!(packed(100_000).validate(1 << 20).is_err(), "u16 count overflow");
+    }
+
+    #[test]
+    fn compressed_round_trip_under_every_policy() {
+        for codec in [PostingsCodec::VarintDelta, PostingsCodec::BitPacked] {
+            for policy in all_policies() {
+                let (mut s, mut a) = store_with(policy, codec);
+                let w = WordId(5);
+                s.append(&mut a, w, &pl(0..7)).unwrap();
+                s.append(&mut a, w, &pl(7..45)).unwrap();
+                s.append(&mut a, w, &pl(45..48)).unwrap();
+                s.append(&mut a, w, &pl(48..120)).unwrap();
+                let got = s.read_list(&a, None, w).unwrap();
+                assert_eq!(got, pl(0..120), "{codec} under policy {policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_allocation_matches_plain() {
+        // The capacity guarantee in action: chunk structure (blocks,
+        // postings, chunk count) is identical to the plain layout under
+        // every policy; only the stream bytes differ.
+        for policy in all_policies() {
+            let (mut p, mut pa) = store(policy);
+            let (mut c, mut ca) = store_with(policy, PostingsCodec::BitPacked);
+            for batch in [pl(0..7), pl(7..45), pl(45..48), pl(48..120), pl(120..500)] {
+                p.append(&mut pa, WordId(5), &batch).unwrap();
+                c.append(&mut ca, WordId(5), &batch).unwrap();
+            }
+            let pe = p.directory().get(WordId(5)).unwrap();
+            let ce = c.directory().get(WordId(5)).unwrap();
+            assert_eq!(pe.num_chunks(), ce.num_chunks(), "policy {policy}");
+            for (pc, cc) in pe.chunks.iter().zip(&ce.chunks) {
+                assert_eq!((pc.blocks, pc.postings), (cc.blocks, cc.postings));
+                assert_eq!(pc.bytes, 0);
+                assert!(cc.bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_reads_fewer_blocks() {
+        // 500 dense postings = 50 plain blocks; bit-packed gaps of 1 pack
+        // to a fraction of that. The trace shows the read op covering
+        // fewer device blocks.
+        let policy = Policy::new(Style::Whole, Limit::Never, Alloc::Constant { k: 0 });
+        let (mut p, mut pa) = store(policy);
+        let (mut c, mut ca) = store_with(policy, PostingsCodec::BitPacked);
+        p.append(&mut pa, WordId(1), &pl(0..500)).unwrap();
+        c.append(&mut ca, WordId(1), &pl(0..500)).unwrap();
+        let blocks_read = |s: &LongStore, a: &mut DiskArray| {
+            a.start_trace();
+            s.read_list(a, None, WordId(1)).unwrap();
+            a.take_trace().ops.iter().map(|op| op.blocks).sum::<u64>()
+        };
+        let plain_blocks = blocks_read(&p, &mut pa);
+        let packed_blocks = blocks_read(&c, &mut ca);
+        assert_eq!(plain_blocks, 50);
+        assert!(packed_blocks * 4 < plain_blocks, "{packed_blocks} vs {plain_blocks}");
+    }
+
+    #[test]
+    fn compressed_in_place_update() {
+        for codec in [PostingsCodec::VarintDelta, PostingsCodec::BitPacked] {
+            let (mut s, mut a) = store_with(Policy::balanced(), codec);
+            let w = WordId(1);
+            s.append(&mut a, w, &pl(0..10)).unwrap();
+            let bytes_before = s.directory().get(w).unwrap().chunks[0].bytes;
+            a.start_trace();
+            s.append(&mut a, w, &pl(10..15)).unwrap();
+            let t = a.take_trace();
+            // Compressed in-place is always read-stream + rewrite-stream.
+            assert_eq!(t.ops.len(), 2);
+            assert_eq!(t.ops[0].kind, OpKind::Read);
+            assert_eq!(t.ops[1].kind, OpKind::Write);
+            assert_eq!(s.stats().in_place_updates, 1);
+            let chunk = &s.directory().get(w).unwrap().chunks[0];
+            assert_eq!(chunk.postings, 15);
+            assert!(chunk.bytes > bytes_before);
+            assert_eq!(s.read_list(&a, None, w).unwrap(), pl(0..15));
+            // Out-of-order appends are still detected through the codec.
+            assert!(matches!(
+                s.append(&mut a, w, &pl(3..5)),
+                Err(IndexError::OutOfOrderAppend { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn compressed_compact_word() {
+        let (mut s, mut a) = store_with(Policy::update_optimized(), PostingsCodec::VarintDelta);
+        let w = WordId(1);
+        for i in 0..5u32 {
+            s.append(&mut a, w, &pl(i * 30..(i + 1) * 30)).unwrap();
+        }
+        assert_eq!(s.directory().get(w).unwrap().num_chunks(), 5);
+        assert_eq!(s.compact_word(&mut a, None, w).unwrap(), 5);
+        let entry = s.directory().get(w).unwrap();
+        assert_eq!(entry.num_chunks(), 1);
+        assert!(entry.chunks[0].bytes > 0);
+        s.free_released(&mut a).unwrap();
+        assert_eq!(s.read_list(&a, None, w).unwrap(), pl(0..150));
     }
 
     #[test]

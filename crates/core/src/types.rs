@@ -55,6 +55,15 @@ pub enum IndexError {
     Corruption(String),
     /// A configuration that cannot work (e.g. zero buckets).
     InvalidConfig(String),
+    /// An existing on-disk index was written with a different postings
+    /// codec than the caller requested. Re-encoding in place would be
+    /// silent corruption; rebuild the index to change codecs.
+    CodecMismatch {
+        /// Codec tag recorded in the on-disk superblock.
+        on_disk: crate::codec::PostingsCodec,
+        /// Codec the caller's configuration asked for.
+        requested: crate::codec::PostingsCodec,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -71,6 +80,10 @@ impl fmt::Display for IndexError {
             ),
             Self::Corruption(msg) => write!(f, "index corruption: {msg}"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::CodecMismatch { on_disk, requested } => write!(
+                f,
+                "postings codec mismatch: on-disk index uses {on_disk}, caller requested {requested}"
+            ),
         }
     }
 }
@@ -111,6 +124,12 @@ mod tests {
         assert!(!e.to_string().contains('w'), "no bogus word in document-order errors");
         let d: IndexError = invidx_disk::DiskError::EmptyAccess.into();
         assert!(d.source().is_some());
+        let e = IndexError::CodecMismatch {
+            on_disk: crate::codec::PostingsCodec::BitPacked,
+            requested: crate::codec::PostingsCodec::Plain,
+        };
+        assert!(e.to_string().contains("bitpacked"));
+        assert!(e.to_string().contains("plain"));
     }
 
     #[test]

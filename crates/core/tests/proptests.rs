@@ -177,7 +177,7 @@ proptest! {
         policy in arb_policy(),
         updates in prop::collection::vec((0u64..6, 1u32..60), 1..60),
     ) {
-        let config = LongConfig { block_postings: 10, policy };
+        let config = LongConfig { block_postings: 10, policy, codec: Default::default() };
         let mut store = LongStore::new(config);
         let mut array = sparse_array(3, 100_000, 256);
         let mut model: BTreeMap<u64, Vec<DocId>> = BTreeMap::new();

@@ -199,6 +199,7 @@ mod tests {
                 num_buckets: 2,
                 bucket_capacity_units: 40,
                 block_postings: 64,
+                codec: Default::default(),
                 deleted: vec![7, 9],
                 directory: b"dir-bytes".to_vec(),
                 buckets: vec![b"b0".to_vec(), b"b1".to_vec()],

@@ -125,6 +125,7 @@ proptest! {
                 num_buckets: buckets.len() as u64,
                 bucket_capacity_units: 40,
                 block_postings: 10,
+                codec: Default::default(),
                 deleted: deleted.into_iter().collect(),
                 directory,
                 buckets,

@@ -245,6 +245,7 @@ impl RecoveryHooks for EngineHooks {
             // assignment, which the record's posting lists were built with.
             self.core.lex_and_intern(&text);
             self.core.docs.store(index.sidecar_array(), doc, &text)?;
+            self.core.register_doc(doc, &text);
             self.core.next_doc = self.core.next_doc.max(doc.0 + 1);
             self.core.total_docs += 1;
         }
@@ -354,6 +355,7 @@ impl DurableEngine {
         self.backend.insert_document(doc, words)?;
         self.core.next_doc += 1;
         self.core.docs.store(self.backend.inner_mut().sidecar_array(), doc, text)?;
+        self.core.register_doc(doc, text);
         self.core.total_docs += 1;
         self.pending_docs.push((doc, text.to_string()));
         Ok(doc)
@@ -378,6 +380,7 @@ impl DurableEngine {
         self.backend.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
             self.core.docs.store(self.backend.inner_mut().sidecar_array(), *doc, text)?;
+            self.core.register_doc(*doc, text);
             self.core.total_docs += 1;
             self.pending_docs.push((*doc, text.to_string()));
         }
@@ -498,6 +501,41 @@ impl DurableEngine {
     /// router's WLIKE phase); accumulation runs in slice order.
     pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> invidx_core::Result<Vec<Hit>> {
         self.core.weighted_like(&self.backend, terms, k)
+    }
+
+    /// BM25 ranked top-k using a document text as the query, with WAND
+    /// early termination (bit-exact with the exhaustive oracle).
+    pub fn rank(
+        &self,
+        text: &str,
+        k: usize,
+        params: crate::rank::Bm25Params,
+    ) -> invidx_core::Result<Vec<Hit>> {
+        self.core.rank(&self.backend, text, k, params)
+    }
+
+    /// BM25 ranked top-k with caller-supplied idf weights and avgdl (the
+    /// router's distributed RANK phase).
+    pub fn weighted_rank(
+        &self,
+        terms: &[(String, f64)],
+        k: usize,
+        params: crate::rank::Bm25Params,
+        avgdl: f64,
+    ) -> invidx_core::Result<Vec<Hit>> {
+        self.core.weighted_rank(&self.backend, terms, k, params, avgdl)
+    }
+
+    /// Total lexer tokens across all added documents (BM25 avgdl
+    /// numerator).
+    pub fn total_tokens(&self) -> u64 {
+        self.core.total_tokens
+    }
+
+    /// Evaluate a typed [`crate::EngineQuery`] — the unified query
+    /// surface shared by every engine and the serving layer.
+    pub fn execute(&self, query: &crate::EngineQuery) -> invidx_core::Result<crate::QueryOutput> {
+        crate::query::execute_with(&self.core, &self.backend, query)
     }
 
     // ----- replication -----

@@ -167,6 +167,13 @@ pub(crate) struct EngineCore {
     pub(crate) next_word: u64,
     pub(crate) next_doc: u32,
     pub(crate) total_docs: u64,
+    /// Per-document token count (in-order, non-deduplicated lexer
+    /// tokens) — the BM25 length norm. Deletions leave entries in place,
+    /// mirroring `total_docs`, which also never decrements.
+    pub(crate) doc_lengths: HashMap<DocId, u32>,
+    /// Sum of all registered document lengths; `total_tokens /
+    /// total_docs` is the corpus avgdl.
+    pub(crate) total_tokens: u64,
     /// Words whose posting lists changed since the last snapshot
     /// materialization ([`crate::EngineSnapshot`]). Every interned word is
     /// marked: an intern happens exactly when a document contributes a
@@ -187,9 +194,24 @@ impl EngineCore {
             next_word: 1,
             next_doc: 1,
             total_docs: 0,
+            doc_lengths: HashMap::new(),
+            total_tokens: 0,
             dirty: HashSet::new(),
             dirty_all: true,
         }
+    }
+
+    /// Record a stored document's token length for BM25 length
+    /// normalization. Call once per `docs.store`.
+    pub(crate) fn register_doc(&mut self, doc: DocId, text: &str) {
+        let len = lexer::tokenize_document(text).len() as u32;
+        self.doc_lengths.insert(doc, len);
+        self.total_tokens += len as u64;
+    }
+
+    /// Corpus average document length (see [`crate::rank::avgdl`]).
+    pub(crate) fn avgdl(&self) -> f64 {
+        crate::rank::avgdl(self.total_tokens, self.total_docs)
     }
 
     /// Intern a word (lowercased by the caller/lexer).
@@ -256,10 +278,18 @@ impl EngineCore {
     /// counters, vocabulary, document directory.
     pub(crate) fn encode_meta(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(b"IVXMETA1");
+        out.extend_from_slice(b"IVXMETA2");
         out.extend_from_slice(&self.next_word.to_le_bytes());
         out.extend_from_slice(&self.next_doc.to_le_bytes());
         out.extend_from_slice(&self.total_docs.to_le_bytes());
+        out.extend_from_slice(&self.total_tokens.to_le_bytes());
+        out.extend_from_slice(&(self.doc_lengths.len() as u64).to_le_bytes());
+        let mut lens: Vec<(&DocId, &u32)> = self.doc_lengths.iter().collect();
+        lens.sort_by_key(|&(d, _)| d.0);
+        for (d, len) in lens {
+            out.extend_from_slice(&d.0.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
         out.extend_from_slice(&(self.vocab.len() as u64).to_le_bytes());
         let mut words: Vec<(&String, &WordId)> = self.vocab.iter().collect();
         words.sort_by_key(|&(_, id)| id.0);
@@ -278,7 +308,7 @@ impl EngineCore {
     pub(crate) fn decode_meta(meta: &[u8]) -> Result<Self> {
         let corrupt = |m: &str| IndexError::Corruption(format!("engine meta: {m}"));
         let need = |ok: bool, m: &str| ok.then_some(()).ok_or_else(|| corrupt(m));
-        need(meta.len() >= 8 && &meta[..8] == b"IVXMETA1", "bad magic")?;
+        need(meta.len() >= 8 && &meta[..8] == b"IVXMETA2", "bad magic")?;
         let mut pos = 8usize;
         let mut take = |n: usize| -> Result<&[u8]> {
             if pos + n > meta.len() {
@@ -297,6 +327,14 @@ impl EngineCore {
         let next_word = word_field!(u64, 8, "next_word");
         let next_doc = word_field!(u32, 4, "next_doc");
         let total_docs = word_field!(u64, 8, "total_docs");
+        let total_tokens = word_field!(u64, 8, "total_tokens");
+        let lens_len = word_field!(u64, 8, "lens_len") as usize;
+        let mut doc_lengths = HashMap::with_capacity(lens_len);
+        for _ in 0..lens_len {
+            let doc = DocId(word_field!(u32, 4, "len_doc"));
+            let len = word_field!(u32, 4, "len_val");
+            doc_lengths.insert(doc, len);
+        }
         let vocab_len = word_field!(u64, 8, "vocab_len") as usize;
         let mut vocab = HashMap::with_capacity(vocab_len);
         for _ in 0..vocab_len {
@@ -314,6 +352,8 @@ impl EngineCore {
             next_word,
             next_doc,
             total_docs,
+            doc_lengths,
+            total_tokens,
             dirty: HashSet::new(),
             dirty_all: true,
         })
@@ -421,6 +461,73 @@ impl EngineCore {
             .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
             .collect();
         crate::vector::search_seeded(index, &seeded, k)
+    }
+
+    /// BM25 ranked top-k using a document text as the query. Terms run
+    /// in the lexer's canonical order; evaluation is WAND-pruned and
+    /// bit-exact with the exhaustive oracle.
+    pub(crate) fn rank<S: QueryIndex + ?Sized>(
+        &self,
+        index: &S,
+        text: &str,
+        k: usize,
+        params: crate::rank::Bm25Params,
+    ) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        crate::rank::rank_like(
+            index,
+            &words,
+            self.total_docs,
+            &self.doc_lengths,
+            self.avgdl(),
+            params,
+            k,
+        )
+    }
+
+    /// The brute-force counterpart of [`Self::rank`]: no early
+    /// termination. Kept for tests and the ablation gate.
+    pub(crate) fn rank_exhaustive<S: QueryIndex + ?Sized>(
+        &self,
+        index: &S,
+        text: &str,
+        k: usize,
+        params: crate::rank::Bm25Params,
+    ) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        crate::rank::rank_like_exhaustive(
+            index,
+            &words,
+            self.total_docs,
+            &self.doc_lengths,
+            self.avgdl(),
+            params,
+            k,
+        )
+    }
+
+    /// BM25 ranked top-k with caller-supplied idf weights and a
+    /// caller-supplied (corpus-global) avgdl — the router's distributed
+    /// RANK phase. Accumulation runs in slice order.
+    pub(crate) fn weighted_rank<S: QueryIndex + ?Sized>(
+        &self,
+        index: &S,
+        terms: &[(String, f64)],
+        k: usize,
+        params: crate::rank::Bm25Params,
+        avgdl: f64,
+    ) -> Result<Vec<Hit>> {
+        let seeded: Vec<(WordId, f64)> = terms
+            .iter()
+            .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
+            .collect();
+        crate::rank::rank_seeded(index, &seeded, &self.doc_lengths, avgdl, params, k)
     }
 }
 
@@ -551,6 +658,7 @@ impl SearchEngine {
         self.core.next_doc += 1;
         self.backend.insert_document(doc, words)?;
         self.core.docs.store(self.backend.dual_mut().sidecar_array(), doc, text)?;
+        self.core.register_doc(doc, text);
         self.core.total_docs += 1;
         Ok(doc)
     }
@@ -575,6 +683,7 @@ impl SearchEngine {
         self.backend.insert_documents(batch, threads)?;
         for (doc, text) in ids.iter().zip(texts) {
             self.core.docs.store(self.backend.dual_mut().sidecar_array(), *doc, text)?;
+            self.core.register_doc(*doc, text);
             self.core.total_docs += 1;
         }
         Ok(ids)
@@ -668,6 +777,48 @@ impl SearchEngine {
     /// router's WLIKE phase); accumulation runs in slice order.
     pub fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
         self.core.weighted_like(&self.backend, terms, k)
+    }
+
+    /// BM25 ranked top-k using a document text as the query, with WAND
+    /// early termination (bit-exact with the exhaustive oracle).
+    pub fn rank(&self, text: &str, k: usize, params: crate::rank::Bm25Params) -> Result<Vec<Hit>> {
+        self.core.rank(&self.backend, text, k, params)
+    }
+
+    /// [`Self::rank`] without early termination — the brute-force oracle
+    /// used by tests and the ablation gate to certify WAND.
+    pub fn rank_exhaustive(
+        &self,
+        text: &str,
+        k: usize,
+        params: crate::rank::Bm25Params,
+    ) -> Result<Vec<Hit>> {
+        self.core.rank_exhaustive(&self.backend, text, k, params)
+    }
+
+    /// BM25 ranked top-k with caller-supplied idf weights and avgdl (the
+    /// router's distributed RANK phase).
+    pub fn weighted_rank(
+        &self,
+        terms: &[(String, f64)],
+        k: usize,
+        params: crate::rank::Bm25Params,
+        avgdl: f64,
+    ) -> Result<Vec<Hit>> {
+        self.core.weighted_rank(&self.backend, terms, k, params, avgdl)
+    }
+
+    /// Total lexer tokens across all added documents (BM25 avgdl
+    /// numerator; ships with DF responses so a router can compute the
+    /// corpus-global average document length).
+    pub fn total_tokens(&self) -> u64 {
+        self.core.total_tokens
+    }
+
+    /// Evaluate a typed [`crate::EngineQuery`] — the unified query
+    /// surface shared by every engine and the serving layer.
+    pub fn execute(&self, query: &crate::EngineQuery) -> Result<crate::QueryOutput> {
+        crate::query::execute_with(&self.core, &self.backend, query)
     }
 }
 

@@ -16,6 +16,8 @@ pub mod docstore;
 pub mod durable_engine;
 pub mod engine;
 pub mod proximity;
+pub mod query;
+pub mod rank;
 pub mod snapshot;
 pub mod vector;
 
@@ -23,5 +25,7 @@ pub use boolean::{PostingSource, Query};
 pub use docstore::DocStore;
 pub use durable_engine::{DurableBackend, DurableEngine};
 pub use engine::{Backend, QueryIndex, SearchEngine};
+pub use query::{EngineQuery, QueryOutput};
+pub use rank::{rank_exhaustive, rank_like, rank_seeded, Bm25Params};
 pub use snapshot::EngineSnapshot;
 pub use vector::{search, search_like, search_seeded, Hit, VectorQuery};

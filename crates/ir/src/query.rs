@@ -1,0 +1,151 @@
+//! The unified typed query surface.
+//!
+//! Every engine used to expose one method per verb (`boolean_str`,
+//! `phrase`, `within`, `more_like_this`, …) and every serving layer
+//! re-enumerated that surface. [`EngineQuery`] collapses the verbs into
+//! one data type with a single `execute(&EngineQuery) -> QueryOutput`
+//! entry point, implemented once over [`crate::engine::EngineCore`] +
+//! [`crate::QueryIndex`] — so [`crate::SearchEngine`],
+//! [`crate::DurableEngine`], and [`crate::EngineSnapshot`] dispatch
+//! identically by construction, and new verbs (like BM25 `Rank`) land in
+//! exactly one place.
+//!
+//! The per-verb methods remain as conveniences; they and `execute` call
+//! the same `EngineCore` helpers, so answers agree bit-exactly.
+
+use crate::engine::{EngineCore, QueryIndex};
+use crate::rank::Bm25Params;
+use crate::vector::Hit;
+use invidx_core::postings::PostingList;
+use invidx_core::types::{DocId, Result};
+
+/// One typed query, engine-agnostic. Construct directly, hand to any
+/// engine's `execute`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineQuery {
+    /// Boolean query string, e.g. `"(cat and dog) or mouse"`.
+    Boolean(String),
+    /// Phrase query: the words occur contiguously, in order.
+    Phrase(String),
+    /// Proximity query: both words within `window` positions.
+    Near {
+        /// First word.
+        w1: String,
+        /// Second word.
+        w2: String,
+        /// Maximum token distance between the two.
+        window: u32,
+    },
+    /// Vector-space LIKE: tf·idf overlap with a query document text.
+    Like {
+        /// Query document text.
+        text: String,
+        /// Result budget.
+        k: usize,
+    },
+    /// BM25 ranked top-k over a query document text, WAND-pruned.
+    Rank {
+        /// Query document text.
+        text: String,
+        /// Result budget.
+        k: usize,
+        /// BM25 tuning parameters.
+        params: Bm25Params,
+    },
+    /// LIKE with caller-supplied per-term contributions in slice order
+    /// (the router's distributed second phase).
+    WeightedLike {
+        /// `(term, contribution)` in canonical order.
+        terms: Vec<(String, f64)>,
+        /// Result budget.
+        k: usize,
+    },
+    /// BM25 with caller-supplied idf weights and corpus-global avgdl
+    /// (the router's distributed second phase).
+    WeightedRank {
+        /// `(term, idf)` in canonical order.
+        terms: Vec<(String, f64)>,
+        /// Result budget.
+        k: usize,
+        /// BM25 tuning parameters.
+        params: Bm25Params,
+        /// Corpus-global average document length.
+        avgdl: f64,
+    },
+    /// Document frequency per term plus corpus counters (the router's
+    /// distributed first phase).
+    Dfs(Vec<String>),
+    /// Fetch one stored document text.
+    Doc(DocId),
+}
+
+/// The result of executing an [`EngineQuery`]; the variant is determined
+/// by the query variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Matching documents (`Boolean`, `Phrase`, `Near`).
+    Docs(PostingList),
+    /// Scored hits, best first (`Like`, `Rank`, `Weighted*`).
+    Hits(Vec<Hit>),
+    /// Corpus counters and per-term document frequencies (`Dfs`).
+    Dfs {
+        /// Documents in this engine.
+        docs: u64,
+        /// Total lexer tokens across those documents.
+        tokens: u64,
+        /// Per requested term, its document frequency (0 if unknown).
+        dfs: Vec<u64>,
+    },
+    /// A stored document text, if present (`Doc`).
+    Text(Option<String>),
+}
+
+impl QueryOutput {
+    /// The posting list, when this output carries one.
+    pub fn docs(&self) -> Option<&PostingList> {
+        match self {
+            QueryOutput::Docs(list) => Some(list),
+            _ => None,
+        }
+    }
+
+    /// The scored hits, when this output carries them.
+    pub fn hits(&self) -> Option<&[Hit]> {
+        match self {
+            QueryOutput::Hits(hits) => Some(hits),
+            _ => None,
+        }
+    }
+}
+
+/// The single shared dispatcher: every live engine's `execute` is this
+/// function over its own core + index.
+pub(crate) fn execute_with<S: QueryIndex + ?Sized>(
+    core: &EngineCore,
+    index: &S,
+    query: &EngineQuery,
+) -> Result<QueryOutput> {
+    Ok(match query {
+        EngineQuery::Boolean(text) => QueryOutput::Docs(core.parse_query(text)?.eval(index)?),
+        EngineQuery::Phrase(text) => QueryOutput::Docs(core.phrase(index, text)?),
+        EngineQuery::Near { w1, w2, window } => {
+            QueryOutput::Docs(core.within(index, w1, w2, *window)?)
+        }
+        EngineQuery::Like { text, k } => QueryOutput::Hits(core.more_like_this(index, text, *k)?),
+        EngineQuery::Rank { text, k, params } => {
+            QueryOutput::Hits(core.rank(index, text, *k, *params)?)
+        }
+        EngineQuery::WeightedLike { terms, k } => {
+            QueryOutput::Hits(core.weighted_like(index, terms, *k)?)
+        }
+        EngineQuery::WeightedRank { terms, k, params, avgdl } => {
+            QueryOutput::Hits(core.weighted_rank(index, terms, *k, *params, *avgdl)?)
+        }
+        EngineQuery::Dfs(terms) => QueryOutput::Dfs {
+            docs: core.total_docs,
+            tokens: core.total_tokens,
+            dfs: core.term_dfs(index, terms)?,
+        },
+        EngineQuery::Doc(doc) => QueryOutput::Text(core.docs.load(index.array(), *doc)?),
+    })
+}

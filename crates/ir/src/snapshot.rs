@@ -39,7 +39,11 @@ pub struct EngineSnapshot {
     vocab: Arc<HashMap<String, WordId>>,
     postings: HashMap<WordId, Arc<PostingList>>,
     texts: HashMap<DocId, Arc<str>>,
+    /// Per-document token lengths for BM25 (shared across epochs — the
+    /// map only grows, like `total_docs`).
+    lens: Arc<HashMap<DocId, u32>>,
     total_docs: u64,
+    total_tokens: u64,
     next_doc: u32,
 }
 
@@ -121,6 +125,76 @@ impl EngineSnapshot {
             .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
             .collect();
         search_seeded(self, &seeded, k)
+    }
+
+    /// BM25 ranked top-k using a document text as the query, bit-exact
+    /// with the live engine's `rank`.
+    pub fn rank(&self, text: &str, k: usize, params: crate::rank::Bm25Params) -> Result<Vec<Hit>> {
+        let words: Vec<WordId> = lexer::document_words(text)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        crate::rank::rank_like(
+            self,
+            &words,
+            self.total_docs,
+            &self.lens,
+            crate::rank::avgdl(self.total_tokens, self.total_docs),
+            params,
+            k,
+        )
+    }
+
+    /// BM25 ranked top-k with caller-supplied idf weights and avgdl (the
+    /// router's distributed RANK phase).
+    pub fn weighted_rank(
+        &self,
+        terms: &[(String, f64)],
+        k: usize,
+        params: crate::rank::Bm25Params,
+        avgdl: f64,
+    ) -> Result<Vec<Hit>> {
+        let seeded: Vec<(WordId, f64)> = terms
+            .iter()
+            .filter_map(|(t, w)| self.word_id(t).map(|id| (id, *w)))
+            .collect();
+        crate::rank::rank_seeded(self, &seeded, &self.lens, avgdl, params, k)
+    }
+
+    /// Total lexer tokens as of this snapshot (BM25 avgdl numerator).
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Evaluate a typed [`crate::EngineQuery`] — same dispatch as the
+    /// live engines, over this snapshot's materialized state.
+    pub fn execute(&self, query: &crate::EngineQuery) -> Result<crate::QueryOutput> {
+        use crate::{EngineQuery, QueryOutput};
+        Ok(match query {
+            EngineQuery::Boolean(text) => {
+                QueryOutput::Docs(parse_query_with(&self.vocab, text)?.eval(self)?)
+            }
+            EngineQuery::Phrase(text) => QueryOutput::Docs(self.phrase(text)?),
+            EngineQuery::Near { w1, w2, window } => {
+                QueryOutput::Docs(self.within(w1, w2, *window)?)
+            }
+            EngineQuery::Like { text, k } => QueryOutput::Hits(self.more_like_this(text, *k)?),
+            EngineQuery::Rank { text, k, params } => {
+                QueryOutput::Hits(self.rank(text, *k, *params)?)
+            }
+            EngineQuery::WeightedLike { terms, k } => {
+                QueryOutput::Hits(self.weighted_like(terms, *k)?)
+            }
+            EngineQuery::WeightedRank { terms, k, params, avgdl } => {
+                QueryOutput::Hits(self.weighted_rank(terms, *k, *params, *avgdl)?)
+            }
+            EngineQuery::Dfs(terms) => QueryOutput::Dfs {
+                docs: self.total_docs,
+                tokens: self.total_tokens,
+                dfs: self.term_dfs(terms)?,
+            },
+            EngineQuery::Doc(doc) => QueryOutput::Text(self.load_text(*doc)?),
+        })
     }
 
     /// The stored text of a document.
@@ -205,13 +279,21 @@ pub(crate) fn materialize<S: QueryIndex + ?Sized>(
         Some(p) if p.vocab.len() == core.vocab.len() => p.vocab.clone(),
         _ => Arc::new(core.vocab.clone()),
     };
+    // Document lengths likewise only grow (deletions never retract an
+    // entry): share the Arc whenever no document was added since `prev`.
+    let lens = match prev {
+        Some(p) if p.lens.len() == core.doc_lengths.len() => p.lens.clone(),
+        _ => Arc::new(core.doc_lengths.clone()),
+    };
     core.dirty.clear();
     core.dirty_all = false;
     Ok(EngineSnapshot {
         vocab,
         postings,
         texts,
+        lens,
         total_docs: core.total_docs,
+        total_tokens: core.total_tokens,
         next_doc: core.next_doc,
     })
 }
@@ -276,6 +358,22 @@ mod tests {
             score_bits(&snap.weighted_like(&weighted, 5).unwrap()),
             score_bits(&engine.weighted_like(&weighted, 5).unwrap())
         );
+        let p = crate::rank::Bm25Params::default();
+        assert_eq!(
+            score_bits(&snap.rank("shared anchor cat dog", 10, p).unwrap()),
+            score_bits(&engine.rank("shared anchor cat dog", 10, p).unwrap()),
+            "BM25 RANK scores must be bit-exact"
+        );
+        let avgdl = crate::rank::avgdl(engine.total_tokens(), engine.total_docs());
+        assert_eq!(
+            score_bits(&snap.weighted_rank(&weighted, 5, p, avgdl).unwrap()),
+            score_bits(&engine.weighted_rank(&weighted, 5, p, avgdl).unwrap())
+        );
+        // The typed query surface dispatches to the same evaluators.
+        let q = crate::EngineQuery::Rank { text: "shared anchor".into(), k: 5, params: p };
+        assert_eq!(snap.execute(&q).unwrap(), engine.execute(&q).unwrap());
+        let q = crate::EngineQuery::Dfs(vec!["shared".into(), "zebra".into()]);
+        assert_eq!(snap.execute(&q).unwrap(), engine.execute(&q).unwrap());
         for d in [1u32, 2, 7, 999] {
             assert_eq!(snap.document(DocId(d)).unwrap(), engine.document(DocId(d)).unwrap());
         }

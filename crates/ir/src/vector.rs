@@ -67,7 +67,7 @@ pub struct Hit {
 
 /// Min-heap adaptor so the `BinaryHeap` keeps the top-k *largest*.
 #[derive(PartialEq)]
-struct HeapEntry(Hit);
+pub(crate) struct HeapEntry(pub(crate) Hit);
 
 impl Eq for HeapEntry {}
 
@@ -192,7 +192,7 @@ pub fn search_like<S: PostingSource + ?Sized>(
 /// result is independent of accumulator iteration order: `(score desc,
 /// doc asc)` is a total order, so the k winners and their ordering are
 /// fully determined by the `(doc, score)` set itself.
-fn top_k(acc: HashMap<DocId, f64>, k: usize) -> Vec<Hit> {
+pub(crate) fn top_k(acc: HashMap<DocId, f64>, k: usize) -> Vec<Hit> {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (doc, score) in acc {
         heap.push(HeapEntry(Hit { doc, score }));

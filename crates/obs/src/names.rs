@@ -51,6 +51,13 @@ pub const LONG_CHUNK_RELOCATIONS: &str = "long_chunk_relocations_total";
 pub const LONG_IN_PLACE_UPDATES: &str = "long_in_place_updates_total";
 /// Chunk read operations issued by long-list reads.
 pub const LONG_READ_OPS: &str = "long_read_ops_total";
+/// Raw (uncompressed, 4 bytes/posting) size of postings written to
+/// long-list storage. With [`POSTINGS_BYTES_STORED`] this exposes the
+/// live compression ratio per scrape.
+pub const POSTINGS_BYTES_RAW: &str = "postings_bytes_raw_total";
+/// Encoded size of postings written to long-list storage (equals
+/// [`POSTINGS_BYTES_RAW`] under the plain codec).
+pub const POSTINGS_BYTES_STORED: &str = "postings_bytes_stored_total";
 
 /// Batches applied through the parallel (captured per-disk) ingest path.
 pub const INGEST_PARALLEL_BATCHES: &str = "ingest_parallel_batches_total";

@@ -180,6 +180,8 @@ pub struct Router<E: ServeEngine> {
     readers: Vec<ReplicaSet>,
     map: Mutex<PartitionMap>,
     policy: ReadPolicy,
+    /// BM25 parameters shipped (bit-exactly) with every distributed RANK.
+    bm25: invidx_ir::Bm25Params,
     /// Last epoch observed per shard (from reads or writes); used for the
     /// epoch vector of answers that never touched a shard, and exported
     /// as the `router_shard_epoch` gauges.
@@ -224,9 +226,20 @@ impl<E: ServeEngine> Router<E> {
             readers,
             map: Mutex::new(map),
             policy,
+            bm25: invidx_ir::Bm25Params::default(),
             shard_epochs,
             counters: RouterCounters::new(shards),
         })
+    }
+
+    /// Override the BM25 parameters routed `RANK` requests are scored
+    /// with (the default matches the engines' own
+    /// [`invidx_ir::Bm25Params::default`]). Deployments must use the same
+    /// values on the shards' serving configs for cache keys and oracle
+    /// replays to line up.
+    pub fn with_bm25(mut self, params: invidx_ir::Bm25Params) -> Self {
+        self.bm25 = params;
+        self
     }
 
     /// Number of shards.
@@ -279,15 +292,19 @@ impl<E: ServeEngine> Router<E> {
                 Ok(RoutedResponse { epochs: epochs_of(&resps), payload })
             }
             Request::Like(k, text) => self.like(*k, text),
-            Request::WeightedLike(k, _) => {
+            Request::Rank(k, text) => self.rank(*k, text),
+            Request::WeightedLike(k, _) | Request::WeightedRank { k, .. } => {
                 let resps = self.fan_out(request)?;
                 let payload = self.merge_hits(&resps, *k)?;
                 Ok(RoutedResponse { epochs: epochs_of(&resps), payload })
             }
             Request::Df(terms) => {
                 let resps = self.fan_out(request)?;
-                let (docs, dfs) = sum_dfs(&resps, terms.len())?;
-                Ok(RoutedResponse { epochs: epochs_of(&resps), payload: Payload::Df(docs, dfs) })
+                let (docs, tokens, dfs) = sum_dfs(&resps, terms.len())?;
+                Ok(RoutedResponse {
+                    epochs: epochs_of(&resps),
+                    payload: Payload::Df { docs, tokens, dfs },
+                })
             }
             Request::Doc(global) => self.doc(*global),
             Request::Stats => {
@@ -401,6 +418,40 @@ impl<E: ServeEngine> Router<E> {
     /// The two-phase distributed LIKE (see the module docs for why this
     /// is bit-exact against an unsharded engine).
     fn like(&self, k: usize, text: &str) -> Result<RoutedResponse, ServeError> {
+        self.two_phase(k, text, "LIKE", |k, terms, _totals| Request::WeightedLike(k, terms))
+    }
+
+    /// The two-phase distributed BM25 RANK: the same DF exchange as LIKE
+    /// (idf is the identical expression), plus the summed token count —
+    /// which makes the corpus-global average document length — and the
+    /// router's `(k1, b)` shipped bit-exactly in the `WRANK` fan-out.
+    fn rank(&self, k: usize, text: &str) -> Result<RoutedResponse, ServeError> {
+        let params = self.bm25;
+        self.two_phase(k, text, "RANK", move |k, terms, (total_docs, total_tokens)| {
+            // The identical expression the unsharded ranker evaluates, so
+            // shipped bits equal locally computed bits.
+            let avgdl = invidx_ir::rank::avgdl(total_tokens, total_docs);
+            Request::WeightedRank {
+                k,
+                k1_bits: params.k1.to_bits(),
+                b_bits: params.b.to_bits(),
+                avgdl_bits: avgdl.to_bits(),
+                terms,
+            }
+        })
+    }
+
+    /// The shared two-phase scatter skeleton: sum deletion-filtered DFs
+    /// across the disjoint shards, turn them into corpus-global idf bits,
+    /// fan the weighted phase out, and retry the whole exchange whenever
+    /// an ingest moved any shard between the phases.
+    fn two_phase(
+        &self,
+        k: usize,
+        text: &str,
+        verb: &str,
+        build: impl Fn(usize, Vec<(String, u64)>, (u64, u64)) -> Request,
+    ) -> Result<RoutedResponse, ServeError> {
         // The canonical term order: sorted, deduplicated — identical to
         // what the unsharded engine's scorer iterates.
         let words = invidx_corpus::lexer::document_words(text);
@@ -411,7 +462,7 @@ impl<E: ServeEngine> Router<E> {
         for _ in 0..LIKE_PHASE_RETRIES {
             let df_resps = self.fan_out(&Request::Df(words.clone()))?;
             let df_epochs = epochs_of(&df_resps);
-            let (total_docs, dfs) = sum_dfs(&df_resps, words.len())?;
+            let (total_docs, total_tokens, dfs) = sum_dfs(&df_resps, words.len())?;
             // A term contributes iff some shard holds a live posting for
             // it — exactly the unsharded condition (df summed over
             // disjoint shards is the global deletion-filtered df).
@@ -429,7 +480,8 @@ impl<E: ServeEngine> Router<E> {
             if terms.is_empty() {
                 return Ok(RoutedResponse { epochs: df_epochs, payload: Payload::Hits(vec![]) });
             }
-            let wl_resps = self.fan_out(&Request::WeightedLike(k, terms))?;
+            let weighted = build(k, terms, (total_docs, total_tokens));
+            let wl_resps = self.fan_out(&weighted)?;
             let epochs = epochs_of(&wl_resps);
             if epochs != df_epochs {
                 // An ingest landed between the phases: the weights were
@@ -441,7 +493,7 @@ impl<E: ServeEngine> Router<E> {
             return Ok(RoutedResponse { epochs, payload });
         }
         Err(ServeError::Engine(format!(
-            "LIKE epochs moved through {LIKE_PHASE_RETRIES} two-phase exchanges"
+            "{verb} epochs moved through {LIKE_PHASE_RETRIES} two-phase exchanges"
         )))
     }
 
@@ -507,12 +559,14 @@ fn epochs_of(resps: &[Response]) -> Vec<u64> {
     resps.iter().map(|r| r.epoch).collect()
 }
 
-/// Sum per-shard `DF` answers: disjoint shards make the sums global.
-fn sum_dfs(resps: &[Response], terms: usize) -> Result<(u64, Vec<u64>), ServeError> {
+/// Sum per-shard `DF` answers: disjoint shards make the sums global —
+/// documents, lexer tokens, and per-term frequencies alike.
+fn sum_dfs(resps: &[Response], terms: usize) -> Result<(u64, u64, Vec<u64>), ServeError> {
     let mut total_docs = 0u64;
+    let mut total_tokens = 0u64;
     let mut sums = vec![0u64; terms];
     for (shard, resp) in resps.iter().enumerate() {
-        let Payload::Df(docs, dfs) = &resp.payload else {
+        let Payload::Df { docs, tokens, dfs } = &resp.payload else {
             return Err(ServeError::Engine(format!(
                 "shard {shard} answered DF with {:?}",
                 resp.payload
@@ -525,11 +579,12 @@ fn sum_dfs(resps: &[Response], terms: usize) -> Result<(u64, Vec<u64>), ServeErr
             )));
         }
         total_docs += docs;
+        total_tokens += tokens;
         for (sum, df) in sums.iter_mut().zip(dfs) {
             *sum += df;
         }
     }
-    Ok((total_docs, sums))
+    Ok((total_docs, total_tokens, sums))
 }
 
 /// Field-by-field sum of per-shard serving stats. The router's own
@@ -598,7 +653,10 @@ mod tests {
         let cases = vec![
             RoutedResponse { epochs: vec![3, 0, 7], payload: Payload::Docs(vec![1, 5]) },
             RoutedResponse { epochs: vec![1], payload: Payload::Hits(vec![(4, 0.1f64 + 0.2)]) },
-            RoutedResponse { epochs: vec![2, 2], payload: Payload::Df(10, vec![3, 0]) },
+            RoutedResponse {
+                epochs: vec![2, 2],
+                payload: Payload::Df { docs: 10, tokens: 44, dfs: vec![3, 0] },
+            },
             RoutedResponse { epochs: vec![0, 0], payload: Payload::Text(None) },
             RoutedResponse { epochs: vec![9, 9], payload: Payload::Pong },
         ];

@@ -8,8 +8,8 @@
 //! oracle's:
 //!
 //! * `QUERY` / `PHRASE` / `NEAR` — merged doc lists identical;
-//! * `LIKE` — hit ids identical and scores **bit-identical** (the
-//!   two-phase df/weight exchange claims ulp-exact parity);
+//! * `LIKE` / `RANK` — hit ids identical and scores **bit-identical**
+//!   (the two-phase df/weight exchanges claim ulp-exact parity);
 //! * `DOC` — stored text identical after global→local translation;
 //! * `DF` — summed document frequencies identical.
 //!
@@ -45,6 +45,8 @@ enum Op {
     Near(usize, usize, u32),
     /// Top-k ranked search seeded by a word sequence.
     Like(usize, Vec<usize>),
+    /// BM25 top-k seeded by a word sequence (two-phase WRANK exchange).
+    Rank(usize, Vec<usize>),
     /// Per-term document frequencies.
     Df(Vec<usize>),
     /// Point read of a global doc id (may be unallocated).
@@ -55,6 +57,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     let word = 0usize..VOCAB.len();
     let doc = prop::collection::vec(word.clone(), 1..6);
     let seed = prop::collection::vec(word.clone(), 1..6);
+    let rank_seed = prop::collection::vec(word.clone(), 1..6);
     let batch = prop::collection::vec(doc, 1..5);
     let op = prop_oneof![
         batch.prop_map(Op::Ingest),
@@ -65,6 +68,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
         (word.clone(), word.clone()).prop_map(|(a, b)| Op::Phrase(a, b)),
         (word.clone(), word.clone(), 1u32..4).prop_map(|(a, b, w)| Op::Near(a, b, w)),
         (1usize..6, seed).prop_map(|(k, seed)| Op::Like(k, seed)),
+        (1usize..6, rank_seed).prop_map(|(k, seed)| Op::Rank(k, seed)),
         prop::collection::vec(word, 1..4).prop_map(Op::Df),
         (1u32..40).prop_map(Op::Doc),
     ];
@@ -92,6 +96,7 @@ fn to_request(op: &Op) -> Request {
         Op::Phrase(a, b) => Request::Phrase(format!("{} {}", VOCAB[*a], VOCAB[*b])),
         Op::Near(a, b, w) => Request::Near(VOCAB[*a].into(), VOCAB[*b].into(), *w),
         Op::Like(k, seed) => Request::Like(*k, text_of(seed)),
+        Op::Rank(k, seed) => Request::Rank(*k, text_of(seed)),
         Op::Df(terms) => Request::Df(terms.iter().map(|&t| VOCAB[t].to_string()).collect()),
         Op::Doc(id) => Request::Doc(*id),
         Op::Ingest(_) => unreachable!("ingest is not a query"),

@@ -90,6 +90,7 @@ mod tests {
             terms: vec![],
             data_bytes: 0,
             crc: 0,
+            codec: Default::default(),
         }
     }
 

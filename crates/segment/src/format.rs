@@ -10,10 +10,14 @@
 //! +--------------------------+----------------------+-----------+
 //! ```
 //!
-//! * **postings runs** — for each term, its doc ids as fixed-width 4-byte
-//!   little-endian values, concatenated in ascending word order;
-//! * **term index** — `(word u64, offset u64, postings u32)` triples in
-//!   ascending word order, locating each run in the postings region;
+//! * **postings runs** — for each term, its doc ids in ascending word
+//!   order: fixed-width 4-byte little-endian values under the plain
+//!   codec, or a self-describing coding-block stream (see
+//!   [`invidx_core::codec`]) under a compressed one. The segment's codec
+//!   is recorded in its metadata;
+//! * **term index** — `(word u64, offset u64, postings u32, bytes u32)`
+//!   entries in ascending word order, locating each run in the postings
+//!   region;
 //! * **footer** — magic, region lengths, and a CRC32 over everything
 //!   before it, so a segment is self-describing and verifiable.
 //!
@@ -24,19 +28,25 @@
 //! block cache with the same pin-scope discipline as long-list chunks.
 
 use crate::error::{Result, SegmentError};
-use invidx_core::{BlockCache, DocId, PostingList, WordId};
+use invidx_core::codec as pcodec;
+use invidx_core::{BlockCache, DocId, PostingList, PostingsCodec, WordId};
 use invidx_disk::{DiskArray, IoOp, OpKind, Payload};
 use invidx_durable::crc32;
 
-/// Magic bytes opening the footer.
-pub const FOOTER_MAGIC: &[u8; 8] = b"IVXSEG1\0";
+/// Magic bytes opening the footer (v2 added per-run byte lengths and the
+/// segment codec tag).
+pub const FOOTER_MAGIC: &[u8; 8] = b"IVXSEG2\0";
 /// Serialized footer length in bytes.
 pub const FOOTER_LEN: usize = 8 + 8 + 8 + 4;
 /// Bytes of one serialized term-index entry.
-pub const TERM_ENTRY_LEN: usize = 8 + 8 + 4;
+pub const TERM_ENTRY_LEN: usize = 8 + 8 + 4 + 4;
 /// Largest single extent a segment writer allocates, in blocks. Long
 /// segments stripe round-robin across disks in extents of this size.
 pub const MAX_EXTENT_BLOCKS: u64 = 256;
+/// Postings per coding block in compressed segment runs. Segments are
+/// byte-addressed (runs need not align to device blocks), so this is a
+/// format constant rather than the index's `BlockPosting` parameter.
+pub const SEGMENT_CODING_POSTINGS: u64 = 128;
 
 /// One contiguous run of blocks belonging to a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,8 +66,11 @@ pub struct TermEntry {
     pub word: WordId,
     /// Byte offset of the run inside the postings region.
     pub offset: u64,
-    /// Postings in the run (each 4 bytes).
+    /// Postings in the run.
     pub postings: u32,
+    /// Encoded byte length of the run (`postings * 4` under the plain
+    /// codec, the coding-block stream length otherwise).
+    pub bytes: u32,
 }
 
 /// Everything the engine needs to read a sealed segment: identity, tier
@@ -77,6 +90,8 @@ pub struct SegmentMeta {
     pub data_bytes: u64,
     /// CRC32 over postings region + term index.
     pub crc: u32,
+    /// Codec the postings runs were written with.
+    pub codec: PostingsCodec,
 }
 
 impl SegmentMeta {
@@ -109,6 +124,7 @@ impl SegmentMeta {
         out.extend_from_slice(&self.level.to_le_bytes());
         out.extend_from_slice(&self.data_bytes.to_le_bytes());
         out.extend_from_slice(&self.crc.to_le_bytes());
+        out.push(self.codec.as_u8());
         out.extend_from_slice(&(self.extents.len() as u32).to_le_bytes());
         for e in &self.extents {
             out.extend_from_slice(&e.disk.to_le_bytes());
@@ -120,6 +136,7 @@ impl SegmentMeta {
             out.extend_from_slice(&t.word.0.to_le_bytes());
             out.extend_from_slice(&t.offset.to_le_bytes());
             out.extend_from_slice(&t.postings.to_le_bytes());
+            out.extend_from_slice(&t.bytes.to_le_bytes());
         }
     }
 
@@ -129,6 +146,8 @@ impl SegmentMeta {
         let level = take_u32(bytes, pos)?;
         let data_bytes = take_u64(bytes, pos)?;
         let crc = take_u32(bytes, pos)?;
+        let codec = PostingsCodec::from_u8(take_u8(bytes, pos)?)
+            .map_err(|e| SegmentError::Corrupt(e.to_string()))?;
         let n_ext = take_u32(bytes, pos)? as usize;
         if n_ext > bytes.len() / 8 {
             return Err(SegmentError::Corrupt(format!("absurd extent count {n_ext}")));
@@ -151,10 +170,19 @@ impl SegmentMeta {
                 word: WordId(take_u64(bytes, pos)?),
                 offset: take_u64(bytes, pos)?,
                 postings: take_u32(bytes, pos)?,
+                bytes: take_u32(bytes, pos)?,
             });
         }
-        Ok(Self { id, level, extents, terms, data_bytes, crc })
+        Ok(Self { id, level, extents, terms, data_bytes, crc, codec })
     }
+}
+
+pub(crate) fn take_u8(b: &[u8], pos: &mut usize) -> Result<u8> {
+    let &v = b
+        .get(*pos)
+        .ok_or_else(|| SegmentError::Corrupt("truncated u8".into()))?;
+    *pos += 1;
+    Ok(v)
 }
 
 pub(crate) fn take_u16(b: &[u8], pos: &mut usize) -> Result<u16> {
@@ -186,14 +214,16 @@ pub(crate) fn take_u64(b: &[u8], pos: &mut usize) -> Result<u64> {
 pub struct SegmentWriter {
     id: u64,
     level: u32,
+    codec: PostingsCodec,
     data: Vec<u8>,
     terms: Vec<TermEntry>,
 }
 
 impl SegmentWriter {
-    /// Start a segment with the given identity and tier level.
-    pub fn new(id: u64, level: u32) -> Self {
-        Self { id, level, data: Vec::new(), terms: Vec::new() }
+    /// Start a segment with the given identity, tier level, and postings
+    /// codec.
+    pub fn new(id: u64, level: u32, codec: PostingsCodec) -> Self {
+        Self { id, level, codec, data: Vec::new(), terms: Vec::new() }
     }
 
     /// Append one word's postings run. Words must arrive in strictly
@@ -210,14 +240,21 @@ impl SegmentWriter {
                 )));
             }
         }
+        let offset = self.data.len() as u64;
+        if self.codec.is_compressed() {
+            let stream = pcodec::encode_stream(self.codec, docs, SEGMENT_CODING_POSTINGS);
+            self.data.extend_from_slice(&stream);
+        } else {
+            for d in docs {
+                self.data.extend_from_slice(&d.0.to_le_bytes());
+            }
+        }
         self.terms.push(TermEntry {
             word,
-            offset: self.data.len() as u64,
+            offset,
             postings: docs.len() as u32,
+            bytes: (self.data.len() as u64 - offset) as u32,
         });
-        for d in docs {
-            self.data.extend_from_slice(&d.0.to_le_bytes());
-        }
         Ok(())
     }
 
@@ -241,6 +278,7 @@ impl SegmentWriter {
             stream.extend_from_slice(&t.word.0.to_le_bytes());
             stream.extend_from_slice(&t.offset.to_le_bytes());
             stream.extend_from_slice(&t.postings.to_le_bytes());
+            stream.extend_from_slice(&t.bytes.to_le_bytes());
         }
         let crc = crc32(&stream);
         stream.extend_from_slice(FOOTER_MAGIC);
@@ -279,6 +317,7 @@ impl SegmentWriter {
             terms: self.terms,
             data_bytes,
             crc,
+            codec: self.codec,
         })
     }
 }
@@ -311,11 +350,17 @@ pub fn read_term(
     let Some(entry) = meta.find(word) else {
         return Ok(PostingList::new());
     };
-    let bytes = read_range(meta, array, cache, entry.offset, entry.postings as u64 * 4)?;
-    let mut docs = Vec::with_capacity(entry.postings as usize);
-    for chunk in bytes.chunks_exact(4) {
-        docs.push(DocId(u32::from_le_bytes(chunk.try_into().unwrap())));
-    }
+    let bytes = read_range(meta, array, cache, entry.offset, entry.bytes as u64)?;
+    let docs = if meta.codec.is_compressed() {
+        pcodec::decode_stream(&bytes, entry.postings as u64)
+            .map_err(|e| SegmentError::Corrupt(format!("segment {}: {e}", meta.id)))?
+    } else {
+        let mut docs = Vec::with_capacity(entry.postings as usize);
+        for chunk in bytes.chunks_exact(4) {
+            docs.push(DocId(u32::from_le_bytes(chunk.try_into().unwrap())));
+        }
+        docs
+    };
     if !docs.windows(2).all(|w| w[0] < w[1]) {
         return Err(SegmentError::Corrupt(format!(
             "segment {}: unsorted run for {word:?}",

@@ -318,7 +318,7 @@ pub(crate) fn build_seal_writer(l0: &DualIndex, id: u64) -> Result<Option<Segmen
     if words.is_empty() {
         return Ok(None);
     }
-    let mut writer = SegmentWriter::new(id, 0);
+    let mut writer = SegmentWriter::new(id, 0, l0.config().codec);
     for word in words {
         let list = l0.stored_postings(word)?;
         writer.push(word, list.docs())?;
@@ -354,7 +354,8 @@ pub(crate) fn merge_writer(
             }
         }
     }
-    let mut writer = SegmentWriter::new(id, output_level);
+    let codec = inputs.first().map(|m| m.codec).unwrap_or_default();
+    let mut writer = SegmentWriter::new(id, output_level, codec);
     for (word, list) in &map {
         writer.push(*word, list.docs())?;
     }

@@ -160,6 +160,54 @@ fn merge_frees_input_extents() {
     );
 }
 
+/// Compressed segments must serve bit-identical postings to plain ones
+/// across seals and merges, while storing strictly fewer payload bytes.
+#[test]
+fn compressed_segments_match_plain_twin() {
+    use invidx_core::PostingsCodec;
+    for codec in [PostingsCodec::VarintDelta, PostingsCodec::BitPacked] {
+        let cfg = IndexConfig { codec, ..config(2048, 3) };
+        let mut packed = SegmentedIndex::create(sparse_array(2, 400_000, 256), cfg).unwrap();
+        let mut plain = SegmentedIndex::create(sparse_array(2, 400_000, 256), config(2048, 3)).unwrap();
+        packed.set_merge_rate(0);
+        plain.set_merge_rate(0);
+        for chunk in 0..12 {
+            for d in (chunk * 50 + 1)..(chunk * 50 + 51) {
+                packed.insert_document(DocId(d), words_of(d, 24)).unwrap();
+                plain.insert_document(DocId(d), words_of(d, 24)).unwrap();
+            }
+            if chunk == 4 {
+                for d in [7u32, 24, 100, 199, 200] {
+                    packed.delete_document(DocId(d));
+                    plain.delete_document(DocId(d));
+                }
+            }
+            packed.flush_batch().unwrap();
+            plain.flush_batch().unwrap();
+        }
+        let (ps, fs) = (packed.stats(), plain.stats());
+        assert!(ps.seals > 0 && ps.merges > 0, "codec {codec}: need tiers: {ps:?}");
+        assert_eq!(ps.seals, fs.seals, "codec {codec}: seal counts diverge");
+        assert_eq!(ps.merges, fs.merges, "codec {codec}: merge counts diverge");
+        for w in 1..=24u64 {
+            assert_eq!(
+                packed.postings(WordId(w)).unwrap().docs(),
+                plain.postings(WordId(w)).unwrap().docs(),
+                "codec {codec}: postings diverge for word {w}"
+            );
+            assert_eq!(packed.doc_frequency(WordId(w)), plain.doc_frequency(WordId(w)));
+        }
+        packed.verify_segments().unwrap();
+        assert!(
+            ps.segment_blocks < fs.segment_blocks,
+            "codec {codec}: compressed segments should occupy fewer blocks \
+             ({} vs {})",
+            ps.segment_blocks,
+            fs.segment_blocks
+        );
+    }
+}
+
 #[test]
 fn in_place_engine_kind_is_rejected() {
     let err = SegmentedIndex::create(sparse_array(2, 10_000, 256), in_place_config());

@@ -7,42 +7,105 @@
 //! [`SearchEngine`] (volatile metadata) and [`DurableEngine`] (WAL +
 //! checkpoints, which additionally supports [`ServeEngine::checkpoint`]
 //! while serving).
+//!
+//! The read surface is one required method: [`ServeEngine::execute`] over
+//! the typed [`EngineQuery`]. The historical per-verb methods
+//! (`boolean_str`, `phrase`, …) remain as deprecated default shims over
+//! `execute`, so an engine implements exactly one dispatch point and new
+//! verbs (like BM25 `Rank`) need no trait change at all.
 
 use invidx_core::cache::CacheStats;
 use invidx_core::index::BatchReport;
 use invidx_core::postings::PostingList;
-use invidx_core::types::{DocId, Result};
+use invidx_core::types::{DocId, IndexError, Result};
 use invidx_durable::WalRecord;
-use invidx_ir::{DurableEngine, EngineSnapshot, Hit, SearchEngine};
+use invidx_ir::{
+    DurableEngine, EngineQuery, EngineSnapshot, Hit, QueryOutput, SearchEngine,
+};
+
+/// The error a deprecated per-verb shim reports when a custom `execute`
+/// implementation answers with the wrong [`QueryOutput`] variant.
+fn mismatched(verb: &str, got: &QueryOutput) -> IndexError {
+    IndexError::Corruption(format!(
+        "ServeEngine::execute answered {verb} with a mismatched output variant: {got:?}"
+    ))
+}
 
 /// Query-on-`&self`, update-on-`&mut self` — the contract that lets
 /// [`crate::QueryService`] serialize writers while serving reads from
 /// published copy-on-write snapshots.
 pub trait ServeEngine: Send + Sync + 'static {
+    /// Execute one typed query. This is the single read entry point; all
+    /// per-verb read methods are deprecated shims over it, so the output
+    /// variant is determined by the query variant.
+    fn execute(&self, query: &EngineQuery) -> Result<QueryOutput>;
+
     /// Parse and evaluate a boolean query string.
-    fn boolean_str(&self, query: &str) -> Result<PostingList>;
+    #[deprecated(note = "construct an `EngineQuery::Boolean` and call `execute`")]
+    fn boolean_str(&self, query: &str) -> Result<PostingList> {
+        match self.execute(&EngineQuery::Boolean(query.to_string()))? {
+            QueryOutput::Docs(list) => Ok(list),
+            other => Err(mismatched("QUERY", &other)),
+        }
+    }
+
     /// Phrase query: the words occur contiguously, in order.
-    fn phrase(&self, phrase: &str) -> Result<PostingList>;
+    #[deprecated(note = "construct an `EngineQuery::Phrase` and call `execute`")]
+    fn phrase(&self, phrase: &str) -> Result<PostingList> {
+        match self.execute(&EngineQuery::Phrase(phrase.to_string()))? {
+            QueryOutput::Docs(list) => Ok(list),
+            other => Err(mismatched("PHRASE", &other)),
+        }
+    }
+
     /// Proximity query: both words within `window` positions.
-    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList>;
+    #[deprecated(note = "construct an `EngineQuery::Near` and call `execute`")]
+    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
+        let query =
+            EngineQuery::Near { w1: w1.to_string(), w2: w2.to_string(), window };
+        match self.execute(&query)? {
+            QueryOutput::Docs(list) => Ok(list),
+            other => Err(mismatched("NEAR", &other)),
+        }
+    }
+
     /// Top-k vector-model search seeded by a text.
-    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>>;
+    #[deprecated(note = "construct an `EngineQuery::Like` and call `execute`")]
+    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
+        match self.execute(&EngineQuery::Like { text: text.to_string(), k })? {
+            QueryOutput::Hits(hits) => Ok(hits),
+            other => Err(mismatched("LIKE", &other)),
+        }
+    }
+
     /// The stored text of a document.
-    fn document(&self, doc: DocId) -> Result<Option<String>>;
+    #[deprecated(note = "construct an `EngineQuery::Doc` and call `execute`")]
+    fn document(&self, doc: DocId) -> Result<Option<String>> {
+        match self.execute(&EngineQuery::Doc(doc))? {
+            QueryOutput::Text(text) => Ok(text),
+            other => Err(mismatched("DOC", &other)),
+        }
+    }
 
     /// Document frequency per term (0 for unknown words) — the DF phase of
-    /// the router's two-phase distributed LIKE. The default (all zeros)
-    /// suits engines that never sit behind a router.
+    /// the router's two-phase distributed LIKE/RANK.
+    #[deprecated(note = "construct an `EngineQuery::Dfs` and call `execute`")]
     fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
-        Ok(vec![0; terms.len()])
+        match self.execute(&EngineQuery::Dfs(terms.to_vec()))? {
+            QueryOutput::Dfs { dfs, .. } => Ok(dfs),
+            other => Err(mismatched("DF", &other)),
+        }
     }
 
     /// Top-k scoring with caller-supplied per-term contributions, applied
     /// in slice order (the router's WLIKE phase ships corpus-global idf
     /// weights in canonical sorted-term order).
+    #[deprecated(note = "construct an `EngineQuery::WeightedLike` and call `execute`")]
     fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
-        let _ = (terms, k);
-        Ok(Vec::new())
+        match self.execute(&EngineQuery::WeightedLike { terms: terms.to_vec(), k })? {
+            QueryOutput::Hits(hits) => Ok(hits),
+            other => Err(mismatched("WLIKE", &other)),
+        }
     }
 
     /// Add a document to the current batch (not yet visible as a flushed
@@ -112,32 +175,8 @@ pub trait ServeEngine: Send + Sync + 'static {
 }
 
 impl ServeEngine for SearchEngine {
-    fn boolean_str(&self, query: &str) -> Result<PostingList> {
-        SearchEngine::boolean_str(self, query)
-    }
-
-    fn phrase(&self, phrase: &str) -> Result<PostingList> {
-        SearchEngine::phrase(self, phrase)
-    }
-
-    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
-        SearchEngine::within(self, w1, w2, window)
-    }
-
-    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
-        SearchEngine::more_like_this(self, text, k)
-    }
-
-    fn document(&self, doc: DocId) -> Result<Option<String>> {
-        SearchEngine::document(self, doc)
-    }
-
-    fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
-        SearchEngine::term_dfs(self, terms)
-    }
-
-    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
-        SearchEngine::weighted_like(self, terms, k)
+    fn execute(&self, query: &EngineQuery) -> Result<QueryOutput> {
+        SearchEngine::execute(self, query)
     }
 
     fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
@@ -169,32 +208,8 @@ impl ServeEngine for SearchEngine {
 }
 
 impl ServeEngine for DurableEngine {
-    fn boolean_str(&self, query: &str) -> Result<PostingList> {
-        DurableEngine::boolean_str(self, query)
-    }
-
-    fn phrase(&self, phrase: &str) -> Result<PostingList> {
-        DurableEngine::phrase(self, phrase)
-    }
-
-    fn within(&self, w1: &str, w2: &str, window: u32) -> Result<PostingList> {
-        DurableEngine::within(self, w1, w2, window)
-    }
-
-    fn more_like_this(&self, text: &str, k: usize) -> Result<Vec<Hit>> {
-        DurableEngine::more_like_this(self, text, k)
-    }
-
-    fn document(&self, doc: DocId) -> Result<Option<String>> {
-        DurableEngine::document(self, doc)
-    }
-
-    fn term_dfs(&self, terms: &[String]) -> Result<Vec<u64>> {
-        DurableEngine::term_dfs(self, terms)
-    }
-
-    fn weighted_like(&self, terms: &[(String, f64)], k: usize) -> Result<Vec<Hit>> {
-        DurableEngine::weighted_like(self, terms, k)
+    fn execute(&self, query: &EngineQuery) -> Result<QueryOutput> {
+        DurableEngine::execute(self, query)
     }
 
     fn add_document(&mut self, text: &str) -> std::result::Result<DocId, String> {
@@ -242,5 +257,45 @@ impl ServeEngine for DurableEngine {
 
     fn vocabulary_size(&self) -> usize {
         DurableEngine::vocabulary_size(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invidx_core::index::IndexConfig;
+    use invidx_disk::sparse_array;
+
+    /// The deprecated per-verb shims must answer exactly what `execute`
+    /// answers — they are the compatibility surface for older callers.
+    #[test]
+    #[allow(deprecated)]
+    fn per_verb_shims_agree_with_execute() {
+        let mut engine =
+            SearchEngine::create(sparse_array(2, 40_000, 256), IndexConfig::small()).unwrap();
+        engine.add_document("the cat sat on the mat").unwrap();
+        engine.add_document("the dog chased the cat").unwrap();
+        engine.flush().unwrap();
+        let serve: &dyn ServeEngine = &engine;
+        let direct = serve
+            .execute(&EngineQuery::Boolean("cat and dog".into()))
+            .unwrap();
+        assert_eq!(
+            serve.boolean_str("cat and dog").unwrap(),
+            direct.docs().unwrap().clone()
+        );
+        assert_eq!(
+            serve.term_dfs(&["cat".into(), "emu".into()]).unwrap(),
+            vec![2, 0]
+        );
+        assert_eq!(
+            serve.document(DocId(1)).unwrap().as_deref(),
+            Some("the cat sat on the mat")
+        );
+        let like = serve.more_like_this("cat dog", 4).unwrap();
+        let via_execute = serve
+            .execute(&EngineQuery::Like { text: "cat dog".into(), k: 4 })
+            .unwrap();
+        assert_eq!(like, via_execute.hits().unwrap().to_vec());
     }
 }

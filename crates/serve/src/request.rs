@@ -24,8 +24,12 @@ pub enum Request {
     Near(String, String, u32),
     /// `LIKE <k> <text>` — top-k vector-model search seeded by a text.
     Like(usize, String),
+    /// `RANK <k> <text>` — BM25 ranked top-k seeded by a text, scored
+    /// with the service's configured `(k1, b)` and WAND-pruned.
+    Rank(usize, String),
     /// `DF <term>...` — document frequency per term plus the engine's
-    /// document count: the fan-out phase of the router's distributed LIKE.
+    /// document and token counts: the fan-out phase of the router's
+    /// distributed LIKE and RANK.
     Df(Vec<String>),
     /// `WLIKE <k> <n> <term>:<weight-bits-hex>...` — top-k scoring with
     /// caller-supplied per-term contributions, applied in wire order.
@@ -33,6 +37,23 @@ pub enum Request {
     /// the wire bit-exactly; that is what makes sharded LIKE scores equal
     /// an unsharded engine's, to the last ulp.
     WeightedLike(usize, Vec<(String, u64)>),
+    /// `WRANK <k> <k1-hex> <b-hex> <avgdl-hex> <n> <term>:<idf-bits-hex>...`
+    /// — BM25 top-k with caller-supplied idf weights and corpus-global
+    /// parameters: the second phase of the router's distributed RANK.
+    /// Every `f64` travels as `f64::to_bits` hex, so sharded scores equal
+    /// an unsharded engine's to the last ulp.
+    WeightedRank {
+        /// Result budget.
+        k: usize,
+        /// `f64::to_bits` of the BM25 `k1` parameter.
+        k1_bits: u64,
+        /// `f64::to_bits` of the BM25 `b` parameter.
+        b_bits: u64,
+        /// `f64::to_bits` of the corpus-global average document length.
+        avgdl_bits: u64,
+        /// `(term, idf-bits)` in canonical sorted order.
+        terms: Vec<(String, u64)>,
+    },
     /// `DOC <id>` — fetch a stored document.
     Doc(u32),
     /// `STATS` — serving counters and epoch.
@@ -69,6 +90,13 @@ impl Request {
                 let k = k.parse().map_err(|e| bad(format!("LIKE k: {e}")))?;
                 Ok(Self::Like(k, text.trim().to_string()))
             }
+            "RANK" => {
+                let (k, text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| bad(format!("RANK wants `k text`, got {rest:?}")))?;
+                let k = k.parse().map_err(|e| bad(format!("RANK k: {e}")))?;
+                Ok(Self::Rank(k, text.trim().to_string()))
+            }
             "DF" => {
                 if rest.is_empty() {
                     return Err(bad("DF wants at least one term".into()));
@@ -102,6 +130,36 @@ impl Request {
                 }
                 Ok(Self::WeightedLike(k, terms))
             }
+            "WRANK" => {
+                let mut it = rest.split_whitespace();
+                let k: usize = it
+                    .next()
+                    .ok_or_else(|| bad("WRANK missing k".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("WRANK k: {e}")))?;
+                let k1_bits = wrank_bits(it.next(), "k1 bits")?;
+                let b_bits = wrank_bits(it.next(), "b bits")?;
+                let avgdl_bits = wrank_bits(it.next(), "avgdl bits")?;
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| bad("WRANK missing term count".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("WRANK count: {e}")))?;
+                let terms: Vec<(String, u64)> = it
+                    .map(|t| {
+                        let (term, bits) = t
+                            .rsplit_once(':')
+                            .ok_or_else(|| bad(format!("WRANK term {t:?} missing ':'")))?;
+                        let bits = u64::from_str_radix(bits, 16)
+                            .map_err(|e| bad(format!("WRANK weight bits: {e}")))?;
+                        Ok((term.to_string(), bits))
+                    })
+                    .collect::<Result<_, ServeError>>()?;
+                if terms.len() != n {
+                    return Err(bad(format!("WRANK count {n} != {} terms", terms.len())));
+                }
+                Ok(Self::WeightedRank { k, k1_bits, b_bits, avgdl_bits, terms })
+            }
             "DOC" => {
                 let id = rest.parse().map_err(|e| bad(format!("DOC id: {e}")))?;
                 Ok(Self::Doc(id))
@@ -130,10 +188,11 @@ impl Request {
                 w2.to_ascii_lowercase()
             )),
             Self::Like(k, text) => Some(format!("l:{k}:{}", normalize_query(text))),
-            // DF/WLIKE are the router's internal fan-out verbs: the router
-            // caches at its own layer (keyed by the client request), so
-            // caching the halves again would only double the memory.
-            Self::Df(_) | Self::WeightedLike(_, _) => None,
+            Self::Rank(k, text) => Some(format!("r:{k}:{}", normalize_query(text))),
+            // DF/WLIKE/WRANK are the router's internal fan-out verbs: the
+            // router caches at its own layer (keyed by the client request),
+            // so caching the halves again would only double the memory.
+            Self::Df(_) | Self::WeightedLike(_, _) | Self::WeightedRank { .. } => None,
             Self::Doc(_) | Self::Stats | Self::Ping => None,
         }
     }
@@ -145,9 +204,18 @@ impl Request {
             Self::Phrase(p) => format!("PHRASE {p}"),
             Self::Near(w1, w2, win) => format!("NEAR {w1} {w2} {win}"),
             Self::Like(k, text) => format!("LIKE {k} {text}"),
+            Self::Rank(k, text) => format!("RANK {k} {text}"),
             Self::Df(terms) => format!("DF {}", terms.join(" ")),
             Self::WeightedLike(k, terms) => {
                 let mut s = format!("WLIKE {k} {}", terms.len());
+                for (term, bits) in terms {
+                    s.push_str(&format!(" {term}:{bits:x}"));
+                }
+                s
+            }
+            Self::WeightedRank { k, k1_bits, b_bits, avgdl_bits, terms } => {
+                let mut s =
+                    format!("WRANK {k} {k1_bits:x} {b_bits:x} {avgdl_bits:x} {}", terms.len());
                 for (term, bits) in terms {
                     s.push_str(&format!(" {term}:{bits:x}"));
                 }
@@ -158,6 +226,14 @@ impl Request {
             Self::Ping => "PING".to_string(),
         }
     }
+}
+
+/// One hex-encoded `f64::to_bits` operand of a `WRANK` line.
+fn wrank_bits(token: Option<&str>, what: &str) -> Result<u64, ServeError> {
+    let token =
+        token.ok_or_else(|| ServeError::BadRequest(format!("WRANK missing {what}")))?;
+    u64::from_str_radix(token, 16)
+        .map_err(|e| ServeError::BadRequest(format!("WRANK {what}: {e}")))
 }
 
 /// Lowercase-hex encode arbitrary bytes for line-framed transport (the
@@ -236,9 +312,18 @@ pub enum Payload {
     Docs(Vec<u32>),
     /// Ranked `(doc, score)` hits, best first (vector model).
     Hits(Vec<(u32, f64)>),
-    /// `DF` answer: total documents in the engine, then one document
-    /// frequency per requested term (0 for unknown words), in request order.
-    Df(u64, Vec<u64>),
+    /// `DF` answer: the engine's corpus counters plus one document
+    /// frequency per requested term (0 for unknown words), in request
+    /// order. The token count rides along so the router can compute the
+    /// corpus-global average document length for distributed BM25.
+    Df {
+        /// Documents in the engine.
+        docs: u64,
+        /// Total lexer tokens across those documents.
+        tokens: u64,
+        /// Per-term document frequencies, in request order.
+        dfs: Vec<u64>,
+    },
     /// A stored document, if present.
     Text(Option<String>),
     /// Serving counters.
@@ -278,8 +363,8 @@ impl Response {
                 }
                 s
             }
-            Payload::Df(docs, dfs) => {
-                let mut s = format!("DF {docs} {}", dfs.len());
+            Payload::Df { docs, tokens, dfs } => {
+                let mut s = format!("DF {docs} {tokens} {}", dfs.len());
                 for df in dfs {
                     s.push(' ');
                     s.push_str(&df.to_string());
@@ -392,6 +477,11 @@ pub fn parse_response(line: &str) -> Result<Result<Response, ServeError>, ServeE
                 .ok_or_else(|| bad("DF missing docs".into()))?
                 .parse()
                 .map_err(|e| bad(format!("DF docs: {e}")))?;
+            let tokens: u64 = it
+                .next()
+                .ok_or_else(|| bad("DF missing tokens".into()))?
+                .parse()
+                .map_err(|e| bad(format!("DF tokens: {e}")))?;
             let n: usize = it
                 .next()
                 .ok_or_else(|| bad("DF missing count".into()))?
@@ -403,7 +493,7 @@ pub fn parse_response(line: &str) -> Result<Result<Response, ServeError>, ServeE
             if dfs.len() != n {
                 return Err(bad(format!("DF count {n} != {} values", dfs.len())));
             }
-            Payload::Df(docs, dfs)
+            Payload::Df { docs, tokens, dfs }
         }
         "TEXT" => Payload::Text(Some(unescape(args)?)),
         "NONE" => Payload::Text(None),
@@ -493,10 +583,17 @@ mod tests {
             Request::parse("LIKE 3 incremental index updates").unwrap(),
             Request::Like(3, "incremental index updates".into())
         );
+        assert_eq!(
+            Request::parse("RANK 5 inverted list maintenance").unwrap(),
+            Request::Rank(5, "inverted list maintenance".into())
+        );
         assert_eq!(Request::parse("DOC 17").unwrap(), Request::Doc(17));
         assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
-        for bad in ["", "QUERY", "NEAR cat dog", "NEAR cat dog x", "LIKE 3", "DOC abc", "FROB x"] {
+        for bad in [
+            "", "QUERY", "NEAR cat dog", "NEAR cat dog x", "LIKE 3", "RANK 3", "RANK x cat",
+            "DOC abc", "FROB x",
+        ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
         }
     }
@@ -508,11 +605,19 @@ mod tests {
             Request::Phrase("inverted lists".into()),
             Request::Near("cat".into(), "dog".into(), 5),
             Request::Like(7, "some text".into()),
+            Request::Rank(4, "some other text".into()),
             Request::Df(vec!["cat".into(), "dog".into()]),
             Request::WeightedLike(
                 2,
                 vec![("cat".into(), 1.5f64.to_bits()), ("dog".into(), 0.1f64.to_bits())],
             ),
+            Request::WeightedRank {
+                k: 3,
+                k1_bits: 1.2f64.to_bits(),
+                b_bits: 0.75f64.to_bits(),
+                avgdl_bits: (10.0f64 / 3.0).to_bits(),
+                terms: vec![("cat".into(), 2.0f64.ln().to_bits()), ("dog".into(), 0.1f64.to_bits())],
+            },
             Request::Doc(3),
             Request::Stats,
             Request::Ping,
@@ -538,6 +643,30 @@ mod tests {
     }
 
     #[test]
+    fn wrank_operands_survive_the_wire_exactly() {
+        let req = Request::WeightedRank {
+            k: 9,
+            k1_bits: 1.2f64.to_bits(),
+            b_bits: 0.75f64.to_bits(),
+            avgdl_bits: (7.0f64 / 3.0).to_bits(),
+            terms: vec![("alpha".into(), (0.1f64 + 0.2).to_bits())],
+        };
+        assert_eq!(Request::parse(&req.to_wire()).unwrap(), req);
+        for bad in [
+            "WRANK",
+            "WRANK 3",
+            "WRANK 3 ff",
+            "WRANK 3 ff ff",
+            "WRANK 3 ff ff ff",
+            "WRANK 3 ff ff ff 1",
+            "WRANK 3 ff ff ff 1 nocolon",
+            "WRANK 3 xx ff ff 0",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
     fn normalization_folds_spelling_variants() {
         assert_eq!(
             Request::Boolean(" Cat AND( dog )".into()).cache_key(),
@@ -550,6 +679,14 @@ mod tests {
         assert_ne!(
             Request::Like(3, "cat".into()).cache_key(),
             Request::Like(4, "cat".into()).cache_key()
+        );
+        assert_ne!(
+            Request::Like(3, "cat".into()).cache_key(),
+            Request::Rank(3, "cat".into()).cache_key()
+        );
+        assert_eq!(
+            Request::Rank(3, " Cat  dog".into()).cache_key(),
+            Request::Rank(3, "cat dog".into()).cache_key()
         );
         assert_eq!(Request::Doc(1).cache_key(), None);
         assert_eq!(Request::Stats.cache_key(), None);
@@ -567,8 +704,8 @@ mod tests {
                 epoch: 8,
                 payload: Payload::Hits(vec![(1, 0.1f64 + 0.2f64), (9, 2.0f64.ln())]),
             },
-            Response { epoch: 5, payload: Payload::Df(42, vec![7, 0, 3]) },
-            Response { epoch: 0, payload: Payload::Df(0, vec![]) },
+            Response { epoch: 5, payload: Payload::Df { docs: 42, tokens: 314, dfs: vec![7, 0, 3] } },
+            Response { epoch: 0, payload: Payload::Df { docs: 0, tokens: 0, dfs: vec![] } },
             Response {
                 epoch: 2,
                 payload: Payload::Text(Some("line one\nline \"two\"\ttab".into())),

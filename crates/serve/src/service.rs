@@ -30,6 +30,7 @@ use crate::snapshot::{Published, ReadGate, ServeSnapshot, ShardedCache};
 use invidx_core::concurrent::EpochCounter;
 use invidx_core::index::BatchReport;
 use invidx_core::types::DocId;
+use invidx_ir::{EngineQuery, QueryOutput};
 use invidx_obs::names;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,10 +43,18 @@ use std::sync::Arc;
 /// Construct through [`ServeConfig::builder`], which validates the shape
 /// at `build()` (readers and high-water must be positive, the deadline
 /// non-zero) instead of panicking at first use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Result-cache capacity in entries; 0 disables result caching.
     pub result_cache_capacity: usize,
+    /// Largest `k` a `RANK` request may ask for; larger requests are
+    /// rejected as bad requests instead of burning a reader thread on an
+    /// unbounded heap.
+    pub rank_k: usize,
+    /// BM25 `k1` (term-frequency saturation) used by `RANK`.
+    pub bm25_k1: f64,
+    /// BM25 `b` (length normalization) used by `RANK`.
+    pub bm25_b: f64,
     /// Reader threads draining the admission queue.
     pub readers: usize,
     /// Queue depth at which new requests are shed.
@@ -73,8 +82,12 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let bm25 = invidx_ir::Bm25Params::default();
         Self {
             result_cache_capacity: 1024,
+            rank_k: 1000,
+            bm25_k1: bm25.k1,
+            bm25_b: bm25.b,
             readers: 4,
             high_water: 128,
             deadline: std::time::Duration::from_millis(500),
@@ -104,6 +117,24 @@ impl ServeConfigBuilder {
     /// Result-cache capacity in entries; 0 disables result caching.
     pub fn result_cache_capacity(mut self, entries: usize) -> Self {
         self.config.result_cache_capacity = entries;
+        self
+    }
+
+    /// Largest `k` a `RANK` request may ask for.
+    pub fn rank_k(mut self, k: usize) -> Self {
+        self.config.rank_k = k;
+        self
+    }
+
+    /// BM25 `k1` (term-frequency saturation) used by `RANK`.
+    pub fn bm25_k1(mut self, k1: f64) -> Self {
+        self.config.bm25_k1 = k1;
+        self
+    }
+
+    /// BM25 `b` (length normalization) used by `RANK`.
+    pub fn bm25_b(mut self, b: f64) -> Self {
+        self.config.bm25_b = b;
         self
     }
 
@@ -176,6 +207,21 @@ impl ServeConfigBuilder {
             return Err(ServeError::Config(
                 "SLO objective must be in [1, 999999] ppm".into(),
             ));
+        }
+        if c.rank_k == 0 {
+            return Err(ServeError::Config("RANK k ceiling must be >= 1".into()));
+        }
+        if !c.bm25_k1.is_finite() || c.bm25_k1 < 0.0 {
+            return Err(ServeError::Config(format!(
+                "BM25 k1 must be finite and non-negative, got {}",
+                c.bm25_k1
+            )));
+        }
+        if !c.bm25_b.is_finite() || !(0.0..=1.0).contains(&c.bm25_b) {
+            return Err(ServeError::Config(format!(
+                "BM25 b must be in [0, 1], got {}",
+                c.bm25_b
+            )));
         }
         Ok(self.config)
     }
@@ -280,6 +326,10 @@ pub struct QueryService<E> {
     /// Simulated device floor for uncached reads (see
     /// [`ServeConfig::read_floor`]); zero in production configs.
     read_floor: std::time::Duration,
+    /// Largest `k` a `RANK` request may ask for.
+    rank_k: usize,
+    /// BM25 parameters `RANK` requests are scored with.
+    bm25: invidx_ir::Bm25Params,
     /// Last WAL-bytes value successfully read from the engine, re-published
     /// when a scrape can't reach a busy writer. `u64::MAX` = never known
     /// (volatile engine): nothing to re-publish.
@@ -316,6 +366,8 @@ impl<E: ServeEngine> QueryService<E> {
             telemetry: crate::telemetry::Telemetry::new(&config),
             gate: ReadGate::default(),
             read_floor: config.read_floor,
+            rank_k: config.rank_k,
+            bm25: invidx_ir::Bm25Params { k1: config.bm25_k1, b: config.bm25_b },
             last_wal: AtomicU64::new(wal.unwrap_or(u64::MAX)),
         })
     }
@@ -427,58 +479,70 @@ impl<E: ServeEngine> QueryService<E> {
         Ok(Response { epoch, payload })
     }
 
+    /// Translate the wire request into one typed [`EngineQuery`] and run
+    /// it through the snapshot's single `execute` entry point — the wire
+    /// verbs and the engine query surface now meet in exactly one place.
     fn run(&self, snap: &ServeSnapshot, request: &Request) -> Result<Payload, ServeError> {
         if !self.read_floor.is_zero() {
             if let Request::Boolean(_)
             | Request::Phrase(_)
             | Request::Near(..)
             | Request::Like(..)
+            | Request::Rank(..)
             | Request::Doc(_) = request
             {
                 std::thread::sleep(self.read_floor);
             }
         }
-        let engine = &*snap.view;
         let engine_err = |e: invidx_core::types::IndexError| match e {
             invidx_core::types::IndexError::InvalidConfig(msg) => ServeError::BadRequest(msg),
             other => ServeError::Engine(other.to_string()),
         };
-        Ok(match request {
-            Request::Boolean(q) => {
-                Payload::Docs(to_ids(&engine.boolean_str(q).map_err(engine_err)?))
-            }
-            Request::Phrase(p) => Payload::Docs(to_ids(&engine.phrase(p).map_err(engine_err)?)),
+        let decode = |terms: &[(String, u64)]| -> Vec<(String, f64)> {
+            terms.iter().map(|(t, bits)| (t.clone(), f64::from_bits(*bits))).collect()
+        };
+        let query = match request {
+            Request::Boolean(q) => EngineQuery::Boolean(q.clone()),
+            Request::Phrase(p) => EngineQuery::Phrase(p.clone()),
             Request::Near(w1, w2, win) => {
-                Payload::Docs(to_ids(&engine.within(w1, w2, *win).map_err(engine_err)?))
+                EngineQuery::Near { w1: w1.clone(), w2: w2.clone(), window: *win }
             }
-            Request::Like(k, text) => Payload::Hits(
-                engine
-                    .more_like_this(text, *k)
-                    .map_err(engine_err)?
-                    .into_iter()
-                    .map(|h| (h.doc.0, h.score))
-                    .collect(),
-            ),
-            Request::Df(terms) => {
-                Payload::Df(engine.total_docs(), engine.term_dfs(terms).map_err(engine_err)?)
+            Request::Like(k, text) => EngineQuery::Like { text: text.clone(), k: *k },
+            Request::Rank(k, text) => {
+                if *k > self.rank_k {
+                    return Err(ServeError::BadRequest(format!(
+                        "RANK k {k} exceeds the configured ceiling {}",
+                        self.rank_k
+                    )));
+                }
+                EngineQuery::Rank { text: text.clone(), k: *k, params: self.bm25 }
             }
+            Request::Df(terms) => EngineQuery::Dfs(terms.clone()),
             Request::WeightedLike(k, terms) => {
-                let weighted: Vec<(String, f64)> =
-                    terms.iter().map(|(t, bits)| (t.clone(), f64::from_bits(*bits))).collect();
-                Payload::Hits(
-                    engine
-                        .weighted_like(&weighted, *k)
-                        .map_err(engine_err)?
-                        .into_iter()
-                        .map(|h| (h.doc.0, h.score))
-                        .collect(),
-                )
+                EngineQuery::WeightedLike { terms: decode(terms), k: *k }
             }
-            Request::Doc(id) => {
-                Payload::Text(engine.document(DocId(*id)).map_err(engine_err)?)
+            Request::WeightedRank { k, k1_bits, b_bits, avgdl_bits, terms } => {
+                EngineQuery::WeightedRank {
+                    terms: decode(terms),
+                    k: *k,
+                    params: invidx_ir::Bm25Params {
+                        k1: f64::from_bits(*k1_bits),
+                        b: f64::from_bits(*b_bits),
+                    },
+                    avgdl: f64::from_bits(*avgdl_bits),
+                }
             }
-            Request::Stats => Payload::Stats(self.stats_from(snap)),
-            Request::Ping => Payload::Pong,
+            Request::Doc(id) => EngineQuery::Doc(DocId(*id)),
+            Request::Stats => return Ok(Payload::Stats(self.stats_from(snap))),
+            Request::Ping => return Ok(Payload::Pong),
+        };
+        Ok(match snap.view.execute(&query).map_err(engine_err)? {
+            QueryOutput::Docs(list) => Payload::Docs(to_ids(&list)),
+            QueryOutput::Hits(hits) => {
+                Payload::Hits(hits.into_iter().map(|h| (h.doc.0, h.score)).collect())
+            }
+            QueryOutput::Dfs { docs, tokens, dfs } => Payload::Df { docs, tokens, dfs },
+            QueryOutput::Text(text) => Payload::Text(text),
         })
     }
 
@@ -714,24 +778,25 @@ mod tests {
         use invidx_core::postings::PostingList;
         struct Stub;
         impl ServeEngine for Stub {
-            fn boolean_str(&self, _: &str) -> invidx_core::types::Result<PostingList> {
-                Ok(PostingList::from_sorted(vec![]))
-            }
-            fn phrase(&self, _: &str) -> invidx_core::types::Result<PostingList> {
-                Ok(PostingList::from_sorted(vec![]))
-            }
-            fn within(&self, _: &str, _: &str, _: u32) -> invidx_core::types::Result<PostingList> {
-                Ok(PostingList::from_sorted(vec![]))
-            }
-            fn more_like_this(
+            fn execute(
                 &self,
-                _: &str,
-                _: usize,
-            ) -> invidx_core::types::Result<Vec<invidx_ir::Hit>> {
-                Ok(vec![])
-            }
-            fn document(&self, _: DocId) -> invidx_core::types::Result<Option<String>> {
-                Ok(None)
+                query: &EngineQuery,
+            ) -> invidx_core::types::Result<QueryOutput> {
+                Ok(match query {
+                    EngineQuery::Boolean(_)
+                    | EngineQuery::Phrase(_)
+                    | EngineQuery::Near { .. } => {
+                        QueryOutput::Docs(PostingList::from_sorted(vec![]))
+                    }
+                    EngineQuery::Like { .. }
+                    | EngineQuery::Rank { .. }
+                    | EngineQuery::WeightedLike { .. }
+                    | EngineQuery::WeightedRank { .. } => QueryOutput::Hits(vec![]),
+                    EngineQuery::Dfs(terms) => {
+                        QueryOutput::Dfs { docs: 0, tokens: 0, dfs: vec![0; terms.len()] }
+                    }
+                    EngineQuery::Doc(_) => QueryOutput::Text(None),
+                })
             }
             fn add_document(&mut self, _: &str) -> Result<DocId, String> {
                 Err("unused".into())
@@ -788,6 +853,68 @@ mod tests {
         assert!(ServeConfig::builder().readers(0).build().is_err());
         assert!(ServeConfig::builder().high_water(0).build().is_err());
         assert!(ServeConfig::builder().deadline(std::time::Duration::ZERO).build().is_err());
+    }
+
+    #[test]
+    fn builder_validates_ranking_shape() {
+        let c = ServeConfig::builder().rank_k(64).bm25_k1(0.9).bm25_b(0.4).build().unwrap();
+        assert_eq!((c.rank_k, c.bm25_k1, c.bm25_b), (64, 0.9, 0.4));
+        assert!(ServeConfig::builder().rank_k(0).build().is_err());
+        assert!(ServeConfig::builder().bm25_k1(-0.1).build().is_err());
+        assert!(ServeConfig::builder().bm25_k1(f64::NAN).build().is_err());
+        assert!(ServeConfig::builder().bm25_b(1.5).build().is_err());
+        assert!(ServeConfig::builder().bm25_b(f64::INFINITY).build().is_err());
+    }
+
+    /// `RANK` serves BM25 hits from the published snapshot, agrees
+    /// bit-exactly with the live engine's WAND ranker, and enforces the
+    /// configured k ceiling.
+    #[test]
+    fn rank_serves_bm25_from_the_snapshot() {
+        let array = sparse_array(2, 50_000, 256);
+        let engine = SearchEngine::create(array, IndexConfig::small()).unwrap();
+        let config =
+            ServeConfig::builder().rank_k(8).bm25_k1(1.2).bm25_b(0.75).build().unwrap();
+        let s = QueryService::with_config(engine, config).unwrap();
+        s.ingest_batch(&[
+            "the cat sat on the mat",
+            "the dog chased the cat around",
+            "a cat and a cat and a cat",
+        ])
+        .unwrap();
+        let resp = s.execute(&Request::Rank(2, "cat dog".into())).unwrap();
+        let Payload::Hits(hits) = resp.payload else { panic!("expected hits") };
+        assert_eq!(hits.len(), 2);
+        let oracle = s.with_read(|_, e| {
+            e.rank("cat dog", 2, invidx_ir::Bm25Params { k1: 1.2, b: 0.75 }).unwrap()
+        });
+        for (got, want) in hits.iter().zip(&oracle) {
+            assert_eq!(
+                (got.0, got.1.to_bits()),
+                (want.doc.0, want.score.to_bits()),
+                "served RANK must match the engine ranker bit-exactly"
+            );
+        }
+        // Repeats come from the result cache and answer identically.
+        let again = s.execute(&Request::Rank(2, "cat dog".into())).unwrap();
+        assert_eq!(Payload::Hits(hits), again.payload);
+        assert_eq!(s.stats().cache_hits, 1);
+        // Beyond the ceiling: typed rejection, not an unbounded heap.
+        let err = s.execute(&Request::Rank(9, "cat".into())).unwrap_err();
+        assert_eq!(err.code(), "badrequest");
+    }
+
+    /// The DF payload carries the token count the router's distributed
+    /// BM25 needs for the corpus-global average document length.
+    #[test]
+    fn df_carries_corpus_token_count() {
+        let s = service(16);
+        s.ingest_batch(&["one two three", "four five"]).unwrap();
+        let resp = s.execute(&Request::Df(vec!["one".into(), "nope".into()])).unwrap();
+        assert_eq!(
+            resp.payload,
+            Payload::Df { docs: 2, tokens: 5, dfs: vec![1, 0] }
+        );
     }
 
     fn docs_of(resp: &Response) -> Vec<u32> {

@@ -14,10 +14,9 @@
 
 use invidx_core::cache::CacheStats;
 use invidx_core::index::{BatchReport, IndexConfig};
-use invidx_core::postings::PostingList;
 use invidx_core::types::{DocId, Result as IrResult};
 use invidx_durable::{DurableOptions, StoreGeometry, WalRecord};
-use invidx_ir::{DurableEngine, EngineSnapshot, Hit};
+use invidx_ir::{DurableEngine, EngineQuery, EngineSnapshot, QueryOutput};
 use invidx_obs::names;
 use invidx_serve::{Payload, QueryService, Request, ServeConfig, ServeEngine};
 use std::path::{Path, PathBuf};
@@ -51,24 +50,8 @@ struct FlakySnapshots {
 }
 
 impl ServeEngine for FlakySnapshots {
-    fn boolean_str(&self, query: &str) -> IrResult<PostingList> {
-        self.inner.boolean_str(query)
-    }
-
-    fn phrase(&self, phrase: &str) -> IrResult<PostingList> {
-        self.inner.phrase(phrase)
-    }
-
-    fn within(&self, w1: &str, w2: &str, window: u32) -> IrResult<PostingList> {
-        self.inner.within(w1, w2, window)
-    }
-
-    fn more_like_this(&self, text: &str, k: usize) -> IrResult<Vec<Hit>> {
-        self.inner.more_like_this(text, k)
-    }
-
-    fn document(&self, doc: DocId) -> IrResult<Option<String>> {
-        self.inner.document(doc)
+    fn execute(&self, query: &EngineQuery) -> IrResult<QueryOutput> {
+        self.inner.execute(query)
     }
 
     fn add_document(&mut self, text: &str) -> Result<DocId, String> {

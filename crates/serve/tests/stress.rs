@@ -12,7 +12,7 @@
 use invidx_core::index::IndexConfig;
 use invidx_disk::sparse_array;
 use invidx_durable::{DurableOptions, StoreGeometry};
-use invidx_ir::{DurableEngine, SearchEngine};
+use invidx_ir::{DurableEngine, EngineQuery, QueryOutput, SearchEngine};
 use invidx_serve::{
     Frontend, Payload, QueryService, Request, ServeConfig, ServeEngine,
 };
@@ -54,13 +54,18 @@ fn query_mix() -> Vec<Request> {
 }
 
 fn run_request<E: ServeEngine>(engine: &E, req: &Request) -> Vec<u32> {
-    let list = match req {
-        Request::Boolean(q) => engine.boolean_str(q).unwrap(),
-        Request::Phrase(p) => engine.phrase(p).unwrap(),
-        Request::Near(w1, w2, win) => engine.within(w1, w2, *win).unwrap(),
+    let query = match req {
+        Request::Boolean(q) => EngineQuery::Boolean(q.clone()),
+        Request::Phrase(p) => EngineQuery::Phrase(p.clone()),
+        Request::Near(w1, w2, win) => {
+            EngineQuery::Near { w1: w1.clone(), w2: w2.clone(), window: *win }
+        }
         other => panic!("not an oracle query: {other:?}"),
     };
-    list.docs().iter().map(|d| d.0).collect()
+    match engine.execute(&query).unwrap() {
+        QueryOutput::Docs(list) => list.docs().iter().map(|d| d.0).collect(),
+        other => panic!("oracle query answered {other:?}"),
+    }
 }
 
 /// Replay the schedule single-threaded: `oracle[epoch][wire-form] = docs`.

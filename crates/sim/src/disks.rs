@@ -79,7 +79,11 @@ pub struct DiskStage {
 impl DiskStage {
     /// Build a stage for one policy.
     pub fn new(params: SimParams, policy: Policy) -> Result<Self> {
-        let config = LongConfig { block_postings: params.block_postings, policy };
+        let config = LongConfig {
+            block_postings: params.block_postings,
+            policy,
+            codec: Default::default(),
+        };
         config.validate(params.block_size)?;
         let mut array = sparse_array(params.disks, params.blocks_per_disk, params.block_size);
         array.reserve_on(0, 0, 1)?; // superblock home, as in DualIndex

@@ -10,6 +10,7 @@
 //! invidx phrase ./myindex "inverted lists"
 //! invidx near  ./myindex cat dog 5
 //! invidx like  ./myindex "incremental index updates" 5
+//! invidx rank  ./myindex "incremental index updates" 5   # BM25 top-k
 //! invidx show  ./myindex 3
 //! invidx checkpoint ./myindex
 //! invidx recover ./myindex
@@ -26,12 +27,13 @@
 //! (`disk<N>.bin` + `engine.meta` rewritten after every mutating command),
 //! which existing index directories keep using.
 
+use invidx::core::codec::PostingsCodec;
 use invidx::core::index::{DualIndex, EngineKind, IndexConfig};
 use invidx::core::policy::Policy;
 use invidx::core::types::DocId;
 use invidx::disk::{BlockDevice, Disk, DiskArray, FileDevice, FitStrategy, FreeList};
 use invidx::durable::{DurableOptions, StoreGeometry};
-use invidx::ir::{DurableEngine, SearchEngine};
+use invidx::ir::{Bm25Params, DurableEngine, SearchEngine};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -49,6 +51,9 @@ struct Conf {
     ingest_threads: usize,
     /// Storage engine: in-place dual-structure or segment-tiered.
     engine: EngineKind,
+    /// Long-list postings codec (fixed at init; the superblock rejects a
+    /// mismatched reopen).
+    codec: PostingsCodec,
 }
 
 impl Conf {
@@ -64,6 +69,7 @@ impl Conf {
             cache_blocks: 0,
             ingest_threads: 1,
             engine: EngineKind::InPlace,
+            codec: PostingsCodec::Plain,
         }
     }
 
@@ -77,6 +83,7 @@ impl Conf {
             .cache_blocks(self.cache_blocks)
             .ingest_threads(self.ingest_threads)
             .engine(self.engine)
+            .postings_codec(self.codec)
             .build()
             .map_err(|e| format!("bad index configuration: {e}"))
     }
@@ -92,7 +99,7 @@ impl Conf {
     fn save(&self, dir: &Path) -> std::io::Result<()> {
         let mut text = format!(
             "policy={}\ndisks={}\nblocks={}\nblock_size={}\nnum_buckets={}\n\
-             bucket_units={}\nblock_postings={}\ncache_blocks={}\ningest_threads={}\n",
+             bucket_units={}\nblock_postings={}\ncache_blocks={}\ningest_threads={}\ncodec={}\n",
             self.policy.label(),
             self.disks,
             self.blocks,
@@ -101,7 +108,8 @@ impl Conf {
             self.bucket_units,
             self.block_postings,
             self.cache_blocks,
-            self.ingest_threads
+            self.ingest_threads,
+            self.codec
         );
         match self.engine {
             EngineKind::InPlace => text.push_str("engine=inplace\n"),
@@ -139,6 +147,9 @@ impl Conf {
                 }
                 "ingest_threads" => {
                     conf.ingest_threads = v.parse().map_err(|e| format!("ingest_threads: {e}"))?
+                }
+                "codec" => {
+                    conf.codec = PostingsCodec::parse(v).map_err(|e| format!("codec: {e}"))?
                 }
                 "engine" => {
                     conf.engine = match v {
@@ -264,6 +275,13 @@ impl Engine {
         }
     }
 
+    fn rank(&self, text: &str, k: usize, params: Bm25Params) -> Result<Vec<invidx::ir::Hit>, String> {
+        match self {
+            Self::Legacy(e) => e.rank(text, k, params).map_err(|e| e.to_string()),
+            Self::Durable(e) => e.rank(text, k, params).map_err(|e| e.to_string()),
+        }
+    }
+
     fn document(&self, doc: DocId) -> Result<Option<String>, String> {
         match self {
             Self::Legacy(e) => e.document(doc).map_err(|e| e.to_string()),
@@ -356,43 +374,13 @@ struct ServedEngine {
 }
 
 impl invidx::serve::ServeEngine for ServedEngine {
-    fn boolean_str(&self, query: &str) -> invidx::core::Result<invidx::core::postings::PostingList> {
-        match &self.engine {
-            Engine::Legacy(e) => e.boolean_str(query),
-            Engine::Durable(e) => e.boolean_str(query),
-        }
-    }
-
-    fn phrase(&self, phrase: &str) -> invidx::core::Result<invidx::core::postings::PostingList> {
-        match &self.engine {
-            Engine::Legacy(e) => e.phrase(phrase),
-            Engine::Durable(e) => e.phrase(phrase),
-        }
-    }
-
-    fn within(
+    fn execute(
         &self,
-        w1: &str,
-        w2: &str,
-        window: u32,
-    ) -> invidx::core::Result<invidx::core::postings::PostingList> {
+        query: &invidx::ir::EngineQuery,
+    ) -> invidx::core::Result<invidx::ir::QueryOutput> {
         match &self.engine {
-            Engine::Legacy(e) => e.within(w1, w2, window),
-            Engine::Durable(e) => e.within(w1, w2, window),
-        }
-    }
-
-    fn more_like_this(&self, text: &str, k: usize) -> invidx::core::Result<Vec<invidx::ir::Hit>> {
-        match &self.engine {
-            Engine::Legacy(e) => e.more_like_this(text, k),
-            Engine::Durable(e) => e.more_like_this(text, k),
-        }
-    }
-
-    fn document(&self, doc: DocId) -> invidx::core::Result<Option<String>> {
-        match &self.engine {
-            Engine::Legacy(e) => e.document(doc),
-            Engine::Durable(e) => e.document(doc),
+            Engine::Legacy(e) => e.execute(query),
+            Engine::Durable(e) => e.execute(query),
         }
     }
 
@@ -554,7 +542,7 @@ fn cmd_serve(dir: &Path, args: &[String]) -> Result<(), String> {
         config.slo_objective_ppm,
         events.as_deref().map(|p| format!(", events -> {}", p.display())).unwrap_or_default(),
     );
-    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DOC | STATS | METRICS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
+    println!("protocol: QUERY | PHRASE | NEAR | LIKE | RANK | DOC | STATS | METRICS | PING | ADD | FLUSH | CHECKPOINT | QUIT");
     println!(
         "try:      printf 'QUERY cat and dog\\nQUIT\\n' | nc {} {}",
         server.addr().ip(),
@@ -595,6 +583,10 @@ fn cmd_shard_init(dir: &Path, args: &[String]) -> Result<(), String> {
             "--block-size" => {
                 conf.block_size =
                     value("--block-size")?.parse().map_err(|e| format!("block-size: {e}"))?
+            }
+            "--codec" => {
+                conf.codec =
+                    PostingsCodec::parse(&value("--codec")?).map_err(|e| format!("codec: {e}"))?
             }
             other => return Err(format!("unknown shard-init option {other:?}")),
         }
@@ -767,7 +759,7 @@ fn cmd_route(dir: &Path, args: &[String]) -> Result<(), String> {
         server.addr(),
         if hedge_ms > 0 { format!("{hedge_ms} ms") } else { "off".into() },
     );
-    println!("protocol: QUERY | PHRASE | NEAR | LIKE | DF | WLIKE | DOC | STATS | METRICS | PING | ADD | FLUSH | QUIT");
+    println!("protocol: QUERY | PHRASE | NEAR | LIKE | RANK | DF | WLIKE | WRANK | DOC | STATS | METRICS | PING | ADD | FLUSH | QUIT");
     println!(
         "try:      printf 'QUERY cat and dog\\nQUIT\\n' | nc {} {}",
         server.addr().ip(),
@@ -828,6 +820,12 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<(), String> {
                     .ok_or("--ingest-threads needs a value")?
                     .parse()
                     .map_err(|e| format!("ingest-threads: {e}"))?;
+                i += 2;
+            }
+            "--codec" => {
+                conf.codec =
+                    PostingsCodec::parse(args.get(i + 1).ok_or("--codec needs a value")?)
+                        .map_err(|e| format!("codec: {e}"))?;
                 i += 2;
             }
             "--engine" => {
@@ -1044,6 +1042,20 @@ fn cmd_like(dir: &Path, text: &str, k: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
+/// BM25 ranked top-k (WAND early termination; see `crates/ir/src/rank.rs`).
+fn cmd_rank(dir: &Path, text: &str, k: Option<&String>) -> Result<(), String> {
+    let k: usize = k.map(|s| s.parse()).transpose().map_err(|e| format!("k: {e}"))?.unwrap_or(10);
+    let (engine, _) = open_engine(dir)?;
+    let hits = engine.rank(text, k, Bm25Params::default()).map_err(|e| format!("query: {e}"))?;
+    if hits.is_empty() {
+        println!("no matches");
+    }
+    for h in hits {
+        println!("doc {}\tscore {:.3}", h.doc.0, h.score);
+    }
+    Ok(())
+}
+
 fn cmd_show(dir: &Path, id: &str) -> Result<(), String> {
     let id: u32 = id.parse().map_err(|e| format!("doc id: {e}"))?;
     let (engine, _) = open_engine(dir)?;
@@ -1147,6 +1159,13 @@ fn cmd_stats(dir: &Path, metrics: bool) -> Result<(), String> {
     println!("long words          {}", d.num_words());
     println!("long postings       {}", d.total_postings());
     println!("long chunks         {}", d.total_chunks());
+    println!("postings codec      {}", conf.codec);
+    let raw = d.total_postings() * 4;
+    let stored = d.total_stored_bytes();
+    println!(
+        "postings bytes      {raw} raw / {stored} stored ({:.2}x)",
+        raw as f64 / stored.max(1) as f64
+    );
     println!("avg reads/long list {:.2}", d.avg_reads_per_long_list());
     println!("long utilization    {:.2}", d.utilization(conf.block_postings));
     let (free, total) = ix
@@ -1192,6 +1211,8 @@ fn publish_index_gauges(engine: &Engine, conf: &Conf) {
     gauge!("index_long_postings").set(d.total_postings() as i64);
     gauge!("index_long_chunks").set(d.total_chunks() as i64);
     gauge!("index_long_blocks").set(d.total_blocks() as i64);
+    gauge!("index_long_raw_bytes").set((d.total_postings() * 4) as i64);
+    gauge!("index_long_stored_bytes").set(d.total_stored_bytes() as i64);
     if let Engine::Durable(e) = engine {
         gauge!("index_wal_bytes").set(e.index().wal_size() as i64);
         gauge!("index_last_checkpoint_batch").set(e.index().last_checkpoint_batch() as i64);
@@ -1446,18 +1467,19 @@ fn print_docs(docs: &[DocId]) {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  invidx init <dir> [--policy P] [--disks N] [--blocks N] [--block-size N] [--legacy]\n               \
-         [--engine inplace|segmented] [--l0-budget BYTES] [--fanout N]\n  \
+         [--engine inplace|segmented] [--l0-budget BYTES] [--fanout N] [--codec plain|varint|bitpacked]\n  \
          invidx add <dir> [--ingest-threads N] <file...>\n  \
          invidx search <dir> <boolean query | --stdin>\n  \
          invidx phrase <dir> <phrase>\n  invidx near <dir> <w1> <w2> <window>\n  \
-         invidx like <dir> <text> [k]\n  invidx show <dir> <doc id>\n  \
+         invidx like <dir> <text> [k]\n  invidx rank <dir> <text> [k]\n  \
+         invidx show <dir> <doc id>\n  \
          invidx compact <dir>\n  invidx checkpoint <dir>\n  invidx recover <dir>\n  \
          invidx stats <dir> [--metrics]\n  \
          invidx metrics <dir> [--json] [--read <word>]... [--watch <secs>]\n  \
          invidx serve <dir> [--addr H:P] [--readers N] [--high-water N] [--deadline-ms N] [--cache N]\n               \
          [--trace-sample N] [--slow-ms N] [--slo-target-ms N] [--slo-objective-ppm N] [--events <file>]\n  \
          invidx shard-init <dir> --shards N [--partition range|hash] [--chunk N] [--policy P] [--disks N]\n               \
-         [--blocks N] [--block-size N]\n  \
+         [--blocks N] [--block-size N] [--codec plain|varint|bitpacked]\n  \
          invidx route <dir> [--addr H:P] [--replicas N] [--deadline-ms N] [--hedge-ms N] [--attempts N]\n               \
          [--poll-ms N] [--cache N]\n  \
          invidx top <addr> [--interval <secs>] [--once]"
@@ -1483,6 +1505,8 @@ fn main() -> ExitCode {
         ("near", [a, b, w]) => cmd_near(&dir, a, b, w),
         ("like", [t]) => cmd_like(&dir, t, None),
         ("like", [t, k]) => cmd_like(&dir, t, Some(k)),
+        ("rank", [t]) => cmd_rank(&dir, t, None),
+        ("rank", [t, k]) => cmd_rank(&dir, t, Some(k)),
         ("show", [id]) => cmd_show(&dir, id),
         ("compact", []) => cmd_compact(&dir),
         ("checkpoint", []) => cmd_checkpoint(&dir),
